@@ -1,0 +1,55 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md §5 through the
+same registry the ``repro-experiments`` CLI uses, times it with
+pytest-benchmark, prints the table (visible with ``-s`` and in the report
+files), and asserts the experiment's shape checks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment:
+    REPRO_BENCH_SCALE: "quick" (default) or "full" — sweep sizing.
+
+Rendered tables are also written to ``benchmarks/reports/<id>.txt`` so
+that EXPERIMENTS.md can be refreshed from the last run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro import experiments
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick|full, got {scale}")
+    return scale
+
+
+@pytest.fixture
+def run_experiment(benchmark, bench_scale):
+    """Run one experiment under the benchmark timer and check its shape."""
+
+    def runner(name: str, must_pass: bool = True):
+        report = benchmark.pedantic(
+            experiments.run, args=(name, bench_scale), rounds=1, iterations=1
+        )
+        text = report.render()
+        print()
+        print(text)
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        if must_pass:
+            failed = [k for k, ok in report.checks.items() if not ok]
+            assert not failed, f"{name} shape checks failed: {failed}"
+        return report
+
+    return runner

@@ -1,0 +1,8 @@
+"""Benchmark E1: SimpleAlgorithm parallel time vs n at bias 1 (Theorem 1(1)).
+
+Regenerates the E1 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e01(run_experiment):
+    run_experiment("E1")

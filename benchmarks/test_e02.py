@@ -1,0 +1,8 @@
+"""Benchmark E2: SimpleAlgorithm parallel time vs k at bias 1 (Theorem 1(1)).
+
+Regenerates the E2 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e02(run_experiment):
+    run_experiment("E2")

@@ -1,0 +1,8 @@
+"""Benchmark E3: State-count growth: Theta(k + log n) vs the Omega(k^2) stable bound.
+
+Regenerates the E3 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e03(run_experiment):
+    run_experiment("E3")

@@ -1,0 +1,8 @@
+"""Benchmark E4: UnorderedAlgorithm time: O(k log n + log^2 n) (Theorem 1(2)).
+
+Regenerates the E4 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e04(run_experiment):
+    run_experiment("E4")

@@ -1,0 +1,8 @@
+"""Benchmark E5: ImprovedAlgorithm pruning speedup vs Simple/Unordered (Theorem 2).
+
+Regenerates the E5 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e05(run_experiment):
+    run_experiment("E5")

@@ -1,0 +1,8 @@
+"""Benchmark E6: Initialization phase: Lemma 3 duration and role balance.
+
+Regenerates the E6 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e06(run_experiment):
+    run_experiment("E6")

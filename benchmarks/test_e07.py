@@ -1,0 +1,8 @@
+"""Benchmark E7: Junta clock hour length vs subpopulation size (Lemma 7).
+
+Regenerates the E7 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e07(run_experiment):
+    run_experiment("E7")

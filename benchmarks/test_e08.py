@@ -1,0 +1,8 @@
+"""Benchmark E8: Pruning outcome: Lemmas 9 + 10.
+
+Regenerates the E8 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e08(run_experiment):
+    run_experiment("E8")

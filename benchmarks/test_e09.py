@@ -1,0 +1,8 @@
+"""Benchmark E9: Exactness at bias 1: paper protocols vs the USD baseline.
+
+Regenerates the E9 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e09(run_experiment):
+    run_experiment("E9")

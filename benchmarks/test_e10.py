@@ -1,0 +1,8 @@
+"""Benchmark E10: Majority substrate: exact at bias 1; 3-state fails.
+
+Regenerates the E10 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e10(run_experiment):
+    run_experiment("E10")

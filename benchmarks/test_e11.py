@@ -1,0 +1,8 @@
+"""Benchmark E11: Leader election: unique leader in O(log^2 n).
+
+Regenerates the E11 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e11(run_experiment):
+    run_experiment("E11")

@@ -1,0 +1,8 @@
+"""Benchmark E12: Load balancing to constant discrepancy in Theta(log n).
+
+Regenerates the E12 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e12(run_experiment):
+    run_experiment("E12")

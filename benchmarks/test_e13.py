@@ -1,0 +1,8 @@
+"""Benchmark E13: Biased random-walk hitting-time bounds (Lemma 16).
+
+Regenerates the E13 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e13(run_experiment):
+    run_experiment("E13")

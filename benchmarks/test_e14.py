@@ -1,0 +1,8 @@
+"""Benchmark E14: Figure 1: per-role state table, analytic and observed.
+
+Regenerates the E14 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e14(run_experiment):
+    run_experiment("E14")

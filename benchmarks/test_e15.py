@@ -1,0 +1,8 @@
+"""Benchmark E15: Failure probability vs n (the w.h.p. headline).
+
+Regenerates the E15 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_e15(run_experiment):
+    run_experiment("E15")

@@ -1,0 +1,8 @@
+"""Benchmark EA1: Ablation: synchronization cost vs oracle tournaments.
+
+Regenerates the EA1 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_ea1(run_experiment):
+    run_experiment("EA1")

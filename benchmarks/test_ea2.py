@@ -1,0 +1,8 @@
+"""Benchmark EA2: the merge rule prevents cancel/split deadlock.
+
+Regenerates the EA2 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_ea2(run_experiment):
+    run_experiment("EA2")

@@ -1,0 +1,8 @@
+"""Benchmark EA3: scheduler fidelity (exact vs matching batches).
+
+Regenerates the EA3 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_ea3(run_experiment):
+    run_experiment("EA3")

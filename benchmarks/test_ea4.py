@@ -1,0 +1,8 @@
+"""Benchmark EA4: the pruning survival threshold (Lemma 10's c_s).
+
+Regenerates the EA4 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_ea4(run_experiment):
+    run_experiment("EA4")

@@ -1,0 +1,8 @@
+"""Benchmark EB1: One-way epidemic broadcast completes in Theta(log n).
+
+Regenerates the EB1 table of EXPERIMENTS.md; see DESIGN.md section 5.
+"""
+
+
+def test_eb1(run_experiment):
+    run_experiment("EB1")

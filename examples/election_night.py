@@ -1,0 +1,59 @@
+"""Election night: exact counting beats fast-but-approximate dynamics.
+
+Scenario: 600 anonymous voters with 5 parties; the two leading parties are
+separated by a single vote.  Approximate dynamics (undecided-state) call
+the election fast — and get it wrong about half the time.  The paper's
+exact protocols stay correct.
+
+This is the paper's motivation (Section 1): *exact* plurality consensus
+must identify the winner even at bias 1, which approximate protocols
+fundamentally cannot ([4, 7] need bias Ω(√(n log n))).
+
+Run:  python examples/election_night.py
+"""
+
+from repro import MatchingScheduler, SimpleAlgorithm, simulate, workloads
+from repro.analysis import format_table, success_rate, time_summary
+from repro.analysis.sweep import replicate
+from repro.baselines import UndecidedStateDynamics
+
+N_VOTERS = 600
+PARTIES = 5
+ELECTIONS = 10
+
+
+def main() -> None:
+    sample = workloads.two_block(N_VOTERS, PARTIES, big_fraction=0.7, rng=0)
+    counts = list(sample.counts())
+    print(f"{N_VOTERS} voters, {PARTIES} parties, counts like {counts}")
+    print(f"margin between the top two parties: {sample.bias} vote(s)\n")
+
+    rows = []
+    for name, factory, budget in [
+        ("simple_algorithm", SimpleAlgorithm, None),
+        ("undecided_state", UndecidedStateDynamics, 500.0),
+    ]:
+        results = replicate(
+            factory,
+            lambda s: workloads.two_block(
+                N_VOTERS, PARTIES, big_fraction=0.7, rng=s
+            ),
+            replications=ELECTIONS,
+            base_seed=2024,
+            scheduler_factory=lambda: MatchingScheduler(0.25),
+            max_parallel_time=budget,
+        )
+        rate = success_rate(results)
+        called = [r for r in results if r.converged]
+        mean_time = time_summary(called, successful_only=False).mean
+        rows.append([name, f"{rate:.0%}", f"{mean_time:.0f}"])
+
+    print(format_table(["method", "correct calls", "parallel time"], rows))
+    print(
+        "\nThe exact protocol pays more time but never miscounts;\n"
+        "the approximate dynamics flip a near-tied election like a coin."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Sensor swarm: pruning insignificant readings (ImprovedAlgorithm).
+
+Scenario: 800 anonymous sensors each report one of 20 discretized readings.
+Most readings are noise held by a handful of sensors; the true reading
+dominates.  Running all 19 tournaments (SimpleAlgorithm) wastes time on
+noise; the ImprovedAlgorithm's per-reading phase clocks prune insignificant
+readings before any tournament starts (Section 4 / Theorem 2), so only the
+significant candidates compete.
+
+Run:  python examples/sensor_swarm.py
+"""
+
+import time
+
+from repro import MatchingScheduler, simulate, workloads
+from repro.analysis import format_table
+from repro.core.improved import ImprovedAlgorithm
+from repro.core.simple import SimpleAlgorithm
+
+N_SENSORS = 800
+READINGS = 20
+
+
+def run(algorithm_factory, config, seed):
+    algorithm = algorithm_factory()
+    started = time.time()
+    result = simulate(
+        algorithm,
+        config,
+        seed=seed,
+        scheduler=MatchingScheduler(0.25),
+        max_parallel_time=algorithm.params.default_max_time(
+            config.n, config.k
+        ),
+    )
+    return result, time.time() - started
+
+
+def main() -> None:
+    config = workloads.one_large_many_small(
+        N_SENSORS, READINGS, plurality_fraction=0.55, rng=3
+    )
+    print(
+        f"{N_SENSORS} sensors, {READINGS} possible readings, "
+        f"true reading held by {config.x_max} sensors"
+    )
+    print(f"noise readings held by ~{config.counts()[1:].max()} sensors each\n")
+
+    rows = []
+    for name, factory in [
+        ("improved (prunes)", ImprovedAlgorithm),
+        ("simple (all tournaments)", SimpleAlgorithm),
+    ]:
+        result, wall = run(factory, config, seed=11)
+        status = "ok" if result.succeeded else (result.failure or "wrong")
+        tournaments = int(result.extras.get("tournament", -1)) + 1
+        rows.append(
+            [
+                name,
+                status,
+                f"{result.parallel_time:.0f}",
+                tournaments,
+                f"{wall:.1f}s",
+            ]
+        )
+
+    print(
+        format_table(
+            ["protocol", "outcome", "parallel time", "tournaments", "wall clock"],
+            rows,
+        )
+    )
+    print(
+        "\nPruning reduced the tournament count from k-1 to O(n/x_max): the\n"
+        "noise readings never ticked their clocks and were eliminated before\n"
+        "the first match (Lemmas 9 and 10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

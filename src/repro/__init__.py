@@ -1,0 +1,50 @@
+"""repro - Population Protocols for Exact Plurality Consensus.
+
+Reproduction of Bankhamer, Berenbrink, Biermeier, Elsaesser, Hosseinpour,
+Kaaser, Kling: "Population Protocols for Exact Plurality Consensus"
+(PODC 2022).  See README.md for a tour and DESIGN.md for the system map.
+
+Quickstart::
+
+    from repro import SimpleAlgorithm, simulate, workloads
+
+    config = workloads.bias_one(n=1000, k=4, rng=1)
+    result = simulate(SimpleAlgorithm(), config, seed=2,
+                      max_parallel_time=20000)
+    print(result.describe())
+"""
+
+from . import workloads
+from .core import (
+    ImprovedParams,
+    SimpleAlgorithm,
+    SimpleParams,
+    UnorderedParams,
+)
+from .engine import (
+    MatchingScheduler,
+    PopulationConfig,
+    ProbeRecorder,
+    Protocol,
+    RunResult,
+    SequentialScheduler,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ImprovedParams",
+    "MatchingScheduler",
+    "PopulationConfig",
+    "ProbeRecorder",
+    "Protocol",
+    "RunResult",
+    "SequentialScheduler",
+    "SimpleAlgorithm",
+    "SimpleParams",
+    "UnorderedParams",
+    "__version__",
+    "simulate",
+    "workloads",
+]

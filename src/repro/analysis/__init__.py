@@ -1,0 +1,56 @@
+"""Analysis tools: theory predictions, fits, stats, sweeps, state accounting."""
+
+from .fitting import LogLogFit, fit_loglog, ratio_spread, slope_against_driver
+from .random_walk import (
+    HittingTimeSample,
+    lemma16_failure_probabilities,
+    lemma16_lower_bound,
+    lemma16_upper_bound,
+    simulate_hitting_times,
+)
+from .state_space import (
+    StateSpaceObserver,
+    improved_state_breakdown,
+    observed_state_counts,
+    simple_state_breakdown,
+    unordered_state_breakdown,
+)
+from .stats import (
+    TimeSummary,
+    failure_breakdown,
+    success_rate,
+    time_summary,
+    wilson_interval,
+)
+from .parallel import replicate_parallel
+from .sweep import format_table, replicate
+from .trace import TournamentRecord, TournamentTraceRecorder
+from . import theory
+
+__all__ = [
+    "HittingTimeSample",
+    "LogLogFit",
+    "StateSpaceObserver",
+    "TimeSummary",
+    "failure_breakdown",
+    "fit_loglog",
+    "format_table",
+    "improved_state_breakdown",
+    "lemma16_failure_probabilities",
+    "lemma16_lower_bound",
+    "lemma16_upper_bound",
+    "observed_state_counts",
+    "ratio_spread",
+    "replicate",
+    "simple_state_breakdown",
+    "simulate_hitting_times",
+    "replicate_parallel",
+    "slope_against_driver",
+    "success_rate",
+    "TournamentRecord",
+    "TournamentTraceRecorder",
+    "theory",
+    "time_summary",
+    "unordered_state_breakdown",
+    "wilson_interval",
+]

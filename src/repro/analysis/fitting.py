@@ -1,0 +1,71 @@
+"""Scaling-shape fits for the experiment harness.
+
+The reproduction criterion (DESIGN.md §5) is about *shape*, not absolute
+numbers: fitted log-log slopes within a tolerance of the predicted
+exponent, and measured/predicted ratios that stay within a bounded spread
+across a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """Least-squares fit of ``log y = slope · log x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(self.intercept) * np.asarray(x, dtype=float) ** self.slope
+
+
+def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> LogLogFit:
+    """Fit a power law through the points (requires positive data)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) points")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("log-log fit needs positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    fitted = slope * lx + intercept
+    ss_res = float(((ly - fitted) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LogLogFit(slope=float(slope), intercept=float(intercept), r_squared=r2)
+
+
+def ratio_spread(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Max/min of measured/predicted across a sweep (1.0 = perfect shape).
+
+    A bounded spread certifies that ``measured = Θ(predicted)`` over the
+    sweep range; the experiments assert spreads below workload-specific
+    tolerances.
+    """
+    m = np.asarray(measured, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if m.size != p.size or m.size == 0:
+        raise ValueError("measured and predicted must have equal nonzero length")
+    ratios = m / p
+    if (ratios <= 0).any():
+        raise ValueError("ratios must be positive")
+    return float(ratios.max() / ratios.min())
+
+
+def slope_against_driver(
+    drivers: Sequence[float], measured: Sequence[float]
+) -> LogLogFit:
+    """Fit measured values against the theory driver.
+
+    If the theory is exact up to constants, the slope is 1.0; the
+    experiments check ``|slope − 1| <= tol``.
+    """
+    return fit_loglog(drivers, measured)

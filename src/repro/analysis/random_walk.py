@@ -1,0 +1,109 @@
+"""Biased random walks on the non-negative line (Appendix D, Lemma 16).
+
+The paper's initialization analysis (Claim 5) couples the clock agents'
+init counters with biased random walks and invokes Lemma 16:
+
+* drift right (p > q): the hitting time of ``N`` is at most
+  ``(2 / (p − q))² · N`` with probability ≥ 1 − exp(−N);
+* drift left (p < q): the hitting time of ``N`` is at least
+  ``(q/p)^(N/2)`` with probability ≥ 1 − (p/q)^(N/2).
+
+This module provides a vectorized Monte-Carlo simulator of the walk (many
+walkers at once) plus the two analytic bounds, which benchmark E13 checks
+against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class HittingTimeSample:
+    """Monte-Carlo hitting times of level ``target`` for many walkers."""
+
+    target: int
+    p_right: float
+    times: np.ndarray  # steps; np.inf where the budget was exhausted
+
+    @property
+    def completed_fraction(self) -> float:
+        return float(np.isfinite(self.times).mean())
+
+    def quantile(self, q: float) -> float:
+        """Quantile over finished walkers; inf when none finished."""
+        finished = self.times[np.isfinite(self.times)]
+        if finished.size == 0:
+            return float("inf")
+        return float(np.quantile(finished, q))
+
+
+def simulate_hitting_times(
+    p_right: float,
+    target: int,
+    walkers: int,
+    *,
+    max_steps: int,
+    rng: RngLike = None,
+) -> HittingTimeSample:
+    """Simulate ``walkers`` independent reflecting walks from 0.
+
+    Each step moves right with probability ``p_right`` and left otherwise
+    (staying at 0 when already there, matching Lemma 16's reflection).
+    """
+    if not 0 < p_right < 1:
+        raise ValueError("p_right must be in (0, 1)")
+    if target < 1:
+        raise ValueError("target must be >= 1")
+    if walkers < 1 or max_steps < 1:
+        raise ValueError("walkers and max_steps must be >= 1")
+    generator = make_rng(rng)
+    position = np.zeros(walkers, dtype=np.int64)
+    hit_at = np.full(walkers, np.inf)
+    alive = np.arange(walkers)
+    block = 1024
+    step = 0
+    while alive.size and step < max_steps:
+        steps_now = min(block, max_steps - step)
+        moves = generator.random((alive.size, steps_now)) < p_right
+        for j in range(steps_now):
+            position[alive] += np.where(moves[:, j], 1, -1)
+            np.maximum(position[alive], 0, out=position[alive])
+            hits = position[alive] >= target
+            if hits.any():
+                hit_at[alive[hits]] = step + j + 1
+                keep = ~hits
+                alive = alive[keep]
+                moves = moves[keep]
+        step += steps_now
+    return HittingTimeSample(target=target, p_right=p_right, times=hit_at)
+
+
+def lemma16_upper_bound(p_right: float, target: int) -> float:
+    """Statement (1): hitting time ≤ (2/(p−q))² · N when p > q."""
+    q = 1 - p_right
+    if p_right <= q:
+        raise ValueError("upper bound requires rightward drift (p > 1/2)")
+    return (2.0 / (p_right - q)) ** 2 * target
+
+
+def lemma16_lower_bound(p_right: float, target: int) -> float:
+    """Statement (2): hitting time ≥ (q/p)^(N/2) when p < q."""
+    q = 1 - p_right
+    if p_right >= q:
+        raise ValueError("lower bound requires leftward drift (p < 1/2)")
+    return (q / p_right) ** (target / 2.0)
+
+
+def lemma16_failure_probabilities(p_right: float, target: int) -> float:
+    """Probability with which each bound may fail, per Lemma 16."""
+    q = 1 - p_right
+    if p_right > q:
+        return float(np.exp(-target))
+    if p_right < q:
+        return float((p_right / q) ** (target / 2.0))
+    raise ValueError("Lemma 16 requires p != 1/2")

@@ -1,0 +1,91 @@
+"""Success-rate and run-time statistics for replicated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.simulation import RunResult
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because failure counts in
+    w.h.p. experiments are typically 0 or tiny.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p_hat = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z * np.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+    ) / denom
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def success_rate(results: Iterable[RunResult]) -> float:
+    """Fraction of runs that converged to the correct plurality opinion."""
+    results = list(results)
+    if not results:
+        raise ValueError("no results")
+    return sum(r.succeeded for r in results) / len(results)
+
+
+def failure_breakdown(results: Iterable[RunResult]) -> dict:
+    """Histogram of failure reasons (empty when everything succeeded)."""
+    counts: dict = {}
+    for r in results:
+        if not r.succeeded:
+            key = r.failure or (
+                "wrong_opinion" if r.converged else "not_converged"
+            )
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class TimeSummary:
+    """Parallel-time statistics over the successful runs of a sweep point."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    minimum: float
+    maximum: float
+
+    def describe(self) -> str:
+        return (
+            f"mean={self.mean:.1f} ± {self.std:.1f} "
+            f"(median {self.median:.1f}, n={self.count})"
+        )
+
+
+def time_summary(
+    results: Sequence[RunResult], successful_only: bool = True
+) -> TimeSummary:
+    """Summarize parallel times; by default over successful runs only."""
+    times: List[float] = [
+        r.parallel_time
+        for r in results
+        if (r.succeeded if successful_only else True)
+    ]
+    if not times:
+        raise ValueError("no qualifying runs to summarize")
+    arr = np.asarray(times)
+    return TimeSummary(
+        count=len(times),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        median=float(np.median(arr)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

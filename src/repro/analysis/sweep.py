@@ -1,0 +1,91 @@
+"""Replicated-run and parameter-sweep harness.
+
+This is the layer the benchmarks and the CLI drive: run a protocol
+factory over seeded replications (and over sweep points), collect
+:class:`RunResult` lists, and print the aligned tables that EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+from ..engine.rng import seeds_for
+from ..engine.scheduler import MatchingScheduler, Scheduler
+from ..engine.simulation import RunResult, simulate
+
+ProtocolFactory = Callable[[], Protocol]
+ConfigFactory = Callable[[int], PopulationConfig]
+
+
+def replicate(
+    protocol_factory: ProtocolFactory,
+    config_factory: ConfigFactory,
+    *,
+    replications: int,
+    base_seed: int = 0,
+    scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    max_parallel_time: Optional[float] = None,
+    check_every_parallel_time: float = 2.0,
+) -> List[RunResult]:
+    """Run ``replications`` seeded copies of one experimental point.
+
+    ``config_factory`` receives a seed so that workloads with a random
+    component (shuffled assignments) also vary across replications.  The
+    time budget defaults to the protocol's own estimate when it provides
+    ``default_max_time`` / ``params.default_max_time``.
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    results: List[RunResult] = []
+    for i, seed in enumerate(seeds_for(base_seed, replications)):
+        protocol = protocol_factory()
+        config = config_factory(i)
+        budget = max_parallel_time
+        if budget is None:
+            budget = _default_budget(protocol, config)
+        scheduler = (
+            scheduler_factory() if scheduler_factory else MatchingScheduler(0.25)
+        )
+        results.append(
+            simulate(
+                protocol,
+                config,
+                seed=seed,
+                scheduler=scheduler,
+                max_parallel_time=budget,
+                check_every_parallel_time=check_every_parallel_time,
+            )
+        )
+    return results
+
+
+def _default_budget(protocol: Protocol, config: PopulationConfig) -> float:
+    params = getattr(protocol, "params", None)
+    if params is not None and hasattr(params, "default_max_time"):
+        return float(params.default_max_time(config.n, config.k))
+    return 500.0 * (config.k + 1) * max(1.0, float(config.n)) ** 0.0 + 5000.0
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain-text aligned table (the benches print these)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,93 @@
+"""Theoretical predictions from the paper's theorems and related work.
+
+These functions return the *driver* quantities that the theorems bound
+(up to constants), used by the experiment harness to check measured
+scaling shapes: e.g. Theorem 1(1) predicts parallel time Θ(k · log n), so
+``measured_time / simple_time_driver(n, k)`` should be stable across a
+sweep.  All logarithms are base 2 (constants are absorbed by the fits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log2n(n: float) -> float:
+    """log₂ n, floored at 1 to keep drivers positive for tiny n."""
+    return max(1.0, float(np.log2(max(n, 2))))
+
+
+# ----------------------------------------------------------------------
+# Parallel-time drivers (Theorems 1 and 2)
+# ----------------------------------------------------------------------
+def simple_time_driver(n: int, k: int) -> float:
+    """Theorem 1(1): SimpleAlgorithm runs in O(k · log n) parallel time."""
+    return k * log2n(n)
+
+
+def unordered_time_driver(n: int, k: int) -> float:
+    """Theorem 1(2): unordered variant, O(k · log n + log² n)."""
+    return k * log2n(n) + log2n(n) ** 2
+
+
+def improved_time_driver(n: int, x_max: int) -> float:
+    """Theorem 2: ImprovedAlgorithm, O(n/x_max · log n + log² n)."""
+    return (n / max(x_max, 1)) * log2n(n) + log2n(n) ** 2
+
+
+def init_interactions_driver(n: int, k: int) -> float:
+    """Lemma 3(1): initialization ends within O(n · (k + log n)) interactions."""
+    return n * (k + log2n(n))
+
+
+def subpopulation_hour_driver(n: int, x_j: int) -> float:
+    """Lemma 7(3): one junta-clock hour costs Θ((n²/x_j) · log n) interactions."""
+    return (n * n / max(x_j, 1)) * log2n(n)
+
+
+def broadcast_time_driver(n: int) -> float:
+    """One-way epidemic completes in Θ(log n) parallel time [5]."""
+    return log2n(n)
+
+
+def leader_election_time_driver(n: int) -> float:
+    """[23]-style leader election: Θ(log² n) parallel time."""
+    return log2n(n) ** 2
+
+
+# ----------------------------------------------------------------------
+# State-space sizes (Section 1 comparison table and Figure 1)
+# ----------------------------------------------------------------------
+def simple_states_driver(n: int, k: int) -> float:
+    """Theorem 1: O(k + log n) states per agent."""
+    return k + log2n(n)
+
+
+def improved_states_driver(n: int, k: int) -> float:
+    """Theorem 2: O(k · log log n + log n) states per agent."""
+    return k * max(1.0, np.log2(log2n(n))) + log2n(n)
+
+
+def always_correct_lower_bound(k: int) -> float:
+    """Natale & Ramezani [29]: any always-correct protocol needs Ω(k²) states."""
+    return float(k) ** 2
+
+
+def natale_ramezani_upper_bound(k: int) -> float:
+    """[29]: the best known always-correct protocol uses O(k¹¹) states."""
+    return float(k) ** 11
+
+
+def ordered_always_correct_bound(k: int) -> float:
+    """Gąsieniec et al. [22]: O(k⁶) states for ordered opinions."""
+    return float(k) ** 6
+
+
+def approximate_bias_threshold(n: int) -> float:
+    """[4, 7]: approximate protocols need bias Ω(√(n log n)) to be correct."""
+    return float(np.sqrt(n * log2n(n)))
+
+
+def tournaments_driver(n: int, k: int, x_max: int) -> float:
+    """Expected tournament counts: k−1 for Simple, O(n/x_max) for Improved."""
+    return min(k - 1.0, n / max(x_max, 1))

@@ -1,0 +1,139 @@
+"""Tournament-level run tracing.
+
+:class:`TournamentTraceRecorder` watches a SimpleAlgorithm-family run and
+reconstructs the narrative the paper's proofs follow: when each tournament
+started, which opinion defended, which challenged, who won, and when the
+final broadcast fired.  Used by ``examples/tournament_trace.py`` and handy
+when debugging protocol changes.
+
+The recorder samples the state (it never mutates it), so attaching it does
+not perturb the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+import numpy as np
+
+from ..core.common import COLLECTOR, PHASES_PER_TOURNAMENT
+from ..engine.recorder import Recorder
+
+
+@dataclass
+class TournamentRecord:
+    """What happened in one tournament."""
+
+    index: int
+    start_time: float
+    defender: Optional[int] = None
+    challenger: Optional[int] = None
+    winner: Optional[int] = None
+    end_time: Optional[float] = None
+
+    def describe(self) -> str:
+        challenger = self.challenger if self.challenger is not None else "-"
+        winner = self.winner if self.winner is not None else "?"
+        return (
+            f"t{self.index}: defender {self.defender} vs challenger "
+            f"{challenger} -> {winner}"
+        )
+
+
+def _modal_opinion(state: Any, mask: np.ndarray) -> Optional[int]:
+    """Most common positive opinion among ``mask`` agents, None if empty."""
+    opinions = state.opinion[mask]
+    opinions = opinions[opinions > 0]
+    if opinions.size == 0:
+        return None
+    counts = np.bincount(opinions)
+    return int(counts.argmax())
+
+
+class TournamentTraceRecorder(Recorder):
+    """Reconstructs the tournament timeline of a run.
+
+    Attributes after the run:
+        tournaments: list of :class:`TournamentRecord`.
+        winner_time: parallel time at which the first winner bit appeared.
+        init_time: parallel time at which the first agent left phase −1.
+    """
+
+    def __init__(self, every_parallel_time: float = 2.0):
+        self.every_parallel_time = every_parallel_time
+        self.tournaments: List[TournamentRecord] = []
+        self.winner_time: Optional[float] = None
+        self.init_time: Optional[float] = None
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self, state: Any, n: int) -> None:
+        self._n = n
+
+    def on_sample(self, interactions: int, state: Any) -> None:
+        self._observe(interactions / self._n, state)
+
+    def on_end(self, interactions: int, state: Any) -> None:
+        self._observe(interactions / self._n, state)
+        self._finalize(state)
+
+    # ------------------------------------------------------------------
+    def _observe(self, time: float, state: Any) -> None:
+        top_phase = int(state.phase.max())
+        if top_phase < 0:
+            return
+        if self.init_time is None:
+            self.init_time = time
+        origin = state.origin
+        if top_phase >= origin:
+            index = (top_phase - origin) // PHASES_PER_TOURNAMENT
+            while len(self.tournaments) <= index:
+                record = TournamentRecord(
+                    index=len(self.tournaments), start_time=time
+                )
+                if self.tournaments:
+                    self.tournaments[-1].end_time = time
+                self.tournaments.append(record)
+            self._update_current(time, state)
+        if self.winner_time is None and bool(state.winner.any()):
+            self.winner_time = time
+
+    def _update_current(self, time: float, state: Any) -> None:
+        record = self.tournaments[-1]
+        collectors = state.role == COLLECTOR
+        defender = _modal_opinion(state, collectors & state.defender)
+        challenger = _modal_opinion(state, collectors & state.challenger)
+        if defender is not None:
+            record.defender = defender
+        if challenger is not None:
+            record.challenger = challenger
+
+    def _finalize(self, state: Any) -> None:
+        # Winners: the defender surviving each tournament is the defender
+        # observed at the start of the next one.
+        for current, successor in zip(self.tournaments, self.tournaments[1:]):
+            current.winner = successor.defender
+        if self.tournaments:
+            last = self.tournaments[-1]
+            if bool(state.winner.any()):
+                winners = state.opinion[state.winner]
+                winners = winners[winners > 0]
+                if winners.size:
+                    last.winner = int(np.bincount(winners).argmax())
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Multi-line human-readable timeline."""
+        lines = []
+        if self.init_time is not None:
+            lines.append(f"initialization ended at t={self.init_time:.0f}")
+        for record in self.tournaments:
+            span = (
+                f"[{record.start_time:.0f}"
+                + (f"..{record.end_time:.0f}]" if record.end_time else "..]")
+            )
+            lines.append(f"{span:>16}  {record.describe()}")
+        if self.winner_time is not None:
+            lines.append(f"winner broadcast began at t={self.winner_time:.0f}")
+        return "\n".join(lines) if lines else "(no tournaments observed)"

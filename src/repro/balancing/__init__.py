@@ -1,0 +1,15 @@
+"""Discrete load balancing by pairwise averaging."""
+
+from .averaging import (
+    LoadBalancingProtocol,
+    LoadBalancingState,
+    averaging_step,
+    discrepancy,
+)
+
+__all__ = [
+    "LoadBalancingProtocol",
+    "LoadBalancingState",
+    "averaging_step",
+    "discrepancy",
+]

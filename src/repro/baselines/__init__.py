@@ -1,0 +1,12 @@
+"""Baselines the paper positions itself against."""
+
+from .oracle_tournament import OracleTournamentResult, oracle_tournament
+from .usd import UNDECIDED, UndecidedStateDynamics, usd_step
+
+__all__ = [
+    "OracleTournamentResult",
+    "UNDECIDED",
+    "UndecidedStateDynamics",
+    "oracle_tournament",
+    "usd_step",
+]

@@ -1,0 +1,115 @@
+"""Oracle-synchronized tournament baseline.
+
+An idealization of SimpleAlgorithm used to *decompose* its running time:
+the same k − 1 defender/challenger matches, but with perfect global
+synchronization — no initialization, no phase clock, no roles; each match
+runs the cancel/split exact majority on a dedicated sub-population until
+one sign is extinct.  The gap between this baseline and the full protocol
+measures the price of distributed synchronization (clock + roles +
+phases), which the ablation benchmark reports.
+
+This is a harness-level baseline (it uses global knowledge), not a
+population protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..engine.population import PopulationConfig
+from ..engine.rng import RngLike, make_rng
+from ..engine.scheduler import Scheduler, SequentialScheduler
+from ..majority.cancel_split import cancel_split_step, majority_levels
+
+
+@dataclass
+class OracleTournamentResult:
+    """Outcome of an oracle-synchronized tournament sequence."""
+
+    winner: int
+    interactions: int
+    parallel_time: float
+    match_times: List[float]
+    correct: Optional[bool]
+
+
+def _run_match(
+    x_a: int,
+    x_b: int,
+    level_slack: int,
+    rng: np.random.Generator,
+    scheduler: Scheduler,
+    max_parallel_time: float,
+) -> tuple:
+    """One match: returns (a_won, interactions spent)."""
+    n_players = x_a + x_b
+    if x_b == 0:
+        return True, 0
+    if x_a == 0:
+        return False, 0
+    if n_players < 2:
+        return x_a >= x_b, 0
+    sign = np.zeros(n_players, dtype=np.int8)
+    sign[:x_a] = 1
+    sign[x_a:] = -1
+    rng.shuffle(sign)
+    expo = np.zeros(n_players, dtype=np.int64)
+    max_level = majority_levels(n_players, level_slack)
+    spent = 0
+    budget = int(max_parallel_time * n_players)
+    for u, v in scheduler.batches(n_players, rng):
+        cancel_split_step(sign, expo, u, v, max_level)
+        spent += int(u.size)
+        if spent % n_players < u.size:
+            positives = int((sign > 0).sum())
+            negatives = int((sign < 0).sum())
+            if positives == 0 or negatives == 0:
+                # Ties (both extinct) go to the defender, as in Lemma 11.
+                return negatives == 0, spent
+        if spent >= budget:
+            return int((sign > 0).sum()) >= int((sign < 0).sum()), spent
+
+
+def oracle_tournament(
+    config: PopulationConfig,
+    *,
+    seed: RngLike = None,
+    level_slack: int = 2,
+    max_parallel_time_per_match: float = 500.0,
+) -> OracleTournamentResult:
+    """Run k − 1 perfectly synchronized tournaments on ``config``.
+
+    Parallel time is normalized to the full population ``n`` (a match
+    among m players that takes I interactions contributes I/n), making
+    the result directly comparable to the protocols' parallel times.
+    """
+    rng = make_rng(seed)
+    scheduler = SequentialScheduler()
+    counts = config.counts()
+    defender = 1
+    total_interactions = 0
+    match_times: List[float] = []
+    for challenger in range(2, config.k + 1):
+        a_won, spent = _run_match(
+            int(counts[defender - 1]),
+            int(counts[challenger - 1]),
+            level_slack,
+            rng,
+            scheduler,
+            max_parallel_time_per_match,
+        )
+        total_interactions += spent
+        match_times.append(spent / config.n)
+        if not a_won:
+            defender = challenger
+    expected = config.plurality_opinion if config.has_unique_plurality else None
+    return OracleTournamentResult(
+        winner=defender,
+        interactions=total_interactions,
+        parallel_time=total_interactions / config.n,
+        match_times=match_times,
+        correct=None if expected is None else defender == expected,
+    )

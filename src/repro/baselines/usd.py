@@ -1,0 +1,70 @@
+"""Undecided-state dynamics (USD) — the approximate plurality baseline.
+
+The paper contrasts its *exact* protocols with approximate consensus
+dynamics such as [7] (and the classic 3-state protocol [4] for k = 2):
+those are fast and tiny-state but only identify the plurality when the
+initial bias is Ω(√(n log n)).  This module implements the classic
+k-opinion undecided-state dynamics:
+
+* two agents with different opinions meet → the responder becomes
+  undecided;
+* an opinionated initiator meets an undecided responder → the responder
+  adopts the initiator's opinion.
+
+Benchmark E9 demonstrates the paper's motivation: USD converges quickly
+but picks the *wrong* opinion roughly half the time at bias 1, while the
+paper's protocols stay exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+
+UNDECIDED = 0
+
+
+def usd_step(opinion: np.ndarray, u: np.ndarray, v: np.ndarray) -> None:
+    """One-way undecided-state transition on (u, v) pairs."""
+    ou, ov = opinion[u], opinion[v]
+    clash = (ou != UNDECIDED) & (ov != UNDECIDED) & (ou != ov)
+    adopt = (ou != UNDECIDED) & (ov == UNDECIDED)
+    opinion[v[clash]] = UNDECIDED
+    opinion[v[adopt]] = ou[adopt]
+
+
+class UndecidedStateDynamics(Protocol):
+    """Approximate plurality consensus via undecided-state dynamics."""
+
+    name = "undecided_state_dynamics"
+
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> np.ndarray:
+        return config.opinions.astype(np.int64).copy()
+
+    def interact(
+        self,
+        state: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        usd_step(state, u, v)
+
+    def has_converged(self, state: np.ndarray) -> bool:
+        first = state[0]
+        return first != UNDECIDED and bool((state == first).all())
+
+    def output(self, state: np.ndarray) -> np.ndarray:
+        return state.copy()
+
+    def progress(self, state: np.ndarray) -> Dict[str, float]:
+        return {
+            "undecided": float((state == UNDECIDED).sum()),
+            "distinct_opinions": float(np.unique(state[state != UNDECIDED]).size),
+        }

@@ -1,0 +1,17 @@
+"""Epidemic (rumor spreading) primitives."""
+
+from .epidemic import (
+    OneWayEpidemic,
+    max_broadcast,
+    one_way_infect,
+    two_way_infect,
+    value_broadcast,
+)
+
+__all__ = [
+    "OneWayEpidemic",
+    "max_broadcast",
+    "one_way_infect",
+    "two_way_infect",
+    "value_broadcast",
+]

@@ -1,0 +1,75 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run E1 [E2 ...] [--scale quick|full]
+    repro-experiments run all --scale full
+
+Each experiment prints the table recorded in EXPERIMENTS.md and a PASS /
+FAIL line per shape check.  The same code paths back the pytest
+benchmarks under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import experiments
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduction experiments for exact plurality consensus.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one or more experiments")
+    runner.add_argument(
+        "names",
+        nargs="+",
+        help="experiment ids (e.g. E1 E5), or 'all'",
+    )
+    runner.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="sweep sizing (default: quick)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        titles = experiments.titles()
+        for name in experiments.names():
+            print(f"{name:>4}  {titles[name]}")
+        return 0
+
+    requested = args.names
+    if len(requested) == 1 and requested[0].lower() == "all":
+        requested = experiments.names()
+    unknown = [name for name in requested if name not in experiments.names()]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(experiments.names())}", file=sys.stderr)
+        return 2
+
+    all_passed = True
+    for name in requested:
+        started = time.time()
+        report = experiments.run(name, scale=args.scale)
+        elapsed = time.time() - started
+        print(report.render())
+        print(f"({elapsed:.1f}s)\n")
+        all_passed &= report.passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

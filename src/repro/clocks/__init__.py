@@ -1,0 +1,31 @@
+"""Phase clocks: the leaderless clock of [1] and the junta clock of [11]."""
+
+from .junta import (
+    JuntaClockState,
+    JuntaPhaseClock,
+    form_junta_step,
+    hours,
+    junta_clock_step,
+    junta_max_level,
+    subpopulation_summary,
+)
+from .leaderless import (
+    LeaderlessClockState,
+    LeaderlessPhaseClock,
+    clock_psi,
+    leaderless_clock_step,
+)
+
+__all__ = [
+    "JuntaClockState",
+    "JuntaPhaseClock",
+    "LeaderlessClockState",
+    "LeaderlessPhaseClock",
+    "clock_psi",
+    "form_junta_step",
+    "hours",
+    "junta_clock_step",
+    "junta_max_level",
+    "leaderless_clock_step",
+    "subpopulation_summary",
+]

@@ -1,0 +1,200 @@
+"""Junta election (FormJunta) and the junta-driven phase clock of [11].
+
+Paper, Section 4: every subpopulation (opinion) runs its own phase clock in
+*meaningful* interactions only (both agents share the opinion).  The clock
+is the O(log log n)-state construction of Berenbrink, Elsässer, Friedetzky,
+Kaaser, Kling, and Radzik [11]:
+
+1.  **FormJunta** — agents carry a ``level`` (initially 0) and an ``active``
+    bit.  An active initiator meeting an agent on the same or higher level
+    increments its level; meeting a lower level makes it inactive.  Agents
+    reaching the maximum level ``ℓ_max = ⌊log₂ log₂ n⌋ − 2`` join the junta
+    (the paper deliberately uses the *population-wide* ``n`` here because
+    agents do not know their subpopulation size x_j; Claim 8 shows the
+    junta is still non-empty and of size ≤ x_j^0.98 when x_j ≥ √n).
+
+2.  **Clock** — every agent has a position ``p``.  A junta initiator sets
+    ``p[u] = max(p[u], p[v] + 1)``; a non-junta initiator sets
+    ``p[u] = max(p[u], p[v])``.  The *hour* of an agent is ``⌊p / m⌋`` for
+    a constant ``m``; each completed hour is one tick ("passing through
+    zero") of the phase clock.
+
+Lemma 7's content — subpopulation hour length Θ((n²/x_j) log n) global
+interactions, junta size bounds — is measured by benchmark E7 via the
+standalone protocol below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+
+
+def junta_max_level(n: int, offset: int = 2) -> int:
+    """``ℓ_max = ⌊log₂ log₂ n⌋ − offset``, clamped to at least 1."""
+    if n < 4:
+        return 1
+    return max(1, int(np.floor(np.log2(np.log2(n)))) - offset)
+
+
+def form_junta_step(
+    level: np.ndarray,
+    active: np.ndarray,
+    junta: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    ell_max: int,
+) -> None:
+    """Apply one FormJunta transition to (already filtered) pairs.
+
+    Only the initiator ``u`` updates.  The caller filters to meaningful
+    pairs (same opinion, still in the pre-tournament part of the protocol).
+    """
+    if u.size == 0:
+        return
+    acting = active[u]
+    up = acting & (level[v] >= level[u])
+    down = acting & ~up
+    climbers = u[up]
+    level[climbers] += 1
+    active[u[down]] = False
+    crowned = climbers[level[climbers] >= ell_max]
+    if crowned.size:
+        level[crowned] = ell_max
+        active[crowned] = False
+        junta[crowned] = True
+
+
+def junta_clock_step(
+    position: np.ndarray,
+    junta: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+) -> None:
+    """Apply one clock transition to (already filtered) pairs.
+
+    Junta initiators push the maximum forward by one; everyone else only
+    copies the maximum (a max-epidemic with a self-advancing frontier).
+    """
+    if u.size == 0:
+        return
+    bump = junta[u].astype(position.dtype)
+    position[u] = np.maximum(position[u], position[v] + bump)
+
+
+def hours(position: np.ndarray, m: int) -> np.ndarray:
+    """Completed hours (clock ticks) for each agent: ``⌊p / m⌋``."""
+    return position // m
+
+
+@dataclass
+class JuntaClockState:
+    """State of the standalone per-subpopulation junta clock."""
+
+    opinion: np.ndarray
+    level: np.ndarray
+    active: np.ndarray
+    junta: np.ndarray
+    position: np.ndarray
+    ell_max: int
+    m: int
+    target_hours: int
+    k: int
+
+
+class JuntaPhaseClock(Protocol):
+    """Standalone protocol: each opinion runs FormJunta + clock.
+
+    The population's opinion assignment defines the subpopulations.
+    Convergence: the *first* agent (of any opinion) completes
+    ``target_hours`` hours — mirroring how the ImprovedAlgorithm uses the
+    clocks (the first agent to reach phase 0 freezes everyone else).
+    """
+
+    name = "junta_phase_clock"
+
+    def __init__(
+        self,
+        m: int = 2,
+        target_hours: int = 4,
+        level_offset: int = 2,
+    ):
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if target_hours < 1:
+            raise ValueError("target_hours must be >= 1")
+        self._m = m
+        self._target = target_hours
+        self._offset = level_offset
+
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> JuntaClockState:
+        n = config.n
+        return JuntaClockState(
+            opinion=config.opinions.copy(),
+            level=np.zeros(n, dtype=np.int64),
+            active=np.ones(n, dtype=bool),
+            junta=np.zeros(n, dtype=bool),
+            position=np.zeros(n, dtype=np.int64),
+            ell_max=junta_max_level(n, self._offset),
+            m=self._m,
+            target_hours=self._target,
+            k=config.k,
+        )
+
+    def interact(
+        self,
+        state: JuntaClockState,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        meaningful = state.opinion[u] == state.opinion[v]
+        mu, mv = u[meaningful], v[meaningful]
+        if mu.size == 0:
+            return
+        form_junta_step(state.level, state.active, state.junta, mu, mv, state.ell_max)
+        junta_clock_step(state.position, state.junta, mu, mv)
+
+    def has_converged(self, state: JuntaClockState) -> bool:
+        return bool(hours(state.position, state.m).max() >= state.target_hours)
+
+    def output(self, state: JuntaClockState) -> np.ndarray:
+        return np.ones_like(state.position)
+
+    def progress(self, state: JuntaClockState) -> Dict[str, float]:
+        agent_hours = hours(state.position, state.m)
+        stats: Dict[str, float] = {
+            "junta_total": float(state.junta.sum()),
+            "max_hour": float(agent_hours.max()),
+        }
+        for j in range(1, state.k + 1):
+            members = state.opinion == j
+            if not members.any():
+                continue
+            stats[f"junta_{j}"] = float(state.junta[members].sum())
+            stats[f"hour_max_{j}"] = float(agent_hours[members].max())
+            stats[f"hour_min_{j}"] = float(agent_hours[members].min())
+        return stats
+
+
+def subpopulation_summary(state: JuntaClockState) -> Dict[int, Tuple[int, int, int]]:
+    """Per-opinion (size, junta size, max hour) snapshot for tests/benches."""
+    agent_hours = hours(state.position, state.m)
+    out: Dict[int, Tuple[int, int, int]] = {}
+    for j in range(1, state.k + 1):
+        members = state.opinion == j
+        if not members.any():
+            continue
+        out[j] = (
+            int(members.sum()),
+            int(state.junta[members].sum()),
+            int(agent_hours[members].max()),
+        )
+    return out

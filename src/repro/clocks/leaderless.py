@@ -1,0 +1,135 @@
+"""The leaderless phase clock of Alistarh, Aspnes, and Gelashvili [1].
+
+Paper, Section 3.1: every clock agent keeps a counter ``count`` used modulo
+``Ψ = Θ(log n)``.  When two clock agents interact, the one with the lower
+counter value w.r.t. the circular order modulo ``Ψ`` increments its count
+(ties broken arbitrarily — here: the initiator increments).  When a counter
+passes through zero the agent increments its ``phase``.
+
+The simulator stores ``phase`` as an *absolute* integer (DESIGN.md §4.2);
+the state-complexity accounting uses the true Θ(log n)-value counter plus
+the mod-10 phase, exactly as the paper's Figure 1 does.
+
+The advance rate: every clock–clock interaction increments exactly one
+counter, so with ``c`` clock agents the per-agent tick rate is ``c / n²``
+per interaction and one phase (one full wrap of ``Ψ``) takes about
+``Ψ · n² / c`` interactions, i.e. ``Θ(log n)`` parallel time for
+``c = Θ(n)``.  Tests verify both the skew bound and this duration scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+
+
+def clock_psi(n: int, gamma: float = 1.0) -> int:
+    """The counter period ``Ψ = ceil(gamma * log2 n)``, floored at 8.
+
+    The floor keeps the circular order readable: an agent more than ``Ψ/2``
+    ticks behind is mistaken for being ahead, so ``Ψ`` must comfortably
+    exceed the natural counter spread even for small ``n``.
+    """
+    return max(8, int(np.ceil(gamma * np.log2(max(n, 2)))))
+
+
+def leaderless_clock_step(
+    count: np.ndarray,
+    phase: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    psi: int,
+) -> None:
+    """Apply the clock transition to clock–clock pairs ``(u, v)``.
+
+    The caller is responsible for filtering ``u``/``v`` down to pairs where
+    both agents run the clock.  Counters live in ``[0, psi)``; a wrap
+    increments the agent's absolute ``phase``.
+    """
+    if u.size == 0:
+        return
+    half = psi // 2
+    diff = (count[u] - count[v]) % psi
+    # diff == 0: tie -> initiator u increments.  diff > half: u is behind.
+    u_ticks = (diff == 0) | (diff > half)
+    tick_u = u[u_ticks]
+    tick_v = v[~u_ticks]
+    for ticked in (tick_u, tick_v):
+        if ticked.size == 0:
+            continue
+        count[ticked] += 1
+        wrapped = ticked[count[ticked] >= psi]
+        if wrapped.size:
+            count[wrapped] = 0
+            phase[wrapped] += 1
+
+
+@dataclass
+class LeaderlessClockState:
+    """State of the standalone clock protocol (all agents are clocks)."""
+
+    count: np.ndarray
+    phase: np.ndarray
+    psi: int
+    target_phases: int
+
+
+class LeaderlessPhaseClock(Protocol):
+    """Standalone clock: every agent is a clock agent.
+
+    Converges once every agent completed ``target_phases`` phases; tests
+    and benchmark E-clock measure the per-phase duration and the skew
+    (max − min phase), which stays ≤ 1 w.h.p.
+    """
+
+    name = "leaderless_phase_clock"
+
+    def __init__(self, gamma: float = 1.0, target_phases: int = 8):
+        if target_phases < 1:
+            raise ValueError("target_phases must be >= 1")
+        self._gamma = gamma
+        self._target = target_phases
+
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> LeaderlessClockState:
+        n = config.n
+        return LeaderlessClockState(
+            count=np.zeros(n, dtype=np.int64),
+            phase=np.zeros(n, dtype=np.int64),
+            psi=clock_psi(n, self._gamma),
+            target_phases=self._target,
+        )
+
+    def interact(
+        self,
+        state: LeaderlessClockState,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        leaderless_clock_step(state.count, state.phase, u, v, state.psi)
+
+    def has_converged(self, state: LeaderlessClockState) -> bool:
+        return bool(state.phase.min() >= state.target_phases)
+
+    def output(self, state: LeaderlessClockState) -> np.ndarray:
+        return np.ones_like(state.phase)
+
+    def progress(self, state: LeaderlessClockState) -> Dict[str, float]:
+        return {
+            "phase_min": float(state.phase.min()),
+            "phase_max": float(state.phase.max()),
+            "skew": float(state.phase.max() - state.phase.min()),
+        }
+
+    def check_invariants(self, state: Any) -> None:
+        from ..engine.errors import InvariantViolation
+
+        if (state.count < 0).any() or (state.count >= state.psi).any():
+            raise InvariantViolation("clock counter escaped [0, psi)")

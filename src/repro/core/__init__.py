@@ -1,0 +1,36 @@
+"""The paper's three plurality-consensus protocols."""
+
+from .common import (
+    CLOCK,
+    COLLECTOR,
+    PHASES_PER_TOURNAMENT,
+    PLAYER,
+    POP_A,
+    POP_B,
+    POP_U,
+    TRACKER,
+    ImprovedParams,
+    SimpleParams,
+    UnorderedParams,
+    role_counts,
+    with_params,
+)
+from .simple import SimpleAlgorithm, SimpleState
+
+__all__ = [
+    "CLOCK",
+    "COLLECTOR",
+    "ImprovedParams",
+    "PHASES_PER_TOURNAMENT",
+    "PLAYER",
+    "POP_A",
+    "POP_B",
+    "POP_U",
+    "SimpleAlgorithm",
+    "SimpleParams",
+    "SimpleState",
+    "TRACKER",
+    "UnorderedParams",
+    "role_counts",
+    "with_params",
+]

@@ -1,0 +1,279 @@
+"""Shared building blocks of the three plurality-consensus protocols.
+
+Roles (Section 3): every agent carries a ``role`` in
+{collector, clock, tracker, player}; the role-specific variables are only
+maintained by agents of that role (this is what keeps the state space at
+O(k + log n), see Figure 1 and `repro.analysis.state_space`).
+
+Phase layout: the simulator stores *absolute* phases (DESIGN.md §4.2).
+Within a tournament, phases mod 10 mean:
+
+=====  =======================================================
+ 0     setup (challenger marking, ℓ initialization)
+ 2     cancellation (load balancing on ℓ)
+ 3–4   lineup (collectors recruit players)
+ 4–8   match (cancel/split exact majority among players)
+ 7–8   resolve (match output dissemination, overlapping the
+       tail of the match — see DESIGN.md §4.3)
+ 8     conclusion (defender/challenger bits updated)
+ 1, 9  separation phases (no collector/player actions)
+=====  =======================================================
+
+The paper assigns one phase each to lineup (4) and match (6) because [20]
+finishes within a single Θ(log n) phase; our unsynchronized cancel/split
+substitute needs a constant-factor wider window (EXPERIMENTS.md records
+the calibration), so the lineup/match/resolve windows are widened within
+the same 10-phase cycle.  Correctness is unaffected: recruiting seeds a
+fresh ±1 token whenever it happens, the signed token sum is invariant
+under the match rules, and resolve only spreads signs originating from
+live tokens.
+
+Conclusion (the paper's phase 8) is implemented as a *monotone verdict
+epidemic* instead of per-collector sampling of a single player: players
+whose match output is B raise a "challenger won tournament t" tag that
+spreads to all agents, and every collector applies its stored verdict
+exactly once when it enters the next tournament.  The stable majority
+protocol of [20] guarantees a unanimous player output (Lemma 11(3)), which
+makes the paper's one-sample conclusion safe even at exact ties between
+equal-support opinions; our substitute can leave one straggler token of
+each sign at a tie, so a one-sample conclusion would split the defender
+bits across two opinions.  The monotone verdict makes the conclusion
+globally consistent in every case — at a tie either outcome is a correct
+plurality among the opinions seen so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from ..clocks.leaderless import clock_psi
+from ..engine.errors import ConfigurationError
+from ..leader.coin_race import le_rounds
+from ..majority.cancel_split import majority_levels
+
+# Roles
+COLLECTOR = 0
+CLOCK = 1
+TRACKER = 2
+PLAYER = 3
+#: Appendix C only: agents that lost a single-token duel and count toward
+#: the initialization deadline instead of taking a tournament role.
+COUNTING = 4
+ROLE_NAMES = {COLLECTOR: "collector", CLOCK: "clock", TRACKER: "tracker", PLAYER: "player"}
+
+# Player opinions during a match
+POP_U = 0
+POP_A = 1
+POP_B = 2
+
+#: Phases per tournament (paper: phases 0..9, odd ones are separators).
+PHASES_PER_TOURNAMENT = 10
+
+#: Phase-within-tournament layout (see module docstring).  Setup spills
+#: into phase 1 so that a challenger announcement arriving late in phase 0
+#: still marks its collectors (and fixes their ℓ) before cancellation.
+SETUP_PM = 0
+SETUP_PMS = (0, 1)
+CANCEL_PM = 2
+LINEUP_PMS = (3, 4)
+MATCH_PMS = (4, 5, 6, 7, 8)
+RESOLVE_PMS = (7, 8)
+#: Phases in which a player still holding a live B token seeds the
+#: monotone "challenger won tournament t" verdict (see core.simple
+#: docstring).  Live tokens are used rather than the resolve outputs: the
+#: signed-sum invariant keeps at least one token of the true winner's sign
+#: alive forever, while a stale output trace could outlive its token and
+#: flip a decided match.
+VERDICT_PMS = (8, 9)
+
+
+@dataclass(frozen=True)
+class SimpleParams:
+    """Tunable constants of SimpleAlgorithm (paper defaults where fixed).
+
+    Attributes:
+        clock_gamma: phase-clock period multiplier, ``Ψ = ⌈γ log₂ n⌉``.
+            Controls the Θ(log n) phase length; the paper only requires a
+            "sufficiently large" constant.  Calibrated empirically
+            (EXPERIMENTS.md).
+        init_threshold_factor: the ``5`` in the ``5 log n`` initialization
+            counter target of Algorithm 1.
+        token_cap: the ``10`` bounding tokens per collector (Algorithm 3).
+        majority_level_slack: extra exponent levels for the cancel/split
+            majority beyond ``⌈log₂ n⌉``.
+    """
+
+    clock_gamma: float = 2.5
+    init_threshold_factor: float = 5.0
+    token_cap: int = 10
+    majority_level_slack: int = 2
+    #: Appendix C (k up to (1−ε)n): clock agents decrement their init
+    #: counter only with this probability when meeting a collector — the
+    #: paper's "decrease count[u] by 1/c" modification.  With 1.0 the
+    #: counter drifts upward only once non-collectors outnumber
+    #: collectors, which never happens when most opinions cannot merge
+    #: (k ≫ n/40); a decrement of 1/c moves the tipping point to a
+    #: 1/(c+1) non-collector fraction.
+    init_decrement: float = 1.0
+    #: Appendix C (any k < n): when two single-token collectors of the same
+    #: opinion merge, the loser becomes a *counting agent* instead of
+    #: drawing a tournament role.  Counting agents tick a private counter
+    #: at rate 1/n per initiation (the paper's "initiates an interaction
+    #: with itself" event) and force phase 0 when it reaches
+    #: ``init_threshold`` — a fallback deadline for populations where so
+    #: few agents merge that no clock agent would ever finish counting.
+    #: At phase 0, counting agents convert to clock/tracker/player.
+    counting_agents: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clock_gamma <= 0:
+            raise ConfigurationError("clock_gamma must be positive")
+        if self.init_threshold_factor <= 0:
+            raise ConfigurationError("init_threshold_factor must be positive")
+        if self.token_cap < 2:
+            raise ConfigurationError("token_cap must be >= 2")
+        if not 0 < self.init_decrement <= 1:
+            raise ConfigurationError("init_decrement must be in (0, 1]")
+
+    @classmethod
+    def for_large_k(cls, **overrides) -> "SimpleParams":
+        """Appendix C parameterization supporting k up to (1−ε)·n.
+
+        Uses the fractional counter decrement (1/4) and a doubled token
+        cap, per the modifications sketched in Appendix C.  For k
+        arbitrarily close to n additionally pass ``counting_agents=True``
+        (see DESIGN.md §4.6).
+        """
+        defaults = {"init_decrement": 0.25, "token_cap": 20}
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def psi(self, n: int) -> int:
+        """Clock counter period Ψ."""
+        return clock_psi(n, self.clock_gamma)
+
+    def init_threshold(self, n: int) -> int:
+        """Initialization counter target (the paper's ``5 log n``)."""
+        return max(4, int(np.ceil(self.init_threshold_factor * np.log2(max(n, 2)))))
+
+    def max_level(self, n: int) -> int:
+        """Maximum cancel/split exponent L."""
+        return majority_levels(n, self.majority_level_slack)
+
+    def phase_parallel_time(self, n: int) -> float:
+        """Rough expected parallel time of one phase (for budgets only).
+
+        One phase is Ψ wraps; each clock–clock interaction ticks one
+        counter, and clocks are at least n/10 of the population, so a
+        phase lasts at most about ``Ψ · n / n_clock <= 10 Ψ`` parallel
+        time (typically ~4Ψ).
+        """
+        return 10.0 * self.psi(n)
+
+    def default_max_time(self, n: int, k: int) -> float:
+        """Generous parallel-time budget for a full SimpleAlgorithm run."""
+        log_n = np.log2(max(n, 2))
+        init = 40.0 * (k + log_n)
+        tournaments = (k + 1) * PHASES_PER_TOURNAMENT * self.phase_parallel_time(n)
+        return 3.0 * (init + tournaments + 50.0 * log_n)
+
+
+@dataclass(frozen=True)
+class UnorderedParams(SimpleParams):
+    """Extra constants for the unordered variant (Appendix B).
+
+    Attributes:
+        le_factor / le_slack: number of leader-election coin rounds,
+            ``R = ⌈le_factor · log₂ n⌉ + le_slack``; each round is one
+            clock phase, giving the +log² n runtime term of Theorem 1(2).
+        selection_phases: phases reserved after the election for the
+            initial defender selection broadcast (paper: one phase plus a
+            separator).
+    """
+
+    le_factor: float = 1.5
+    le_slack: int = 2
+    selection_phases: int = 2
+
+    def rounds(self, n: int) -> int:
+        """Leader-election rounds R."""
+        return le_rounds(n, self.le_factor, self.le_slack)
+
+    def tournament_phase_offset(self, n: int) -> int:
+        """First absolute phase of tournament 0 (after LE + selection)."""
+        return self.rounds(n) + self.selection_phases
+
+    def default_max_time(self, n: int, k: int) -> float:
+        base = super().default_max_time(n, k)
+        le = (self.rounds(n) + self.selection_phases) * self.phase_parallel_time(n)
+        return base + 3.0 * le
+
+
+@dataclass(frozen=True)
+class ImprovedParams(UnorderedParams):
+    """Extra constants for the ImprovedAlgorithm (Section 4).
+
+    Attributes:
+        phase_floor_c: agents start at ``phase = −c``; an opinion whose
+            clock never ticks before the first agent reaches phase 0 is
+            pruned (Lemma 10 wants ``c > 3 c₂ / c₁``; the paper calls it a
+            "sufficiently large constant").
+        hour_m_factor: the junta-clock hour is ``m = ⌈factor · log₂ n⌉``
+            position increments.  The paper keeps ``m`` constant because
+            its junta has size x^0.98 and each position increment already
+            costs an epidemic; at simulation scales ``⌊log₂ log₂ n⌋ − 2``
+            caps the junta level at 1, the junta is a constant fraction of
+            the subpopulation, and increments are cheap — scaling ``m``
+            with log n restores the paper's Θ((n²/x_j) log n) hour length,
+            which Lemma 7(4) needs so that every plurality agent ticks
+            before the pruning cut (Lemma 10(2)).
+        junta_level_offset: ``ℓ_max = ⌊log₂ log₂ n⌋ − offset`` (the paper
+            uses offset 2 so that subpopulations of size ≥ √n still elect
+            a junta, Claim 8).
+    """
+
+    phase_floor_c: int = 4
+    hour_m_factor: float = 1.0
+    junta_level_offset: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.phase_floor_c < 1:
+            raise ConfigurationError("phase_floor_c must be >= 1")
+        if self.hour_m_factor <= 0:
+            raise ConfigurationError("hour_m_factor must be positive")
+
+    def hour_m(self, n: int) -> int:
+        """Position increments per hour, ``m = max(2, ⌈factor log₂ n⌉)``."""
+        return max(2, int(np.ceil(self.hour_m_factor * np.log2(max(n, 2)))))
+
+    def significance_threshold(self) -> float:
+        """The implied constant ``c_s``: opinions below ``x_max / c_s`` prune.
+
+        Lemma 10's proof gives ``c_s = (c + 2) c₂ / c₁``; empirically the
+        clock-speed constants ``c₁, c₂`` are close, so ``c_s ≈ c + 2``.
+        """
+        return float(self.phase_floor_c + 2)
+
+    def default_max_time(self, n: int, k: int) -> float:
+        base = super().default_max_time(n, k)
+        log_n = np.log2(max(n, 2))
+        # Pruning: the plurality clock needs c hours; with x_max >= n^(1/2+eps)
+        # each hour is O((n / x_max) log n) <= O(sqrt(n) log n) parallel time.
+        pruning = 4.0 * self.phase_floor_c * np.sqrt(n) * log_n
+        return base + pruning
+
+
+def role_counts(role: np.ndarray) -> Dict[str, int]:
+    """Histogram of roles, keyed by role name."""
+    return {
+        name: int((role == value).sum()) for value, name in ROLE_NAMES.items()
+    }
+
+
+def with_params(params: SimpleParams, **changes) -> SimpleParams:
+    """Return a copy of ``params`` with the given fields replaced."""
+    return replace(params, **changes)

@@ -1,0 +1,147 @@
+"""ImprovedAlgorithm — pruning insignificant opinions before the tournaments.
+
+Implements Section 4 of the paper (Algorithm 5 + Theorem 2).  Every
+subpopulation (opinion) runs its own junta-driven phase clock [11] using
+*meaningful* interactions only (both agents share the opinion).  Clocks of
+large subpopulations tick faster (Lemma 7: one hour costs
+Θ((n²/x_j) log n) interactions), so when the first agent completes the
+``c = phase_floor_c`` hours that lift its phase from ``−c`` to 0, agents of
+insignificant opinions (support ≲ x_max / c_s) have not ticked even once
+(Lemmas 9, 10).  The phase-0 broadcast then:
+
+* keeps an agent a collector iff its clock ticked at least once *and* it
+  still holds tokens (merging ran concurrently during the pruning phase);
+* releases everyone else into the clock/tracker/player roles.
+
+Pruned opinions lose their tokens — that is the deliberate "small chance
+of failure" trade-off; Lemma 10(2) shows the plurality w.h.p. keeps all of
+its tokens.  From phase 0 on, the protocol is exactly the
+UnorderedAlgorithm (leader election, leader-sampled defenders/challengers,
+tournaments), and since pruned opinions have no collectors left they are
+never sampled: the number of tournaments drops from ``k − 1`` to
+``O(n / x_max)``, giving Theorem 2's ``O(n/x_max · log n + log² n)``
+runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..clocks.junta import form_junta_step, junta_clock_step, junta_max_level
+from ..engine.population import PopulationConfig
+from .common import COLLECTOR, ImprovedParams
+from .unordered import UnorderedAlgorithm, UnorderedState
+
+
+@dataclass
+class ImprovedState(UnorderedState):
+    """UnorderedState plus the per-subpopulation junta clocks."""
+
+    jlevel: np.ndarray = None  # type: ignore[assignment]
+    jactive: np.ndarray = None  # type: ignore[assignment]
+    junta: np.ndarray = None  # type: ignore[assignment]
+    jposition: np.ndarray = None  # type: ignore[assignment]
+    ell_max: int = 1
+    hour_m: int = 3
+    floor_c: int = 4
+    #: Support vector at the pruning cut (for experiment introspection).
+    pruned_opinions: int = -1
+
+
+class ImprovedAlgorithm(UnorderedAlgorithm):
+    """The paper's main protocol (Theorem 2)."""
+
+    name = "improved_algorithm"
+
+    def __init__(self, params: Optional[ImprovedParams] = None):
+        super().__init__(params or ImprovedParams())
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> ImprovedState:
+        base = super().init_state(config, rng)
+        n = config.n
+        params: ImprovedParams = self.params  # type: ignore[assignment]
+        state = ImprovedState(
+            **base.__dict__,
+            jlevel=np.zeros(n, dtype=np.int64),
+            jactive=np.ones(n, dtype=bool),
+            junta=np.zeros(n, dtype=bool),
+            jposition=np.zeros(n, dtype=np.int64),
+            ell_max=junta_max_level(n, params.junta_level_offset),
+            hour_m=params.hour_m(n),
+            floor_c=params.phase_floor_c,
+        )
+        # Agents start at phase −c; their clocks must tick c times (or the
+        # phase-0 broadcast must reach them) before the tournaments begin.
+        state.phase.fill(-params.phase_floor_c)
+        return state
+
+    # ------------------------------------------------------------------
+    # Algorithm 5: modified initialization
+    # ------------------------------------------------------------------
+    def _init_rules(self, s: ImprovedState, u, v, pu, pv, ru, rv, rng) -> None:
+        both_pruning = (pu < 0) & (pv < 0)
+        meaningful = both_pruning & (s.opinion[u] == s.opinion[v]) & (s.opinion[u] > 0)
+        mu, mv = u[meaningful], v[meaningful]
+        if mu.size:
+            # Per-subpopulation junta election and clock, meaningful only.
+            form_junta_step(s.jlevel, s.jactive, s.junta, mu, mv, s.ell_max)
+            junta_clock_step(s.jposition, s.junta, mu, mv)
+            ticked = np.minimum(
+                -s.floor_c + s.jposition[mu] // s.hour_m, 0
+            )
+            s.phase[mu] = np.maximum(s.phase[mu], ticked)
+            # Token merging (agents stay collectors until the broadcast).
+            merge = (s.tokens[mu] > 0) & (
+                s.tokens[mu] + s.tokens[mv] <= s.token_cap
+            )
+            givers, takers = mu[merge], mv[merge]
+            s.tokens[takers] += s.tokens[givers]
+            s.tokens[givers] = 0
+            # An agent that completed its c-th hour in this interaction but
+            # holds no tokens is released right away (Line 9).
+            fresh_zero = mu[(s.phase[mu] == 0) & (s.tokens[mu] == 0)]
+            if fresh_zero.size:
+                self._release_agents(s, fresh_zero, rng)
+
+        # Phase-0 receipt (Lines 8-11): decide the role, then join phase 0.
+        for side, p_own, p_other in ((u, pu, pv), (v, pv, pu)):
+            adopt = (p_own < 0) & (p_other >= 0)
+            if not adopt.any():
+                continue
+            joiners = side[adopt]
+            prune = (s.phase[joiners] == -s.floor_c) | (s.tokens[joiners] == 0)
+            self._release_agents(s, joiners[prune], rng)
+            s.phase[joiners] = 0
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def progress(self, s: ImprovedState) -> Dict[str, float]:
+        stats = super().progress(s)
+        stats["junta_total"] = float(s.junta.sum())
+        collectors = s.role == COLLECTOR
+        surviving = np.unique(s.opinion[collectors & (s.tokens > 0)])
+        stats["surviving_opinions"] = float((surviving > 0).sum())
+        stats["tokens_total"] = float(s.tokens.sum())
+        return stats
+
+    def surviving_opinions(self, s: ImprovedState) -> np.ndarray:
+        """Opinions that still have token-holding collectors."""
+        collectors = (s.role == COLLECTOR) & (s.tokens > 0) & (s.opinion > 0)
+        return np.unique(s.opinion[collectors])
+
+    def check_invariants(self, s: ImprovedState) -> None:
+        # Token conservation holds only until pruning destroys tokens, so
+        # the Simple invariant is relaxed: the total may only decrease.
+        if (s.tokens < 0).any() or (s.tokens > s.token_cap).any():
+            from ..engine.errors import InvariantViolation
+
+            raise InvariantViolation("tokens escaped [0, cap]")

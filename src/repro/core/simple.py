@@ -1,0 +1,551 @@
+"""SimpleAlgorithm — exact plurality consensus for ordered opinions.
+
+Implements Section 3 of the paper (Algorithms 1–4 and the aftermath of
+Section 3.4): ``k − 1`` tournaments between a defender and a challenger
+opinion, synchronized by the leaderless phase clock, with the exact
+majority decided by the cancel/split protocol among player agents.
+
+Theorem 1(1): with ``k <= n/40`` opinions numbered ``1..k`` this converges
+w.h.p. to the plurality opinion in O(k · log n) parallel time using
+O(k + log n) states — even when the initial bias is 1.
+
+The transition function is written vectorized over disjoint interaction
+pairs; all rule predicates are evaluated on a snapshot of the
+pre-interaction state, so a batched application equals the sequential one
+(DESIGN.md §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..balancing.averaging import averaging_step
+from ..clocks.leaderless import leaderless_clock_step
+from ..engine.errors import ConfigurationError, InvariantViolation
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+from ..majority.cancel_split import cancel_split_step, resolve_step
+from .common import (
+    CANCEL_PM,
+    CLOCK,
+    COLLECTOR,
+    COUNTING,
+    LINEUP_PMS,
+    MATCH_PMS,
+    PHASES_PER_TOURNAMENT,
+    PLAYER,
+    POP_A,
+    POP_B,
+    POP_U,
+    RESOLVE_PMS,
+    SETUP_PMS,
+    TRACKER,
+    VERDICT_PMS,
+    SimpleParams,
+    role_counts,
+)
+
+
+@dataclass
+class SimpleState:
+    """Per-agent arrays of SimpleAlgorithm.
+
+    ``phase`` is the absolute phase (−1 = initialization); tournament ``t``
+    occupies phases ``10t .. 10t+9``.  The ``*_done`` arrays implement the
+    paper's "do once per phase" statements by remembering the absolute
+    phase in which the action last fired.
+    """
+
+    # Shared
+    role: np.ndarray
+    phase: np.ndarray
+    winner: np.ndarray
+    opinion: np.ndarray
+    # Collector
+    tokens: np.ndarray
+    defender: np.ndarray
+    challenger: np.ndarray
+    ell: np.ndarray
+    concl_done: np.ndarray
+    #: Monotone verdict: the setup phase of the latest tournament known to
+    #: have been won by its challenger (−1 if none).  Seeded by B players,
+    #: spread by max-epidemic, applied by collectors at tournament entry.
+    bwin_tag: np.ndarray
+    # Clock
+    count: np.ndarray
+    # Tracker
+    tcnt: np.ndarray
+    tcnt_done: np.ndarray
+    # Player
+    popinion: np.ndarray
+    msign: np.ndarray
+    mexpo: np.ndarray
+    mout: np.ndarray
+    reset_done: np.ndarray
+    # Initialization bookkeeping
+    has_initiated: np.ndarray
+    #: Appendix C (counting-agent mode): whether the agent ever interacted
+    #: with another agent of its own opinion during initialization.
+    met_same: np.ndarray
+    #: Becomes True once any tracker reached tcnt = k + 1 (enables the
+    #: final-broadcast rules; a cheap guard, not protocol state).
+    aftermath_live: bool
+    #: Absolute phase at which tournament 0 starts (0 for SimpleAlgorithm;
+    #: after leader election + defender selection for the variants).
+    origin: int
+    # Parameters frozen at init time
+    n: int
+    k: int
+    psi: int
+    init_threshold: int
+    token_cap: int
+    max_level: int
+
+    def tournament(self) -> int:
+        """Index of the most advanced tournament (−1 before tournaments)."""
+        top = int(self.phase.max()) - self.origin
+        return top // PHASES_PER_TOURNAMENT if top >= 0 else -1
+
+
+class SimpleAlgorithm(Protocol):
+    """The paper's SimpleAlgorithm (Theorem 1, statement 1)."""
+
+    name = "simple_algorithm"
+
+    def __init__(self, params: Optional[SimpleParams] = None):
+        self.params = params or SimpleParams()
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> SimpleState:
+        n, k = config.n, config.k
+        if n < 4:
+            raise ConfigurationError("SimpleAlgorithm needs n >= 4")
+        return SimpleState(
+            role=np.full(n, COLLECTOR, dtype=np.int8),
+            phase=np.full(n, -1, dtype=np.int64),
+            winner=np.zeros(n, dtype=bool),
+            opinion=config.opinions.astype(np.int64).copy(),
+            tokens=np.ones(n, dtype=np.int64),
+            defender=np.zeros(n, dtype=bool),
+            challenger=np.zeros(n, dtype=bool),
+            ell=np.zeros(n, dtype=np.int64),
+            concl_done=np.full(n, -1, dtype=np.int64),
+            bwin_tag=np.full(n, -1, dtype=np.int64),
+            count=np.zeros(n, dtype=np.int64),
+            tcnt=np.zeros(n, dtype=np.int64),
+            tcnt_done=np.full(n, -1, dtype=np.int64),
+            popinion=np.full(n, POP_U, dtype=np.int8),
+            msign=np.zeros(n, dtype=np.int8),
+            mexpo=np.zeros(n, dtype=np.int64),
+            mout=np.zeros(n, dtype=np.int8),
+            reset_done=np.full(n, -1, dtype=np.int64),
+            has_initiated=np.zeros(n, dtype=bool),
+            met_same=np.zeros(n, dtype=bool),
+            aftermath_live=False,
+            origin=0,
+            n=n,
+            k=k,
+            psi=self.params.psi(n),
+            init_threshold=self.params.init_threshold(n),
+            token_cap=self.params.token_cap,
+            max_level=self.params.max_level(n),
+        )
+
+    # ------------------------------------------------------------------
+    # Transition function
+    # ------------------------------------------------------------------
+    def interact(
+        self,
+        s: SimpleState,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        # Snapshots: all rule predicates below read these, so each pair's
+        # update is a function of the pre-interaction states only.
+        pu, pv = s.phase[u], s.phase[v]
+        ru, rv = s.role[u], s.role[v]
+
+        if (pu < 0).any() or (pv < 0).any():
+            self._init_rules(s, u, v, pu, pv, ru, rv, rng)
+        # Both orientations of each directed rule are evaluated in a single
+        # vectorized call on the doubled arrays: fw holds every agent once
+        # in initiator position and once in responder position.
+        fw = np.concatenate([u, v])
+        bw = np.concatenate([v, u])
+        p_fw = np.concatenate([pu, pv])
+        p_bw = np.concatenate([pv, pu])
+        r_fw = np.concatenate([ru, rv])
+        r_bw = np.concatenate([rv, ru])
+        self._self_rules(s, fw, p_fw)
+        self._pair_rules(s, u, v, pu, pv, ru, rv, fw, bw, p_fw, r_fw, r_bw)
+        if s.aftermath_live:
+            self._aftermath_rules(s, fw, bw, r_fw, r_bw)
+        self._clock_rules(s, u, v, pu, pv, ru, rv)
+        self._phase_broadcast(s, fw, bw, p_fw, p_bw, r_fw)
+
+    # -- Algorithm 3: initialization phase ------------------------------
+    def _init_rules(self, s, u, v, pu, pv, ru, rv, rng) -> None:
+        self._initial_defender_rule(s, u, pu)
+        counting_mode = self.params.counting_agents
+
+        # Token merging: initiator hands its tokens over and re-rolls.
+        merge = (
+            (pu == -1)
+            & (pv == -1)
+            & (ru == COLLECTOR)
+            & (rv == COLLECTOR)
+            & (s.opinion[u] == s.opinion[v])
+            & (s.opinion[u] > 0)
+            & (s.tokens[u] + s.tokens[v] <= s.token_cap)
+        )
+        if counting_mode:
+            same_opinion = (
+                (pu == -1)
+                & (pv == -1)
+                & (s.opinion[u] == s.opinion[v])
+                & (s.opinion[u] > 0)
+            )
+            s.met_same[u[same_opinion]] = True
+            s.met_same[v[same_opinion]] = True
+        if merge.any():
+            if counting_mode:
+                # Appendix C: a single-token duel demotes the loser to a
+                # counting agent instead of a tournament role.
+                duel = merge & (s.tokens[u] == 1) & (s.tokens[v] == 1)
+                givers, takers = u[duel], v[duel]
+                s.tokens[takers] += s.tokens[givers]
+                s.tokens[givers] = 0
+                s.opinion[givers] = 0
+                s.defender[givers] = False
+                s.challenger[givers] = False
+                s.role[givers] = COUNTING
+                s.count[givers] = 0
+                merge = merge & ~duel
+            givers, takers = u[merge], v[merge]
+            s.tokens[takers] += s.tokens[givers]
+            self._release_agents(s, givers, rng)
+
+        if counting_mode:
+            self._counting_rules(s, u, pu, ru, rng)
+
+        # Clock agents count toward the end of initialization.
+        counting = (pu == -1) & (ru == CLOCK)
+        if counting.any():
+            up = u[counting & (rv != COLLECTOR)]
+            s.count[up] += 1
+            down = u[counting & (rv == COLLECTOR)]
+            if self.params.init_decrement < 1.0 and down.size:
+                # Appendix C: decrement by 1/c — realized as a decrement
+                # with probability 1/c (same drift, integer counters).
+                down = down[rng.random(down.size) < self.params.init_decrement]
+            s.count[down] = np.maximum(s.count[down] - 1, 0)
+            finished = up[s.count[up] >= s.init_threshold]
+            if finished.size:
+                s.phase[finished] = 0
+                s.count[finished] = 0
+
+        # Spread of phase >= 0 to agents still initializing.
+        for side, p_own, p_other, r_own in ((u, pu, pv, ru), (v, pv, pu, rv)):
+            adopt = (p_own == -1) & (p_other >= 0)
+            if adopt.any():
+                joiners = side[adopt]
+                if counting_mode:
+                    roles = r_own[adopt]
+                    convert = (roles == COUNTING) | (
+                        (roles == COLLECTOR) & ~s.met_same[joiners]
+                    )
+                    self._release_agents(s, joiners[convert], rng)
+                s.phase[joiners] = p_other[adopt]
+                clocks = joiners[s.role[joiners] == CLOCK]
+                s.count[clocks] = 0
+
+    def _counting_rules(self, s, u, pu, ru, rng) -> None:
+        """Appendix C: counting agents tick toward the fallback deadline.
+
+        The paper lets a counting agent increment when it "initiates an
+        interaction with itself", an event of probability 1/n per
+        initiation; the scheduler never pairs an agent with itself, so the
+        tick is realized as a coin of the same probability.
+        """
+        ticking = (pu == -1) & (ru == COUNTING)
+        if not ticking.any():
+            return
+        tickers = u[ticking]
+        tickers = tickers[rng.random(tickers.size) < 1.0 / s.n]
+        if tickers.size == 0:
+            return
+        s.count[tickers] += 1
+        finished = tickers[s.count[tickers] >= s.init_threshold]
+        if finished.size:
+            self._release_agents(s, finished, rng)
+            s.phase[finished] = 0
+
+    def _initial_defender_rule(self, s, u: np.ndarray, pu: np.ndarray) -> None:
+        """Opinion-1 agents raise the defender bit at their first initiation.
+
+        Overridden (disabled) by the unordered variant, where the initial
+        defender is sampled by the leader instead.
+        """
+        fresh = (pu == -1) & ~s.has_initiated[u]
+        if fresh.any():
+            first_timers = u[fresh]
+            s.has_initiated[first_timers] = True
+            s.defender[first_timers[s.opinion[first_timers] == 1]] = True
+
+    def _release_agents(self, s, agents: np.ndarray, rng) -> None:
+        """A collector gave its tokens away: re-roll into a non-collector role."""
+        s.tokens[agents] = 0
+        s.opinion[agents] = 0
+        s.defender[agents] = False
+        s.challenger[agents] = False
+        draw = rng.integers(0, 3, size=agents.size)
+        clocks = agents[draw == 0]
+        s.role[clocks] = CLOCK
+        s.count[clocks] = 0
+        trackers = agents[draw == 1]
+        s.role[trackers] = TRACKER
+        s.tcnt[trackers] = 1
+        players = agents[draw == 2]
+        s.role[players] = PLAYER
+        s.popinion[players] = POP_U
+        self._on_new_trackers(s, trackers)
+
+    def _on_new_trackers(self, s, trackers: np.ndarray) -> None:
+        """Hook for variants that enroll new trackers somewhere (e.g. LE)."""
+
+    # -- Per-agent "first interaction in this phase" rules ---------------
+    def _self_rules(self, s, side: np.ndarray, p_own: np.ndarray) -> None:
+        # The paper triggers these at the first interaction of the setup
+        # phase; keying them on the enclosing tournament is equivalent
+        # w.h.p. and also covers the rare agent that learns of the new
+        # tournament only via a later phase's broadcast.
+        started = p_own >= s.origin
+        if not started.any():
+            return
+        rel = p_own - s.origin
+        key = s.origin + (rel // PHASES_PER_TOURNAMENT) * PHASES_PER_TOURNAMENT
+        self._tracker_self_rule(s, side, started, key)
+        is_player = s.role[side] == PLAYER
+        # Players still holding a live B token seed the challenger-won
+        # verdict (see common.VERDICT_PMS for why live tokens, not outputs).
+        pm = rel % PHASES_PER_TOURNAMENT
+        seed = (
+            started
+            & is_player
+            & (pm >= VERDICT_PMS[0])
+            & (s.msign[side] == -1)
+        )
+        if seed.any():
+            seeders = side[seed]
+            s.bwin_tag[seeders] = np.maximum(s.bwin_tag[seeders], key[seed])
+        # Collectors apply the previous tournament's verdict at entry.
+        apply = started & (s.role[side] == COLLECTOR) & (s.concl_done[side] < key)
+        if apply.any():
+            collectors = side[apply]
+            challenger_won = s.bwin_tag[collectors] == key[apply] - PHASES_PER_TOURNAMENT
+            promoted = collectors[challenger_won]
+            s.defender[promoted] = s.challenger[promoted]
+            s.challenger[collectors] = False
+            s.concl_done[collectors] = key[apply]
+        # Players shed last tournament's match state once per setup.
+        reset = started & is_player & (s.reset_done[side] < key)
+        if reset.any():
+            players = side[reset]
+            s.popinion[players] = POP_U
+            s.msign[players] = 0
+            s.mexpo[players] = 0
+            s.mout[players] = 0
+            s.reset_done[players] = key[reset]
+
+    def _tracker_self_rule(self, s, side, started, key) -> None:
+        # Algorithm 2: trackers advance the tournament counter once per setup.
+        bump = started & (s.role[side] == TRACKER) & (s.tcnt_done[side] < key)
+        if bump.any():
+            trackers = side[bump]
+            s.tcnt[trackers] = np.minimum(s.tcnt[trackers] + 1, s.k + 1)
+            s.tcnt_done[trackers] = key[bump]
+            if not s.aftermath_live and (s.tcnt[trackers] == s.k + 1).any():
+                s.aftermath_live = True
+
+    # -- Algorithm 4: tournament phases ----------------------------------
+    def _pair_rules(self, s, u, v, pu, pv, ru, rv, fw, bw, p_fw, r_fw, r_bw) -> None:
+        same = (pu == pv) & (pu >= s.origin)
+        if not same.any():
+            return
+        pm = (pu - s.origin) % PHASES_PER_TOURNAMENT
+        same2 = np.concatenate([same, same])
+        pm2 = np.concatenate([pm, pm])
+        fw_collector = r_fw == COLLECTOR
+
+        # Setup: challenger marking and ℓ initialization, re-evaluated on
+        # every setup interaction so that a freshly marked challenger fixes
+        # its ℓ immediately.
+        setup2 = same2 & (pm2 <= SETUP_PMS[-1])
+        if setup2.any():
+            self._setup_marking(s, fw, bw, r_fw, r_bw, setup2, fw_collector)
+            collectors = fw[setup2 & fw_collector]
+            if collectors.size:
+                s.ell[collectors] = np.where(
+                    s.defender[collectors],
+                    s.tokens[collectors],
+                    np.where(s.challenger[collectors], -s.tokens[collectors], 0),
+                )
+
+        # Cancellation: load balancing among collectors.
+        cancel = same & (pm == CANCEL_PM) & (ru == COLLECTOR) & (rv == COLLECTOR)
+        if cancel.any():
+            averaging_step(s.ell, u[cancel], v[cancel])
+
+        # Lineup: collectors recruit undecided players, one token at a time.
+        lineup2 = (
+            same2
+            & (pm2 >= LINEUP_PMS[0])
+            & (pm2 <= LINEUP_PMS[-1])
+            & fw_collector
+            & (r_bw == PLAYER)
+        )
+        if lineup2.any():
+            recruit = lineup2 & (s.popinion[bw] == POP_U) & (s.ell[fw] != 0)
+            if recruit.any():
+                collectors, players = fw[recruit], bw[recruit]
+                positive = s.ell[collectors] > 0
+                s.popinion[players] = np.where(positive, POP_A, POP_B).astype(
+                    s.popinion.dtype
+                )
+                s.msign[players] = np.where(positive, 1, -1).astype(s.msign.dtype)
+                s.mexpo[players] = 0
+                s.ell[collectors] -= np.sign(s.ell[collectors])
+
+        # Match: cancel/split exact majority among players.
+        players_pair = (ru == PLAYER) & (rv == PLAYER)
+        match = (
+            same
+            & (pm >= MATCH_PMS[0])
+            & (pm <= MATCH_PMS[-1])
+            & players_pair
+        )
+        if match.any():
+            cancel_split_step(s.msign, s.mexpo, u[match], v[match], s.max_level)
+
+        # Resolve: match outcome dissemination (DESIGN.md §4.3).
+        resolve = (
+            same
+            & (pm >= RESOLVE_PMS[0])
+            & (pm <= RESOLVE_PMS[-1])
+            & players_pair
+        )
+        if resolve.any():
+            mu, mv = u[resolve], v[resolve]
+            resolve_step(s.mout, s.msign, mu, mv)
+            touched = np.concatenate([mu, mv])
+            outs = s.mout[touched]
+            s.popinion[touched[outs == 1]] = POP_A
+            s.popinion[touched[outs == -1]] = POP_B
+
+    def _setup_marking(self, s, fw, bw, r_fw, r_bw, setup2, fw_collector) -> None:
+        """Challenger selection: collector meets tracker with matching tcnt.
+
+        Overridden by the unordered variant, where a leader announces the
+        challenger opinion instead (Appendix B).
+        """
+        mark = (
+            setup2
+            & fw_collector
+            & (r_bw == TRACKER)
+            & (s.opinion[fw] == s.tcnt[bw])
+        )
+        s.challenger[fw[mark]] = True
+
+    # -- Section 3.4: final broadcast -------------------------------------
+    def _aftermath_rules(self, s, fw, bw, r_fw, r_bw) -> None:
+        # Crowning requires the collector to have entered the post-final
+        # tournament window, so that its verdict of the last real
+        # tournament has already been applied (self rules run first).
+        final_start = s.origin + PHASES_PER_TOURNAMENT * (s.k - 1)
+        crown = (
+            (r_fw == TRACKER)
+            & (s.tcnt[fw] == s.k + 1)
+            & (r_bw == COLLECTOR)
+            & s.defender[bw]
+            & (s.phase[bw] >= final_start)
+        )
+        s.winner[bw[crown]] = True
+        # Winner epidemic: losers adopt (collector, winner opinion, winner).
+        w_fw = s.winner[fw]
+        w_bw = s.winner[bw]
+        spread = w_fw & ~w_bw
+        if spread.any():
+            adopters = bw[spread]
+            s.role[adopters] = COLLECTOR
+            s.opinion[adopters] = s.opinion[fw[spread]]
+            s.winner[adopters] = True
+
+    # -- Algorithm 1: the phase clock -------------------------------------
+    def _clock_rules(self, s, u, v, pu, pv, ru, rv) -> None:
+        ticking = (ru == CLOCK) & (rv == CLOCK) & (pu >= 0) & (pv >= 0)
+        if ticking.any():
+            leaderless_clock_step(s.count, s.phase, u[ticking], v[ticking], s.psi)
+
+    # -- Algorithm 4, lines 22-23: phase broadcast -------------------------
+    def _phase_broadcast(self, s, fw, bw, p_fw, p_bw, r_fw) -> None:
+        adopt = (p_fw >= 0) & (p_bw > p_fw) & (r_fw != CLOCK)
+        if adopt.any():
+            s.phase[fw[adopt]] = p_bw[adopt]
+        # Verdict max-epidemic (conclusion; see module docstring of common).
+        bw_tag = s.bwin_tag[bw]
+        newer = bw_tag > s.bwin_tag[fw]
+        if newer.any():
+            s.bwin_tag[fw[newer]] = bw_tag[newer]
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def has_converged(self, s: SimpleState) -> bool:
+        return bool(s.winner.all())
+
+    def output(self, s: SimpleState) -> np.ndarray:
+        return s.opinion.copy()
+
+    def failure(self, s: SimpleState) -> Optional[str]:
+        clocks = s.role == CLOCK
+        if clocks.any():
+            phases = s.phase[clocks]
+            started = phases[phases >= 0]
+            if started.size and int(started.max() - started.min()) > 2:
+                return "clock_desync"
+        return None
+
+    def progress(self, s: SimpleState) -> Dict[str, float]:
+        stats: Dict[str, float] = {
+            "phase_max": float(s.phase.max()),
+            "tournament": float(s.tournament()),
+            "winners": float(s.winner.sum()),
+        }
+        for name, count in role_counts(s.role).items():
+            stats[f"role_{name}"] = float(count)
+        return stats
+
+    def check_invariants(self, s: SimpleState) -> None:
+        if not s.winner.any():
+            total = int(s.tokens.sum())
+            if total != s.n:
+                raise InvariantViolation(f"token sum {total} != n {s.n}")
+        if (s.tokens < 0).any() or (s.tokens > s.token_cap).any():
+            raise InvariantViolation("tokens escaped [0, cap]")
+        if (np.abs(s.ell) > s.token_cap).any():
+            raise InvariantViolation("ell escaped [-cap, cap]")
+        non_collectors = s.role != COLLECTOR
+        if (s.tokens[non_collectors] != 0).any():
+            raise InvariantViolation("non-collector holds tokens")
+
+    def default_max_time(self, config: PopulationConfig) -> float:
+        """Suggested parallel-time budget for ``simulate``."""
+        return self.params.default_max_time(config.n, config.k)

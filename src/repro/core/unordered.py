@@ -1,0 +1,336 @@
+"""UnorderedAlgorithm — plurality consensus without an opinion ordering.
+
+Implements Appendix B of the paper (Theorem 1, statement 2): the tournament
+machinery of SimpleAlgorithm, but the next challenger is *sampled* by a
+unique leader instead of being read off an opinion ordering:
+
+1.  **Leader election** (phases ``0 .. R−1``): the coin race of
+    :mod:`repro.leader.coin_race` runs among the tracker agents, one round
+    per clock phase — the +log² n term of Theorem 1(2).
+2.  **Defender selection** (phase ``R``): the leader samples any collector
+    and announces its opinion as the initial defender.
+3.  **Challenger selection** (setup phase of each tournament): tracker
+    agents *amplify* opinions that have not yet played (they copy them
+    from unplayed collectors and from each other, freshness-tagged by the
+    current tournament), the leader samples one and announces it; the
+    announcement spreads epidemically and collectors of that opinion raise
+    their challenger bit.
+4.  **Termination**: a leader that finds no candidate during an entire
+    setup phase declares the race finished; defender collectors then raise
+    the winner bit and the final broadcast proceeds as in Section 3.4.
+
+Announcements and candidate observations carry the absolute phase of their
+era (defender selection, or a tournament's setup) as a freshness tag, so a
+stale observation can never select an already-played opinion era-late —
+and even if an opinion is re-selected because some of its collectors
+missed an announcement, the resulting extra tournament is harmless (the
+current defender simply beats the remnant; see tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine.population import PopulationConfig
+from ..leader.coin_race import le_enter_round, le_relay
+from .common import (
+    COLLECTOR,
+    PHASES_PER_TOURNAMENT,
+    SETUP_PMS,
+    TRACKER,
+    UnorderedParams,
+)
+from .simple import SimpleAlgorithm, SimpleState
+
+
+@dataclass
+class UnorderedState(SimpleState):
+    """SimpleState plus leader-election and selection machinery."""
+
+    # Leader election (coin race among trackers)
+    le_cand: np.ndarray
+    le_coin: np.ndarray
+    le_seen_max: np.ndarray
+    le_seen_round: np.ndarray
+    leader: np.ndarray
+    # Challenger/defender selection
+    played: np.ndarray
+    cand_op: np.ndarray
+    cand_tag: np.ndarray
+    ann_op: np.ndarray
+    ann_tag: np.ndarray
+    found_tag: np.ndarray
+    #: Setup phase of the tournament in which the leader found no candidate
+    #: (−1 while the race is still on); spread by max-epidemic.
+    finish_tag: np.ndarray
+    rounds: int = 0
+
+    def era_start(self, phase: np.ndarray) -> np.ndarray:
+        """Selection era of each phase: R before tournaments, else the
+        enclosing tournament's setup phase."""
+        rel = np.maximum(phase - self.origin, 0)
+        in_tournaments = phase >= self.origin
+        return np.where(
+            in_tournaments,
+            self.origin + (rel // PHASES_PER_TOURNAMENT) * PHASES_PER_TOURNAMENT,
+            self.rounds,
+        )
+
+
+class UnorderedAlgorithm(SimpleAlgorithm):
+    """The paper's SimpleAlgorithm variant for unordered opinions."""
+
+    name = "unordered_algorithm"
+
+    def __init__(self, params: Optional[UnorderedParams] = None):
+        super().__init__(params or UnorderedParams())
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> UnorderedState:
+        base = super().init_state(config, rng)
+        n = config.n
+        params: UnorderedParams = self.params  # type: ignore[assignment]
+        state = UnorderedState(
+            **base.__dict__,
+            le_cand=np.zeros(n, dtype=bool),
+            le_coin=np.zeros(n, dtype=np.int8),
+            le_seen_max=np.zeros(n, dtype=np.int8),
+            le_seen_round=np.full(n, -1, dtype=np.int64),
+            leader=np.zeros(n, dtype=bool),
+            played=np.zeros(n, dtype=bool),
+            cand_op=np.zeros(n, dtype=np.int64),
+            cand_tag=np.full(n, -1, dtype=np.int64),
+            ann_op=np.zeros(n, dtype=np.int64),
+            ann_tag=np.full(n, -1, dtype=np.int64),
+            found_tag=np.full(n, -1, dtype=np.int64),
+            finish_tag=np.full(n, -1, dtype=np.int64),
+            rounds=params.rounds(n),
+        )
+        state.origin = params.tournament_phase_offset(n)
+        return state
+
+    # ------------------------------------------------------------------
+    # Hook overrides: ordered-opinion rules disabled
+    # ------------------------------------------------------------------
+    def _initial_defender_rule(self, s, u, pu) -> None:
+        # The initial defender is sampled by the leader (Appendix B).
+        pass
+
+    def _tracker_self_rule(self, s, side, started, key) -> None:
+        # Trackers do not count tournaments in the unordered variant.
+        pass
+
+    def _on_new_trackers(self, s, trackers: np.ndarray) -> None:
+        s.le_cand[trackers] = True
+
+    def _setup_marking(self, s, fw, bw, r_fw, r_bw, setup2, fw_collector) -> None:
+        # A collector in a setup phase whose partner carries this
+        # tournament's challenger announcement for its own opinion.
+        p_fw2 = s.phase[fw]
+        mark = (
+            setup2
+            & fw_collector
+            & ~s.played[fw]
+            & (s.ann_tag[bw] == p_fw2)
+            & (s.ann_op[bw] == s.opinion[fw])
+        )
+        if mark.any():
+            marked = fw[mark]
+            s.challenger[marked] = True
+            s.played[marked] = True
+
+    # ------------------------------------------------------------------
+    # Transition function
+    # ------------------------------------------------------------------
+    def interact(
+        self,
+        s: UnorderedState,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        pu, pv = s.phase[u], s.phase[v]
+        ru, rv = s.role[u], s.role[v]
+
+        if (pu < 0).any() or (pv < 0).any():
+            self._init_rules(s, u, v, pu, pv, ru, rv, rng)
+        fw = np.concatenate([u, v])
+        bw = np.concatenate([v, u])
+        p_fw = np.concatenate([pu, pv])
+        p_bw = np.concatenate([pv, pu])
+        r_fw = np.concatenate([ru, rv])
+        r_bw = np.concatenate([rv, ru])
+
+        self._le_rules(s, u, v, fw, p_fw, r_fw, rng)
+        self._selection_rules(s, fw, bw, p_fw, r_fw, r_bw)
+        self._self_rules(s, fw, p_fw)
+        self._pair_rules(s, u, v, pu, pv, ru, rv, fw, bw, p_fw, r_fw, r_bw)
+        if s.aftermath_live:
+            self._aftermath_rules(s, fw, bw, r_fw, r_bw)
+        self._clock_rules(s, u, v, pu, pv, ru, rv)
+        self._phase_broadcast(s, fw, bw, p_fw, p_bw, r_fw)
+
+    # -- Leader election (phases 0 .. R-1) --------------------------------
+    def _le_rules(self, s, u, v, fw, p_fw, r_fw, rng) -> None:
+        behind = (
+            (r_fw == TRACKER)
+            & (p_fw > s.le_seen_round[fw])
+            & (s.le_seen_round[fw] < s.rounds)
+            & (p_fw >= 0)
+        )
+        if behind.any():
+            movers = fw[behind]
+            le_enter_round(
+                movers,
+                p_fw[behind],
+                s.le_cand,
+                s.le_coin,
+                s.le_seen_max,
+                s.le_seen_round,
+                s.rounds,
+                rng,
+            )
+            done = movers[s.le_seen_round[movers] >= s.rounds]
+            if done.size:
+                s.leader[done[s.le_cand[done]]] = True
+        le_relay(s.le_seen_max, s.le_seen_round, u, v)
+
+    # -- Selection, announcements, termination ----------------------------
+    def _selection_rules(self, s, fw, bw, p_fw, r_fw, r_bw) -> None:
+        started = p_fw >= 0
+        if not started.any():
+            return
+        era = s.era_start(p_fw)
+
+        # Candidate amplification: trackers observe unplayed collectors...
+        observe = (
+            started
+            & (r_fw == TRACKER)
+            & (r_bw == COLLECTOR)
+            & ~s.played[bw]
+            & (s.opinion[bw] > 0)
+            & (s.tokens[bw] > 0)
+        )
+        if observe.any():
+            watchers = fw[observe]
+            s.cand_op[watchers] = s.opinion[bw[observe]]
+            s.cand_tag[watchers] = era[observe]
+        # ... and copy fresher observations from each other.
+        copy = (
+            (r_fw == TRACKER)
+            & (r_bw == TRACKER)
+            & (s.cand_tag[bw] > s.cand_tag[fw])
+        )
+        if copy.any():
+            takers = fw[copy]
+            s.cand_op[takers] = s.cand_op[bw[copy]]
+            s.cand_tag[takers] = s.cand_tag[bw[copy]]
+
+        # Leader sampling: announce the freshest candidate of the current
+        # era (defender selection era, or a tournament's setup phase).
+        is_leader = s.leader[fw]
+        if is_leader.any():
+            in_window = np.where(
+                p_fw >= s.origin,
+                (p_fw - s.origin) % PHASES_PER_TOURNAMENT <= SETUP_PMS[-1],
+                p_fw >= s.rounds,
+            )
+            sample = (
+                is_leader
+                & started
+                & in_window
+                & (s.found_tag[fw] < era)
+                & (s.cand_tag[fw] == era)
+            )
+            if sample.any():
+                leaders = fw[sample]
+                s.ann_op[leaders] = s.cand_op[leaders]
+                s.ann_tag[leaders] = era[sample]
+                s.found_tag[leaders] = era[sample]
+            # Termination: no candidate found during an entire setup phase.
+            give_up = (
+                is_leader
+                & (p_fw >= s.origin)
+                & ((p_fw - s.origin) % PHASES_PER_TOURNAMENT > SETUP_PMS[-1])
+                & (s.found_tag[fw] < era)
+                & (s.finish_tag[fw] < 0)
+            )
+            if give_up.any():
+                s.finish_tag[fw[give_up]] = era[give_up]
+                s.aftermath_live = True
+
+        # Announcement epidemic (freshness-tagged).
+        newer = s.ann_tag[bw] > s.ann_tag[fw]
+        if newer.any():
+            takers = fw[newer]
+            s.ann_op[takers] = s.ann_op[bw[newer]]
+            s.ann_tag[takers] = s.ann_tag[bw[newer]]
+
+        # Defender-era marking: collectors adopt the announced defender.
+        pre_tournament = started & (p_fw >= s.rounds) & (p_fw < s.origin)
+        if pre_tournament.any():
+            mark = (
+                pre_tournament
+                & (r_fw == COLLECTOR)
+                & ~s.played[fw]
+                & (s.ann_tag[bw] == s.rounds)
+                & (s.ann_op[bw] == s.opinion[fw])
+            )
+            if mark.any():
+                marked = fw[mark]
+                s.defender[marked] = True
+                s.played[marked] = True
+
+    # -- Aftermath: finish-tag based crowning ------------------------------
+    def _aftermath_rules(self, s, fw, bw, r_fw, r_bw) -> None:
+        spread_fin = s.finish_tag[fw] > s.finish_tag[bw]
+        if spread_fin.any():
+            s.finish_tag[bw[spread_fin]] = s.finish_tag[fw[spread_fin]]
+        # Crowning requires the collector to have entered the finishing
+        # tournament, so its verdict of the last real tournament applied.
+        crown = (
+            (s.finish_tag[fw] >= 0)
+            & (r_bw == COLLECTOR)
+            & s.defender[bw]
+            & ~s.winner[bw]
+            & (s.phase[bw] >= s.finish_tag[fw])
+        )
+        if crown.any():
+            s.winner[bw[crown]] = True
+        w_fw = s.winner[fw]
+        spread = w_fw & ~s.winner[bw]
+        if spread.any():
+            adopters = bw[spread]
+            s.role[adopters] = COLLECTOR
+            s.opinion[adopters] = s.opinion[fw[spread]]
+            s.winner[adopters] = True
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def failure(self, s: UnorderedState) -> Optional[str]:
+        base = super().failure(s)
+        if base is not None:
+            return base
+        trackers = s.role == TRACKER
+        if trackers.any() and (s.le_seen_round[trackers] >= s.rounds).all():
+            leaders = int(s.leader.sum())
+            if leaders == 0:
+                return "no_leader"
+            if leaders > 1:
+                return "multiple_leaders"
+        return None
+
+    def progress(self, s: UnorderedState) -> Dict[str, float]:
+        stats = super().progress(s)
+        stats["leaders"] = float(s.leader.sum())
+        stats["played_collectors"] = float((s.played & (s.role == COLLECTOR)).sum())
+        stats["finished"] = float((s.finish_tag >= 0).sum())
+        return stats

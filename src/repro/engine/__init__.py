@@ -1,0 +1,44 @@
+"""Simulation engine for population protocols.
+
+Public surface:
+
+* :class:`PopulationConfig` — initial opinion assignments.
+* :class:`Protocol` — the vectorized transition-function interface.
+* :class:`SequentialScheduler` / :class:`MatchingScheduler` — interaction
+  schedulers (exact vs. well-mixed approximation).
+* :func:`simulate` / :class:`RunResult` — the run loop and its outcome.
+* :class:`ProbeRecorder` — time-series sampling.
+"""
+
+from .errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+)
+from .population import PopulationConfig
+from .protocol import Protocol, require_disjoint
+from .recorder import ProbeRecorder, Recorder
+from .rng import make_rng, seeds_for, spawn_streams
+from .scheduler import MatchingScheduler, Scheduler, SequentialScheduler
+from .simulation import RunResult, simulate
+
+__all__ = [
+    "ConfigurationError",
+    "InvariantViolation",
+    "MatchingScheduler",
+    "PopulationConfig",
+    "ProbeRecorder",
+    "Protocol",
+    "Recorder",
+    "ReproError",
+    "RunResult",
+    "Scheduler",
+    "SequentialScheduler",
+    "SimulationError",
+    "make_rng",
+    "require_disjoint",
+    "seeds_for",
+    "simulate",
+    "spawn_streams",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Protocol *failures* (the negligible-probability events the paper allows) are
+not exceptions: they are recorded in :class:`repro.engine.simulation.RunResult`
+so that experiments can estimate failure rates.  Exceptions are reserved for
+programming errors and invalid configurations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid population, workload, or protocol parameterization."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state.
+
+    This indicates a bug (for example, a scheduler producing overlapping
+    pairs), never a legitimate protocol failure.
+    """
+
+
+class InvariantViolation(SimulationError):
+    """A protocol invariant that must hold with probability 1 was violated.
+
+    Used by ``check_invariants`` hooks in tests: e.g. token conservation in
+    the initialization phase of SimpleAlgorithm, or the signed-sum invariant
+    of the cancel/split majority protocol.
+    """

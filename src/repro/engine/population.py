@@ -1,0 +1,147 @@
+"""Population configurations: who starts with which opinion.
+
+The paper's model (Section 2): ``n`` anonymous agents, each starting with
+one opinion from a set of ``k`` opinions, represented here as the integers
+``1 .. k`` (0 is reserved for "no opinion").  The *bias* is the difference
+between the support of the most and second-most frequent opinion, and the
+*plurality opinion* is the initially most frequent opinion (assumed unique
+whenever a protocol's correctness is judged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+from .rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """An initial assignment of opinions to agents.
+
+    Attributes:
+        opinions: int array of shape ``(n,)`` with values in ``1 .. k``.
+        k: the number of opinion *slots* (some may have zero support; the
+            protocols are told ``k``, exactly as the paper's agents know the
+            opinion universe ``{1, .., k}``).
+    """
+
+    opinions: np.ndarray
+    k: int
+    name: str = field(default="custom", compare=False)
+
+    def __post_init__(self) -> None:
+        opinions = np.asarray(self.opinions, dtype=np.int64)
+        if opinions.ndim != 1 or opinions.size == 0:
+            raise ConfigurationError("opinions must be a non-empty 1-D array")
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if opinions.min() < 1 or opinions.max() > self.k:
+            raise ConfigurationError(
+                f"opinions must lie in 1..{self.k}, "
+                f"got range [{opinions.min()}, {opinions.max()}]"
+            )
+        object.__setattr__(self, "opinions", opinions)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Sequence[int],
+        *,
+        rng: RngLike = None,
+        shuffle: bool = True,
+        name: str = "custom",
+    ) -> "PopulationConfig":
+        """Build a population from per-opinion support counts.
+
+        ``counts[i]`` is the initial support of opinion ``i + 1``.  Agents
+        are shuffled by default so that agent index carries no information
+        (the model is anonymous; shuffling only matters for schedulers that
+        would otherwise correlate index with opinion).
+        """
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        if counts_arr.ndim != 1 or counts_arr.size == 0:
+            raise ConfigurationError("counts must be a non-empty 1-D sequence")
+        if (counts_arr < 0).any():
+            raise ConfigurationError("counts must be non-negative")
+        if counts_arr.sum() == 0:
+            raise ConfigurationError("total population must be positive")
+        opinions = np.repeat(
+            np.arange(1, counts_arr.size + 1, dtype=np.int64), counts_arr
+        )
+        if shuffle:
+            make_rng(rng).shuffle(opinions)
+        return cls(opinions=opinions, k=int(counts_arr.size), name=name)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(self.opinions.size)
+
+    def counts(self) -> np.ndarray:
+        """Support vector ``x = (x_1, .., x_k)``."""
+        return np.bincount(self.opinions, minlength=self.k + 1)[1:]
+
+    @property
+    def x_max(self) -> int:
+        """Support of the plurality opinion."""
+        return int(self.counts().max())
+
+    @property
+    def plurality_opinion(self) -> int:
+        """The (smallest-numbered) opinion with maximum initial support."""
+        return int(np.argmax(self.counts())) + 1
+
+    @property
+    def bias(self) -> int:
+        """Difference between the largest and second-largest support.
+
+        For ``k == 1`` (or only one supported opinion) the bias is the full
+        support of that opinion, mirroring the convention that a lone
+        opinion trivially is the plurality.
+        """
+        counts = np.sort(self.counts())[::-1]
+        if counts.size == 1 or counts[1] == 0:
+            return int(counts[0])
+        return int(counts[0] - counts[1])
+
+    @property
+    def has_unique_plurality(self) -> bool:
+        """True iff exactly one opinion attains the maximum support."""
+        counts = self.counts()
+        return int((counts == counts.max()).sum()) == 1
+
+    @property
+    def num_present_opinions(self) -> int:
+        """Number of opinions with non-zero initial support."""
+        return int((self.counts() > 0).sum())
+
+    def significant_opinions(self, c_s: float) -> np.ndarray:
+        """Opinions ``j`` with ``x_j > x_max / c_s`` (Section 4's notion).
+
+        The paper calls opinion ``j`` *insignificant* if
+        ``x_j <= x_max / c_s`` for a suitable constant ``c_s > 1``.
+        """
+        if c_s <= 1:
+            raise ConfigurationError(f"c_s must be > 1, got {c_s}")
+        counts = self.counts()
+        threshold = counts.max() / c_s
+        return np.flatnonzero(counts > threshold) + 1
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"PopulationConfig(name={self.name!r}, n={self.n}, k={self.k}, "
+            f"x_max={self.x_max}, bias={self.bias}, "
+            f"plurality={self.plurality_opinion})"
+        )

@@ -1,0 +1,90 @@
+"""The protocol interface shared by all population protocols in this package.
+
+A population protocol is a transition function over pairs of agent states.
+For speed, transitions here are *vectorized*: :meth:`Protocol.interact`
+receives parallel index arrays ``u`` (initiators) and ``v`` (responders)
+whose pairs are guaranteed pairwise disjoint (no agent appears twice across
+the whole batch).  Because a transition only reads and writes the states of
+the two participating agents, disjoint interactions commute, so applying a
+disjoint batch in one vectorized call is *exactly* equivalent to applying
+the same interactions one at a time (see DESIGN.md Section 4.1).
+
+State is protocol-defined: any object holding per-agent numpy arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .population import PopulationConfig
+
+
+class Protocol(ABC):
+    """Abstract base class for vectorized population protocols."""
+
+    #: Human-readable protocol name (used in results and tables).
+    name: str = "protocol"
+
+    @abstractmethod
+    def init_state(self, config: PopulationConfig, rng: np.random.Generator) -> Any:
+        """Create per-agent state for the initial configuration."""
+
+    @abstractmethod
+    def interact(
+        self,
+        state: Any,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply the transition function to the disjoint pairs ``(u_i, v_i)``.
+
+        ``u`` holds initiators and ``v`` responders; both are int index
+        arrays of equal length whose union contains no repeated agent.
+        Implementations mutate ``state`` in place.
+        """
+
+    @abstractmethod
+    def has_converged(self, state: Any) -> bool:
+        """True once the population reached (and will stay in) its target.
+
+        Called periodically by the simulation loop; must be cheap (O(n)).
+        """
+
+    @abstractmethod
+    def output(self, state: Any) -> np.ndarray:
+        """Per-agent output opinion (int array, 0 where undefined)."""
+
+    # ------------------------------------------------------------------
+    # Optional hooks
+    # ------------------------------------------------------------------
+    def failure(self, state: Any) -> Optional[str]:
+        """Protocol-detected failure reason, or None.
+
+        Checked alongside ``has_converged``; a non-None value aborts the
+        run and is recorded in the result.  This is how w.h.p. failure
+        modes surface (DESIGN.md Section 4.5).
+        """
+        return None
+
+    def check_invariants(self, state: Any) -> None:
+        """Raise :class:`InvariantViolation` if a hard invariant broke.
+
+        Only called from tests and debug runs; production runs skip it.
+        """
+
+    def progress(self, state: Any) -> Dict[str, float]:
+        """Cheap scalar probes for recorders (phase, actives, ...)."""
+        return {}
+
+
+def require_disjoint(u: np.ndarray, v: np.ndarray) -> None:
+    """Assert that a batch of pairs is pairwise disjoint (debug helper)."""
+    combined = np.concatenate([u, v])
+    if np.unique(combined).size != combined.size:
+        from .errors import SimulationError
+
+        raise SimulationError("scheduler produced overlapping pairs in a batch")

@@ -1,0 +1,83 @@
+"""Time-series recording during simulation runs.
+
+Recorders observe the state at a configurable parallel-time cadence.  They
+power the experiment harness's trajectory plots and the examples' progress
+reports without protocols having to know about measurement at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+Probe = Callable[[Any], float]
+
+
+class Recorder:
+    """No-op base recorder."""
+
+    def on_start(self, state: Any, n: int) -> None:
+        """Called once before the first interaction."""
+
+    def on_sample(self, interactions: int, state: Any) -> None:
+        """Called at the sampling cadence chosen by the simulation loop."""
+
+    def on_end(self, interactions: int, state: Any) -> None:
+        """Called once after the run stops (converged, failed, or timeout)."""
+
+
+class ProbeRecorder(Recorder):
+    """Samples named scalar probes into in-memory time series.
+
+    Args:
+        probes: mapping from series name to a callable ``state -> float``.
+        protocol: if given, the protocol's :meth:`progress` dict is sampled
+            too (its keys become series names).
+        every_parallel_time: sampling cadence in parallel-time units.
+    """
+
+    def __init__(
+        self,
+        probes: Optional[Mapping[str, Probe]] = None,
+        protocol: Any = None,
+        every_parallel_time: float = 1.0,
+    ):
+        if every_parallel_time <= 0:
+            raise ValueError("every_parallel_time must be positive")
+        self._probes = dict(probes or {})
+        self._protocol = protocol
+        self.every_parallel_time = float(every_parallel_time)
+        self.times: List[float] = []
+        self.series: Dict[str, List[float]] = {}
+        self._n = 0
+
+    def on_start(self, state: Any, n: int) -> None:
+        self._n = n
+        self._sample(0, state)
+
+    def on_sample(self, interactions: int, state: Any) -> None:
+        self._sample(interactions, state)
+
+    def on_end(self, interactions: int, state: Any) -> None:
+        self._sample(interactions, state)
+
+    def _sample(self, interactions: int, state: Any) -> None:
+        self.times.append(interactions / self._n if self._n else 0.0)
+        values: Dict[str, float] = {}
+        if self._protocol is not None:
+            values.update(self._protocol.progress(state))
+        for name, probe in self._probes.items():
+            values[name] = float(probe(state))
+        for name, value in values.items():
+            self.series.setdefault(name, []).append(float(value))
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Return the recorded series as numpy arrays, keyed by name.
+
+        The sampling times (parallel time units) are under ``"time"``.
+        """
+        out: Dict[str, np.ndarray] = {"time": np.asarray(self.times)}
+        for name, values in self.series.items():
+            out[name] = np.asarray(values)
+        return out

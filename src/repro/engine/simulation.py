@@ -1,0 +1,187 @@
+"""The simulation loop: drive a protocol on a population until convergence.
+
+Parallel time is interactions divided by ``n`` throughout, matching the
+paper's convention (Section 1: "in expectation each agent takes part in
+Θ(1) interactions per time unit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .errors import ConfigurationError
+from .population import PopulationConfig
+from .protocol import Protocol
+from .recorder import Recorder
+from .rng import RngLike, make_rng
+from .scheduler import Scheduler, SequentialScheduler
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run.
+
+    ``correct`` is None when the population has no unique plurality opinion
+    (correctness is then undefined, per the paper's assumption of bias >= 1).
+    ``failure`` distinguishes the w.h.p. failure modes: "timeout", a
+    protocol-reported reason (e.g. "plurality_pruned"), or
+    "divergent_output" when convergence was claimed without agreement.
+    """
+
+    protocol: str
+    n: int
+    k: int
+    interactions: int
+    parallel_time: float
+    converged: bool
+    output_opinion: Optional[int]
+    expected_opinion: Optional[int]
+    correct: Optional[bool]
+    failure: Optional[str] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        """Converged to the correct plurality opinion."""
+        return self.converged and bool(self.correct)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "ok" if self.succeeded else (self.failure or "wrong")
+        return (
+            f"{self.protocol}: n={self.n} k={self.k} "
+            f"time={self.parallel_time:.1f} out={self.output_opinion} "
+            f"[{status}]"
+        )
+
+
+def simulate(
+    protocol: Protocol,
+    config: PopulationConfig,
+    *,
+    seed: RngLike = None,
+    scheduler: Optional[Scheduler] = None,
+    max_parallel_time: float = 1e5,
+    check_every_parallel_time: float = 1.0,
+    recorder: Optional[Recorder] = None,
+    record_every_parallel_time: Optional[float] = None,
+    check_invariants: bool = False,
+    state_out: Optional[list] = None,
+) -> RunResult:
+    """Run ``protocol`` on ``config`` until convergence, failure, or timeout.
+
+    Args:
+        seed: int / Generator / None; all randomness of the run.
+        scheduler: defaults to the exact :class:`SequentialScheduler`.
+        max_parallel_time: run budget; exceeding it records failure
+            ``"timeout"``.
+        check_every_parallel_time: cadence of convergence/failure checks.
+        recorder: optional :class:`Recorder` sampling the state.
+        record_every_parallel_time: recorder cadence override (defaults to
+            the recorder's own ``every_parallel_time`` if it has one, else
+            the check cadence).
+        check_invariants: call the protocol's invariant hook at every check
+            (slow; meant for tests).
+        state_out: if a list is passed, the final state object is appended
+            to it (for post-mortem inspection in tests and examples).
+
+    Returns:
+        A populated :class:`RunResult`.
+    """
+    if max_parallel_time <= 0:
+        raise ConfigurationError("max_parallel_time must be positive")
+    if check_every_parallel_time <= 0:
+        raise ConfigurationError("check_every_parallel_time must be positive")
+
+    rng = make_rng(seed)
+    scheduler = scheduler or SequentialScheduler()
+    n = config.n
+    state = protocol.init_state(config, rng)
+
+    budget = int(max_parallel_time * n)
+    check_interval = max(1, int(check_every_parallel_time * n))
+    if record_every_parallel_time is not None:
+        record_interval: Optional[int] = max(1, int(record_every_parallel_time * n))
+    elif recorder is not None:
+        cadence = getattr(recorder, "every_parallel_time", check_every_parallel_time)
+        record_interval = max(1, int(cadence * n))
+    else:
+        record_interval = None
+
+    if recorder is not None:
+        recorder.on_start(state, n)
+
+    interactions = 0
+    next_check = check_interval
+    next_record = record_interval if record_interval is not None else None
+    converged = False
+    failure: Optional[str] = None
+
+    for u, v in scheduler.batches(n, rng):
+        remaining = budget - interactions
+        if remaining <= 0:
+            break
+        if u.size > remaining:
+            u, v = u[:remaining], v[:remaining]
+        protocol.interact(state, u, v, rng)
+        interactions += int(u.size)
+
+        if next_record is not None and interactions >= next_record:
+            recorder.on_sample(interactions, state)  # type: ignore[union-attr]
+            next_record += record_interval  # type: ignore[operator]
+
+        if interactions >= next_check:
+            if check_invariants:
+                protocol.check_invariants(state)
+            failure = protocol.failure(state)
+            if failure is not None:
+                break
+            if protocol.has_converged(state):
+                converged = True
+                break
+            next_check += check_interval
+
+    if not converged and failure is None:
+        failure = protocol.failure(state) or (
+            "converged" if protocol.has_converged(state) else "timeout"
+        )
+        if failure == "converged":
+            converged = True
+            failure = None
+
+    output_opinion: Optional[int] = None
+    if converged:
+        outputs = protocol.output(state)
+        values = np.unique(outputs)
+        if values.size == 1 and values[0] != 0:
+            output_opinion = int(values[0])
+        else:
+            converged = False
+            failure = "divergent_output"
+
+    expected = config.plurality_opinion if config.has_unique_plurality else None
+    correct: Optional[bool] = None
+    if expected is not None:
+        correct = converged and output_opinion == expected
+
+    if recorder is not None:
+        recorder.on_end(interactions, state)
+    if state_out is not None:
+        state_out.append(state)
+
+    return RunResult(
+        protocol=protocol.name,
+        n=n,
+        k=config.k,
+        interactions=interactions,
+        parallel_time=interactions / n,
+        converged=converged,
+        output_opinion=output_opinion,
+        expected_opinion=expected,
+        correct=correct,
+        failure=failure,
+        extras={k2: float(v2) for k2, v2 in protocol.progress(state).items()},
+    )

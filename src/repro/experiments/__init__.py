@@ -1,0 +1,5 @@
+"""Experiment registry (E1-E15 + ablations) — see DESIGN.md §5."""
+
+from .base import ExperimentReport, get, names, run, titles
+
+__all__ = ["ExperimentReport", "get", "names", "run", "titles"]

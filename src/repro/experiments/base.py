@@ -1,0 +1,102 @@
+"""Experiment registry and report type.
+
+Every experiment from DESIGN.md §5 (E1–E15) is a function
+``(scale) -> ExperimentReport``; benchmarks under ``benchmarks/`` and the
+``repro-experiments`` CLI both call through this registry, so a table in
+EXPERIMENTS.md can always be regenerated two ways.
+
+Scales:
+    * ``quick`` — minutes-for-the-whole-suite sizing (default in benches);
+    * ``full``  — the sizing recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..analysis.sweep import format_table
+
+SCALES = ("quick", "full")
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: one table plus named shape checks."""
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """All shape checks hold."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        if self.stats:
+            stats = ", ".join(f"{k}={v:.3g}" for k, v in self.stats.items())
+            lines.append(f"stats: {stats}")
+        if self.checks:
+            checks = ", ".join(
+                f"{name}: {'PASS' if ok else 'FAIL'}"
+                for name, ok in self.checks.items()
+            )
+            lines.append(f"checks: {checks}")
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+ExperimentFn = Callable[[str], ExperimentReport]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+_TITLES: Dict[str, str] = {}
+
+
+def register(name: str, title: str):
+    """Decorator: add an experiment to the registry."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate experiment {name}")
+        _REGISTRY[name] = fn
+        _TITLES[name] = title
+        return fn
+
+    return wrap
+
+
+def get(name: str) -> ExperimentFn:
+    """Look up an experiment by id (e.g. "E1")."""
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def names() -> List[str]:
+    """All registered experiment ids, sorted numerically."""
+    _ensure_loaded()
+    return sorted(_REGISTRY, key=lambda s: (len(s), s))
+
+
+def titles() -> Dict[str, str]:
+    _ensure_loaded()
+    return dict(_TITLES)
+
+
+def run(name: str, scale: str = "quick") -> ExperimentReport:
+    """Run one experiment at the given scale."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return get(name)(scale)
+
+
+def _ensure_loaded() -> None:
+    # Experiment modules register themselves on import.
+    from . import ablations, exactness, scaling, spaces, substrates  # noqa: F401

@@ -1,0 +1,186 @@
+"""Exactness and pruning experiments E8, E9, E15 — the paper's headline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import workloads
+from ..analysis import stats
+from ..analysis.sweep import replicate
+from ..baselines.usd import UndecidedStateDynamics
+from ..core.improved import ImprovedAlgorithm
+from ..core.simple import SimpleAlgorithm
+from ..core.unordered import UnorderedAlgorithm
+from ..engine.rng import make_rng
+from ..engine.scheduler import SequentialScheduler
+from .base import ExperimentReport, register
+
+
+@register("E8", "Pruning: Lemmas 9 + 10 (insignificant opinions vanish)")
+def e8_pruning(scale: str) -> ExperimentReport:
+    n = 512 if scale == "quick" else 1024
+    k = 16
+    reps = 3 if scale == "quick" else 6
+    rows = []
+    checks = {}
+    for wl_name, factory in [
+        (
+            "one_large",
+            lambda s: workloads.one_large_many_small(
+                n, k, plurality_fraction=0.55, rng=8000 + s
+            ),
+        ),
+        (
+            "two_block",
+            lambda s: workloads.two_block(n, k, big_fraction=0.8, rng=8100 + s),
+        ),
+    ]:
+        survivors_list, plurality_kept, second_kept = [], True, True
+        for r in range(reps):
+            config = factory(r)
+            algo = ImprovedAlgorithm()
+            rng = make_rng(811 + r)
+            state = algo.init_state(config, rng)
+            scheduler = SequentialScheduler()
+            budget = int(algo.params.default_max_time(n, k) * n)
+            done = 0
+            for u, v in scheduler.batches(n, rng):
+                algo.interact(state, u, v, rng)
+                done += int(u.size)
+                if done % n < u.size and bool((state.phase >= 0).all()):
+                    break
+                if done >= budget:
+                    break
+            survivors = algo.surviving_opinions(state)
+            survivors_list.append(survivors.size)
+            counts = config.counts()
+            plurality = config.plurality_opinion
+            tokens_by_op = np.bincount(
+                state.opinion, weights=state.tokens, minlength=k + 1
+            )
+            plurality_kept &= tokens_by_op[plurality] == counts[plurality - 1]
+            if wl_name == "two_block":
+                second = int(np.argsort(counts)[-2]) + 1
+                second_kept &= second in survivors
+        config = factory(0)
+        c_s = ImprovedAlgorithm().params.significance_threshold()
+        significant = config.significant_opinions(c_s).size
+        rows.append(
+            [
+                wl_name,
+                config.x_max,
+                significant,
+                float(np.mean(survivors_list)),
+                max(survivors_list),
+            ]
+        )
+        checks[f"plurality_tokens_kept[{wl_name}]"] = plurality_kept
+        checks[f"few_survivors[{wl_name}]"] = max(survivors_list) <= max(
+            2 * significant, 4
+        )
+        if wl_name == "two_block":
+            checks["runner_up_survives"] = second_kept
+    return ExperimentReport(
+        experiment="E8",
+        title=f"pruning phase at n={n}, k={k}",
+        headers=["workload", "x_max", "significant", "survivors (mean)", "max"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "Lemma 10: when the first agent reaches phase 0, the plurality "
+            "still owns all its tokens, insignificant opinions own none, and "
+            "at most O(n/x_max) opinions survive."
+        ),
+    )
+
+
+@register("E9", "Exactness at bias 1: the paper's protocols vs USD")
+def e9_exactness(scale: str) -> ExperimentReport:
+    n = 256 if scale == "quick" else 512
+    k = 4
+    reps = 8 if scale == "quick" else 20
+    rows = []
+    checks = {}
+    rates = {}
+    for name, factory in [
+        ("simple", SimpleAlgorithm),
+        ("unordered", UnorderedAlgorithm),
+        ("improved", ImprovedAlgorithm),
+        ("usd_baseline", UndecidedStateDynamics),
+    ]:
+        results = replicate(
+            factory,
+            lambda s: workloads.bias_one(n, k, rng=9000 + s),
+            replications=reps,
+            base_seed=911,
+            max_parallel_time=(
+                60.0 * np.log2(n)
+                if name == "usd_baseline"
+                else None
+            ),
+        )
+        rate = stats.success_rate(results)
+        rates[name] = rate
+        summary = stats.time_summary(results, successful_only=True) if any(
+            r.succeeded for r in results
+        ) else None
+        rows.append(
+            [
+                name,
+                rate,
+                summary.mean if summary else float("nan"),
+                str(stats.failure_breakdown(results) or "-"),
+            ]
+        )
+    for name in ("simple", "unordered", "improved"):
+        checks[f"exact[{name}]"] = rates[name] >= 0.75
+    checks["usd_fails_at_bias1"] = rates["usd_baseline"] <= 0.7
+    return ExperimentReport(
+        experiment="E9",
+        title=f"correctness at bias 1 (n={n}, k={k})",
+        headers=["protocol", "success", "time", "failures"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "The exact protocols identify the plurality even at bias 1; the "
+            "approximate USD baseline picks an essentially random large "
+            "opinion (the paper's motivation for exactness)."
+        ),
+    )
+
+
+@register("E15", "Failure probability shrinks with n (the w.h.p. headline)")
+def e15_failure_rate(scale: str) -> ExperimentReport:
+    ns = [64, 128, 256] if scale == "quick" else [64, 128, 256, 512]
+    reps = 20 if scale == "quick" else 60
+    k = 3
+    rows = []
+    rates = []
+    for n in ns:
+        results = replicate(
+            SimpleAlgorithm,
+            lambda s, n=n: workloads.bias_one(n, k, rng=9500 + s),
+            replications=reps,
+            base_seed=151,
+        )
+        rate = stats.success_rate(results)
+        lo, hi = stats.wilson_interval(
+            sum(r.succeeded for r in results), len(results)
+        )
+        rows.append([n, k, reps, rate, f"[{lo:.2f}, {hi:.2f}]"])
+        rates.append(rate)
+    checks = {
+        "large_n_reliable": rates[-1] >= 0.9,
+        "no_degradation_with_n": rates[-1] >= rates[0] - 0.1,
+    }
+    return ExperimentReport(
+        experiment="E15",
+        title="success rate vs n at bias 1 (SimpleAlgorithm)",
+        headers=["n", "k", "runs", "success", "wilson 95%"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "The protocols trade the Ω(k²) state lower bound for a failure "
+            "probability that vanishes as n grows (w.h.p. = 1 − n^{−Ω(1)})."
+        ),
+    )

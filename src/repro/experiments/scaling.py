@@ -1,0 +1,267 @@
+"""Scaling experiments E1, E2, E4, E5 — the theorems' runtime shapes."""
+
+from __future__ import annotations
+
+from .. import workloads
+from ..analysis import fitting, stats, theory
+from ..analysis.sweep import replicate
+from ..baselines.oracle_tournament import oracle_tournament
+from ..core.improved import ImprovedAlgorithm
+from ..core.simple import SimpleAlgorithm
+from ..core.unordered import UnorderedAlgorithm
+from .base import ExperimentReport, register
+
+#: Fitted log-log slope tolerance for shape checks (DESIGN.md §5).
+SLOPE_TOL = 0.35
+#: Minimum per-point success rate for the timing fits to be meaningful.
+MIN_SUCCESS = 0.65
+
+
+@register("E1", "SimpleAlgorithm: time vs n at bias 1 (Theorem 1(1))")
+def e1_simple_time_vs_n(scale: str) -> ExperimentReport:
+    ns = [128, 256, 512] if scale == "quick" else [128, 256, 512, 1024, 2048]
+    reps = 5 if scale == "quick" else 10
+    k = 3
+    rows, drivers, means = [], [], []
+    ok = True
+    for i, n in enumerate(ns):
+        results = replicate(
+            SimpleAlgorithm,
+            lambda s, n=n: workloads.bias_one(n, k, rng=1000 + s),
+            replications=reps,
+            base_seed=11 * (i + 1),
+        )
+        rate = stats.success_rate(results)
+        ok &= rate >= MIN_SUCCESS
+        summary = stats.time_summary(results)
+        driver = theory.simple_time_driver(n, k)
+        rows.append(
+            [n, k, rate, summary.mean, summary.std, driver, summary.mean / driver]
+        )
+        drivers.append(driver)
+        means.append(summary.mean)
+    fit = fitting.slope_against_driver(drivers, means)
+    return ExperimentReport(
+        experiment="E1",
+        title=f"parallel time vs n (k={k}, bias 1)",
+        headers=["n", "k", "success", "time", "std", "k*log2(n)", "ratio"],
+        rows=rows,
+        stats={"slope_vs_driver": fit.slope, "r2": fit.r_squared},
+        checks={
+            "success_rate": ok,
+            "slope_near_1": abs(fit.slope - 1.0) <= SLOPE_TOL,
+        },
+        notes=(
+            "Theorem 1(1) predicts Θ(k log n); the ratio column should be "
+            "roughly flat and the fitted slope near 1."
+        ),
+    )
+
+
+@register("E2", "SimpleAlgorithm: time vs k at bias 1 (Theorem 1(1))")
+def e2_simple_time_vs_k(scale: str) -> ExperimentReport:
+    ks = [2, 4, 8] if scale == "quick" else [2, 4, 8, 16]
+    reps = 4 if scale == "quick" else 8
+    n = 256 if scale == "quick" else 512
+    rows, drivers, means = [], [], []
+    ok = True
+    for i, k in enumerate(ks):
+        results = replicate(
+            SimpleAlgorithm,
+            lambda s, k=k: workloads.bias_one(n, k, rng=2000 + s),
+            replications=reps,
+            base_seed=13 * (i + 1),
+        )
+        rate = stats.success_rate(results)
+        ok &= rate >= MIN_SUCCESS
+        summary = stats.time_summary(results)
+        # The protocol runs exactly k − 1 tournaments, so the clean linear
+        # driver is (k − 1) log n; the theorem states it as O(k log n).
+        driver = max(k - 1, 1) * theory.log2n(n)
+        rows.append(
+            [n, k, rate, summary.mean, summary.std, driver, summary.mean / driver]
+        )
+        drivers.append(driver)
+        means.append(summary.mean)
+    fit = fitting.slope_against_driver(drivers, means)
+    return ExperimentReport(
+        experiment="E2",
+        title=f"parallel time vs k (n={n}, bias 1)",
+        headers=["n", "k", "success", "time", "std", "(k-1)*log2(n)", "ratio"],
+        rows=rows,
+        stats={"slope_vs_driver": fit.slope, "r2": fit.r_squared},
+        checks={
+            "success_rate": ok,
+            "slope_near_1": abs(fit.slope - 1.0) <= SLOPE_TOL,
+        },
+        notes="Time should grow linearly with the number of tournaments (k−1).",
+    )
+
+
+@register("E4", "UnorderedAlgorithm: time vs n (Theorem 1(2))")
+def e4_unordered_time(scale: str) -> ExperimentReport:
+    ns = [128, 256, 512] if scale == "quick" else [128, 256, 512, 1024]
+    reps = 4 if scale == "quick" else 8
+    k = 3
+    rows, drivers, means = [], [], []
+    ok = True
+    for i, n in enumerate(ns):
+        results = replicate(
+            UnorderedAlgorithm,
+            lambda s, n=n: workloads.bias_one(n, k, rng=3000 + s),
+            replications=reps,
+            base_seed=17 * (i + 1),
+        )
+        rate = stats.success_rate(results)
+        ok &= rate >= MIN_SUCCESS
+        summary = stats.time_summary(results)
+        driver = theory.unordered_time_driver(n, k)
+        rows.append(
+            [n, k, rate, summary.mean, summary.std, driver, summary.mean / driver]
+        )
+        drivers.append(driver)
+        means.append(summary.mean)
+    fit = fitting.slope_against_driver(drivers, means)
+    spread = fitting.ratio_spread(means, drivers)
+    return ExperimentReport(
+        experiment="E4",
+        title=f"unordered variant: parallel time vs n (k={k}, bias 1)",
+        headers=["n", "k", "success", "time", "std", "k*log2+log2^2", "ratio"],
+        rows=rows,
+        stats={"slope_vs_driver": fit.slope, "ratio_spread": spread},
+        checks={
+            "success_rate": ok,
+            # The driver mixes two terms, so the Θ-shape test is the ratio
+            # spread over the sweep rather than a single fitted exponent.
+            "theta_shape": spread <= 2.5,
+        },
+        notes=(
+            "Theorem 1(2): O(k log n + log² n); the log² n term comes from "
+            "the leader election and dominates at small k."
+        ),
+    )
+
+
+@register("E5", "ImprovedAlgorithm: pruning speedup (Theorem 2)")
+def e5_improved_speedup(scale: str) -> ExperimentReport:
+    n = 512 if scale == "quick" else 1024
+    k = 16
+    reps = 3 if scale == "quick" else 6
+    rows = []
+    checks = {}
+    times = {}
+    for name, algo_factory, config_factory in [
+        (
+            "improved/one_large",
+            ImprovedAlgorithm,
+            lambda s: workloads.one_large_many_small(
+                n, k, plurality_fraction=0.55, rng=4000 + s
+            ),
+        ),
+        (
+            "improved/two_block",
+            ImprovedAlgorithm,
+            lambda s: workloads.two_block(n, k, big_fraction=0.8, rng=4100 + s),
+        ),
+        (
+            "unordered/one_large",
+            UnorderedAlgorithm,
+            lambda s: workloads.one_large_many_small(
+                n, k, plurality_fraction=0.55, rng=4000 + s
+            ),
+        ),
+        (
+            "simple/one_large",
+            SimpleAlgorithm,
+            lambda s: workloads.one_large_many_small(
+                n, k, plurality_fraction=0.55, rng=4000 + s
+            ),
+        ),
+    ]:
+        results = replicate(
+            algo_factory, config_factory, replications=reps, base_seed=23
+        )
+        rate = stats.success_rate(results)
+        summary = stats.time_summary(results)
+        config = config_factory(0)
+        driver = theory.improved_time_driver(n, config.x_max)
+        tournaments = [r.extras.get("tournament", -1) for r in results]
+        rows.append(
+            [
+                name,
+                config.x_max,
+                rate,
+                summary.mean,
+                max(tournaments),
+                driver,
+            ]
+        )
+        times[name] = summary.mean
+        checks[f"correct[{name}]"] = rate >= MIN_SUCCESS
+    # Who-wins ordering: with one dominant opinion and many small ones,
+    # pruning must beat running all k − 1 tournaments.
+    checks["improved_beats_simple"] = (
+        times["improved/one_large"] < times["simple/one_large"]
+    )
+    checks["improved_beats_unordered"] = (
+        times["improved/one_large"] < times["unordered/one_large"]
+    )
+    return ExperimentReport(
+        experiment="E5",
+        title=f"pruning speedup at n={n}, k={k}",
+        headers=["setting", "x_max", "success", "time", "tournaments", "driver"],
+        rows=rows,
+        checks=checks,
+        stats={
+            "speedup_vs_simple": times["simple/one_large"]
+            / times["improved/one_large"],
+        },
+        notes=(
+            "Theorem 2: the improved algorithm needs O(n/x_max) tournaments "
+            "instead of k−1, so it wins exactly when x_max is large and "
+            "insignificant opinions are many."
+        ),
+    )
+
+
+@register("EA1", "Ablation: synchronization cost vs oracle tournaments")
+def ea1_oracle_ablation(scale: str) -> ExperimentReport:
+    """Compare SimpleAlgorithm with the oracle-synchronized baseline."""
+    n = 256 if scale == "quick" else 512
+    k = 4
+    reps = 3 if scale == "quick" else 6
+    results = replicate(
+        SimpleAlgorithm,
+        lambda s: workloads.bias_one(n, k, rng=5000 + s),
+        replications=reps,
+        base_seed=29,
+    )
+    summary = stats.time_summary(results)
+    oracle_times = []
+    oracle_ok = 0
+    for s in range(reps):
+        res = oracle_tournament(workloads.bias_one(n, k, rng=5000 + s), seed=s)
+        oracle_times.append(res.parallel_time)
+        oracle_ok += bool(res.correct)
+    oracle_mean = sum(oracle_times) / len(oracle_times)
+    overhead = summary.mean / max(oracle_mean, 1e-9)
+    rows = [
+        ["simple_algorithm", stats.success_rate(results), summary.mean],
+        ["oracle_tournaments", oracle_ok / reps, oracle_mean],
+    ]
+    return ExperimentReport(
+        experiment="EA1",
+        title=f"synchronization overhead at n={n}, k={k}",
+        headers=["system", "success", "parallel time"],
+        rows=rows,
+        stats={"overhead_factor": overhead},
+        checks={
+            "oracle_correct": oracle_ok == reps,
+            "oracle_faster": oracle_mean < summary.mean,
+        },
+        notes=(
+            "The oracle baseline removes initialization, the phase clock and "
+            "role overhead; the overhead factor is the price of distributed "
+            "synchronization."
+        ),
+    )

@@ -1,0 +1,364 @@
+"""Substrate experiments E6, E7, E10–E13, EB1 — the lemmas' shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import workloads
+from ..analysis import fitting, stats, theory
+from ..analysis.random_walk import (
+    lemma16_lower_bound,
+    lemma16_upper_bound,
+    simulate_hitting_times,
+)
+from ..analysis.sweep import replicate
+from ..broadcast.epidemic import OneWayEpidemic
+from ..clocks.junta import JuntaPhaseClock
+from ..core.common import COLLECTOR, ROLE_NAMES
+from ..core.simple import SimpleAlgorithm
+from ..engine.recorder import ProbeRecorder
+from ..engine.rng import make_rng
+from ..engine.scheduler import MatchingScheduler, SequentialScheduler
+from ..engine.simulation import simulate
+from ..leader.coin_race import CoinRaceLeaderElection
+from ..majority.cancel_split import CancelSplitMajority
+from ..majority.three_state import ThreeStateMajority
+from ..balancing.averaging import LoadBalancingProtocol
+from .base import ExperimentReport, register
+
+SLOPE_TOL = 0.45
+
+
+def _run_until(protocol, config, seed, predicate, max_parallel_time):
+    """Drive a protocol until ``predicate(state)`` holds; returns (t, state)."""
+    rng = make_rng(seed)
+    state = protocol.init_state(config, rng)
+    scheduler = SequentialScheduler()
+    budget = int(max_parallel_time * config.n)
+    check = max(1, config.n // 2)
+    done = 0
+    for u, v in scheduler.batches(config.n, rng):
+        protocol.interact(state, u, v, rng)
+        done += int(u.size)
+        if done % check < u.size and predicate(state):
+            return done / config.n, state
+        if done >= budget:
+            return None, state
+
+
+@register("E6", "Initialization: Lemma 3 (duration, role balance, defenders)")
+def e6_initialization(scale: str) -> ExperimentReport:
+    points = (
+        [(128, 4), (256, 4), (256, 8)]
+        if scale == "quick"
+        else [(128, 4), (256, 4), (512, 4), (512, 16), (1024, 8)]
+    )
+    reps = 3 if scale == "quick" else 5
+    rows = []
+    checks = {}
+    for n, k in points:
+        durations, balance_ok, defender_ok = [], True, True
+        for r in range(reps):
+            config = workloads.bias_one(n, k, rng=6000 + r)
+            algo = SimpleAlgorithm()
+            t, state = _run_until(
+                algo,
+                config,
+                seed=61 + r,
+                predicate=lambda s: bool((s.phase >= 0).any()),
+                max_parallel_time=80.0 * (k + np.log2(n)),
+            )
+            if t is None:
+                balance_ok = False
+                continue
+            durations.append(t * n)  # interactions
+            counts = {
+                name: int((state.role == role).sum())
+                for role, name in ROLE_NAMES.items()
+            }
+            balance_ok &= all(c >= n / 10 for c in counts.values())
+            opinion1 = (state.opinion == 1) & (state.role == COLLECTOR)
+            defender_ok &= bool(state.defender[opinion1].all())
+        driver = theory.init_interactions_driver(n, k)
+        mean_i = float(np.mean(durations)) if durations else float("nan")
+        rows.append([n, k, mean_i, driver, mean_i / driver])
+        checks[f"roles_ge_n10[{n},{k}]"] = balance_ok
+        checks[f"defenders_set[{n},{k}]"] = defender_ok
+    ratios = [row[4] for row in rows if np.isfinite(row[4])]
+    checks["bounded_ratio"] = bool(
+        ratios and max(ratios) / min(ratios) < 6.0
+    )
+    return ExperimentReport(
+        experiment="E6",
+        title="initialization interactions vs O(n(k + log n))",
+        headers=["n", "k", "interactions", "n(k+log2 n)", "ratio"],
+        rows=rows,
+        checks=checks,
+        notes="Lemma 3: t̂ = O(n(k+log n)); every role holds ≥ n/10 agents.",
+    )
+
+
+@register("E7", "Junta clock: Lemma 7 (hour length vs subpopulation size)")
+def e7_junta_clock(scale: str) -> ExperimentReport:
+    n = 2048 if scale == "quick" else 4096
+    sizes = [n // 2, n // 4, n // 8]
+    filler = n - sum(sizes)
+    counts = sizes + [filler]
+    reps = 2 if scale == "quick" else 4
+    first_tick = {x: [] for x in sizes}
+    junta_ok = True
+    # The hour constant follows ImprovedParams: m = Θ(log n) keeps one hour
+    # at Θ((n²/x_j) log n) interactions in the large-junta regime.
+    hour_m = int(4 * np.log2(n))
+    for r in range(reps):
+        config = workloads.exact(counts, rng=6500 + r, name="junta_sweep")
+        protocol = JuntaPhaseClock(m=hour_m, target_hours=50)
+        probes = {}
+        rec = ProbeRecorder(probes, protocol=protocol, every_parallel_time=1.0)
+        simulate(
+            protocol,
+            config,
+            seed=71 + r,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=400.0 * np.log2(n),
+            recorder=rec,
+            state_out=(out := []),
+        )
+        arrays = rec.as_arrays()
+        for j, x in enumerate(sizes, start=1):
+            series = arrays.get(f"hour_max_{j}")
+            if series is None:
+                continue
+            crossed = np.flatnonzero(series >= 1)
+            if crossed.size:
+                first_tick[x].append(arrays["time"][crossed[0]] * n)
+        state = out[0]
+        for j, x in enumerate(sizes, start=1):
+            members = state.opinion == j
+            junta = int(state.junta[members].sum())
+            junta_ok &= 0 < junta <= x
+    rows, drivers, means = [], [], []
+    for x in sizes:
+        if not first_tick[x]:
+            continue
+        mean_i = float(np.mean(first_tick[x]))
+        driver = theory.subpopulation_hour_driver(n, x)
+        rows.append([n, x, mean_i, driver, mean_i / driver])
+        drivers.append(driver)
+        means.append(mean_i)
+    fit = fitting.fit_loglog([n / x for x in sizes[: len(means)]], means)
+    return ExperimentReport(
+        experiment="E7",
+        title=f"first clock tick vs subpopulation size (n={n})",
+        headers=["n", "x_j", "interactions", "(n²/x)log2 n", "ratio"],
+        rows=rows,
+        stats={"alpha_vs_inverse_size": fit.slope},
+        checks={
+            "all_measured": len(means) == len(sizes),
+            "monotone_in_size": means == sorted(means),
+            "alpha_in_range": 0.5 <= fit.slope <= 2.5,
+            "junta_nonempty_and_bounded": junta_ok,
+        },
+        notes=(
+            "Lemma 7(3): hour length Θ((n²/x_j) log n) — larger subpopulations "
+            "tick first; alpha is the fitted exponent of time vs n/x_j "
+            "(paper: 1; our large-junta regime is recorded in EXPERIMENTS.md)."
+        ),
+    )
+
+
+@register("E10", "Majority substrate: exact at bias 1, approximate fails")
+def e10_majority(scale: str) -> ExperimentReport:
+    ns = [128, 512, 2048] if scale == "quick" else [128, 512, 2048, 8192]
+    reps = 10 if scale == "quick" else 25
+    rows = []
+    checks = {}
+    drivers, means = [], []
+    for n in ns:
+        exact_results = replicate(
+            CancelSplitMajority,
+            lambda s, n=n: workloads.majority_counts(n, bias=2 - (n % 2), rng=s),
+            replications=reps,
+            base_seed=101,
+            max_parallel_time=300.0 * np.log2(n),
+        )
+        rate = stats.success_rate(exact_results)
+        summary = stats.time_summary(exact_results)
+        driver = theory.log2n(n)
+        rows.append(["cancel_split", n, 2 - (n % 2), rate, summary.mean])
+        checks[f"exact_at_bias1[n={n}]"] = rate >= 0.95
+        drivers.append(driver)
+        means.append(summary.mean)
+    n = ns[-1]
+    for bias, expect_high in [
+        (2 - (n % 2), False),
+        (int(theory.approximate_bias_threshold(n)) * 2, True),
+    ]:
+        if (n - bias) % 2:
+            bias += 1
+        approx = replicate(
+            ThreeStateMajority,
+            lambda s, bias=bias: workloads.majority_counts(n, bias=bias, rng=s),
+            replications=reps,
+            base_seed=103,
+            max_parallel_time=300.0 * np.log2(n),
+        )
+        rate = stats.success_rate(approx)
+        rows.append(["three_state", n, bias, rate, stats.time_summary(approx).mean])
+        if expect_high:
+            checks["approx_ok_at_large_bias"] = rate >= 0.9
+        else:
+            checks["approx_unreliable_at_bias1"] = rate <= 0.8
+    fit = fitting.slope_against_driver(drivers, means)
+    return ExperimentReport(
+        experiment="E10",
+        title="exact vs approximate majority",
+        headers=["protocol", "n", "bias", "success", "time"],
+        rows=rows,
+        stats={"exact_slope_vs_log_n": fit.slope},
+        checks=checks,
+        notes=(
+            "The cancel/split substrate must be exact at bias 1 (it replaces "
+            "[20] in the match phase); the 3-state protocol [4] is fast but "
+            "needs bias Ω(√(n log n))."
+        ),
+    )
+
+
+@register("E11", "Leader election: unique leader in O(log² n) time")
+def e11_leader_election(scale: str) -> ExperimentReport:
+    ns = [128, 512] if scale == "quick" else [128, 512, 2048]
+    reps = 10 if scale == "quick" else 20
+    rows, drivers, means = [], [], []
+    checks = {}
+    for n in ns:
+        results = replicate(
+            CoinRaceLeaderElection,
+            lambda s, n=n: workloads.single_opinion(n),
+            replications=reps,
+            base_seed=107,
+            max_parallel_time=200.0 * np.log2(n) ** 2,
+        )
+        unique = stats.success_rate(results)
+        summary = stats.time_summary(results, successful_only=True)
+        driver = theory.leader_election_time_driver(n)
+        rows.append([n, unique, summary.mean, driver, summary.mean / driver])
+        checks[f"unique_leader[n={n}]"] = unique >= 0.9
+        drivers.append(driver)
+        means.append(summary.mean)
+    fit = fitting.slope_against_driver(drivers, means)
+    return ExperimentReport(
+        experiment="E11",
+        title="coin-race leader election",
+        headers=["n", "unique rate", "time", "log2² n", "ratio"],
+        rows=rows,
+        stats={"slope_vs_log2_squared": fit.slope},
+        checks={**checks, "slope_near_1": abs(fit.slope - 1.0) <= SLOPE_TOL},
+        notes="Interface of [23]: unique leader w.h.p., Θ(log² n) parallel time.",
+    )
+
+
+@register("E12", "Load balancing: discrepancy ≤ 1 in Θ(log n) time")
+def e12_load_balancing(scale: str) -> ExperimentReport:
+    ns = [256, 1024] if scale == "quick" else [256, 1024, 4096]
+    reps = 5 if scale == "quick" else 10
+    rows, drivers, means = [], [], []
+    checks = {}
+    for n in ns:
+        results = replicate(
+            LoadBalancingProtocol,
+            lambda s, n=n: workloads.majority_counts(n, bias=0 if n % 2 == 0 else 1, rng=s),
+            replications=reps,
+            base_seed=109,
+            max_parallel_time=200.0 * np.log2(n),
+        )
+        converged = sum(r.converged for r in results) / len(results)
+        sums_ok = all(r.extras.get("sum", 1) == 0 for r in results)
+        summary = stats.time_summary(
+            [r for r in results if r.converged], successful_only=False
+        )
+        driver = theory.log2n(n)
+        rows.append([n, converged, summary.mean, driver, summary.mean / driver])
+        checks[f"converged[n={n}]"] = converged == 1.0
+        checks[f"sum_preserved[n={n}]"] = sums_ok
+        drivers.append(driver)
+        means.append(summary.mean)
+    fit = fitting.slope_against_driver(drivers, means)
+    return ExperimentReport(
+        experiment="E12",
+        title="pairwise averaging (cancellation phase substrate)",
+        headers=["n", "converged", "time", "log2 n", "ratio"],
+        rows=rows,
+        stats={"slope_vs_log_n": fit.slope},
+        checks={**checks, "slope_near_1": abs(fit.slope - 1.0) <= 0.6},
+        notes="[12, 28]: ±cap loads average to constant discrepancy in Θ(log n).",
+    )
+
+
+@register("E13", "Random walks: Lemma 16 hitting-time bounds")
+def e13_random_walk(scale: str) -> ExperimentReport:
+    walkers = 300 if scale == "quick" else 1000
+    target = 12
+    rows = []
+    checks = {}
+    # Statement (1): rightward drift p=2/3 hits N fast.
+    sample = simulate_hitting_times(
+        2 / 3, target, walkers, max_steps=100_000, rng=113
+    )
+    upper = lemma16_upper_bound(2 / 3, target)
+    frac_within = float((sample.times <= upper).mean())
+    rows.append(["p=2/3 (up)", target, sample.quantile(0.5), upper, frac_within])
+    checks["upper_bound_holds"] = frac_within >= 1 - np.exp(-target) - 0.05
+    # Statement (2): leftward drift p=1/3 takes exponentially long.
+    sample = simulate_hitting_times(
+        1 / 3, target, walkers, max_steps=int(lemma16_lower_bound(1 / 3, target)) * 4,
+        rng=127,
+    )
+    lower = lemma16_lower_bound(1 / 3, target)
+    frac_early = float((sample.times < lower).mean())
+    rows.append(["p=1/3 (down)", target, sample.quantile(0.5), lower, 1 - frac_early])
+    checks["lower_bound_holds"] = frac_early <= (1 / 2) ** (target / 2) + 0.05
+    return ExperimentReport(
+        experiment="E13",
+        title="biased random-walk hitting times (Appendix D)",
+        headers=["walk", "N", "median steps", "bound", "frac respecting bound"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "Lemma 16: with upward drift the walk hits N within (2/(p−q))²N "
+            "w.p. ≥ 1−e^{−N}; with downward drift it needs ≥ (q/p)^{N/2} "
+            "steps w.p. ≥ 1−(p/q)^{N/2}."
+        ),
+    )
+
+
+@register("EB1", "Broadcast: one-way epidemic completes in Θ(log n)")
+def eb1_broadcast(scale: str) -> ExperimentReport:
+    ns = [256, 1024, 4096] if scale == "quick" else [256, 1024, 4096, 16384]
+    reps = 10 if scale == "quick" else 20
+    rows, drivers, means = [], [], []
+    for n in ns:
+        results = replicate(
+            OneWayEpidemic,
+            lambda s, n=n: workloads.single_opinion(n),
+            replications=reps,
+            base_seed=131,
+            max_parallel_time=80.0 * np.log2(n),
+        )
+        summary = stats.time_summary(
+            [r for r in results if r.converged], successful_only=False
+        )
+        driver = theory.broadcast_time_driver(n)
+        rows.append([n, summary.mean, driver, summary.mean / driver])
+        drivers.append(driver)
+        means.append(summary.mean)
+    fit = fitting.slope_against_driver(drivers, means)
+    return ExperimentReport(
+        experiment="EB1",
+        title="one-way epidemic broadcast time",
+        headers=["n", "time", "log2 n", "ratio"],
+        rows=rows,
+        stats={"slope_vs_log_n": fit.slope},
+        checks={"slope_near_1": abs(fit.slope - 1.0) <= SLOPE_TOL},
+        notes="[5]: the broadcast primitive behind every dissemination step.",
+    )

@@ -1,0 +1,17 @@
+"""Leader election with the interface the paper borrows from [23]."""
+
+from .coin_race import (
+    CoinRaceLeaderElection,
+    CoinRaceState,
+    le_enter_round,
+    le_relay,
+    le_rounds,
+)
+
+__all__ = [
+    "CoinRaceLeaderElection",
+    "CoinRaceState",
+    "le_enter_round",
+    "le_relay",
+    "le_rounds",
+]

@@ -1,0 +1,174 @@
+"""Leader election with the interface of Gąsieniec–Stachowiak [23].
+
+Appendix B of the paper consumes a leader-election black box that produces
+a *unique* leader among the tracker agents in O(log² n) parallel time
+w.h.p., where the leader *knows* when the election has concluded.  This
+module provides that interface via a synchronized coin race (DESIGN.md
+§4.4):
+
+* rounds are delimited by a phase clock (the standalone protocol below
+  runs the leaderless clock on all agents; inside the tournament protocols
+  the main clock's phases 0 .. R−1 are the rounds);
+* at the start of each round every surviving candidate flips a fair coin;
+* the round's maximum coin spreads by max-epidemic (``seen_max``);
+* when a candidate moves to the next round it retires iff its own coin was
+  below the maximum it heard.
+
+Any two candidates are separated in a round with probability 1/2, so after
+``R = ⌈factor · log₂ n⌉ + slack`` rounds the survivor is unique w.h.p.
+(union bound: ``n² 2^(−R)``); a candidate holding the round maximum never
+retires, so at least one survivor always remains.  Total time
+Θ(R · log n) = Θ(log² n), matching how Theorem 1(2) consumes [23].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..clocks.leaderless import clock_psi, leaderless_clock_step
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+
+
+def le_rounds(n: int, factor: float = 3.0, slack: int = 2) -> int:
+    """Number of coin rounds ``R = ⌈factor · log₂ n⌉ + slack``."""
+    return int(np.ceil(factor * np.log2(max(n, 2)))) + slack
+
+
+def le_enter_round(
+    agents: np.ndarray,
+    new_round: np.ndarray,
+    cand: np.ndarray,
+    coin: np.ndarray,
+    seen_max: np.ndarray,
+    seen_round: np.ndarray,
+    total_rounds: int,
+    rng: np.random.Generator,
+) -> None:
+    """Move ``agents`` into ``new_round`` (per-agent round numbers).
+
+    Finalizes each agent's previous round first: a candidate whose coin was
+    below the maximum it heard retires.  Agents moving past the last round
+    (``new_round >= total_rounds``) finalize without flipping again.
+    """
+    if agents.size == 0:
+        return
+    had_round = seen_round[agents] >= 0
+    losers = cand[agents] & had_round & (coin[agents] < seen_max[agents])
+    cand[agents[losers]] = False
+
+    flipping = new_round < total_rounds
+    flippers = agents[flipping]
+    if flippers.size:
+        flips = rng.integers(0, 2, size=flippers.size).astype(coin.dtype)
+        coin[flippers] = np.where(cand[flippers], flips, 0)
+        seen_max[flippers] = coin[flippers]
+    finished = agents[~flipping]
+    if finished.size:
+        coin[finished] = 0
+        seen_max[finished] = 0
+    seen_round[agents] = np.minimum(new_round, total_rounds)
+
+
+def le_relay(
+    seen_max: np.ndarray,
+    seen_round: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+) -> None:
+    """Max-epidemic of the round's coin maximum among same-round pairs."""
+    same = seen_round[u] == seen_round[v]
+    su, sv = u[same], v[same]
+    peak = np.maximum(seen_max[su], seen_max[sv])
+    seen_max[su] = peak
+    seen_max[sv] = peak
+
+
+@dataclass
+class CoinRaceState:
+    count: np.ndarray
+    phase: np.ndarray
+    cand: np.ndarray
+    coin: np.ndarray
+    seen_max: np.ndarray
+    seen_round: np.ndarray
+    psi: int
+    total_rounds: int
+
+
+class CoinRaceLeaderElection(Protocol):
+    """Standalone leader election among all ``n`` agents (benchmark E11).
+
+    Every agent is both a clock agent and an initial candidate.  Converges
+    when every agent has completed all rounds; success means exactly one
+    candidate survived (a non-unique survivor is reported as failure by the
+    run loop via a divergent output).
+    """
+
+    name = "coin_race_leader_election"
+
+    def __init__(self, gamma: float = 2.0, factor: float = 3.0, slack: int = 2):
+        self._gamma = gamma
+        self._factor = factor
+        self._slack = slack
+
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> CoinRaceState:
+        n = config.n
+        return CoinRaceState(
+            count=np.zeros(n, dtype=np.int64),
+            phase=np.zeros(n, dtype=np.int64),
+            cand=np.ones(n, dtype=bool),
+            coin=np.zeros(n, dtype=np.int8),
+            seen_max=np.zeros(n, dtype=np.int8),
+            seen_round=np.full(n, -1, dtype=np.int64),
+            psi=clock_psi(n, self._gamma),
+            total_rounds=le_rounds(n, self._factor, self._slack),
+        )
+
+    def interact(
+        self,
+        state: CoinRaceState,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        leaderless_clock_step(state.count, state.phase, u, v, state.psi)
+        for side in (u, v):
+            behind = side[state.phase[side] > state.seen_round[side]]
+            if behind.size:
+                le_enter_round(
+                    behind,
+                    state.phase[behind],
+                    state.cand,
+                    state.coin,
+                    state.seen_max,
+                    state.seen_round,
+                    state.total_rounds,
+                    rng,
+                )
+        le_relay(state.seen_max, state.seen_round, u, v)
+
+    def has_converged(self, state: CoinRaceState) -> bool:
+        return bool(state.seen_round.min() >= state.total_rounds)
+
+    def output(self, state: CoinRaceState) -> np.ndarray:
+        leaders = int(state.cand.sum())
+        value = 1 if leaders == 1 else 0
+        return np.full(state.phase.shape, value, dtype=np.int64)
+
+    def progress(self, state: CoinRaceState) -> Dict[str, float]:
+        return {
+            "candidates": float(state.cand.sum()),
+            "round_min": float(state.seen_round.min()),
+            "round_max": float(state.seen_round.max()),
+        }
+
+    @staticmethod
+    def leader_count(state: CoinRaceState) -> int:
+        """Number of surviving candidates (1 on success)."""
+        return int(state.cand.sum())

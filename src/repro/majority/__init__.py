@@ -1,0 +1,25 @@
+"""Majority subprotocols: exact cancel/split and the 3-state approximate baseline."""
+
+from .cancel_split import (
+    CancelSplitMajority,
+    CancelSplitState,
+    cancel_split_step,
+    majority_levels,
+    resolve_step,
+    signed_sum,
+)
+from .three_state import BLANK, STATE_A, STATE_B, ThreeStateMajority, three_state_step
+
+__all__ = [
+    "BLANK",
+    "CancelSplitMajority",
+    "CancelSplitState",
+    "STATE_A",
+    "STATE_B",
+    "ThreeStateMajority",
+    "cancel_split_step",
+    "majority_levels",
+    "resolve_step",
+    "signed_sum",
+    "three_state_step",
+]

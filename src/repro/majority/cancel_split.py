@@ -1,0 +1,244 @@
+"""Exact-majority substrate: the cancel/split token protocol.
+
+This is the documented substitution for the stable majority protocol of
+Doty et al. [20] (DESIGN.md §4.3).  The paper's match phase runs [20]
+*without* its slow always-correct backup; what remains is a synchronized
+cancel/split (cancel–double) process over signed dyadic tokens, which we
+implement directly:
+
+* every active agent holds a token ``sign · 2^(−expo)`` with
+  ``expo ∈ {0, .., L}``, ``L = ⌈log₂ n⌉ + slack``;
+* **cancel**: opposite signs at equal exponents annihilate;
+* **partial cancel**: opposite signs at adjacent exponents leave one token
+  one level down (``+2^(−e) − 2^(−e−1) = +2^(−e−1)``) — sum-preserving;
+* **split**: an active token meeting a token-free agent splits one level
+  down onto both;
+* **merge**: two same-sign tokens at the same exponent ``e >= 1`` combine
+  into one token at ``e − 1`` (the reverse of split, also sum-preserving).
+
+The merge rule replaces the level synchronization that [20] obtains from
+its phase clock: without it, token exponents can drift apart until no rule
+applies even though both signs survive (opposite signs more than one level
+apart cannot react and no token-free agents remain to split on).  With
+merging, any configuration of more than ``2 (L + 1)`` active tokens always
+admits a reaction, so the process cannot quiesce before the minority sign
+is extinct.
+
+The signed sum ``Σ sign · 2^(−expo)`` is invariant and equals the initial
+bias ``x_A − x_B``, so the majority sign can never go extinct, and since
+``|bias| · 2^L > n`` whenever ``bias ≠ 0`` the process cannot quiesce with
+all tokens at the bottom level until the minority sign is extinct — the
+max-level argument of [2, 20].  Exactness at bias 1 and the time scaling
+are measured by benchmark E10.
+
+The ``resolve`` step (output dissemination after the match) lives here too:
+active agents stamp their sign into ``out``; token-free agents adopt any
+non-zero ``out`` they encounter.  In the tournament this runs in its own
+(clock-delimited) phase, after minority extinction w.h.p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..engine.errors import ConfigurationError, InvariantViolation
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+
+
+def majority_levels(n: int, slack: int = 2) -> int:
+    """Maximum exponent ``L = ⌈log₂ n⌉ + slack``."""
+    return int(np.ceil(np.log2(max(n, 2)))) + slack
+
+
+def cancel_split_step(
+    sign: np.ndarray,
+    expo: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    max_level: int,
+    enable_merge: bool = True,
+) -> None:
+    """Apply cancel / partial-cancel / merge / split to (filtered) pairs.
+
+    Exactly one rule applies per pair; all reads use the pre-interaction
+    state (pairs are disjoint, so masked writes cannot interfere).
+    ``enable_merge=False`` disables the merge rule — only used by the
+    ablation experiment EA2, which demonstrates the deadlock it prevents.
+    """
+    if u.size == 0:
+        return
+    su, sv = sign[u], sign[v]
+    eu, ev = expo[u], expo[v]
+    opposite = su * sv == -1
+
+    equal_cancel = opposite & (eu == ev)
+    # Partial cancel: the lower-exponent (heavier) token survives one level
+    # down; the lighter token is annihilated.
+    u_heavier = opposite & (ev - eu == 1)
+    v_heavier = opposite & (eu - ev == 1)
+    same_sign = (su == sv) & (su != 0)
+    merge = same_sign & (eu == ev) & (eu >= 1) & enable_merge
+    split_from_u = (su != 0) & (sv == 0) & (eu < max_level)
+    split_from_v = (sv != 0) & (su == 0) & (ev < max_level)
+
+    both = u[equal_cancel]
+    sign[both] = 0
+    expo[both] = 0
+    both = v[equal_cancel]
+    sign[both] = 0
+    expo[both] = 0
+
+    heavy = u[u_heavier]
+    expo[heavy] += 1
+    light = v[u_heavier]
+    sign[light] = 0
+    expo[light] = 0
+
+    heavy = v[v_heavier]
+    expo[heavy] += 1
+    light = u[v_heavier]
+    sign[light] = 0
+    expo[light] = 0
+
+    keeper = u[merge]
+    expo[keeper] -= 1
+    freed = v[merge]
+    sign[freed] = 0
+    expo[freed] = 0
+
+    src, dst = u[split_from_u], v[split_from_u]
+    sign[dst] = sign[src]
+    expo[src] += 1
+    expo[dst] = expo[src]
+
+    src, dst = v[split_from_v], u[split_from_v]
+    sign[dst] = sign[src]
+    expo[src] += 1
+    expo[dst] = expo[src]
+
+
+def resolve_step(
+    out: np.ndarray,
+    sign: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+) -> None:
+    """Output dissemination after (or overlapping with) the match.
+
+    Active agents always advertise their own sign.  A token-free agent
+    adopts the sign of any *active* partner it meets — overwriting a stale
+    claim, so that a late minority extinction self-corrects — and fills an
+    empty ``out`` from token-free partners too (plain epidemic among the
+    cancelled majority's witnesses).
+    """
+    if u.size == 0:
+        return
+    su, sv = sign[u], sign[v]
+    ou, ov = out[u].copy(), out[v].copy()
+    for side, s_own in ((u, su), (v, sv)):
+        active = side[s_own != 0]
+        out[active] = sign[active]
+    from_active_u = (su == 0) & (sv != 0)
+    from_active_v = (sv == 0) & (su != 0)
+    out[u[from_active_u]] = sv[from_active_u]
+    out[v[from_active_v]] = su[from_active_v]
+    fill_u = (su == 0) & (sv == 0) & (ou == 0) & (ov != 0)
+    fill_v = (sv == 0) & (su == 0) & (ov == 0) & (ou != 0)
+    out[u[fill_u]] = ov[fill_u]
+    out[v[fill_v]] = ou[fill_v]
+
+
+def signed_sum(sign: np.ndarray, expo: np.ndarray, max_level: int) -> int:
+    """Exact signed token sum in units of ``2^(−L)`` (Python ints, no overflow)."""
+    total = 0
+    for e in range(int(max_level) + 1):
+        at_level = expo == e
+        total += int(sign[at_level].sum()) * (1 << (max_level - e))
+    return total
+
+
+@dataclass
+class CancelSplitState:
+    sign: np.ndarray
+    expo: np.ndarray
+    out: np.ndarray
+    max_level: int
+    initial_sum: int
+
+
+class CancelSplitMajority(Protocol):
+    """Standalone exact-majority protocol over a k = 2 population.
+
+    Opinion 1 maps to sign +1, opinion 2 to −1.  Convergence: one sign is
+    extinct among active tokens (the core event the tournament's match
+    phase waits for); ties (bias 0) converge when *all* tokens are gone and
+    resolve to opinion 1, matching Lemma 11's defender-wins-ties
+    convention.
+    """
+
+    name = "cancel_split_majority"
+
+    def __init__(self, level_slack: int = 2):
+        if level_slack < 0:
+            raise ConfigurationError("level_slack must be >= 0")
+        self._slack = level_slack
+
+    def init_state(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> CancelSplitState:
+        if config.k > 2:
+            raise ConfigurationError("CancelSplitMajority needs a k <= 2 population")
+        sign = np.where(config.opinions == 1, 1, -1).astype(np.int8)
+        expo = np.zeros(config.n, dtype=np.int16)
+        max_level = majority_levels(config.n, self._slack)
+        state = CancelSplitState(
+            sign=sign,
+            expo=expo,
+            out=np.zeros(config.n, dtype=np.int8),
+            max_level=max_level,
+            initial_sum=0,
+        )
+        state.initial_sum = signed_sum(sign, expo, max_level)
+        return state
+
+    def interact(
+        self,
+        state: CancelSplitState,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        cancel_split_step(state.sign, state.expo, u, v, state.max_level)
+
+    def has_converged(self, state: CancelSplitState) -> bool:
+        positives = int((state.sign > 0).sum())
+        negatives = int((state.sign < 0).sum())
+        return positives == 0 or negatives == 0
+
+    def output(self, state: CancelSplitState) -> np.ndarray:
+        positives = int((state.sign > 0).sum())
+        negatives = int((state.sign < 0).sum())
+        if positives and negatives:
+            return np.zeros_like(state.sign, dtype=np.int64)
+        winner = 2 if negatives else 1  # ties (no tokens) go to opinion 1
+        return np.full(state.sign.shape, winner, dtype=np.int64)
+
+    def progress(self, state: CancelSplitState) -> Dict[str, float]:
+        return {
+            "positives": float((state.sign > 0).sum()),
+            "negatives": float((state.sign < 0).sum()),
+            "max_expo": float(state.expo.max()),
+        }
+
+    def check_invariants(self, state: CancelSplitState) -> None:
+        current = signed_sum(state.sign, state.expo, state.max_level)
+        if current != state.initial_sum:
+            raise InvariantViolation(
+                f"signed sum changed: {state.initial_sum} -> {current}"
+            )
+        if (state.expo < 0).any() or (state.expo > state.max_level).any():
+            raise InvariantViolation("exponent escaped [0, L]")

@@ -1,0 +1,74 @@
+"""The 3-state approximate majority protocol of Angluin et al. [4].
+
+The paper cites this as the classic contrast to exact majority: with only
+three states (A, B, blank) it converges in O(log n) parallel time w.h.p.,
+but it identifies the majority only when the initial bias is
+Ω(√(n log n)).  Benchmark E10 reproduces this contrast: near-certain
+failure at bias 1, near-certain success at bias ≫ √n.
+
+Transitions (one-way, responder updates):
+    A ← B  →  A ← blank        (an A initiator blanks a B responder)
+    B ← A  →  B ← blank
+    A ← blank → A ← A          (initiators recruit blanks)
+    B ← blank → B ← B
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..engine.errors import ConfigurationError
+from ..engine.population import PopulationConfig
+from ..engine.protocol import Protocol
+
+BLANK = 0
+STATE_A = 1
+STATE_B = 2
+
+
+def three_state_step(state: np.ndarray, u: np.ndarray, v: np.ndarray) -> None:
+    """One-way approximate-majority transition on (u, v) pairs."""
+    su, sv = state[u], state[v]
+    clash = (su != BLANK) & (sv != BLANK) & (su != sv)
+    recruit = (su != BLANK) & (sv == BLANK)
+    state[v[clash]] = BLANK
+    state[v[recruit]] = su[recruit]
+
+
+class ThreeStateMajority(Protocol):
+    """Standalone approximate-majority baseline (k = 2 populations)."""
+
+    name = "three_state_majority"
+
+    def init_state(self, config: PopulationConfig, rng: np.random.Generator):
+        if config.k > 2:
+            raise ConfigurationError("ThreeStateMajority needs a k <= 2 population")
+        return np.where(config.opinions == 1, STATE_A, STATE_B).astype(np.int8)
+
+    def interact(
+        self,
+        state: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        three_state_step(state, u, v)
+
+    def has_converged(self, state: np.ndarray) -> bool:
+        return bool((state == STATE_A).all() or (state == STATE_B).all())
+
+    def output(self, state: np.ndarray) -> np.ndarray:
+        if (state == STATE_A).all():
+            return np.ones(state.shape, dtype=np.int64)
+        if (state == STATE_B).all():
+            return np.full(state.shape, 2, dtype=np.int64)
+        return np.zeros(state.shape, dtype=np.int64)
+
+    def progress(self, state: np.ndarray) -> Dict[str, float]:
+        return {
+            "a": float((state == STATE_A).sum()),
+            "b": float((state == STATE_B).sum()),
+            "blank": float((state == BLANK).sum()),
+        }

@@ -1,0 +1,25 @@
+"""Workload (initial opinion distribution) generators."""
+
+from .distributions import (
+    bias_one,
+    exact,
+    geometric,
+    majority_counts,
+    one_large_many_small,
+    single_opinion,
+    two_block,
+    uniform_with_bias,
+    zipf,
+)
+
+__all__ = [
+    "bias_one",
+    "exact",
+    "geometric",
+    "majority_counts",
+    "one_large_many_small",
+    "single_opinion",
+    "two_block",
+    "uniform_with_bias",
+    "zipf",
+]

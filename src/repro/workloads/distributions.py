@@ -1,0 +1,257 @@
+"""Initial-opinion workload generators.
+
+Each generator returns a :class:`repro.engine.PopulationConfig` whose count
+vector realizes a scenario from the paper:
+
+* ``bias_one``          — the hard case of *exact* plurality consensus: the
+                          plurality leads the runner-up by exactly 1.
+* ``uniform_with_bias`` — near-uniform support with a chosen bias.
+* ``one_large_many_small`` — Section 4's motivating case: x_max large, many
+                          insignificant opinions (n / x_max ≪ k).
+* ``two_block``         — two nearly-tied large opinions plus tiny ones.
+* ``zipf``              — heavy-tailed supports.
+* ``majority_counts``   — k = 2 workloads for the majority substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.errors import ConfigurationError
+from ..engine.population import PopulationConfig
+from ..engine.rng import RngLike
+
+
+def _finalize(
+    counts: Sequence[int], rng: RngLike, shuffle: bool, name: str
+) -> PopulationConfig:
+    config = PopulationConfig.from_counts(counts, rng=rng, shuffle=shuffle, name=name)
+    return config
+
+
+def exact(
+    counts: Sequence[int],
+    *,
+    rng: RngLike = None,
+    shuffle: bool = True,
+    name: str = "exact",
+) -> PopulationConfig:
+    """Population with the given per-opinion counts (``counts[i]`` = x_{i+1})."""
+    return _finalize(counts, rng, shuffle, name)
+
+
+def bias_one(
+    n: int, k: int, *, rng: RngLike = None, shuffle: bool = True
+) -> PopulationConfig:
+    """As-even-as-possible split of ``n`` into ``k`` opinions, minimum bias.
+
+    Opinion 1 is the plurality and the bias is exactly 1 whenever that is
+    arithmetically possible; the single exception is ``k == 2`` with even
+    ``n`` (then ``x₁ − x₂`` is even, so the minimum bias of 2 is used).
+    Requires ``n >= k + 1`` so that the transfer that creates the bias
+    never drives a count negative.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if k == 1:
+        return _finalize([n], rng, shuffle, "bias_one")
+    if n < k + 1:
+        raise ConfigurationError(f"bias_one needs n >= k + 1, got n={n}, k={k}")
+    if k == 2:
+        x2 = (n - 1) // 2
+        counts = [n - x2, x2]
+    else:
+        q, r = divmod(n, k)
+        if r == 1:
+            counts = [q + 1] + [q] * (k - 1)
+        elif r == 0:
+            counts = [q + 1] + [q] * (k - 2) + [q - 1]
+        else:
+            counts = [q + 2] + [q + 1] * (r - 1) + [q] * (k - r - 1) + [q - 1]
+    return _finalize(counts, rng, shuffle, "bias_one")
+
+
+def uniform_with_bias(
+    n: int, k: int, bias: int, *, rng: RngLike = None, shuffle: bool = True
+) -> PopulationConfig:
+    """Near-uniform counts where opinion 1 leads the runner-up by ``bias``.
+
+    The surplus is taken evenly from the non-plurality opinions.
+    """
+    if k < 2:
+        raise ConfigurationError("uniform_with_bias needs k >= 2")
+    if bias < 1:
+        raise ConfigurationError(f"bias must be >= 1, got {bias}")
+    base = bias_one(n, k, rng=rng, shuffle=False)
+    counts = base.counts().astype(np.int64)
+    extra = bias - (counts[0] - counts[1:].max())
+    moved = 0
+    donor = k - 1
+    while moved < extra:
+        if counts[donor] <= 1:
+            donor -= 1
+            if donor == 0:
+                raise ConfigurationError(
+                    f"cannot realize bias={bias} with n={n}, k={k}"
+                )
+            continue
+        counts[donor] -= 1
+        counts[0] += 1
+        moved += 1
+    return _finalize(counts, rng, shuffle, f"uniform_bias_{bias}")
+
+
+def one_large_many_small(
+    n: int,
+    k: int,
+    *,
+    plurality_fraction: float = 0.5,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> PopulationConfig:
+    """One dominant opinion plus ``k - 1`` small, near-equal opinions.
+
+    This is Section 4's favourable regime: ``n / x_max`` is a small constant
+    while ``k`` may be large, so the ImprovedAlgorithm prunes almost all
+    opinions before the tournaments.
+    """
+    if k < 2:
+        raise ConfigurationError("one_large_many_small needs k >= 2")
+    if not 0 < plurality_fraction < 1:
+        raise ConfigurationError("plurality_fraction must be in (0, 1)")
+    x_max = max(2, int(round(n * plurality_fraction)))
+    rest = n - x_max
+    if rest < k - 1:
+        raise ConfigurationError(
+            f"n={n} too small for k={k} at plurality_fraction={plurality_fraction}"
+        )
+    q, r = divmod(rest, k - 1)
+    counts = [x_max] + [q + 1] * r + [q] * (k - 1 - r)
+    if counts[1] >= counts[0]:
+        raise ConfigurationError("plurality_fraction too small to dominate")
+    return _finalize(counts, rng, shuffle, "one_large_many_small")
+
+
+def two_block(
+    n: int,
+    k: int,
+    *,
+    big_fraction: float = 0.8,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> PopulationConfig:
+    """Two big opinions separated by exactly 1, plus ``k - 2`` tiny ones.
+
+    The hardest pruning case: the runner-up is *significant* and must
+    survive pruning to lose its tournament fairly.
+    """
+    if k < 2:
+        raise ConfigurationError("two_block needs k >= 2")
+    big_total = int(round(n * big_fraction))
+    rest = n - big_total
+    if k == 2:
+        if rest:
+            big_total = n
+            rest = 0
+    elif rest < k - 2:
+        raise ConfigurationError(f"n={n} too small for k={k} tiny opinions")
+    x2 = (big_total - 1) // 2
+    x1 = big_total - x2
+    if x1 - x2 not in (1, 2):
+        raise ConfigurationError("could not realize near-tied big block")
+    counts = [x1, x2]
+    if k > 2:
+        q, r = divmod(rest, k - 2)
+        counts += [q + 1] * r + [q] * (k - 2 - r)
+    if max(counts[2:], default=0) >= x2:
+        raise ConfigurationError("tiny opinions not smaller than the big block")
+    return _finalize(counts, rng, shuffle, "two_block")
+
+
+def zipf(
+    n: int,
+    k: int,
+    *,
+    s: float = 1.0,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> PopulationConfig:
+    """Zipf-distributed supports: ``x_i`` proportional to ``1 / i**s``.
+
+    Rounding residue is assigned to opinion 1, which also guarantees a
+    unique plurality.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if s < 0:
+        raise ConfigurationError(f"s must be >= 0, got {s}")
+    weights = 1.0 / np.arange(1, k + 1, dtype=np.float64) ** s
+    raw = weights / weights.sum() * n
+    counts = np.floor(raw).astype(np.int64)
+    counts[0] += n - counts.sum()
+    if k >= 2 and counts[0] <= counts[1:].max():
+        counts[0] = counts[1:].max() + 1
+        overflow = counts.sum() - n
+        donor = k - 1
+        while overflow > 0 and donor > 0:
+            take = min(overflow, max(counts[donor] - 0, 0))
+            counts[donor] -= take
+            overflow -= take
+            donor -= 1
+        if overflow > 0:
+            raise ConfigurationError(f"cannot realize zipf(s={s}) for n={n}, k={k}")
+    return _finalize(counts, rng, shuffle, f"zipf_{s}")
+
+
+def geometric(
+    n: int,
+    k: int,
+    *,
+    ratio: float = 0.5,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> PopulationConfig:
+    """Geometrically decaying supports: ``x_i`` proportional to ``ratio^i``.
+
+    Produces a cascade of significance levels — useful for probing the
+    ImprovedAlgorithm's pruning threshold, since successive opinions fall
+    off by a constant factor.  The rounding residue goes to opinion 1.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not 0 < ratio < 1:
+        raise ConfigurationError(f"ratio must be in (0, 1), got {ratio}")
+    weights = ratio ** np.arange(k, dtype=np.float64)
+    raw = weights / weights.sum() * n
+    counts = np.maximum(np.floor(raw).astype(np.int64), 0)
+    counts[0] += n - counts.sum()
+    if k >= 2 and counts[0] <= counts[1:].max():
+        raise ConfigurationError(f"geometric({ratio}) degenerate for n={n}, k={k}")
+    return _finalize(counts, rng, shuffle, f"geometric_{ratio}")
+
+
+def majority_counts(
+    n: int, *, bias: int = 1, rng: RngLike = None, shuffle: bool = True
+) -> PopulationConfig:
+    """k = 2 population where opinion 1 leads opinion 2 by exactly ``bias``.
+
+    Requires ``n`` and ``bias`` to have the same parity.
+    """
+    if bias < 0:
+        raise ConfigurationError(f"bias must be >= 0, got {bias}")
+    if (n - bias) % 2 != 0 or n < bias:
+        raise ConfigurationError(
+            f"majority_counts needs n >= bias with equal parity, got n={n}, bias={bias}"
+        )
+    x2 = (n - bias) // 2
+    return _finalize([n - x2, x2], rng, shuffle, f"majority_bias_{bias}")
+
+
+def single_opinion(n: int, *, k: int = 1) -> PopulationConfig:
+    """Everyone starts with opinion 1 (degenerate sanity-check workload)."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    counts = [n] + [0] * (k - 1)
+    return PopulationConfig.from_counts(counts, shuffle=False, name="single_opinion")

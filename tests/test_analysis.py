@@ -1,0 +1,157 @@
+"""Tests for the analysis package: theory, fitting, stats, random walks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    fit_loglog,
+    lemma16_failure_probabilities,
+    lemma16_lower_bound,
+    lemma16_upper_bound,
+    ratio_spread,
+    simulate_hitting_times,
+    success_rate,
+    theory,
+    time_summary,
+    wilson_interval,
+)
+from repro.analysis.stats import failure_breakdown
+from repro.engine.simulation import RunResult
+
+
+def result_of(succeeded=True, time=10.0, failure=None):
+    return RunResult(
+        protocol="p",
+        n=10,
+        k=2,
+        interactions=int(time * 10),
+        parallel_time=time,
+        converged=succeeded or failure is None,
+        output_opinion=1 if succeeded else 2,
+        expected_opinion=1,
+        correct=succeeded,
+        failure=failure,
+    )
+
+
+class TestFitting:
+    def test_exact_power_law(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x**2 for x in xs]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(np.array([16.0]))[0] == pytest.approx(3 * 256)
+
+    def test_ratio_spread(self):
+        assert ratio_spread([2, 4, 8], [1, 2, 4]) == pytest.approx(1.0)
+        assert ratio_spread([2, 4, 16], [1, 2, 4]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_loglog([1], [1])
+        with pytest.raises(ValueError):
+            fit_loglog([1, -1], [1, 1])
+        with pytest.raises(ValueError):
+            ratio_spread([1], [1, 2])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        slope=st.floats(min_value=-2, max_value=3),
+        scale=st.floats(min_value=0.1, max_value=50),
+    )
+    def test_property_recovers_exponent(self, slope, scale):
+        xs = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        ys = scale * xs**slope
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+
+
+class TestStats:
+    def test_success_rate(self):
+        results = [result_of(True), result_of(False), result_of(True)]
+        assert success_rate(results) == pytest.approx(2 / 3)
+
+    def test_time_summary_successful_only(self):
+        results = [result_of(True, 10), result_of(False, 99), result_of(True, 20)]
+        summary = time_summary(results)
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(15.0)
+        assert "median" in summary.describe()
+
+    def test_failure_breakdown(self):
+        results = [
+            result_of(False, failure="timeout"),
+            result_of(False, failure="timeout"),
+            result_of(False),
+            result_of(True),
+        ]
+        breakdown = failure_breakdown(results)
+        assert breakdown["timeout"] == 2
+        assert breakdown["wrong_opinion"] == 1
+
+    def test_wilson_interval(self):
+        lo, hi = wilson_interval(9, 10)
+        assert 0.5 < lo < 0.9 < hi <= 1.0
+        lo0, hi0 = wilson_interval(0, 10)
+        assert lo0 == 0.0 and hi0 > 0.0
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate([])
+        with pytest.raises(ValueError):
+            time_summary([result_of(False)])
+
+
+class TestTheory:
+    def test_drivers_monotone(self):
+        assert theory.simple_time_driver(1000, 5) > theory.simple_time_driver(100, 5)
+        assert theory.simple_time_driver(100, 9) > theory.simple_time_driver(100, 3)
+        assert theory.improved_time_driver(1000, 500) < theory.improved_time_driver(
+            1000, 50
+        )
+
+    def test_state_bounds_ordering(self):
+        k = 32
+        assert theory.simple_states_driver(1000, k) < theory.always_correct_lower_bound(k)
+        assert theory.always_correct_lower_bound(k) < theory.ordered_always_correct_bound(k)
+        assert theory.ordered_always_correct_bound(k) < theory.natale_ramezani_upper_bound(k)
+
+    def test_tournaments_driver(self):
+        assert theory.tournaments_driver(1000, 50, 600) == pytest.approx(1000 / 600)
+        assert theory.tournaments_driver(1000, 3, 400) == pytest.approx(2.0)
+
+
+class TestRandomWalk:
+    def test_upward_drift_hits_fast(self):
+        sample = simulate_hitting_times(0.75, 10, walkers=200, max_steps=5000, rng=1)
+        assert sample.completed_fraction == 1.0
+        assert sample.quantile(0.99) <= lemma16_upper_bound(0.75, 10)
+
+    def test_downward_drift_is_slow(self):
+        lower = lemma16_lower_bound(0.25, 10)
+        sample = simulate_hitting_times(
+            0.25, 10, walkers=100, max_steps=int(lower), rng=2
+        )
+        early = float(np.isfinite(sample.times).mean())
+        assert early <= lemma16_failure_probabilities(0.25, 10) + 0.1
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            lemma16_upper_bound(0.4, 5)
+        with pytest.raises(ValueError):
+            lemma16_lower_bound(0.6, 5)
+        with pytest.raises(ValueError):
+            simulate_hitting_times(1.5, 5, 10, max_steps=10)
+
+    def test_quantile_of_unfinished_sample(self):
+        sample = simulate_hitting_times(0.1, 30, walkers=5, max_steps=50, rng=3)
+        assert sample.quantile(0.5) == float("inf")

@@ -1,0 +1,99 @@
+"""Tests for the load-balancing (averaging) substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balancing import LoadBalancingProtocol, averaging_step, discrepancy
+from repro.engine import ConfigurationError, make_rng, simulate
+from repro.workloads import majority_counts
+
+
+class TestAveragingStep:
+    def test_floor_ceil_split(self):
+        loads = np.array([5, 0])
+        averaging_step(loads, np.array([0]), np.array([1]))
+        assert sorted(loads) == [2, 3]
+
+    def test_negative_sum_rounds_toward_minus_inf(self):
+        loads = np.array([-5, 0])
+        averaging_step(loads, np.array([0]), np.array([1]))
+        assert sorted(loads) == [-3, -2]
+
+    def test_opposite_cancel(self):
+        loads = np.array([1, -1])
+        averaging_step(loads, np.array([0]), np.array([1]))
+        assert list(loads) == [0, 0]
+
+    def test_empty_noop(self):
+        loads = np.array([3])
+        averaging_step(loads, np.array([], int), np.array([], int))
+        assert loads[0] == 3
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        loads=st.lists(
+            st.integers(min_value=-10, max_value=10), min_size=4, max_size=24
+        ),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_sum_and_range_preserved(self, loads, seed):
+        arr = np.array(loads, dtype=np.int64)
+        total = arr.sum()
+        lo, hi = arr.min(), arr.max()
+        rng = make_rng(seed)
+        for _ in range(30):
+            perm = rng.permutation(len(arr))
+            half = len(arr) // 2
+            averaging_step(arr, perm[:half], perm[half : 2 * half])
+        assert arr.sum() == total
+        assert arr.min() >= lo and arr.max() <= hi
+
+
+class TestLoadBalancingProtocol:
+    def test_reaches_constant_discrepancy(self):
+        result = simulate(
+            LoadBalancingProtocol(),
+            majority_counts(256, bias=0),
+            seed=5,
+            max_parallel_time=2000,
+        )
+        assert result.converged
+        assert result.extras["discrepancy"] <= 2
+        assert result.extras["sum"] == 0
+
+    def test_biased_load_keeps_sum(self):
+        result = simulate(
+            LoadBalancingProtocol(cap=10),
+            majority_counts(255, bias=1),
+            seed=6,
+            max_parallel_time=2000,
+        )
+        assert result.converged
+        assert result.extras["sum"] == 10  # (x1 - x2) * cap
+
+    def test_custom_loads(self):
+        protocol = LoadBalancingProtocol(
+            loads_from_config=lambda c: np.arange(c.n, dtype=np.int64)
+        )
+        result = simulate(
+            protocol, majority_counts(64, bias=0), seed=7, max_parallel_time=2000
+        )
+        assert result.converged
+
+    def test_bad_loads_shape_rejected(self):
+        protocol = LoadBalancingProtocol(
+            loads_from_config=lambda c: np.zeros(3, dtype=np.int64)
+        )
+        with pytest.raises(ConfigurationError):
+            protocol.init_state(majority_counts(64, bias=0), make_rng(0))
+
+    def test_discrepancy_helper(self):
+        assert discrepancy(np.array([-3, 4])) == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadBalancingProtocol(target_discrepancy=-1)
+        with pytest.raises(ConfigurationError):
+            LoadBalancingProtocol(cap=0)

@@ -1,0 +1,111 @@
+"""Tests for the baseline systems (USD, 3-state, oracle tournaments)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    UNDECIDED,
+    UndecidedStateDynamics,
+    oracle_tournament,
+    usd_step,
+)
+from repro.engine import make_rng, simulate
+from repro.majority import STATE_A, STATE_B, ThreeStateMajority, three_state_step
+from repro.workloads import bias_one, exact, majority_counts, uniform_with_bias
+
+
+class TestUsdStep:
+    def test_clash_blanks_responder(self):
+        opinion = np.array([1, 2])
+        usd_step(opinion, np.array([0]), np.array([1]))
+        assert opinion[1] == UNDECIDED
+        assert opinion[0] == 1
+
+    def test_recruit_undecided(self):
+        opinion = np.array([3, UNDECIDED])
+        usd_step(opinion, np.array([0]), np.array([1]))
+        assert opinion[1] == 3
+
+    def test_same_opinion_noop(self):
+        opinion = np.array([2, 2])
+        usd_step(opinion, np.array([0]), np.array([1]))
+        assert list(opinion) == [2, 2]
+
+
+class TestUsdProtocol:
+    def test_converges_fast_with_large_bias(self):
+        config = uniform_with_bias(300, 3, bias=150)
+        result = simulate(
+            UndecidedStateDynamics(), config, seed=1, max_parallel_time=500
+        )
+        assert result.succeeded
+
+    def test_unreliable_at_bias_one(self):
+        wins = 0
+        for seed in range(12):
+            config = bias_one(120, 3, rng=seed)
+            result = simulate(
+                UndecidedStateDynamics(),
+                config,
+                seed=50 + seed,
+                max_parallel_time=800,
+            )
+            wins += result.succeeded
+        # With three near-equal opinions the winner is near-uniform.
+        assert wins <= 9
+
+    def test_progress(self):
+        protocol = UndecidedStateDynamics()
+        state = protocol.init_state(bias_one(30, 3, rng=0), make_rng(0))
+        progress = protocol.progress(state)
+        assert progress["undecided"] == 0
+        assert progress["distinct_opinions"] == 3
+
+
+class TestThreeState:
+    def test_step_semantics(self):
+        state = np.array([STATE_A, STATE_B], dtype=np.int8)
+        three_state_step(state, np.array([0]), np.array([1]))
+        assert state[1] == 0  # blanked
+        three_state_step(state, np.array([0]), np.array([1]))
+        assert state[1] == STATE_A  # recruited
+
+    def test_correct_at_large_bias(self):
+        result = simulate(
+            ThreeStateMajority(),
+            majority_counts(300, bias=200),
+            seed=2,
+            max_parallel_time=500,
+        )
+        assert result.succeeded
+
+    def test_rejects_k3(self):
+        from repro.engine import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ThreeStateMajority().init_state(exact([1, 1, 1]), make_rng(0))
+
+
+class TestOracleTournament:
+    def test_correct_at_bias_one(self):
+        for seed in range(5):
+            config = bias_one(201, 4, rng=seed)
+            result = oracle_tournament(config, seed=seed)
+            assert result.correct, f"seed {seed}: winner {result.winner}"
+
+    def test_plurality_in_middle(self):
+        config = exact([20, 61, 20, 20], rng=1)
+        result = oracle_tournament(config, seed=3)
+        assert result.winner == 2
+
+    def test_zero_support_challengers_skipped_cheaply(self):
+        config = exact([30, 0, 0, 29], rng=2)
+        result = oracle_tournament(config, seed=4)
+        assert result.winner == 1
+        assert result.match_times[0] == 0.0  # empty challenger costs nothing
+
+    def test_reports_parallel_time(self):
+        config = bias_one(101, 3, rng=5)
+        result = oracle_tournament(config, seed=6)
+        assert result.parallel_time > 0
+        assert len(result.match_times) == 2

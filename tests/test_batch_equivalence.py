@@ -1,0 +1,152 @@
+"""Batched-transition equivalence: the claim behind DESIGN.md §4.1.
+
+Applying a batch of pairwise-disjoint interactions in one vectorized call
+must produce *exactly* the same state as applying the same interactions
+one at a time (population-protocol transitions only touch the two
+participants, so disjoint interactions commute).  These tests verify that
+property for every protocol in the package, on random states and random
+disjoint batches — including the deterministic substrate steps and the
+full core algorithms (whose RNG consumption is batch-size dependent, so
+they are tested with transitions that consume no randomness).
+"""
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balancing import averaging_step
+from repro.broadcast import one_way_infect, value_broadcast
+from repro.core.simple import SimpleAlgorithm
+from repro.engine import make_rng
+from repro.majority import cancel_split_step, resolve_step, three_state_step
+from repro.workloads import bias_one
+
+
+def disjoint_batch(rng, n, max_pairs):
+    perm = rng.permutation(n)
+    pairs = int(rng.integers(1, max(2, min(max_pairs, n // 2)) + 1))
+    return perm[:pairs].astype(np.int64), perm[pairs : 2 * pairs].astype(np.int64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cancel_split_batch_equivalence(seed):
+    rng = make_rng(seed)
+    n = 24
+    max_level = 6
+    sign = rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=n)
+    expo = rng.integers(0, max_level + 1, size=n).astype(np.int64)
+    u, v = disjoint_batch(rng, n, 10)
+
+    sign_batch, expo_batch = sign.copy(), expo.copy()
+    cancel_split_step(sign_batch, expo_batch, u, v, max_level)
+
+    sign_seq, expo_seq = sign.copy(), expo.copy()
+    for i in range(u.size):
+        cancel_split_step(sign_seq, expo_seq, u[i : i + 1], v[i : i + 1], max_level)
+
+    assert (sign_batch == sign_seq).all()
+    assert (expo_batch == expo_seq).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_averaging_batch_equivalence(seed):
+    rng = make_rng(seed)
+    n = 20
+    loads = rng.integers(-10, 11, size=n).astype(np.int64)
+    u, v = disjoint_batch(rng, n, 8)
+
+    batch = loads.copy()
+    averaging_step(batch, u, v)
+    seq = loads.copy()
+    for i in range(u.size):
+        averaging_step(seq, u[i : i + 1], v[i : i + 1])
+    assert (batch == seq).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_resolve_and_epidemic_batch_equivalence(seed):
+    rng = make_rng(seed)
+    n = 20
+    sign = rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=n)
+    out = rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=n)
+    informed = rng.random(n) < 0.3
+    values = rng.integers(0, 4, size=n).astype(np.int64)
+    u, v = disjoint_batch(rng, n, 8)
+
+    out_b, informed_b, values_b = out.copy(), informed.copy(), values.copy()
+    resolve_step(out_b, sign, u, v)
+    one_way_infect(informed_b, u, v)
+    value_broadcast(values_b, u, v)
+
+    out_s, informed_s, values_s = out.copy(), informed.copy(), values.copy()
+    for i in range(u.size):
+        resolve_step(out_s, sign, u[i : i + 1], v[i : i + 1])
+        one_way_infect(informed_s, u[i : i + 1], v[i : i + 1])
+        value_broadcast(values_s, u[i : i + 1], v[i : i + 1])
+
+    assert (out_b == out_s).all()
+    assert (informed_b == informed_s).all()
+    assert (values_b == values_s).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_three_state_batch_equivalence(seed):
+    rng = make_rng(seed)
+    n = 18
+    state = rng.choice(np.array([0, 1, 2], dtype=np.int8), size=n)
+    u, v = disjoint_batch(rng, n, 8)
+    batch = state.copy()
+    three_state_step(batch, u, v)
+    seq = state.copy()
+    for i in range(u.size):
+        three_state_step(seq, u[i : i + 1], v[i : i + 1])
+    assert (batch == seq).all()
+
+
+@pytest.mark.parametrize("phase", [0, 2, 4, 6, 7, 8])
+def test_simple_algorithm_batch_equivalence_per_phase(phase):
+    """Full-protocol equivalence on deterministic (non-init) phases.
+
+    The initialization phase consumes RNG draws whose count depends on the
+    batch split, so exact replay is only defined for the tournament rules;
+    those are RNG-free and must match exactly.
+    """
+    algo = SimpleAlgorithm()
+    config = bias_one(48, 3, rng=1)
+    rng = make_rng(2)
+    state = algo.init_state(config, rng)
+    # Put the population into a plausible mid-tournament configuration.
+    n = state.n
+    state.phase[:] = phase
+    state.role[:] = np.tile(np.array([0, 1, 2, 3], dtype=np.int8), n // 4)
+    state.count[:] = rng.integers(0, state.psi, n)
+    state.tcnt[:] = 2
+    state.ell[:] = rng.integers(-3, 4, n)
+    state.msign[:] = rng.choice(np.array([-1, 0, 1], dtype=np.int8), n)
+    state.popinion[:] = rng.choice(np.array([0, 1, 2], dtype=np.int8), n)
+
+    perm = make_rng(3).permutation(n)
+    u, v = perm[:8].astype(np.int64), perm[8:16].astype(np.int64)
+
+    batch_state = copy.deepcopy(state)
+    algo.interact(batch_state, u, v, make_rng(4))
+
+    seq_state = copy.deepcopy(state)
+    for i in range(u.size):
+        algo.interact(seq_state, u[i : i + 1], v[i : i + 1], make_rng(4))
+
+    for name in (
+        "phase", "role", "tokens", "defender", "challenger", "winner",
+        "ell", "count", "tcnt", "popinion", "msign", "mexpo", "mout",
+        "bwin_tag", "opinion",
+    ):
+        a = getattr(batch_state, name)
+        b = getattr(seq_state, name)
+        assert (a == b).all(), f"field {name} diverged in phase {phase}"

@@ -1,0 +1,199 @@
+"""Tests for the cancel/split exact-majority substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ConfigurationError, make_rng, simulate
+from repro.engine.scheduler import SequentialScheduler
+from repro.majority import (
+    CancelSplitMajority,
+    cancel_split_step,
+    majority_levels,
+    resolve_step,
+    signed_sum,
+)
+from repro.workloads import majority_counts
+
+
+def pair(u, v):
+    return np.array([u]), np.array([v])
+
+
+class TestRules:
+    def test_equal_level_cancel(self):
+        sign = np.array([1, -1], dtype=np.int8)
+        expo = np.array([2, 2], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert list(sign) == [0, 0]
+
+    def test_adjacent_partial_cancel_u_heavier(self):
+        sign = np.array([1, -1], dtype=np.int8)
+        expo = np.array([1, 2], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert sign[0] == 1 and expo[0] == 2
+        assert sign[1] == 0
+
+    def test_adjacent_partial_cancel_v_heavier(self):
+        sign = np.array([1, -1], dtype=np.int8)
+        expo = np.array([3, 2], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert sign[0] == 0
+        assert sign[1] == -1 and expo[1] == 3
+
+    def test_distant_levels_no_reaction(self):
+        sign = np.array([1, -1], dtype=np.int8)
+        expo = np.array([0, 4], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert sign[0] == 1 and sign[1] == -1
+
+    def test_split_onto_empty(self):
+        sign = np.array([1, 0], dtype=np.int8)
+        expo = np.array([2, 0], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert list(sign) == [1, 1]
+        assert list(expo) == [3, 3]
+
+    def test_no_split_at_max_level(self):
+        sign = np.array([1, 0], dtype=np.int8)
+        expo = np.array([5, 0], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert sign[1] == 0
+
+    def test_merge_same_sign_same_level(self):
+        sign = np.array([-1, -1], dtype=np.int8)
+        expo = np.array([3, 3], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert sign[0] == -1 and expo[0] == 2
+        assert sign[1] == 0
+
+    def test_no_merge_at_level_zero(self):
+        sign = np.array([1, 1], dtype=np.int8)
+        expo = np.array([0, 0], dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert list(sign) == [1, 1]
+
+    def test_two_zeros_no_reaction(self):
+        sign = np.zeros(2, dtype=np.int8)
+        expo = np.zeros(2, dtype=np.int64)
+        cancel_split_step(sign, expo, *pair(0, 1), max_level=5)
+        assert list(sign) == [0, 0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+        rounds=st.integers(min_value=1, max_value=60),
+    )
+    def test_property_signed_sum_invariant(self, n, seed, rounds):
+        rng = make_rng(seed)
+        max_level = majority_levels(n)
+        sign = rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=n)
+        expo = rng.integers(0, max_level + 1, size=n).astype(np.int64)
+        expo[sign == 0] = 0
+        before = signed_sum(sign, expo, max_level)
+        for _ in range(rounds):
+            perm = rng.permutation(n)
+            half = n // 2
+            cancel_split_step(sign, expo, perm[:half], perm[half : 2 * half],
+                              max_level)
+        assert signed_sum(sign, expo, max_level) == before
+        assert expo.min() >= 0 and expo.max() <= max_level
+
+
+class TestResolve:
+    def test_actives_stamp_their_sign(self):
+        sign = np.array([1, 0], dtype=np.int8)
+        out = np.array([0, 0], dtype=np.int8)
+        resolve_step(out, sign, *pair(0, 1))
+        assert out[0] == 1
+        assert out[1] == 1  # zero adopts from active partner
+
+    def test_active_overwrites_stale_claim(self):
+        sign = np.array([0, 1], dtype=np.int8)
+        out = np.array([-1, 0], dtype=np.int8)
+        resolve_step(out, sign, *pair(0, 1))
+        assert out[0] == 1
+
+    def test_zero_to_zero_fills_empty_only(self):
+        sign = np.zeros(2, dtype=np.int8)
+        out = np.array([0, -1], dtype=np.int8)
+        resolve_step(out, sign, *pair(0, 1))
+        assert out[0] == -1
+        out = np.array([1, -1], dtype=np.int8)
+        resolve_step(out, sign, *pair(0, 1))
+        assert out[0] == 1  # non-empty claims not overwritten by zeros
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("n,bias", [(100, 2), (101, 1), (128, 2)])
+    def test_exact_at_tiny_bias(self, n, bias):
+        wins = 0
+        for seed in range(5):
+            result = simulate(
+                CancelSplitMajority(),
+                majority_counts(n, bias=bias, rng=seed),
+                seed=100 + seed,
+                max_parallel_time=3000,
+            )
+            wins += result.succeeded
+        assert wins == 5
+
+    def test_minority_never_wins(self):
+        result = simulate(
+            CancelSplitMajority(),
+            majority_counts(60, bias=10, rng=1),
+            seed=2,
+            max_parallel_time=3000,
+            check_invariants=True,
+        )
+        assert result.output_opinion == 1
+
+    def test_opinion_two_majority(self):
+        # Swap supports so opinion 2 is the majority.
+        from repro.workloads import exact
+
+        result = simulate(
+            CancelSplitMajority(),
+            exact([30, 34], rng=3),
+            seed=3,
+            max_parallel_time=3000,
+        )
+        assert result.output_opinion == 2
+
+    def test_tie_goes_to_opinion_one(self):
+        result = simulate(
+            CancelSplitMajority(),
+            majority_counts(64, bias=0, rng=4),
+            seed=4,
+            max_parallel_time=5000,
+        )
+        if result.converged:
+            assert result.output_opinion == 1
+
+    def test_rejects_k3(self):
+        from repro.workloads import exact
+
+        with pytest.raises(ConfigurationError):
+            CancelSplitMajority().init_state(exact([2, 2, 2]), make_rng(0))
+
+    def test_no_deadlock_from_all_active_levels(self):
+        # Regression: a configuration with every agent active and opposite
+        # signs far apart deadlocks without the merge rule.
+        rng = make_rng(7)
+        n = 64
+        max_level = majority_levels(n)
+        sign = np.array([1] * 33 + [-1] * 31, dtype=np.int8)
+        expo = np.array([2] * 33 + [6] * 31, dtype=np.int64)
+        scheduler = SequentialScheduler()
+        done = 0
+        for u, v in scheduler.batches(n, rng):
+            cancel_split_step(sign, expo, u, v, max_level)
+            done += u.size
+            positives = (sign > 0).sum()
+            negatives = (sign < 0).sum()
+            if positives == 0 or negatives == 0:
+                break
+            assert done < 3000 * n, "cancel/split stalled"
+        assert (sign < 0).sum() == 0  # the heavier + side must win

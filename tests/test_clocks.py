@@ -1,0 +1,167 @@
+"""Tests for the leaderless and junta-driven phase clocks."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import (
+    JuntaPhaseClock,
+    LeaderlessPhaseClock,
+    clock_psi,
+    form_junta_step,
+    hours,
+    junta_clock_step,
+    junta_max_level,
+    leaderless_clock_step,
+    subpopulation_summary,
+)
+from repro.engine import make_rng, simulate
+from repro.workloads import exact, single_opinion
+
+
+class TestLeaderlessStep:
+    def test_tie_increments_initiator(self):
+        count = np.array([0, 0])
+        phase = np.array([0, 0])
+        leaderless_clock_step(count, phase, np.array([0]), np.array([1]), psi=8)
+        assert count[0] == 1 and count[1] == 0
+
+    def test_laggard_increments(self):
+        count = np.array([1, 5])
+        phase = np.array([0, 0])
+        leaderless_clock_step(count, phase, np.array([1]), np.array([0]), psi=8)
+        assert count[0] == 2  # agent 0 is behind
+        assert count[1] == 5
+
+    def test_circular_comparison(self):
+        # count 7 vs 0 with psi 8: 0 is *ahead* (just wrapped), 7 is behind.
+        count = np.array([7, 0])
+        phase = np.array([0, 1])
+        leaderless_clock_step(count, phase, np.array([0]), np.array([1]), psi=8)
+        assert count[0] == 0
+        assert phase[0] == 1  # wrapped -> phase incremented
+
+    def test_wrap_increments_phase(self):
+        count = np.array([7, 7])
+        phase = np.array([3, 3])
+        leaderless_clock_step(count, phase, np.array([0]), np.array([1]), psi=8)
+        assert phase.max() == 4
+
+    def test_empty_pairs_noop(self):
+        count = np.array([1])
+        phase = np.array([0])
+        leaderless_clock_step(count, phase, np.array([], int), np.array([], int), 8)
+        assert count[0] == 1
+
+
+class TestLeaderlessProtocol:
+    def test_phases_advance_with_low_skew(self):
+        protocol = LeaderlessPhaseClock(gamma=2.0, target_phases=4)
+        result = simulate(
+            protocol,
+            single_opinion(128),
+            seed=2,
+            max_parallel_time=5000,
+            check_invariants=True,
+        )
+        assert result.converged
+        assert result.extras["skew"] <= 2
+
+    def test_phase_duration_scales_like_log_n(self):
+        times = {}
+        for n in (128, 512):
+            protocol = LeaderlessPhaseClock(gamma=1.0, target_phases=3)
+            result = simulate(
+                protocol, single_opinion(n), seed=3, max_parallel_time=10000
+            )
+            assert result.converged
+            times[n] = result.parallel_time
+        assert times[512] < 3.0 * times[128]
+
+    def test_psi_floor(self):
+        assert clock_psi(2, 0.1) == 8
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            LeaderlessPhaseClock(target_phases=0)
+
+
+class TestFormJunta:
+    def test_level_up_on_equal_level(self):
+        level = np.array([0, 0])
+        active = np.array([True, True])
+        junta = np.array([False, False])
+        form_junta_step(level, active, junta, np.array([0]), np.array([1]), 3)
+        assert level[0] == 1 and active[0]
+
+    def test_deactivation_on_lower_level(self):
+        level = np.array([2, 0])
+        active = np.array([True, True])
+        junta = np.array([False, False])
+        form_junta_step(level, active, junta, np.array([0]), np.array([1]), 3)
+        assert not active[0]
+        assert not junta[0]
+
+    def test_crowning_at_max_level(self):
+        level = np.array([2, 2])
+        active = np.array([True, True])
+        junta = np.array([False, False])
+        form_junta_step(level, active, junta, np.array([0]), np.array([1]), 3)
+        assert junta[0] and not active[0] and level[0] == 3
+
+    def test_inactive_agents_frozen(self):
+        level = np.array([1, 0])
+        active = np.array([False, True])
+        junta = np.array([False, False])
+        form_junta_step(level, active, junta, np.array([0]), np.array([1]), 3)
+        assert level[0] == 1
+
+    def test_max_level_formula(self):
+        assert junta_max_level(2 ** 16, offset=2) == 2
+        assert junta_max_level(256, offset=0) == 3
+        assert junta_max_level(4, offset=2) == 1  # clamped
+
+
+class TestJuntaClock:
+    def test_junta_initiator_pushes(self):
+        position = np.array([0, 5])
+        junta = np.array([True, False])
+        junta_clock_step(position, junta, np.array([0]), np.array([1]))
+        assert position[0] == 6
+
+    def test_non_junta_copies(self):
+        position = np.array([0, 5])
+        junta = np.array([False, False])
+        junta_clock_step(position, junta, np.array([0]), np.array([1]))
+        assert position[0] == 5
+
+    def test_hours(self):
+        assert list(hours(np.array([0, 3, 7]), m=3)) == [0, 1, 2]
+
+    def test_larger_subpopulation_ticks_first(self):
+        protocol = JuntaPhaseClock(m=16, target_hours=1)
+        config = exact([192, 48, 16], rng=1)
+        out = []
+        result = simulate(
+            protocol, config, seed=4, max_parallel_time=4000, state_out=out
+        )
+        assert result.converged
+        summary = subpopulation_summary(out[0])
+        assert summary[1][2] >= summary[3][2]  # big opinion at least as far
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JuntaPhaseClock(m=0)
+        with pytest.raises(ValueError):
+            JuntaPhaseClock(target_hours=0)
+
+    def test_meaningful_interactions_only(self):
+        protocol = JuntaPhaseClock(m=2, target_hours=1)
+        config = exact([2, 2], rng=0, shuffle=False)
+        state = protocol.init_state(config, make_rng(0))
+        # Cross-opinion pair: nothing may change.
+        protocol.interact(state, np.array([0]), np.array([2]), make_rng(1))
+        assert state.level.sum() == 0
+        assert state.position.sum() == 0
+        # Same-opinion pair: the initiator levels up.
+        protocol.interact(state, np.array([0]), np.array([1]), make_rng(1))
+        assert state.level[0] == 1

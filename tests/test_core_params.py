@@ -1,0 +1,82 @@
+"""Tests for the protocol parameter dataclasses and role helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    COLLECTOR,
+    ImprovedParams,
+    SimpleParams,
+    UnorderedParams,
+    role_counts,
+    with_params,
+)
+from repro.engine import ConfigurationError
+
+
+class TestSimpleParams:
+    def test_derived_quantities_scale(self):
+        params = SimpleParams()
+        assert params.psi(1024) > params.psi(64)
+        assert params.init_threshold(1024) > params.init_threshold(64)
+        assert params.max_level(1024) == int(np.ceil(np.log2(1024))) + 2
+
+    def test_default_budget_grows_with_k_and_n(self):
+        params = SimpleParams()
+        assert params.default_max_time(256, 8) > params.default_max_time(256, 2)
+        assert params.default_max_time(1024, 4) > params.default_max_time(128, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimpleParams(clock_gamma=0)
+        with pytest.raises(ConfigurationError):
+            SimpleParams(init_threshold_factor=-1)
+        with pytest.raises(ConfigurationError):
+            SimpleParams(token_cap=1)
+
+    def test_frozen(self):
+        params = SimpleParams()
+        with pytest.raises(Exception):
+            params.token_cap = 5  # type: ignore[misc]
+
+    def test_with_params_copies(self):
+        params = SimpleParams()
+        other = with_params(params, clock_gamma=4.0)
+        assert other.clock_gamma == 4.0
+        assert params.clock_gamma != 4.0
+        assert other.token_cap == params.token_cap
+
+
+class TestUnorderedParams:
+    def test_rounds_and_offset(self):
+        params = UnorderedParams()
+        rounds = params.rounds(256)
+        assert rounds >= 10
+        assert params.tournament_phase_offset(256) == rounds + params.selection_phases
+
+    def test_budget_exceeds_simple(self):
+        assert UnorderedParams().default_max_time(256, 4) > SimpleParams(
+        ).default_max_time(256, 4)
+
+
+class TestImprovedParams:
+    def test_hour_m_scales_with_log_n(self):
+        params = ImprovedParams()
+        assert params.hour_m(2**16) == 16
+        assert params.hour_m(4) >= 2
+
+    def test_significance_threshold(self):
+        params = ImprovedParams(phase_floor_c=6)
+        assert params.significance_threshold() == 8.0
+
+    def test_inherits_unordered_machinery(self):
+        params = ImprovedParams()
+        assert params.rounds(256) == UnorderedParams(
+            le_factor=params.le_factor, le_slack=params.le_slack
+        ).rounds(256)
+
+
+def test_role_counts():
+    roles = np.array([COLLECTOR, COLLECTOR, 1, 2, 3, 3], dtype=np.int8)
+    counts = role_counts(roles)
+    assert counts == {"collector": 2, "clock": 1, "tracker": 1, "player": 2}

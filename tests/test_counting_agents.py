@@ -1,0 +1,132 @@
+"""Appendix C's counting-agent mode (k arbitrarily close to n)."""
+
+import numpy as np
+import pytest
+
+from repro.core import COLLECTOR, SimpleAlgorithm, SimpleParams
+from repro.core.common import COUNTING
+from repro.engine import MatchingScheduler, make_rng, simulate
+from repro.engine.scheduler import SequentialScheduler
+from repro.workloads import exact
+
+
+def arr(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+def counting_params(**overrides):
+    defaults = dict(counting_agents=True, init_decrement=0.25, token_cap=20)
+    defaults.update(overrides)
+    return SimpleParams(**defaults)
+
+
+class TestCountingRules:
+    def test_single_token_duel_creates_counting_agent(self):
+        algo = SimpleAlgorithm(counting_params())
+        state = algo.init_state(exact([2, 2], rng=0, shuffle=False), make_rng(0))
+        same = np.flatnonzero(state.opinion == 1)[:2]
+        algo.interact(state, arr(same[0]), arr(same[1]), make_rng(1))
+        assert state.role[same[0]] == COUNTING
+        assert state.tokens[same[1]] == 2
+        assert state.opinion[same[0]] == 0
+
+    def test_multi_token_merge_releases_normally(self):
+        algo = SimpleAlgorithm(counting_params())
+        state = algo.init_state(exact([8, 2], rng=0, shuffle=False), make_rng(0))
+        same = np.flatnonzero(state.opinion == 1)[:2]
+        state.tokens[same[0]] = 2
+        algo.interact(state, arr(same[0]), arr(same[1]), make_rng(2))
+        assert state.role[same[0]] != COUNTING
+        assert state.role[same[0]] != COLLECTOR
+
+    def test_met_same_tracked(self):
+        algo = SimpleAlgorithm(counting_params(token_cap=2))
+        state = algo.init_state(exact([3, 3], rng=0, shuffle=False), make_rng(0))
+        ones = np.flatnonzero(state.opinion == 1)
+        twos = np.flatnonzero(state.opinion == 2)
+        algo.interact(state, arr(ones[0]), arr(twos[0]), make_rng(3))
+        assert not state.met_same[ones[0]]
+        # Same-opinion contact that cannot merge (cap) still sets the flag.
+        state.tokens[ones[1]] = 2
+        state.tokens[ones[2]] = 2
+        algo.interact(state, arr(ones[1]), arr(ones[2]), make_rng(3))
+        assert state.met_same[ones[1]] and state.met_same[ones[2]]
+
+    def test_counting_agent_triggers_phase_zero(self):
+        algo = SimpleAlgorithm(counting_params())
+        state = algo.init_state(exact([2, 2], rng=0, shuffle=False), make_rng(0))
+        state.role[0] = COUNTING
+        state.opinion[0] = 0
+        state.tokens[0] = 0
+        state.count[0] = state.init_threshold - 1
+        # Force the 1/n tick by trying until the coin lands (bounded loop).
+        for attempt in range(4000):
+            algo.interact(state, arr(0), arr(1), make_rng(100 + attempt))
+            if state.phase[0] == 0:
+                break
+        assert state.phase[0] == 0
+        assert state.role[0] != COUNTING  # converted on trigger
+
+    def test_phase_zero_converts_counting_and_lonely_collectors(self):
+        algo = SimpleAlgorithm(counting_params())
+        state = algo.init_state(exact([2, 2, 1], rng=0, shuffle=False), make_rng(0))
+        informed = 0
+        state.phase[informed] = 0
+        counting = 1
+        state.role[counting] = COUNTING
+        state.opinion[counting] = 0
+        state.tokens[counting] = 0
+        algo.interact(state, arr(counting), arr(informed), make_rng(5))
+        assert state.role[counting] != COUNTING
+        assert state.phase[counting] == 0
+        lonely = int(np.flatnonzero(state.opinion == 3)[0])
+        assert not state.met_same[lonely]
+        algo.interact(state, arr(lonely), arr(informed), make_rng(6))
+        assert state.role[lonely] != COLLECTOR
+        assert state.tokens[lonely] == 0
+
+    def test_met_collector_survives_phase_zero(self):
+        algo = SimpleAlgorithm(counting_params())
+        state = algo.init_state(exact([2, 2], rng=0, shuffle=False), make_rng(0))
+        informed, survivor = 0, 1
+        state.phase[informed] = 0
+        state.met_same[survivor] = True
+        algo.interact(state, arr(survivor), arr(informed), make_rng(7))
+        assert state.role[survivor] == COLLECTOR
+        assert state.tokens[survivor] == 1
+
+
+class TestEndToEnd:
+    def test_init_completes_with_mostly_singleton_opinions(self):
+        # k = 0.75n: three quarters of the opinions have support 1; the
+        # plurality has support 4.  Without counting agents the clock
+        # deadline is unreachable (nothing to merge for most agents).
+        n = 120
+        counts = [4, 2, 2] + [1] * (n - 8)
+        config = exact(counts, rng=1)
+        algo = SimpleAlgorithm(counting_params())
+        rng = make_rng(11)
+        state = algo.init_state(config, rng)
+        done = 0
+        finished = False
+        for u, v in SequentialScheduler().batches(n, rng):
+            algo.interact(state, u, v, rng)
+            done += int(u.size)
+            if done % n < u.size and (state.phase >= 0).any():
+                finished = True
+                break
+            if done > 4000 * n:
+                break
+        assert finished, "counting agents should force the deadline"
+
+    def test_full_run_small_k_unaffected(self):
+        config = exact([20, 19, 18], rng=2)
+        algo = SimpleAlgorithm(counting_params())
+        result = simulate(
+            algo,
+            config,
+            seed=12,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(57, 3),
+        )
+        assert result.succeeded, result.describe()

@@ -1,0 +1,110 @@
+"""Edge-case behaviour across the protocol suite.
+
+These tests pin down behaviours at the boundaries of the paper's
+assumptions: exact ties, empty-support opinions, the Improved algorithm's
+x_max > √n precondition, and post-convergence stability.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MatchingScheduler, SimpleAlgorithm, simulate, workloads
+from repro.core.improved import ImprovedAlgorithm
+from repro.engine import make_rng
+from repro.engine.scheduler import SequentialScheduler
+
+
+class TestTies:
+    def test_exact_tie_converges_to_one_of_the_leaders(self):
+        # Two tied leaders: the protocol must still converge, to either.
+        config = workloads.exact([40, 40, 16], rng=1)
+        assert not config.has_unique_plurality
+        algo = SimpleAlgorithm()
+        result = simulate(
+            algo,
+            config,
+            seed=5,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(96, 3),
+        )
+        assert result.converged
+        assert result.output_opinion in (1, 2)
+        assert result.correct is None  # correctness undefined at a tie
+
+    def test_tie_between_non_leaders_does_not_break_plurality(self):
+        # x2 == x3 tie below the plurality: the winner must still be 1.
+        config = workloads.exact([50, 35, 35], rng=2)
+        algo = SimpleAlgorithm()
+        result = simulate(
+            algo,
+            config,
+            seed=6,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(120, 3),
+        )
+        assert result.succeeded
+
+
+class TestEmptySupport:
+    def test_zero_support_challengers_are_walkovers(self):
+        # Opinions 2 and 3 have no agents; their tournaments are trivial.
+        config = workloads.exact([60, 0, 0, 40], rng=3)
+        algo = SimpleAlgorithm()
+        result = simulate(
+            algo,
+            config,
+            seed=7,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(100, 4),
+        )
+        assert result.succeeded
+        assert result.output_opinion == 1
+
+
+class TestImprovedPrecondition:
+    def test_all_tiny_opinions_time_out_detectably(self):
+        """Theorem 2 requires x_max > n^(1/2+eps).
+
+        When every subpopulation is below √n no junta clock ever ticks, so
+        the pruning phase cannot end; the run must fail *detectably*
+        (timeout), never silently mis-answer.
+        """
+        n = 256  # sqrt(n) = 16; all supports below that
+        counts = [15] + [14] * 10 + [13] * 7 + [10]
+        assert sum(counts) == n
+        config = workloads.exact(counts, rng=4)
+        assert config.x_max < np.sqrt(n) + 1
+        algo = ImprovedAlgorithm()
+        result = simulate(
+            algo,
+            config,
+            seed=8,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=2000,
+        )
+        assert not result.converged
+        assert result.failure == "timeout"
+
+
+class TestPostConvergenceStability:
+    def test_winner_configuration_is_absorbing(self):
+        config = workloads.bias_one(96, 3, rng=9)
+        algo = SimpleAlgorithm()
+        sink = []
+        result = simulate(
+            algo,
+            config,
+            seed=10,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(96, 3),
+            state_out=sink,
+        )
+        assert result.succeeded
+        state = sink[0]
+        rng = make_rng(11)
+        for u, v in SequentialScheduler().batches(96, rng):
+            algo.interact(state, u, v, rng)
+            if rng.random() < 0.01:
+                break
+        assert state.winner.all()
+        assert (state.opinion == result.output_opinion).all()

@@ -1,0 +1,166 @@
+"""Tests for the simulation loop, recorder, and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ConfigurationError,
+    PopulationConfig,
+    ProbeRecorder,
+    Protocol,
+    make_rng,
+    seeds_for,
+    simulate,
+    spawn_streams,
+)
+
+
+class CountdownProtocol(Protocol):
+    """Toy protocol: converges after a fixed number of interactions."""
+
+    name = "countdown"
+
+    def __init__(self, target: int, output_value: int = 1):
+        self._target = target
+        self._output = output_value
+
+    def init_state(self, config, rng):
+        return {"seen": 0, "n": config.n}
+
+    def interact(self, state, u, v, rng):
+        state["seen"] += int(u.size)
+
+    def has_converged(self, state):
+        return state["seen"] >= self._target
+
+    def output(self, state):
+        return np.full(state["n"], self._output, dtype=np.int64)
+
+    def progress(self, state):
+        return {"seen": float(state["seen"])}
+
+
+class DisagreeProtocol(CountdownProtocol):
+    """Claims convergence but outputs disagreeing opinions."""
+
+    def output(self, state):
+        out = np.ones(state["n"], dtype=np.int64)
+        out[0] = 2
+        return out
+
+
+class FailingProtocol(CountdownProtocol):
+    def failure(self, state):
+        return "synthetic_failure" if state["seen"] > 50 else None
+
+
+def config_of(n=20, k=2):
+    counts = [n // 2 + 1, n - n // 2 - 1]
+    return PopulationConfig.from_counts(counts, rng=0)
+
+
+class TestSimulate:
+    def test_converges_and_reports_time(self):
+        result = simulate(CountdownProtocol(100), config_of(), seed=1)
+        assert result.converged
+        assert result.output_opinion == 1
+        assert result.correct is True
+        assert result.interactions >= 100
+        assert result.parallel_time == pytest.approx(result.interactions / 20)
+
+    def test_wrong_output_detected(self):
+        result = simulate(CountdownProtocol(10, output_value=2), config_of(), seed=1)
+        assert result.converged
+        assert result.correct is False
+        assert result.succeeded is False
+
+    def test_timeout(self):
+        result = simulate(
+            CountdownProtocol(10**9), config_of(), seed=1, max_parallel_time=5
+        )
+        assert not result.converged
+        assert result.failure == "timeout"
+        assert result.interactions <= 5 * 20
+
+    def test_divergent_output(self):
+        result = simulate(DisagreeProtocol(10), config_of(), seed=1)
+        assert not result.converged
+        assert result.failure == "divergent_output"
+
+    def test_protocol_failure_hook(self):
+        result = simulate(FailingProtocol(10**9), config_of(), seed=1)
+        assert result.failure == "synthetic_failure"
+
+    def test_expected_opinion_none_without_unique_plurality(self):
+        config = PopulationConfig.from_counts([10, 10], rng=0)
+        result = simulate(CountdownProtocol(10), config, seed=1)
+        assert result.expected_opinion is None
+        assert result.correct is None
+
+    def test_extras_capture_progress(self):
+        result = simulate(CountdownProtocol(10), config_of(), seed=1)
+        assert result.extras["seen"] >= 10
+
+    def test_state_out(self):
+        sink = []
+        simulate(CountdownProtocol(10), config_of(), seed=1, state_out=sink)
+        assert len(sink) == 1 and sink[0]["seen"] >= 10
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            simulate(CountdownProtocol(5), config_of(), max_parallel_time=0)
+
+    def test_describe(self):
+        result = simulate(CountdownProtocol(10), config_of(), seed=1)
+        assert "countdown" in result.describe()
+        assert "[ok]" in result.describe()
+
+
+class TestRecorder:
+    def test_probe_recorder_samples(self):
+        recorder = ProbeRecorder(
+            {"const": lambda s: 42.0}, every_parallel_time=1.0
+        )
+        simulate(
+            CountdownProtocol(100),
+            config_of(),
+            seed=2,
+            recorder=recorder,
+        )
+        arrays = recorder.as_arrays()
+        assert arrays["time"][0] == 0.0
+        assert (arrays["const"] == 42.0).all()
+        assert len(arrays["time"]) >= 4
+
+    def test_protocol_progress_is_sampled(self):
+        recorder = ProbeRecorder(protocol=CountdownProtocol(100))
+        simulate(CountdownProtocol(100), config_of(), seed=2, recorder=recorder)
+        seen = recorder.as_arrays()["seen"]
+        assert (np.diff(seen) >= 0).all()
+
+    def test_invalid_cadence(self):
+        with pytest.raises(ValueError):
+            ProbeRecorder(every_parallel_time=0)
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        rng = make_rng(5)
+        assert make_rng(rng) is rng
+
+    def test_deterministic_streams(self):
+        a = [g.integers(0, 100) for g in spawn_streams(1, 3)]
+        b = [g.integers(0, 100) for g in spawn_streams(1, 3)]
+        assert a == b
+
+    def test_streams_differ(self):
+        streams = spawn_streams(1, 2)
+        assert streams[0].integers(0, 10**9) != streams[1].integers(0, 10**9)
+
+    def test_seeds_for_deterministic(self):
+        assert list(seeds_for(3, 4)) == list(seeds_for(3, 4))
+        assert len(set(seeds_for(3, 4))) == 4
+
+    def test_spawn_streams_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)

@@ -1,0 +1,69 @@
+"""Tests for the epidemic broadcast primitives."""
+
+import numpy as np
+
+from repro.broadcast import (
+    OneWayEpidemic,
+    max_broadcast,
+    one_way_infect,
+    two_way_infect,
+    value_broadcast,
+)
+from repro.engine import make_rng, simulate
+from repro.workloads import single_opinion
+
+
+class TestStepFunctions:
+    def test_one_way_infects_responder_only(self):
+        informed = np.array([True, False, False])
+        one_way_infect(informed, np.array([0]), np.array([1]))
+        assert informed[1]
+        one_way_infect(informed, np.array([2]), np.array([0]))
+        assert not informed[2]  # initiator does not learn
+
+    def test_two_way_infects_both(self):
+        informed = np.array([True, False])
+        two_way_infect(informed, np.array([1]), np.array([0]))
+        assert informed.all()
+
+    def test_max_broadcast(self):
+        values = np.array([3, 7, 1])
+        max_broadcast(values, np.array([0, 2]), np.array([1, 1]))
+        # Pairs must be disjoint in real use; here test the basic op.
+        assert values[0] == 7
+
+    def test_value_broadcast_fills_empty_only(self):
+        values = np.array([5, 0, 9])
+        value_broadcast(values, np.array([0]), np.array([1]))
+        assert values[1] == 5
+        value_broadcast(values, np.array([2]), np.array([0]))
+        assert values[0] == 5  # non-empty value not overwritten
+
+
+class TestFullBroadcast:
+    def test_completes_and_scales_with_log_n(self):
+        times = {}
+        for n in (256, 1024):
+            result = simulate(
+                OneWayEpidemic(),
+                single_opinion(n),
+                seed=1,
+                max_parallel_time=60 * np.log2(n),
+            )
+            assert result.converged
+            times[n] = result.parallel_time
+        # Doubling n twice should add roughly constant time, far from 4x.
+        assert times[1024] < 2.2 * times[256]
+
+    def test_two_way_faster_than_one_way(self):
+        n = 512
+        one = simulate(OneWayEpidemic(), single_opinion(n), seed=3,
+                       max_parallel_time=500)
+        two = simulate(OneWayEpidemic(two_way=True), single_opinion(n), seed=3,
+                       max_parallel_time=500)
+        assert two.parallel_time < one.parallel_time
+
+    def test_progress_counts_informed(self):
+        protocol = OneWayEpidemic()
+        state = protocol.init_state(single_opinion(8), make_rng(0))
+        assert protocol.progress(state)["informed"] == 1.0

@@ -1,0 +1,186 @@
+"""Tests for the ImprovedAlgorithm (Section 4, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import COLLECTOR, ImprovedParams
+from repro.core.improved import ImprovedAlgorithm
+from repro.engine import MatchingScheduler, make_rng, simulate
+from repro.engine.scheduler import SequentialScheduler
+from repro.workloads import exact, one_large_many_small, two_block
+
+
+def arr(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+class TestPruningInit:
+    def test_initial_phase_floor(self):
+        algo = ImprovedAlgorithm()
+        state = algo.init_state(exact([30, 10], rng=0), make_rng(0))
+        assert (state.phase == -algo.params.phase_floor_c).all()
+        assert (state.role == COLLECTOR).all()
+
+    def test_meaningful_interactions_drive_junta(self):
+        algo = ImprovedAlgorithm()
+        state = algo.init_state(exact([20, 20], rng=0, shuffle=False), make_rng(0))
+        same = np.flatnonzero(state.opinion == 1)[:2]
+        algo.interact(state, arr(same[0]), arr(same[1]), make_rng(1))
+        assert state.jlevel[same[0]] >= 1 or state.junta[same[0]]
+
+    def test_cross_opinion_interactions_ignored(self):
+        algo = ImprovedAlgorithm()
+        state = algo.init_state(exact([20, 20], rng=0, shuffle=False), make_rng(0))
+        a = int(np.flatnonzero(state.opinion == 1)[0])
+        b = int(np.flatnonzero(state.opinion == 2)[0])
+        algo.interact(state, arr(a), arr(b), make_rng(2))
+        assert state.jlevel[a] == 0
+        assert state.jposition[a] == 0
+        assert state.tokens[a] == 1  # no merging across opinions
+
+    def test_token_merge_keeps_giver_as_collector(self):
+        algo = ImprovedAlgorithm()
+        state = algo.init_state(exact([20, 20], rng=0, shuffle=False), make_rng(0))
+        same = np.flatnonzero(state.opinion == 1)[:2]
+        algo.interact(state, arr(same[0]), arr(same[1]), make_rng(3))
+        assert state.tokens[same[0]] == 0
+        assert state.tokens[same[1]] == 2
+        assert state.role[same[0]] == COLLECTOR  # stays until the broadcast
+        assert state.opinion[same[0]] == 1
+
+    def test_phase_zero_receipt_prunes_unticked(self):
+        algo = ImprovedAlgorithm()
+        state = algo.init_state(exact([20, 20], rng=0, shuffle=False), make_rng(0))
+        informed = 0
+        laggard = 1
+        state.phase[informed] = 0
+        # The laggard never ticked (phase == -c) and so is released.
+        algo.interact(state, arr(laggard), arr(informed), make_rng(4))
+        assert state.phase[laggard] == 0
+        assert state.role[laggard] != COLLECTOR
+        assert state.tokens[laggard] == 0
+
+    def test_phase_zero_receipt_keeps_ticked_token_holder(self):
+        algo = ImprovedAlgorithm()
+        state = algo.init_state(exact([20, 20], rng=0, shuffle=False), make_rng(0))
+        informed, survivor = 0, 1
+        state.phase[informed] = 0
+        state.phase[survivor] = -1  # ticked at least once
+        state.tokens[survivor] = 3
+        algo.interact(state, arr(survivor), arr(informed), make_rng(5))
+        assert state.phase[survivor] == 0
+        assert state.role[survivor] == COLLECTOR
+        assert state.tokens[survivor] == 3
+
+    def test_zero_token_ticked_agent_released(self):
+        algo = ImprovedAlgorithm()
+        state = algo.init_state(exact([20, 20], rng=0, shuffle=False), make_rng(0))
+        informed, broke = 0, 1
+        state.phase[informed] = 0
+        state.phase[broke] = -1
+        state.tokens[broke] = 0
+        algo.interact(state, arr(broke), arr(informed), make_rng(6))
+        assert state.role[broke] != COLLECTOR
+
+
+def run_pruning_only(config, seed):
+    """Drive the protocol until every agent reached phase >= 0."""
+    algo = ImprovedAlgorithm()
+    rng = make_rng(seed)
+    state = algo.init_state(config, rng)
+    scheduler = SequentialScheduler()
+    budget = int(algo.params.default_max_time(config.n, config.k) * config.n)
+    done = 0
+    for u, v in scheduler.batches(config.n, rng):
+        algo.interact(state, u, v, rng)
+        done += int(u.size)
+        if done % config.n < u.size and bool((state.phase >= 0).all()):
+            return algo, state
+        if done >= budget:
+            raise AssertionError("pruning phase did not finish in budget")
+
+
+class TestPruningOutcome:
+    def test_insignificant_opinions_vanish(self):
+        config = one_large_many_small(384, 12, plurality_fraction=0.55, rng=1)
+        algo, state = run_pruning_only(config, seed=11)
+        survivors = algo.surviving_opinions(state)
+        assert 1 in survivors
+        assert survivors.size <= 4
+
+    def test_plurality_keeps_every_token(self):
+        config = one_large_many_small(384, 12, plurality_fraction=0.55, rng=2)
+        algo, state = run_pruning_only(config, seed=12)
+        plurality_tokens = state.tokens[state.opinion == config.plurality_opinion]
+        assert plurality_tokens.sum() == config.x_max
+
+    def test_significant_runner_up_survives(self):
+        config = two_block(384, 12, big_fraction=0.8, rng=3)
+        algo, state = run_pruning_only(config, seed=13)
+        survivors = algo.surviving_opinions(state)
+        counts = config.counts()
+        runner_up = int(np.argsort(counts)[-2]) + 1
+        assert runner_up in set(survivors)
+
+    def test_roles_populated_after_pruning(self):
+        from repro.core import role_counts
+
+        config = one_large_many_small(384, 12, plurality_fraction=0.55, rng=4)
+        algo, state = run_pruning_only(config, seed=14)
+        counts = role_counts(state.role)
+        for role in ("clock", "tracker", "player"):
+            assert counts[role] >= 384 / 10
+
+
+class TestFullRuns:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_one_large_many_small(self, seed):
+        algo = ImprovedAlgorithm()
+        config = one_large_many_small(256, 12, plurality_fraction=0.55, rng=seed)
+        result = simulate(
+            algo,
+            config,
+            seed=300 + seed,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(256, 12),
+        )
+        assert result.succeeded, result.describe()
+
+    def test_two_block_runs_real_tournament(self):
+        algo = ImprovedAlgorithm()
+        config = two_block(256, 8, big_fraction=0.8, rng=5)
+        result = simulate(
+            algo,
+            config,
+            seed=310,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(256, 8),
+        )
+        assert result.succeeded
+        assert result.extras["tournament"] >= 1
+
+    def test_fewer_tournaments_than_k(self):
+        algo = ImprovedAlgorithm()
+        config = one_large_many_small(256, 12, plurality_fraction=0.55, rng=6)
+        result = simulate(
+            algo,
+            config,
+            seed=320,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(256, 12),
+        )
+        assert result.succeeded
+        assert result.extras["tournament"] <= 3  # far fewer than k - 1 = 11
+
+    def test_custom_params(self):
+        params = ImprovedParams(phase_floor_c=3, hour_m_factor=0.5)
+        algo = ImprovedAlgorithm(params)
+        state = algo.init_state(exact([40, 10], rng=0), make_rng(0))
+        assert state.floor_c == 3
+        assert state.hour_m == params.hour_m(50)
+
+    def test_params_validation(self):
+        with pytest.raises(Exception):
+            ImprovedParams(phase_floor_c=0)
+        with pytest.raises(Exception):
+            ImprovedParams(hour_m_factor=0)

@@ -1,0 +1,83 @@
+"""Appendix C: SimpleAlgorithm with k far beyond n/40.
+
+The base Theorem 1 assumes k <= n/40.  Appendix C modifies the
+initialization so the protocol supports k up to (1−ε)n: clock agents
+decrement their counter by only 1/c per collector encounter, and the token
+cap grows.  With many support-1/2 opinions most collectors can never
+merge, so the default counter (needing a non-collector majority) stalls —
+the fractional decrement moves the tipping point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SimpleAlgorithm, SimpleParams
+from repro.engine import ConfigurationError, MatchingScheduler, make_rng, simulate
+from repro.engine.scheduler import SequentialScheduler
+from repro.workloads import exact
+
+
+def heavy_k_config(n, rng=0):
+    """0.4n opinions of support 2 plus 0.2n of support 1 (k = 0.6n)."""
+    pairs = int(0.4 * n)
+    singles = n - 2 * pairs
+    counts = [3] + [2] * (pairs - 1) + [1] * singles
+    return exact(counts, rng=rng)
+
+
+def init_finishes(params, config, seed, budget_pt):
+    algo = SimpleAlgorithm(params)
+    rng = make_rng(seed)
+    state = algo.init_state(config, rng)
+    done = 0
+    for u, v in SequentialScheduler().batches(config.n, rng):
+        algo.interact(state, u, v, rng)
+        done += int(u.size)
+        if done % config.n < u.size and (state.phase >= 0).any():
+            return True, done / config.n
+        if done >= budget_pt * config.n:
+            return False, budget_pt
+
+
+class TestLargeKInitialization:
+    def test_default_params_stall_at_k_06n(self):
+        config = heavy_k_config(200, rng=1)
+        finished, _ = init_finishes(SimpleParams(), config, seed=1, budget_pt=800)
+        assert not finished
+
+    def test_large_k_params_finish(self):
+        config = heavy_k_config(200, rng=1)
+        finished, t = init_finishes(
+            SimpleParams.for_large_k(), config, seed=1, budget_pt=800
+        )
+        assert finished, "Appendix C parameters should complete initialization"
+        assert t < 800
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimpleParams(init_decrement=0.0)
+        with pytest.raises(ConfigurationError):
+            SimpleParams(init_decrement=1.5)
+
+    def test_for_large_k_overrides(self):
+        params = SimpleParams.for_large_k(token_cap=30)
+        assert params.token_cap == 30
+        assert params.init_decrement == 0.25
+
+
+class TestLargeKFullRun:
+    def test_moderately_large_k_full_run(self):
+        # k = 12 on n = 96 (k = n/8, well beyond n/40 = 2.4).
+        counts = [9] + [8] * 7 + [8, 8, 8, 7]
+        config = exact(counts, rng=2)
+        assert config.n == sum(counts) and config.k == 12
+        params = SimpleParams.for_large_k()
+        algo = SimpleAlgorithm(params)
+        result = simulate(
+            algo,
+            config,
+            seed=9,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=params.default_max_time(config.n, config.k),
+        )
+        assert result.succeeded, result.describe()

@@ -1,0 +1,128 @@
+"""Tests for the coin-race leader election substrate."""
+
+import numpy as np
+import pytest
+
+from repro.engine import make_rng, simulate
+from repro.leader import (
+    CoinRaceLeaderElection,
+    le_enter_round,
+    le_relay,
+    le_rounds,
+)
+from repro.workloads import single_opinion
+
+
+class TestRoundMechanics:
+    def make(self, n=4):
+        return {
+            "cand": np.ones(n, dtype=bool),
+            "coin": np.zeros(n, dtype=np.int8),
+            "seen_max": np.zeros(n, dtype=np.int8),
+            "seen_round": np.full(n, -1, dtype=np.int64),
+        }
+
+    def test_first_entry_flips_coin(self):
+        s = self.make()
+        le_enter_round(
+            np.array([0]), np.array([0]), s["cand"], s["coin"], s["seen_max"],
+            s["seen_round"], total_rounds=5, rng=make_rng(1),
+        )
+        assert s["seen_round"][0] == 0
+        assert s["coin"][0] in (0, 1)
+        assert s["seen_max"][0] == s["coin"][0]
+
+    def test_loser_retires_on_next_entry(self):
+        s = self.make()
+        s["seen_round"][0] = 0
+        s["coin"][0] = 0
+        s["seen_max"][0] = 1  # heard a higher coin
+        le_enter_round(
+            np.array([0]), np.array([1]), s["cand"], s["coin"], s["seen_max"],
+            s["seen_round"], total_rounds=5, rng=make_rng(2),
+        )
+        assert not s["cand"][0]
+
+    def test_max_holder_survives(self):
+        s = self.make()
+        s["seen_round"][0] = 0
+        s["coin"][0] = 1
+        s["seen_max"][0] = 1
+        le_enter_round(
+            np.array([0]), np.array([1]), s["cand"], s["coin"], s["seen_max"],
+            s["seen_round"], total_rounds=5, rng=make_rng(3),
+        )
+        assert s["cand"][0]
+
+    def test_non_candidates_contribute_zero(self):
+        s = self.make()
+        s["cand"][0] = False
+        le_enter_round(
+            np.array([0]), np.array([2]), s["cand"], s["coin"], s["seen_max"],
+            s["seen_round"], total_rounds=5, rng=make_rng(4),
+        )
+        assert s["coin"][0] == 0 and s["seen_max"][0] == 0
+
+    def test_final_round_no_flip(self):
+        s = self.make()
+        s["seen_round"][0] = 4
+        s["coin"][0] = 1
+        s["seen_max"][0] = 1
+        le_enter_round(
+            np.array([0]), np.array([7]), s["cand"], s["coin"], s["seen_max"],
+            s["seen_round"], total_rounds=5, rng=make_rng(5),
+        )
+        assert s["seen_round"][0] == 5  # capped
+        assert s["cand"][0]
+
+    def test_relay_same_round_only(self):
+        seen_max = np.array([0, 1, 1], dtype=np.int8)
+        seen_round = np.array([2, 2, 3], dtype=np.int64)
+        le_relay(seen_max, seen_round, np.array([0]), np.array([1]))
+        assert seen_max[0] == 1
+        seen_max = np.array([0, 1], dtype=np.int8)
+        seen_round = np.array([2, 3], dtype=np.int64)
+        le_relay(seen_max, seen_round, np.array([0]), np.array([1]))
+        assert seen_max[0] == 0  # different rounds: no relay
+
+    def test_rounds_formula(self):
+        assert le_rounds(256, factor=3.0, slack=2) == 26
+        assert le_rounds(2, factor=1.0, slack=0) >= 1
+
+
+class TestFullElection:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_unique_leader(self, seed):
+        protocol = CoinRaceLeaderElection()
+        out = []
+        result = simulate(
+            protocol,
+            single_opinion(128),
+            seed=seed,
+            max_parallel_time=5000,
+            state_out=out,
+        )
+        assert result.converged
+        assert protocol.leader_count(out[0]) == 1
+
+    def test_never_zero_leaders(self):
+        protocol = CoinRaceLeaderElection()
+        for seed in range(8):
+            out = []
+            result = simulate(
+                protocol, single_opinion(64), seed=100 + seed,
+                max_parallel_time=5000, state_out=out,
+            )
+            assert result.interactions > 0
+            assert protocol.leader_count(out[0]) >= 1
+
+    def test_time_scales_subquadratically_in_n(self):
+        times = {}
+        for n in (64, 256):
+            result = simulate(
+                CoinRaceLeaderElection(), single_opinion(n), seed=9,
+                max_parallel_time=20000,
+            )
+            times[n] = result.parallel_time
+        # log² n growth: 4x n means (log 256 / log 64)² = (8/6)² ≈ 1.8x.
+        assert times[256] < 3.0 * times[64]

@@ -1,0 +1,94 @@
+"""Tests for the parallel replication executor and the tournament trace."""
+
+import numpy as np
+
+from repro import MatchingScheduler, SimpleAlgorithm, simulate, workloads
+from repro.analysis.parallel import replicate_parallel
+from repro.analysis.sweep import replicate
+from repro.analysis.trace import TournamentRecord, TournamentTraceRecorder
+from repro.majority import CancelSplitMajority
+
+
+def majority_config(seed):
+    return workloads.majority_counts(61, bias=1, rng=seed)
+
+
+class TestParallelReplicate:
+    def test_matches_serial_results(self):
+        kwargs = dict(
+            replications=4, base_seed=9, max_parallel_time=500
+        )
+        serial = replicate(CancelSplitMajority, majority_config, **kwargs)
+        parallel = replicate_parallel(
+            CancelSplitMajority, majority_config, workers=2, **kwargs
+        )
+        assert [r.parallel_time for r in serial] == [
+            r.parallel_time for r in parallel
+        ]
+        assert [r.output_opinion for r in serial] == [
+            r.output_opinion for r in parallel
+        ]
+
+    def test_single_worker_fallback(self):
+        results = replicate_parallel(
+            CancelSplitMajority,
+            majority_config,
+            replications=2,
+            workers=1,
+            max_parallel_time=500,
+        )
+        assert len(results) == 2
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            replicate_parallel(
+                CancelSplitMajority, majority_config, replications=0
+            )
+
+
+class TestTournamentTrace:
+    def run_traced(self):
+        config = workloads.exact([40, 30, 45], rng=4)
+        algo = SimpleAlgorithm()
+        trace = TournamentTraceRecorder(every_parallel_time=2.0)
+        result = simulate(
+            algo,
+            config,
+            seed=13,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(115, 3),
+            recorder=trace,
+        )
+        return result, trace
+
+    def test_timeline_structure(self):
+        result, trace = self.run_traced()
+        assert result.succeeded
+        assert trace.init_time is not None
+        assert len(trace.tournaments) >= 2
+        first = trace.tournaments[0]
+        assert first.defender == 1
+        assert first.challenger == 2
+
+    def test_winner_chain_matches_output(self):
+        result, trace = self.run_traced()
+        finals = [t for t in trace.tournaments if t.winner is not None]
+        assert finals[-1].winner == result.output_opinion
+        assert trace.winner_time is not None
+
+    def test_render_is_readable(self):
+        _, trace = self.run_traced()
+        text = trace.render()
+        assert "defender 1 vs challenger 2" in text
+        assert "initialization ended" in text
+
+    def test_record_describe(self):
+        record = TournamentRecord(index=0, start_time=1.0, defender=1)
+        assert "t0" in record.describe()
+        assert "challenger -" in record.describe()
+
+    def test_empty_trace_renders(self):
+        trace = TournamentTraceRecorder()
+        assert "no tournaments" in trace.render()

@@ -1,0 +1,114 @@
+"""Tests for repro.engine.population."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ConfigurationError, PopulationConfig
+
+
+class TestConstruction:
+    def test_from_counts_basic(self):
+        config = PopulationConfig.from_counts([5, 3, 2], shuffle=False)
+        assert config.n == 10
+        assert config.k == 3
+        assert list(config.counts()) == [5, 3, 2]
+
+    def test_from_counts_shuffles_with_rng(self):
+        a = PopulationConfig.from_counts([50, 50], rng=1)
+        b = PopulationConfig.from_counts([50, 50], rng=1)
+        c = PopulationConfig.from_counts([50, 50], rng=2)
+        assert (a.opinions == b.opinions).all()
+        assert not (a.opinions == c.opinions).all()
+
+    def test_zero_support_opinion_allowed(self):
+        config = PopulationConfig.from_counts([4, 0, 2])
+        assert config.k == 3
+        assert config.counts()[1] == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig.from_counts([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig.from_counts([3, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig.from_counts([0, 0])
+
+    def test_rejects_out_of_range_opinions(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(opinions=np.array([1, 5]), k=3)
+
+    def test_rejects_opinion_zero(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(opinions=np.array([0, 1]), k=2)
+
+
+class TestDerivedQuantities:
+    def test_plurality_and_bias(self):
+        config = PopulationConfig.from_counts([7, 4, 4], shuffle=False)
+        assert config.plurality_opinion == 1
+        assert config.x_max == 7
+        assert config.bias == 3
+        assert config.has_unique_plurality
+
+    def test_bias_one(self):
+        config = PopulationConfig.from_counts([5, 4, 4])
+        assert config.bias == 1
+
+    def test_tie_detected(self):
+        config = PopulationConfig.from_counts([5, 5, 2])
+        assert not config.has_unique_plurality
+        assert config.bias == 0
+
+    def test_single_opinion_bias_is_full_support(self):
+        config = PopulationConfig.from_counts([9])
+        assert config.bias == 9
+        assert config.has_unique_plurality
+
+    def test_single_supported_opinion_among_many(self):
+        config = PopulationConfig.from_counts([9, 0, 0])
+        assert config.bias == 9
+        assert config.num_present_opinions == 1
+
+    def test_plurality_not_first_opinion(self):
+        config = PopulationConfig.from_counts([2, 9, 3])
+        assert config.plurality_opinion == 2
+
+    def test_significant_opinions(self):
+        config = PopulationConfig.from_counts([100, 60, 10, 5])
+        significant = config.significant_opinions(c_s=4.0)
+        assert list(significant) == [1, 2]
+
+    def test_significant_requires_cs_above_one(self):
+        config = PopulationConfig.from_counts([4, 2])
+        with pytest.raises(ConfigurationError):
+            config.significant_opinions(1.0)
+
+    def test_describe_mentions_key_fields(self):
+        text = PopulationConfig.from_counts([3, 2], name="demo").describe()
+        assert "demo" in text
+        assert "n=5" in text
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=8)
+)
+def test_counts_roundtrip(counts):
+    if sum(counts) == 0:
+        counts[0] = 1
+    config = PopulationConfig.from_counts(counts, rng=0)
+    assert list(config.counts()) == counts
+    assert config.n == sum(counts)
+    sorted_desc = sorted(counts, reverse=True)
+    expected_bias = (
+        sorted_desc[0]
+        if len(sorted_desc) == 1 or sorted_desc[1] == 0
+        else sorted_desc[0] - sorted_desc[1]
+    )
+    assert config.bias == expected_bias

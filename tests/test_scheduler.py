@@ -1,0 +1,140 @@
+"""Tests for the interaction schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    ConfigurationError,
+    MatchingScheduler,
+    SequentialScheduler,
+    make_rng,
+)
+from repro.engine.scheduler import _longest_disjoint_prefix
+
+
+def take_interactions(scheduler, n, rng, count):
+    """Collect ``count`` interactions from a scheduler."""
+    us, vs = [], []
+    total = 0
+    for u, v in scheduler.batches(n, rng):
+        us.append(u)
+        vs.append(v)
+        total += u.size
+        if total >= count:
+            break
+    return np.concatenate(us)[:count], np.concatenate(vs)[:count]
+
+
+class TestDisjointPrefix:
+    def test_all_disjoint(self):
+        u = np.array([0, 2, 4])
+        v = np.array([1, 3, 5])
+        assert _longest_disjoint_prefix(u, v) == 3
+
+    def test_collision_with_earlier_initiator(self):
+        u = np.array([0, 2, 0])
+        v = np.array([1, 3, 5])
+        assert _longest_disjoint_prefix(u, v) == 2
+
+    def test_collision_within_second_pair(self):
+        u = np.array([0, 1])
+        v = np.array([1, 2])
+        assert _longest_disjoint_prefix(u, v) == 1
+
+    def test_first_pair_always_valid(self):
+        u = np.array([3, 3])
+        v = np.array([4, 4])
+        assert _longest_disjoint_prefix(u, v) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_prefix_is_maximal_and_disjoint(self, pairs):
+        u = np.array([p[0] for p in pairs])
+        v = np.array([p[1] for p in pairs])
+        length = _longest_disjoint_prefix(u, v)
+        seen = set()
+        for i in range(length):
+            assert u[i] not in seen and v[i] not in seen
+            seen.update((int(u[i]), int(v[i])))
+        if length < len(pairs):
+            assert u[length] in seen or v[length] in seen
+
+
+class TestSequentialScheduler:
+    def test_batches_are_disjoint(self):
+        rng = make_rng(0)
+        for u, v in zip(range(50), SequentialScheduler().batches(40, rng)):
+            pass  # pragma: no cover - zip shape
+        scheduler = SequentialScheduler()
+        count = 0
+        for u, v in scheduler.batches(40, make_rng(1)):
+            combined = np.concatenate([u, v])
+            assert np.unique(combined).size == combined.size
+            count += 1
+            if count > 30:
+                break
+
+    def test_pairs_are_uniform(self):
+        n = 6
+        u, v = take_interactions(SequentialScheduler(), n, make_rng(2), 30000)
+        pair_ids = u * n + v
+        counts = np.bincount(pair_ids, minlength=n * n).reshape(n, n)
+        assert np.diag(counts).sum() == 0
+        off_diag = counts[~np.eye(n, dtype=bool)]
+        expected = 30000 / (n * (n - 1))
+        assert off_diag.min() > 0.7 * expected
+        assert off_diag.max() < 1.3 * expected
+
+    def test_deterministic_given_seed(self):
+        a = take_interactions(SequentialScheduler(), 20, make_rng(7), 500)
+        b = take_interactions(SequentialScheduler(), 20, make_rng(7), 500)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ConfigurationError):
+            next(SequentialScheduler().batches(1, make_rng(0)))
+
+    def test_rejects_negative_block(self):
+        with pytest.raises(ConfigurationError):
+            SequentialScheduler(block=-1)
+
+
+class TestMatchingScheduler:
+    def test_batch_size_and_distinct_agents(self):
+        scheduler = MatchingScheduler(0.25)
+        rng = make_rng(3)
+        for i, (u, v) in enumerate(scheduler.batches(64, rng)):
+            assert u.size == 16
+            combined = np.concatenate([u, v])
+            assert np.unique(combined).size == combined.size
+            if i > 20:
+                break
+
+    def test_marginal_uniformity(self):
+        n = 10
+        u, v = take_interactions(MatchingScheduler(0.2), n, make_rng(4), 20000)
+        appearances = np.bincount(np.concatenate([u, v]), minlength=n)
+        assert appearances.min() > 0.85 * appearances.mean()
+        assert appearances.max() < 1.15 * appearances.mean()
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            MatchingScheduler(0.0)
+        with pytest.raises(ConfigurationError):
+            MatchingScheduler(0.75)
+
+    def test_minimum_one_pair(self):
+        scheduler = MatchingScheduler(0.01)
+        u, v = next(scheduler.batches(4, make_rng(5)))
+        assert u.size == 1

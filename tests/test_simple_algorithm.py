@@ -1,0 +1,391 @@
+"""Tests for SimpleAlgorithm: per-rule unit tests plus full runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CLOCK,
+    COLLECTOR,
+    PHASES_PER_TOURNAMENT,
+    PLAYER,
+    POP_A,
+    POP_B,
+    POP_U,
+    SimpleAlgorithm,
+    SimpleParams,
+    TRACKER,
+)
+from repro.engine import MatchingScheduler, make_rng, simulate
+from repro.workloads import bias_one, exact, single_opinion
+
+
+def fresh(n=16, k=3, seed=0, counts=None):
+    algo = SimpleAlgorithm()
+    config = exact(counts, rng=seed) if counts else bias_one(n, k, rng=seed)
+    state = algo.init_state(config, make_rng(seed))
+    return algo, state
+
+
+def arr(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+class TestInitialization:
+    def test_initial_state_shape(self):
+        algo, state = fresh(n=20, k=4)
+        assert (state.role == COLLECTOR).all()
+        assert (state.phase == -1).all()
+        assert state.tokens.sum() == 20
+        assert state.k == 4
+
+    def test_defender_bit_on_first_initiation(self):
+        algo, state = fresh(counts=[3, 3])
+        opinion1 = int(np.flatnonzero(state.opinion == 1)[0])
+        opinion2 = int(np.flatnonzero(state.opinion == 2)[0])
+        other2 = int(np.flatnonzero(state.opinion == 2)[1])
+        algo.interact(state, arr(opinion1), arr(opinion2), make_rng(1))
+        assert state.defender[opinion1]
+        algo.interact(state, arr(opinion2), arr(other2), make_rng(1))
+        assert not state.defender[opinion2]
+
+    def test_token_merge_and_role_release(self):
+        algo, state = fresh(counts=[4, 4])
+        same = np.flatnonzero(state.opinion == 1)[:2]
+        algo.interact(state, arr(same[0]), arr(same[1]), make_rng(2))
+        assert state.tokens[same[1]] == 2
+        assert state.tokens[same[0]] == 0
+        assert state.role[same[0]] != COLLECTOR
+        assert state.opinion[same[0]] == 0
+
+    def test_no_merge_across_opinions(self):
+        algo, state = fresh(counts=[4, 4])
+        a = int(np.flatnonzero(state.opinion == 1)[0])
+        b = int(np.flatnonzero(state.opinion == 2)[0])
+        algo.interact(state, arr(a), arr(b), make_rng(3))
+        assert state.tokens[a] == 1 and state.tokens[b] == 1
+
+    def test_merge_respects_token_cap(self):
+        algo, state = fresh(counts=[30, 4])
+        same = np.flatnonzero(state.opinion == 1)[:2]
+        state.tokens[same[0]] = 6
+        state.tokens[same[1]] = 5
+        algo.interact(state, arr(same[0]), arr(same[1]), make_rng(4))
+        assert state.tokens[same[0]] == 6  # 6 + 5 > 10: no merge
+
+    def test_clock_counter_dynamics(self):
+        algo, state = fresh(counts=[8, 8])
+        state.role[0] = CLOCK
+        state.opinion[0] = 0
+        state.tokens[0] = 0
+        state.role[1] = PLAYER
+        state.opinion[1] = 0
+        state.tokens[1] = 0
+        algo.interact(state, arr(0), arr(1), make_rng(5))
+        assert state.count[0] == 1
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        algo.interact(state, arr(0), arr(collector), make_rng(5))
+        assert state.count[0] == 0  # decrement, floored at zero
+
+    def test_init_threshold_triggers_phase_zero(self):
+        algo, state = fresh(counts=[8, 8])
+        state.role[0] = CLOCK
+        state.opinion[0] = 0
+        state.tokens[0] = 0
+        state.role[1] = PLAYER
+        state.opinion[1] = 0
+        state.tokens[1] = 0
+        state.count[0] = state.init_threshold - 1
+        algo.interact(state, arr(0), arr(1), make_rng(6))
+        assert state.phase[0] == 0
+        assert state.count[0] == 0
+
+    def test_phase_zero_spreads_to_initializing_agents(self):
+        algo, state = fresh(counts=[8, 8])
+        state.phase[0] = 0
+        algo.interact(state, arr(1), arr(0), make_rng(7))
+        assert state.phase[1] == 0
+
+
+def staged_state(counts, seed=0):
+    """A post-initialization state with hand-assigned roles for rule tests.
+
+    Half of each opinion's agents stay collectors (tokens merged 2 apiece),
+    the rest are split deterministically among clock/tracker/player.
+    """
+    algo = SimpleAlgorithm()
+    config = exact(counts, rng=seed, shuffle=False)
+    state = algo.init_state(config, make_rng(seed))
+    n = state.n
+    released = []
+    for op in range(1, config.k + 1):
+        members = np.flatnonzero(state.opinion == op)
+        half = members.size // 2
+        for giver, taker in zip(members[:half], members[half : 2 * half]):
+            state.tokens[taker] += state.tokens[giver]
+            state.tokens[giver] = 0
+            state.opinion[giver] = 0
+            released.append(int(giver))
+    for i, agent in enumerate(released):
+        role = (CLOCK, TRACKER, PLAYER)[i % 3]
+        state.role[agent] = role
+        if role == TRACKER:
+            state.tcnt[agent] = 1
+        if role == PLAYER:
+            state.popinion[agent] = POP_U
+    state.phase[:] = 0
+    state.count[:] = 0
+    return algo, state
+
+
+class TestTournamentRules:
+    def test_tracker_bumps_tcnt_once_per_tournament(self):
+        algo, state = staged_state([8, 8, 8])
+        tracker = int(np.flatnonzero(state.role == TRACKER)[0])
+        other = int(np.flatnonzero(state.role == PLAYER)[0])
+        algo.interact(state, arr(tracker), arr(other), make_rng(1))
+        assert state.tcnt[tracker] == 2
+        algo.interact(state, arr(tracker), arr(other), make_rng(1))
+        assert state.tcnt[tracker] == 2  # do-once
+        state.phase[[tracker, other]] = PHASES_PER_TOURNAMENT
+        algo.interact(state, arr(tracker), arr(other), make_rng(1))
+        assert state.tcnt[tracker] == 3
+
+    def test_challenger_marking_via_tracker(self):
+        algo, state = staged_state([8, 8, 8])
+        tracker = int(np.flatnonzero(state.role == TRACKER)[0])
+        state.tcnt[tracker] = 2
+        state.tcnt_done[tracker] = 0
+        collector2 = int(
+            np.flatnonzero((state.opinion == 2) & (state.role == COLLECTOR))[0]
+        )
+        algo.interact(state, arr(collector2), arr(tracker), make_rng(2))
+        assert state.challenger[collector2]
+        assert state.ell[collector2] == -state.tokens[collector2]
+
+    def test_defender_ell_initialized_in_setup(self):
+        algo, state = staged_state([8, 8])
+        collector1 = int(
+            np.flatnonzero((state.opinion == 1) & (state.role == COLLECTOR))[0]
+        )
+        state.defender[collector1] = True
+        other = int(np.flatnonzero(state.role == PLAYER)[0])
+        algo.interact(state, arr(collector1), arr(other), make_rng(3))
+        assert state.ell[collector1] == state.tokens[collector1]
+
+    def test_cancellation_averages_collectors(self):
+        algo, state = staged_state([8, 8])
+        collectors = np.flatnonzero(state.role == COLLECTOR)[:2]
+        state.phase[:] = 2
+        state.ell[collectors[0]] = 4
+        state.ell[collectors[1]] = -2
+        algo.interact(state, arr(collectors[0]), arr(collectors[1]), make_rng(4))
+        assert sorted(state.ell[collectors]) == [1, 1]
+
+    def test_lineup_recruits_players(self):
+        algo, state = staged_state([8, 8])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        player = int(np.flatnonzero(state.role == PLAYER)[0])
+        state.phase[:] = 4
+        state.ell[collector] = -2
+        algo.interact(state, arr(collector), arr(player), make_rng(5))
+        assert state.popinion[player] == POP_B
+        assert state.msign[player] == -1
+        assert state.ell[collector] == -1
+
+    def test_lineup_skips_assigned_players(self):
+        algo, state = staged_state([8, 8])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        player = int(np.flatnonzero(state.role == PLAYER)[0])
+        state.phase[:] = 4
+        state.ell[collector] = 2
+        state.popinion[player] = POP_B
+        state.reset_done[player] = 0  # already reset for this tournament
+        algo.interact(state, arr(collector), arr(player), make_rng(6))
+        assert state.ell[collector] == 2
+        assert state.popinion[player] == POP_B
+
+    def test_match_runs_cancel_split(self):
+        algo, state = staged_state([8, 8])
+        players = np.flatnonzero(state.role == PLAYER)[:2]
+        state.phase[:] = 6
+        state.msign[players[0]] = 1
+        state.msign[players[1]] = -1
+        algo.interact(state, arr(players[0]), arr(players[1]), make_rng(7))
+        assert state.msign[players[0]] == 0
+        assert state.msign[players[1]] == 0
+
+    def test_verdict_seeded_by_live_b_token(self):
+        algo, state = staged_state([8, 8])
+        player = int(np.flatnonzero(state.role == PLAYER)[0])
+        other = int(np.flatnonzero(state.role == PLAYER)[1])
+        state.phase[:] = 8
+        state.msign[player] = -1
+        algo.interact(state, arr(player), arr(other), make_rng(8))
+        assert state.bwin_tag[player] == 0
+
+    def test_verdict_relayed_and_applied_at_next_tournament(self):
+        algo, state = staged_state([8, 8])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        other = int(np.flatnonzero(state.role == PLAYER)[0])
+        state.concl_done[:] = 0  # tournament-0 entry already processed
+        state.challenger[collector] = True
+        state.bwin_tag[other] = 0
+        # Phase 9: the verdict spreads to the collector before entry.
+        state.phase[[collector, other]] = PHASES_PER_TOURNAMENT - 1
+        algo.interact(state, arr(collector), arr(other), make_rng(9))
+        assert state.bwin_tag[collector] == 0  # relayed
+        assert state.challenger[collector]  # not applied yet
+        # Entry into the next tournament applies the stored verdict.
+        state.phase[[collector, other]] = PHASES_PER_TOURNAMENT
+        algo.interact(state, arr(collector), arr(other), make_rng(9))
+        assert state.defender[collector]
+        assert not state.challenger[collector]
+
+    def test_defender_survives_a_win(self):
+        algo, state = staged_state([8, 8])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        other = int(np.flatnonzero(state.role == PLAYER)[0])
+        state.defender[collector] = True
+        state.phase[[collector, other]] = PHASES_PER_TOURNAMENT
+        algo.interact(state, arr(collector), arr(other), make_rng(10))
+        assert state.defender[collector]
+
+    def test_player_reset_on_new_tournament(self):
+        algo, state = staged_state([8, 8])
+        player = int(np.flatnonzero(state.role == PLAYER)[0])
+        other = int(np.flatnonzero(state.role == PLAYER)[1])
+        state.popinion[player] = POP_A
+        state.msign[player] = 1
+        state.mexpo[player] = 3
+        state.phase[[player, other]] = PHASES_PER_TOURNAMENT
+        algo.interact(state, arr(player), arr(other), make_rng(11))
+        assert state.popinion[player] == POP_U
+        assert state.msign[player] == 0
+
+    def test_phase_broadcast_to_non_clocks(self):
+        algo, state = staged_state([8, 8])
+        player = int(np.flatnonzero(state.role == PLAYER)[0])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        state.phase[player] = 5
+        state.phase[collector] = 2
+        algo.interact(state, arr(collector), arr(player), make_rng(12))
+        assert state.phase[collector] == 5
+
+    def test_clocks_do_not_adopt_phase(self):
+        algo, state = staged_state([8, 8])
+        clock = int(np.flatnonzero(state.role == CLOCK)[0])
+        player = int(np.flatnonzero(state.role == PLAYER)[0])
+        state.phase[player] = 7
+        state.phase[clock] = 2
+        algo.interact(state, arr(clock), arr(player), make_rng(13))
+        assert state.phase[clock] == 2
+
+
+class TestAftermath:
+    def test_crowning_and_winner_epidemic(self):
+        algo, state = staged_state([8, 8])
+        tracker = int(np.flatnonzero(state.role == TRACKER)[0])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        bystander = int(np.flatnonzero(state.role == PLAYER)[0])
+        final_start = PHASES_PER_TOURNAMENT * (state.k - 1)
+        state.phase[:] = final_start
+        state.tcnt[tracker] = state.k + 1
+        state.defender[collector] = True
+        state.concl_done[:] = final_start
+        state.aftermath_live = True
+        algo.interact(state, arr(tracker), arr(collector), make_rng(14))
+        assert state.winner[collector]
+        algo.interact(state, arr(collector), arr(bystander), make_rng(14))
+        assert state.winner[bystander]
+        assert state.opinion[bystander] == state.opinion[collector]
+        assert state.role[bystander] == COLLECTOR
+
+    def test_no_crowning_before_final_tournament(self):
+        algo, state = staged_state([8, 8])
+        tracker = int(np.flatnonzero(state.role == TRACKER)[0])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        state.tcnt[tracker] = state.k + 1
+        state.defender[collector] = True
+        state.phase[:] = 0
+        state.aftermath_live = True
+        final_start = PHASES_PER_TOURNAMENT * (state.k - 1)
+        if final_start > 0:
+            algo.interact(state, arr(tracker), arr(collector), make_rng(15))
+            assert not state.winner[collector]
+
+
+class TestFullRuns:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bias_one_success(self, seed):
+        algo = SimpleAlgorithm()
+        config = bias_one(128, 3, rng=seed)
+        result = simulate(
+            algo,
+            config,
+            seed=100 + seed,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(128, 3),
+        )
+        assert result.succeeded, result.describe()
+
+    def test_k1_trivial(self):
+        algo = SimpleAlgorithm()
+        result = simulate(
+            algo,
+            single_opinion(64),
+            seed=5,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(64, 1),
+        )
+        assert result.converged
+        assert result.output_opinion == 1
+
+    def test_k2_majority(self):
+        algo = SimpleAlgorithm()
+        config = exact([40, 57], rng=3)
+        result = simulate(
+            algo,
+            config,
+            seed=6,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(97, 2),
+        )
+        assert result.succeeded
+        assert result.output_opinion == 2
+
+    def test_invariants_hold_during_run(self):
+        algo = SimpleAlgorithm()
+        config = bias_one(96, 3, rng=4)
+        result = simulate(
+            algo,
+            config,
+            seed=7,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(96, 3),
+            check_invariants=True,
+        )
+        assert result.converged
+
+    def test_rejects_tiny_population(self):
+        from repro.engine import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimpleAlgorithm().init_state(exact([2, 1]), make_rng(0))
+
+    def test_custom_params_respected(self):
+        params = SimpleParams(clock_gamma=3.0, token_cap=6)
+        algo = SimpleAlgorithm(params)
+        state = algo.init_state(bias_one(64, 2, rng=1), make_rng(1))
+        assert state.token_cap == 6
+        assert state.psi == params.psi(64)
+
+    def test_failure_detection_on_clock_desync(self):
+        algo, state = staged_state([8, 8])
+        clocks = np.flatnonzero(state.role == CLOCK)
+        state.phase[clocks[0]] = 10  # artificially desynced
+        assert algo.failure(state) == "clock_desync"
+
+    def test_progress_keys(self):
+        algo, state = staged_state([8, 8])
+        progress = algo.progress(state)
+        assert {"phase_max", "tournament", "winners"} <= set(progress)

@@ -1,0 +1,82 @@
+"""Tests for the state-space accounting (Figure 1 reproduction)."""
+
+import numpy as np
+
+from repro.analysis.state_space import (
+    StateSpaceObserver,
+    improved_state_breakdown,
+    observed_state_counts,
+    simple_state_breakdown,
+    unordered_state_breakdown,
+)
+from repro.core import SimpleAlgorithm
+from repro.engine import MatchingScheduler, make_rng, simulate
+from repro.workloads import bias_one
+
+
+class TestAnalyticBreakdowns:
+    def test_simple_structure(self):
+        breakdown = simple_state_breakdown(1024, 8)
+        for role in ("shared", "clock", "tracker", "collector", "player", "total"):
+            assert breakdown[role] > 0
+        roles = [breakdown[r] for r in ("clock", "tracker", "collector", "player")]
+        assert breakdown["total"] == breakdown["shared"] * max(roles)
+
+    def test_growth_in_k_is_linear(self):
+        small = simple_state_breakdown(1024, 8)["total"]
+        large = simple_state_breakdown(1024, 16)["total"]
+        assert large / small < 2.5  # linear, not quadratic
+
+    def test_growth_in_n_is_logarithmic(self):
+        small = simple_state_breakdown(2**10, 4)["clock"]
+        large = simple_state_breakdown(2**20, 4)["clock"]
+        assert large / small < 2.5
+
+    def test_variants_cost_at_least_simple(self):
+        n, k = 4096, 8
+        assert (
+            unordered_state_breakdown(n, k)["tracker"]
+            >= simple_state_breakdown(n, k)["tracker"]
+        )
+        assert (
+            improved_state_breakdown(n, k)["collector"]
+            > simple_state_breakdown(n, k)["collector"]
+        )
+
+
+class TestObservedCounts:
+    def run_state(self):
+        algo = SimpleAlgorithm()
+        config = bias_one(96, 3, rng=1)
+        out = []
+        simulate(
+            algo,
+            config,
+            seed=11,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=300,
+            state_out=out,
+        )
+        return out[0]
+
+    def test_snapshot_counts_positive_and_bounded(self):
+        state = self.run_state()
+        counts = observed_state_counts(state)
+        breakdown = simple_state_breakdown(96, 3)
+        for role, seen in counts.items():
+            if seen:
+                assert seen <= breakdown[role] * breakdown["shared"]
+
+    def test_observer_accumulates_monotonically(self):
+        state = self.run_state()
+        observer = StateSpaceObserver()
+        observer.observe(state)
+        first = dict(observer.totals)
+        observer.observe(state)
+        assert observer.totals == first  # same snapshot adds nothing
+        assert observer.max_per_agent >= max(first.values())
+
+    def test_empty_observer(self):
+        observer = StateSpaceObserver()
+        assert observer.totals == {}
+        assert observer.max_per_agent == 0

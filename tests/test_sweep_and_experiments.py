@@ -1,0 +1,95 @@
+"""Tests for the sweep harness, experiment registry, and CLI."""
+
+import numpy as np
+import pytest
+
+from repro import experiments, workloads
+from repro.analysis.sweep import format_table, replicate
+from repro.cli import main as cli_main
+from repro.majority import CancelSplitMajority
+
+
+class TestReplicate:
+    def test_deterministic(self):
+        def run():
+            return replicate(
+                CancelSplitMajority,
+                lambda s: workloads.majority_counts(61, bias=1, rng=s),
+                replications=3,
+                base_seed=5,
+                max_parallel_time=500,
+            )
+
+        a, b = run(), run()
+        assert [r.parallel_time for r in a] == [r.parallel_time for r in b]
+
+    def test_distinct_seeds_vary(self):
+        results = replicate(
+            CancelSplitMajority,
+            lambda s: workloads.majority_counts(61, bias=1, rng=s),
+            replications=4,
+            base_seed=6,
+            max_parallel_time=500,
+        )
+        assert len({r.parallel_time for r in results}) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(CancelSplitMajority, lambda s: None, replications=0)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+        assert "0.001" in text
+
+    def test_header_separator(self):
+        text = format_table(["x"], [[1]])
+        assert "-" in text.splitlines()[1]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = experiments.names()
+        for expected in [f"E{i}" for i in range(1, 16)]:
+            assert expected in names
+        assert "EA1" in names and "EB1" in names
+
+    def test_titles_available(self):
+        titles = experiments.titles()
+        assert all(titles[name] for name in experiments.names())
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            experiments.run("E13", scale="huge")
+
+    def test_cheap_experiment_runs_and_renders(self):
+        report = experiments.run("E13", scale="quick")
+        text = report.render()
+        assert "E13" in text
+        assert "PASS" in text or "FAIL" in text
+        assert report.passed
+
+    def test_analytic_experiment(self):
+        report = experiments.run("E3", scale="quick")
+        assert report.passed
+        assert len(report.rows) >= 4
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E15" in out
+
+    def test_run_unknown(self, capsys):
+        assert cli_main(["run", "E99"]) == 2
+
+    def test_run_cheap(self, capsys):
+        code = cli_main(["run", "E13"])
+        out = capsys.readouterr().out
+        assert "E13" in out
+        assert code in (0, 1)

@@ -1,0 +1,205 @@
+"""Tests for the unordered (leader-driven) variant, Appendix B."""
+
+import numpy as np
+import pytest
+
+from repro.core import COLLECTOR, PHASES_PER_TOURNAMENT, TRACKER, UnorderedParams
+from repro.core.unordered import UnorderedAlgorithm
+from repro.engine import MatchingScheduler, make_rng, simulate
+from repro.workloads import bias_one, exact, single_opinion
+
+
+def arr(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+def staged(counts, seed=0):
+    """Post-election state: roles assigned, a unique leader installed."""
+    algo = UnorderedAlgorithm()
+    config = exact(counts, rng=seed, shuffle=False)
+    state = algo.init_state(config, make_rng(seed))
+    released = []
+    for op in range(1, config.k + 1):
+        members = np.flatnonzero(state.opinion == op)
+        half = members.size // 2
+        for giver, taker in zip(members[:half], members[half : 2 * half]):
+            state.tokens[taker] += state.tokens[giver]
+            state.tokens[giver] = 0
+            state.opinion[giver] = 0
+            released.append(int(giver))
+    from repro.core import CLOCK, PLAYER
+
+    for i, agent in enumerate(released):
+        state.role[agent] = (CLOCK, TRACKER, PLAYER)[i % 3]
+    trackers = np.flatnonzero(state.role == TRACKER)
+    state.le_seen_round[trackers] = state.rounds
+    state.leader[trackers[0]] = True
+    state.phase[:] = state.origin
+    state.concl_done[:] = state.origin
+    return algo, state, int(trackers[0])
+
+
+class TestSetupMachinery:
+    def test_tracker_observes_unplayed_collector(self):
+        algo, state, leader = staged([8, 8])
+        tracker = int(np.flatnonzero((state.role == TRACKER) & ~state.leader)[0])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        algo.interact(state, arr(tracker), arr(collector), make_rng(1))
+        assert state.cand_op[tracker] == state.opinion[collector]
+        assert state.cand_tag[tracker] == state.origin
+
+    def test_tracker_copy_fresher_candidate(self):
+        algo, state, leader = staged([8, 8])
+        trackers = np.flatnonzero((state.role == TRACKER) & ~state.leader)[:2]
+        state.cand_op[trackers[0]] = 2
+        state.cand_tag[trackers[0]] = state.origin
+        algo.interact(state, arr(trackers[1]), arr(trackers[0]), make_rng(2))
+        assert state.cand_op[trackers[1]] == 2
+
+    def test_leader_announces_own_candidate(self):
+        algo, state, leader = staged([8, 8])
+        state.cand_op[leader] = 2
+        state.cand_tag[leader] = state.origin
+        other = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        state.played[other] = True  # avoid fresh observation overriding
+        algo.interact(state, arr(leader), arr(other), make_rng(3))
+        assert state.ann_op[leader] == 2
+        assert state.ann_tag[leader] == state.origin
+        assert state.found_tag[leader] == state.origin
+
+    def test_announcement_marks_challenger_and_sets_ell(self):
+        algo, state, leader = staged([8, 8])
+        carrier = int(np.flatnonzero(state.role == TRACKER)[1])
+        state.ann_op[carrier] = 2
+        state.ann_tag[carrier] = state.origin
+        collector2 = int(
+            np.flatnonzero((state.opinion == 2) & (state.role == COLLECTOR))[0]
+        )
+        algo.interact(state, arr(collector2), arr(carrier), make_rng(4))
+        assert state.challenger[collector2]
+        assert state.played[collector2]
+        assert state.ell[collector2] == -state.tokens[collector2]
+
+    def test_played_collectors_not_remarked(self):
+        algo, state, leader = staged([8, 8])
+        carrier = int(np.flatnonzero(state.role == TRACKER)[1])
+        state.ann_op[carrier] = 2
+        state.ann_tag[carrier] = state.origin
+        collector2 = int(
+            np.flatnonzero((state.opinion == 2) & (state.role == COLLECTOR))[0]
+        )
+        state.played[collector2] = True
+        algo.interact(state, arr(collector2), arr(carrier), make_rng(5))
+        assert not state.challenger[collector2]
+
+    def test_defender_era_marking(self):
+        algo, state, leader = staged([8, 8])
+        state.phase[:] = state.rounds  # defender-selection phase
+        state.concl_done[:] = -1
+        carrier = int(np.flatnonzero(state.role == TRACKER)[1])
+        state.ann_op[carrier] = 1
+        state.ann_tag[carrier] = state.rounds
+        collector1 = int(
+            np.flatnonzero((state.opinion == 1) & (state.role == COLLECTOR))[0]
+        )
+        algo.interact(state, arr(collector1), arr(carrier), make_rng(6))
+        assert state.defender[collector1]
+        assert state.played[collector1]
+
+    def test_leader_gives_up_without_candidates(self):
+        algo, state, leader = staged([8, 8])
+        state.played[:] = True
+        state.found_tag[leader] = state.rounds  # found the defender era only
+        state.phase[:] = state.origin + 3  # past the setup window
+        other = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        algo.interact(state, arr(leader), arr(other), make_rng(7))
+        assert state.finish_tag[leader] == state.origin
+        assert state.aftermath_live
+
+    def test_crowning_requires_collector_in_finish_tournament(self):
+        algo, state, leader = staged([8, 8])
+        state.aftermath_live = True
+        carrier = int(np.flatnonzero(state.role == TRACKER)[1])
+        collector = int(np.flatnonzero(state.role == COLLECTOR)[0])
+        state.defender[collector] = True
+        finish = state.origin + PHASES_PER_TOURNAMENT
+        state.finish_tag[carrier] = finish
+        # Collector still in the previous tournament: no crowning.
+        algo.interact(state, arr(carrier), arr(collector), make_rng(8))
+        assert not state.winner[collector]
+        state.phase[collector] = finish
+        state.concl_done[collector] = finish
+        algo.interact(state, arr(carrier), arr(collector), make_rng(8))
+        assert state.winner[collector]
+
+
+class TestLeaderElectionIntegration:
+    def test_trackers_become_candidates(self):
+        algo = UnorderedAlgorithm()
+        config = bias_one(64, 2, rng=1)
+        state = algo.init_state(config, make_rng(1))
+        rng = make_rng(2)
+        from repro.engine.scheduler import SequentialScheduler
+
+        done = 0
+        for u, v in SequentialScheduler().batches(64, rng):
+            algo.interact(state, u, v, rng)
+            done += u.size
+            if (state.role == TRACKER).sum() >= 5:
+                break
+            assert done < 64 * 500
+        trackers = state.role == TRACKER
+        assert state.le_cand[trackers].all()
+
+    def test_failure_hook_reports_leader_anomalies(self):
+        algo, state, leader = staged([8, 8])
+        state.leader[:] = False
+        assert algo.failure(state) == "no_leader"
+        trackers = np.flatnonzero(state.role == TRACKER)
+        state.leader[trackers[:2]] = True
+        assert algo.failure(state) == "multiple_leaders"
+
+
+class TestFullRuns:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bias_one_success(self, seed):
+        algo = UnorderedAlgorithm()
+        config = bias_one(128, 3, rng=seed)
+        result = simulate(
+            algo,
+            config,
+            seed=200 + seed,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(128, 3),
+        )
+        assert result.succeeded, result.describe()
+
+    def test_k1_terminates_via_give_up(self):
+        algo = UnorderedAlgorithm()
+        result = simulate(
+            algo,
+            single_opinion(96),
+            seed=7,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(96, 1),
+        )
+        assert result.converged
+        assert result.output_opinion == 1
+
+    def test_plurality_not_opinion_one(self):
+        algo = UnorderedAlgorithm()
+        config = exact([30, 67, 30], rng=9)
+        result = simulate(
+            algo,
+            config,
+            seed=8,
+            scheduler=MatchingScheduler(0.25),
+            max_parallel_time=algo.params.default_max_time(127, 3),
+        )
+        assert result.succeeded
+        assert result.output_opinion == 2
+
+    def test_progress_exposes_selection_state(self):
+        algo, state, leader = staged([8, 8])
+        progress = algo.progress(state)
+        assert "leaders" in progress and "finished" in progress

@@ -1,0 +1,148 @@
+"""Tests for repro.workloads.distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.engine import ConfigurationError
+
+
+class TestBiasOne:
+    def test_counts_sum_and_bias(self):
+        config = workloads.bias_one(100, 7)
+        assert config.n == 100
+        assert config.bias == 1
+        assert config.plurality_opinion == 1
+        assert config.has_unique_plurality
+
+    def test_k_one(self):
+        config = workloads.bias_one(10, 1)
+        assert config.n == 10
+        assert config.k == 1
+
+    def test_divisible_case(self):
+        config = workloads.bias_one(99, 3)  # n % k == 0
+        assert config.bias == 1
+        assert config.n == 99
+
+    def test_remainder_one(self):
+        config = workloads.bias_one(100, 3)  # n % k == 1
+        assert config.bias == 1
+
+    def test_remainder_many(self):
+        config = workloads.bias_one(101, 3)  # n % k == 2
+        assert config.bias == 1
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workloads.bias_one(4, 4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=200))
+    def test_property_minimum_bias(self, k, extra):
+        n = k + 1 + extra
+        config = workloads.bias_one(n, k)
+        assert config.n == n
+        assert config.k == k
+        if k == 2 and n % 2 == 0:
+            assert config.bias == 2  # parity forces the minimum even bias
+        else:
+            assert config.bias == 1
+        assert config.plurality_opinion == 1
+
+
+class TestUniformWithBias:
+    def test_requested_bias_realized(self):
+        for bias in (1, 3, 7):
+            config = workloads.uniform_with_bias(120, 5, bias)
+            assert config.bias == bias
+            assert config.n == 120
+            assert config.plurality_opinion == 1
+
+    def test_impossible_bias_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workloads.uniform_with_bias(12, 3, 20)
+
+
+class TestOneLargeManySmall:
+    def test_structure(self):
+        config = workloads.one_large_many_small(200, 11, plurality_fraction=0.5)
+        counts = config.counts()
+        assert counts[0] == 100
+        assert counts[1:].max() <= counts[0] // 2 + 1
+        assert config.n == 200
+
+    def test_small_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workloads.one_large_many_small(100, 30, plurality_fraction=0.02)
+
+
+class TestTwoBlock:
+    def test_two_big_plus_tiny(self):
+        config = workloads.two_block(200, 10, big_fraction=0.8)
+        counts = sorted(config.counts(), reverse=True)
+        assert counts[0] - counts[1] in (1, 2)
+        assert counts[2] < counts[1]
+        assert config.n == 200
+
+    def test_k2(self):
+        config = workloads.two_block(101, 2)
+        assert config.n == 101
+        assert config.bias in (1, 2)
+
+
+class TestZipf:
+    def test_sums_and_plurality(self):
+        config = workloads.zipf(300, 6, s=1.0)
+        assert config.n == 300
+        assert config.plurality_opinion == 1
+        assert config.has_unique_plurality
+
+    def test_s_zero_near_uniform(self):
+        config = workloads.zipf(100, 4, s=0.0)
+        counts = config.counts()
+        assert counts.max() - counts.min() <= counts.max()
+        assert config.n == 100
+
+
+class TestGeometric:
+    def test_decaying_counts(self):
+        config = workloads.geometric(400, 6, ratio=0.5)
+        counts = config.counts()
+        assert config.n == 400
+        assert all(counts[i] >= counts[i + 1] for i in range(5))
+        assert config.plurality_opinion == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            workloads.geometric(100, 4, ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            workloads.geometric(100, 0)
+
+
+class TestMajorityCounts:
+    def test_bias(self):
+        config = workloads.majority_counts(101, bias=1)
+        assert config.k == 2
+        assert config.bias == 1
+
+    def test_tie(self):
+        config = workloads.majority_counts(100, bias=0)
+        assert not config.has_unique_plurality
+
+    def test_parity_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workloads.majority_counts(100, bias=1)
+
+
+def test_single_opinion():
+    config = workloads.single_opinion(12, k=3)
+    assert config.n == 12
+    assert list(config.counts()) == [12, 0, 0]
+
+
+def test_exact_passthrough():
+    config = workloads.exact([4, 4, 1], name="tie")
+    assert config.name == "tie"
+    assert not config.has_unique_plurality
