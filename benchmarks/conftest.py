@@ -12,12 +12,16 @@ Run with::
 Environment:
     REPRO_BENCH_SCALE: "quick" (default) or "full" — sweep sizing.
 
-Rendered tables are also written to ``benchmarks/reports/<id>.txt`` so
-that EXPERIMENTS.md can be refreshed from the last run.
+Rendered tables are written to ``benchmarks/reports/<id>.txt`` so that
+EXPERIMENTS.md can be refreshed from the last run, and a machine-readable
+``benchmarks/reports/<id>.json`` (elapsed time, checks, stats) is written
+alongside so CI can diff performance trajectories across commits.
 """
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
@@ -39,14 +43,28 @@ def run_experiment(benchmark, bench_scale):
     """Run one experiment under the benchmark timer and check its shape."""
 
     def runner(name: str, must_pass: bool = True):
+        started = time.perf_counter()
         report = benchmark.pedantic(
             experiments.run, args=(name, bench_scale), rounds=1, iterations=1
         )
+        elapsed = time.perf_counter() - started
         text = report.render()
         print()
         print(text)
         REPORT_DIR.mkdir(exist_ok=True)
         (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        machine_readable = {
+            "experiment": report.experiment,
+            "title": report.title,
+            "scale": bench_scale,
+            "elapsed_seconds": elapsed,
+            "checks": {key: bool(ok) for key, ok in report.checks.items()},
+            "stats": {key: float(v) for key, v in report.stats.items()},
+            "passed": report.passed,
+        }
+        (REPORT_DIR / f"{name}.json").write_text(
+            json.dumps(machine_readable, indent=2, sort_keys=True) + "\n"
+        )
         if must_pass:
             failed = [k for k, ok in report.checks.items() if not ok]
             assert not failed, f"{name} shape checks failed: {failed}"

@@ -1,0 +1,12 @@
+"""Benchmark EB2: count backend ≥10× faster than agent arrays at scale.
+
+Runs the three-state majority protocol at n = 10^6 (quick) / 10^7 (full)
+on both execution backends under matching-scheduler semantics and checks
+the count path's wall-clock speedup; see
+``src/repro/experiments/scaling.py`` and ``repro.engine.backends``.
+"""
+
+
+def test_eb2(run_experiment):
+    report = run_experiment("EB2")
+    assert report.stats["speedup"] >= 10.0

@@ -12,6 +12,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional
 
+from ..engine.backends import BackendLike
 from ..engine.population import PopulationConfig
 from ..engine.protocol import Protocol
 from ..engine.rng import seeds_for
@@ -27,6 +28,7 @@ def _run_one(args) -> RunResult:
         index,
         seed,
         scheduler_factory,
+        backend,
         max_parallel_time,
         check_every_parallel_time,
     ) = args
@@ -45,6 +47,7 @@ def _run_one(args) -> RunResult:
         config,
         seed=seed,
         scheduler=scheduler,
+        backend=backend,
         max_parallel_time=budget,
         check_every_parallel_time=check_every_parallel_time,
     )
@@ -58,6 +61,7 @@ def replicate_parallel(
     base_seed: int = 0,
     workers: Optional[int] = None,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    backend: BackendLike = None,
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
 ) -> List[RunResult]:
@@ -65,6 +69,8 @@ def replicate_parallel(
 
     Semantics match :func:`repro.analysis.sweep.replicate`; only the
     execution strategy differs.  ``workers=None`` lets the executor pick.
+    ``backend`` should be a registry name (or None) so that jobs stay
+    picklable.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
@@ -75,6 +81,7 @@ def replicate_parallel(
             index,
             seed,
             scheduler_factory,
+            backend,
             max_parallel_time,
             check_every_parallel_time,
         )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from ..engine.backends import BackendLike
 from ..engine.population import PopulationConfig
 from ..engine.protocol import Protocol
 from ..engine.rng import seeds_for
@@ -27,6 +28,7 @@ def replicate(
     replications: int,
     base_seed: int = 0,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    backend: BackendLike = None,
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
 ) -> List[RunResult]:
@@ -35,7 +37,9 @@ def replicate(
     ``config_factory`` receives a seed so that workloads with a random
     component (shuffled assignments) also vary across replications.  The
     time budget defaults to the protocol's own estimate when it provides
-    ``default_max_time`` / ``params.default_max_time``.
+    ``default_max_time`` / ``params.default_max_time``.  ``backend``
+    selects the execution strategy per run (see
+    :mod:`repro.engine.backends`).
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
@@ -55,6 +59,7 @@ def replicate(
                 config,
                 seed=seed,
                 scheduler=scheduler,
+                backend=backend,
                 max_parallel_time=budget,
                 check_every_parallel_time=check_every_parallel_time,
             )

@@ -22,6 +22,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..engine.backends.model import CountModel, identity_tables
 from ..engine.population import PopulationConfig
 from ..engine.protocol import Protocol
 
@@ -68,3 +69,33 @@ class UndecidedStateDynamics(Protocol):
             "undecided": float((state == UNDECIDED).sum()),
             "distinct_opinions": float(np.unique(state[state != UNDECIDED]).size),
         }
+
+    def count_model(self, config: PopulationConfig) -> CountModel:
+        """Export the k-opinion USD transition table for the count backend.
+
+        State ids are the opinions themselves (0 = undecided), so the
+        projection is the identity.
+        """
+        num_states = config.k + 1
+        delta_u, delta_v = identity_tables(num_states)
+        for i in range(1, num_states):
+            for j in range(1, num_states):
+                if i != j:
+                    delta_v[i, j] = UNDECIDED
+            delta_v[i, UNDECIDED] = i
+
+        def progress(counts: np.ndarray) -> Dict[str, float]:
+            return {
+                "undecided": float(counts[UNDECIDED]),
+                "distinct_opinions": float((counts[1:] > 0).sum()),
+            }
+
+        return CountModel(
+            labels=["undecided"] + [f"opinion_{i}" for i in range(1, num_states)],
+            delta_u=delta_u,
+            delta_v=delta_v,
+            encode=lambda cfg: cfg.opinions,
+            output_map=np.arange(num_states),
+            progress=progress,
+            project=lambda state: state.astype(np.int64),
+        )

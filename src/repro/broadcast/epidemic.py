@@ -14,6 +14,7 @@ from typing import Any
 
 import numpy as np
 
+from ..engine.backends.model import CountModel, identity_tables
 from ..engine.population import PopulationConfig
 from ..engine.protocol import Protocol
 
@@ -94,3 +95,25 @@ class OneWayEpidemic(Protocol):
 
     def progress(self, state: np.ndarray):
         return {"informed": float(state.sum())}
+
+    def count_model(self, config: PopulationConfig) -> CountModel:
+        """Export the two-state infection table for the count backend."""
+        delta_u, delta_v = identity_tables(2)
+        delta_v[1, 0] = 1
+        if self._two_way:
+            delta_u[0, 1] = 1
+
+        def encode(cfg: PopulationConfig) -> np.ndarray:
+            ids = np.zeros(cfg.n, dtype=np.int64)
+            ids[0] = 1
+            return ids
+
+        return CountModel(
+            labels=["susceptible", "informed"],
+            delta_u=delta_u,
+            delta_v=delta_v,
+            encode=encode,
+            output_map=[0, 1],
+            progress=lambda counts: {"informed": float(counts[1])},
+            project=lambda state: state.astype(np.int64),
+        )

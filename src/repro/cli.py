@@ -5,6 +5,7 @@ Usage::
     repro-experiments list
     repro-experiments run E1 [E2 ...] [--scale quick|full]
     repro-experiments run all --scale full
+    repro-experiments run EB2 --backend counts
 
 Each experiment prints the table recorded in EXPERIMENTS.md and a PASS /
 FAIL line per shape check.  The same code paths back the pytest
@@ -19,6 +20,7 @@ import time
 from typing import List, Optional
 
 from . import experiments
+from .engine import backends
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +42,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="quick",
         help="sweep sizing (default: quick)",
     )
+    runner.add_argument(
+        "--backend",
+        choices=tuple(backends.available()),
+        default=None,
+        help=(
+            "execution-backend override, forwarded to experiments that "
+            "support it (e.g. EB2)"
+        ),
+    )
     return parser
 
 
@@ -59,11 +70,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(experiments.names())}", file=sys.stderr)
         return 2
+    if args.backend is not None:
+        unsupported = [
+            name for name in requested if not experiments.supports_backend(name)
+        ]
+        if unsupported:
+            print(
+                f"--backend is not supported by: {', '.join(unsupported)}",
+                file=sys.stderr,
+            )
+            return 2
 
     all_passed = True
     for name in requested:
         started = time.time()
-        report = experiments.run(name, scale=args.scale)
+        report = experiments.run(name, scale=args.scale, backend=args.backend)
         elapsed = time.time() - started
         print(report.render())
         print(f"({elapsed:.1f}s)\n")

@@ -549,3 +549,20 @@ class SimpleAlgorithm(Protocol):
     def default_max_time(self, config: PopulationConfig) -> float:
         """Suggested parallel-time budget for ``simulate``."""
         return self.params.default_max_time(config.n, config.k)
+
+    def count_model(self, config: PopulationConfig) -> None:
+        """The tournament algorithms export no transition table (yet).
+
+        A :class:`~repro.engine.backends.model.CountModel` needs a finite
+        per-run state space with precomputable pairwise transitions.  The
+        tournament state is per-run unbounded and globally coupled: the
+        absolute ``phase`` counter grows without bound across tournaments
+        (and ``bwin_tag`` / ``tcnt_done`` / ``reset_done`` record absolute
+        phases), the initialization rules draw fresh roles from the rng,
+        and ``aftermath_live`` is population-global.  Quotienting phases
+        modulo one tournament would make the space finite — that is the
+        open item tracked in ROADMAP.md.  Until then the core algorithms
+        run on the agent-array backend only (inherited by the unordered
+        and improved variants).
+        """
+        return None

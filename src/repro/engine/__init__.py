@@ -7,10 +7,17 @@ Public surface:
 * :class:`SequentialScheduler` / :class:`MatchingScheduler` — interaction
   schedulers (exact vs. well-mixed approximation).
 * :func:`simulate` / :class:`RunResult` — the run loop and its outcome.
+* :mod:`repro.engine.backends` — execution strategies: per-agent arrays
+  (``"agents"``) vs. count-vector simulation (``"counts"``), selected via
+  ``simulate(..., backend=...)``; :class:`CountModel` is the transition
+  table protocols export for the count path.
 * :class:`ProbeRecorder` — time-series sampling.
 """
 
+from . import backends
+from .backends import AgentArrayBackend, Backend, CountBackend, CountModel
 from .errors import (
+    BackendUnsupported,
     ConfigurationError,
     InvariantViolation,
     ReproError,
@@ -24,7 +31,13 @@ from .scheduler import MatchingScheduler, Scheduler, SequentialScheduler
 from .simulation import RunResult, simulate
 
 __all__ = [
+    "AgentArrayBackend",
+    "Backend",
+    "BackendUnsupported",
     "ConfigurationError",
+    "CountBackend",
+    "CountModel",
+    "backends",
     "InvariantViolation",
     "MatchingScheduler",
     "PopulationConfig",

@@ -1,0 +1,75 @@
+"""Execution backends: per-agent arrays vs. count-vector simulation.
+
+The paper's protocols are analyzed in terms of state *counts*, never agent
+identities, so the engine supports two interchangeable execution
+strategies behind one :class:`Backend` interface:
+
+``"agents"`` — :class:`AgentArrayBackend` (the default)
+    Per-agent numpy state arrays, every interaction applied through the
+    protocol's vectorized ``interact``.  Works for *every* protocol and
+    scheduler, including the core tournament algorithms whose per-run
+    state space (absolute phase numbers, token counters, verdict tags) is
+    unbounded and therefore has no precomputable transition table.
+    Memory O(n), work O(1) per interaction: the right choice up to
+    n ≈ 10^6, for recorder-heavy trajectory studies, and for any protocol
+    without a count model.
+
+``"counts"`` — :class:`CountBackend`
+    Drives the finite transition table a protocol exports through
+    ``Protocol.count_model(config)`` (a :class:`CountModel`).  With a
+    :class:`~repro.engine.scheduler.MatchingScheduler` the population is
+    just a state-count vector and one batch of B interactions costs
+    O(|states|²) via multivariate-hypergeometric sampling — use this for
+    n ≥ 10^7 sweeps of the small-state protocols (three-state majority,
+    undecided-state dynamics, cancel/split majority, epidemics), where it
+    is orders of magnitude faster than the agent path (benchmark
+    ``benchmarks/test_backend_scaling.py``; populations must stay below
+    numpy's 10^9 sampler limit, see ROADMAP).  With a
+    :class:`~repro.engine.scheduler.SequentialScheduler` it runs an exact
+    per-agent state-id mode that reproduces the agent backend's count
+    trajectory bit-for-bit under the same seed — the fidelity reference
+    the cross-backend tests check.
+
+Rule of thumb: pick ``"counts"`` when the protocol exports a count model
+and you care about scale; pick ``"agents"`` when you need per-agent
+introspection, a protocol without a table (the tournament algorithms), or
+exact sequential semantics at small n where backend choice is moot.
+
+Select a backend anywhere a simulation is launched::
+
+    simulate(protocol, config, backend="counts",
+             scheduler=MatchingScheduler(0.25))
+    replicate(..., backend="counts")
+    repro-experiments run EB2 --backend counts
+
+or grab one directly via ``repro.engine.backends.get("counts")``.
+"""
+
+from .agent_array import AgentArrayBackend
+from .base import (
+    DEFAULT_BACKEND,
+    Backend,
+    BackendLike,
+    available,
+    get,
+    register,
+    resolve,
+)
+from .counts import CountBackend, CountState
+from .model import CountModel, RandomEntry, identity_tables
+
+__all__ = [
+    "AgentArrayBackend",
+    "Backend",
+    "BackendLike",
+    "CountBackend",
+    "CountModel",
+    "CountState",
+    "DEFAULT_BACKEND",
+    "RandomEntry",
+    "available",
+    "get",
+    "identity_tables",
+    "register",
+    "resolve",
+]

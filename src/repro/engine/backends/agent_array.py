@@ -1,0 +1,118 @@
+"""The per-agent array backend: the engine's original execution path.
+
+State is whatever the protocol's ``init_state`` returns (per-agent numpy
+arrays); interactions come from a :class:`Scheduler` as disjoint index-pair
+batches and are applied through the protocol's vectorized ``interact``.
+This path handles every protocol and every scheduler, at O(n) memory and
+O(1) work per interaction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..population import PopulationConfig
+from ..protocol import Protocol
+from ..recorder import Recorder
+from ..scheduler import Scheduler
+from ..simulation import RunResult
+from .base import Backend, build_run_result, drive, register, run_intervals
+
+
+class AgentArrayBackend(Backend):
+    """Simulates every interaction on per-agent state arrays."""
+
+    name = "agents"
+
+    def run(
+        self,
+        protocol: Protocol,
+        config: PopulationConfig,
+        *,
+        rng: np.random.Generator,
+        scheduler: Scheduler,
+        max_parallel_time: float,
+        check_every_parallel_time: float,
+        recorder: Optional[Recorder] = None,
+        record_every_parallel_time: Optional[float] = None,
+        check_invariants: bool = False,
+        state_out: Optional[list] = None,
+    ) -> RunResult:
+        n = config.n
+        state = protocol.init_state(config, rng)
+
+        budget, check_interval, record_interval = run_intervals(
+            n,
+            max_parallel_time=max_parallel_time,
+            check_every_parallel_time=check_every_parallel_time,
+            recorder=recorder,
+            record_every_parallel_time=record_every_parallel_time,
+        )
+
+        if recorder is not None:
+            recorder.on_start(state, n)
+
+        batches = scheduler.batches(n, rng)
+
+        def step(remaining: int) -> int:
+            u, v = next(batches)
+            if u.size > remaining:
+                u, v = u[:remaining], v[:remaining]
+            protocol.interact(state, u, v, rng)
+            return int(u.size)
+
+        def check():
+            if check_invariants:
+                protocol.check_invariants(state)
+            failure = protocol.failure(state)
+            if failure is not None:
+                return failure, False
+            return None, protocol.has_converged(state)
+
+        interactions, converged, failure = drive(
+            budget=budget,
+            check_interval=check_interval,
+            record_interval=record_interval,
+            recorder=recorder,
+            step=step,
+            observe=lambda: state,
+            check=check,
+        )
+
+        if not converged and failure is None:
+            failure = protocol.failure(state) or (
+                "converged" if protocol.has_converged(state) else "timeout"
+            )
+            if failure == "converged":
+                converged = True
+                failure = None
+
+        output_opinion: Optional[int] = None
+        if converged:
+            outputs = protocol.output(state)
+            values = np.unique(outputs)
+            if values.size == 1 and values[0] != 0:
+                output_opinion = int(values[0])
+            else:
+                converged = False
+                failure = "divergent_output"
+
+        if recorder is not None:
+            recorder.on_end(interactions, state)
+        if state_out is not None:
+            state_out.append(state)
+
+        return build_run_result(
+            protocol,
+            config,
+            interactions=interactions,
+            converged=converged,
+            failure=failure,
+            output_opinion=output_opinion,
+            extras=protocol.progress(state),
+        )
+
+
+register(AgentArrayBackend.name, AgentArrayBackend)

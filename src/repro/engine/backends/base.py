@@ -1,0 +1,207 @@
+"""The :class:`Backend` protocol and the backend registry.
+
+A backend is an execution strategy for one simulation run: it owns the
+interaction loop, the state representation, and the convergence/failure
+bookkeeping, and returns the same :class:`~repro.engine.simulation.RunResult`
+regardless of strategy.  ``simulate()`` resolves its ``backend=`` argument
+through :func:`get` / :func:`resolve`, so callers can select a backend by
+name (``"agents"``, ``"counts"``) anywhere a simulation is launched — the
+CLI, the sweep harness, or the experiment registry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..population import PopulationConfig
+from ..protocol import Protocol
+from ..recorder import Recorder
+from ..scheduler import Scheduler
+from ..simulation import RunResult
+
+
+class Backend(ABC):
+    """Executes one simulation run end to end.
+
+    Implementations receive an already-validated request from
+    ``simulate()``: the rng is constructed, the scheduler defaulted, and
+    the cadence arguments checked.  They must honour the same semantics:
+    interactions counted one by one, convergence/failure checks every
+    ``check_every_parallel_time`` units, recorder callbacks at the record
+    cadence, and the final :class:`RunResult` fields filled identically.
+    """
+
+    #: Registry name of the backend (used in results and error messages).
+    name: str = "backend"
+
+    @abstractmethod
+    def run(
+        self,
+        protocol: Protocol,
+        config: PopulationConfig,
+        *,
+        rng: np.random.Generator,
+        scheduler: Scheduler,
+        max_parallel_time: float,
+        check_every_parallel_time: float,
+        recorder: Optional[Recorder] = None,
+        record_every_parallel_time: Optional[float] = None,
+        check_invariants: bool = False,
+        state_out: Optional[list] = None,
+    ) -> RunResult:
+        """Run ``protocol`` on ``config`` until convergence, failure, or timeout."""
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[], Backend]] = {}
+
+BackendLike = Union[str, Backend, None]
+
+#: Name resolved when ``simulate(..., backend=None)`` is called.
+DEFAULT_BACKEND = "agents"
+
+
+def register(name: str, factory: Callable[[], Backend]) -> None:
+    """Add a backend factory under ``name`` (e.g. at module import time)."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"duplicate backend {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available() -> List[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {', '.join(available())}"
+        ) from None
+    return factory()
+
+
+def resolve(backend: BackendLike) -> Backend:
+    """Coerce ``backend`` (name, instance, or None) to a Backend instance."""
+    if backend is None:
+        return get(DEFAULT_BACKEND)
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        return get(backend)
+    raise ConfigurationError(
+        f"backend must be a name, a Backend instance, or None, got {backend!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared run bookkeeping
+# ----------------------------------------------------------------------
+def run_intervals(
+    n: int,
+    *,
+    max_parallel_time: float,
+    check_every_parallel_time: float,
+    recorder: Optional[Recorder],
+    record_every_parallel_time: Optional[float],
+) -> Tuple[int, int, Optional[int]]:
+    """Convert parallel-time cadences to interaction counts.
+
+    Returns ``(budget, check_interval, record_interval)``; the record
+    interval is None when no recorder is attached.  All backends derive
+    their cadences here so that trajectories line up across backends.
+    """
+    budget = int(max_parallel_time * n)
+    check_interval = max(1, int(check_every_parallel_time * n))
+    if record_every_parallel_time is not None:
+        record_interval: Optional[int] = max(1, int(record_every_parallel_time * n))
+    elif recorder is not None:
+        cadence = getattr(recorder, "every_parallel_time", check_every_parallel_time)
+        record_interval = max(1, int(cadence * n))
+    else:
+        record_interval = None
+    return budget, check_interval, record_interval
+
+
+def drive(
+    *,
+    budget: int,
+    check_interval: int,
+    record_interval: Optional[int],
+    recorder: Optional[Recorder],
+    step: Callable[[int], int],
+    observe: Callable[[], object],
+    check: Callable[[], Tuple[Optional[str], bool]],
+) -> Tuple[int, bool, Optional[str]]:
+    """The interaction loop shared by every backend mode.
+
+    ``step(remaining)`` applies at most ``remaining`` interactions and
+    returns how many it applied (always >= 1); ``observe()`` returns the
+    state object handed to the recorder; ``check()`` runs the
+    invariant/failure/convergence hooks and returns
+    ``(failure_or_None, converged)``.  Keeping the budget-truncation and
+    cadence bookkeeping in one place is what guarantees trajectories from
+    different backends line up sample for sample.
+
+    Returns ``(interactions, converged, failure)``.
+    """
+    interactions = 0
+    next_check = check_interval
+    next_record = record_interval if record_interval is not None else None
+    converged = False
+    failure: Optional[str] = None
+    while True:
+        remaining = budget - interactions
+        if remaining <= 0:
+            break
+        interactions += step(remaining)
+
+        if next_record is not None and interactions >= next_record:
+            recorder.on_sample(interactions, observe())  # type: ignore[union-attr]
+            next_record += record_interval  # type: ignore[operator]
+
+        if interactions >= next_check:
+            failure, converged = check()
+            if failure is not None or converged:
+                break
+            next_check += check_interval
+    return interactions, converged, failure
+
+
+def build_run_result(
+    protocol: Protocol,
+    config: PopulationConfig,
+    *,
+    interactions: int,
+    converged: bool,
+    failure: Optional[str],
+    output_opinion: Optional[int],
+    extras: Dict[str, float],
+) -> RunResult:
+    """Assemble the :class:`RunResult` shared by all backends."""
+    expected = config.plurality_opinion if config.has_unique_plurality else None
+    correct: Optional[bool] = None
+    if expected is not None:
+        correct = converged and output_opinion == expected
+    return RunResult(
+        protocol=protocol.name,
+        n=config.n,
+        k=config.k,
+        interactions=interactions,
+        parallel_time=interactions / config.n,
+        converged=converged,
+        output_opinion=output_opinion,
+        expected_opinion=expected,
+        correct=correct,
+        failure=failure,
+        extras={key: float(value) for key, value in extras.items()},
+    )

@@ -1,0 +1,386 @@
+"""The count backend: configuration-space simulation on state-count vectors.
+
+Protocols that export a :class:`~repro.engine.backends.model.CountModel`
+can be simulated without materializing per-agent protocol state.  Two modes
+are selected by the scheduler passed to ``simulate()``:
+
+* :class:`~repro.engine.scheduler.SequentialScheduler` — *exact mode*.
+  The model's transition tables are applied to a single per-agent
+  state-id array using the very same scheduler index draws as the
+  agent-array backend.  For deterministic tables and rng-free
+  ``init_state`` this reproduces the agent-array count trajectory
+  bit-for-bit under the same seed (the cross-backend equivalence tests
+  rely on this), which makes it the fidelity reference for the batched
+  mode below.
+
+* :class:`~repro.engine.scheduler.MatchingScheduler` — *batched mode*.
+  The population is only a count vector; one batch of ``B`` disjoint
+  interactions is sampled in count space: initiator states by a
+  multivariate-hypergeometric draw from the counts, responder states by a
+  second draw from the remainder, and the initiator/responder pairing by
+  iterated multivariate-hypergeometric rows of the contingency table
+  (exactly the distribution the agent-level ``MatchingScheduler``
+  induces).  Transitions are then applied to whole pair-groups at once:
+  O(|states|²) per batch instead of O(n), which is what makes
+  n = 10^7 .. 10^8 sweeps cheap.  Populations must stay below numpy's
+  10^9 multivariate-hypergeometric limit (:data:`MAX_BATCHED_POPULATION`);
+  going past that needs the custom sampler tracked in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import BackendUnsupported, SimulationError
+from ..population import PopulationConfig
+from ..protocol import Protocol
+from ..recorder import Recorder
+from ..scheduler import MatchingScheduler, Scheduler, SequentialScheduler
+from ..simulation import RunResult
+from .base import Backend, build_run_result, drive, register, run_intervals
+from .model import CountModel
+
+#: numpy's multivariate-hypergeometric generator ("marginals" method)
+#: requires the population to stay below 10^9; see ROADMAP open items for
+#: the larger-n sampler.
+MAX_BATCHED_POPULATION = 1_000_000_000
+
+
+@dataclass
+class CountState:
+    """The state object count-backend runs hand to recorders and ``state_out``.
+
+    ``counts[s]`` is the number of agents in state ``s``; ``ids`` is the
+    per-agent state-id array in exact (sequential) mode and None in
+    batched mode.
+    """
+
+    model: CountModel
+    counts: np.ndarray
+    ids: Optional[np.ndarray] = None
+
+    def refresh(self) -> "CountState":
+        """Recompute ``counts`` from ``ids`` (exact mode only)."""
+        if self.ids is not None:
+            self.counts = np.bincount(self.ids, minlength=self.model.num_states)
+        return self
+
+
+class CountBackend(Backend):
+    """Drives a protocol's exported transition table in count space."""
+
+    name = "counts"
+
+    def run(
+        self,
+        protocol: Protocol,
+        config: PopulationConfig,
+        *,
+        rng: np.random.Generator,
+        scheduler: Scheduler,
+        max_parallel_time: float,
+        check_every_parallel_time: float,
+        recorder: Optional[Recorder] = None,
+        record_every_parallel_time: Optional[float] = None,
+        check_invariants: bool = False,
+        state_out: Optional[list] = None,
+    ) -> RunResult:
+        model = protocol.count_model(config)
+        if model is None:
+            raise BackendUnsupported(
+                f"protocol {protocol.name!r} does not export a count model; "
+                "run it on the 'agents' backend instead"
+            )
+        kwargs = dict(
+            rng=rng,
+            max_parallel_time=max_parallel_time,
+            check_every_parallel_time=check_every_parallel_time,
+            recorder=recorder,
+            record_every_parallel_time=record_every_parallel_time,
+            check_invariants=check_invariants,
+            state_out=state_out,
+        )
+        if isinstance(scheduler, SequentialScheduler):
+            return self._run_exact(protocol, config, model, scheduler, **kwargs)
+        if isinstance(scheduler, MatchingScheduler):
+            return self._run_batched(protocol, config, model, scheduler, **kwargs)
+        raise BackendUnsupported(
+            f"count backend has no count-space sampler for "
+            f"{type(scheduler).__name__}; use SequentialScheduler or "
+            "MatchingScheduler"
+        )
+
+    # ------------------------------------------------------------------
+    # Exact mode (sequential scheduler, per-agent state ids)
+    # ------------------------------------------------------------------
+    def _run_exact(
+        self,
+        protocol: Protocol,
+        config: PopulationConfig,
+        model: CountModel,
+        scheduler: SequentialScheduler,
+        *,
+        rng: np.random.Generator,
+        max_parallel_time: float,
+        check_every_parallel_time: float,
+        recorder: Optional[Recorder],
+        record_every_parallel_time: Optional[float],
+        check_invariants: bool,
+        state_out: Optional[list],
+    ) -> RunResult:
+        n = config.n
+        ids = model.initial_ids(config)
+        state = CountState(model=model, counts=np.empty(0, dtype=np.int64), ids=ids)
+        state.refresh()
+
+        budget, check_interval, record_interval = run_intervals(
+            n,
+            max_parallel_time=max_parallel_time,
+            check_every_parallel_time=check_every_parallel_time,
+            recorder=recorder,
+            record_every_parallel_time=record_every_parallel_time,
+        )
+
+        if recorder is not None:
+            recorder.on_start(state, n)
+
+        batches = scheduler.batches(n, rng)
+
+        def step(remaining: int) -> int:
+            u, v = next(batches)
+            if u.size > remaining:
+                u, v = u[:remaining], v[:remaining]
+            self._apply_dense(model, ids, u, v, rng)
+            return int(u.size)
+
+        def check():
+            state.refresh()
+            return self._check(model, state.counts, n, check_invariants)
+
+        interactions, converged, failure = drive(
+            budget=budget,
+            check_interval=check_interval,
+            record_interval=record_interval,
+            recorder=recorder,
+            step=step,
+            observe=state.refresh,
+            check=check,
+        )
+
+        return self._finish(
+            protocol,
+            config,
+            model,
+            state.refresh(),
+            interactions=interactions,
+            converged=converged,
+            failure=failure,
+            recorder=recorder,
+            state_out=state_out,
+        )
+
+    @staticmethod
+    def _apply_dense(
+        model: CountModel,
+        ids: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Table-driven transition application on disjoint index pairs."""
+        su, sv = ids[u], ids[v]
+        ids[u] = model.delta_u[su, sv]
+        ids[v] = model.delta_v[su, sv]
+        for (i, j), entry in model.random_entries.items():
+            mask = (su == i) & (sv == j)
+            if mask.any():
+                draws = np.searchsorted(
+                    entry.cum, rng.random(int(mask.sum())), side="right"
+                )
+                ids[u[mask]] = entry.out_u[draws]
+                ids[v[mask]] = entry.out_v[draws]
+
+    # ------------------------------------------------------------------
+    # Batched mode (matching scheduler semantics, pure counts)
+    # ------------------------------------------------------------------
+    def _run_batched(
+        self,
+        protocol: Protocol,
+        config: PopulationConfig,
+        model: CountModel,
+        scheduler: MatchingScheduler,
+        *,
+        rng: np.random.Generator,
+        max_parallel_time: float,
+        check_every_parallel_time: float,
+        recorder: Optional[Recorder],
+        record_every_parallel_time: Optional[float],
+        check_invariants: bool,
+        state_out: Optional[list],
+    ) -> RunResult:
+        n = config.n
+        if n < 2:
+            raise BackendUnsupported(f"need at least 2 agents, got {n}")
+        counts = model.initial_counts(config).astype(np.int64)
+        state = CountState(model=model, counts=counts)
+        # Mirror MatchingScheduler's batch sizing exactly.
+        batch = max(1, int(round(n * scheduler.fraction)))
+        batch = min(batch, n // 2)
+
+        budget, check_interval, record_interval = run_intervals(
+            n,
+            max_parallel_time=max_parallel_time,
+            check_every_parallel_time=check_every_parallel_time,
+            recorder=recorder,
+            record_every_parallel_time=record_every_parallel_time,
+        )
+
+        if recorder is not None:
+            recorder.on_start(state, n)
+
+        def step(remaining: int) -> int:
+            size = min(batch, remaining)
+            state.counts = self._step_batch(model, state.counts, size, rng)
+            return size
+
+        interactions, converged, failure = drive(
+            budget=budget,
+            check_interval=check_interval,
+            record_interval=record_interval,
+            recorder=recorder,
+            step=step,
+            observe=lambda: state,
+            check=lambda: self._check(model, state.counts, n, check_invariants),
+        )
+
+        return self._finish(
+            protocol,
+            config,
+            model,
+            state,
+            interactions=interactions,
+            converged=converged,
+            failure=failure,
+            recorder=recorder,
+            state_out=state_out,
+        )
+
+    @staticmethod
+    def _step_batch(
+        model: CountModel,
+        counts: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample and apply one batch of ``size`` disjoint interactions.
+
+        Distribution: ``2 * size`` distinct agents drawn without
+        replacement, the first ``size`` as initiators matched uniformly to
+        the rest — identical to ``MatchingScheduler`` at the count level.
+        """
+        if int(counts.sum()) >= MAX_BATCHED_POPULATION:
+            raise BackendUnsupported(
+                f"count backend's batched sampler is limited to populations "
+                f"below {MAX_BATCHED_POPULATION} by numpy's "
+                "multivariate-hypergeometric generator; see ROADMAP.md for "
+                "the larger-n sampler open item"
+            )
+        num_states = model.num_states
+        initiators = rng.multivariate_hypergeometric(counts, size)
+        responders = rng.multivariate_hypergeometric(counts - initiators, size)
+
+        # Contingency table of (initiator state, responder state) pair
+        # groups under a uniform pairing: iterated MVH rows.
+        pairs = np.zeros((num_states, num_states), dtype=np.int64)
+        pool = responders.copy()
+        for i in np.flatnonzero(initiators):
+            row = rng.multivariate_hypergeometric(pool, int(initiators[i]))
+            pairs[i] = row
+            pool -= row
+
+        new_counts = counts - initiators - responders
+        # Randomized pairs: multinomial split over their outcome lists.
+        for (i, j), entry in model.random_entries.items():
+            group = int(pairs[i, j])
+            if group:
+                split = rng.multinomial(group, entry.probs)
+                np.add.at(new_counts, entry.out_u, split)
+                np.add.at(new_counts, entry.out_v, split)
+                pairs[i, j] = 0
+        # Deterministic pairs: scatter whole groups through the tables.
+        flat = pairs.ravel()
+        hit = np.flatnonzero(flat)
+        np.add.at(new_counts, model.delta_u.ravel()[hit], flat[hit])
+        np.add.at(new_counts, model.delta_v.ravel()[hit], flat[hit])
+        return new_counts
+
+    # ------------------------------------------------------------------
+    # Shared check/epilogue
+    # ------------------------------------------------------------------
+    @classmethod
+    def _check(cls, model: CountModel, counts: np.ndarray, n: int, invariants: bool):
+        """The per-cadence hook bundle for :func:`base.drive`."""
+        if invariants:
+            cls._check_counts(counts, n)
+            model.check_invariants(counts)
+        failure = model.failure(counts)
+        if failure is not None:
+            return failure, False
+        return None, model.converged(counts)
+
+    @staticmethod
+    def _check_counts(counts: np.ndarray, n: int) -> None:
+        if (counts < 0).any() or int(counts.sum()) != n:
+            raise SimulationError(
+                f"count vector corrupted: sum {int(counts.sum())} != n {n}"
+            )
+
+    def _finish(
+        self,
+        protocol: Protocol,
+        config: PopulationConfig,
+        model: CountModel,
+        state: CountState,
+        *,
+        interactions: int,
+        converged: bool,
+        failure: Optional[str],
+        recorder: Optional[Recorder],
+        state_out: Optional[list],
+    ) -> RunResult:
+        counts = state.counts
+        if not converged and failure is None:
+            failure = model.failure(counts) or (
+                "converged" if model.converged(counts) else "timeout"
+            )
+            if failure == "converged":
+                converged = True
+                failure = None
+
+        output_opinion: Optional[int] = None
+        if converged:
+            output_opinion = model.output_opinion(counts)
+            if output_opinion is None:
+                converged = False
+                failure = "divergent_output"
+
+        if recorder is not None:
+            recorder.on_end(interactions, state)
+        if state_out is not None:
+            state_out.append(state)
+
+        return build_run_result(
+            protocol,
+            config,
+            interactions=interactions,
+            converged=converged,
+            failure=failure,
+            output_opinion=output_opinion,
+            extras=model.progress(counts),
+        )
+
+
+register(CountBackend.name, CountBackend)

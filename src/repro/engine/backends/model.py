@@ -1,0 +1,232 @@
+"""Count-space protocol descriptions: finite states + transition tables.
+
+A :class:`CountModel` is what a protocol exports (via
+``Protocol.count_model(config)``) so that count-space backends can drive it
+without per-agent arrays.  It consists of
+
+* a finite state space (``labels``, indexed ``0 .. S-1``),
+* ordered-pair transition tables ``delta_u`` / ``delta_v`` — for an
+  interaction between an initiator in state ``i`` and a responder in state
+  ``j``, the successors are ``delta_u[i, j]`` and ``delta_v[i, j]``,
+* optional *randomized* entries (:class:`RandomEntry`) for state pairs
+  whose outcome is drawn from a distribution rather than deterministic,
+* an ``encode`` function mapping a :class:`PopulationConfig` to per-agent
+  state ids (this fixes both the initial count vector and, for the exact
+  sequential mode, the same initial layout the agent-array backend sees),
+* count-level convergence / output / failure / progress hooks, defaulting
+  to "all supported states agree on one non-zero output" via ``output_map``.
+
+The optional ``project`` hook maps a protocol's *agent* state object to the
+same state ids; the cross-backend equivalence tests use it to compare
+count trajectories between backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..population import PopulationConfig
+
+CountHook = Callable[[np.ndarray], Any]
+
+
+class RandomEntry:
+    """A randomized transition outcome distribution for one state pair.
+
+    ``probs[m]`` is the probability that the pair maps to
+    ``(out_u[m], out_v[m])``.  Probabilities must be positive and sum to 1.
+    """
+
+    def __init__(
+        self,
+        probs: Sequence[float],
+        out_u: Sequence[int],
+        out_v: Sequence[int],
+    ):
+        self.probs = np.asarray(probs, dtype=np.float64)
+        self.out_u = np.asarray(out_u, dtype=np.int64)
+        self.out_v = np.asarray(out_v, dtype=np.int64)
+        if not (self.probs.size == self.out_u.size == self.out_v.size):
+            raise ConfigurationError("random entry arrays must have equal length")
+        if self.probs.size == 0:
+            raise ConfigurationError("random entry needs at least one outcome")
+        if (self.probs <= 0).any() or not np.isclose(self.probs.sum(), 1.0):
+            raise ConfigurationError(
+                "random entry probabilities must be positive and sum to 1"
+            )
+        #: Cumulative distribution for inverse-CDF sampling in dense mode.
+        self.cum = np.cumsum(self.probs)
+        self.cum[-1] = 1.0
+
+
+class CountModel:
+    """A protocol rendered as a finite-state pairwise transition system.
+
+    Args:
+        labels: one label per state (for tables and debugging).
+        delta_u / delta_v: ``(S, S)`` successor tables for ordered pairs;
+            entries for randomized pairs are ignored (see
+            ``random_entries``).
+        encode: maps a population config to per-agent state ids.
+        output_map: per-state output opinion (0 = undefined); required
+            unless both ``converged`` and ``output_opinion`` are given.
+        random_entries: ``{(i, j): RandomEntry}`` for randomized pairs.
+        converged / output_opinion / failure / progress /
+        check_invariants: optional count-level hooks mirroring the
+            :class:`~repro.engine.protocol.Protocol` hooks; all receive the
+            current count vector.
+        project: optional map from a protocol's agent-state object to
+            per-agent state ids (used by cross-backend tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        labels: Sequence[Any],
+        delta_u: np.ndarray,
+        delta_v: np.ndarray,
+        encode: Callable[[PopulationConfig], np.ndarray],
+        output_map: Optional[Sequence[int]] = None,
+        random_entries: Optional[Mapping[Tuple[int, int], RandomEntry]] = None,
+        converged: Optional[CountHook] = None,
+        output_opinion: Optional[CountHook] = None,
+        failure: Optional[CountHook] = None,
+        progress: Optional[CountHook] = None,
+        check_invariants: Optional[CountHook] = None,
+        project: Optional[Callable[[Any], np.ndarray]] = None,
+    ):
+        self.labels = list(labels)
+        num_states = len(self.labels)
+        if num_states < 1:
+            raise ConfigurationError("count model needs at least one state")
+        self.delta_u = self._check_table(delta_u, num_states, "delta_u")
+        self.delta_v = self._check_table(delta_v, num_states, "delta_v")
+        self._encode = encode
+        if output_map is not None:
+            output_arr = np.asarray(output_map, dtype=np.int64)
+            if output_arr.shape != (num_states,):
+                raise ConfigurationError(
+                    f"output_map must have one entry per state, "
+                    f"got shape {output_arr.shape} for {num_states} states"
+                )
+            self.output_map: Optional[np.ndarray] = output_arr
+        else:
+            self.output_map = None
+            if converged is None or output_opinion is None:
+                raise ConfigurationError(
+                    "count model needs output_map or explicit "
+                    "converged/output_opinion hooks"
+                )
+        self.random_entries: Dict[Tuple[int, int], RandomEntry] = {}
+        for (i, j), entry in sorted((random_entries or {}).items()):
+            if not (0 <= i < num_states and 0 <= j < num_states):
+                raise ConfigurationError(f"random entry ({i}, {j}) out of range")
+            if (entry.out_u >= num_states).any() or (entry.out_u < 0).any():
+                raise ConfigurationError(f"random entry ({i}, {j}): out_u escapes")
+            if (entry.out_v >= num_states).any() or (entry.out_v < 0).any():
+                raise ConfigurationError(f"random entry ({i}, {j}): out_v escapes")
+            self.random_entries[(int(i), int(j))] = entry
+        self._converged = converged
+        self._output_opinion = output_opinion
+        self._failure = failure
+        self._progress = progress
+        self._check_invariants = check_invariants
+        self._project = project
+
+    @staticmethod
+    def _check_table(table: np.ndarray, num_states: int, name: str) -> np.ndarray:
+        arr = np.asarray(table, dtype=np.int64)
+        if arr.shape != (num_states, num_states):
+            raise ConfigurationError(
+                f"{name} must be ({num_states}, {num_states}), got {arr.shape}"
+            )
+        if (arr < 0).any() or (arr >= num_states).any():
+            raise ConfigurationError(f"{name} entries must be valid state ids")
+        return arr
+
+    # ------------------------------------------------------------------
+    # State space
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.labels)
+
+    def initial_ids(self, config: PopulationConfig) -> np.ndarray:
+        """Per-agent state ids of the initial configuration.
+
+        Always a fresh array: the exact count mode mutates it in place,
+        and ``encode`` may hand back a view of ``config.opinions``.
+        """
+        ids = np.array(self._encode(config), dtype=np.int64)
+        if ids.shape != (config.n,):
+            raise ConfigurationError(
+                f"encode must return one state per agent, got shape {ids.shape}"
+            )
+        if (ids < 0).any() or (ids >= self.num_states).any():
+            raise ConfigurationError("encode produced out-of-range state ids")
+        return ids
+
+    def initial_counts(self, config: PopulationConfig) -> np.ndarray:
+        """Initial state-count vector (sums to ``config.n``)."""
+        return np.bincount(self.initial_ids(config), minlength=self.num_states)
+
+    def project(self, agent_state: Any) -> np.ndarray:
+        """Map an agent-array state object to per-agent state ids."""
+        if self._project is None:
+            raise ConfigurationError(
+                "this count model does not define an agent-state projection"
+            )
+        return np.asarray(self._project(agent_state), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Count-level protocol hooks
+    # ------------------------------------------------------------------
+    def converged(self, counts: np.ndarray) -> bool:
+        if self._converged is not None:
+            return bool(self._converged(counts))
+        return self.output_opinion(counts) is not None
+
+    def output_opinion(self, counts: np.ndarray) -> Optional[int]:
+        """The common output opinion, or None when outputs disagree.
+
+        Mirrors the agent-level rule: every agent's output must be the
+        same non-zero opinion.
+        """
+        if self._output_opinion is not None:
+            value = self._output_opinion(counts)
+            return None if value is None else int(value)
+        assert self.output_map is not None
+        outputs = np.unique(self.output_map[np.flatnonzero(counts)])
+        if outputs.size == 1 and outputs[0] != 0:
+            return int(outputs[0])
+        return None
+
+    def failure(self, counts: np.ndarray) -> Optional[str]:
+        if self._failure is not None:
+            return self._failure(counts)
+        return None
+
+    def progress(self, counts: np.ndarray) -> Dict[str, float]:
+        if self._progress is not None:
+            return dict(self._progress(counts))
+        return {}
+
+    def check_invariants(self, counts: np.ndarray) -> None:
+        if self._check_invariants is not None:
+            self._check_invariants(counts)
+
+
+def identity_tables(num_states: int) -> Tuple[np.ndarray, np.ndarray]:
+    """No-op transition tables to be overwritten entry by entry.
+
+    Convenience for protocols building their export: start from
+    ``delta_u[i, j] = i`` and ``delta_v[i, j] = j``, then fill in the
+    reacting pairs.
+    """
+    ids = np.arange(num_states, dtype=np.int64)
+    delta_u = np.repeat(ids[:, None], num_states, axis=1)
+    delta_v = np.repeat(ids[None, :], num_states, axis=0)
+    return delta_u, delta_v

@@ -17,6 +17,15 @@ class ConfigurationError(ReproError):
     """An invalid population, workload, or protocol parameterization."""
 
 
+class BackendUnsupported(ConfigurationError):
+    """A backend cannot execute the requested protocol/scheduler combination.
+
+    Raised e.g. when the count backend is asked to run a protocol that does
+    not export a transition table (``Protocol.count_model`` returned None),
+    or when a scheduler has no count-space sampling equivalent.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state.
 

@@ -15,11 +15,14 @@ State is protocol-defined: any object holding per-agent numpy arrays.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
 from .population import PopulationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .backends.model import CountModel
 
 
 class Protocol(ABC):
@@ -79,6 +82,18 @@ class Protocol(ABC):
     def progress(self, state: Any) -> Dict[str, float]:
         """Cheap scalar probes for recorders (phase, actives, ...)."""
         return {}
+
+    def count_model(self, config: PopulationConfig) -> Optional["CountModel"]:
+        """Export this protocol as a finite transition table, or None.
+
+        Protocols whose per-agent state ranges over a small finite set
+        return a :class:`~repro.engine.backends.model.CountModel` so the
+        count backend can simulate them on a state-count vector
+        (O(|states|²) per interaction batch instead of O(n) memory).
+        The default is None: the protocol can only run on the agent-array
+        backend.
+        """
+        return None
 
 
 def require_disjoint(u: np.ndarray, v: np.ndarray) -> None:

@@ -112,6 +112,11 @@ class MatchingScheduler(Scheduler):
             )
         self._fraction = fraction
 
+    @property
+    def fraction(self) -> float:
+        """Batch size as a fraction of n (count backends mirror this sizing)."""
+        return self._fraction
+
     def batches(self, n: int, rng: np.random.Generator) -> Iterator[PairBatch]:
         if n < 2:
             raise ConfigurationError(f"need at least 2 agents, got {n}")

@@ -8,9 +8,7 @@ paper's convention (Section 1: "in expectation each agent takes part in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
-
-import numpy as np
+from typing import TYPE_CHECKING, Dict, Optional
 
 from .errors import ConfigurationError
 from .population import PopulationConfig
@@ -18,6 +16,9 @@ from .protocol import Protocol
 from .recorder import Recorder
 from .rng import RngLike, make_rng
 from .scheduler import Scheduler, SequentialScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .backends import BackendLike
 
 
 @dataclass
@@ -64,6 +65,7 @@ def simulate(
     *,
     seed: RngLike = None,
     scheduler: Optional[Scheduler] = None,
+    backend: "BackendLike" = None,
     max_parallel_time: float = 1e5,
     check_every_parallel_time: float = 1.0,
     recorder: Optional[Recorder] = None,
@@ -76,6 +78,10 @@ def simulate(
     Args:
         seed: int / Generator / None; all randomness of the run.
         scheduler: defaults to the exact :class:`SequentialScheduler`.
+        backend: execution strategy — a registry name (``"agents"``,
+            ``"counts"``), a :class:`~repro.engine.backends.Backend`
+            instance, or None for the default per-agent array path.  See
+            :mod:`repro.engine.backends` for the trade-offs.
         max_parallel_time: run budget; exceeding it records failure
             ``"timeout"``.
         check_every_parallel_time: cadence of convergence/failure checks.
@@ -96,92 +102,20 @@ def simulate(
     if check_every_parallel_time <= 0:
         raise ConfigurationError("check_every_parallel_time must be positive")
 
+    from . import backends as backend_registry
+
+    runner = backend_registry.resolve(backend)
     rng = make_rng(seed)
     scheduler = scheduler or SequentialScheduler()
-    n = config.n
-    state = protocol.init_state(config, rng)
-
-    budget = int(max_parallel_time * n)
-    check_interval = max(1, int(check_every_parallel_time * n))
-    if record_every_parallel_time is not None:
-        record_interval: Optional[int] = max(1, int(record_every_parallel_time * n))
-    elif recorder is not None:
-        cadence = getattr(recorder, "every_parallel_time", check_every_parallel_time)
-        record_interval = max(1, int(cadence * n))
-    else:
-        record_interval = None
-
-    if recorder is not None:
-        recorder.on_start(state, n)
-
-    interactions = 0
-    next_check = check_interval
-    next_record = record_interval if record_interval is not None else None
-    converged = False
-    failure: Optional[str] = None
-
-    for u, v in scheduler.batches(n, rng):
-        remaining = budget - interactions
-        if remaining <= 0:
-            break
-        if u.size > remaining:
-            u, v = u[:remaining], v[:remaining]
-        protocol.interact(state, u, v, rng)
-        interactions += int(u.size)
-
-        if next_record is not None and interactions >= next_record:
-            recorder.on_sample(interactions, state)  # type: ignore[union-attr]
-            next_record += record_interval  # type: ignore[operator]
-
-        if interactions >= next_check:
-            if check_invariants:
-                protocol.check_invariants(state)
-            failure = protocol.failure(state)
-            if failure is not None:
-                break
-            if protocol.has_converged(state):
-                converged = True
-                break
-            next_check += check_interval
-
-    if not converged and failure is None:
-        failure = protocol.failure(state) or (
-            "converged" if protocol.has_converged(state) else "timeout"
-        )
-        if failure == "converged":
-            converged = True
-            failure = None
-
-    output_opinion: Optional[int] = None
-    if converged:
-        outputs = protocol.output(state)
-        values = np.unique(outputs)
-        if values.size == 1 and values[0] != 0:
-            output_opinion = int(values[0])
-        else:
-            converged = False
-            failure = "divergent_output"
-
-    expected = config.plurality_opinion if config.has_unique_plurality else None
-    correct: Optional[bool] = None
-    if expected is not None:
-        correct = converged and output_opinion == expected
-
-    if recorder is not None:
-        recorder.on_end(interactions, state)
-    if state_out is not None:
-        state_out.append(state)
-
-    return RunResult(
-        protocol=protocol.name,
-        n=n,
-        k=config.k,
-        interactions=interactions,
-        parallel_time=interactions / n,
-        converged=converged,
-        output_opinion=output_opinion,
-        expected_opinion=expected,
-        correct=correct,
-        failure=failure,
-        extras={k2: float(v2) for k2, v2 in protocol.progress(state).items()},
+    return runner.run(
+        protocol,
+        config,
+        rng=rng,
+        scheduler=scheduler,
+        max_parallel_time=max_parallel_time,
+        check_every_parallel_time=check_every_parallel_time,
+        recorder=recorder,
+        record_every_parallel_time=record_every_parallel_time,
+        check_invariants=check_invariants,
+        state_out=state_out,
     )

@@ -1,5 +1,12 @@
 """Experiment registry (E1-E15 + ablations) — see DESIGN.md §5."""
 
-from .base import ExperimentReport, get, names, run, titles
+from .base import ExperimentReport, get, names, run, supports_backend, titles
 
-__all__ = ["ExperimentReport", "get", "names", "run", "titles"]
+__all__ = [
+    "ExperimentReport",
+    "get",
+    "names",
+    "run",
+    "supports_backend",
+    "titles",
+]

@@ -12,8 +12,9 @@ Scales:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.sweep import format_table
 
@@ -90,11 +91,30 @@ def titles() -> Dict[str, str]:
     return dict(_TITLES)
 
 
-def run(name: str, scale: str = "quick") -> ExperimentReport:
-    """Run one experiment at the given scale."""
+def supports_backend(name: str) -> bool:
+    """Whether an experiment accepts a ``backend=`` override."""
+    return "backend" in inspect.signature(get(name)).parameters
+
+
+def run(
+    name: str, scale: str = "quick", backend: Optional[str] = None
+) -> ExperimentReport:
+    """Run one experiment at the given scale.
+
+    ``backend`` forwards an execution-backend override to experiments
+    whose function accepts a ``backend=`` keyword (e.g. EB2); passing it
+    to any other experiment raises ValueError.
+    """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
-    return get(name)(scale)
+    fn = get(name)
+    if backend is not None:
+        if not supports_backend(name):
+            raise ValueError(
+                f"experiment {name} does not support a backend override"
+            )
+        return fn(scale, backend=backend)
+    return fn(scale)
 
 
 def _ensure_loaded() -> None:

@@ -44,6 +44,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..engine.backends.model import CountModel, identity_tables
 from ..engine.errors import ConfigurationError, InvariantViolation
 from ..engine.population import PopulationConfig
 from ..engine.protocol import Protocol
@@ -242,3 +243,121 @@ class CancelSplitMajority(Protocol):
             )
         if (state.expo < 0).any() or (state.expo > state.max_level).any():
             raise InvariantViolation("exponent escaped [0, L]")
+
+    def count_model(self, config: PopulationConfig) -> CountModel:
+        """Export the cancel/split token system for the count backend.
+
+        State space: id 0 is token-free; ids ``1 .. L+1`` hold a +1 token
+        at exponent ``id - 1``; ids ``L+2 .. 2L+2`` hold a −1 token at
+        exponent ``id - (L + 2)``.  The ``out`` dissemination array of the
+        agent path is not part of the export because the standalone
+        protocol's convergence and output depend on token signs only.
+        """
+        if config.k > 2:
+            raise ConfigurationError("CancelSplitMajority needs a k <= 2 population")
+        levels = majority_levels(config.n, self._slack)
+        pos0, neg0 = 1, levels + 2
+        num_states = 2 * levels + 3
+
+        def sign_of(state: int) -> int:
+            if state == 0:
+                return 0
+            return 1 if state < neg0 else -1
+
+        def expo_of(state: int) -> int:
+            if state == 0:
+                return 0
+            return state - pos0 if state < neg0 else state - neg0
+
+        def make(sign: int, expo: int) -> int:
+            return (pos0 if sign > 0 else neg0) + expo
+
+        delta_u, delta_v = identity_tables(num_states)
+        for a in range(num_states):
+            for b in range(num_states):
+                sa, sb = sign_of(a), sign_of(b)
+                ea, eb = expo_of(a), expo_of(b)
+                if sa * sb == -1:
+                    if ea == eb:  # cancel
+                        delta_u[a, b] = delta_v[a, b] = 0
+                    elif eb - ea == 1:  # partial cancel, initiator heavier
+                        delta_u[a, b] = make(sa, ea + 1)
+                        delta_v[a, b] = 0
+                    elif ea - eb == 1:  # partial cancel, responder heavier
+                        delta_u[a, b] = 0
+                        delta_v[a, b] = make(sb, eb + 1)
+                elif sa != 0 and sa == sb and ea == eb and ea >= 1:  # merge
+                    delta_u[a, b] = make(sa, ea - 1)
+                    delta_v[a, b] = 0
+                elif sa != 0 and sb == 0 and ea < levels:  # split onto v
+                    delta_u[a, b] = delta_v[a, b] = make(sa, ea + 1)
+                elif sb != 0 and sa == 0 and eb < levels:  # split onto u
+                    delta_u[a, b] = delta_v[a, b] = make(sb, eb + 1)
+
+        signs = np.array([sign_of(s) for s in range(num_states)], dtype=np.int64)
+        expos = np.array([expo_of(s) for s in range(num_states)], dtype=np.int64)
+        # Exact dyadic weights in units of 2^(−L), as Python ints.
+        weights = [
+            int(signs[s]) * (1 << int(levels - expos[s])) if signs[s] else 0
+            for s in range(num_states)
+        ]
+
+        def encode(cfg: PopulationConfig) -> np.ndarray:
+            return np.where(cfg.opinions == 1, pos0, neg0)
+
+        initial_sum = sum(
+            weights[s] * int(c)
+            for s, c in enumerate(np.bincount(encode(config), minlength=num_states))
+        )
+
+        def totals(counts: np.ndarray):
+            positives = int(counts[pos0:neg0].sum())
+            negatives = int(counts[neg0:].sum())
+            return positives, negatives
+
+        def converged(counts: np.ndarray) -> bool:
+            positives, negatives = totals(counts)
+            return positives == 0 or negatives == 0
+
+        def output_opinion(counts: np.ndarray):
+            positives, negatives = totals(counts)
+            if positives and negatives:
+                return None
+            return 2 if negatives else 1  # ties (no tokens) go to opinion 1
+
+        def progress(counts: np.ndarray) -> Dict[str, float]:
+            active = np.flatnonzero(counts * (signs != 0))
+            return {
+                "positives": float(totals(counts)[0]),
+                "negatives": float(totals(counts)[1]),
+                "max_expo": float(expos[active].max()) if active.size else 0.0,
+            }
+
+        def check_invariants(counts: np.ndarray) -> None:
+            current = sum(weights[s] * int(c) for s, c in enumerate(counts))
+            if current != initial_sum:
+                raise InvariantViolation(
+                    f"signed sum changed: {initial_sum} -> {current}"
+                )
+
+        def project(state: CancelSplitState) -> np.ndarray:
+            ids = np.zeros(state.sign.size, dtype=np.int64)
+            positive, negative = state.sign > 0, state.sign < 0
+            ids[positive] = pos0 + state.expo[positive]
+            ids[negative] = neg0 + state.expo[negative]
+            return ids
+
+        labels = ["free"]
+        labels += [f"+2^-{e}" for e in range(levels + 1)]
+        labels += [f"-2^-{e}" for e in range(levels + 1)]
+        return CountModel(
+            labels=labels,
+            delta_u=delta_u,
+            delta_v=delta_v,
+            encode=encode,
+            converged=converged,
+            output_opinion=output_opinion,
+            progress=progress,
+            check_invariants=check_invariants,
+            project=project,
+        )

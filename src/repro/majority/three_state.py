@@ -19,6 +19,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..engine.backends.model import CountModel, identity_tables
 from ..engine.errors import ConfigurationError
 from ..engine.population import PopulationConfig
 from ..engine.protocol import Protocol
@@ -72,3 +73,35 @@ class ThreeStateMajority(Protocol):
             "b": float((state == STATE_B).sum()),
             "blank": float((state == BLANK).sum()),
         }
+
+    def count_model(self, config: PopulationConfig) -> CountModel:
+        """Export the three-state transition table for the count backend.
+
+        State ids coincide with the per-agent encoding (blank/A/B), so the
+        projection is the identity and the count backend's exact mode
+        reproduces the agent-array trajectory bit-for-bit.
+        """
+        if config.k > 2:
+            raise ConfigurationError("ThreeStateMajority needs a k <= 2 population")
+        delta_u, delta_v = identity_tables(3)
+        delta_v[STATE_A, STATE_B] = BLANK
+        delta_v[STATE_B, STATE_A] = BLANK
+        delta_v[STATE_A, BLANK] = STATE_A
+        delta_v[STATE_B, BLANK] = STATE_B
+
+        def progress(counts: np.ndarray) -> Dict[str, float]:
+            return {
+                "a": float(counts[STATE_A]),
+                "b": float(counts[STATE_B]),
+                "blank": float(counts[BLANK]),
+            }
+
+        return CountModel(
+            labels=["blank", "A", "B"],
+            delta_u=delta_u,
+            delta_v=delta_v,
+            encode=lambda cfg: np.where(cfg.opinions == 1, STATE_A, STATE_B),
+            output_map=[0, 1, 2],
+            progress=progress,
+            project=lambda state: state.astype(np.int64),
+        )

@@ -1,0 +1,437 @@
+"""Tests for the execution-backend layer (registry, count models, parity).
+
+The load-bearing guarantees:
+
+* registry: ``backends.get`` / ``resolve`` hand out the right strategies;
+* exact mode: for protocols with deterministic transition tables, the
+  count backend reproduces the agent-array backend's count trajectory
+  *bit-for-bit* under the same seed and sequential scheduler;
+* batched mode: multivariate-hypergeometric batches agree with the
+  agent-level :class:`MatchingScheduler` at the distribution level (KS);
+* count models: validation, conservation, randomized entries.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.engine import (
+    BackendUnsupported,
+    ConfigurationError,
+    MatchingScheduler,
+    PopulationConfig,
+    SequentialScheduler,
+    backends,
+    simulate,
+)
+from repro.engine.backends import (
+    AgentArrayBackend,
+    Backend,
+    CountBackend,
+    CountModel,
+    CountState,
+    RandomEntry,
+    identity_tables,
+)
+from repro.engine.protocol import Protocol
+from repro.engine.recorder import Recorder
+from repro.analysis.sweep import replicate
+from repro.baselines.usd import UndecidedStateDynamics
+from repro.broadcast.epidemic import OneWayEpidemic
+from repro.core.simple import SimpleAlgorithm
+from repro.majority.cancel_split import CancelSplitMajority
+from repro.majority.three_state import ThreeStateMajority
+
+
+class TestRegistry:
+    def test_available_lists_both(self):
+        assert {"agents", "counts"} <= set(backends.available())
+
+    def test_get_returns_fresh_instances(self):
+        assert isinstance(backends.get("agents"), AgentArrayBackend)
+        assert isinstance(backends.get("counts"), CountBackend)
+        assert backends.get("counts") is not backends.get("counts")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            backends.get("gpu")
+
+    def test_resolve(self):
+        assert isinstance(backends.resolve(None), AgentArrayBackend)
+        assert isinstance(backends.resolve("counts"), CountBackend)
+        instance = CountBackend()
+        assert backends.resolve(instance) is instance
+        with pytest.raises(ConfigurationError):
+            backends.resolve(42)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            backends.register("agents", AgentArrayBackend)
+
+
+class CountTrajectory(Recorder):
+    """Records the state-count vector at every sample, on either backend."""
+
+    def __init__(self, model: CountModel, every_parallel_time: float = 1.0):
+        self.model = model
+        self.every_parallel_time = every_parallel_time
+        self.frames = []
+
+    def _counts(self, state) -> np.ndarray:
+        if isinstance(state, CountState):
+            return state.refresh().counts.copy()
+        ids = self.model.project(state)
+        return np.bincount(ids, minlength=self.model.num_states)
+
+    def on_start(self, state, n):
+        self.frames.append((0, self._counts(state)))
+
+    def on_sample(self, interactions, state):
+        self.frames.append((interactions, self._counts(state)))
+
+    def on_end(self, interactions, state):
+        self.frames.append((interactions, self._counts(state)))
+
+
+EQUIVALENCE_CASES = [
+    ("three_state", ThreeStateMajority(), [180, 120], 500.0),
+    ("usd", UndecidedStateDynamics(), [140, 110, 80, 70], 500.0),
+    ("cancel_split", CancelSplitMajority(), [130, 126], 2000.0),
+    ("epidemic", OneWayEpidemic(), [100, 100], 200.0),
+]
+
+
+class TestExactEquivalence:
+    """Same seed + sequential scheduler → identical count trajectories."""
+
+    @pytest.mark.parametrize(
+        "name,protocol,counts,budget",
+        EQUIVALENCE_CASES,
+        ids=[case[0] for case in EQUIVALENCE_CASES],
+    )
+    def test_trajectories_bit_identical(self, name, protocol, counts, budget):
+        config = PopulationConfig.from_counts(counts, rng=11)
+        model = protocol.count_model(config)
+        runs = {}
+        for backend in ("agents", "counts"):
+            recorder = CountTrajectory(model)
+            runs[backend] = (
+                simulate(
+                    protocol,
+                    config,
+                    seed=97,
+                    scheduler=SequentialScheduler(),
+                    backend=backend,
+                    max_parallel_time=budget,
+                    recorder=recorder,
+                    check_invariants=True,
+                ),
+                recorder.frames,
+            )
+        agent_result, agent_frames = runs["agents"]
+        count_result, count_frames = runs["counts"]
+
+        assert len(agent_frames) == len(count_frames)
+        for (ia, ca), (ic, cc) in zip(agent_frames, count_frames):
+            assert ia == ic
+            np.testing.assert_array_equal(ca, cc)
+
+        assert agent_result.interactions == count_result.interactions
+        assert agent_result.parallel_time == count_result.parallel_time
+        assert agent_result.converged == count_result.converged
+        assert agent_result.output_opinion == count_result.output_opinion
+        assert agent_result.failure == count_result.failure
+        assert agent_result.extras == count_result.extras
+
+    def test_state_out_carries_count_state(self):
+        config = PopulationConfig.from_counts([60, 40], rng=0)
+        out = []
+        simulate(
+            ThreeStateMajority(),
+            config,
+            seed=3,
+            backend="counts",
+            max_parallel_time=500,
+            state_out=out,
+        )
+        (state,) = out
+        assert isinstance(state, CountState)
+        assert int(state.counts.sum()) == 100
+
+
+class TestBatchedAgreement:
+    """Count-space MVH batches vs agent-level MatchingScheduler (KS level)."""
+
+    def _times(self, backend: str) -> list:
+        results = replicate(
+            ThreeStateMajority,
+            lambda s: PopulationConfig.from_counts([1150, 850], rng=s),
+            replications=25,
+            base_seed=5,
+            scheduler_factory=lambda: MatchingScheduler(0.25),
+            backend=backend,
+            max_parallel_time=500.0,
+            check_every_parallel_time=0.25,
+        )
+        assert all(r.converged for r in results)
+        return [r.parallel_time for r in results]
+
+    def test_convergence_time_distributions_agree(self):
+        agent_times = self._times("agents")
+        count_times = self._times("counts")
+        ks = scipy_stats.ks_2samp(agent_times, count_times)
+        assert ks.pvalue > 0.01, (
+            f"backend distributions diverged: KS={ks.statistic:.3f} "
+            f"p={ks.pvalue:.4f}"
+        )
+
+    def test_population_conserved_odd_n_half_fraction(self):
+        config = PopulationConfig.from_counts([128, 127], rng=1)
+        trajectory = CountTrajectory(
+            ThreeStateMajority().count_model(config), every_parallel_time=0.5
+        )
+        result = simulate(
+            ThreeStateMajority(),
+            config,
+            seed=9,
+            scheduler=MatchingScheduler(0.5),
+            backend="counts",
+            max_parallel_time=500.0,
+            recorder=trajectory,
+            check_invariants=True,
+        )
+        assert result.converged
+        for _, counts in trajectory.frames:
+            assert int(counts.sum()) == 255
+            assert (counts >= 0).all()
+
+    def test_population_beyond_sampler_limit_rejected(self):
+        """numpy's MVH generator caps populations at 1e9: clear error, no crash."""
+        from repro.engine.backends.counts import MAX_BATCHED_POPULATION
+        from repro.engine.rng import make_rng
+
+        config = PopulationConfig.from_counts([2, 2], rng=0)
+        model = ThreeStateMajority().count_model(config)
+        huge = np.array([0, MAX_BATCHED_POPULATION, 5], dtype=np.int64)
+        with pytest.raises(BackendUnsupported, match="below 1000000000"):
+            CountBackend._step_batch(model, huge, 10, make_rng(0))
+
+    def test_cancel_split_invariant_holds_in_count_space(self):
+        config = PopulationConfig.from_counts([65, 62], rng=2)
+        result = simulate(
+            CancelSplitMajority(),
+            config,
+            seed=21,
+            scheduler=MatchingScheduler(0.25),
+            backend="counts",
+            max_parallel_time=4000.0,
+            check_invariants=True,
+        )
+        assert result.converged
+        assert result.output_opinion == 1
+
+
+class LazyEpidemic(Protocol):
+    """Toy protocol with a *randomized* transition: infect w.p. 1/2."""
+
+    name = "lazy_epidemic"
+
+    def init_state(self, config, rng):
+        informed = np.zeros(config.n, dtype=bool)
+        informed[0] = True
+        return informed
+
+    def interact(self, state, u, v, rng):
+        infect = state[u] & ~state[v] & (rng.random(u.size) < 0.5)
+        state[v[infect]] = True
+
+    def has_converged(self, state):
+        return bool(state.all())
+
+    def output(self, state):
+        return state.astype(np.int64)
+
+    def count_model(self, config):
+        delta_u, delta_v = identity_tables(2)
+
+        def encode(cfg):
+            ids = np.zeros(cfg.n, dtype=np.int64)
+            ids[0] = 1
+            return ids
+
+        return CountModel(
+            labels=["susceptible", "informed"],
+            delta_u=delta_u,
+            delta_v=delta_v,
+            encode=encode,
+            output_map=[0, 1],
+            random_entries={
+                (1, 0): RandomEntry([0.5, 0.5], out_u=[1, 1], out_v=[0, 1])
+            },
+        )
+
+
+class TestRandomizedEntries:
+    @pytest.mark.parametrize("scheduler_factory", [
+        SequentialScheduler,
+        lambda: MatchingScheduler(0.25),
+    ])
+    def test_lazy_epidemic_converges_on_counts(self, scheduler_factory):
+        config = PopulationConfig.from_counts([100, 100], rng=0)
+        result = simulate(
+            LazyEpidemic(),
+            config,
+            seed=13,
+            scheduler=scheduler_factory(),
+            backend="counts",
+            max_parallel_time=500.0,
+            check_invariants=True,
+        )
+        assert result.converged
+        assert result.output_opinion == 1
+
+    def test_batched_rate_matches_agents(self):
+        """Lazy infection spreads at the same rate on both backends."""
+        config = PopulationConfig.from_counts([400, 400], rng=0)
+        times = {}
+        for backend in ("agents", "counts"):
+            results = replicate(
+                LazyEpidemic,
+                lambda s: config,
+                replications=10,
+                base_seed=7,
+                scheduler_factory=lambda: MatchingScheduler(0.25),
+                backend=backend,
+                max_parallel_time=500.0,
+            )
+            assert all(r.converged for r in results)
+            times[backend] = np.mean([r.parallel_time for r in results])
+        assert times["counts"] == pytest.approx(times["agents"], rel=0.35)
+
+
+class TestUnsupported:
+    def test_core_protocols_have_no_count_model(self):
+        config = PopulationConfig.from_counts([40, 30, 30], rng=0)
+        assert SimpleAlgorithm().count_model(config) is None
+        with pytest.raises(BackendUnsupported, match="does not export"):
+            simulate(
+                SimpleAlgorithm(), config, seed=0, backend="counts",
+                max_parallel_time=10,
+            )
+
+    def test_unknown_scheduler_type(self):
+        class WeirdScheduler(SequentialScheduler):
+            pass
+
+        class NotSequential(MatchingScheduler):
+            pass
+
+        # Subclasses of the known schedulers still work ...
+        config = PopulationConfig.from_counts([30, 20], rng=0)
+        result = simulate(
+            ThreeStateMajority(), config, seed=1,
+            scheduler=WeirdScheduler(), backend="counts",
+            max_parallel_time=500,
+        )
+        assert result.converged
+        # ... but a scheduler outside both families is rejected.
+        from repro.engine.scheduler import Scheduler
+
+        class Alien(Scheduler):
+            def batches(self, n, rng):  # pragma: no cover - never called
+                yield (np.array([0]), np.array([1]))
+
+        with pytest.raises(BackendUnsupported, match="count-space"):
+            simulate(
+                ThreeStateMajority(), config, seed=1,
+                scheduler=Alien(), backend="counts", max_parallel_time=10,
+            )
+        assert isinstance(result, object)
+
+    def test_backend_instance_can_be_passed_directly(self):
+        config = PopulationConfig.from_counts([30, 20], rng=0)
+        result = simulate(
+            ThreeStateMajority(), config, seed=1,
+            backend=CountBackend(), max_parallel_time=500,
+        )
+        assert result.converged
+
+
+class TestCountModelValidation:
+    def _tables(self, num_states=2):
+        return identity_tables(num_states)
+
+    def test_rejects_bad_table_shape(self):
+        delta_u, delta_v = self._tables(2)
+        with pytest.raises(ConfigurationError, match="delta_v"):
+            CountModel(
+                labels=["a", "b"],
+                delta_u=delta_u,
+                delta_v=delta_v[:1],
+                encode=lambda cfg: np.zeros(cfg.n, dtype=np.int64),
+                output_map=[1, 2],
+            )
+
+    def test_rejects_out_of_range_entries(self):
+        delta_u, delta_v = self._tables(2)
+        delta_u[0, 0] = 5
+        with pytest.raises(ConfigurationError, match="delta_u"):
+            CountModel(
+                labels=["a", "b"],
+                delta_u=delta_u,
+                delta_v=delta_v,
+                encode=lambda cfg: np.zeros(cfg.n, dtype=np.int64),
+                output_map=[1, 2],
+            )
+
+    def test_needs_output_map_or_hooks(self):
+        delta_u, delta_v = self._tables(2)
+        with pytest.raises(ConfigurationError, match="output_map"):
+            CountModel(
+                labels=["a", "b"],
+                delta_u=delta_u,
+                delta_v=delta_v,
+                encode=lambda cfg: np.zeros(cfg.n, dtype=np.int64),
+            )
+
+    def test_random_entry_validation(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            RandomEntry([0.4, 0.4], out_u=[0, 1], out_v=[0, 1])
+        with pytest.raises(ConfigurationError, match="equal length"):
+            RandomEntry([1.0], out_u=[0, 1], out_v=[0])
+
+    def test_encode_must_cover_population(self):
+        delta_u, delta_v = self._tables(2)
+        model = CountModel(
+            labels=["a", "b"],
+            delta_u=delta_u,
+            delta_v=delta_v,
+            encode=lambda cfg: np.zeros(cfg.n - 1, dtype=np.int64),
+            output_map=[1, 2],
+        )
+        config = PopulationConfig.from_counts([5, 5], rng=0)
+        with pytest.raises(ConfigurationError, match="one state per agent"):
+            model.initial_ids(config)
+
+    def test_encode_never_aliases_config(self):
+        config = PopulationConfig.from_counts([5, 5], rng=0)
+        model = UndecidedStateDynamics().count_model(config)
+        ids = model.initial_ids(config)
+        ids[:] = 0
+        assert config.opinions.min() >= 1  # the config stayed intact
+
+    def test_project_unset_raises(self):
+        delta_u, delta_v = self._tables(2)
+        model = CountModel(
+            labels=["a", "b"],
+            delta_u=delta_u,
+            delta_v=delta_v,
+            encode=lambda cfg: np.zeros(cfg.n, dtype=np.int64),
+            output_map=[1, 2],
+        )
+        with pytest.raises(ConfigurationError, match="projection"):
+            model.project(np.zeros(3))
+
+    def test_backend_base_class_is_abstract(self):
+        with pytest.raises(TypeError):
+            Backend()

@@ -1,7 +1,6 @@
 """Appendix C's counting-agent mode (k arbitrarily close to n)."""
 
 import numpy as np
-import pytest
 
 from repro.core import COLLECTOR, SimpleAlgorithm, SimpleParams
 from repro.core.common import COUNTING

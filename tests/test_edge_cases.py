@@ -6,7 +6,6 @@ x_max > √n precondition, and post-convergence stability.
 """
 
 import numpy as np
-import pytest
 
 from repro import MatchingScheduler, SimpleAlgorithm, simulate, workloads
 from repro.core.improved import ImprovedAlgorithm

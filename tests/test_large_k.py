@@ -8,7 +8,6 @@ merge, so the default counter (needing a non-collector majority) stalls —
 the fractional decrement moves the tipping point.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import SimpleAlgorithm, SimpleParams

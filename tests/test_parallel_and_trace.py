@@ -1,16 +1,22 @@
 """Tests for the parallel replication executor and the tournament trace."""
 
-import numpy as np
+from concurrent.futures import ProcessPoolExecutor
 
 from repro import MatchingScheduler, SimpleAlgorithm, simulate, workloads
 from repro.analysis.parallel import replicate_parallel
 from repro.analysis.sweep import replicate
 from repro.analysis.trace import TournamentRecord, TournamentTraceRecorder
+from repro.engine.rng import seeds_for
 from repro.majority import CancelSplitMajority
 
 
 def majority_config(seed):
     return workloads.majority_counts(61, bias=1, rng=seed)
+
+
+def _seeds_in_subprocess(args):
+    base_seed, count = args
+    return list(seeds_for(base_seed, count))
 
 
 class TestParallelReplicate:
@@ -46,6 +52,48 @@ class TestParallelReplicate:
             replicate_parallel(
                 CancelSplitMajority, majority_config, replications=0
             )
+
+    def test_backend_threads_through_pool(self):
+        from repro.majority import ThreeStateMajority
+
+        kwargs = dict(
+            replications=3,
+            base_seed=17,
+            max_parallel_time=500,
+        )
+        serial = replicate(
+            ThreeStateMajority, _counts_config, backend="counts", **kwargs
+        )
+        pooled = replicate_parallel(
+            ThreeStateMajority, _counts_config, workers=2, backend="counts", **kwargs
+        )
+        assert [r.parallel_time for r in serial] == [
+            r.parallel_time for r in pooled
+        ]
+        assert all(r.converged for r in pooled)
+
+
+def _counts_config(seed):
+    return workloads.majority_counts(60, bias=20, rng=seed)
+
+
+class TestSeedsForDeterminism:
+    """``seeds_for`` must agree across processes (sweep jobs rely on it)."""
+
+    def test_same_process_stability(self):
+        assert list(seeds_for(123, 8)) == list(seeds_for(123, 8))
+        # None means fresh OS entropy: two draws must (w.h.p.) differ.
+        assert list(seeds_for(None, 4)) != list(seeds_for(None, 4))
+
+    def test_distinct_bases_differ(self):
+        assert list(seeds_for(1, 6)) != list(seeds_for(2, 6))
+
+    def test_across_processes(self):
+        jobs = [(0, 5), (123, 8), (2**31, 3)]
+        local = [_seeds_in_subprocess(job) for job in jobs]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_seeds_in_subprocess, jobs))
+        assert remote == local
 
 
 class TestTournamentTrace:

@@ -138,3 +138,46 @@ class TestMatchingScheduler:
         scheduler = MatchingScheduler(0.01)
         u, v = next(scheduler.batches(4, make_rng(5)))
         assert u.size == 1
+
+    def test_fraction_property(self):
+        assert MatchingScheduler(0.3).fraction == 0.3
+
+    def test_odd_population_leaves_one_agent_out(self):
+        n = 7
+        scheduler = MatchingScheduler(0.5)
+        rng = make_rng(6)
+        for i, (u, v) in enumerate(scheduler.batches(n, rng)):
+            assert u.size == n // 2  # floor: one agent sits the round out
+            combined = np.concatenate([u, v])
+            assert np.unique(combined).size == combined.size
+            assert combined.min() >= 0 and combined.max() < n
+            if i > 20:
+                break
+
+    def test_half_fraction_uses_every_agent_when_even(self):
+        n = 8
+        scheduler = MatchingScheduler(0.5)
+        u, v = next(scheduler.batches(n, make_rng(7)))
+        assert u.size == n // 2
+        assert sorted(np.concatenate([u, v]).tolist()) == list(range(n))
+
+    def test_two_agents(self):
+        u, v = next(MatchingScheduler(0.5).batches(2, make_rng(8)))
+        assert u.size == 1
+        assert {int(u[0]), int(v[0])} == {0, 1}
+
+    def test_fraction_rounding_never_exceeds_half(self):
+        # B = round(n * fraction) could round up past n // 2; the cap wins.
+        for n in (3, 5, 7, 9, 101):
+            u, v = next(MatchingScheduler(0.5).batches(n, make_rng(9)))
+            assert u.size == n // 2
+
+    def test_every_agent_eventually_participates_odd_n(self):
+        n = 9
+        seen = set()
+        rng = make_rng(10)
+        for i, (u, v) in enumerate(MatchingScheduler(0.5).batches(n, rng)):
+            seen.update(np.concatenate([u, v]).tolist())
+            if i > 40:
+                break
+        assert seen == set(range(n))

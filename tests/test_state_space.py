@@ -1,7 +1,5 @@
 """Tests for the state-space accounting (Figure 1 reproduction)."""
 
-import numpy as np
-
 from repro.analysis.state_space import (
     StateSpaceObserver,
     improved_state_breakdown,
@@ -10,7 +8,7 @@ from repro.analysis.state_space import (
     unordered_state_breakdown,
 )
 from repro.core import SimpleAlgorithm
-from repro.engine import MatchingScheduler, make_rng, simulate
+from repro.engine import MatchingScheduler, simulate
 from repro.workloads import bias_one
 
 

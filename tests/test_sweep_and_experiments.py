@@ -1,6 +1,5 @@
 """Tests for the sweep harness, experiment registry, and CLI."""
 
-import numpy as np
 import pytest
 
 from repro import experiments, workloads

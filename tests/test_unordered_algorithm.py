@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import COLLECTOR, PHASES_PER_TOURNAMENT, TRACKER, UnorderedParams
+from repro.core import COLLECTOR, PHASES_PER_TOURNAMENT, TRACKER
 from repro.core.unordered import UnorderedAlgorithm
 from repro.engine import MatchingScheduler, make_rng, simulate
 from repro.workloads import bias_one, exact, single_opinion
