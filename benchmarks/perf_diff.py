@@ -1,0 +1,124 @@
+"""Diff benchmark reports across CI runs and flag perf regressions.
+
+CI uploads ``benchmarks/reports/<id>.json`` (written by
+``benchmarks/conftest.py``) as the ``benchmark-reports`` artifact on every
+run.  The perf-trajectory job downloads the previous successful run's
+artifact next to the current one and calls this script, which compares
+``elapsed_seconds`` per experiment and emits one GitHub warning
+annotation (``::warning ...``) per regression beyond the threshold.
+
+Usage::
+
+    python benchmarks/perf_diff.py PREVIOUS_DIR CURRENT_DIR [--threshold 1.5]
+
+Exit status is always 0 unless ``--fail-on-regression`` is passed:
+trajectory drift is advisory, the hard shape checks live in the
+benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+#: Ignore runs faster than this: timer noise dominates sub-100ms
+#: experiments and would make the ratio check fire spuriously.
+MIN_BASELINE_SECONDS = 0.1
+
+
+def load_reports(directory: pathlib.Path) -> Dict[str, dict]:
+    """Map experiment id -> parsed report for every ``*.json`` in a dir."""
+    reports: Dict[str, dict] = {}
+    if not directory.is_dir():
+        return reports
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        name = payload.get("experiment", path.stem)
+        if isinstance(payload.get("elapsed_seconds"), (int, float)):
+            reports[name] = payload
+    return reports
+
+
+def diff_reports(
+    previous: Dict[str, dict],
+    current: Dict[str, dict],
+    threshold: float = 1.5,
+) -> List[dict]:
+    """Regressions: experiments now slower than ``threshold`` × before.
+
+    Scale mismatches (quick vs full) are not comparable and are skipped,
+    as are experiments present in only one of the two runs.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1, got {threshold}")
+    regressions: List[dict] = []
+    for name in sorted(set(previous) & set(current)):
+        before, after = previous[name], current[name]
+        if before.get("scale") != after.get("scale"):
+            continue
+        baseline = float(before["elapsed_seconds"])
+        measured = float(after["elapsed_seconds"])
+        if baseline < MIN_BASELINE_SECONDS:
+            continue
+        ratio = measured / baseline
+        if ratio > threshold:
+            regressions.append(
+                {
+                    "experiment": name,
+                    "before_seconds": baseline,
+                    "after_seconds": measured,
+                    "ratio": ratio,
+                }
+            )
+    return regressions
+
+
+def format_annotation(regression: dict, threshold: float) -> str:
+    """One GitHub Actions warning annotation per regression."""
+    return (
+        f"::warning title=Perf regression in {regression['experiment']}::"
+        f"{regression['experiment']} took {regression['after_seconds']:.2f}s, "
+        f"was {regression['before_seconds']:.2f}s on the previous run "
+        f"({regression['ratio']:.2f}x > {threshold:.2f}x threshold)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=1.5)
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any regression is found (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    previous = load_reports(args.previous)
+    current = load_reports(args.current)
+    if not previous:
+        print(f"no previous reports under {args.previous} - nothing to diff")
+        return 0
+    if not current:
+        print(f"no current reports under {args.current} - nothing to diff")
+        return 0
+
+    regressions = diff_reports(previous, current, threshold=args.threshold)
+    compared = len(set(previous) & set(current))
+    print(f"compared {compared} experiments against the previous run")
+    for regression in regressions:
+        print(format_annotation(regression, args.threshold))
+    if not regressions:
+        print(f"no elapsed_seconds regressions beyond {args.threshold:.2f}x")
+    return 1 if (regressions and args.fail_on_regression) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Benchmark EB3: batched count mode past numpy's population limit.
+
+Runs the three-state majority protocol on count-native ``CountConfig``
+populations at n = 10^8, 10^9 and 10^10 — the latter two beyond numpy's
+multivariate-hypergeometric cap — through the ``auto`` sampler policy,
+and checks every run converges correctly with the n = 10^10 run
+finishing in seconds.  The machine-readable timings land in
+``benchmarks/reports/EB3.json`` for the CI perf-trajectory diff; see
+``src/repro/experiments/scaling.py`` and ``repro.engine.sampling``.
+"""
+
+
+def test_eb3(run_experiment):
+    report = run_experiment("EB3")
+    assert report.stats["seconds[n=1e10]"] < 120.0

@@ -13,9 +13,10 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional
 
 from ..engine.backends import BackendLike
-from ..engine.population import PopulationConfig
+from ..engine.population import BasePopulation
 from ..engine.protocol import Protocol
 from ..engine.rng import seeds_for
+from ..engine.sampling import SamplerLike
 from ..engine.scheduler import MatchingScheduler, Scheduler
 from ..engine.simulation import RunResult, simulate
 from .sweep import _default_budget
@@ -29,11 +30,12 @@ def _run_one(args) -> RunResult:
         seed,
         scheduler_factory,
         backend,
+        sampler,
         max_parallel_time,
         check_every_parallel_time,
     ) = args
     protocol: Protocol = protocol_factory()
-    config: PopulationConfig = config_factory(index)
+    config: BasePopulation = config_factory(index)
     budget = (
         max_parallel_time
         if max_parallel_time is not None
@@ -48,6 +50,7 @@ def _run_one(args) -> RunResult:
         seed=seed,
         scheduler=scheduler,
         backend=backend,
+        sampler=sampler,
         max_parallel_time=budget,
         check_every_parallel_time=check_every_parallel_time,
     )
@@ -55,13 +58,14 @@ def _run_one(args) -> RunResult:
 
 def replicate_parallel(
     protocol_factory: Callable[[], Protocol],
-    config_factory: Callable[[int], PopulationConfig],
+    config_factory: Callable[[int], BasePopulation],
     *,
     replications: int,
     base_seed: int = 0,
     workers: Optional[int] = None,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
     backend: BackendLike = None,
+    sampler: SamplerLike = None,
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
 ) -> List[RunResult]:
@@ -69,8 +73,8 @@ def replicate_parallel(
 
     Semantics match :func:`repro.analysis.sweep.replicate`; only the
     execution strategy differs.  ``workers=None`` lets the executor pick.
-    ``backend`` should be a registry name (or None) so that jobs stay
-    picklable.
+    ``backend`` should be a registry name (or None) and ``sampler`` a
+    sampler-policy name (or None) so that jobs stay picklable.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
@@ -82,6 +86,7 @@ def replicate_parallel(
             seed,
             scheduler_factory,
             backend,
+            sampler,
             max_parallel_time,
             check_every_parallel_time,
         )

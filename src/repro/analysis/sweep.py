@@ -11,14 +11,15 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from ..engine.backends import BackendLike
-from ..engine.population import PopulationConfig
+from ..engine.population import BasePopulation
 from ..engine.protocol import Protocol
 from ..engine.rng import seeds_for
+from ..engine.sampling import SamplerLike
 from ..engine.scheduler import MatchingScheduler, Scheduler
 from ..engine.simulation import RunResult, simulate
 
 ProtocolFactory = Callable[[], Protocol]
-ConfigFactory = Callable[[int], PopulationConfig]
+ConfigFactory = Callable[[int], BasePopulation]
 
 
 def replicate(
@@ -29,6 +30,7 @@ def replicate(
     base_seed: int = 0,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
     backend: BackendLike = None,
+    sampler: SamplerLike = None,
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
 ) -> List[RunResult]:
@@ -39,7 +41,8 @@ def replicate(
     time budget defaults to the protocol's own estimate when it provides
     ``default_max_time`` / ``params.default_max_time``.  ``backend``
     selects the execution strategy per run (see
-    :mod:`repro.engine.backends`).
+    :mod:`repro.engine.backends`) and ``sampler`` the count-space sampler
+    policy (see :mod:`repro.engine.sampling`).
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
@@ -60,6 +63,7 @@ def replicate(
                 seed=seed,
                 scheduler=scheduler,
                 backend=backend,
+                sampler=sampler,
                 max_parallel_time=budget,
                 check_every_parallel_time=check_every_parallel_time,
             )
@@ -67,7 +71,7 @@ def replicate(
     return results
 
 
-def _default_budget(protocol: Protocol, config: PopulationConfig) -> float:
+def _default_budget(protocol: Protocol, config: BasePopulation) -> float:
     params = getattr(protocol, "params", None)
     if params is not None and hasattr(params, "default_max_time"):
         return float(params.default_max_time(config.n, config.k))

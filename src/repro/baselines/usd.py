@@ -90,11 +90,18 @@ class UndecidedStateDynamics(Protocol):
                 "distinct_opinions": float((counts[1:] > 0).sum()),
             }
 
+        def encode_counts(cfg: PopulationConfig) -> np.ndarray:
+            # State ids are the opinions (0 = undecided, initially empty).
+            return np.concatenate(
+                [np.zeros(1, dtype=np.int64), cfg.counts().astype(np.int64)]
+            )
+
         return CountModel(
             labels=["undecided"] + [f"opinion_{i}" for i in range(1, num_states)],
             delta_u=delta_u,
             delta_v=delta_v,
             encode=lambda cfg: cfg.opinions,
+            encode_counts=encode_counts,
             output_map=np.arange(num_states),
             progress=progress,
             project=lambda state: state.astype(np.int64),

@@ -108,11 +108,16 @@ class OneWayEpidemic(Protocol):
             ids[0] = 1
             return ids
 
+        def encode_counts(cfg: PopulationConfig) -> np.ndarray:
+            # One informed source agent, everyone else susceptible.
+            return np.array([cfg.n - 1, 1], dtype=np.int64)
+
         return CountModel(
             labels=["susceptible", "informed"],
             delta_u=delta_u,
             delta_v=delta_v,
             encode=encode,
+            encode_counts=encode_counts,
             output_map=[0, 1],
             progress=lambda counts: {"informed": float(counts[1])},
             project=lambda state: state.astype(np.int64),

@@ -3,12 +3,15 @@
 Usage::
 
     repro-experiments list
+    repro-experiments samplers
     repro-experiments run E1 [E2 ...] [--scale quick|full]
     repro-experiments run all --scale full
     repro-experiments run EB2 --backend counts
+    repro-experiments run EB3 --backend counts --sampler splitting
 
 Each experiment prints the table recorded in EXPERIMENTS.md and a PASS /
-FAIL line per shape check.  The same code paths back the pytest
+FAIL line per shape check (or a SKIPPED line when the requested
+backend/sampler cannot execute it).  The same code paths back the pytest
 benchmarks under ``benchmarks/``.
 """
 
@@ -20,7 +23,7 @@ import time
 from typing import List, Optional
 
 from . import experiments
-from .engine import backends
+from .engine import backends, sampling
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -30,6 +33,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser(
+        "samplers",
+        help="list registered count-space sampler policies and their ranges",
+    )
     runner = sub.add_parser("run", help="run one or more experiments")
     runner.add_argument(
         "names",
@@ -48,7 +55,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "execution-backend override, forwarded to experiments that "
-            "support it (e.g. EB2)"
+            "support it (e.g. EB2, EB3)"
+        ),
+    )
+    runner.add_argument(
+        "--sampler",
+        choices=tuple(sampling.available()),
+        default=None,
+        help=(
+            "count-space sampler-policy override, forwarded to experiments "
+            "that support it (e.g. EB2, EB3); see 'samplers' for ranges"
         ),
     )
     return parser
@@ -60,6 +76,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         titles = experiments.titles()
         for name in experiments.names():
             print(f"{name:>4}  {titles[name]}")
+        return 0
+    if args.command == "samplers":
+        # Mirrors the backend registry listing: one line per policy.
+        for name in sampling.available():
+            policy = sampling.get(name)
+            default = " (default)" if name == sampling.DEFAULT_SAMPLER else ""
+            print(
+                f"{name:>10}  {policy.population_range():<10}  "
+                f"{policy.summary}{default}"
+            )
         return 0
 
     requested = args.names
@@ -80,11 +106,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.sampler is not None:
+        unsupported = [
+            name for name in requested if not experiments.supports_sampler(name)
+        ]
+        if unsupported:
+            print(
+                f"--sampler is not supported by: {', '.join(unsupported)}",
+                file=sys.stderr,
+            )
+            return 2
 
     all_passed = True
     for name in requested:
         started = time.time()
-        report = experiments.run(name, scale=args.scale, backend=args.backend)
+        report = experiments.run(
+            name, scale=args.scale, backend=args.backend, sampler=args.sampler
+        )
         elapsed = time.time() - started
         print(report.render())
         print(f"({elapsed:.1f}s)\n")

@@ -2,7 +2,8 @@
 
 Public surface:
 
-* :class:`PopulationConfig` — initial opinion assignments.
+* :class:`PopulationConfig` / :class:`CountConfig` — initial opinion
+  assignments (per-agent vs. count-native O(k) builds).
 * :class:`Protocol` — the vectorized transition-function interface.
 * :class:`SequentialScheduler` / :class:`MatchingScheduler` — interaction
   schedulers (exact vs. well-mixed approximation).
@@ -11,19 +12,23 @@ Public surface:
   (``"agents"``) vs. count-vector simulation (``"counts"``), selected via
   ``simulate(..., backend=...)``; :class:`CountModel` is the transition
   table protocols export for the count path.
+* :mod:`repro.engine.sampling` — count-space sampler policies
+  (``"numpy"``, ``"splitting"``, ``"auto"``), selected via
+  ``simulate(..., sampler=...)``; lifts population limits to n >= 10^9.
 * :class:`ProbeRecorder` — time-series sampling.
 """
 
-from . import backends
+from . import backends, sampling
 from .backends import AgentArrayBackend, Backend, CountBackend, CountModel
 from .errors import (
     BackendUnsupported,
     ConfigurationError,
     InvariantViolation,
     ReproError,
+    SamplerUnsupported,
     SimulationError,
 )
-from .population import PopulationConfig
+from .population import BasePopulation, CountConfig, PopulationConfig, is_count_native
 from .protocol import Protocol, require_disjoint
 from .recorder import ProbeRecorder, Recorder
 from .rng import make_rng, seeds_for, spawn_streams
@@ -34,13 +39,18 @@ __all__ = [
     "AgentArrayBackend",
     "Backend",
     "BackendUnsupported",
+    "BasePopulation",
     "ConfigurationError",
     "CountBackend",
+    "CountConfig",
     "CountModel",
     "backends",
+    "sampling",
     "InvariantViolation",
     "MatchingScheduler",
     "PopulationConfig",
+    "SamplerUnsupported",
+    "is_count_native",
     "ProbeRecorder",
     "Protocol",
     "Recorder",

@@ -22,27 +22,37 @@ strategies behind one :class:`Backend` interface:
     O(|states|²) via multivariate-hypergeometric sampling — use this for
     n ≥ 10^7 sweeps of the small-state protocols (three-state majority,
     undecided-state dynamics, cancel/split majority, epidemics), where it
-    is orders of magnitude faster than the agent path (benchmark
-    ``benchmarks/test_backend_scaling.py``; populations must stay below
-    numpy's 10^9 sampler limit, see ROADMAP).  With a
+    is orders of magnitude faster than the agent path (benchmarks
+    ``benchmarks/test_backend_scaling.py`` and
+    ``benchmarks/test_eb3.py``).  Every batched draw goes through a
+    :class:`~repro.engine.sampling.SamplerPolicy`: the default ``"auto"``
+    uses numpy's generator where it applies (populations below 10^9) and
+    the custom color-splitting :class:`~repro.engine.sampling.LargeNHypergeometric`
+    beyond, so there is **no population cap** — n = 10^9 .. 10^10 runs in
+    seconds.  At that scale pair it with a count-native
+    :class:`~repro.engine.population.CountConfig` so the config build is
+    O(k) too.  With a
     :class:`~repro.engine.scheduler.SequentialScheduler` it runs an exact
     per-agent state-id mode that reproduces the agent backend's count
     trajectory bit-for-bit under the same seed — the fidelity reference
-    the cross-backend tests check.
+    the cross-backend tests check (per-agent configs only).
 
 Rule of thumb: pick ``"counts"`` when the protocol exports a count model
 and you care about scale; pick ``"agents"`` when you need per-agent
 introspection, a protocol without a table (the tournament algorithms), or
 exact sequential semantics at small n where backend choice is moot.
 
-Select a backend anywhere a simulation is launched::
+Select a backend (and optionally a sampler policy) anywhere a simulation
+is launched::
 
     simulate(protocol, config, backend="counts",
-             scheduler=MatchingScheduler(0.25))
+             scheduler=MatchingScheduler(0.25), sampler="auto")
     replicate(..., backend="counts")
     repro-experiments run EB2 --backend counts
+    repro-experiments run EB3 --backend counts --sampler splitting
 
-or grab one directly via ``repro.engine.backends.get("counts")``.
+or grab one directly via ``repro.engine.backends.get("counts")`` /
+``CountBackend(sampler="splitting")``.
 """
 
 from .agent_array import AgentArrayBackend

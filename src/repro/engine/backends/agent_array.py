@@ -13,7 +13,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..population import PopulationConfig
+from ..errors import BackendUnsupported
+from ..population import PopulationConfig, is_count_native
 from ..protocol import Protocol
 from ..recorder import Recorder
 from ..scheduler import Scheduler
@@ -40,6 +41,13 @@ class AgentArrayBackend(Backend):
         check_invariants: bool = False,
         state_out: Optional[list] = None,
     ) -> RunResult:
+        if is_count_native(config):
+            raise BackendUnsupported(
+                f"agent-array backend needs the per-agent opinions the "
+                f"count-native config {config.name!r} deliberately omits; "
+                f"run it on backend='counts' with a MatchingScheduler, or "
+                f"materialize() the config first"
+            )
         n = config.n
         state = protocol.init_state(config, rng)
 

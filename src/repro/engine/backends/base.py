@@ -12,7 +12,7 @@ CLI, the sweep harness, or the experiment registry.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from ..errors import ConfigurationError
 from ..population import PopulationConfig
 from ..protocol import Protocol
 from ..recorder import Recorder
+from ..registry import Registry
 from ..scheduler import Scheduler
 from ..simulation import RunResult
 
@@ -37,6 +38,19 @@ class Backend(ABC):
 
     #: Registry name of the backend (used in results and error messages).
     name: str = "backend"
+
+    def with_sampler(self, sampler) -> "Backend":
+        """Return a copy of this backend using the given sampler policy.
+
+        Only count-space backends sample, so the base implementation
+        rejects the request; :class:`~repro.engine.backends.CountBackend`
+        overrides it.  This is the hook ``simulate(..., sampler=...)``
+        resolves through.
+        """
+        raise ConfigurationError(
+            f"backend {self.name!r} does not take a sampler policy; only "
+            f"count-space backends sample (use backend='counts')"
+        )
 
     @abstractmethod
     def run(
@@ -57,50 +71,23 @@ class Backend(ABC):
 
 
 # ----------------------------------------------------------------------
-# Registry
+# Registry (shared implementation: repro.engine.registry)
 # ----------------------------------------------------------------------
-_REGISTRY: Dict[str, Callable[[], Backend]] = {}
-
 BackendLike = Union[str, Backend, None]
 
 #: Name resolved when ``simulate(..., backend=None)`` is called.
 DEFAULT_BACKEND = "agents"
 
+_REGISTRY: Registry[Backend] = Registry("backend", Backend, DEFAULT_BACKEND)
 
-def register(name: str, factory: Callable[[], Backend]) -> None:
-    """Add a backend factory under ``name`` (e.g. at module import time)."""
-    if name in _REGISTRY:
-        raise ConfigurationError(f"duplicate backend {name!r}")
-    _REGISTRY[name] = factory
-
-
-def available() -> List[str]:
-    """Sorted names of all registered backends."""
-    return sorted(_REGISTRY)
-
-
-def get(name: str) -> Backend:
-    """Instantiate the backend registered under ``name``."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown backend {name!r}; available: {', '.join(available())}"
-        ) from None
-    return factory()
-
-
-def resolve(backend: BackendLike) -> Backend:
-    """Coerce ``backend`` (name, instance, or None) to a Backend instance."""
-    if backend is None:
-        return get(DEFAULT_BACKEND)
-    if isinstance(backend, Backend):
-        return backend
-    if isinstance(backend, str):
-        return get(backend)
-    raise ConfigurationError(
-        f"backend must be a name, a Backend instance, or None, got {backend!r}"
-    )
+#: Add a backend factory under a name (e.g. at module import time).
+register = _REGISTRY.register
+#: Sorted names of all registered backends.
+available = _REGISTRY.available
+#: Instantiate the backend registered under a name.
+get = _REGISTRY.get
+#: Coerce a name, instance, or None to a Backend instance.
+resolve = _REGISTRY.resolve
 
 
 # ----------------------------------------------------------------------

@@ -21,10 +21,15 @@ are selected by the scheduler passed to ``simulate()``:
   iterated multivariate-hypergeometric rows of the contingency table
   (exactly the distribution the agent-level ``MatchingScheduler``
   induces).  Transitions are then applied to whole pair-groups at once:
-  O(|states|²) per batch instead of O(n), which is what makes
-  n = 10^7 .. 10^8 sweeps cheap.  Populations must stay below numpy's
-  10^9 multivariate-hypergeometric limit (:data:`MAX_BATCHED_POPULATION`);
-  going past that needs the custom sampler tracked in ROADMAP.md.
+  O(|states|²) per batch instead of O(n).  Every draw goes through a
+  :class:`~repro.engine.sampling.SamplerPolicy` (``sampler=`` on the
+  backend, ``simulate()``, or the CLI): the default ``"auto"`` policy
+  uses numpy's generator below its 10^9 population limit and the custom
+  :class:`~repro.engine.sampling.LargeNHypergeometric` color-splitting
+  sampler above it, so batched runs scale to n = 10^9 .. 10^10
+  (benchmark EB3).  Pair batched mode with a count-native
+  :class:`~repro.engine.population.CountConfig` to keep the *whole* run —
+  config build included — free of O(n) allocations.
 """
 
 from __future__ import annotations
@@ -34,19 +39,15 @@ from typing import Optional
 
 import numpy as np
 
+from .. import sampling
 from ..errors import BackendUnsupported, SimulationError
-from ..population import PopulationConfig
+from ..population import PopulationConfig, is_count_native
 from ..protocol import Protocol
 from ..recorder import Recorder
 from ..scheduler import MatchingScheduler, Scheduler, SequentialScheduler
 from ..simulation import RunResult
 from .base import Backend, build_run_result, drive, register, run_intervals
 from .model import CountModel
-
-#: numpy's multivariate-hypergeometric generator ("marginals" method)
-#: requires the population to stay below 10^9; see ROADMAP open items for
-#: the larger-n sampler.
-MAX_BATCHED_POPULATION = 1_000_000_000
 
 
 @dataclass
@@ -70,9 +71,28 @@ class CountState:
 
 
 class CountBackend(Backend):
-    """Drives a protocol's exported transition table in count space."""
+    """Drives a protocol's exported transition table in count space.
+
+    Args:
+        sampler: the :class:`~repro.engine.sampling.SamplerPolicy` (or
+            registry name) executing the batched mode's multivariate-
+            hypergeometric draws; None resolves the default ``"auto"``
+            policy (numpy below 10^9, color-splitting above).
+    """
 
     name = "counts"
+
+    def __init__(self, sampler: "sampling.SamplerLike" = None):
+        self._sampler = sampling.resolve(sampler)
+
+    @property
+    def sampler(self) -> "sampling.SamplerPolicy":
+        """The sampler policy batched draws go through."""
+        return self._sampler
+
+    def with_sampler(self, sampler: "sampling.SamplerLike") -> "CountBackend":
+        """A copy of this backend using the given sampler policy."""
+        return type(self)(sampler=sampler)
 
     def run(
         self,
@@ -131,6 +151,14 @@ class CountBackend(Backend):
         check_invariants: bool,
         state_out: Optional[list],
     ) -> RunResult:
+        if is_count_native(config):
+            raise BackendUnsupported(
+                f"count backend's exact (sequential) mode replays a "
+                f"per-agent state layout, which the count-native config "
+                f"{config.name!r} does not have; use a MatchingScheduler "
+                f"for batched count-space simulation, or materialize() "
+                f"the config"
+            )
         n = config.n
         ids = model.initial_ids(config)
         state = CountState(model=model, counts=np.empty(0, dtype=np.int64), ids=ids)
@@ -268,8 +296,8 @@ class CountBackend(Backend):
             state_out=state_out,
         )
 
-    @staticmethod
     def _step_batch(
+        self,
         model: CountModel,
         counts: np.ndarray,
         size: int,
@@ -280,24 +308,20 @@ class CountBackend(Backend):
         Distribution: ``2 * size`` distinct agents drawn without
         replacement, the first ``size`` as initiators matched uniformly to
         the rest — identical to ``MatchingScheduler`` at the count level.
+        All without-replacement draws go through the backend's sampler
+        policy, so population size is bounded only by the policy (the
+        default ``"auto"`` is unbounded).
         """
-        if int(counts.sum()) >= MAX_BATCHED_POPULATION:
-            raise BackendUnsupported(
-                f"count backend's batched sampler is limited to populations "
-                f"below {MAX_BATCHED_POPULATION} by numpy's "
-                "multivariate-hypergeometric generator; see ROADMAP.md for "
-                "the larger-n sampler open item"
-            )
         num_states = model.num_states
-        initiators = rng.multivariate_hypergeometric(counts, size)
-        responders = rng.multivariate_hypergeometric(counts - initiators, size)
+        initiators = self._sampler.draw(counts, size, rng)
+        responders = self._sampler.draw(counts - initiators, size, rng)
 
         # Contingency table of (initiator state, responder state) pair
         # groups under a uniform pairing: iterated MVH rows.
         pairs = np.zeros((num_states, num_states), dtype=np.int64)
         pool = responders.copy()
         for i in np.flatnonzero(initiators):
-            row = rng.multivariate_hypergeometric(pool, int(initiators[i]))
+            row = self._sampler.draw(pool, int(initiators[i]), rng)
             pairs[i] = row
             pool -= row
 

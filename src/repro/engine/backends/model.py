@@ -13,6 +13,11 @@ without per-agent arrays.  It consists of
 * an ``encode`` function mapping a :class:`PopulationConfig` to per-agent
   state ids (this fixes both the initial count vector and, for the exact
   sequential mode, the same initial layout the agent-array backend sees),
+* an optional ``encode_counts`` function mapping a population config
+  straight to the initial state-*count* vector in O(k) — the count-native
+  fast path: it is required for :class:`~repro.engine.population.CountConfig`
+  populations (which have no per-agent opinions to ``encode``) and lets
+  batched-mode initialization skip the O(n) ids array entirely,
 * count-level convergence / output / failure / progress hooks, defaulting
   to "all supported states agree on one non-zero output" via ``output_map``.
 
@@ -27,8 +32,8 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError
-from ..population import PopulationConfig
+from ..errors import BackendUnsupported, ConfigurationError
+from ..population import BasePopulation, PopulationConfig, is_count_native
 
 CountHook = Callable[[np.ndarray], Any]
 
@@ -71,6 +76,10 @@ class CountModel:
             entries for randomized pairs are ignored (see
             ``random_entries``).
         encode: maps a population config to per-agent state ids.
+        encode_counts: optional O(k) map from a population config to the
+            initial state-count vector; must agree with
+            ``bincount(encode(config))`` whenever both paths apply.
+            Without it, count-native configs cannot drive this model.
         output_map: per-state output opinion (0 = undefined); required
             unless both ``converged`` and ``output_opinion`` are given.
         random_entries: ``{(i, j): RandomEntry}`` for randomized pairs.
@@ -89,6 +98,7 @@ class CountModel:
         delta_u: np.ndarray,
         delta_v: np.ndarray,
         encode: Callable[[PopulationConfig], np.ndarray],
+        encode_counts: Optional[Callable[[BasePopulation], np.ndarray]] = None,
         output_map: Optional[Sequence[int]] = None,
         random_entries: Optional[Mapping[Tuple[int, int], RandomEntry]] = None,
         converged: Optional[CountHook] = None,
@@ -105,6 +115,7 @@ class CountModel:
         self.delta_u = self._check_table(delta_u, num_states, "delta_u")
         self.delta_v = self._check_table(delta_v, num_states, "delta_v")
         self._encode = encode
+        self._encode_counts = encode_counts
         if output_map is not None:
             output_arr = np.asarray(output_map, dtype=np.int64)
             if output_arr.shape != (num_states,):
@@ -159,7 +170,14 @@ class CountModel:
 
         Always a fresh array: the exact count mode mutates it in place,
         and ``encode`` may hand back a view of ``config.opinions``.
+        Count-native configs have no per-agent layout to encode.
         """
+        if is_count_native(config):
+            raise BackendUnsupported(
+                f"count-native config {config.name!r} has no per-agent "
+                f"layout to encode; use initial_counts() (batched mode) "
+                f"or materialize() the config first"
+            )
         ids = np.array(self._encode(config), dtype=np.int64)
         if ids.shape != (config.n,):
             raise ConfigurationError(
@@ -169,8 +187,32 @@ class CountModel:
             raise ConfigurationError("encode produced out-of-range state ids")
         return ids
 
-    def initial_counts(self, config: PopulationConfig) -> np.ndarray:
-        """Initial state-count vector (sums to ``config.n``)."""
+    def initial_counts(self, config: BasePopulation) -> np.ndarray:
+        """Initial state-count vector (sums to ``config.n``).
+
+        Uses the O(k) ``encode_counts`` path when the model provides one
+        (mandatory for count-native configs); otherwise falls back to
+        bincounting the O(n) per-agent encoding.
+        """
+        if self._encode_counts is not None:
+            counts = np.asarray(self._encode_counts(config), dtype=np.int64)
+            if counts.shape != (self.num_states,):
+                raise ConfigurationError(
+                    f"encode_counts must return one count per state, "
+                    f"got shape {counts.shape} for {self.num_states} states"
+                )
+            if (counts < 0).any() or int(counts.sum()) != config.n:
+                raise ConfigurationError(
+                    f"encode_counts must produce non-negative counts "
+                    f"summing to n={config.n}, got sum {int(counts.sum())}"
+                )
+            return counts
+        if is_count_native(config):
+            raise BackendUnsupported(
+                f"count-native config {config.name!r} needs a count model "
+                f"with encode_counts; this model only encodes per-agent "
+                f"opinions — materialize() the config or add encode_counts"
+            )
         return np.bincount(self.initial_ids(config), minlength=self.num_states)
 
     def project(self, agent_state: Any) -> np.ndarray:

@@ -26,6 +26,16 @@ class BackendUnsupported(ConfigurationError):
     """
 
 
+class SamplerUnsupported(BackendUnsupported):
+    """A sampler policy cannot perform the requested count-space draw.
+
+    Raised e.g. when the ``"numpy"`` policy is forced on a population at
+    or above numpy's 10^9 multivariate-hypergeometric limit.  Subclasses
+    :class:`BackendUnsupported` so callers that skip unsupported
+    backend/scheduler combinations handle sampler limits the same way.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state.
 

@@ -6,6 +6,20 @@ one opinion from a set of ``k`` opinions, represented here as the integers
 between the support of the most and second-most frequent opinion, and the
 *plurality opinion* is the initially most frequent opinion (assumed unique
 whenever a protocol's correctness is judged).
+
+Two concrete configurations share one interface (:class:`BasePopulation`):
+
+* :class:`PopulationConfig` — materializes the O(n) per-agent opinions
+  array.  Required by the agent-array backend and the count backend's
+  exact sequential mode, both of which address individual agents.
+* :class:`CountConfig` — count-native: stores only the k-entry support
+  vector, so building a population at n = 10^10 allocates O(k) memory.
+  Accepted everywhere a ``PopulationConfig`` is; backends that need
+  per-agent state reject it with a pointer to ``materialize()``.
+
+Everything the engine derives from a population (bias, plurality,
+significant opinions, ...) is a function of the support counts alone, so
+both classes implement it once in the shared base.
 """
 
 from __future__ import annotations
@@ -19,78 +33,17 @@ from .errors import ConfigurationError
 from .rng import RngLike, make_rng
 
 
-@dataclass(frozen=True)
-class PopulationConfig:
-    """An initial assignment of opinions to agents.
+class BasePopulation:
+    """Count-derived quantities shared by all population configurations.
 
-    Attributes:
-        opinions: int array of shape ``(n,)`` with values in ``1 .. k``.
-        k: the number of opinion *slots* (some may have zero support; the
-            protocols are told ``k``, exactly as the paper's agents know the
-            opinion universe ``{1, .., k}``).
+    Subclasses provide ``k``, ``n``, ``name``, and ``counts()``; every
+    derived quantity below is a function of the support vector only,
+    matching the paper's analysis, which never refers to agent identity.
     """
 
-    opinions: np.ndarray
-    k: int
-    name: str = field(default="custom", compare=False)
-
-    def __post_init__(self) -> None:
-        opinions = np.asarray(self.opinions, dtype=np.int64)
-        if opinions.ndim != 1 or opinions.size == 0:
-            raise ConfigurationError("opinions must be a non-empty 1-D array")
-        if self.k < 1:
-            raise ConfigurationError(f"k must be >= 1, got {self.k}")
-        if opinions.min() < 1 or opinions.max() > self.k:
-            raise ConfigurationError(
-                f"opinions must lie in 1..{self.k}, "
-                f"got range [{opinions.min()}, {opinions.max()}]"
-            )
-        object.__setattr__(self, "opinions", opinions)
-
-    # ------------------------------------------------------------------
-    # Constructors
-    # ------------------------------------------------------------------
-    @classmethod
-    def from_counts(
-        cls,
-        counts: Sequence[int],
-        *,
-        rng: RngLike = None,
-        shuffle: bool = True,
-        name: str = "custom",
-    ) -> "PopulationConfig":
-        """Build a population from per-opinion support counts.
-
-        ``counts[i]`` is the initial support of opinion ``i + 1``.  Agents
-        are shuffled by default so that agent index carries no information
-        (the model is anonymous; shuffling only matters for schedulers that
-        would otherwise correlate index with opinion).
-        """
-        counts_arr = np.asarray(counts, dtype=np.int64)
-        if counts_arr.ndim != 1 or counts_arr.size == 0:
-            raise ConfigurationError("counts must be a non-empty 1-D sequence")
-        if (counts_arr < 0).any():
-            raise ConfigurationError("counts must be non-negative")
-        if counts_arr.sum() == 0:
-            raise ConfigurationError("total population must be positive")
-        opinions = np.repeat(
-            np.arange(1, counts_arr.size + 1, dtype=np.int64), counts_arr
-        )
-        if shuffle:
-            make_rng(rng).shuffle(opinions)
-        return cls(opinions=opinions, k=int(counts_arr.size), name=name)
-
-    # ------------------------------------------------------------------
-    # Derived quantities
-    # ------------------------------------------------------------------
-    @property
-    def n(self) -> int:
-        """Population size."""
-        return int(self.opinions.size)
-
-    def counts(self) -> np.ndarray:
+    def counts(self) -> np.ndarray:  # pragma: no cover - overridden
         """Support vector ``x = (x_1, .., x_k)``."""
-        return np.bincount(self.opinions, minlength=self.k + 1)[1:]
+        raise NotImplementedError
 
     @property
     def x_max(self) -> int:
@@ -141,7 +94,190 @@ class PopulationConfig:
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (
-            f"PopulationConfig(name={self.name!r}, n={self.n}, k={self.k}, "
-            f"x_max={self.x_max}, bias={self.bias}, "
+            f"{type(self).__name__}(name={self.name!r}, n={self.n}, "
+            f"k={self.k}, x_max={self.x_max}, bias={self.bias}, "
             f"plurality={self.plurality_opinion})"
         )
+
+
+@dataclass(frozen=True, eq=False)
+class PopulationConfig(BasePopulation):
+    """An initial assignment of opinions to agents.
+
+    Attributes:
+        opinions: int array of shape ``(n,)`` with values in ``1 .. k``.
+        k: the number of opinion *slots* (some may have zero support; the
+            protocols are told ``k``, exactly as the paper's agents know the
+            opinion universe ``{1, .., k}``).
+
+    Equality and hashing are by value over ``(opinions, k)`` — the
+    dataclass-generated ``__eq__`` would raise on the array field — with
+    ``name`` excluded, as before.
+    """
+
+    opinions: np.ndarray
+    k: int
+    name: str = field(default="custom", compare=False)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PopulationConfig):
+            return NotImplemented
+        return self.k == other.k and np.array_equal(self.opinions, other.opinions)
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.opinions.tobytes()))
+
+    def __post_init__(self) -> None:
+        opinions = np.asarray(self.opinions, dtype=np.int64)
+        if opinions.ndim != 1 or opinions.size == 0:
+            raise ConfigurationError("opinions must be a non-empty 1-D array")
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if opinions.min() < 1 or opinions.max() > self.k:
+            raise ConfigurationError(
+                f"opinions must lie in 1..{self.k}, "
+                f"got range [{opinions.min()}, {opinions.max()}]"
+            )
+        object.__setattr__(self, "opinions", opinions)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Sequence[int],
+        *,
+        rng: RngLike = None,
+        shuffle: bool = True,
+        name: str = "custom",
+    ) -> "PopulationConfig":
+        """Build a population from per-opinion support counts.
+
+        ``counts[i]`` is the initial support of opinion ``i + 1``.  Agents
+        are shuffled by default so that agent index carries no information
+        (the model is anonymous; shuffling only matters for schedulers that
+        would otherwise correlate index with opinion).  The shuffle is a
+        pure function of ``rng``: the same seed yields the same opinions
+        array on every platform and in every process, which is what lets
+        ``replicate_parallel`` reproduce serial sweeps bit-for-bit.
+
+        For populations too large to materialize (the count backend's
+        n >= 10^9 regime), build a :class:`CountConfig` instead.
+        """
+        counts_arr = _check_counts(counts)
+        opinions = np.repeat(
+            np.arange(1, counts_arr.size + 1, dtype=np.int64), counts_arr
+        )
+        if shuffle:
+            make_rng(rng).shuffle(opinions)
+        return cls(opinions=opinions, k=int(counts_arr.size), name=name)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(self.opinions.size)
+
+    def counts(self) -> np.ndarray:
+        """Support vector ``x = (x_1, .., x_k)``."""
+        return np.bincount(self.opinions, minlength=self.k + 1)[1:]
+
+
+@dataclass(frozen=True, eq=False)
+class CountConfig(BasePopulation):
+    """A count-native population: support counts only, no O(n) arrays.
+
+    Attributes:
+        support: int array of shape ``(k,)``; ``support[i]`` is the
+            initial support of opinion ``i + 1``.
+
+    Building one is O(k) in time and memory regardless of ``n``, which is
+    what makes config construction free at n = 10^9 .. 10^10 (previously
+    the O(n) ``opinions`` build dominated the count backend's runtime).
+    Count-native configs run on the count backend in batched mode; the
+    per-agent backends reject them — call :meth:`materialize` for an
+    explicit O(n) conversion when n permits.  Equality and hashing are by
+    value over the support vector (``name`` excluded).
+    """
+
+    support: np.ndarray
+    name: str = field(default="custom", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "support", _check_counts(self.support))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CountConfig):
+            return NotImplemented
+        return np.array_equal(self.support, other.support)
+
+    def __hash__(self) -> int:
+        return hash(self.support.tobytes())
+
+    @classmethod
+    def from_counts(
+        cls, counts: Sequence[int], *, name: str = "custom"
+    ) -> "CountConfig":
+        """Mirror of :meth:`PopulationConfig.from_counts` in count space.
+
+        No ``rng``/``shuffle`` arguments: a count vector has no agent
+        order to shuffle.
+        """
+        return cls(support=np.asarray(counts), name=name)
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(self.support.sum())
+
+    @property
+    def k(self) -> int:
+        """Number of opinion slots."""
+        return int(self.support.size)
+
+    def counts(self) -> np.ndarray:
+        """Support vector ``x = (x_1, .., x_k)`` (a defensive copy)."""
+        return self.support.copy()
+
+    @property
+    def opinions(self) -> np.ndarray:
+        raise ConfigurationError(
+            f"count-native config {self.name!r} (n={self.n}) has no "
+            f"per-agent opinions array; run it on backend='counts' with a "
+            f"MatchingScheduler, or call materialize() for an explicit "
+            f"O(n) conversion"
+        )
+
+    def materialize(
+        self, *, rng: RngLike = None, shuffle: bool = True
+    ) -> PopulationConfig:
+        """Explicit O(n) conversion to a per-agent :class:`PopulationConfig`."""
+        return PopulationConfig.from_counts(
+            self.support, rng=rng, shuffle=shuffle, name=self.name
+        )
+
+
+def is_count_native(config: BasePopulation) -> bool:
+    """Whether ``config`` carries only counts (no per-agent opinions)."""
+    return isinstance(config, CountConfig)
+
+
+def _check_counts(counts: Sequence[int]) -> np.ndarray:
+    """Validate and coerce a support-count vector (shared by both configs).
+
+    Always returns a fresh read-only array: configs validate at
+    construction time, so they must not alias a caller-owned buffer that
+    could be mutated afterwards.
+    """
+    counts_arr = np.array(counts, dtype=np.int64)
+    if counts_arr.ndim != 1 or counts_arr.size == 0:
+        raise ConfigurationError("counts must be a non-empty 1-D sequence")
+    if (counts_arr < 0).any():
+        raise ConfigurationError("counts must be non-negative")
+    if counts_arr.sum() == 0:
+        raise ConfigurationError("total population must be positive")
+    counts_arr.flags.writeable = False
+    return counts_arr

@@ -1,0 +1,68 @@
+"""The name → factory registry shared by backends and sampler policies.
+
+Both the execution-backend registry (:mod:`repro.engine.backends.base`)
+and the sampler-policy registry (:mod:`repro.engine.sampling.policy`)
+follow the same protocol: register factories under names at import time,
+list them for CLIs, instantiate by name, and coerce a
+name-or-instance-or-None argument to an instance.  One generic
+implementation keeps their error messages and semantics in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, TypeVar
+
+from .errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A registry of named factories for one kind of strategy object.
+
+    Args:
+        kind: what the entries are, for error messages ("backend", ...).
+        base: the class instances must subclass; ``resolve`` passes
+            instances of it through unchanged.
+        default: the name resolved when ``resolve(None)`` is called.
+    """
+
+    def __init__(self, kind: str, base: type, default: str):
+        self._kind = kind
+        self._base = base
+        self.default = default
+        self._factories: Dict[str, Callable[[], T]] = {}
+
+    def register(self, name: str, factory: Callable[[], T]) -> None:
+        """Add a factory under ``name`` (e.g. at module import time)."""
+        if name in self._factories:
+            raise ConfigurationError(f"duplicate {self._kind} {name!r}")
+        self._factories[name] = factory
+
+    def available(self) -> List[str]:
+        """Sorted names of all registered entries."""
+        return sorted(self._factories)
+
+    def get(self, name: str) -> T:
+        """Instantiate the entry registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self._kind} {name!r}; "
+                f"available: {', '.join(self.available())}"
+            ) from None
+        return factory()
+
+    def resolve(self, value) -> T:
+        """Coerce ``value`` (name, instance, or None) to an instance."""
+        if value is None:
+            return self.get(self.default)
+        if isinstance(value, self._base):
+            return value
+        if isinstance(value, str):
+            return self.get(value)
+        raise ConfigurationError(
+            f"{self._kind} must be a name, a {self._base.__name__} "
+            f"instance, or None, got {value!r}"
+        )

@@ -1,0 +1,45 @@
+"""Count-space random draws: large-population hypergeometric sampling.
+
+This subsystem owns every without-replacement draw the count backend
+makes.  Two layers:
+
+* :mod:`~repro.engine.sampling.hypergeometric` —
+  :class:`LargeNHypergeometric`, the custom sampler (windowed exact
+  inverse-CDF univariate draws + recursive binary color-splitting) that
+  stays exact-in-distribution at populations numpy rejects (n >= 10^9).
+* :mod:`~repro.engine.sampling.policy` — the :class:`SamplerPolicy`
+  registry (``"numpy"``, ``"splitting"``, ``"auto"``) deciding which
+  sampler executes a given draw, threaded through
+  ``simulate(..., backend="counts", sampler=...)`` and the CLI's
+  ``--sampler`` flag.
+"""
+
+from .hypergeometric import LargeNHypergeometric
+from .policy import (
+    DEFAULT_SAMPLER,
+    NUMPY_MAX_POPULATION,
+    AutoSampler,
+    NumpySampler,
+    SamplerLike,
+    SamplerPolicy,
+    SplittingSampler,
+    available,
+    get,
+    register,
+    resolve,
+)
+
+__all__ = [
+    "AutoSampler",
+    "DEFAULT_SAMPLER",
+    "LargeNHypergeometric",
+    "NUMPY_MAX_POPULATION",
+    "NumpySampler",
+    "SamplerLike",
+    "SamplerPolicy",
+    "SplittingSampler",
+    "available",
+    "get",
+    "register",
+    "resolve",
+]

@@ -1,0 +1,158 @@
+"""Sampler policies: who performs a count-space multivariate draw.
+
+The count backend samples every batch by multivariate-hypergeometric
+draws over the state-count vector.  Which sampler executes a draw is a
+*policy*, resolved through the registry here exactly like execution
+backends are (:mod:`repro.engine.backends.base`):
+
+``"numpy"``
+    ``Generator.multivariate_hypergeometric`` — fastest, but numpy
+    rejects populations of 10^9 and above (``method="marginals"``); the
+    policy raises :class:`SamplerUnsupported` there instead of letting
+    numpy's ValueError surface.
+
+``"splitting"``
+    :class:`~repro.engine.sampling.hypergeometric.LargeNHypergeometric`
+    via recursive binary color-splitting — any population size, a few
+    milliseconds per draw at n = 10^10.
+
+``"auto"`` (the default)
+    Per-draw dispatch: numpy below its population limit, splitting above.
+    This is what lets ``simulate(..., backend="counts")`` run unchanged
+    from n = 10^2 to n = 10^10.
+
+Select a policy anywhere a count-space simulation is launched::
+
+    simulate(protocol, config, backend="counts", sampler="splitting")
+    replicate(..., backend="counts", sampler="auto")
+    repro-experiments run EB3 --backend counts --sampler splitting
+    repro-experiments samplers          # list policies + ranges
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import SamplerUnsupported
+from ..registry import Registry
+from .hypergeometric import LargeNHypergeometric
+
+#: Population bound of numpy's multivariate-hypergeometric generator
+#: ("marginals" method): the total must stay *below* this.
+NUMPY_MAX_POPULATION = 1_000_000_000
+
+
+class SamplerPolicy(ABC):
+    """One strategy for multivariate-hypergeometric draws in count space."""
+
+    #: Registry name (used in CLI listings and error messages).
+    name: str = "sampler"
+    #: Exclusive population bound, or None when unbounded.
+    max_population: Optional[int] = None
+    #: One-line description for ``repro-experiments samplers``.
+    summary: str = ""
+
+    def supports(self, total: int) -> bool:
+        """Whether a draw from a population of ``total`` is in range."""
+        return self.max_population is None or total < self.max_population
+
+    def population_range(self) -> str:
+        """Human-readable population range for CLI listings."""
+        if self.max_population is None:
+            return "any n"
+        return f"n < {self.max_population:.0e}".replace("e+0", "e")
+
+    @abstractmethod
+    def draw(
+        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``nsample`` balls without replacement; per-color counts."""
+
+
+class NumpySampler(SamplerPolicy):
+    """Delegate to ``Generator.multivariate_hypergeometric``."""
+
+    name = "numpy"
+    max_population = NUMPY_MAX_POPULATION
+    summary = "numpy's built-in generator (fastest; rejects n >= 10^9)"
+
+    def draw(
+        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        total = int(np.asarray(colors).sum())
+        if not self.supports(total):
+            raise SamplerUnsupported(
+                f"sampler policy 'numpy' is limited to populations below "
+                f"{self.max_population} by numpy's multivariate-"
+                f"hypergeometric generator (got population {total}); use "
+                f"sampler='splitting' or sampler='auto' instead"
+            )
+        return rng.multivariate_hypergeometric(colors, nsample)
+
+
+class SplittingSampler(SamplerPolicy):
+    """Recursive binary color-splitting over exact univariate inversions."""
+
+    name = "splitting"
+    max_population = None
+    summary = (
+        "recursive color-splitting with windowed exact inverse-CDF "
+        "univariate draws (any n, incl. 10^9..10^10)"
+    )
+
+    def __init__(self, window_sds: float = 10.0):
+        self._sampler = LargeNHypergeometric(window_sds=window_sds)
+
+    def draw(
+        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._sampler.multivariate(colors, nsample, rng)
+
+
+class AutoSampler(SamplerPolicy):
+    """Per-draw dispatch: numpy when in range, splitting beyond."""
+
+    name = "auto"
+    max_population = None
+    summary = "per-draw dispatch: numpy below 10^9, splitting above"
+
+    def __init__(self):
+        self._numpy = NumpySampler()
+        self._splitting = SplittingSampler()
+
+    def draw(
+        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        total = int(np.asarray(colors).sum())
+        if self._numpy.supports(total):
+            return self._numpy.draw(colors, nsample, rng)
+        return self._splitting.draw(colors, nsample, rng)
+
+
+# ----------------------------------------------------------------------
+# Registry (shared implementation: repro.engine.registry)
+# ----------------------------------------------------------------------
+SamplerLike = Union[str, SamplerPolicy, None]
+
+#: Policy resolved when ``sampler=None`` is requested.
+DEFAULT_SAMPLER = "auto"
+
+_REGISTRY: Registry[SamplerPolicy] = Registry(
+    "sampler", SamplerPolicy, DEFAULT_SAMPLER
+)
+
+#: Add a sampler-policy factory under a name.
+register = _REGISTRY.register
+#: Sorted names of all registered sampler policies.
+available = _REGISTRY.available
+#: Instantiate the sampler policy registered under a name.
+get = _REGISTRY.get
+#: Coerce a name, instance, or None to a SamplerPolicy instance.
+resolve = _REGISTRY.resolve
+
+register(NumpySampler.name, NumpySampler)
+register(SplittingSampler.name, SplittingSampler)
+register(AutoSampler.name, AutoSampler)

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
 from .errors import ConfigurationError
-from .population import PopulationConfig
+from .population import BasePopulation
 from .protocol import Protocol
 from .recorder import Recorder
 from .rng import RngLike, make_rng
@@ -19,6 +19,7 @@ from .scheduler import Scheduler, SequentialScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .backends import BackendLike
+    from .sampling import SamplerLike
 
 
 @dataclass
@@ -61,11 +62,12 @@ class RunResult:
 
 def simulate(
     protocol: Protocol,
-    config: PopulationConfig,
+    config: BasePopulation,
     *,
     seed: RngLike = None,
     scheduler: Optional[Scheduler] = None,
     backend: "BackendLike" = None,
+    sampler: "SamplerLike" = None,
     max_parallel_time: float = 1e5,
     check_every_parallel_time: float = 1.0,
     recorder: Optional[Recorder] = None,
@@ -82,6 +84,10 @@ def simulate(
             ``"counts"``), a :class:`~repro.engine.backends.Backend`
             instance, or None for the default per-agent array path.  See
             :mod:`repro.engine.backends` for the trade-offs.
+        sampler: count-space sampler policy (``"numpy"``, ``"splitting"``,
+            ``"auto"``, or a :class:`~repro.engine.sampling.SamplerPolicy`
+            instance) for backends that sample in count space; None keeps
+            the backend's own policy.  See :mod:`repro.engine.sampling`.
         max_parallel_time: run budget; exceeding it records failure
             ``"timeout"``.
         check_every_parallel_time: cadence of convergence/failure checks.
@@ -105,6 +111,8 @@ def simulate(
     from . import backends as backend_registry
 
     runner = backend_registry.resolve(backend)
+    if sampler is not None:
+        runner = runner.with_sampler(sampler)
     rng = make_rng(seed)
     scheduler = scheduler or SequentialScheduler()
     return runner.run(

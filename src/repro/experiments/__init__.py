@@ -1,6 +1,14 @@
 """Experiment registry (E1-E15 + ablations) — see DESIGN.md §5."""
 
-from .base import ExperimentReport, get, names, run, supports_backend, titles
+from .base import (
+    ExperimentReport,
+    get,
+    names,
+    run,
+    supports_backend,
+    supports_sampler,
+    titles,
+)
 
 __all__ = [
     "ExperimentReport",
@@ -8,5 +16,6 @@ __all__ = [
     "names",
     "run",
     "supports_backend",
+    "supports_sampler",
     "titles",
 ]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.sweep import format_table
+from ..engine.errors import BackendUnsupported
 
 SCALES = ("quick", "full")
 
@@ -32,13 +33,21 @@ class ExperimentReport:
     checks: Dict[str, bool] = field(default_factory=dict)
     stats: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    #: True when the experiment could not run on the requested
+    #: backend/sampler combination (a skip, not a failure).
+    skipped: bool = False
 
     @property
     def passed(self) -> bool:
-        """All shape checks hold."""
+        """All shape checks hold (vacuously true for skipped runs)."""
         return all(self.checks.values())
 
     def render(self) -> str:
+        if self.skipped:
+            return (
+                f"== {self.experiment}: {self.title} ==\n"
+                f"SKIPPED: {self.notes}"
+            )
         lines = [f"== {self.experiment}: {self.title} =="]
         lines.append(format_table(self.headers, self.rows))
         if self.stats:
@@ -96,25 +105,58 @@ def supports_backend(name: str) -> bool:
     return "backend" in inspect.signature(get(name)).parameters
 
 
+def supports_sampler(name: str) -> bool:
+    """Whether an experiment accepts a ``sampler=`` override."""
+    return "sampler" in inspect.signature(get(name)).parameters
+
+
 def run(
-    name: str, scale: str = "quick", backend: Optional[str] = None
+    name: str,
+    scale: str = "quick",
+    backend: Optional[str] = None,
+    sampler: Optional[str] = None,
 ) -> ExperimentReport:
     """Run one experiment at the given scale.
 
-    ``backend`` forwards an execution-backend override to experiments
-    whose function accepts a ``backend=`` keyword (e.g. EB2); passing it
-    to any other experiment raises ValueError.
+    ``backend`` / ``sampler`` forward execution-backend and sampler-policy
+    overrides to experiments whose function accepts the matching keyword
+    (e.g. EB2/EB3); passing one to any other experiment raises ValueError.
+    A run the *chosen* backend/sampler cannot execute (it raised
+    :class:`BackendUnsupported`) comes back as a *skipped* report carrying
+    the reason, not a traceback, so sweeps over experiments keep going.
+    Default runs (no overrides) propagate the error: an experiment that
+    cannot execute its own default configuration is a regression, not a
+    skip.
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
     fn = get(name)
+    kwargs = {}
     if backend is not None:
         if not supports_backend(name):
             raise ValueError(
                 f"experiment {name} does not support a backend override"
             )
-        return fn(scale, backend=backend)
-    return fn(scale)
+        kwargs["backend"] = backend
+    if sampler is not None:
+        if not supports_sampler(name):
+            raise ValueError(
+                f"experiment {name} does not support a sampler override"
+            )
+        kwargs["sampler"] = sampler
+    try:
+        return fn(scale, **kwargs)
+    except BackendUnsupported as exc:
+        if not kwargs:
+            raise
+        return ExperimentReport(
+            experiment=name,
+            title=_TITLES[name],
+            headers=[],
+            rows=[],
+            notes=str(exc),
+            skipped=True,
+        )
 
 
 def _ensure_loaded() -> None:

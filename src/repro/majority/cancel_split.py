@@ -305,9 +305,16 @@ class CancelSplitMajority(Protocol):
         def encode(cfg: PopulationConfig) -> np.ndarray:
             return np.where(cfg.opinions == 1, pos0, neg0)
 
+        def encode_counts(cfg: PopulationConfig) -> np.ndarray:
+            support = cfg.counts()
+            counts = np.zeros(num_states, dtype=np.int64)
+            counts[pos0] = int(support[0])
+            counts[neg0] = int(support[1]) if cfg.k == 2 else 0
+            return counts
+
+        # O(k) — the signed-sum invariant only needs the support counts.
         initial_sum = sum(
-            weights[s] * int(c)
-            for s, c in enumerate(np.bincount(encode(config), minlength=num_states))
+            weights[s] * int(c) for s, c in enumerate(encode_counts(config))
         )
 
         def totals(counts: np.ndarray):
@@ -355,6 +362,7 @@ class CancelSplitMajority(Protocol):
             delta_u=delta_u,
             delta_v=delta_v,
             encode=encode,
+            encode_counts=encode_counts,
             converged=converged,
             output_opinion=output_opinion,
             progress=progress,

@@ -89,6 +89,11 @@ class ThreeStateMajority(Protocol):
         delta_v[STATE_A, BLANK] = STATE_A
         delta_v[STATE_B, BLANK] = STATE_B
 
+        def encode_counts(cfg: PopulationConfig) -> np.ndarray:
+            support = cfg.counts()
+            x_b = int(support[1]) if cfg.k == 2 else 0
+            return np.array([0, int(support[0]), x_b], dtype=np.int64)
+
         def progress(counts: np.ndarray) -> Dict[str, float]:
             return {
                 "a": float(counts[STATE_A]),
@@ -101,6 +106,7 @@ class ThreeStateMajority(Protocol):
             delta_u=delta_u,
             delta_v=delta_v,
             encode=lambda cfg: np.where(cfg.opinions == 1, STATE_A, STATE_B),
+            encode_counts=encode_counts,
             output_map=[0, 1, 2],
             progress=progress,
             project=lambda state: state.astype(np.int64),

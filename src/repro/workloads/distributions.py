@@ -1,7 +1,11 @@
 """Initial-opinion workload generators.
 
 Each generator returns a :class:`repro.engine.PopulationConfig` whose count
-vector realizes a scenario from the paper:
+vector realizes a scenario from the paper — or, with ``counts_only=True``,
+a count-native :class:`repro.engine.CountConfig` that skips the O(n)
+per-agent opinions build entirely (the right choice for the count
+backend's n >= 10^9 sweeps; ``rng``/``shuffle`` are then ignored since a
+count vector has no agent order):
 
 * ``bias_one``          — the hard case of *exact* plurality consensus: the
                           plurality leads the runner-up by exactly 1.
@@ -20,15 +24,20 @@ from typing import Sequence
 import numpy as np
 
 from ..engine.errors import ConfigurationError
-from ..engine.population import PopulationConfig
+from ..engine.population import BasePopulation, CountConfig, PopulationConfig
 from ..engine.rng import RngLike
 
 
 def _finalize(
-    counts: Sequence[int], rng: RngLike, shuffle: bool, name: str
-) -> PopulationConfig:
-    config = PopulationConfig.from_counts(counts, rng=rng, shuffle=shuffle, name=name)
-    return config
+    counts: Sequence[int],
+    rng: RngLike,
+    shuffle: bool,
+    name: str,
+    counts_only: bool = False,
+) -> BasePopulation:
+    if counts_only:
+        return CountConfig.from_counts(counts, name=name)
+    return PopulationConfig.from_counts(counts, rng=rng, shuffle=shuffle, name=name)
 
 
 def exact(
@@ -36,15 +45,16 @@ def exact(
     *,
     rng: RngLike = None,
     shuffle: bool = True,
+    counts_only: bool = False,
     name: str = "exact",
-) -> PopulationConfig:
+) -> BasePopulation:
     """Population with the given per-opinion counts (``counts[i]`` = x_{i+1})."""
-    return _finalize(counts, rng, shuffle, name)
+    return _finalize(counts, rng, shuffle, name, counts_only)
 
 
 def bias_one(
-    n: int, k: int, *, rng: RngLike = None, shuffle: bool = True
-) -> PopulationConfig:
+    n: int, k: int, *, rng: RngLike = None, shuffle: bool = True, counts_only: bool = False
+) -> BasePopulation:
     """As-even-as-possible split of ``n`` into ``k`` opinions, minimum bias.
 
     Opinion 1 is the plurality and the bias is exactly 1 whenever that is
@@ -56,7 +66,7 @@ def bias_one(
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
     if k == 1:
-        return _finalize([n], rng, shuffle, "bias_one")
+        return _finalize([n], rng, shuffle, "bias_one", counts_only)
     if n < k + 1:
         raise ConfigurationError(f"bias_one needs n >= k + 1, got n={n}, k={k}")
     if k == 2:
@@ -70,12 +80,18 @@ def bias_one(
             counts = [q + 1] + [q] * (k - 2) + [q - 1]
         else:
             counts = [q + 2] + [q + 1] * (r - 1) + [q] * (k - r - 1) + [q - 1]
-    return _finalize(counts, rng, shuffle, "bias_one")
+    return _finalize(counts, rng, shuffle, "bias_one", counts_only)
 
 
 def uniform_with_bias(
-    n: int, k: int, bias: int, *, rng: RngLike = None, shuffle: bool = True
-) -> PopulationConfig:
+    n: int,
+    k: int,
+    bias: int,
+    *,
+    rng: RngLike = None,
+    shuffle: bool = True,
+    counts_only: bool = False,
+) -> BasePopulation:
     """Near-uniform counts where opinion 1 leads the runner-up by ``bias``.
 
     The surplus is taken evenly from the non-plurality opinions.
@@ -84,7 +100,7 @@ def uniform_with_bias(
         raise ConfigurationError("uniform_with_bias needs k >= 2")
     if bias < 1:
         raise ConfigurationError(f"bias must be >= 1, got {bias}")
-    base = bias_one(n, k, rng=rng, shuffle=False)
+    base = bias_one(n, k, rng=rng, shuffle=False, counts_only=True)
     counts = base.counts().astype(np.int64)
     extra = bias - (counts[0] - counts[1:].max())
     moved = 0
@@ -100,7 +116,7 @@ def uniform_with_bias(
         counts[donor] -= 1
         counts[0] += 1
         moved += 1
-    return _finalize(counts, rng, shuffle, f"uniform_bias_{bias}")
+    return _finalize(counts, rng, shuffle, f"uniform_bias_{bias}", counts_only)
 
 
 def one_large_many_small(
@@ -110,7 +126,8 @@ def one_large_many_small(
     plurality_fraction: float = 0.5,
     rng: RngLike = None,
     shuffle: bool = True,
-) -> PopulationConfig:
+    counts_only: bool = False,
+) -> BasePopulation:
     """One dominant opinion plus ``k - 1`` small, near-equal opinions.
 
     This is Section 4's favourable regime: ``n / x_max`` is a small constant
@@ -131,7 +148,7 @@ def one_large_many_small(
     counts = [x_max] + [q + 1] * r + [q] * (k - 1 - r)
     if counts[1] >= counts[0]:
         raise ConfigurationError("plurality_fraction too small to dominate")
-    return _finalize(counts, rng, shuffle, "one_large_many_small")
+    return _finalize(counts, rng, shuffle, "one_large_many_small", counts_only)
 
 
 def two_block(
@@ -141,7 +158,8 @@ def two_block(
     big_fraction: float = 0.8,
     rng: RngLike = None,
     shuffle: bool = True,
-) -> PopulationConfig:
+    counts_only: bool = False,
+) -> BasePopulation:
     """Two big opinions separated by exactly 1, plus ``k - 2`` tiny ones.
 
     The hardest pruning case: the runner-up is *significant* and must
@@ -167,7 +185,7 @@ def two_block(
         counts += [q + 1] * r + [q] * (k - 2 - r)
     if max(counts[2:], default=0) >= x2:
         raise ConfigurationError("tiny opinions not smaller than the big block")
-    return _finalize(counts, rng, shuffle, "two_block")
+    return _finalize(counts, rng, shuffle, "two_block", counts_only)
 
 
 def zipf(
@@ -177,7 +195,8 @@ def zipf(
     s: float = 1.0,
     rng: RngLike = None,
     shuffle: bool = True,
-) -> PopulationConfig:
+    counts_only: bool = False,
+) -> BasePopulation:
     """Zipf-distributed supports: ``x_i`` proportional to ``1 / i**s``.
 
     Rounding residue is assigned to opinion 1, which also guarantees a
@@ -202,7 +221,7 @@ def zipf(
             donor -= 1
         if overflow > 0:
             raise ConfigurationError(f"cannot realize zipf(s={s}) for n={n}, k={k}")
-    return _finalize(counts, rng, shuffle, f"zipf_{s}")
+    return _finalize(counts, rng, shuffle, f"zipf_{s}", counts_only)
 
 
 def geometric(
@@ -212,7 +231,8 @@ def geometric(
     ratio: float = 0.5,
     rng: RngLike = None,
     shuffle: bool = True,
-) -> PopulationConfig:
+    counts_only: bool = False,
+) -> BasePopulation:
     """Geometrically decaying supports: ``x_i`` proportional to ``ratio^i``.
 
     Produces a cascade of significance levels — useful for probing the
@@ -229,12 +249,17 @@ def geometric(
     counts[0] += n - counts.sum()
     if k >= 2 and counts[0] <= counts[1:].max():
         raise ConfigurationError(f"geometric({ratio}) degenerate for n={n}, k={k}")
-    return _finalize(counts, rng, shuffle, f"geometric_{ratio}")
+    return _finalize(counts, rng, shuffle, f"geometric_{ratio}", counts_only)
 
 
 def majority_counts(
-    n: int, *, bias: int = 1, rng: RngLike = None, shuffle: bool = True
-) -> PopulationConfig:
+    n: int,
+    *,
+    bias: int = 1,
+    rng: RngLike = None,
+    shuffle: bool = True,
+    counts_only: bool = False,
+) -> BasePopulation:
     """k = 2 population where opinion 1 leads opinion 2 by exactly ``bias``.
 
     Requires ``n`` and ``bias`` to have the same parity.
@@ -246,12 +271,14 @@ def majority_counts(
             f"majority_counts needs n >= bias with equal parity, got n={n}, bias={bias}"
         )
     x2 = (n - bias) // 2
-    return _finalize([n - x2, x2], rng, shuffle, f"majority_bias_{bias}")
+    return _finalize([n - x2, x2], rng, shuffle, f"majority_bias_{bias}", counts_only)
 
 
-def single_opinion(n: int, *, k: int = 1) -> PopulationConfig:
+def single_opinion(
+    n: int, *, k: int = 1, counts_only: bool = False
+) -> BasePopulation:
     """Everyone starts with opinion 1 (degenerate sanity-check workload)."""
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
     counts = [n] + [0] * (k - 1)
-    return PopulationConfig.from_counts(counts, shuffle=False, name="single_opinion")
+    return _finalize(counts, None, False, "single_opinion", counts_only)

@@ -18,6 +18,7 @@ from scipy import stats as scipy_stats
 from repro.engine import (
     BackendUnsupported,
     ConfigurationError,
+    CountConfig,
     MatchingScheduler,
     PopulationConfig,
     SequentialScheduler,
@@ -205,16 +206,20 @@ class TestBatchedAgreement:
             assert int(counts.sum()) == 255
             assert (counts >= 0).all()
 
-    def test_population_beyond_sampler_limit_rejected(self):
-        """numpy's MVH generator caps populations at 1e9: clear error, no crash."""
-        from repro.engine.backends.counts import MAX_BATCHED_POPULATION
+    def test_forced_numpy_policy_rejected_beyond_its_limit(self):
+        """The 'numpy' sampler policy raises a policy-aware error at >= 1e9."""
         from repro.engine.rng import make_rng
+        from repro.engine.sampling import NUMPY_MAX_POPULATION
 
         config = PopulationConfig.from_counts([2, 2], rng=0)
         model = ThreeStateMajority().count_model(config)
-        huge = np.array([0, MAX_BATCHED_POPULATION, 5], dtype=np.int64)
-        with pytest.raises(BackendUnsupported, match="below 1000000000"):
-            CountBackend._step_batch(model, huge, 10, make_rng(0))
+        huge = np.array([0, NUMPY_MAX_POPULATION, 5], dtype=np.int64)
+        backend = CountBackend(sampler="numpy")
+        with pytest.raises(BackendUnsupported, match="sampler='splitting'"):
+            backend._step_batch(model, huge, 10, make_rng(0))
+        # The default ('auto') backend handles the same counts fine.
+        stepped = CountBackend()._step_batch(model, huge, 10, make_rng(0))
+        assert int(stepped.sum()) == int(huge.sum())
 
     def test_cancel_split_invariant_holds_in_count_space(self):
         config = PopulationConfig.from_counts([65, 62], rng=2)
@@ -355,6 +360,179 @@ class TestUnsupported:
             backend=CountBackend(), max_parallel_time=500,
         )
         assert result.converged
+
+
+class TestCountState:
+    def test_refresh_recomputes_counts_after_ids_mutation(self):
+        config = PopulationConfig.from_counts([60, 40], rng=0)
+        model = ThreeStateMajority().count_model(config)
+        state = CountState(model=model, counts=np.empty(0, dtype=np.int64))
+        state.ids = model.initial_ids(config)
+        assert state.refresh() is state
+        np.testing.assert_array_equal(state.counts, [0, 60, 40])
+        # Manual mutation of ids desynchronizes counts until refresh().
+        state.ids[:10] = 0
+        np.testing.assert_array_equal(state.counts, [0, 60, 40])
+        state.refresh()
+        assert state.counts[0] == 10
+        assert int(state.counts.sum()) == 100
+
+    def test_refresh_is_noop_in_batched_mode(self):
+        config = PopulationConfig.from_counts([5, 5], rng=0)
+        model = ThreeStateMajority().count_model(config)
+        counts = model.initial_counts(config)
+        state = CountState(model=model, counts=counts)  # ids=None
+        assert state.refresh() is state
+        assert state.counts is counts
+
+
+class TestCountNativeConfigs:
+    """CountConfig populations drive batched count runs without O(n)."""
+
+    def test_batched_run_matches_materialized_distribution(self):
+        count_cfg = CountConfig.from_counts([1150, 850])
+        result = simulate(
+            ThreeStateMajority(),
+            count_cfg,
+            seed=5,
+            scheduler=MatchingScheduler(0.25),
+            backend="counts",
+            max_parallel_time=500.0,
+            check_invariants=True,
+        )
+        assert result.succeeded
+        assert result.n == 2000
+        assert result.output_opinion == 1
+
+    def test_all_count_model_protocols_accept_count_native(self):
+        for protocol, counts in [
+            (ThreeStateMajority(), [180, 120]),
+            (UndecidedStateDynamics(), [140, 110, 80, 70]),
+            (CancelSplitMajority(), [130, 126]),
+            (OneWayEpidemic(), [100, 100]),
+        ]:
+            config = CountConfig.from_counts(counts)
+            result = simulate(
+                protocol,
+                config,
+                seed=31,
+                scheduler=MatchingScheduler(0.25),
+                backend="counts",
+                max_parallel_time=4000.0,
+                check_invariants=True,
+            )
+            assert result.converged, protocol.name
+
+    def test_agent_backend_rejects_count_native(self):
+        config = CountConfig.from_counts([30, 20], name="huge")
+        with pytest.raises(BackendUnsupported, match="materialize"):
+            simulate(
+                ThreeStateMajority(), config, seed=0, backend="agents",
+                max_parallel_time=10,
+            )
+
+    def test_exact_count_mode_rejects_count_native(self):
+        config = CountConfig.from_counts([30, 20])
+        with pytest.raises(BackendUnsupported, match="MatchingScheduler"):
+            simulate(
+                ThreeStateMajority(), config, seed=0, backend="counts",
+                scheduler=SequentialScheduler(), max_parallel_time=10,
+            )
+
+    def test_model_without_encode_counts_rejects_count_native(self):
+        config = CountConfig.from_counts([60, 40])
+        with pytest.raises(BackendUnsupported, match="encode_counts"):
+            simulate(
+                LazyEpidemic(), config, seed=0, backend="counts",
+                scheduler=MatchingScheduler(0.25), max_parallel_time=10,
+            )
+
+    def test_ten_billion_agents_step_without_o_n_memory(self):
+        """A few batches at n = 10^10: conservation, O(k) state only."""
+        n = 10**10
+        config = CountConfig.from_counts([6 * 10**9, 4 * 10**9], name="1e10")
+        out = []
+        result = simulate(
+            ThreeStateMajority(),
+            config,
+            seed=2,
+            scheduler=MatchingScheduler(0.25),
+            backend="counts",
+            max_parallel_time=2.0,  # a handful of batches, not convergence
+            check_invariants=True,
+            state_out=out,
+        )
+        assert result.failure == "timeout"
+        (state,) = out
+        assert state.ids is None
+        assert int(state.counts.sum()) == n
+
+    def test_encode_counts_agrees_with_per_agent_encoding(self):
+        """O(k) and O(n) initializations must produce identical counts."""
+        for protocol, counts in [
+            (ThreeStateMajority(), [180, 120]),
+            (UndecidedStateDynamics(), [140, 110, 80, 70]),
+            (CancelSplitMajority(), [130, 126]),
+            (OneWayEpidemic(), [100, 100]),
+        ]:
+            config = PopulationConfig.from_counts(counts, rng=13)
+            model = protocol.count_model(config)
+            via_ids = np.bincount(
+                model.initial_ids(config), minlength=model.num_states
+            )
+            np.testing.assert_array_equal(
+                model.initial_counts(config), via_ids, err_msg=protocol.name
+            )
+
+
+class TestSamplerThreading:
+    def test_simulate_sampler_kwarg_reaches_count_backend(self):
+        config = PopulationConfig.from_counts([600, 400], rng=1)
+        result = simulate(
+            ThreeStateMajority(),
+            config,
+            seed=2,
+            scheduler=MatchingScheduler(0.25),
+            backend="counts",
+            sampler="splitting",
+            max_parallel_time=500.0,
+        )
+        assert result.succeeded
+
+    def test_with_sampler_returns_configured_copy(self):
+        backend = CountBackend()
+        forced = backend.with_sampler("splitting")
+        assert forced is not backend
+        assert forced.sampler.name == "splitting"
+        assert backend.sampler.name == "auto"
+
+    def test_agents_backend_rejects_sampler(self):
+        config = PopulationConfig.from_counts([30, 20], rng=0)
+        with pytest.raises(ConfigurationError, match="sampler"):
+            simulate(
+                ThreeStateMajority(), config, seed=0, backend="agents",
+                sampler="splitting", max_parallel_time=10,
+            )
+
+    def test_splitting_times_match_numpy_times(self):
+        """Same protocol/seeds: KS agreement across sampler policies."""
+        times = {}
+        for sampler in ("numpy", "splitting"):
+            results = replicate(
+                ThreeStateMajority,
+                lambda s: PopulationConfig.from_counts([1150, 850], rng=s),
+                replications=20,
+                base_seed=5,
+                scheduler_factory=lambda: MatchingScheduler(0.25),
+                backend="counts",
+                sampler=sampler,
+                max_parallel_time=500.0,
+                check_every_parallel_time=0.25,
+            )
+            assert all(r.converged for r in results)
+            times[sampler] = [r.parallel_time for r in results]
+        ks = scipy_stats.ks_2samp(times["numpy"], times["splitting"])
+        assert ks.pvalue > 0.01
 
 
 class TestCountModelValidation:

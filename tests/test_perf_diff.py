@@ -1,0 +1,118 @@
+"""Tests for the CI perf-trajectory diff (benchmarks/perf_diff.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_diff",
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "perf_diff.py",
+)
+perf_diff = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_diff)
+
+
+def write_report(directory, name, elapsed, scale="quick"):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.json").write_text(
+        json.dumps(
+            {
+                "experiment": name,
+                "scale": scale,
+                "elapsed_seconds": elapsed,
+                "checks": {},
+                "stats": {},
+                "passed": True,
+            }
+        )
+    )
+
+
+class TestDiffReports:
+    def test_flags_regressions_beyond_threshold(self):
+        previous = {
+            "E1": {"experiment": "E1", "scale": "quick", "elapsed_seconds": 2.0},
+            "E2": {"experiment": "E2", "scale": "quick", "elapsed_seconds": 2.0},
+        }
+        current = {
+            "E1": {"experiment": "E1", "scale": "quick", "elapsed_seconds": 4.0},
+            "E2": {"experiment": "E2", "scale": "quick", "elapsed_seconds": 2.5},
+        }
+        regressions = perf_diff.diff_reports(previous, current, threshold=1.5)
+        assert [r["experiment"] for r in regressions] == ["E1"]
+        assert regressions[0]["ratio"] == pytest.approx(2.0)
+
+    def test_ignores_scale_mismatch_and_missing_experiments(self):
+        previous = {
+            "E1": {"experiment": "E1", "scale": "full", "elapsed_seconds": 1.0},
+            "E3": {"experiment": "E3", "scale": "quick", "elapsed_seconds": 1.0},
+        }
+        current = {
+            "E1": {"experiment": "E1", "scale": "quick", "elapsed_seconds": 9.0},
+            "E4": {"experiment": "E4", "scale": "quick", "elapsed_seconds": 9.0},
+        }
+        assert perf_diff.diff_reports(previous, current) == []
+
+    def test_ignores_sub_noise_baselines(self):
+        previous = {
+            "E1": {"experiment": "E1", "scale": "quick", "elapsed_seconds": 0.01}
+        }
+        current = {
+            "E1": {"experiment": "E1", "scale": "quick", "elapsed_seconds": 0.09}
+        }
+        assert perf_diff.diff_reports(previous, current) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            perf_diff.diff_reports({}, {}, threshold=1.0)
+
+
+class TestLoadReports:
+    def test_reads_only_valid_reports(self, tmp_path):
+        write_report(tmp_path, "E1", 1.5)
+        (tmp_path / "broken.json").write_text("{not json")
+        (tmp_path / "no_elapsed.json").write_text(json.dumps({"experiment": "X"}))
+        reports = perf_diff.load_reports(tmp_path)
+        assert set(reports) == {"E1"}
+        assert reports["E1"]["elapsed_seconds"] == 1.5
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert perf_diff.load_reports(tmp_path / "absent") == {}
+
+
+class TestMain:
+    def test_warns_on_regression_but_exits_zero(self, tmp_path, capsys):
+        write_report(tmp_path / "prev", "EB2", 2.0)
+        write_report(tmp_path / "curr", "EB2", 6.0)
+        code = perf_diff.main([str(tmp_path / "prev"), str(tmp_path / "curr")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "::warning title=Perf regression in EB2::" in out
+        assert "3.00x > 1.50x" in out
+
+    def test_fail_on_regression_flag(self, tmp_path):
+        write_report(tmp_path / "prev", "EB2", 2.0)
+        write_report(tmp_path / "curr", "EB2", 6.0)
+        code = perf_diff.main(
+            [
+                str(tmp_path / "prev"),
+                str(tmp_path / "curr"),
+                "--fail-on-regression",
+            ]
+        )
+        assert code == 1
+
+    def test_no_previous_reports_is_a_noop(self, tmp_path, capsys):
+        write_report(tmp_path / "curr", "EB2", 6.0)
+        code = perf_diff.main([str(tmp_path / "prev"), str(tmp_path / "curr")])
+        assert code == 0
+        assert "nothing to diff" in capsys.readouterr().out
+
+    def test_clean_run_reports_no_regressions(self, tmp_path, capsys):
+        write_report(tmp_path / "prev", "EB2", 2.0)
+        write_report(tmp_path / "curr", "EB2", 2.1)
+        code = perf_diff.main([str(tmp_path / "prev"), str(tmp_path / "curr")])
+        assert code == 0
+        assert "no elapsed_seconds regressions" in capsys.readouterr().out

@@ -1,11 +1,15 @@
-"""Tests for repro.engine.population."""
+"""Tests for repro.engine.population (per-agent and count-native)."""
+
+import hashlib
+import subprocess
+import sys
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import ConfigurationError, PopulationConfig
+from repro.engine import ConfigurationError, CountConfig, PopulationConfig, is_count_native
 
 
 class TestConstruction:
@@ -93,6 +97,156 @@ class TestDerivedQuantities:
         text = PopulationConfig.from_counts([3, 2], name="demo").describe()
         assert "demo" in text
         assert "n=5" in text
+
+
+class TestFromCountsDeterminism:
+    """Same seed → same shuffled opinions, in-process and cross-process.
+
+    The digest is computed at runtime rather than pinned: numpy only
+    guarantees stream stability within a numpy version (NEP 19), and the
+    property ``replicate_parallel`` needs is in-process == cross-process
+    for the *same* environment, which is exactly what is asserted.
+    """
+
+    @staticmethod
+    def _digest(config: PopulationConfig) -> str:
+        return hashlib.sha256(
+            config.opinions.astype("<i8").tobytes()
+        ).hexdigest()
+
+    def test_repeated_builds_identical(self):
+        a = PopulationConfig.from_counts([30, 20, 10], rng=123)
+        b = PopulationConfig.from_counts([30, 20, 10], rng=123)
+        assert self._digest(a) == self._digest(b)
+        assert a == b
+
+    def test_cross_process_digest(self):
+        import os
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src_dir, env.get("PYTHONPATH")])
+        )
+        script = (
+            "import hashlib\n"
+            "from repro.engine import PopulationConfig\n"
+            "c = PopulationConfig.from_counts([30, 20, 10], rng=123)\n"
+            "print(hashlib.sha256(c.opinions.astype('<i8').tobytes())"
+            ".hexdigest())\n"
+        )
+        digest = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        ).stdout.strip()
+        here = PopulationConfig.from_counts([30, 20, 10], rng=123)
+        assert digest == self._digest(here)
+
+    def test_different_seeds_differ(self):
+        a = PopulationConfig.from_counts([30, 20, 10], rng=123)
+        b = PopulationConfig.from_counts([30, 20, 10], rng=124)
+        assert self._digest(a) != self._digest(b)
+
+
+class TestCountConfig:
+    def test_basic_construction(self):
+        config = CountConfig.from_counts([5, 3, 2], name="demo")
+        assert config.n == 10
+        assert config.k == 3
+        assert list(config.counts()) == [5, 3, 2]
+        assert is_count_native(config)
+        assert not is_count_native(PopulationConfig.from_counts([5, 3, 2]))
+
+    def test_derived_quantities_match_materialized(self):
+        counts = [100, 60, 10, 5]
+        native = CountConfig.from_counts(counts)
+        dense = PopulationConfig.from_counts(counts, rng=0)
+        assert native.x_max == dense.x_max
+        assert native.bias == dense.bias
+        assert native.plurality_opinion == dense.plurality_opinion
+        assert native.has_unique_plurality == dense.has_unique_plurality
+        assert native.num_present_opinions == dense.num_present_opinions
+        assert list(native.significant_opinions(4.0)) == list(
+            dense.significant_opinions(4.0)
+        )
+
+    def test_validation_mirrors_from_counts(self):
+        for bad in ([], [3, -1], [0, 0]):
+            with pytest.raises(ConfigurationError):
+                CountConfig.from_counts(bad)
+
+    def test_opinions_access_raises_with_guidance(self):
+        config = CountConfig.from_counts([4, 2], name="native")
+        with pytest.raises(ConfigurationError, match="materialize"):
+            config.opinions
+
+    def test_materialize_roundtrip(self):
+        native = CountConfig.from_counts([7, 4, 4], name="rt")
+        dense = native.materialize(rng=3)
+        assert isinstance(dense, PopulationConfig)
+        assert dense.name == "rt"
+        assert list(dense.counts()) == [7, 4, 4]
+
+    def test_never_materializes_length_n_arrays(self):
+        """Acceptance criterion: O(k) memory at n = 10^10.
+
+        Building the config, every derived quantity, and describe() must
+        work without ever allocating an array of length n — anything
+        O(n) at this size would need ~80 GB and crash outright, but we
+        also assert no internal array outgrows k.
+        """
+        n = 10**10
+        config = CountConfig.from_counts([n - 3, 1, 2], name="tenbillion")
+        assert config.n == n
+        assert config.bias == n - 5
+        assert config.plurality_opinion == 1
+        assert config.x_max == n - 3
+        assert config.describe()
+        arrays = [
+            value
+            for value in vars(config).values()
+            if isinstance(value, np.ndarray)
+        ]
+        assert arrays and all(arr.size <= config.k for arr in arrays)
+
+    def test_counts_returns_defensive_copy(self):
+        config = CountConfig.from_counts([5, 5])
+        config.counts()[0] = 99
+        assert list(config.counts()) == [5, 5]
+
+    def test_does_not_alias_caller_buffer(self):
+        buffer = np.array([60, 40], dtype=np.int64)
+        config = CountConfig.from_counts(buffer)
+        buffer[0] = 0  # caller reuses its buffer after construction
+        assert config.n == 100
+        assert list(config.counts()) == [60, 40]
+
+    def test_stored_support_is_read_only(self):
+        config = CountConfig.from_counts([60, 40])
+        with pytest.raises(ValueError, match="read-only"):
+            config.support[0] = 0
+
+    def test_value_equality_and_hash(self):
+        a = CountConfig.from_counts([60, 40], name="a")
+        b = CountConfig.from_counts([60, 40], name="b")
+        c = CountConfig.from_counts([60, 41])
+        assert a == b and hash(a) == hash(b)  # name excluded, like before
+        assert a != c
+        assert a != PopulationConfig.from_counts([60, 40])
+        assert len({a, b, c}) == 2
+
+    def test_population_config_equality_and_hash(self):
+        a = PopulationConfig.from_counts([5, 3], rng=1)
+        b = PopulationConfig.from_counts([5, 3], rng=1)
+        c = PopulationConfig.from_counts([5, 3], rng=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
 
 
 @settings(max_examples=50, deadline=None)

@@ -77,12 +77,36 @@ class TestRegistry:
         assert report.passed
         assert len(report.rows) >= 4
 
+    def test_backend_unsupported_surfaces_as_skip(self):
+        """EB3 on the agents backend can't run: skip with reason, no raise."""
+        report = experiments.run("EB3", scale="quick", backend="agents")
+        assert report.skipped
+        assert report.passed  # a skip is not a failure
+        assert "count" in report.notes
+        assert "SKIPPED" in report.render()
+
+    def test_forced_numpy_sampler_skips_past_its_limit(self):
+        """EB3 reaches n >= 1e9, so sampler=numpy skips policy-aware."""
+        report = experiments.run("EB3", scale="quick", sampler="numpy")
+        assert report.skipped
+        assert "sampler='splitting'" in report.notes
+
+    def test_sampler_override_rejected_where_unsupported(self):
+        with pytest.raises(ValueError, match="sampler"):
+            experiments.run("E13", scale="quick", sampler="splitting")
+
 
 class TestCli:
     def test_list(self, capsys):
         assert cli_main(["list"]) == 0
         out = capsys.readouterr().out
         assert "E1" in out and "E15" in out
+
+    def test_samplers_listing(self, capsys):
+        assert cli_main(["samplers"]) == 0
+        out = capsys.readouterr().out
+        assert "splitting" in out and "numpy" in out and "auto" in out
+        assert "any n" in out
 
     def test_run_unknown(self, capsys):
         assert cli_main(["run", "E99"]) == 2
@@ -92,3 +116,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "E13" in out
         assert code in (0, 1)
+
+    def test_sampler_flag_rejected_for_non_sampler_experiments(self, capsys):
+        assert cli_main(["run", "E13", "--sampler", "splitting"]) == 2
+        assert "--sampler is not supported" in capsys.readouterr().err
