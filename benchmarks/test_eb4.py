@@ -1,0 +1,17 @@
+"""Benchmark EB4: the core tournament algorithm on the count backend.
+
+Runs SimpleAlgorithm through the phase-quotiented count model
+(``repro.core.quotient``) on count-native populations: full convergence
+at n = 10^5 and 10^6, plus a fixed parallel-time slice at n = 10^9 with
+the ``"splitting"`` sampler forced onto every draw — the regime beyond
+numpy's multivariate-hypergeometric cap that only the custom
+color-splitting sampler reaches.  The machine-readable timings land in
+``benchmarks/reports/EB4.json`` so the CI ``perf-trajectory`` job tracks
+the core algorithms' count path from this report onward; see
+``src/repro/experiments/scaling.py``.
+"""
+
+
+def test_eb4(run_experiment):
+    report = run_experiment("EB4")
+    assert report.stats["seconds[n=1e9,splitting,budget(25pt)]"] < 600.0

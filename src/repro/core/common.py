@@ -267,6 +267,23 @@ class ImprovedParams(UnorderedParams):
         return base + pruning
 
 
+#: Cumulative distribution of the uniform clock/tracker/player re-roll a
+#: collector performs when it gives its tokens away (Algorithm 3).  Both
+#: the agent path (`SimpleAlgorithm._release_agents`) and the count-space
+#: quotient model (`repro.core.quotient`) map one uniform variate through
+#: this exact array with ``searchsorted(..., side="right")`` — sharing the
+#: array (and the draw order: one uniform per merging pair, in batch
+#: order) is what lets the count backend's exact mode replay the agent
+#: backend bit-for-bit through the randomized initialization.
+ROLE_REROLL_CUM = np.cumsum(np.full(3, 1.0 / 3.0))
+ROLE_REROLL_CUM[-1] = 1.0
+
+
+def reroll_roles(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Draw ``size`` uniform role indices (0=clock, 1=tracker, 2=player)."""
+    return np.searchsorted(ROLE_REROLL_CUM, rng.random(size), side="right")
+
+
 def role_counts(role: np.ndarray) -> Dict[str, int]:
     """Histogram of roles, keyed by role name."""
     return {

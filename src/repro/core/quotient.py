@@ -1,0 +1,724 @@
+"""Phase-quotiented count model for the tournament algorithms.
+
+This module resolves the ROADMAP open item "count models for the core
+tournament algorithms": :class:`SimpleQuotientModel` renders
+:class:`~repro.core.simple.SimpleAlgorithm` as a finite (lazily
+materialized) pairwise transition system over *quotient states*, so the
+count backend can run it — batched O(|occupied states|²) matching mode at
+n = 10⁸ .. 10¹⁰ (benchmark EB4), and a sequential exact mode that replays
+the agent backend bit-for-bit.
+
+The quotient
+============
+
+The raw per-agent state is per-run unbounded: ``phase`` is an absolute
+counter that grows across tournaments, and ``concl_done`` / ``tcnt_done``
+/ ``reset_done`` / ``bwin_tag`` record absolute phases.  But inspection of
+the transition rules (``core/simple.py``) shows they only ever read
+
+* the *relative* phase ``pm = phase mod 10`` within the enclosing
+  tournament window (setup / cancellation / lineup / match / resolve /
+  verdict predicates),
+* phase *equality* of the two participants and, for the phase broadcast,
+  which of two nearby phases is larger,
+* the ``*_done`` bookkeeping **relative to the current window** ("did this
+  action already fire in this window?"),
+* the verdict tag's **age in windows** ("is this a challenger-win of the
+  previous window?", ``bwin_tag == key − 10``), and
+* one absolute predicate: "has this collector entered the final
+  tournament window?" (``phase ≥ 10·(k−1)``, the crowning rule).
+
+Accordingly the quotient maps per-agent state to a finite tuple:
+
+* ``phase ↦ (pm, w, t)`` with ``pm = phase mod 10``, window position
+  ``w = (phase div 10) mod 4``, and the *saturated* tournament counter
+  ``t = min(phase div 10, k − 1)`` — ``t`` exists solely to decide the
+  crowning predicate exactly (and saturates because the rules never
+  distinguish windows beyond the final one);
+* ``concl_done / tcnt_done / reset_done ↦`` one boolean each: "equal to
+  the current window's key";
+* ``bwin_tag ↦`` its age in windows relative to the holder,
+  ``{NONE, −1, 0, 1, 2, STALE}`` — ``−1`` is a tag from one window ahead
+  of a lagging holder, exact ages up to 2 are needed because a tag is
+  *applied* at age exactly 1 and may still be handed one window down, and
+  ages ≥ 3 collapse to a single ``STALE`` value (see below);
+* initializing agents (``phase = −1``) keep only their live fields
+  (collector: opinion/tokens/has-initiated; clock: init counter).  An
+  initializing agent provably never carries a verdict tag: tags only
+  reach an agent through an interaction with a *started* partner, and any
+  such interaction simultaneously makes the agent adopt the partner's
+  phase.
+
+Exactness (the lumping argument)
+================================
+
+Call a configuration *in band* when the started agents' windows span at
+most two consecutive tournament windows.  In band, the quotient is a
+lumping — the projected transition depends only on the two projected
+states:
+
+* phase equality and the broadcast order are decided by ``(w, pm)`` alone
+  (two in-band phases differ by less than 2 windows, and windows are kept
+  mod 4, so the signed window difference in {−1, 0, +1, +2} is
+  recoverable);
+* every windowed predicate reads ``pm`` and the relative flags only;
+* tag ages compare exactly while ≤ 2, and a ``STALE`` tag can never again
+  become applicable: ages only grow while a tag stays put (windows only
+  advance), and a handover can lower the *holder-relative* age by at most
+  the window gap (≤ 1 in band), so an age ≥ 3 tag is pinned at ≥ 2
+  forever — it can neither be applied (needs age exactly 1) nor out-rank
+  a younger tag, and collapsing all such tags to one value changes no
+  observable outcome;
+* the crowning predicate is exactly ``t = k − 1``.
+
+Transitions are not re-implemented: a pair of quotient states is *lifted*
+to concrete agents with representative absolute phases (base window 8,
+the partner placed at the recovered signed offset), the production
+``SimpleAlgorithm.interact`` runs on the pair, and the results are
+projected back.  The projection section is the same function used to
+project real agent states (``project``), so the derived table is
+bit-faithful to the agent path by construction.  The lift injects the
+saturated ``t`` through ``SimpleState.final_override`` because lifted
+absolute phases are representatives, not true phases.
+
+Out-of-band trajectories — an agent lagging ≥ 2 full tournament windows
+behind, an initialization straggler surviving ≥ 4 windows (mod-4 windows
+alias), or a straggler still initializing when the final winner epidemic
+starts (the quotient keeps no winner bit on initializing agents) — are
+*not* represented faithfully.  Each requires an agent to dodge every
+interaction for Θ(log n) parallel time, an event of probability
+``n · 2^{−Ω(Ψ n)}``; the model's ``failure`` hook watches the
+occupied-window span and reports ``"phase_window_overflow"`` at the next
+check, so the dominant failure class is *loud*, never a silently wrong
+trajectory — in the spirit of the paper's titular trade-off.
+
+Randomness
+==========
+
+With default parameters the agent path draws randomness at exactly one
+rule: the clock/tracker/player re-roll of a collector that merged its
+tokens away during initialization.  Those pairs become three-outcome
+:class:`~repro.engine.backends.model.RandomEntry` transitions
+(probability ⅓ each); both backends consume one uniform per merging pair
+in batch order through the shared :data:`~repro.core.common.ROLE_REROLL_CUM`
+thresholds, which keeps the two rng streams identical and makes the exact
+mode's replay bit-for-bit (``tests/test_quotient_counts.py``).  The
+Appendix C parameterizations (``counting_agents``, fractional
+``init_decrement``) flip extra coins per interaction and are not
+quotiented — ``SimpleAlgorithm.count_model`` returns None for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.backends.model import DynamicCountModel, RandomEntry
+from ..engine.errors import (
+    BackendUnsupported,
+    ConfigurationError,
+    InvariantViolation,
+)
+from ..engine.population import BasePopulation, PopulationConfig, is_count_native
+from .common import (
+    CLOCK,
+    COLLECTOR,
+    PHASES_PER_TOURNAMENT,
+    PLAYER,
+    POP_U,
+    TRACKER,
+)
+
+#: Windows are tracked modulo this; 4 positions recover signed in-band
+#: window offsets in {−1, 0, +1} (plus the +2 transient the overflow
+#: guard is about to flag) unambiguously.
+WINDOW_MOD = 4
+
+#: Verdict-tag age encoding (ages are in windows, relative to the holder).
+TAG_NONE = -9
+TAG_STALE = 9
+#: Exact tag ages are kept in ``−1 .. MAX_EXACT_AGE``; beyond that a tag
+#: can never be applied again (see the module docstring) and collapses to
+#: ``TAG_STALE``.
+MAX_EXACT_AGE = 2
+
+#: Base window of lifted representatives: high enough that every lifted
+#: phase, window key, and stale-tag representative stays positive.
+LIFT_BASE = 8
+#: Holder-relative age used to lift ``TAG_STALE`` tags; ± the in-band
+#: window offset this stays ≥ 3, so staleness survives the round trip.
+LIFT_STALE_AGE = 6
+
+# Tuple kind markers (first element of every quotient state tuple).
+INIT_COLLECTOR = "ic"
+INIT_CLOCK = "icl"
+INIT_TRACKER = "itr"
+INIT_PLAYER = "ipl"
+Q_COLLECTOR = "co"
+Q_CLOCK = "cl"
+Q_TRACKER = "tr"
+Q_PLAYER = "pl"
+
+_STARTED_KINDS = (Q_COLLECTOR, Q_CLOCK, Q_TRACKER, Q_PLAYER)
+_ROLE_OF_KIND = {
+    INIT_COLLECTOR: COLLECTOR,
+    INIT_CLOCK: CLOCK,
+    INIT_TRACKER: TRACKER,
+    INIT_PLAYER: PLAYER,
+    Q_COLLECTOR: COLLECTOR,
+    Q_CLOCK: CLOCK,
+    Q_TRACKER: TRACKER,
+    Q_PLAYER: PLAYER,
+}
+
+
+class _ForcedUniformRng:
+    """An rng whose ``random`` returns a fixed value: forces one re-roll arm."""
+
+    def __init__(self, value: float):
+        self._value = float(value)
+
+    def random(self, size=None):
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+    def __getattr__(self, name):  # pragma: no cover - defensive
+        raise AssertionError(
+            f"quotient derivation used unexpected rng method {name!r}"
+        )
+
+
+class _GuardRng:
+    """An rng that refuses every call: asserts a transition is rng-free."""
+
+    def __getattr__(self, name):
+        raise AssertionError(
+            "a supposedly deterministic quotient pair consumed randomness "
+            f"(rng.{name}); the merge-pair predicate drifted from "
+            "SimpleAlgorithm._init_rules"
+        )
+
+
+class SimpleQuotientModel(DynamicCountModel):
+    """Lazily materialized phase-quotient table for SimpleAlgorithm.
+
+    See the module docstring for the construction.  States are interned
+    tuples; pair transitions are derived on demand by lifting the pair to
+    concrete agents and running the production ``interact`` on them, and
+    are memoized for the lifetime of the model.
+    """
+
+    def __init__(self, algorithm, config: BasePopulation):
+        super().__init__()
+        if config.n < 4:
+            raise ConfigurationError("SimpleAlgorithm needs n >= 4")
+        params = algorithm.params
+        if params.counting_agents or params.init_decrement < 1.0:
+            raise ConfigurationError(
+                "the phase quotient does not cover the Appendix C "
+                "parameterizations (counting_agents / fractional "
+                "init_decrement)"
+            )
+        self._algo = algorithm
+        self._n = int(config.n)
+        self._k = int(config.k)
+        self._psi = params.psi(self._n)
+        self._init_threshold = params.init_threshold(self._n)
+        self._token_cap = params.token_cap
+        self._max_level = params.max_level(self._n)
+        #: Intern the k initial states first so ids 0..k−1 are the
+        #: single-token collectors of opinions 1..k, in order.
+        self._initial_state_ids = np.array(
+            [
+                self.intern((INIT_COLLECTOR, opinion, 1, False))
+                for opinion in range(1, self._k + 1)
+            ],
+            dtype=np.int64,
+        )
+        #: Per-state metadata arrays (lazily extended; see _meta).
+        self._meta_cache: Dict[str, np.ndarray] = {}
+        self._meta_watermark = 0
+
+    # ------------------------------------------------------------------
+    # Projection π: concrete SimpleState → quotient tuples
+    # ------------------------------------------------------------------
+    def _tuple_of(self, s, a: int, t: int):
+        """Quotient tuple of agent ``a`` in (real or lifted) state ``s``.
+
+        ``t`` is the saturated tournament counter, supplied by the caller:
+        ``min(window, k−1)`` for real states, source-tracked through the
+        lift for derived transitions (lifted windows are representatives).
+        """
+        phase = int(s.phase[a])
+        role = int(s.role[a])
+        if phase < 0:
+            if role == COLLECTOR:
+                return (
+                    INIT_COLLECTOR,
+                    int(s.opinion[a]),
+                    int(s.tokens[a]),
+                    bool(s.has_initiated[a]),
+                )
+            if role == CLOCK:
+                return (INIT_CLOCK, int(s.count[a]))
+            if role == TRACKER:
+                return (INIT_TRACKER,)
+            if role == PLAYER:
+                return (INIT_PLAYER,)
+            raise ConfigurationError(
+                "counting agents are outside the phase quotient"
+            )
+        window, pm = divmod(phase, PHASES_PER_TOURNAMENT)
+        w = window % WINDOW_MOD
+        key = window * PHASES_PER_TOURNAMENT
+        bwin = int(s.bwin_tag[a])
+        if bwin < 0:
+            tag = TAG_NONE
+        else:
+            age = window - bwin // PHASES_PER_TOURNAMENT
+            if age > MAX_EXACT_AGE:
+                tag = TAG_STALE
+            else:
+                # Ages below −1 cannot occur in band (a tag is at most one
+                # window ahead of any holder); clamp for the abstract
+                # pairs the overflow guard is about to reject anyway.
+                tag = max(age, -1)
+        if role == COLLECTOR:
+            return (
+                Q_COLLECTOR,
+                pm,
+                w,
+                t,
+                int(s.opinion[a]),
+                int(s.tokens[a]),
+                bool(s.defender[a]),
+                bool(s.challenger[a]),
+                int(s.ell[a]),
+                bool(s.concl_done[a] == key),
+                bool(s.winner[a]),
+                tag,
+            )
+        if role == CLOCK:
+            return (Q_CLOCK, pm, w, t, int(s.count[a]), tag)
+        if role == TRACKER:
+            return (
+                Q_TRACKER,
+                pm,
+                w,
+                t,
+                int(s.tcnt[a]),
+                bool(s.tcnt_done[a] == key),
+                tag,
+            )
+        if role == PLAYER:
+            return (
+                Q_PLAYER,
+                pm,
+                w,
+                t,
+                int(s.popinion[a]),
+                int(s.msign[a]),
+                int(s.mexpo[a]),
+                int(s.mout[a]),
+                bool(s.reset_done[a] == key),
+                tag,
+            )
+        raise ConfigurationError(f"unknown role {role}")
+
+    def project(self, agent_state) -> np.ndarray:
+        """Per-agent quotient ids of a real agent-array state."""
+        s = agent_state
+        n = s.phase.shape[0]
+        windows = np.maximum(s.phase, 0) // PHASES_PER_TOURNAMENT
+        t_sat = np.minimum(windows, self._k - 1)
+        return np.fromiter(
+            (
+                self.intern(self._tuple_of(s, a, int(t_sat[a])))
+                for a in range(n)
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+
+    # ------------------------------------------------------------------
+    # Section: quotient tuples → concrete SimpleState representatives
+    # ------------------------------------------------------------------
+    def _blank_state(self, size: int):
+        from .simple import SimpleState
+
+        return SimpleState(
+            role=np.zeros(size, dtype=np.int8),
+            phase=np.full(size, -1, dtype=np.int64),
+            winner=np.zeros(size, dtype=bool),
+            opinion=np.zeros(size, dtype=np.int64),
+            tokens=np.zeros(size, dtype=np.int64),
+            defender=np.zeros(size, dtype=bool),
+            challenger=np.zeros(size, dtype=bool),
+            ell=np.zeros(size, dtype=np.int64),
+            concl_done=np.full(size, -1, dtype=np.int64),
+            bwin_tag=np.full(size, -1, dtype=np.int64),
+            count=np.zeros(size, dtype=np.int64),
+            tcnt=np.zeros(size, dtype=np.int64),
+            tcnt_done=np.full(size, -1, dtype=np.int64),
+            popinion=np.full(size, POP_U, dtype=np.int8),
+            msign=np.zeros(size, dtype=np.int8),
+            mexpo=np.zeros(size, dtype=np.int64),
+            mout=np.zeros(size, dtype=np.int8),
+            reset_done=np.full(size, -1, dtype=np.int64),
+            has_initiated=np.zeros(size, dtype=bool),
+            met_same=np.zeros(size, dtype=bool),
+            aftermath_live=True,
+            origin=0,
+            n=self._n,
+            k=self._k,
+            psi=self._psi,
+            init_threshold=self._init_threshold,
+            token_cap=self._token_cap,
+            max_level=self._max_level,
+        )
+
+    @staticmethod
+    def _signed_offset(w_a: int, w_b: int) -> int:
+        """Signed in-band window offset ``a − b`` recovered from mod-4."""
+        delta = (w_a - w_b) % WINDOW_MOD
+        return delta - WINDOW_MOD if delta == WINDOW_MOD - 1 else delta
+
+    def _lift_agent(self, s, a: int, state, window: Optional[int]) -> int:
+        """Write quotient tuple ``state`` into slot ``a``; returns t or −1.
+
+        ``window`` is the representative absolute window for started
+        tuples (None for initializing ones).
+        """
+        kind = state[0]
+        s.role[a] = _ROLE_OF_KIND[kind]
+        if kind == INIT_COLLECTOR:
+            _, opinion, tokens, has_init = state
+            s.opinion[a] = opinion
+            s.tokens[a] = tokens
+            s.has_initiated[a] = has_init
+            # During initialization the defender bit is exactly "has
+            # initiated and holds opinion 1" (the unordered variant, which
+            # breaks this, exports no quotient model).
+            s.defender[a] = bool(has_init) and opinion == 1
+            return -1
+        if kind == INIT_CLOCK:
+            s.count[a] = state[1]
+            return -1
+        if kind in (INIT_TRACKER, INIT_PLAYER):
+            if kind == INIT_TRACKER:
+                s.tcnt[a] = 1
+            return -1
+        pm = state[1]
+        t = state[3]
+        tag = state[-1]
+        key = window * PHASES_PER_TOURNAMENT
+        s.phase[a] = key + pm
+        s.has_initiated[a] = True
+        if tag == TAG_NONE:
+            s.bwin_tag[a] = -1
+        elif tag == TAG_STALE:
+            s.bwin_tag[a] = key - LIFT_STALE_AGE * PHASES_PER_TOURNAMENT
+        else:
+            s.bwin_tag[a] = key - tag * PHASES_PER_TOURNAMENT
+        if kind == Q_COLLECTOR:
+            _, _, _, _, opinion, tokens, dfn, chal, ell, concl, win, _ = state
+            s.opinion[a] = opinion
+            s.tokens[a] = tokens
+            s.defender[a] = dfn
+            s.challenger[a] = chal
+            s.ell[a] = ell
+            s.concl_done[a] = key if concl else key - PHASES_PER_TOURNAMENT
+            s.winner[a] = win
+        elif kind == Q_CLOCK:
+            s.count[a] = state[4]
+        elif kind == Q_TRACKER:
+            s.tcnt[a] = state[4]
+            s.tcnt_done[a] = (
+                key if state[5] else key - PHASES_PER_TOURNAMENT
+            )
+        else:  # Q_PLAYER
+            _, _, _, _, pop, msign, mexpo, mout, reset, _ = state
+            s.popinion[a] = pop
+            s.msign[a] = msign
+            s.mexpo[a] = mexpo
+            s.mout[a] = mout
+            s.reset_done[a] = key if reset else key - PHASES_PER_TOURNAMENT
+        return t
+
+    def _lift_pairs(self, pairs: Sequence[Tuple[int, int]]):
+        """Concrete representatives for a batch of state-id pairs.
+
+        Returns ``(state, u, v, pre_phase, pre_t)``: slot ``m`` holds the
+        initiator of pair ``m`` and slot ``M + m`` its responder.
+        """
+        m_pairs = len(pairs)
+        size = 2 * m_pairs
+        s = self._blank_state(size)
+        pre_t = np.full(size, -1, dtype=np.int64)
+        final = np.zeros(size, dtype=bool)
+        for m, (i, j) in enumerate(pairs):
+            a, b = m, m_pairs + m
+            sa, sb = self.labels[i], self.labels[j]
+            started_a = sa[0] in _STARTED_KINDS
+            started_b = sb[0] in _STARTED_KINDS
+            win_a = win_b = None
+            if started_a and started_b:
+                win_b = LIFT_BASE + sb[2]
+                win_a = win_b + self._signed_offset(sa[2], sb[2])
+            elif started_a:
+                win_a = LIFT_BASE + sa[2]
+            elif started_b:
+                win_b = LIFT_BASE + sb[2]
+            pre_t[a] = self._lift_agent(s, a, sa, win_a)
+            pre_t[b] = self._lift_agent(s, b, sb, win_b)
+            final[a] = pre_t[a] >= self._k - 1
+            final[b] = pre_t[b] >= self._k - 1
+        s.final_override = final
+        u = np.arange(m_pairs, dtype=np.int64)
+        v = np.arange(m_pairs, dtype=np.int64) + m_pairs
+        return s, u, v, s.phase.copy(), pre_t
+
+    # ------------------------------------------------------------------
+    # Derivation: lift → interact → project back
+    # ------------------------------------------------------------------
+    def _post_t(self, s, a: int, b: int, pre_phase, pre_t) -> int:
+        """Saturated tournament counter of slot ``a`` after the interaction.
+
+        Lifted windows are representatives, so ``t`` is tracked through
+        the phase flow instead of read off the absolute value: an agent
+        that adopted its partner's phase inherits the partner's counter,
+        anything else advanced by the number of windows its own phase
+        moved (clock ticks).
+        """
+        p_post = int(s.phase[a])
+        if p_post < 0:
+            return -1
+        cap = self._k - 1
+        p_a, p_b = int(pre_phase[a]), int(pre_phase[b])
+        if p_a < 0:
+            if p_b >= 0 and p_post == p_b:
+                return int(pre_t[b])
+            # A clock that finished initialization enters window 0.
+            return 0
+        if p_b > p_a and p_post == p_b:
+            return min(cap, int(pre_t[b]))
+        moved = p_post // PHASES_PER_TOURNAMENT - p_a // PHASES_PER_TOURNAMENT
+        return min(cap, int(pre_t[a]) + moved)
+
+    def _simulate_pairs(self, pairs: Sequence[Tuple[int, int]], rng):
+        """Run the production transition on lifted pairs; project back."""
+        s, u, v, pre_phase, pre_t = self._lift_pairs(pairs)
+        self._algo.interact(s, u, v, rng)
+        outcomes = []
+        for m in range(len(pairs)):
+            a, b = int(u[m]), int(v[m])
+            out_a = self.intern(
+                self._tuple_of(s, a, self._post_t(s, a, b, pre_phase, pre_t))
+            )
+            out_b = self.intern(
+                self._tuple_of(s, b, self._post_t(s, b, a, pre_phase, pre_t))
+            )
+            outcomes.append((out_a, out_b))
+        return outcomes
+
+    def _is_reroll_pair(self, i: int, j: int) -> bool:
+        """Whether (i, j) is a token merge: the one randomized transition.
+
+        Mirrors the ``merge`` predicate of ``SimpleAlgorithm._init_rules``
+        (both initializing collectors of one opinion whose tokens fit the
+        cap); the guard rng turns any drift into a loud assertion.
+        """
+        sa, sb = self.labels[i], self.labels[j]
+        return (
+            sa[0] == INIT_COLLECTOR
+            and sb[0] == INIT_COLLECTOR
+            and sa[1] == sb[1]
+            and sa[2] + sb[2] <= self._token_cap
+        )
+
+    def _derive_pairs(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        det = [(i, j) for i, j in pairs if not self._is_reroll_pair(i, j)]
+        rand = [(i, j) for i, j in pairs if self._is_reroll_pair(i, j)]
+        if det:
+            for (i, j), (out_i, out_j) in zip(
+                det, self._simulate_pairs(det, _GuardRng())
+            ):
+                self._record_det(i, j, out_i, out_j)
+        if rand:
+            # One pass per re-roll arm: uniforms below ⅓ make the released
+            # collector a clock, the middle third a tracker, the top third
+            # a player (the ROLE_REROLL_CUM thresholds).
+            arms = [
+                self._simulate_pairs(rand, _ForcedUniformRng(value))
+                for value in (1.0 / 6.0, 0.5, 5.0 / 6.0)
+            ]
+            for m, (i, j) in enumerate(rand):
+                self._record_random(
+                    i,
+                    j,
+                    RandomEntry(
+                        probs=np.full(3, 1.0 / 3.0),
+                        out_u=[arms[arm][m][0] for arm in range(3)],
+                        out_v=[arms[arm][m][1] for arm in range(3)],
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Initial configuration
+    # ------------------------------------------------------------------
+    def initial_ids(self, config: PopulationConfig) -> np.ndarray:
+        if is_count_native(config):
+            raise BackendUnsupported(
+                f"count-native config {config.name!r} has no per-agent "
+                f"layout to encode; use initial_counts() (batched mode) "
+                f"or materialize() the config first"
+            )
+        lut = np.full(self._k + 1, -1, dtype=np.int64)
+        lut[1:] = self._initial_state_ids
+        return lut[np.asarray(config.opinions, dtype=np.int64)]
+
+    def initial_counts(self, config: BasePopulation) -> np.ndarray:
+        counts = np.zeros(self.num_states, dtype=np.int64)
+        counts[self._initial_state_ids] = config.counts()
+        return counts
+
+    # ------------------------------------------------------------------
+    # Per-state metadata for the count-level hooks
+    # ------------------------------------------------------------------
+    def _meta(self) -> Dict[str, np.ndarray]:
+        total = self.num_states
+        if self._meta_watermark < total:
+            fields = {
+                "role": np.zeros(total, dtype=np.int8),
+                "started": np.zeros(total, dtype=bool),
+                "w": np.zeros(total, dtype=np.int64),
+                "pm": np.zeros(total, dtype=np.int64),
+                "winner": np.zeros(total, dtype=bool),
+                "opinion": np.zeros(total, dtype=np.int64),
+                "tokens": np.zeros(total, dtype=np.int64),
+                "ell": np.zeros(total, dtype=np.int64),
+            }
+            for name, arr in fields.items():
+                old = self._meta_cache.get(name)
+                if old is not None:
+                    arr[: old.shape[0]] = old
+            for sid in range(self._meta_watermark, total):
+                state = self.labels[sid]
+                kind = state[0]
+                fields["role"][sid] = _ROLE_OF_KIND[kind]
+                if kind == INIT_COLLECTOR:
+                    fields["opinion"][sid] = state[1]
+                    fields["tokens"][sid] = state[2]
+                elif kind in _STARTED_KINDS:
+                    fields["started"][sid] = True
+                    fields["pm"][sid] = state[1]
+                    fields["w"][sid] = state[2]
+                    if kind == Q_COLLECTOR:
+                        fields["opinion"][sid] = state[4]
+                        fields["tokens"][sid] = state[5]
+                        fields["ell"][sid] = state[8]
+                        fields["winner"][sid] = state[10]
+            self._meta_cache = fields
+            self._meta_watermark = total
+        return self._meta_cache
+
+    # ------------------------------------------------------------------
+    # Count-level protocol hooks
+    # ------------------------------------------------------------------
+    def converged(self, counts: np.ndarray) -> bool:
+        meta = self._meta()
+        occupied = np.flatnonzero(counts)
+        return occupied.size > 0 and bool(meta["winner"][occupied].all())
+
+    def output_opinion(self, counts: np.ndarray) -> Optional[int]:
+        meta = self._meta()
+        opinions = np.unique(meta["opinion"][np.flatnonzero(counts)])
+        if opinions.size == 1 and opinions[0] != 0:
+            return int(opinions[0])
+        return None
+
+    def failure(self, counts: np.ndarray) -> Optional[str]:
+        # Derivation may have interned states past the vector's length;
+        # the masks below span the full materialized space.
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        occupied = np.flatnonzero(counts)
+        clocks = occupied[
+            (meta["role"][occupied] == CLOCK) & meta["started"][occupied]
+        ]
+        if clocks.size:
+            spread = self._clock_phase_spread(
+                meta["w"][clocks], meta["pm"][clocks]
+            )
+            if spread > 2:
+                return "clock_desync"
+        started = occupied[meta["started"][occupied]]
+        windows = np.unique(meta["w"][started])
+        if windows.size >= WINDOW_MOD - 1:
+            # ≥ 3 distinct mod-4 windows: the band assumption failed and
+            # quotient arithmetic is no longer faithful — fail loudly
+            # instead of silently diverging from the agent backend.
+            return "phase_window_overflow"
+        if windows.size == 2:
+            a, b = int(windows[0]), int(windows[1])
+            if (b - a) % WINDOW_MOD not in (1, WINDOW_MOD - 1):
+                # Two occupied windows with an empty window between them
+                # ({w, w+2}): the signed offset of such a pair aliases
+                # (−2 ≡ +2 mod 4), so this is out of band as well.
+                return "phase_window_overflow"
+        return None
+
+    @staticmethod
+    def _clock_phase_spread(ws: np.ndarray, pms: np.ndarray) -> int:
+        """Exact clock phase spread, mirroring SimpleAlgorithm.failure."""
+        windows = np.unique(ws)
+        if windows.size == 1:
+            return int(pms.max() - pms.min())
+        if windows.size != 2:
+            return PHASES_PER_TOURNAMENT  # ≥ 2 windows apart: over any bound
+        a, b = int(windows[0]), int(windows[1])
+        if (b - a) % WINDOW_MOD == 1:
+            hi = b
+        elif (a - b) % WINDOW_MOD == 1:
+            hi = a
+        else:
+            return PHASES_PER_TOURNAMENT
+        phases = pms + PHASES_PER_TOURNAMENT * (ws == hi)
+        return int(phases.max() - phases.min())
+
+    def progress(self, counts: np.ndarray) -> Dict[str, float]:
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        stats: Dict[str, float] = {}
+        for value, name in (
+            (COLLECTOR, "collector"),
+            (CLOCK, "clock"),
+            (TRACKER, "tracker"),
+            (PLAYER, "player"),
+        ):
+            stats[f"role_{name}"] = float(counts[meta["role"] == value].sum())
+        stats["winners"] = float(counts[meta["winner"]].sum())
+        stats["states_materialized"] = float(self.num_states)
+        stats["pairs_derived"] = float(self.derived_pairs)
+        return stats
+
+    def check_invariants(self, counts: np.ndarray) -> None:
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        if (counts < 0).any():
+            raise InvariantViolation("negative state count")
+        if not counts[meta["winner"]].any():
+            total = int((meta["tokens"] * counts).sum())
+            if total != self._n:
+                raise InvariantViolation(
+                    f"token sum {total} != n {self._n}"
+                )
+        occupied = np.flatnonzero(counts)
+        if (meta["tokens"][occupied] < 0).any() or (
+            meta["tokens"][occupied] > self._token_cap
+        ).any():
+            raise InvariantViolation("tokens escaped [0, cap]")
+        if (np.abs(meta["ell"][occupied]) > self._token_cap).any():
+            raise InvariantViolation("ell escaped [-cap, cap]")

@@ -18,7 +18,7 @@ pre-interaction state, so a batched application equals the sequential one
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
@@ -45,8 +45,12 @@ from .common import (
     TRACKER,
     VERDICT_PMS,
     SimpleParams,
+    reroll_roles,
     role_counts,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .quotient import SimpleQuotientModel
 
 
 @dataclass
@@ -103,6 +107,16 @@ class SimpleState:
     init_threshold: int
     token_cap: int
     max_level: int
+
+    #: Optional per-agent override of the "entered the post-final
+    #: tournament window" predicate the crowning rule reads (a plain class
+    #: attribute, not a dataclass field, so subclasses keep their field
+    #: order).  The agent path leaves it None and compares absolute phases
+    #: directly; the phase-quotiented count model
+    #: (:mod:`repro.core.quotient`) lifts quotient states to *relative*
+    #: absolute phases, where that comparison is meaningless, and injects
+    #: the saturated per-agent tournament counter here instead.
+    final_override = None
 
     def tournament(self) -> int:
         """Index of the most advanced tournament (−1 before tournaments)."""
@@ -251,9 +265,14 @@ class SimpleAlgorithm(Protocol):
             if finished.size:
                 s.phase[finished] = 0
                 s.count[finished] = 0
+                if s.final_override is not None:
+                    s.final_override[finished] = s.k <= 1
 
         # Spread of phase >= 0 to agents still initializing.
-        for side, p_own, p_other, r_own in ((u, pu, pv, ru), (v, pv, pu, rv)):
+        for side, other, p_own, p_other, r_own in (
+            (u, v, pu, pv, ru),
+            (v, u, pv, pu, rv),
+        ):
             adopt = (p_own == -1) & (p_other >= 0)
             if adopt.any():
                 joiners = side[adopt]
@@ -264,6 +283,11 @@ class SimpleAlgorithm(Protocol):
                     )
                     self._release_agents(s, joiners[convert], rng)
                 s.phase[joiners] = p_other[adopt]
+                if s.final_override is not None:
+                    # A joiner's window is its partner's, so the crowning
+                    # predicate transfers with the phase (read later in
+                    # this same interaction by the aftermath rules).
+                    s.final_override[joiners] = s.final_override[other[adopt]]
                 clocks = joiners[s.role[joiners] == CLOCK]
                 s.count[clocks] = 0
 
@@ -301,12 +325,19 @@ class SimpleAlgorithm(Protocol):
             s.defender[first_timers[s.opinion[first_timers] == 1]] = True
 
     def _release_agents(self, s, agents: np.ndarray, rng) -> None:
-        """A collector gave its tokens away: re-roll into a non-collector role."""
+        """A collector gave its tokens away: re-roll into a non-collector role.
+
+        The re-roll consumes exactly one uniform per released agent, in
+        batch order, mapped through :data:`~repro.core.common.ROLE_REROLL_CUM`
+        — the same consumption pattern the count backend's exact mode uses
+        for the corresponding randomized table entries, so both backends
+        stay on one rng stream (see :mod:`repro.core.quotient`).
+        """
         s.tokens[agents] = 0
         s.opinion[agents] = 0
         s.defender[agents] = False
         s.challenger[agents] = False
-        draw = rng.integers(0, 3, size=agents.size)
+        draw = reroll_roles(rng, agents.size)
         clocks = agents[draw == 0]
         s.role[clocks] = CLOCK
         s.count[clocks] = 0
@@ -470,12 +501,16 @@ class SimpleAlgorithm(Protocol):
         # tournament window, so that its verdict of the last real
         # tournament has already been applied (self rules run first).
         final_start = s.origin + PHASES_PER_TOURNAMENT * (s.k - 1)
+        if s.final_override is not None:
+            past_final = s.final_override[bw]
+        else:
+            past_final = s.phase[bw] >= final_start
         crown = (
             (r_fw == TRACKER)
             & (s.tcnt[fw] == s.k + 1)
             & (r_bw == COLLECTOR)
             & s.defender[bw]
-            & (s.phase[bw] >= final_start)
+            & past_final
         )
         s.winner[bw[crown]] = True
         # Winner epidemic: losers adopt (collector, winner opinion, winner).
@@ -550,19 +585,31 @@ class SimpleAlgorithm(Protocol):
         """Suggested parallel-time budget for ``simulate``."""
         return self.params.default_max_time(config.n, config.k)
 
-    def count_model(self, config: PopulationConfig) -> None:
-        """The tournament algorithms export no transition table (yet).
+    def count_model(
+        self, config: PopulationConfig
+    ) -> Optional["SimpleQuotientModel"]:
+        """Export the phase-quotiented count model (ROADMAP item, resolved).
 
-        A :class:`~repro.engine.backends.model.CountModel` needs a finite
-        per-run state space with precomputable pairwise transitions.  The
-        tournament state is per-run unbounded and globally coupled: the
-        absolute ``phase`` counter grows without bound across tournaments
-        (and ``bwin_tag`` / ``tcnt_done`` / ``reset_done`` record absolute
-        phases), the initialization rules draw fresh roles from the rng,
-        and ``aftermath_live`` is population-global.  Quotienting phases
-        modulo one tournament would make the space finite — that is the
-        open item tracked in ROADMAP.md.  Until then the core algorithms
-        run on the agent-array backend only (inherited by the unordered
-        and improved variants).
+        The raw per-agent state is per-run unbounded — the absolute
+        ``phase`` counter grows across tournaments and ``bwin_tag`` /
+        ``tcnt_done`` / ``reset_done`` record absolute phases.  Quotienting
+        phases modulo one tournament window makes the space finite: the
+        transition rules only ever read ``phase − 10·t``, the ``*_done``
+        flags relative to the current window, and a saturated "reached the
+        final tournament" counter.  :class:`~repro.core.quotient.
+        SimpleQuotientModel` implements that quotient as a lazily
+        materialized transition table (see :mod:`repro.core.quotient` for
+        the construction and its exactness argument).
+
+        Returns None for the Appendix C parameterizations
+        (``counting_agents`` / fractional ``init_decrement``), whose extra
+        per-interaction coin flips are not expressed in the quotient —
+        those still run on the agent-array backend, as do the unordered
+        and improved variants (their leader-election state is not
+        quotiented; they override this method).
         """
-        return None
+        if self.params.counting_agents or self.params.init_decrement < 1.0:
+            return None
+        from .quotient import SimpleQuotientModel
+
+        return SimpleQuotientModel(self, config)

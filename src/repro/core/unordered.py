@@ -88,6 +88,19 @@ class UnorderedAlgorithm(SimpleAlgorithm):
     def __init__(self, params: Optional[UnorderedParams] = None):
         super().__init__(params or UnorderedParams())
 
+    def count_model(self, config: PopulationConfig) -> None:
+        """The unordered variant exports no transition table (yet).
+
+        The phase quotient of :mod:`repro.core.quotient` covers the
+        tournament machinery, but not the leader-election coin race and
+        the era-tagged challenger-selection epidemics this variant adds
+        (`le_*`, `cand_*`, `ann_*` record absolute phases of their era) —
+        quotienting those eras is the natural follow-on to the
+        SimpleAlgorithm model.  Until then the variant (and the improved
+        algorithm on top of it) runs on the agent-array backend only.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Initialization
     # ------------------------------------------------------------------

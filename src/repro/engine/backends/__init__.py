@@ -7,40 +7,45 @@ strategies behind one :class:`Backend` interface:
 ``"agents"`` — :class:`AgentArrayBackend` (the default)
     Per-agent numpy state arrays, every interaction applied through the
     protocol's vectorized ``interact``.  Works for *every* protocol and
-    scheduler, including the core tournament algorithms whose per-run
-    state space (absolute phase numbers, token counters, verdict tags) is
-    unbounded and therefore has no precomputable transition table.
-    Memory O(n), work O(1) per interaction: the right choice up to
-    n ≈ 10^6, for recorder-heavy trajectory studies, and for any protocol
-    without a count model.
+    scheduler.  Memory O(n), work O(1) per interaction: the right choice
+    up to n ≈ 10^6, for recorder-heavy trajectory studies, and for any
+    protocol without a count model (the unordered/improved tournament
+    variants).
 
 ``"counts"`` — :class:`CountBackend`
-    Drives the finite transition table a protocol exports through
-    ``Protocol.count_model(config)`` (a :class:`CountModel`).  With a
+    Drives the transition system a protocol exports through
+    ``Protocol.count_model(config)`` — either a *static*
+    :class:`CountModel` (dense precomputed tables; three-state majority,
+    USD, cancel/split, epidemics) or a lazily materialized
+    :class:`DynamicCountModel`, whose states are interned on first sight
+    and whose pair transitions are derived on demand.  The dynamic shape
+    is what lets **SimpleAlgorithm** run in count space: its
+    phase-quotiented model (:mod:`repro.core.quotient`) has a state space
+    far too large for dense (S, S) tables while any single run only
+    touches a sparse subset of pairs (benchmark EB4).  With a
     :class:`~repro.engine.scheduler.MatchingScheduler` the population is
     just a state-count vector and one batch of B interactions costs
-    O(|states|²) via multivariate-hypergeometric sampling — use this for
-    n ≥ 10^7 sweeps of the small-state protocols (three-state majority,
-    undecided-state dynamics, cancel/split majority, epidemics), where it
-    is orders of magnitude faster than the agent path (benchmarks
-    ``benchmarks/test_backend_scaling.py`` and
-    ``benchmarks/test_eb3.py``).  Every batched draw goes through a
-    :class:`~repro.engine.sampling.SamplerPolicy`: the default ``"auto"``
+    O(|occupied states|²): two multivariate-hypergeometric margin draws
+    plus one level-batched contingency table, every draw routed through a
+    :class:`~repro.engine.sampling.SamplerPolicy` — the default ``"auto"``
     uses numpy's generator where it applies (populations below 10^9) and
     the custom color-splitting :class:`~repro.engine.sampling.LargeNHypergeometric`
-    beyond, so there is **no population cap** — n = 10^9 .. 10^10 runs in
-    seconds.  At that scale pair it with a count-native
-    :class:`~repro.engine.population.CountConfig` so the config build is
-    O(k) too.  With a
+    beyond, so there is **no population cap** — n = 10^9 .. 10^10 runs at
+    count-vector cost (benchmarks EB3, EB4).  At that scale pair it with
+    a count-native :class:`~repro.engine.population.CountConfig` so the
+    config build is O(k) too.  With a
     :class:`~repro.engine.scheduler.SequentialScheduler` it runs an exact
     per-agent state-id mode that reproduces the agent backend's count
     trajectory bit-for-bit under the same seed — the fidelity reference
-    the cross-backend tests check (per-agent configs only).
+    the cross-backend tests check (per-agent configs only; for the
+    tournament quotient the replay is bit-exact *through the randomized
+    initialization*, see ``tests/test_quotient_counts.py``).
 
 Rule of thumb: pick ``"counts"`` when the protocol exports a count model
 and you care about scale; pick ``"agents"`` when you need per-agent
-introspection, a protocol without a table (the tournament algorithms), or
-exact sequential semantics at small n where backend choice is moot.
+introspection, a protocol without a model (the unordered/improved
+variants), or exact sequential semantics at small n where backend choice
+is moot.
 
 Select a backend (and optionally a sampler policy) anywhere a simulation
 is launched::
@@ -50,6 +55,8 @@ is launched::
     replicate(..., backend="counts")
     repro-experiments run EB2 --backend counts
     repro-experiments run EB3 --backend counts --sampler splitting
+    repro-experiments run EB4                  # tournaments in count space
+    repro-experiments run E1 --backend counts  # core E-series on counts
 
 or grab one directly via ``repro.engine.backends.get("counts")`` /
 ``CountBackend(sampler="splitting")``.
@@ -66,16 +73,24 @@ from .base import (
     resolve,
 )
 from .counts import CountBackend, CountState
-from .model import CountModel, RandomEntry, identity_tables
+from .model import (
+    BaseCountModel,
+    CountModel,
+    DynamicCountModel,
+    RandomEntry,
+    identity_tables,
+)
 
 __all__ = [
     "AgentArrayBackend",
     "Backend",
     "BackendLike",
+    "BaseCountModel",
     "CountBackend",
     "CountModel",
     "CountState",
     "DEFAULT_BACKEND",
+    "DynamicCountModel",
     "RandomEntry",
     "available",
     "get",

@@ -18,16 +18,21 @@ are selected by the scheduler passed to ``simulate()``:
   interactions is sampled in count space: initiator states by a
   multivariate-hypergeometric draw from the counts, responder states by a
   second draw from the remainder, and the initiator/responder pairing by
-  iterated multivariate-hypergeometric rows of the contingency table
-  (exactly the distribution the agent-level ``MatchingScheduler``
-  induces).  Transitions are then applied to whole pair-groups at once:
-  O(|states|²) per batch instead of O(n).  Every draw goes through a
+  a sparse contingency table given both margins (exactly the
+  distribution the agent-level ``MatchingScheduler`` induces).
+  Transitions are then applied to whole pair-groups at once:
+  O(|occupied states|²) per batch instead of O(n) — the occupied-pairs
+  sparsity is what keeps lazily materialized models
+  (:class:`~repro.engine.backends.model.DynamicCountModel`, e.g. the
+  tournament phase quotient) cheap even when their full state space runs
+  into the tens of thousands.  Every draw goes through a
   :class:`~repro.engine.sampling.SamplerPolicy` (``sampler=`` on the
   backend, ``simulate()``, or the CLI): the default ``"auto"`` policy
   uses numpy's generator below its 10^9 population limit and the custom
   :class:`~repro.engine.sampling.LargeNHypergeometric` color-splitting
-  sampler above it, so batched runs scale to n = 10^9 .. 10^10
-  (benchmark EB3).  Pair batched mode with a count-native
+  sampler above it (margin draws and level-batched contingency tables
+  alike), so batched runs scale to n = 10^9 .. 10^10 (benchmarks EB3,
+  EB4).  Pair batched mode with a count-native
   :class:`~repro.engine.population.CountConfig` to keep the *whole* run —
   config build included — free of O(n) allocations.
 """
@@ -47,7 +52,7 @@ from ..recorder import Recorder
 from ..scheduler import MatchingScheduler, Scheduler, SequentialScheduler
 from ..simulation import RunResult
 from .base import Backend, build_run_result, drive, register, run_intervals
-from .model import CountModel
+from .model import BaseCountModel
 
 
 @dataclass
@@ -59,7 +64,7 @@ class CountState:
     batched mode.
     """
 
-    model: CountModel
+    model: BaseCountModel
     counts: np.ndarray
     ids: Optional[np.ndarray] = None
 
@@ -140,7 +145,7 @@ class CountBackend(Backend):
         self,
         protocol: Protocol,
         config: PopulationConfig,
-        model: CountModel,
+        model: BaseCountModel,
         scheduler: SequentialScheduler,
         *,
         rng: np.random.Generator,
@@ -181,7 +186,7 @@ class CountBackend(Backend):
             u, v = next(batches)
             if u.size > remaining:
                 u, v = u[:remaining], v[:remaining]
-            self._apply_dense(model, ids, u, v, rng)
+            model.apply_pairs(ids, u, v, rng)
             return int(u.size)
 
         def check():
@@ -210,27 +215,6 @@ class CountBackend(Backend):
             state_out=state_out,
         )
 
-    @staticmethod
-    def _apply_dense(
-        model: CountModel,
-        ids: np.ndarray,
-        u: np.ndarray,
-        v: np.ndarray,
-        rng: np.random.Generator,
-    ) -> None:
-        """Table-driven transition application on disjoint index pairs."""
-        su, sv = ids[u], ids[v]
-        ids[u] = model.delta_u[su, sv]
-        ids[v] = model.delta_v[su, sv]
-        for (i, j), entry in model.random_entries.items():
-            mask = (su == i) & (sv == j)
-            if mask.any():
-                draws = np.searchsorted(
-                    entry.cum, rng.random(int(mask.sum())), side="right"
-                )
-                ids[u[mask]] = entry.out_u[draws]
-                ids[v[mask]] = entry.out_v[draws]
-
     # ------------------------------------------------------------------
     # Batched mode (matching scheduler semantics, pure counts)
     # ------------------------------------------------------------------
@@ -238,7 +222,7 @@ class CountBackend(Backend):
         self,
         protocol: Protocol,
         config: PopulationConfig,
-        model: CountModel,
+        model: BaseCountModel,
         scheduler: MatchingScheduler,
         *,
         rng: np.random.Generator,
@@ -298,7 +282,7 @@ class CountBackend(Backend):
 
     def _step_batch(
         self,
-        model: CountModel,
+        model: BaseCountModel,
         counts: np.ndarray,
         size: int,
         rng: np.random.Generator,
@@ -308,44 +292,25 @@ class CountBackend(Backend):
         Distribution: ``2 * size`` distinct agents drawn without
         replacement, the first ``size`` as initiators matched uniformly to
         the rest — identical to ``MatchingScheduler`` at the count level.
-        All without-replacement draws go through the backend's sampler
-        policy, so population size is bounded only by the policy (the
-        default ``"auto"`` is unbounded).
+        All without-replacement draws (including the sparse contingency
+        table of initiator/responder pair groups) go through the backend's
+        sampler policy, so population size is bounded only by the policy
+        (the default ``"auto"`` is unbounded).
         """
-        num_states = model.num_states
+        counts = model.ensure_capacity(counts)
         initiators = self._sampler.draw(counts, size, rng)
         responders = self._sampler.draw(counts - initiators, size, rng)
-
-        # Contingency table of (initiator state, responder state) pair
-        # groups under a uniform pairing: iterated MVH rows.
-        pairs = np.zeros((num_states, num_states), dtype=np.int64)
-        pool = responders.copy()
-        for i in np.flatnonzero(initiators):
-            row = self._sampler.draw(pool, int(initiators[i]), rng)
-            pairs[i] = row
-            pool -= row
-
+        pair_i, pair_j, sizes = self._sampler.contingency(
+            initiators, responders, rng
+        )
         new_counts = counts - initiators - responders
-        # Randomized pairs: multinomial split over their outcome lists.
-        for (i, j), entry in model.random_entries.items():
-            group = int(pairs[i, j])
-            if group:
-                split = rng.multinomial(group, entry.probs)
-                np.add.at(new_counts, entry.out_u, split)
-                np.add.at(new_counts, entry.out_v, split)
-                pairs[i, j] = 0
-        # Deterministic pairs: scatter whole groups through the tables.
-        flat = pairs.ravel()
-        hit = np.flatnonzero(flat)
-        np.add.at(new_counts, model.delta_u.ravel()[hit], flat[hit])
-        np.add.at(new_counts, model.delta_v.ravel()[hit], flat[hit])
-        return new_counts
+        return model.apply_groups(pair_i, pair_j, sizes, new_counts, rng)
 
     # ------------------------------------------------------------------
     # Shared check/epilogue
     # ------------------------------------------------------------------
     @classmethod
-    def _check(cls, model: CountModel, counts: np.ndarray, n: int, invariants: bool):
+    def _check(cls, model: BaseCountModel, counts: np.ndarray, n: int, invariants: bool):
         """The per-cadence hook bundle for :func:`base.drive`."""
         if invariants:
             cls._check_counts(counts, n)
@@ -366,7 +331,7 @@ class CountBackend(Backend):
         self,
         protocol: Protocol,
         config: PopulationConfig,
-        model: CountModel,
+        model: BaseCountModel,
         state: CountState,
         *,
         interactions: int,

@@ -1,34 +1,61 @@
 """Count-space protocol descriptions: finite states + transition tables.
 
-A :class:`CountModel` is what a protocol exports (via
+A *count model* is what a protocol exports (via
 ``Protocol.count_model(config)``) so that count-space backends can drive it
-without per-agent arrays.  It consists of
+without per-agent arrays.  Two concrete shapes share the
+:class:`BaseCountModel` interface:
 
-* a finite state space (``labels``, indexed ``0 .. S-1``),
-* ordered-pair transition tables ``delta_u`` / ``delta_v`` — for an
-  interaction between an initiator in state ``i`` and a responder in state
-  ``j``, the successors are ``delta_u[i, j]`` and ``delta_v[i, j]``,
-* optional *randomized* entries (:class:`RandomEntry`) for state pairs
-  whose outcome is drawn from a distribution rather than deterministic,
-* an ``encode`` function mapping a :class:`PopulationConfig` to per-agent
-  state ids (this fixes both the initial count vector and, for the exact
-  sequential mode, the same initial layout the agent-array backend sees),
-* an optional ``encode_counts`` function mapping a population config
-  straight to the initial state-*count* vector in O(k) — the count-native
-  fast path: it is required for :class:`~repro.engine.population.CountConfig`
-  populations (which have no per-agent opinions to ``encode``) and lets
-  batched-mode initialization skip the O(n) ids array entirely,
-* count-level convergence / output / failure / progress hooks, defaulting
-  to "all supported states agree on one non-zero output" via ``output_map``.
+* :class:`CountModel` — the *static* shape: the full state space and the
+  ordered-pair transition tables ``delta_u`` / ``delta_v`` are materialized
+  up front as dense ``(S, S)`` arrays.  Right for protocols whose state
+  space is small and enumerable in advance (three-state majority, USD,
+  cancel/split, epidemics).
 
-The optional ``project`` hook maps a protocol's *agent* state object to the
-same state ids; the cross-backend equivalence tests use it to compare
-count trajectories between backends.
+* :class:`DynamicCountModel` — the *lazily materialized* shape: states are
+  interned on first sight and pair transitions are derived on demand (and
+  memoized) by a subclass hook.  Right for protocols whose *reachable*
+  state space is finite but far too large to enumerate eagerly — the
+  tournament algorithms' phase-quotiented models
+  (:mod:`repro.core.quotient`) have |states| growing with ``k + log n``
+  and dense ``(S, S)`` tables would not fit in memory, while any single
+  run only ever touches a sparse subset of pairs.
+
+Both shapes provide the same backend-facing API:
+
+* ``initial_ids`` / ``initial_counts`` — initial configuration as
+  per-agent state ids (exact mode) or as a state-count vector (batched
+  mode; ``initial_counts`` is O(k) when the model defines a count-native
+  encoding),
+* ``apply_pairs(ids, u, v, rng)`` — apply one disjoint interaction batch
+  to a per-agent state-id array (the count backend's exact sequential
+  mode),
+* ``apply_groups(pair_i, pair_j, sizes, counts, rng)`` — apply whole
+  groups of identical state pairs to a count vector (the batched mode;
+  group sizes come from the backend's contingency sampling),
+* count-level convergence / output / failure / progress / invariant
+  hooks, and an optional ``project`` from the protocol's *agent* state to
+  state ids (the cross-backend equivalence tests rely on it).
+
+Randomized transitions are expressed as :class:`RandomEntry` outcome
+distributions.  The two shapes consume randomness differently (see the
+respective ``apply_pairs`` docstrings); the dynamic shape's pair-ordered
+consumption is what lets a quotient model replay an agent-path run
+bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+from abc import ABC, abstractmethod
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -67,8 +94,111 @@ class RandomEntry:
         self.cum[-1] = 1.0
 
 
-class CountModel:
-    """A protocol rendered as a finite-state pairwise transition system.
+class BaseCountModel(ABC):
+    """The backend-facing interface shared by all count-model shapes.
+
+    Subclasses maintain ``labels`` (one entry per materialized state; its
+    length is the current ``num_states``) and implement the encoding and
+    transition-application primitives.  The count backend treats models
+    through this interface only, so static tables and lazily materialized
+    spaces are interchangeable per run.
+    """
+
+    labels: List[Any]
+
+    # ------------------------------------------------------------------
+    # State space
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states materialized *so far* (fixed for static models)."""
+        return len(self.labels)
+
+    @abstractmethod
+    def initial_ids(self, config: PopulationConfig) -> np.ndarray:
+        """Per-agent state ids of the initial configuration (fresh array)."""
+
+    @abstractmethod
+    def initial_counts(self, config: BasePopulation) -> np.ndarray:
+        """Initial state-count vector (sums to ``config.n``)."""
+
+    def project(self, agent_state: Any) -> np.ndarray:
+        """Map an agent-array state object to per-agent state ids."""
+        raise ConfigurationError(
+            "this count model does not define an agent-state projection"
+        )
+
+    def ensure_capacity(self, counts: np.ndarray) -> np.ndarray:
+        """Zero-pad a count vector up to the current ``num_states``.
+
+        Static models return the vector unchanged; models whose state
+        space grows mid-run use this so backends can keep holding a plain
+        numpy vector.
+        """
+        if counts.shape[0] == self.num_states:
+            return counts
+        padded = np.zeros(self.num_states, dtype=counts.dtype)
+        padded[: counts.shape[0]] = counts
+        return padded
+
+    # ------------------------------------------------------------------
+    # Transition application
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def apply_pairs(
+        self,
+        ids: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply one batch of disjoint interactions to per-agent state ids.
+
+        The count backend's exact sequential mode: ``(u_i, v_i)`` index
+        pairs come from the same scheduler stream the agent-array backend
+        consumes; implementations mutate ``ids`` in place.
+        """
+
+    @abstractmethod
+    def apply_groups(
+        self,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        sizes: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply ``sizes[m]`` interactions of state pair ``(pair_i[m], pair_j[m])``.
+
+        The batched mode: the participating agents have already been
+        removed from ``counts``; implementations scatter the outcome
+        states back in and return the (possibly reallocated) vector.
+        Each state pair appears at most once (the triplets come from a
+        contingency table's non-empty cells).
+        """
+
+    # ------------------------------------------------------------------
+    # Count-level protocol hooks
+    # ------------------------------------------------------------------
+    def converged(self, counts: np.ndarray) -> bool:
+        return self.output_opinion(counts) is not None
+
+    @abstractmethod
+    def output_opinion(self, counts: np.ndarray) -> Optional[int]:
+        """The common output opinion, or None when outputs disagree."""
+
+    def failure(self, counts: np.ndarray) -> Optional[str]:
+        return None
+
+    def progress(self, counts: np.ndarray) -> Dict[str, float]:
+        return {}
+
+    def check_invariants(self, counts: np.ndarray) -> None:
+        """Raise :class:`InvariantViolation` on a broken hard invariant."""
+
+
+class CountModel(BaseCountModel):
+    """A protocol rendered as a *static* finite-state pairwise table.
 
     Args:
         labels: one label per state (for tables and debugging).
@@ -161,10 +291,6 @@ class CountModel:
     # ------------------------------------------------------------------
     # State space
     # ------------------------------------------------------------------
-    @property
-    def num_states(self) -> int:
-        return len(self.labels)
-
     def initial_ids(self, config: PopulationConfig) -> np.ndarray:
         """Per-agent state ids of the initial configuration.
 
@@ -224,6 +350,69 @@ class CountModel:
         return np.asarray(self._project(agent_state), dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Transition application
+    # ------------------------------------------------------------------
+    def apply_pairs(
+        self,
+        ids: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Table-driven application on disjoint index pairs.
+
+        Deterministic successors come from one fancy-indexing pass;
+        randomized pairs are then resolved entry by entry (in the sorted
+        entry order fixed at construction), each entry drawing one uniform
+        per matching pair.
+        """
+        su, sv = ids[u], ids[v]
+        ids[u] = self.delta_u[su, sv]
+        ids[v] = self.delta_v[su, sv]
+        for (i, j), entry in self.random_entries.items():
+            mask = (su == i) & (sv == j)
+            if mask.any():
+                draws = np.searchsorted(
+                    entry.cum, rng.random(int(mask.sum())), side="right"
+                )
+                ids[u[mask]] = entry.out_u[draws]
+                ids[v[mask]] = entry.out_v[draws]
+
+    def apply_groups(
+        self,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        sizes: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Scatter whole pair-groups through the tables / outcome splits."""
+        sizes = sizes.copy()
+        # Randomized pairs: multinomial split over their outcome lists
+        # (sorted entry order, matching apply_pairs).
+        if self.random_entries:
+            slot_of = {
+                (int(i), int(j)): m
+                for m, (i, j) in enumerate(zip(pair_i, pair_j))
+            }
+            for (i, j), entry in self.random_entries.items():
+                m = slot_of.get((i, j))
+                if m is None:
+                    continue
+                group = int(sizes[m])
+                if group:
+                    split = rng.multinomial(group, entry.probs)
+                    np.add.at(counts, entry.out_u, split)
+                    np.add.at(counts, entry.out_v, split)
+                sizes[m] = 0
+        # Deterministic pairs: scatter whole groups through the tables.
+        live = np.flatnonzero(sizes)
+        if live.size:
+            np.add.at(counts, self.delta_u[pair_i[live], pair_j[live]], sizes[live])
+            np.add.at(counts, self.delta_v[pair_i[live], pair_j[live]], sizes[live])
+        return counts
+
+    # ------------------------------------------------------------------
     # Count-level protocol hooks
     # ------------------------------------------------------------------
     def converged(self, counts: np.ndarray) -> bool:
@@ -259,6 +448,166 @@ class CountModel:
     def check_invariants(self, counts: np.ndarray) -> None:
         if self._check_invariants is not None:
             self._check_invariants(counts)
+
+
+class DynamicCountModel(BaseCountModel):
+    """A count model whose state space is materialized on demand.
+
+    States are arbitrary hashable tuples, interned to dense ids in
+    first-seen order; pair transitions are derived lazily by the subclass
+    hook :meth:`_derive_pairs` and memoized, so a run only ever pays for
+    the sparse subset of (co-occurring) state pairs it actually visits.
+    This is what makes count-space simulation of the tournament
+    algorithms feasible: their quotiented state space has
+    Θ((k + log n) · poly-constants) states — far too many for dense
+    ``(S, S)`` tables — while any single trajectory touches a small
+    fraction of the pairs.
+
+    Randomness contract of :meth:`apply_pairs`: per batch, exactly one
+    ``rng.random(m)`` call is made for the ``m`` randomized pairs, *in
+    pair order*, and each uniform is mapped through its entry's
+    cumulative distribution with ``searchsorted(..., side="right")``.  A
+    protocol whose agent path consumes randomness the same way (one
+    uniform per randomized interaction, in batch order, same thresholds)
+    is reproduced bit-for-bit by the exact count mode — see
+    :mod:`repro.core.quotient` for the tournament instance.
+
+    Subclasses implement:
+
+    * :meth:`_derive_pairs` — fill the transition memo for the given
+      state-id pairs via :meth:`_record_det` / :meth:`_record_random`;
+    * ``initial_ids`` / ``initial_counts`` / ``output_opinion`` and any
+      other :class:`BaseCountModel` hooks.
+    """
+
+    def __init__(self):
+        self.labels: List[Any] = []
+        self._index: Dict[Any, int] = {}
+        #: (i, j) -> (out_i, out_j) for deterministic pairs.
+        self._det: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: (i, j) -> RandomEntry (outcome ids) for randomized pairs.
+        self._rand: Dict[Tuple[int, int], RandomEntry] = {}
+
+    # ------------------------------------------------------------------
+    # State interning
+    # ------------------------------------------------------------------
+    def intern(self, state: Any) -> int:
+        """Id of ``state``, materializing it on first sight."""
+        found = self._index.get(state)
+        if found is not None:
+            return found
+        new_id = len(self.labels)
+        self._index[state] = new_id
+        self.labels.append(state)
+        return new_id
+
+    def intern_many(self, states: Sequence[Any]) -> np.ndarray:
+        """Vector of ids for a sequence of states."""
+        return np.fromiter(
+            (self.intern(s) for s in states), dtype=np.int64, count=len(states)
+        )
+
+    def state_of(self, state_id: int) -> Any:
+        """The interned state tuple behind an id."""
+        return self.labels[state_id]
+
+    # ------------------------------------------------------------------
+    # Lazy transition memo
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _derive_pairs(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        """Compute and record the transition of each given state-id pair.
+
+        Implementations call :meth:`_record_det` or :meth:`_record_random`
+        exactly once per pair.  Derivation may intern new states.
+        """
+
+    def _record_det(self, i: int, j: int, out_i: int, out_j: int) -> None:
+        self._det[(i, j)] = (out_i, out_j)
+
+    def _record_random(self, i: int, j: int, entry: RandomEntry) -> None:
+        self._rand[(i, j)] = entry
+
+    def _ensure_pairs(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        missing = [
+            p for p in pairs if p not in self._det and p not in self._rand
+        ]
+        if missing:
+            self._derive_pairs(missing)
+            still = [
+                p for p in missing if p not in self._det and p not in self._rand
+            ]
+            if still:
+                raise ConfigurationError(
+                    f"_derive_pairs left {len(still)} pairs underived "
+                    f"(first: {still[0]})"
+                )
+
+    @property
+    def derived_pairs(self) -> int:
+        """How many state pairs have been derived so far (for reporting)."""
+        return len(self._det) + len(self._rand)
+
+    # ------------------------------------------------------------------
+    # Transition application
+    # ------------------------------------------------------------------
+    def apply_pairs(
+        self,
+        ids: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        su, sv = ids[u], ids[v]
+        batch = list(zip(su.tolist(), sv.tolist()))
+        self._ensure_pairs(set(batch))
+        # Resolve randomized pairs first so the single uniform draw is in
+        # pair order (the bit-parity contract, see the class docstring).
+        random_at = [m for m, p in enumerate(batch) if p in self._rand]
+        if random_at:
+            uniforms = rng.random(len(random_at))
+            for r, m in zip(uniforms, random_at):
+                entry = self._rand[batch[m]]
+                pick = int(np.searchsorted(entry.cum, r, side="right"))
+                ids[u[m]] = entry.out_u[pick]
+                ids[v[m]] = entry.out_v[pick]
+        random_set = set(random_at)
+        for m, pair in enumerate(batch):
+            if m in random_set:
+                continue
+            out_i, out_j = self._det[pair]
+            ids[u[m]] = out_i
+            ids[v[m]] = out_j
+
+    def apply_groups(
+        self,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        sizes: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        pairs = list(zip(pair_i.tolist(), pair_j.tolist()))
+        self._ensure_pairs(set(pairs))
+        counts = self.ensure_capacity(counts)
+        out_i = np.empty(len(pairs), dtype=np.int64)
+        out_j = np.empty(len(pairs), dtype=np.int64)
+        det = np.ones(len(pairs), dtype=bool)
+        for m, pair in enumerate(pairs):
+            hit = self._det.get(pair)
+            if hit is not None:
+                out_i[m], out_j[m] = hit
+            else:
+                det[m] = False
+                entry = self._rand[pair]
+                split = rng.multinomial(int(sizes[m]), entry.probs)
+                np.add.at(counts, entry.out_u, split)
+                np.add.at(counts, entry.out_v, split)
+        live = np.flatnonzero(det & (sizes > 0))
+        if live.size:
+            np.add.at(counts, out_i[live], sizes[live])
+            np.add.at(counts, out_j[live], sizes[live])
+        return counts
 
 
 def identity_tables(num_states: int) -> Tuple[np.ndarray, np.ndarray]:

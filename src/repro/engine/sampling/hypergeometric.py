@@ -38,7 +38,7 @@ in ``tests/test_sampling.py``.
 from __future__ import annotations
 
 from math import lgamma, sqrt
-from typing import Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -53,6 +53,24 @@ def _log_comb(n: int, k: int) -> float:
     if k < 0 or k > n:
         return -np.inf
     return lgamma(n + 1) - lgamma(k + 1) - lgamma(n - k + 1)
+
+
+try:  # scipy is an optional (dev) dependency; the engine runs without it.
+    from scipy.special import gammaln as _gammaln
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _gammaln = None
+
+
+def _log_comb_many(n: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Vectorized ``log C(n, k)`` for in-range ``0 <= k <= n`` arrays."""
+    if _gammaln is not None:
+        n = n.astype(np.float64)
+        k = k.astype(np.float64)
+        return _gammaln(n + 1.0) - _gammaln(k + 1.0) - _gammaln(n - k + 1.0)
+    return np.array(
+        [_log_comb(int(nn), int(kk)) for nn, kk in zip(n, k)],
+        dtype=np.float64,
+    )
 
 
 class LargeNHypergeometric:
@@ -114,10 +132,167 @@ class LargeNHypergeometric:
         mean = nsample * (ngood / total)
         var = mean * (nbad / total) * ((total - nsample) / max(total - 1, 1))
         sd = sqrt(max(var, 0.0))
-        mode = min(max((nsample + 1) * (ngood + 1) // (total + 2), lo), hi)
+        return self._invert_scalar_with_u(
+            ngood,
+            nbad,
+            nsample,
+            lo,
+            hi,
+            float(rng.random()),
+            initial_half=int(self.window_sds * sd) + 16,
+        )
 
-        u = float(rng.random())
-        half_width = max(16, int(self.window_sds * sd) + 16)
+    # ------------------------------------------------------------------
+    # Batched univariate draws (one vectorized inversion for M draws)
+    # ------------------------------------------------------------------
+    def univariate_many(
+        self,
+        ngood: np.ndarray,
+        nbad: np.ndarray,
+        nsample: np.ndarray,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Independent draws ``X_m ~ HG(ngood_m, nbad_m, nsample_m)``, batched.
+
+        Distribution-identical to calling :meth:`univariate` per entry,
+        but the windowed inverse-CDF runs as a handful of array
+        operations over a ``(M, window)`` grid instead of M separate
+        small-array passes — the count backend's contingency sampling
+        (many small correlated draws per batch) is dominated by exactly
+        that per-call overhead.  Draws are grouped into power-of-two
+        window-width buckets so one wide draw cannot inflate the grid of
+        the narrow ones; the astronomically rare tail misses fall back to
+        the scalar path, re-using the same uniform.
+        """
+        rng = make_rng(rng)
+        ngood = np.asarray(ngood, dtype=np.int64)
+        nbad = np.asarray(nbad, dtype=np.int64)
+        nsample = np.asarray(nsample, dtype=np.int64)
+        if (ngood < 0).any() or (nbad < 0).any():
+            raise ConfigurationError("urn contents must be non-negative")
+        if (nsample < 0).any() or (nsample > ngood + nbad).any():
+            raise ConfigurationError("nsample must lie in [0, ngood + nbad]")
+        out = np.empty(ngood.shape[0], dtype=np.int64)
+        lo = np.maximum(0, nsample - nbad)
+        hi = np.minimum(nsample, ngood)
+        free = np.flatnonzero(lo < hi)
+        out[lo >= hi] = lo[lo >= hi]
+        if free.size == 0:
+            return out
+        # One uniform per non-degenerate draw, in index order.
+        uniforms = rng.random(free.size)
+
+        total = ngood + nbad
+        mean = nsample * (ngood / np.maximum(total, 1))
+        var = (
+            mean
+            * (nbad / np.maximum(total, 1))
+            * ((total - nsample) / np.maximum(total - 1, 1))
+        )
+        sd = np.sqrt(np.maximum(var, 0.0))
+        # The mode only centers the window, so float64 precision (exact to
+        # ~1 part in 1e15) is plenty — the int64 product (nsample+1)(ngood+1)
+        # would overflow for populations beyond ~3e9.
+        mode = np.clip(
+            np.floor(
+                (nsample + 1.0) * (ngood + 1.0) / (total + 2.0)
+            ).astype(np.int64),
+            lo,
+            hi,
+        )
+        half = np.maximum(16, (self.window_sds * sd).astype(np.int64) + 16)
+        a = np.maximum(lo, mode - half)
+        b = np.minimum(hi, mode + half)
+        widths = b - a + 1
+        buckets: dict = {}
+        if free.size <= 16:
+            buckets[0] = [(int(m), float(u)) for m, u in zip(free, uniforms)]
+        else:
+            # 4× width classes: few enough passes to amortize the per-call
+            # overhead, tight enough that narrow draws never pay for the
+            # widest window in the batch.
+            for pos, m in enumerate(free):
+                buckets.setdefault(
+                    (int(widths[m]).bit_length() + 1) // 2, []
+                ).append((int(m), float(uniforms[pos])))
+        for bucket in buckets.values():
+            rows = np.array([m for m, _ in bucket], dtype=np.int64)
+            u = np.array([value for _, value in bucket], dtype=np.float64)
+            self._invert_rows(
+                out,
+                rows,
+                u,
+                ngood[rows],
+                nbad[rows],
+                nsample[rows],
+                lo[rows],
+                hi[rows],
+                a[rows],
+                b[rows],
+                mode[rows],
+            )
+        return out
+
+    def _invert_rows(
+        self, out, rows, u, ngood, nbad, nsample, lo, hi, a, b, mode
+    ) -> None:
+        """Vectorized windowed inversion for same-magnitude window widths.
+
+        Consumes no randomness: every draw's uniform arrives in ``u`` (the
+        rare tail misses re-use the same uniform on the scalar path), so
+        the one-uniform-per-draw accounting of ``univariate_many`` holds.
+        """
+        width = int((b - a).max()) + 1
+        x = a[:, None] + np.arange(width, dtype=np.int64)[None, :]
+        inside = x <= b[:, None]
+        # Log-ratio steps t(y) = log pmf(y+1) − log pmf(y), zeroed outside
+        # the window so the row cumsum stays flat there.
+        stepped = inside & (x < b[:, None])
+        num1 = np.where(stepped, ngood[:, None] - x, 1).astype(np.float64)
+        num2 = np.where(stepped, nsample[:, None] - x, 1).astype(np.float64)
+        den1 = np.where(stepped, x + 1, 1).astype(np.float64)
+        den2 = np.where(
+            stepped, nbad[:, None] - nsample[:, None] + x + 1, 1
+        ).astype(np.float64)
+        # One fused log pass; the float ratios keep every operand well
+        # inside float64 range (the int products would overflow at 10^10).
+        steps = np.log((num1 / den1) * (num2 / den2))
+        walk = np.zeros((rows.size, width), dtype=np.float64)
+        walk[:, 1:] = np.cumsum(steps[:, :-1], axis=1)
+        anchor_walk = walk[np.arange(rows.size), mode - a]
+        log_anchor = (
+            _log_comb_many(ngood, mode)
+            + _log_comb_many(nbad, nsample - mode)
+            - _log_comb_many(ngood + nbad, nsample)
+        )
+        pmf = np.exp((log_anchor - anchor_walk)[:, None] + walk) * inside
+        cdf = np.cumsum(pmf, axis=1)
+        mass = cdf[:, -1]
+        full = (a == lo) & (b == hi)
+        target = np.where(full, u * mass, u)
+        hit = full | (u < mass)
+        picks = (cdf < target[:, None]).sum(axis=1)
+        out[rows[hit]] = a[hit] + picks[hit]
+        # Tail correction: re-invert the misses on the scalar path with
+        # the same uniform (widening starts from the already-tried width).
+        for m in np.flatnonzero(~hit):
+            out[rows[m]] = self._invert_scalar_with_u(
+                int(ngood[m]),
+                int(nbad[m]),
+                int(nsample[m]),
+                int(lo[m]),
+                int(hi[m]),
+                float(u[m]),
+                initial_half=int(b[m] - a[m]) + 1,
+            )
+
+    def _invert_scalar_with_u(
+        self, ngood, nbad, nsample, lo, hi, u, initial_half
+    ) -> int:
+        """Scalar windowed inversion with a caller-supplied uniform."""
+        total = ngood + nbad
+        mode = min(max((nsample + 1) * (ngood + 1) // (total + 2), lo), hi)
+        half_width = max(16, int(initial_half))
         while True:
             a = max(lo, mode - half_width)
             b = min(hi, mode + half_width)
@@ -126,23 +301,15 @@ class LargeNHypergeometric:
             cdf = np.cumsum(pmf)
             mass = float(cdf[-1])
             if full:
-                # Entire support enumerated: normalizing makes the
-                # inversion exact regardless of rounding in ``mass``.
                 return a + int(np.searchsorted(cdf, u * mass, side="left"))
             if u < mass:
                 return a + int(np.searchsorted(cdf, u, side="left"))
-            # Tail correction: u fell beyond the captured mass (true tail
-            # probability < 2e-22 at the default window, or rounding left
-            # mass marginally short of 1) — widen and re-invert with the
-            # same u, falling back to the full support when it fits.
             if hi - lo + 1 <= self.max_full_support:
                 half_width = hi - lo + 1
             else:
                 half_width *= 4
-                if half_width > 64 * (hi - lo + 1):
-                    # Unreachable in practice; bound the loop regardless.
+                if half_width > 64 * (hi - lo + 1):  # pragma: no cover
                     return b
-            mode = min(max(mode, lo), hi)
 
     def _window_pmf(
         self, ngood: int, nbad: int, nsample: int, a: int, b: int, mode: int
@@ -205,20 +372,121 @@ class LargeNHypergeometric:
                 f"nsample must lie in [0, {total}], got {nsample}"
             )
         rng = make_rng(rng)
-        out = np.zeros(colors_arr.size, dtype=np.int64)
-        # Iterative (segment, nsample) recursion to keep deep k cheap.
-        stack = [(0, colors_arr.size, nsample)]
-        while stack:
-            start, stop, want = stack.pop()
-            if want == 0:
-                continue
-            if stop - start == 1:
-                out[start] = want
-                continue
-            mid = (start + stop) // 2
-            left_total = int(colors_arr[start:mid].sum())
-            right_total = int(colors_arr[mid:stop].sum())
-            left = self.univariate(left_total, right_total, want, rng)
-            stack.append((start, mid, left))
-            stack.append((mid, stop, want - left))
+        return self.multivariate_many([colors_arr], [nsample], rng)[0]
+
+    def multivariate_many(
+        self,
+        colors_list: Sequence[np.ndarray],
+        nsamples: Sequence[IntLike],
+        rng: RngLike = None,
+    ) -> List[np.ndarray]:
+        """Independent multivariate draws, binary-split in lockstep.
+
+        All tasks' splitting trees advance level by level together, so
+        one tree level across every task is a single
+        :meth:`univariate_many` call — ⌈log₂ k⌉ vectorized passes for the
+        whole batch instead of ``Σ (k_t − 1)`` scalar draws.  This is the
+        engine under both :meth:`multivariate` (one task) and
+        :meth:`table` (one task per column block), i.e. under every
+        count-space contingency draw at n ≥ 10⁹.
+        """
+        rng = make_rng(rng)
+        outs = []
+        prefixes = []
+        # node: (task, start, stop, want)
+        frontier = []
+        for t, (colors, nsample) in enumerate(zip(colors_list, nsamples)):
+            colors = np.asarray(colors, dtype=np.int64)
+            outs.append(np.zeros(colors.size, dtype=np.int64))
+            prefixes.append(np.concatenate(([0], np.cumsum(colors))))
+            frontier.append((t, 0, colors.size, int(nsample)))
+        while frontier:
+            splits = []
+            for t, start, stop, want in frontier:
+                if want == 0:
+                    continue
+                if stop - start == 1:
+                    outs[t][start] = want
+                    continue
+                splits.append((t, start, stop, want))
+            if not splits:
+                break
+            mids = [(start + stop) // 2 for _, start, stop, _ in splits]
+            lefts = np.array(
+                [
+                    prefixes[t][mid] - prefixes[t][start]
+                    for (t, start, _, _), mid in zip(splits, mids)
+                ],
+                dtype=np.int64,
+            )
+            rights = np.array(
+                [
+                    prefixes[t][stop] - prefixes[t][mid]
+                    for (t, _, stop, _), mid in zip(splits, mids)
+                ],
+                dtype=np.int64,
+            )
+            wants = np.array([want for *_, want in splits], dtype=np.int64)
+            taken = self.univariate_many(lefts, rights, wants, rng)
+            frontier = []
+            for (t, start, stop, want), mid, left in zip(splits, mids, taken):
+                frontier.append((t, start, mid, int(left)))
+                frontier.append((t, mid, stop, want - int(left)))
+        return outs
+
+    # ------------------------------------------------------------------
+    # Contingency tables: margins → full table, batched per level
+    # ------------------------------------------------------------------
+    def table(
+        self,
+        row_margins: np.ndarray,
+        col_margins: np.ndarray,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Sample an r×c contingency table with the given margins.
+
+        The law is the one a uniform random pairing induces (the
+        multivariate hypergeometric given both margins — the count-space
+        image of ``MatchingScheduler``'s pairing).  Construction: binary
+        recursion over column blocks; splitting a block with per-row
+        counts ``w`` at column capacity ``C_L`` sends
+        ``MVH(colors = w, nsample = C_L)`` to the left child — the column
+        slots of the left half are a uniform subset of the block's slots.
+        All column blocks of one level split together through
+        :meth:`multivariate_many`, so the whole table costs
+        ``O(log r · log c)`` vectorized passes.
+        """
+        rows = np.asarray(row_margins, dtype=np.int64)
+        cols = np.asarray(col_margins, dtype=np.int64)
+        if int(rows.sum()) != int(cols.sum()):
+            raise ConfigurationError(
+                f"margins must agree, got {int(rows.sum())} vs {int(cols.sum())}"
+            )
+        rng = make_rng(rng)
+        out = np.zeros((rows.size, cols.size), dtype=np.int64)
+        cprefix = np.concatenate(([0], np.cumsum(cols)))
+        # node: (col_lo, col_hi, per-row counts in this column block)
+        frontier = [(0, cols.size, rows)]
+        while frontier:
+            splits = []
+            for lo, hi, wants in frontier:
+                if hi - lo == 1:
+                    out[:, lo] = wants
+                    continue
+                splits.append((lo, hi, wants))
+            if not splits:
+                break
+            mids = [(lo + hi) // 2 for lo, hi, _ in splits]
+            taken = self.multivariate_many(
+                [wants for _, _, wants in splits],
+                [
+                    int(cprefix[mid] - cprefix[lo])
+                    for (lo, _, _), mid in zip(splits, mids)
+                ],
+                rng,
+            )
+            frontier = []
+            for (lo, hi, wants), mid, left in zip(splits, mids, taken):
+                frontier.append((lo, mid, left))
+                frontier.append((mid, hi, wants - left))
         return out

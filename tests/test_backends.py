@@ -314,15 +314,94 @@ class TestRandomizedEntries:
         assert times["counts"] == pytest.approx(times["agents"], rel=0.35)
 
 
+def _unordered_config(seed: int) -> PopulationConfig:
+    """Module-level so process-pool jobs can pickle it."""
+    return PopulationConfig.from_counts([40, 30, 30], rng=0)
+
+
 class TestUnsupported:
-    def test_core_protocols_have_no_count_model(self):
-        config = PopulationConfig.from_counts([40, 30, 30], rng=0)
-        assert SimpleAlgorithm().count_model(config) is None
+    """Every ``backend="counts"`` entry point must hit the documented
+    BackendUnsupported path — not crash — when ``Protocol.count_model``
+    returns None.  (SimpleAlgorithm now exports a quotient model, so the
+    unordered variant is the canonical table-less core protocol.)
+    """
+
+    def _config(self):
+        return PopulationConfig.from_counts([40, 30, 30], rng=0)
+
+    def test_unordered_variants_have_no_count_model(self):
+        from repro.core.improved import ImprovedAlgorithm
+        from repro.core.unordered import UnorderedAlgorithm
+
+        config = self._config()
+        assert UnorderedAlgorithm().count_model(config) is None
+        assert ImprovedAlgorithm().count_model(config) is None
         with pytest.raises(BackendUnsupported, match="does not export"):
             simulate(
-                SimpleAlgorithm(), config, seed=0, backend="counts",
+                UnorderedAlgorithm(), config, seed=0, backend="counts",
                 max_parallel_time=10,
             )
+
+    def test_simple_algorithm_appendix_c_params_have_no_count_model(self):
+        """The quotient covers default params only; Appendix C opts out."""
+        from repro.core.common import SimpleParams
+
+        config = self._config()
+        assert (
+            SimpleAlgorithm(SimpleParams.for_large_k()).count_model(config)
+            is None
+        )
+        assert (
+            SimpleAlgorithm(
+                SimpleParams(counting_agents=True)
+            ).count_model(config)
+            is None
+        )
+        assert SimpleAlgorithm().count_model(config) is not None
+
+    def test_replicate_surfaces_backend_unsupported(self):
+        from repro.core.unordered import UnorderedAlgorithm
+
+        with pytest.raises(BackendUnsupported, match="does not export"):
+            replicate(
+                UnorderedAlgorithm,
+                lambda s: self._config(),
+                replications=2,
+                backend="counts",
+                max_parallel_time=10,
+            )
+
+    def test_replicate_parallel_surfaces_backend_unsupported(self):
+        from repro.analysis.parallel import replicate_parallel
+        from repro.core.unordered import UnorderedAlgorithm
+
+        with pytest.raises(BackendUnsupported, match="does not export"):
+            replicate_parallel(
+                UnorderedAlgorithm,
+                _unordered_config,
+                replications=2,
+                backend="counts",
+                max_parallel_time=10,
+                workers=2,
+            )
+
+    def test_experiments_run_skips_unsupported_backend_override(self):
+        """experiments.run turns BackendUnsupported into a skipped report."""
+        from repro import experiments
+
+        report = experiments.run("E4", scale="quick", backend="counts")
+        assert report.skipped
+        assert report.passed  # vacuously - skips must not fail sweeps
+        assert "does not export" in report.notes
+
+    def test_cli_reports_skip_for_unsupported_backend(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "E4", "--scale", "quick", "--backend", "counts"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SKIPPED" in out
+        assert "does not export" in out
 
     def test_unknown_scheduler_type(self):
         class WeirdScheduler(SequentialScheduler):

@@ -1,0 +1,338 @@
+"""Tests for the phase-quotiented count model of SimpleAlgorithm.
+
+The load-bearing guarantees:
+
+* **bit-exact replay** — under the sequential scheduler and one seed, the
+  count backend reproduces the agent backend's quotient-count trajectory
+  frame for frame (including through the randomized initialization
+  re-rolls), and the RunResults agree;
+* **section/projection consistency** — lifting a quotient state to a
+  concrete representative and projecting back is the identity, and the
+  derived transitions do not depend on the representative (the lumping
+  property, checked by moving the lift base);
+* **batched mode** — matching-scheduler count runs converge to the right
+  plurality and agree statistically with the agent backend;
+* **guards** — out-of-band configurations (window overflow, clock
+  desync) surface as loud failures, and the count-level invariant hooks
+  mirror the agent-level ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import quotient as quotient_module
+from repro.core.quotient import SimpleQuotientModel
+from repro.core.simple import SimpleAlgorithm
+from repro.engine import (
+    CountConfig,
+    MatchingScheduler,
+    PopulationConfig,
+    SequentialScheduler,
+    simulate,
+)
+from repro.engine.backends import CountState
+from repro.engine.errors import InvariantViolation
+from repro.engine.recorder import Recorder
+
+
+class QuotientTrajectory(Recorder):
+    """Frames as {quotient tuple: count} dicts, on either backend.
+
+    Keying by the state *tuple* (not the interned id) makes frames
+    comparable across model instances: the backend's own model and the
+    recorder's projection model intern states in different orders.
+    """
+
+    def __init__(self, model: SimpleQuotientModel, every_parallel_time=2.0):
+        self.model = model
+        self.every_parallel_time = every_parallel_time
+        self.frames = []
+
+    def _frame(self, state):
+        if isinstance(state, CountState):
+            counts = state.refresh().counts
+            labels = state.model.labels
+        else:
+            ids = self.model.project(state)
+            counts = np.bincount(ids, minlength=self.model.num_states)
+            labels = self.model.labels
+        return {labels[s]: int(c) for s, c in enumerate(counts) if c}
+
+    def on_start(self, state, n):
+        self.frames.append((0, self._frame(state)))
+
+    def on_sample(self, interactions, state):
+        self.frames.append((interactions, self._frame(state)))
+
+    def on_end(self, interactions, state):
+        self.frames.append((interactions, self._frame(state)))
+
+
+def run_both_backends(counts, seed, budget=8000.0, rng=11):
+    """One seeded run per backend; returns {backend: (result, frames)}."""
+    config = PopulationConfig.from_counts(counts, rng=rng)
+    protocol = SimpleAlgorithm()
+    runs = {}
+    for backend in ("agents", "counts"):
+        recorder = QuotientTrajectory(protocol.count_model(config))
+        runs[backend] = (
+            simulate(
+                protocol,
+                config,
+                seed=seed,
+                scheduler=SequentialScheduler(),
+                backend=backend,
+                max_parallel_time=budget,
+                recorder=recorder,
+                check_invariants=True,
+            ),
+            recorder.frames,
+        )
+    return runs
+
+
+#: Defender-wins and challenger-wins workloads: the latter exercise the
+#: verdict-tag seeding/aging/application machinery.
+PARITY_CASES = [
+    ("k3_defender_wins", [30, 18, 12], 97),
+    ("k2_challenger_wins", [38, 44], 21),
+    ("k3_middle_wins", [30, 45, 25], 7),
+    ("k4_last_wins", [10, 12, 14, 40], 5),
+]
+
+
+class TestExactReplay:
+    """Sequential scheduler + same seed → bit-identical trajectories."""
+
+    @pytest.mark.parametrize(
+        "name,counts,seed",
+        PARITY_CASES,
+        ids=[case[0] for case in PARITY_CASES],
+    )
+    def test_trajectories_bit_identical(self, name, counts, seed):
+        runs = run_both_backends(counts, seed)
+        agent_result, agent_frames = runs["agents"]
+        count_result, count_frames = runs["counts"]
+
+        assert len(agent_frames) == len(count_frames)
+        for (ia, fa), (ic, fc) in zip(agent_frames, count_frames):
+            assert ia == ic
+            assert fa == fc
+
+        assert agent_result.interactions == count_result.interactions
+        assert agent_result.parallel_time == count_result.parallel_time
+        assert agent_result.converged and count_result.converged
+        assert agent_result.output_opinion == count_result.output_opinion
+        assert agent_result.output_opinion == agent_result.expected_opinion
+        assert agent_result.failure == count_result.failure
+        # Extras overlap (role counts, winners) must agree; the agent path
+        # additionally reports absolute-phase stats the quotient cannot.
+        shared = set(agent_result.extras) & set(count_result.extras)
+        assert {"winners", "role_collector", "role_clock"} <= shared
+        for key in shared:
+            assert agent_result.extras[key] == count_result.extras[key], key
+
+    def test_replay_is_independent_of_the_lift_base(self, monkeypatch):
+        """Lumping check: transitions can't depend on the representative."""
+        reference = run_both_backends([26, 30], 3, budget=5000.0)
+        monkeypatch.setattr(quotient_module, "LIFT_BASE", 12)
+        shifted = run_both_backends([26, 30], 3, budget=5000.0)
+        assert reference["counts"][1] == shifted["counts"][1]
+        assert (
+            reference["counts"][0].interactions
+            == shifted["counts"][0].interactions
+        )
+
+
+class TestSectionProjection:
+    def test_lift_then_project_is_identity(self):
+        """π ∘ lift = id on every state materialized by a real run."""
+        config = PopulationConfig.from_counts([24, 20, 16], rng=2)
+        protocol = SimpleAlgorithm()
+        model = protocol.count_model(config)
+        # Projecting at every sample materializes the run's reachable
+        # states (initialization, tournament, and aftermath alike).
+        recorder = QuotientTrajectory(model, every_parallel_time=5.0)
+        simulate(
+            protocol,
+            config,
+            seed=8,
+            scheduler=SequentialScheduler(),
+            backend="agents",
+            max_parallel_time=1500.0,
+            recorder=recorder,
+        )
+        assert model.num_states > 100
+        ids = list(range(model.num_states))
+        for i in ids:
+            state, u, v, pre_phase, pre_t = model._lift_pairs([(i, i)])
+            for slot in (int(u[0]), int(v[0])):
+                assert (
+                    model._tuple_of(state, slot, int(pre_t[slot]))
+                    == model.labels[i]
+                ), model.labels[i]
+
+    def test_projection_is_deterministic_across_instances(self):
+        config = PopulationConfig.from_counts([30, 30], rng=5)
+        protocol = SimpleAlgorithm()
+        out = []
+        simulate(
+            protocol,
+            config,
+            seed=4,
+            backend="agents",
+            max_parallel_time=400.0,
+            state_out=out,
+        )
+        a = protocol.count_model(config)
+        b = protocol.count_model(config)
+        tuples_a = [a.labels[i] for i in a.project(out[0])]
+        tuples_b = [b.labels[i] for i in b.project(out[0])]
+        assert tuples_a == tuples_b
+
+
+class TestBatchedMode:
+    def test_batched_run_converges_correctly(self):
+        config = PopulationConfig.from_counts([120, 80], rng=3)
+        result = simulate(
+            SimpleAlgorithm(),
+            config,
+            seed=9,
+            scheduler=MatchingScheduler(0.5),
+            backend="counts",
+            max_parallel_time=8000.0,
+            check_invariants=True,
+        )
+        assert result.succeeded
+        assert result.output_opinion == 1
+
+    def test_batched_count_native_config(self):
+        """CountConfig + quotient model: no per-agent array anywhere."""
+        n = 50_000
+        config = CountConfig.from_counts([int(0.6 * n), n - int(0.6 * n)])
+        out = []
+        result = simulate(
+            SimpleAlgorithm(),
+            config,
+            seed=2,
+            scheduler=MatchingScheduler(0.5),
+            backend="counts",
+            max_parallel_time=50.0,  # a slice of initialization, not convergence
+            check_invariants=True,
+            state_out=out,
+        )
+        assert result.failure == "timeout"
+        (state,) = out
+        assert state.ids is None
+        assert int(state.counts.sum()) == n
+
+    def test_batched_statistics_match_agents(self):
+        """Convergence times agree across backends at the mean level."""
+        times = {}
+        for backend in ("agents", "counts"):
+            results = [
+                simulate(
+                    SimpleAlgorithm(),
+                    PopulationConfig.from_counts([70, 58], rng=s),
+                    seed=100 + s,
+                    scheduler=MatchingScheduler(0.25),
+                    backend=backend,
+                    max_parallel_time=8000.0,
+                )
+                for s in range(6)
+            ]
+            assert all(r.succeeded for r in results), backend
+            times[backend] = np.mean([r.parallel_time for r in results])
+        assert times["counts"] == pytest.approx(times["agents"], rel=0.35)
+
+    def test_encode_counts_agrees_with_per_agent_encoding(self):
+        config = PopulationConfig.from_counts([18, 12, 10], rng=7)
+        model = SimpleAlgorithm().count_model(config)
+        via_ids = np.bincount(
+            model.initial_ids(config), minlength=model.num_states
+        )
+        np.testing.assert_array_equal(model.initial_counts(config), via_ids)
+
+
+class TestGuardsAndHooks:
+    def _model(self, counts=(20, 20)):
+        config = PopulationConfig.from_counts(list(counts), rng=0)
+        return SimpleAlgorithm().count_model(config), config
+
+    def test_initial_counts_pass_hooks(self):
+        model, config = self._model()
+        counts = model.initial_counts(config)
+        assert model.failure(counts) is None
+        assert not model.converged(counts)
+        model.check_invariants(counts)
+
+    def test_window_overflow_is_loud(self):
+        """Occupancy across ≥ 3 mod-4 windows must fail, not alias."""
+        model, _ = self._model()
+        ids = [
+            model.intern(("cl", 0, w, 0, 0, quotient_module.TAG_NONE))
+            for w in (0, 1, 2)
+        ]
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[ids] = [10, 10, 20]
+        assert model.failure(counts) == "clock_desync"
+        # Non-clock roles spanning three windows: the quotient-specific
+        # guard (the agent backend has no equivalent check).
+        tr = [
+            model.intern(("tr", 0, w, 0, 1, False, quotient_module.TAG_NONE))
+            for w in (0, 1, 2)
+        ]
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[tr] = [10, 10, 20]
+        assert model.failure(counts) == "phase_window_overflow"
+        # Two occupied windows with a hole between them ({w, w+2}): the
+        # signed pair offset would alias (−2 ≡ +2 mod 4) — also loud.
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[[tr[0], tr[2]]] = [10, 30]
+        assert model.failure(counts) == "phase_window_overflow"
+        # Adjacent windows (including the 3 → 0 wrap) stay in band.
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[[tr[0], tr[1]]] = [10, 30]
+        assert model.failure(counts) is None
+        wrap = model.intern(("tr", 0, 3, 2, 1, False, quotient_module.TAG_NONE))
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[[wrap, tr[0]]] = [10, 30]
+        assert model.failure(counts) is None
+
+    def test_clock_desync_matches_agent_semantics(self):
+        model, _ = self._model()
+        none = quotient_module.TAG_NONE
+        near = [
+            model.intern(("cl", 9, 0, 0, 0, none)),
+            model.intern(("cl", 1, 1, 1, 0, none)),
+        ]
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[near] = [5, 5]
+        assert model.failure(counts) is None  # spread 2: within bound
+        far = [
+            model.intern(("cl", 5, 0, 0, 0, none)),
+            model.intern(("cl", 9, 0, 0, 0, none)),
+        ]
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[far] = [5, 5]
+        assert model.failure(counts) == "clock_desync"
+
+    def test_invariants_catch_token_loss(self):
+        model, config = self._model()
+        counts = model.initial_counts(config)
+        counts[0] -= 1  # one single-token collector vanishes
+        with pytest.raises(InvariantViolation, match="token sum"):
+            model.check_invariants(counts)
+
+    def test_output_requires_unanimous_winners(self):
+        model, config = self._model()
+        counts = model.initial_counts(config)
+        assert model.output_opinion(counts) is None
+        winner = model.intern(
+            ("co", 0, 0, 1, 2, 3, True, False, 0, False, True,
+             quotient_module.TAG_NONE)
+        )
+        final = np.zeros(model.num_states, dtype=np.int64)
+        final[winner] = int(config.n)
+        assert model.converged(final)
+        assert model.output_opinion(final) == 2

@@ -272,3 +272,152 @@ class TestPolicyRegistry:
     def test_policy_base_class_is_abstract(self):
         with pytest.raises(TypeError):
             SamplerPolicy()
+
+
+class TestAutoDispatchBoundary:
+    """Pin the numpy/splitting dispatch boundary at exactly n = 10^9.
+
+    numpy's ``multivariate_hypergeometric`` (``method="marginals"``)
+    requires ``sum(colors) < 10**9`` — the population of exactly 10^9 is
+    already rejected.  ``NumpySampler.supports`` therefore uses a strict
+    ``total < NUMPY_MAX_POPULATION``, and the ``auto`` policy must hand
+    totals of 10^9 and above to the splitting sampler.  Regression tests
+    at 10^9 − 1, 10^9, and 10^9 + 1 keep the boundary from drifting to
+    an off-by-one in either direction.
+    """
+
+    BOUNDARY = NUMPY_MAX_POPULATION  # == 10**9, numpy's exclusive bound
+
+    @staticmethod
+    def _colors(total: int) -> np.ndarray:
+        return np.array([total - 7, 7], dtype=np.int64)
+
+    def test_numpy_generator_bound_matches_constant(self):
+        """The constant tracks numpy's actual rejection threshold."""
+        rng = np.random.default_rng(0)
+        below = rng.multivariate_hypergeometric(self._colors(self.BOUNDARY - 1), 3)
+        assert int(below.sum()) == 3
+        with pytest.raises(ValueError, match="less than 1000000000"):
+            rng.multivariate_hypergeometric(self._colors(self.BOUNDARY), 3)
+
+    def test_numpy_policy_boundary(self):
+        policy = NumpySampler()
+        rng = np.random.default_rng(1)
+        assert policy.supports(self.BOUNDARY - 1)
+        draw = policy.draw(self._colors(self.BOUNDARY - 1), 5, rng)
+        assert int(draw.sum()) == 5
+        for total in (self.BOUNDARY, self.BOUNDARY + 1):
+            assert not policy.supports(total)
+            with pytest.raises(SamplerUnsupported, match="splitting"):
+                policy.draw(self._colors(total), 5, rng)
+
+    def test_auto_policy_covers_all_three_totals(self):
+        policy = AutoSampler()
+        rng = np.random.default_rng(2)
+        for total in (self.BOUNDARY - 1, self.BOUNDARY, self.BOUNDARY + 1):
+            draw = policy.draw(self._colors(total), 5, rng)
+            assert int(draw.sum()) == 5
+            assert (draw >= 0).all()
+
+    def test_auto_uses_numpy_strictly_below_the_boundary(self):
+        """Same seed ⇒ same draw as the numpy policy for totals < 10^9."""
+        colors = self._colors(self.BOUNDARY - 1)
+        via_auto = AutoSampler().draw(colors, 11, np.random.default_rng(3))
+        via_numpy = NumpySampler().draw(colors, 11, np.random.default_rng(3))
+        np.testing.assert_array_equal(via_auto, via_numpy)
+
+
+class TestContingencyPrimitives:
+    """Direct coverage of the batched contingency machinery.
+
+    ``SamplerPolicy.contingency`` / ``SplittingSampler.contingency`` /
+    ``LargeNHypergeometric.table`` / ``univariate_many`` /
+    ``multivariate_many`` back every batched count-space step of the
+    dynamic (quotient) models, so their law is pinned here at small n
+    where a chi-square/KS has power — not just exercised at n = 10^9
+    where only throughput is visible.
+    """
+
+    MARGINS = (np.array([0, 30, 0, 45, 25]), np.array([40, 0, 35, 25, 0]))
+
+    def _margin_samples(self, policy, rounds=600, seed=4):
+        rng = np.random.default_rng(seed)
+        cell, row0 = [], []
+        initiators, responders = self.MARGINS
+        for _ in range(rounds):
+            pi, pj, sizes = policy.contingency(initiators, responders, rng)
+            assert (sizes > 0).all()
+            assert initiators[pi].all() and responders[pj].all()
+            table = np.zeros((5, 5), dtype=np.int64)
+            table[pi, pj] = sizes
+            np.testing.assert_array_equal(table.sum(axis=1), initiators)
+            np.testing.assert_array_equal(table.sum(axis=0), responders)
+            cell.append(int(table[1, 0]))
+            row0.append(int(table[3, 2]))
+        return cell, row0
+
+    def test_contingency_margins_always_exact(self):
+        for name in ("numpy", "splitting", "auto"):
+            self._margin_samples(sampling.get(name), rounds=25, seed=1)
+
+    def test_splitting_contingency_matches_numpy_distribution(self):
+        numpy_cells = self._margin_samples(sampling.get("numpy"))
+        split_cells = self._margin_samples(sampling.get("splitting"))
+        for a, b in zip(numpy_cells, split_cells):
+            ks = scipy_stats.ks_2samp(a, b)
+            assert ks.pvalue > P_THRESHOLD, ks
+
+    def test_table_single_cell_is_hypergeometric(self):
+        """2×2 tables: cell (0,0) must be exactly HG(r0, r1, c0)."""
+        hg = LargeNHypergeometric()
+        rng = np.random.default_rng(8)
+        rows = np.array([60, 40])
+        cols = np.array([55, 45])
+        draws = [int(hg.table(rows, cols, rng)[0, 0]) for _ in range(800)]
+        ref = np.random.default_rng(9).hypergeometric(60, 40, 55, size=800)
+        ks = scipy_stats.ks_2samp(draws, ref)
+        assert ks.pvalue > P_THRESHOLD
+
+    def test_univariate_many_matches_scalar_distribution(self):
+        hg = LargeNHypergeometric()
+        rng = np.random.default_rng(5)
+        batched = hg.univariate_many(
+            np.full(3000, 1000), np.full(3000, 800), np.full(3000, 600), rng
+        )
+        scalar = [
+            hg.univariate(1000, 800, 600, np.random.default_rng(1000 + i))
+            for i in range(3000)
+        ]
+        ks = scipy_stats.ks_2samp(batched, scalar)
+        assert ks.pvalue > P_THRESHOLD
+
+    def test_univariate_many_mixed_magnitudes_and_degenerates(self):
+        """One call spanning width buckets, degenerate draws, and 10^10."""
+        hg = LargeNHypergeometric()
+        rng = np.random.default_rng(6)
+        ngood = np.array([5, 10**10, 0, 300, 7])
+        nbad = np.array([0, 10**10, 50, 200, 9])
+        nsample = np.array([3, 10**9, 50, 250, 0])
+        draws = hg.univariate_many(ngood, nbad, nsample, rng)
+        assert draws[0] == 3  # nbad=0: all good
+        assert draws[2] == 0  # ngood=0: none good
+        assert draws[4] == 0  # nsample=0
+        assert 0 <= draws[3] <= 250
+        # The 10^10 draw must come from the vectorized window (the int64
+        # mode product would overflow; float64 keeps it centred).
+        expected = 10**9 // 2
+        assert abs(int(draws[1]) - expected) < 10**6
+
+    def test_multivariate_many_matches_numpy(self):
+        hg = LargeNHypergeometric()
+        rng = np.random.default_rng(7)
+        colors = np.array([40, 35, 25])
+        first = [
+            int(hg.multivariate_many([colors], [30], rng)[0][0])
+            for _ in range(2000)
+        ]
+        ref = np.random.default_rng(11).multivariate_hypergeometric(
+            colors, 30, size=2000
+        )[:, 0]
+        ks = scipy_stats.ks_2samp(first, ref)
+        assert ks.pvalue > P_THRESHOLD
