@@ -1,0 +1,19 @@
+"""Benchmark EB5: the unordered/improved algorithms on the count backend.
+
+Runs UnorderedAlgorithm and ImprovedAlgorithm through their era-quotiented
+count models (``repro.core.era_quotient``) on count-native populations:
+full convergence at n = 10^5, plus fixed parallel-time slices at n = 10^9
+— the regime beyond numpy's multivariate-hypergeometric cap that the
+``"auto"`` policy routes through the custom color-splitting sampler.  The
+full scale adds unordered convergence legs at n = 10^6 and n = 10^9.  The
+machine-readable timings land in ``benchmarks/reports/EB5.json`` so the CI
+``perf-trajectory`` job tracks the variants' count path from this report
+onward; see ``src/repro/experiments/scaling.py``.
+"""
+
+
+def test_eb5(run_experiment):
+    report = run_experiment("EB5")
+    assert (
+        report.stats["seconds[unordered,n=1e9,auto,budget(15pt)]"] < 600.0
+    )

@@ -38,6 +38,37 @@ def max_broadcast(values: np.ndarray, u: np.ndarray, v: np.ndarray) -> None:
     values[v] = peak
 
 
+def tagged_value_broadcast(
+    values: np.ndarray,
+    tags: np.ndarray,
+    fw: np.ndarray,
+    bw: np.ndarray,
+) -> None:
+    """One-way freshness-tagged value epidemic: newer tags win.
+
+    The receiving side ``fw`` adopts ``(value, tag)`` from ``bw`` exactly
+    when the sender's tag is strictly larger.  This is the paper's
+    era-tagged announcement/candidate epidemic (Appendix B): tags carry
+    the absolute phase of the era a value belongs to, so a stale value
+    can never displace a fresher one, while equal tags never overwrite
+    (the first value of an era wins locally — ties only occur between
+    observations of the same era, any of which is valid).
+
+    Pass the doubled ``fw``/``bw`` orientation arrays to evaluate both
+    directions of each pair in one call; all reads are snapshots taken
+    before either direction writes, so a symmetric swap is resolved on
+    the pre-interaction state like every other rule.
+    """
+    tags_fw = tags[fw]
+    tags_bw = tags[bw]
+    values_bw = values[bw]
+    newer = tags_bw > tags_fw
+    if newer.any():
+        takers = fw[newer]
+        values[takers] = values_bw[newer]
+        tags[takers] = tags_bw[newer]
+
+
 def value_broadcast(
     values: np.ndarray,
     u: np.ndarray,

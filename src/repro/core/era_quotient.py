@@ -1,0 +1,1069 @@
+"""Era-quotiented count models for the unordered/improved algorithms.
+
+This module resolves the ROADMAP open item "quotient the unordered/improved
+variants": :class:`UnorderedQuotientModel` and
+:class:`ImprovedQuotientModel` render the paper's headline algorithms
+(Appendix B and Section 4) as lazily materialized pairwise transition
+systems, so ``simulate(..., backend="counts")`` covers all three core
+tournament protocols — batched matching mode at n = 10⁵ .. 10⁹ (benchmark
+EB5) and a sequential exact mode that replays the agent backend
+bit-for-bit, leader-election coin flips and initialization re-rolls
+included (``tests/test_era_quotient.py``).
+
+What the phase quotient of :mod:`repro.core.quotient` could not cover is
+the *era machinery* these variants add: the leader-election coin race
+records absolute round numbers, and the selection epidemics
+(``cand_*`` / ``ann_*`` / ``found_tag`` / ``finish_tag``) tag values with
+the absolute phase of their era.  The quotient here splits a run into two
+regimes:
+
+Pre-tournament (phases ``< origin = R + selection_phases``)
+    Kept **absolute**.  The leader-election rounds and the defender
+    selection live in phases ``0 .. origin − 1`` — an O(log n) range that
+    the lazily interning :class:`~repro.engine.backends.model.
+    DynamicCountModel` absorbs without any lumping, so coin rounds,
+    ``le_seen_round`` counters (which are capped at ``R`` and therefore
+    finite even for agents that outlive the race), and the selection era
+    are represented exactly.
+
+Post-origin (tournament windows)
+    Quotiented like SimpleAlgorithm's phases: ``phase ↦ (pm, w)`` with
+    ``pm`` the phase within the tournament and ``w`` the window modulo
+    :data:`~repro.core.quotient.WINDOW_MOD` (no saturated tournament
+    counter is needed — the unordered variants terminate via the leader's
+    ``finish_tag``, never via a ``k − 1`` crowning predicate).
+
+Era tags become **holder-relative ages**: a tag whose era is the holder's
+current era has age 0, the previous era age 1, and so on; era indices are
+``−1`` for the selection era and the tournament number afterwards.  Ages
+are exact in ``{−1, 0, 1, 2}`` (−1 arises when a fresher tag is copied
+from one window ahead of a lagging holder) and collapse to ``STALE``
+beyond: an older tag can never again equal any in-band holder's current
+era (eras only advance, and a handover lowers the holder-relative age by
+at most the in-band window gap of 1), so it can neither be sampled, nor
+mark a challenger, nor out-rank a younger tag — and the *payloads* of
+stale tags (``cand_op`` / ``ann_op``) are erased by the projection, which
+makes the spurious stale-versus-stale copies the representative lift can
+introduce observably invisible.  ``found_tag`` is never copied between
+agents and is only ever compared against the holder's own era, so it
+collapses to a single freshness boolean.
+
+Transitions are not re-implemented: pairs are lifted to concrete
+representatives (pre-origin phases verbatim; post-origin windows placed
+at ``LIFT_BASE`` + recovered signed offset, or at their literal window
+when the partner is pre-origin so that cross-regime comparisons stay
+absolute), the production ``interact`` of the algorithm runs on the pair,
+and the outcome is projected back with the same section used on real
+agent states — bit-faithful by construction, exactly as in
+:mod:`repro.core.quotient`.
+
+The :class:`ImprovedQuotientModel` adds the pruning stage (Section 4):
+agents start as collectors at phase ``−c`` driving per-subpopulation
+junta clocks.  Junta levels are O(log log n) and clock positions are
+bounded by ``c · m = O(log n)`` while an agent is still pruning (an agent
+whose position reaches ``c·m`` starts in the same interaction), so the
+entire pruning state is kept **verbatim** — the pruning stage, like the
+pre-tournament regime, is exact.
+
+Out-of-band trajectories — post-origin windows spanning more than two
+consecutive tournaments, a pre-origin straggler surviving into tournament
+window 1, or a mid-race tracker surviving until winners exist — are not
+represented faithfully.  Each requires an agent to dodge every
+interaction for Θ(log n) parallel time (probability ``n · 2^−Ω(Ψn)``);
+the model's ``failure`` hook reports ``"era_window_overflow"`` at the
+next check, so the dominant failure class is loud, never a silently
+wrong trajectory — the same trade-off :mod:`repro.core.quotient` makes
+for SimpleAlgorithm, in the spirit of the paper's title.
+
+Randomness
+==========
+
+The variants flip coins at up to five rng call sites per interaction
+batch, in fixed code order: the initialization re-roll of a collector
+that merged its tokens away (or, for the improved algorithm, completed
+its pruning hours without tokens), the two sides of the improved
+algorithm's phase-0 release, and the two sides' leader-election coin
+flips.  Each site consumes one uniform per affected agent, in batch
+order, through shared thresholds (:data:`~repro.core.common.
+ROLE_REROLL_CUM`, :data:`~repro.leader.coin_race.LE_COIN_CUM`).  A pair
+that hits several sites (e.g. a pruning release on one side and a coin
+flip on the other) becomes a multi-factor
+:class:`~repro.engine.backends.model.RandomEntry` whose factors name the
+call sites; the dynamic count model consumes one uniform per factor in
+``(call site, pair)`` order, which is exactly the agent path's
+consumption order — that alignment is what makes the sequential exact
+mode's replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.backends.model import (
+    DynamicCountModel,
+    RandomEntry,
+    window_band_failure,
+)
+from ..engine.errors import (
+    BackendUnsupported,
+    ConfigurationError,
+    InvariantViolation,
+)
+from ..engine.population import BasePopulation, PopulationConfig, is_count_native
+from ..leader.coin_race import LE_COIN_CUM
+from .common import (
+    CLOCK,
+    COLLECTOR,
+    PHASES_PER_TOURNAMENT,
+    PLAYER,
+    POP_U,
+    ROLE_REROLL_CUM,
+    TRACKER,
+)
+from .quotient import (
+    MAX_EXACT_AGE,
+    TAG_NONE,
+    TAG_STALE,
+    WINDOW_MOD,
+    _GuardRng,
+    _ScriptedRng,
+    relative_clock_spread,
+    signed_window_offset,
+)
+
+#: Base window of lifted post-origin representatives (multiple of
+#: WINDOW_MOD so that ``window mod 4`` survives the round trip).
+LIFT_BASE = 8
+#: Holder-relative age used to lift ``TAG_STALE`` tags in the
+#: representative frame; ± the in-band window offset this stays ≥ 3.
+LIFT_STALE_AGE = 6
+#: Absolute era value used to lift a stale tag when the pair is in the
+#: absolute (pre-origin / mixed) frame, where no representative window
+#: ``LIFT_STALE_AGE`` eras back exists.  0 is below every real era value
+#: (the selection era sits at ``rounds > 8``, tournament eras at
+#: ``origin + 10t``) while still counting as a *set* tag for the
+#: ``finish_tag ≥ 0`` predicates; the era-index arithmetic maps it back
+#: to a very old era, so staleness survives the round trip.
+STALE_SENTINEL = 0
+
+# Tuple kind markers (first element of every quotient state tuple).
+INIT_COLLECTOR = "ic"
+INIT_CLOCK = "icl"
+INIT_TRACKER = "itr"
+INIT_PLAYER = "ipl"
+PRUNING = "pr"
+Q_COLLECTOR = "co"
+Q_CLOCK = "cl"
+Q_TRACKER = "tr"
+Q_PLAYER = "pl"
+
+_STARTED_KINDS = (Q_COLLECTOR, Q_CLOCK, Q_TRACKER, Q_PLAYER)
+_ROLE_OF_KIND = {
+    INIT_COLLECTOR: COLLECTOR,
+    INIT_CLOCK: CLOCK,
+    INIT_TRACKER: TRACKER,
+    INIT_PLAYER: PLAYER,
+    PRUNING: COLLECTOR,
+    Q_COLLECTOR: COLLECTOR,
+    Q_CLOCK: CLOCK,
+    Q_TRACKER: TRACKER,
+    Q_PLAYER: PLAYER,
+}
+
+#: Phase encodings inside started tuples: ("p", absolute phase) before
+#: the tournament origin, ("w", pm, window mod 4) afterwards.
+PH_PRE = "p"
+PH_WINDOW = "w"
+
+# Rng call sites of the agent path, in code order (= factor groups).
+G_INIT_RELEASE = 0
+G_ADOPT_U = 1
+G_ADOPT_V = 2
+G_FLIP_U = 3
+G_FLIP_V = 4
+
+
+class _Factor(NamedTuple):
+    """One independent draw of a randomized pair: call site + thresholds.
+
+    ``arms`` holds one (representative uniform, probability) per outcome;
+    the representative is scripted into the production ``interact`` to
+    realize that arm during derivation.
+    """
+
+    group: int
+    cum: np.ndarray
+    arms: Tuple[Tuple[float, float], ...]
+
+
+_REROLL_ARMS = ((1.0 / 6.0, 1.0 / 3.0), (0.5, 1.0 / 3.0), (5.0 / 6.0, 1.0 / 3.0))
+_COIN_ARMS = ((0.25, 0.5), (0.75, 0.5))
+
+
+def _reroll_factor(group: int) -> _Factor:
+    return _Factor(group, ROLE_REROLL_CUM, _REROLL_ARMS)
+
+
+def _flip_factor(group: int) -> _Factor:
+    return _Factor(group, LE_COIN_CUM, _COIN_ARMS)
+
+
+class UnorderedQuotientModel(DynamicCountModel):
+    """Era-quotient table for UnorderedAlgorithm (Appendix B).
+
+    See the module docstring for the construction.  States are interned
+    tuples; pair transitions are derived on demand by lifting the pair to
+    concrete agents and running the production ``interact`` on them, and
+    are memoized for the lifetime of the model.
+    """
+
+    def __init__(self, algorithm, config: BasePopulation):
+        super().__init__()
+        if config.n < 4:
+            raise ConfigurationError("the tournament algorithms need n >= 4")
+        params = algorithm.params
+        if params.counting_agents or params.init_decrement < 1.0:
+            raise ConfigurationError(
+                "the era quotient does not cover the Appendix C "
+                "parameterizations (counting_agents / fractional "
+                "init_decrement)"
+            )
+        self._algo = algorithm
+        self._n = int(config.n)
+        self._k = int(config.k)
+        self._rounds = int(params.rounds(self._n))
+        self._origin = int(params.tournament_phase_offset(self._n))
+        if self._origin <= PHASES_PER_TOURNAMENT:
+            # The absolute frame separates "one era before tournament 0"
+            # (origin − 10) from the stale sentinel and the unset tag only
+            # when origin − 10 is positive; below that (n ≲ 26 with the
+            # default le_factor) the variants stay agent-only.
+            raise ConfigurationError(
+                "the era quotient needs tournament_phase_offset(n) > "
+                f"{PHASES_PER_TOURNAMENT} (got {self._origin}); population "
+                "too small"
+            )
+        self._psi = params.psi(self._n)
+        self._init_threshold = params.init_threshold(self._n)
+        self._token_cap = params.token_cap
+        self._max_level = params.max_level(self._n)
+        #: Intern the k initial states first so ids 0..k−1 are the initial
+        #: agents of opinions 1..k, in order.
+        self._initial_state_ids = np.array(
+            [
+                self.intern(self._initial_tuple(opinion))
+                for opinion in range(1, self._k + 1)
+            ],
+            dtype=np.int64,
+        )
+        self._meta_cache: Dict[str, np.ndarray] = {}
+        self._meta_watermark = 0
+
+    def _initial_tuple(self, opinion: int):
+        """Quotient tuple of a fresh agent holding ``opinion``."""
+        return (INIT_COLLECTOR, opinion, 1)
+
+    # ------------------------------------------------------------------
+    # Era arithmetic
+    # ------------------------------------------------------------------
+    def _era_index(self, tau: int) -> int:
+        """Era index of an absolute era value: −1 = selection era.
+
+        Values below the selection era (only the stale sentinel lives
+        there) count in single phases so even the smallest sentinel maps
+        to a very old era.
+        """
+        if tau >= self._origin:
+            return (tau - self._origin) // PHASES_PER_TOURNAMENT
+        if tau >= self._rounds:
+            return -1
+        return -1 - (self._rounds - tau)
+
+    def _era_of_phase(self, phase: int) -> int:
+        return (
+            -1
+            if phase < self._origin
+            else (phase - self._origin) // PHASES_PER_TOURNAMENT
+        )
+
+    def _era_key(self, e: int) -> int:
+        """Canonical era-start value of era index ``e ≥ −1``."""
+        if e >= 0:
+            return self._origin + PHASES_PER_TOURNAMENT * e
+        return self._rounds
+
+    def _tag_age(self, tau: int, e_h: int) -> int:
+        """Holder-relative age of the tag era value ``tau`` (π direction)."""
+        if tau < 0:
+            return TAG_NONE
+        age = e_h - self._era_index(tau)
+        if age > MAX_EXACT_AGE:
+            return TAG_STALE
+        # Ages below −1 cannot occur in band (a tag is at most one era
+        # ahead of any holder); clamp for the abstract configurations the
+        # overflow guard is about to reject anyway.
+        return max(age, -1)
+
+    def _tag_value(self, age: int, e_h: int) -> int:
+        """Representative era value of a tag age (lift direction)."""
+        if age == TAG_NONE:
+            return -1
+        if age == TAG_STALE:
+            e_t = e_h - LIFT_STALE_AGE
+            if e_t >= 0:
+                return self._origin + PHASES_PER_TOURNAMENT * e_t
+            return STALE_SENTINEL
+        e_t = e_h - age
+        return self._era_key(max(e_t, -1))
+
+    # ------------------------------------------------------------------
+    # Projection π: concrete UnorderedState → quotient tuples
+    # ------------------------------------------------------------------
+    def _init_tuple_of(self, s, a: int):
+        role = int(s.role[a])
+        if role == COLLECTOR:
+            return (INIT_COLLECTOR, int(s.opinion[a]), int(s.tokens[a]))
+        if role == CLOCK:
+            return (INIT_CLOCK, int(s.count[a]))
+        if role == TRACKER:
+            return (INIT_TRACKER,)
+        if role == PLAYER:
+            return (INIT_PLAYER,)
+        raise ConfigurationError(
+            "counting agents are outside the era quotient"
+        )
+
+    def _tuple_of(self, s, a: int):
+        """Quotient tuple of agent ``a`` in (real or lifted) state ``s``."""
+        phase = int(s.phase[a])
+        if phase < 0:
+            return self._init_tuple_of(s, a)
+        role = int(s.role[a])
+        if phase < self._origin:
+            ph = (PH_PRE, phase)
+            e_h = -1
+        else:
+            window, pm = divmod(phase - self._origin, PHASES_PER_TOURNAMENT)
+            ph = (PH_WINDOW, pm, window % WINDOW_MOD)
+            e_h = window
+        own_key = self._era_key(e_h)
+        bwin = self._tag_age(int(s.bwin_tag[a]), e_h)
+        ann_age = self._tag_age(int(s.ann_tag[a]), e_h)
+        ann_op = (
+            int(s.ann_op[a]) if ann_age not in (TAG_NONE, TAG_STALE) else 0
+        )
+        fin = self._tag_age(int(s.finish_tag[a]), e_h)
+        tags = (bwin, ann_op, ann_age, fin)
+        if role == COLLECTOR:
+            lblock = None
+            if bool(s.leader[a]):
+                cand_age = self._tag_age(int(s.cand_tag[a]), e_h)
+                cand_op = (
+                    int(s.cand_op[a])
+                    if cand_age not in (TAG_NONE, TAG_STALE)
+                    else 0
+                )
+                lblock = (
+                    cand_op,
+                    cand_age,
+                    bool(int(s.found_tag[a]) == own_key),
+                )
+            return (
+                Q_COLLECTOR,
+                ph,
+                int(s.opinion[a]),
+                int(s.tokens[a]),
+                bool(s.defender[a]),
+                bool(s.challenger[a]),
+                int(s.ell[a]),
+                bool(int(s.concl_done[a]) == own_key),
+                bool(s.winner[a]),
+                bool(s.played[a]),
+                tags,
+                lblock,
+            )
+        if role == CLOCK:
+            return (Q_CLOCK, ph, int(s.count[a]), tags)
+        if role == TRACKER:
+            cand_age = self._tag_age(int(s.cand_tag[a]), e_h)
+            cand_op = (
+                int(s.cand_op[a])
+                if cand_age not in (TAG_NONE, TAG_STALE)
+                else 0
+            )
+            return (
+                Q_TRACKER,
+                ph,
+                int(s.le_seen_round[a]),
+                bool(s.le_cand[a]),
+                int(s.le_coin[a]),
+                int(s.le_seen_max[a]),
+                bool(s.leader[a]),
+                bool(int(s.found_tag[a]) == own_key),
+                cand_op,
+                cand_age,
+                tags,
+            )
+        if role == PLAYER:
+            return (
+                Q_PLAYER,
+                ph,
+                int(s.popinion[a]),
+                int(s.msign[a]),
+                int(s.mexpo[a]),
+                int(s.mout[a]),
+                bool(int(s.reset_done[a]) == own_key),
+                tags,
+            )
+        raise ConfigurationError(f"unknown role {role}")
+
+    def project(self, agent_state) -> np.ndarray:
+        """Per-agent quotient ids of a real agent-array state."""
+        s = agent_state
+        n = s.phase.shape[0]
+        return np.fromiter(
+            (self.intern(self._tuple_of(s, a)) for a in range(n)),
+            dtype=np.int64,
+            count=n,
+        )
+
+    # ------------------------------------------------------------------
+    # Section: quotient tuples → concrete representatives
+    # ------------------------------------------------------------------
+    def _state_arrays(self, size: int) -> Dict[str, object]:
+        """Field dict of a blank lifted state (subclasses extend)."""
+        return dict(
+            role=np.zeros(size, dtype=np.int8),
+            phase=np.full(size, -1, dtype=np.int64),
+            winner=np.zeros(size, dtype=bool),
+            opinion=np.zeros(size, dtype=np.int64),
+            tokens=np.zeros(size, dtype=np.int64),
+            defender=np.zeros(size, dtype=bool),
+            challenger=np.zeros(size, dtype=bool),
+            ell=np.zeros(size, dtype=np.int64),
+            concl_done=np.full(size, -1, dtype=np.int64),
+            bwin_tag=np.full(size, -1, dtype=np.int64),
+            count=np.zeros(size, dtype=np.int64),
+            tcnt=np.zeros(size, dtype=np.int64),
+            tcnt_done=np.full(size, -1, dtype=np.int64),
+            popinion=np.full(size, POP_U, dtype=np.int8),
+            msign=np.zeros(size, dtype=np.int8),
+            mexpo=np.zeros(size, dtype=np.int64),
+            mout=np.zeros(size, dtype=np.int8),
+            reset_done=np.full(size, -1, dtype=np.int64),
+            has_initiated=np.zeros(size, dtype=bool),
+            met_same=np.zeros(size, dtype=bool),
+            aftermath_live=True,
+            origin=self._origin,
+            n=self._n,
+            k=self._k,
+            psi=self._psi,
+            init_threshold=self._init_threshold,
+            token_cap=self._token_cap,
+            max_level=self._max_level,
+            le_cand=np.zeros(size, dtype=bool),
+            le_coin=np.zeros(size, dtype=np.int8),
+            le_seen_max=np.zeros(size, dtype=np.int8),
+            le_seen_round=np.full(size, -1, dtype=np.int64),
+            leader=np.zeros(size, dtype=bool),
+            played=np.zeros(size, dtype=bool),
+            cand_op=np.zeros(size, dtype=np.int64),
+            cand_tag=np.full(size, -1, dtype=np.int64),
+            ann_op=np.zeros(size, dtype=np.int64),
+            ann_tag=np.full(size, -1, dtype=np.int64),
+            found_tag=np.full(size, -1, dtype=np.int64),
+            finish_tag=np.full(size, -1, dtype=np.int64),
+            rounds=self._rounds,
+        )
+
+    def _blank_state(self, size: int):
+        from .unordered import UnorderedState
+
+        return UnorderedState(**self._state_arrays(size))
+
+    @staticmethod
+    def _stage(state) -> str:
+        kind = state[0]
+        if kind in _STARTED_KINDS:
+            return "post" if state[1][0] == PH_WINDOW else "pre"
+        return "init"
+
+    def _post_phase(self, state, window: int) -> int:
+        """Absolute representative phase of a post-origin tuple."""
+        return self._origin + PHASES_PER_TOURNAMENT * window + state[1][1]
+
+    def _assign_phases(self, sa, sb) -> Tuple[Optional[int], Optional[int]]:
+        """Representative phases of a pair (None = initializing).
+
+        Both post-origin: windows placed at ``LIFT_BASE`` + the recovered
+        signed offset (era ages are relative, so any base works — the
+        lift-base invariance test moves it).  A post-origin agent paired
+        with a *pre-origin* one is placed at its literal mod-4 window so
+        that absolute cross-regime comparisons (phase broadcast order,
+        tag eras against the selection era) come out right; in band such
+        mixes only occur in window 0, which the era guard enforces.
+        Pre-origin phases are representatives of themselves.
+        """
+        stage_a, stage_b = self._stage(sa), self._stage(sb)
+        pa: Optional[int] = None
+        pb: Optional[int] = None
+        if stage_a == "pre":
+            pa = sa[1][1]
+        if stage_b == "pre":
+            pb = sb[1][1]
+        if stage_a == "post" and stage_b == "post":
+            win_b = LIFT_BASE + sb[1][2]
+            win_a = win_b + signed_window_offset(sa[1][2], sb[1][2])
+            pa = self._post_phase(sa, win_a)
+            pb = self._post_phase(sb, win_b)
+        elif stage_a == "post":
+            base = sa[1][2] if stage_b == "pre" else LIFT_BASE + sa[1][2]
+            pa = self._post_phase(sa, base)
+        elif stage_b == "post":
+            base = sb[1][2] if stage_a == "pre" else LIFT_BASE + sb[1][2]
+            pb = self._post_phase(sb, base)
+        return pa, pb
+
+    def _lift_init(self, s, a: int, state) -> None:
+        kind = state[0]
+        s.role[a] = _ROLE_OF_KIND[kind]
+        if kind == INIT_COLLECTOR:
+            s.opinion[a] = state[1]
+            s.tokens[a] = state[2]
+        elif kind == INIT_CLOCK:
+            s.count[a] = state[1]
+        elif kind == INIT_TRACKER:
+            # Released trackers always enroll as candidates (see
+            # UnorderedAlgorithm._on_new_trackers) with the race not yet
+            # entered; tcnt is dead in the unordered variants.
+            s.le_cand[a] = True
+            s.tcnt[a] = 1
+        elif kind != INIT_PLAYER:
+            raise ConfigurationError(f"unknown init kind {kind!r}")
+
+    def _lift_agent(self, s, a: int, state, phase: Optional[int]) -> None:
+        kind = state[0]
+        if kind not in _STARTED_KINDS:
+            self._lift_init(s, a, state)
+            return
+        s.role[a] = _ROLE_OF_KIND[kind]
+        s.phase[a] = phase
+        s.has_initiated[a] = True
+        e_h = self._era_of_phase(phase)
+        own_key = self._era_key(e_h)
+        not_done = -1 if e_h < 0 else own_key - PHASES_PER_TOURNAMENT
+        tags = state[10] if kind == Q_COLLECTOR else state[-1]
+        bwin, ann_op, ann_age, fin = tags
+        s.bwin_tag[a] = self._tag_value(bwin, e_h)
+        s.ann_op[a] = ann_op
+        s.ann_tag[a] = self._tag_value(ann_age, e_h)
+        s.finish_tag[a] = self._tag_value(fin, e_h)
+        if kind == Q_COLLECTOR:
+            (_, _, op, tokens, dfn, chal, ell, concl, win, played, _, lblock) = state
+            s.opinion[a] = op
+            s.tokens[a] = tokens
+            s.defender[a] = dfn
+            s.challenger[a] = chal
+            s.ell[a] = ell
+            s.concl_done[a] = own_key if concl else not_done
+            s.winner[a] = win
+            s.played[a] = played
+            if lblock is not None:
+                cand_op, cand_age, found = lblock
+                s.leader[a] = True
+                s.cand_op[a] = cand_op
+                s.cand_tag[a] = self._tag_value(cand_age, e_h)
+                s.found_tag[a] = own_key if found else -1
+        elif kind == Q_CLOCK:
+            s.count[a] = state[2]
+        elif kind == Q_TRACKER:
+            (_, _, seen, cand, coin, mx, leader, found, cand_op, cand_age, _) = state
+            s.le_seen_round[a] = seen
+            s.le_cand[a] = cand
+            s.le_coin[a] = coin
+            s.le_seen_max[a] = mx
+            s.leader[a] = leader
+            s.found_tag[a] = own_key if found else -1
+            s.cand_op[a] = cand_op
+            s.cand_tag[a] = self._tag_value(cand_age, e_h)
+            s.tcnt[a] = 1
+        else:  # Q_PLAYER
+            (_, _, pop, msign, mexpo, mout, reset, _) = state
+            s.popinion[a] = pop
+            s.msign[a] = msign
+            s.mexpo[a] = mexpo
+            s.mout[a] = mout
+            s.reset_done[a] = own_key if reset else not_done
+
+    def _lift_pairs(self, pairs: Sequence[Tuple[int, int]]):
+        """Concrete representatives for a batch of state-id pairs.
+
+        Returns ``(state, u, v)``: slot ``m`` holds the initiator of pair
+        ``m`` and slot ``M + m`` its responder.
+        """
+        m_pairs = len(pairs)
+        s = self._blank_state(2 * m_pairs)
+        for m, (i, j) in enumerate(pairs):
+            sa, sb = self.labels[i], self.labels[j]
+            pa, pb = self._assign_phases(sa, sb)
+            self._lift_agent(s, m, sa, pa)
+            self._lift_agent(s, m_pairs + m, sb, pb)
+        u = np.arange(m_pairs, dtype=np.int64)
+        v = np.arange(m_pairs, dtype=np.int64) + m_pairs
+        return s, u, v
+
+    # ------------------------------------------------------------------
+    # Derivation: lift → interact → project back
+    # ------------------------------------------------------------------
+    def _simulate_pairs(self, pairs: Sequence[Tuple[int, int]], rng):
+        """Run the production transition on lifted pairs; project back."""
+        s, u, v = self._lift_pairs(pairs)
+        self._algo.interact(s, u, v, rng)
+        return [
+            (
+                self.intern(self._tuple_of(s, int(u[m]))),
+                self.intern(self._tuple_of(s, int(v[m]))),
+            )
+            for m in range(len(pairs))
+        ]
+
+    def _flip_pending(self, state) -> bool:
+        """Whether this tuple flips a leader-election coin when it acts.
+
+        Mirrors the ``behind``/``flipping`` predicates of ``_le_rules`` /
+        ``le_enter_round``: a started tracker whose phase entered a coin
+        round it has not flipped for yet.  Post-origin trackers finalize
+        without flipping; the guard rng turns any drift into a loud
+        assertion.
+        """
+        if state[0] != Q_TRACKER or state[1][0] != PH_PRE:
+            return False
+        phase = state[1][1]
+        return state[2] < phase < self._rounds
+
+    def _init_release_factors(self, sa, sb) -> List[_Factor]:
+        """Factors of the initialization call sites (subclasses override)."""
+        if (
+            sa[0] == INIT_COLLECTOR
+            and sb[0] == INIT_COLLECTOR
+            and sa[1] == sb[1]
+            and sa[1] > 0
+            and sa[2] + sb[2] <= self._token_cap
+        ):
+            # Token merge: the initiator hands its tokens over and
+            # re-rolls into a non-collector role.
+            return [_reroll_factor(G_INIT_RELEASE)]
+        return []
+
+    def _random_factors(self, i: int, j: int) -> List[_Factor]:
+        """The rng call sites pair (i, j) consumes, in call order."""
+        sa, sb = self.labels[i], self.labels[j]
+        factors = self._init_release_factors(sa, sb)
+        if self._flip_pending(sa):
+            factors.append(_flip_factor(G_FLIP_U))
+        if self._flip_pending(sb):
+            factors.append(_flip_factor(G_FLIP_V))
+        return factors
+
+    def _derive_pairs(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        det: List[Tuple[int, int]] = []
+        rand: List[Tuple[Tuple[int, int], List[_Factor]]] = []
+        for pair in pairs:
+            factors = self._random_factors(*pair)
+            if factors:
+                rand.append((pair, factors))
+            else:
+                det.append(pair)
+        if det:
+            for (i, j), (out_i, out_j) in zip(
+                det, self._simulate_pairs(det, _GuardRng())
+            ):
+                self._record_det(i, j, out_i, out_j)
+        for (i, j), factors in rand:
+            out_u: List[int] = []
+            out_v: List[int] = []
+            probs: List[float] = []
+            # One pass per joint arm, the production interact scripted
+            # with that arm's representative uniforms (call-site order).
+            for combo in itertools.product(*(f.arms for f in factors)):
+                scripted = _ScriptedRng([value for value, _ in combo])
+                ((o_u, o_v),) = self._simulate_pairs([(i, j)], scripted)
+                scripted.assert_exhausted()
+                out_u.append(o_u)
+                out_v.append(o_v)
+                prob = 1.0
+                for _, p in combo:
+                    prob *= p
+                probs.append(prob)
+            self._record_random(
+                i,
+                j,
+                RandomEntry(
+                    probs=probs,
+                    out_u=out_u,
+                    out_v=out_v,
+                    factors=[(f.group, f.cum) for f in factors],
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Initial configuration
+    # ------------------------------------------------------------------
+    def initial_ids(self, config: PopulationConfig) -> np.ndarray:
+        if is_count_native(config):
+            raise BackendUnsupported(
+                f"count-native config {config.name!r} has no per-agent "
+                f"layout to encode; use initial_counts() (batched mode) "
+                f"or materialize() the config first"
+            )
+        lut = np.full(self._k + 1, -1, dtype=np.int64)
+        lut[1:] = self._initial_state_ids
+        return lut[np.asarray(config.opinions, dtype=np.int64)]
+
+    def initial_counts(self, config: BasePopulation) -> np.ndarray:
+        counts = np.zeros(self.num_states, dtype=np.int64)
+        counts[self._initial_state_ids] = config.counts()
+        return counts
+
+    # ------------------------------------------------------------------
+    # Per-state metadata for the count-level hooks
+    # ------------------------------------------------------------------
+    def _meta_fields(self, total: int) -> Dict[str, np.ndarray]:
+        return {
+            "role": np.zeros(total, dtype=np.int8),
+            "started": np.zeros(total, dtype=bool),
+            "pre": np.zeros(total, dtype=bool),
+            "post": np.zeros(total, dtype=bool),
+            "pruning": np.zeros(total, dtype=bool),
+            "w": np.zeros(total, dtype=np.int64),
+            "pm": np.zeros(total, dtype=np.int64),
+            "pre_phase": np.full(total, -1, dtype=np.int64),
+            "winner": np.zeros(total, dtype=bool),
+            "opinion": np.zeros(total, dtype=np.int64),
+            "tokens": np.zeros(total, dtype=np.int64),
+            "ell": np.zeros(total, dtype=np.int64),
+            "leader": np.zeros(total, dtype=bool),
+            "seen": np.full(total, -1, dtype=np.int64),
+            "finish": np.zeros(total, dtype=bool),
+            "played_collector": np.zeros(total, dtype=bool),
+        }
+
+    def _meta_of_state(self, fields: Dict[str, np.ndarray], sid: int) -> None:
+        state = self.labels[sid]
+        kind = state[0]
+        fields["role"][sid] = _ROLE_OF_KIND[kind]
+        if kind == INIT_COLLECTOR:
+            fields["opinion"][sid] = state[1]
+            fields["tokens"][sid] = state[2]
+            return
+        if kind == PRUNING:
+            fields["pruning"][sid] = True
+            fields["opinion"][sid] = state[2]
+            fields["tokens"][sid] = state[3]
+            return
+        if kind not in _STARTED_KINDS:
+            return
+        fields["started"][sid] = True
+        ph = state[1]
+        if ph[0] == PH_PRE:
+            fields["pre"][sid] = True
+            fields["pre_phase"][sid] = ph[1]
+        else:
+            fields["post"][sid] = True
+            fields["pm"][sid] = ph[1]
+            fields["w"][sid] = ph[2]
+        tags = state[10] if kind == Q_COLLECTOR else state[-1]
+        fields["finish"][sid] = tags[3] != TAG_NONE
+        if kind == Q_COLLECTOR:
+            fields["opinion"][sid] = state[2]
+            fields["tokens"][sid] = state[3]
+            fields["ell"][sid] = state[6]
+            fields["winner"][sid] = state[8]
+            fields["played_collector"][sid] = state[9]
+            fields["leader"][sid] = state[11] is not None
+        elif kind == Q_TRACKER:
+            fields["seen"][sid] = state[2]
+            fields["leader"][sid] = state[6]
+
+    def _meta(self) -> Dict[str, np.ndarray]:
+        total = self.num_states
+        if self._meta_watermark < total:
+            fields = self._meta_fields(total)
+            for name, arr in fields.items():
+                old = self._meta_cache.get(name)
+                if old is not None:
+                    arr[: old.shape[0]] = old
+            for sid in range(self._meta_watermark, total):
+                self._meta_of_state(fields, sid)
+            self._meta_cache = fields
+            self._meta_watermark = total
+        return self._meta_cache
+
+    # ------------------------------------------------------------------
+    # Count-level protocol hooks
+    # ------------------------------------------------------------------
+    def converged(self, counts: np.ndarray) -> bool:
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        occupied = np.flatnonzero(counts)
+        return occupied.size > 0 and bool(meta["winner"][occupied].all())
+
+    def output_opinion(self, counts: np.ndarray) -> Optional[int]:
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        opinions = np.unique(meta["opinion"][np.flatnonzero(counts)])
+        if opinions.size == 1 and opinions[0] != 0:
+            return int(opinions[0])
+        return None
+
+    def _clock_spread(self, meta, clocks: np.ndarray) -> int:
+        """Started-clock phase spread, exact across the regime boundary."""
+        pre = clocks[meta["pre"][clocks]]
+        post = clocks[meta["post"][clocks]]
+        if pre.size and post.size:
+            if (meta["w"][post] != 0).any():
+                # A pre-origin clock next to clocks past tournament 0:
+                # over any desync bound (and out of band — the era guard
+                # reports that separately).
+                return PHASES_PER_TOURNAMENT
+            phases = np.concatenate(
+                [meta["pre_phase"][pre], self._origin + meta["pm"][post]]
+            )
+            return int(phases.max() - phases.min())
+        if pre.size:
+            phases = meta["pre_phase"][pre]
+            return int(phases.max() - phases.min())
+        return relative_clock_spread(meta["w"][post], meta["pm"][post])
+
+    def failure(self, counts: np.ndarray) -> Optional[str]:
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        occupied = np.flatnonzero(counts)
+        clocks = occupied[
+            (meta["role"][occupied] == CLOCK) & meta["started"][occupied]
+        ]
+        if clocks.size and self._clock_spread(meta, clocks) > 2:
+            return "clock_desync"
+        post = occupied[meta["post"][occupied]]
+        if window_band_failure(meta["w"][post], WINDOW_MOD):
+            # Post-origin windows escaped the 2-consecutive-window band:
+            # mod-4 offset recovery (and era-age arithmetic) is no longer
+            # faithful — fail loudly instead of silently diverging.
+            return "era_window_overflow"
+        pre = occupied[meta["pre"][occupied]]
+        if pre.size and post.size and (meta["w"][post] != 0).any():
+            # A pre-origin straggler while tournament 1+ is occupied: the
+            # absolute mixed-frame lift (and era ages on the straggler)
+            # would alias.
+            return "era_window_overflow"
+        trackers = occupied[
+            (meta["role"][occupied] == TRACKER) & meta["started"][occupied]
+        ]
+        mid_race = trackers[meta["seen"][trackers] < self._rounds]
+        if counts[meta["winner"]].any() and mid_race.size:
+            # A tracker still racing when winners exist: a conversion by
+            # the winner epidemic would drop live coin-race state.
+            return "era_window_overflow"
+        all_trackers = occupied[meta["role"][occupied] == TRACKER]
+        if all_trackers.size and (
+            meta["seen"][all_trackers] >= self._rounds
+        ).all():
+            leaders = int(counts[meta["leader"]].sum())
+            if leaders == 0:
+                return "no_leader"
+            if leaders > 1:
+                return "multiple_leaders"
+        return None
+
+    def progress(self, counts: np.ndarray) -> Dict[str, float]:
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        stats: Dict[str, float] = {}
+        for value, name in (
+            (COLLECTOR, "collector"),
+            (CLOCK, "clock"),
+            (TRACKER, "tracker"),
+            (PLAYER, "player"),
+        ):
+            stats[f"role_{name}"] = float(counts[meta["role"] == value].sum())
+        stats["winners"] = float(counts[meta["winner"]].sum())
+        stats["leaders"] = float(counts[meta["leader"]].sum())
+        stats["played_collectors"] = float(
+            counts[meta["played_collector"]].sum()
+        )
+        stats["finished"] = float(counts[meta["finish"]].sum())
+        stats["states_materialized"] = float(self.num_states)
+        stats["pairs_derived"] = float(self.derived_pairs)
+        return stats
+
+    def _check_count_bounds(self, counts: np.ndarray, meta) -> None:
+        """The per-state invariants shared by both variants."""
+        if (counts < 0).any():
+            raise InvariantViolation("negative state count")
+        occupied = np.flatnonzero(counts)
+        if (meta["tokens"][occupied] < 0).any() or (
+            meta["tokens"][occupied] > self._token_cap
+        ).any():
+            raise InvariantViolation("tokens escaped [0, cap]")
+        if (np.abs(meta["ell"][occupied]) > self._token_cap).any():
+            raise InvariantViolation("ell escaped [-cap, cap]")
+
+    def check_invariants(self, counts: np.ndarray) -> None:
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        self._check_count_bounds(counts, meta)
+        if not counts[meta["winner"]].any():
+            total = int((meta["tokens"] * counts).sum())
+            if total != self._n:
+                raise InvariantViolation(f"token sum {total} != n {self._n}")
+
+
+class ImprovedQuotientModel(UnorderedQuotientModel):
+    """Era-quotient table for ImprovedAlgorithm (Section 4).
+
+    Extends the unordered model with the pruning stage: agents start as
+    collectors at phase ``−c`` running per-subpopulation junta clocks.
+    Junta levels (≤ ℓ_max = O(log log n)) and clock positions (≤ c·m =
+    O(log n) while pruning — reaching ``c·m`` starts the agent in the
+    same interaction) are finite, so pruning tuples keep the full
+    sub-state verbatim and the stage is exact; from phase 0 on the
+    protocol *is* the unordered algorithm and everything is inherited.
+    """
+
+    def __init__(self, algorithm, config: BasePopulation):
+        params = algorithm.params
+        self._floor_c = int(params.phase_floor_c)
+        super().__init__(algorithm, config)
+        from ..clocks.junta import junta_max_level
+
+        self._hour_m = int(params.hour_m(self._n))
+        self._ell_max = int(
+            junta_max_level(self._n, params.junta_level_offset)
+        )
+
+    def _initial_tuple(self, opinion: int):
+        # Fresh agents: phase −c, one token, junta level 0, active, not
+        # in the junta, clock position 0.
+        return (PRUNING, -self._floor_c, opinion, 1, 0, True, False, 0)
+
+    # -- Projection / lift of the pruning stage -------------------------
+    def _init_tuple_of(self, s, a: int):
+        if int(s.role[a]) != COLLECTOR:
+            raise ConfigurationError(
+                "non-collector with negative phase outside the pruning "
+                "stage"
+            )
+        return (
+            PRUNING,
+            int(s.phase[a]),
+            int(s.opinion[a]),
+            int(s.tokens[a]),
+            int(s.jlevel[a]),
+            bool(s.jactive[a]),
+            bool(s.junta[a]),
+            int(s.jposition[a]),
+        )
+
+    def _lift_init(self, s, a: int, state) -> None:
+        if state[0] != PRUNING:
+            raise ConfigurationError(
+                f"unexpected init kind {state[0]!r} in the improved "
+                f"quotient"
+            )
+        _, phase, op, tokens, jlevel, jactive, junta, jpos = state
+        s.role[a] = COLLECTOR
+        s.phase[a] = phase
+        s.opinion[a] = op
+        s.tokens[a] = tokens
+        s.jlevel[a] = jlevel
+        s.jactive[a] = jactive
+        s.junta[a] = junta
+        s.jposition[a] = jpos
+
+    def _state_arrays(self, size: int) -> Dict[str, object]:
+        fields = super()._state_arrays(size)
+        fields.update(
+            jlevel=np.zeros(size, dtype=np.int64),
+            jactive=np.ones(size, dtype=bool),
+            junta=np.zeros(size, dtype=bool),
+            jposition=np.zeros(size, dtype=np.int64),
+            ell_max=self._ell_max,
+            hour_m=self._hour_m,
+            floor_c=self._floor_c,
+        )
+        return fields
+
+    def _blank_state(self, size: int):
+        from .improved import ImprovedState
+
+        return ImprovedState(**self._state_arrays(size))
+
+    # -- Randomized-pair predicates of the modified initialization ------
+    def _init_release_factors(self, sa, sb) -> List[_Factor]:
+        a_pruning = sa[0] == PRUNING
+        b_pruning = sb[0] == PRUNING
+        if a_pruning and b_pruning:
+            # Meaningful interaction: replay the junta election step, the
+            # clock tick, and the token merge to decide whether the
+            # initiator completes its c-th hour with no tokens left
+            # (Line 9: released immediately).
+            if sa[2] != sb[2] or sa[2] <= 0:
+                return []
+            _, phase_a, _, tokens_a, level_a, active_a, junta_a, jpos_a = sa
+            # FormJunta first (mirroring form_junta_step): an active
+            # initiator may crown into the junta in this very
+            # interaction, and the clock bump below reads the
+            # *post-crowning* junta bit.
+            if active_a:
+                if sb[4] >= level_a:
+                    level_a += 1
+                    if level_a >= self._ell_max:
+                        junta_a = True
+            new_jpos = max(jpos_a, sb[7] + (1 if junta_a else 0))
+            ticked = min(-self._floor_c + new_jpos // self._hour_m, 0)
+            new_phase = max(phase_a, ticked)
+            merge = tokens_a > 0 and tokens_a + sb[3] <= self._token_cap
+            new_tokens = 0 if merge else tokens_a
+            if new_phase == 0 and new_tokens == 0:
+                return [_reroll_factor(G_INIT_RELEASE)]
+            return []
+        if a_pruning and sb[0] in _STARTED_KINDS:
+            # Phase-0 receipt (Lines 8-11): pruned joiners re-roll.
+            if sa[1] == -self._floor_c or sa[3] == 0:
+                return [_reroll_factor(G_ADOPT_U)]
+            return []
+        if b_pruning and sa[0] in _STARTED_KINDS:
+            if sb[1] == -self._floor_c or sb[3] == 0:
+                return [_reroll_factor(G_ADOPT_V)]
+            return []
+        return []
+
+    # -- Count-level hooks ----------------------------------------------
+    def progress(self, counts: np.ndarray) -> Dict[str, float]:
+        stats = super().progress(counts)
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        occupied = np.flatnonzero(counts)
+        collectors = occupied[
+            (meta["role"][occupied] == COLLECTOR)
+            & (meta["tokens"][occupied] > 0)
+        ]
+        surviving = np.unique(meta["opinion"][collectors])
+        stats["surviving_opinions"] = float((surviving > 0).sum())
+        stats["tokens_total"] = float((meta["tokens"] * counts).sum())
+        return stats
+
+    def check_invariants(self, counts: np.ndarray) -> None:
+        # Token conservation holds only until pruning destroys tokens, so
+        # the unordered invariant is relaxed: the total may only decrease.
+        counts = self.ensure_capacity(counts)
+        meta = self._meta()
+        self._check_count_bounds(counts, meta)
+        total = int((meta["tokens"] * counts).sum())
+        if total > self._n:
+            raise InvariantViolation(
+                f"token sum {total} exceeds n {self._n}"
+            )

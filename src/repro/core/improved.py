@@ -59,6 +59,20 @@ class ImprovedAlgorithm(UnorderedAlgorithm):
     def __init__(self, params: Optional[ImprovedParams] = None):
         super().__init__(params or ImprovedParams())
 
+    def count_model(self, config: PopulationConfig):
+        """Export the era-quotiented count model with the pruning stage.
+
+        Same gates as :meth:`UnorderedAlgorithm.count_model`; the
+        :class:`~repro.core.era_quotient.ImprovedQuotientModel` adds the
+        exact pruning-stage tuples (junta levels and clock positions are
+        O(log n)-bounded while an agent is still pruning).
+        """
+        if not self._era_quotient_supported(config):
+            return None
+        from .era_quotient import ImprovedQuotientModel
+
+        return ImprovedQuotientModel(self, config)
+
     # ------------------------------------------------------------------
     # Initialization
     # ------------------------------------------------------------------
@@ -118,7 +132,12 @@ class ImprovedAlgorithm(UnorderedAlgorithm):
                 continue
             joiners = side[adopt]
             prune = (s.phase[joiners] == -s.floor_c) | (s.tokens[joiners] == 0)
-            self._release_agents(s, joiners[prune], rng)
+            pruned = joiners[prune]
+            if pruned.size:
+                # Guarded so the call is skipped (not a zero-size rng
+                # draw) when nobody prunes: the count backend's exact
+                # mode asserts deterministic pairs stay rng-free.
+                self._release_agents(s, pruned, rng)
             s.phase[joiners] = 0
 
     # ------------------------------------------------------------------

@@ -114,7 +114,11 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..engine.backends.model import DynamicCountModel, RandomEntry
+from ..engine.backends.model import (
+    DynamicCountModel,
+    RandomEntry,
+    window_band_failure,
+)
 from ..engine.errors import (
     BackendUnsupported,
     ConfigurationError,
@@ -173,6 +177,43 @@ _ROLE_OF_KIND = {
 }
 
 
+def signed_window_offset(w_a: int, w_b: int) -> int:
+    """Signed in-band window offset ``a − b`` recovered from mod-4 windows.
+
+    Shared by the phase quotient below and the era quotient
+    (:mod:`repro.core.era_quotient`): two in-band windows differ by less
+    than two full tournaments, so their signed difference in
+    ``{−1, 0, +1, +2}`` is recoverable from the mod-``WINDOW_MOD`` values.
+    """
+    delta = (w_a - w_b) % WINDOW_MOD
+    return delta - WINDOW_MOD if delta == WINDOW_MOD - 1 else delta
+
+
+def relative_clock_spread(ws: np.ndarray, pms: np.ndarray) -> int:
+    """Exact clock phase spread from (window mod 4, phase-in-window) pairs.
+
+    Mirrors ``SimpleAlgorithm.failure``'s started-clock spread on quotient
+    coordinates: with clocks confined to at most two adjacent mod-4
+    windows the spread is exact; anything wider returns a value above any
+    desync bound (the window-overflow guard flags those configurations
+    separately).  Shared by both quotient models.
+    """
+    windows = np.unique(ws)
+    if windows.size == 1:
+        return int(pms.max() - pms.min())
+    if windows.size != 2:
+        return PHASES_PER_TOURNAMENT  # ≥ 2 windows apart: over any bound
+    a, b = int(windows[0]), int(windows[1])
+    if (b - a) % WINDOW_MOD == 1:
+        hi = b
+    elif (a - b) % WINDOW_MOD == 1:
+        hi = a
+    else:
+        return PHASES_PER_TOURNAMENT
+    phases = pms + PHASES_PER_TOURNAMENT * (ws == hi)
+    return int(phases.max() - phases.min())
+
+
 class _ForcedUniformRng:
     """An rng whose ``random`` returns a fixed value: forces one re-roll arm."""
 
@@ -196,8 +237,53 @@ class _GuardRng:
     def __getattr__(self, name):
         raise AssertionError(
             "a supposedly deterministic quotient pair consumed randomness "
-            f"(rng.{name}); the merge-pair predicate drifted from "
-            "SimpleAlgorithm._init_rules"
+            f"(rng.{name}); the randomized-pair predicate drifted from the "
+            "protocol's transition rules"
+        )
+
+
+class _ScriptedRng:
+    """An rng whose ``random`` pops pre-scripted uniforms, in order.
+
+    Used to derive multi-coin randomized pairs (see
+    :mod:`repro.core.era_quotient`): the script holds one representative
+    uniform per rng call site in consumption order, and every
+    ``random(size)`` call pops exactly ``size`` of them.  Over- or
+    under-consumption is a loud assertion — it means the randomized-pair
+    predicate drifted from the production transition rules.
+    """
+
+    def __init__(self, values: Sequence[float]):
+        self._values = [float(v) for v in values]
+        self._cursor = 0
+
+    def random(self, size=None):
+        count = 1 if size is None else int(size)
+        if self._cursor + count > len(self._values):
+            raise AssertionError(
+                f"quotient derivation consumed more randomness than "
+                f"scripted ({self._cursor + count} > {len(self._values)}); "
+                f"the randomized-pair predicate drifted from the "
+                f"transition rules"
+            )
+        chunk = self._values[self._cursor : self._cursor + count]
+        self._cursor += count
+        if size is None:
+            return chunk[0]
+        return np.array(chunk)
+
+    def assert_exhausted(self) -> None:
+        if self._cursor != len(self._values):
+            raise AssertionError(
+                f"quotient derivation consumed {self._cursor} of "
+                f"{len(self._values)} scripted uniforms; the "
+                f"randomized-pair predicate drifted from the transition "
+                f"rules"
+            )
+
+    def __getattr__(self, name):  # pragma: no cover - defensive
+        raise AssertionError(
+            f"quotient derivation used unexpected rng method {name!r}"
         )
 
 
@@ -382,8 +468,7 @@ class SimpleQuotientModel(DynamicCountModel):
     @staticmethod
     def _signed_offset(w_a: int, w_b: int) -> int:
         """Signed in-band window offset ``a − b`` recovered from mod-4."""
-        delta = (w_a - w_b) % WINDOW_MOD
-        return delta - WINDOW_MOD if delta == WINDOW_MOD - 1 else delta
+        return signed_window_offset(w_a, w_b)
 
     def _lift_agent(self, s, a: int, state, window: Optional[int]) -> int:
         """Write quotient tuple ``state`` into slot ``a``; returns t or −1.
@@ -655,38 +740,17 @@ class SimpleQuotientModel(DynamicCountModel):
             if spread > 2:
                 return "clock_desync"
         started = occupied[meta["started"][occupied]]
-        windows = np.unique(meta["w"][started])
-        if windows.size >= WINDOW_MOD - 1:
-            # ≥ 3 distinct mod-4 windows: the band assumption failed and
-            # quotient arithmetic is no longer faithful — fail loudly
-            # instead of silently diverging from the agent backend.
+        if window_band_failure(meta["w"][started], WINDOW_MOD):
+            # The band assumption failed and quotient arithmetic is no
+            # longer faithful — fail loudly instead of silently diverging
+            # from the agent backend.
             return "phase_window_overflow"
-        if windows.size == 2:
-            a, b = int(windows[0]), int(windows[1])
-            if (b - a) % WINDOW_MOD not in (1, WINDOW_MOD - 1):
-                # Two occupied windows with an empty window between them
-                # ({w, w+2}): the signed offset of such a pair aliases
-                # (−2 ≡ +2 mod 4), so this is out of band as well.
-                return "phase_window_overflow"
         return None
 
     @staticmethod
     def _clock_phase_spread(ws: np.ndarray, pms: np.ndarray) -> int:
         """Exact clock phase spread, mirroring SimpleAlgorithm.failure."""
-        windows = np.unique(ws)
-        if windows.size == 1:
-            return int(pms.max() - pms.min())
-        if windows.size != 2:
-            return PHASES_PER_TOURNAMENT  # ≥ 2 windows apart: over any bound
-        a, b = int(windows[0]), int(windows[1])
-        if (b - a) % WINDOW_MOD == 1:
-            hi = b
-        elif (a - b) % WINDOW_MOD == 1:
-            hi = a
-        else:
-            return PHASES_PER_TOURNAMENT
-        phases = pms + PHASES_PER_TOURNAMENT * (ws == hi)
-        return int(phases.max() - phases.min())
+        return relative_clock_spread(ws, pms)
 
     def progress(self, counts: np.ndarray) -> Dict[str, float]:
         counts = self.ensure_capacity(counts)

@@ -34,6 +34,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..broadcast.epidemic import tagged_value_broadcast
 from ..engine.population import PopulationConfig
 from ..leader.coin_race import le_enter_round, le_relay
 from .common import (
@@ -88,18 +89,38 @@ class UnorderedAlgorithm(SimpleAlgorithm):
     def __init__(self, params: Optional[UnorderedParams] = None):
         super().__init__(params or UnorderedParams())
 
-    def count_model(self, config: PopulationConfig) -> None:
-        """The unordered variant exports no transition table (yet).
+    def count_model(self, config: PopulationConfig):
+        """Export the era-quotiented count model (ROADMAP item, resolved).
 
-        The phase quotient of :mod:`repro.core.quotient` covers the
-        tournament machinery, but not the leader-election coin race and
-        the era-tagged challenger-selection epidemics this variant adds
-        (`le_*`, `cand_*`, `ann_*` record absolute phases of their era) —
-        quotienting those eras is the natural follow-on to the
-        SimpleAlgorithm model.  Until then the variant (and the improved
-        algorithm on top of it) runs on the agent-array backend only.
+        The leader-election coin race and the era-tagged selection
+        epidemics record absolute phases of their era, on top of the
+        unbounded tournament counters the phase quotient of
+        :mod:`repro.core.quotient` already handles.  The era quotient
+        (:mod:`repro.core.era_quotient`) keeps the O(log n) pre-tournament
+        phases absolute and maps the era tags to holder-relative ages, so
+        the variant runs on ``backend="counts"`` — batched at
+        n = 10⁵ .. 10⁹ (benchmark EB5) and bit-exactly in sequential mode
+        (``tests/test_era_quotient.py``).
+
+        Returns None for the Appendix C parameterizations
+        (``counting_agents`` / fractional ``init_decrement``, not
+        quotiented) and for populations so small that the tournament
+        origin does not clear one full tournament window (n ≲ 26 with the
+        default ``le_factor`` — the absolute lift frame needs
+        ``origin − 10 > 0`` to keep the tag sentinels collision-free).
         """
-        return None
+        if not self._era_quotient_supported(config):
+            return None
+        from .era_quotient import UnorderedQuotientModel
+
+        return UnorderedQuotientModel(self, config)
+
+    def _era_quotient_supported(self, config: PopulationConfig) -> bool:
+        """Whether the era quotient covers this parameterization."""
+        params: UnorderedParams = self.params  # type: ignore[assignment]
+        if params.counting_agents or params.init_decrement < 1.0:
+            return False
+        return params.tournament_phase_offset(config.n) > PHASES_PER_TOURNAMENT
 
     # ------------------------------------------------------------------
     # Initialization
@@ -235,16 +256,12 @@ class UnorderedAlgorithm(SimpleAlgorithm):
             watchers = fw[observe]
             s.cand_op[watchers] = s.opinion[bw[observe]]
             s.cand_tag[watchers] = era[observe]
-        # ... and copy fresher observations from each other.
-        copy = (
-            (r_fw == TRACKER)
-            & (r_bw == TRACKER)
-            & (s.cand_tag[bw] > s.cand_tag[fw])
+        # ... and copy fresher observations from each other (the
+        # era-tagged epidemic of Appendix B, restricted to trackers).
+        tracker_pair = (r_fw == TRACKER) & (r_bw == TRACKER)
+        tagged_value_broadcast(
+            s.cand_op, s.cand_tag, fw[tracker_pair], bw[tracker_pair]
         )
-        if copy.any():
-            takers = fw[copy]
-            s.cand_op[takers] = s.cand_op[bw[copy]]
-            s.cand_tag[takers] = s.cand_tag[bw[copy]]
 
         # Leader sampling: announce the freshest candidate of the current
         # era (defender selection era, or a tournament's setup phase).
@@ -279,12 +296,9 @@ class UnorderedAlgorithm(SimpleAlgorithm):
                 s.finish_tag[fw[give_up]] = era[give_up]
                 s.aftermath_live = True
 
-        # Announcement epidemic (freshness-tagged).
-        newer = s.ann_tag[bw] > s.ann_tag[fw]
-        if newer.any():
-            takers = fw[newer]
-            s.ann_op[takers] = s.ann_op[bw[newer]]
-            s.ann_tag[takers] = s.ann_tag[bw[newer]]
+        # Announcement epidemic (freshness-tagged, unrestricted: every
+        # agent relays the leader's era-tagged announcements).
+        tagged_value_broadcast(s.ann_op, s.ann_tag, fw, bw)
 
         # Defender-era marking: collectors adopt the announced defender.
         pre_tournament = started & (p_fw >= s.rounds) & (p_fw < s.origin)

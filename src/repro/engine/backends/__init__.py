@@ -9,8 +9,9 @@ strategies behind one :class:`Backend` interface:
     protocol's vectorized ``interact``.  Works for *every* protocol and
     scheduler.  Memory O(n), work O(1) per interaction: the right choice
     up to n ≈ 10^6, for recorder-heavy trajectory studies, and for any
-    protocol without a count model (the unordered/improved tournament
-    variants).
+    protocol without a count model (the standalone clock/leader-election
+    building blocks, and the Appendix C parameterizations of the
+    tournament algorithms).
 
 ``"counts"`` — :class:`CountBackend`
     Drives the transition system a protocol exports through
@@ -19,10 +20,14 @@ strategies behind one :class:`Backend` interface:
     USD, cancel/split, epidemics) or a lazily materialized
     :class:`DynamicCountModel`, whose states are interned on first sight
     and whose pair transitions are derived on demand.  The dynamic shape
-    is what lets **SimpleAlgorithm** run in count space: its
-    phase-quotiented model (:mod:`repro.core.quotient`) has a state space
+    is what lets the **tournament algorithms** run in count space:
+    SimpleAlgorithm through its phase-quotiented model
+    (:mod:`repro.core.quotient`, benchmark EB4), and UnorderedAlgorithm /
+    ImprovedAlgorithm through the era-quotiented models
+    (:mod:`repro.core.era_quotient`, benchmark EB5 — leader election,
+    era-tagged selection, and pruning included).  Their state spaces are
     far too large for dense (S, S) tables while any single run only
-    touches a sparse subset of pairs (benchmark EB4).  With a
+    touches a sparse subset of pairs.  With a
     :class:`~repro.engine.scheduler.MatchingScheduler` the population is
     just a state-count vector and one batch of B interactions costs
     O(|occupied states|²): two multivariate-hypergeometric margin draws
@@ -38,14 +43,21 @@ strategies behind one :class:`Backend` interface:
     per-agent state-id mode that reproduces the agent backend's count
     trajectory bit-for-bit under the same seed — the fidelity reference
     the cross-backend tests check (per-agent configs only; for the
-    tournament quotient the replay is bit-exact *through the randomized
-    initialization*, see ``tests/test_quotient_counts.py``).
+    tournament quotients the replay is bit-exact *through the randomized
+    initialization and the leader-election coin flips*, see
+    ``tests/test_quotient_counts.py`` and ``tests/test_era_quotient.py``).
+
+Count-model support by protocol: static tables — three-state majority,
+USD, cancel/split, epidemic broadcast; dynamic quotients — Simple,
+Unordered, and Improved tournament algorithms (default parameters;
+Appendix C parameterizations and populations below the era-quotient's
+origin gate return None).  Agent-only — the standalone clocks, the
+coin-race leader election, and the junta clock.
 
 Rule of thumb: pick ``"counts"`` when the protocol exports a count model
 and you care about scale; pick ``"agents"`` when you need per-agent
-introspection, a protocol without a model (the unordered/improved
-variants), or exact sequential semantics at small n where backend choice
-is moot.
+introspection, a protocol without a model, or exact sequential semantics
+at small n where backend choice is moot.
 
 Select a backend (and optionally a sampler policy) anywhere a simulation
 is launched::
@@ -56,7 +68,9 @@ is launched::
     repro-experiments run EB2 --backend counts
     repro-experiments run EB3 --backend counts --sampler splitting
     repro-experiments run EB4                  # tournaments in count space
+    repro-experiments run EB5                  # unordered/improved variants
     repro-experiments run E1 --backend counts  # core E-series on counts
+    repro-experiments run E4 --backend counts  # unordered sweep on counts
 
 or grab one directly via ``repro.engine.backends.get("counts")`` /
 ``CountBackend(sampler="splitting")``.
@@ -79,6 +93,7 @@ from .model import (
     DynamicCountModel,
     RandomEntry,
     identity_tables,
+    window_band_failure,
 )
 
 __all__ = [
@@ -97,4 +112,5 @@ __all__ = [
     "identity_tables",
     "register",
     "resolve",
+    "window_band_failure",
 ]

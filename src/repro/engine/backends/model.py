@@ -70,6 +70,22 @@ class RandomEntry:
 
     ``probs[m]`` is the probability that the pair maps to
     ``(out_u[m], out_v[m])``.  Probabilities must be positive and sum to 1.
+
+    ``factors`` optionally decomposes the distribution into *independent
+    draws*: a sequence of ``(group, cum)`` pairs, where ``cum`` is the
+    cumulative distribution of one uniform draw and ``group`` identifies
+    the rng call site in the protocol's agent path (groups must be
+    strictly increasing — call-site order).  The joint outcome index is
+    the mixed-radix combination of the per-factor draws, last factor
+    fastest, so ``probs`` must have ``prod(len(cum_f))`` entries ordered
+    accordingly.  A pair whose agent-path transition flips several
+    independent coins (e.g. a role re-roll on one side and a
+    leader-election coin on the other) is expressed as one entry with one
+    factor per coin; the dynamic exact mode then consumes exactly one
+    uniform per factor, ordered by ``(group, pair index)`` across a
+    batch, which is what keeps the two backends on a single rng stream.
+    Entries without ``factors`` behave as before: a single draw through
+    the joint cumulative distribution.
     """
 
     def __init__(
@@ -77,6 +93,7 @@ class RandomEntry:
         probs: Sequence[float],
         out_u: Sequence[int],
         out_v: Sequence[int],
+        factors: Optional[Sequence[Tuple[int, Sequence[float]]]] = None,
     ):
         self.probs = np.asarray(probs, dtype=np.float64)
         self.out_u = np.asarray(out_u, dtype=np.int64)
@@ -92,6 +109,37 @@ class RandomEntry:
         #: Cumulative distribution for inverse-CDF sampling in dense mode.
         self.cum = np.cumsum(self.probs)
         self.cum[-1] = 1.0
+        if factors is None:
+            #: One implicit factor: a single draw through the joint cdf.
+            self.factors: List[Tuple[int, np.ndarray]] = [(0, self.cum)]
+        else:
+            self.factors = []
+            arity = 1
+            for group, cum in factors:
+                cum_arr = np.asarray(cum, dtype=np.float64)
+                if cum_arr.size == 0 or not np.isclose(cum_arr[-1], 1.0):
+                    raise ConfigurationError(
+                        "factor cumulative distributions must end at 1"
+                    )
+                if self.factors and group <= self.factors[-1][0]:
+                    raise ConfigurationError(
+                        "factor groups must be strictly increasing "
+                        "(rng call-site order)"
+                    )
+                self.factors.append((int(group), cum_arr))
+                arity *= cum_arr.size
+            if arity != self.probs.size:
+                raise ConfigurationError(
+                    f"factors describe {arity} joint outcomes but the entry "
+                    f"has {self.probs.size}"
+                )
+
+    def outcome_index(self, draws: Sequence[int]) -> int:
+        """Joint outcome index from per-factor draws (last factor fastest)."""
+        idx = 0
+        for (_, cum), draw in zip(self.factors, draws):
+            idx = idx * cum.size + int(draw)
+        return idx
 
 
 class BaseCountModel(ABC):
@@ -464,13 +512,18 @@ class DynamicCountModel(BaseCountModel):
     fraction of the pairs.
 
     Randomness contract of :meth:`apply_pairs`: per batch, exactly one
-    ``rng.random(m)`` call is made for the ``m`` randomized pairs, *in
-    pair order*, and each uniform is mapped through its entry's
-    cumulative distribution with ``searchsorted(..., side="right")``.  A
-    protocol whose agent path consumes randomness the same way (one
-    uniform per randomized interaction, in batch order, same thresholds)
-    is reproduced bit-for-bit by the exact count mode — see
-    :mod:`repro.core.quotient` for the tournament instance.
+    ``rng.random(total)`` call covers one uniform per *(randomized pair,
+    factor)* slot, ordered by ``(factor group, pair index)``, each mapped
+    through that factor's cumulative distribution with
+    ``searchsorted(..., side="right")``.  Factor groups number the rng
+    call sites of the protocol's agent path in code order, so a protocol
+    that consumes one uniform per randomized event per call site — in
+    batch order within each site, through the same thresholds — is
+    reproduced bit-for-bit by the exact count mode.  Single-factor
+    entries (the default) reduce to the original contract: one uniform
+    per randomized pair, in pair order.  See :mod:`repro.core.quotient`
+    (role re-rolls) and :mod:`repro.core.era_quotient` (re-rolls plus
+    leader-election coins) for the tournament instances.
 
     Subclasses implement:
 
@@ -561,19 +614,34 @@ class DynamicCountModel(BaseCountModel):
         su, sv = ids[u], ids[v]
         batch = list(zip(su.tolist(), sv.tolist()))
         self._ensure_pairs(set(batch))
-        # Resolve randomized pairs first so the single uniform draw is in
-        # pair order (the bit-parity contract, see the class docstring).
-        random_at = [m for m, p in enumerate(batch) if p in self._rand]
-        if random_at:
-            uniforms = rng.random(len(random_at))
-            for r, m in zip(uniforms, random_at):
-                entry = self._rand[batch[m]]
-                pick = int(np.searchsorted(entry.cum, r, side="right"))
+        entries = [self._rand.get(pair) for pair in batch]
+        # One uniform per (pair, factor), consumed in (group, pair) order —
+        # the order in which the protocol's agent path reaches its rng call
+        # sites over the same batch (the bit-parity contract, see the
+        # class docstring).
+        slots = []
+        for m, entry in enumerate(entries):
+            if entry is None:
+                continue
+            for f, (group, _) in enumerate(entry.factors):
+                slots.append((group, m, f))
+        if slots:
+            slots.sort()
+            uniforms = rng.random(len(slots))
+            draws: Dict[Tuple[int, int], int] = {}
+            for r, (_, m, f) in zip(uniforms, slots):
+                cum = entries[m].factors[f][1]
+                draws[(m, f)] = int(np.searchsorted(cum, r, side="right"))
+            for m, entry in enumerate(entries):
+                if entry is None:
+                    continue
+                pick = entry.outcome_index(
+                    [draws[(m, f)] for f in range(len(entry.factors))]
+                )
                 ids[u[m]] = entry.out_u[pick]
                 ids[v[m]] = entry.out_v[pick]
-        random_set = set(random_at)
-        for m, pair in enumerate(batch):
-            if m in random_set:
+        for m, (pair, entry) in enumerate(zip(batch, entries)):
+            if entry is not None:
                 continue
             out_i, out_j = self._det[pair]
             ids[u[m]] = out_i
@@ -608,6 +676,35 @@ class DynamicCountModel(BaseCountModel):
             np.add.at(counts, out_i[live], sizes[live])
             np.add.at(counts, out_j[live], sizes[live])
         return counts
+
+
+def window_band_failure(windows: np.ndarray, window_mod: int) -> bool:
+    """Whether occupied mod-``window_mod`` windows escape the 2-window band.
+
+    Shared guard plumbing for the window/era-quotiented count models
+    (:mod:`repro.core.quotient`, :mod:`repro.core.era_quotient`): their
+    lumping arguments hold only while the occupied windows span at most
+    two *consecutive* values, because signed pairwise offsets are
+    recovered from windows kept modulo ``window_mod``.  Returns True when
+
+    * at least ``window_mod − 1`` distinct windows are occupied (the
+      span provably exceeds two consecutive windows), or
+    * exactly two windows are occupied with an empty window between them
+      (``{w, w+2}``): the signed offset of such a pair aliases
+      (``−2 ≡ +2 mod 4``), so the configuration is out of band even
+      though only two values appear.
+
+    Callers report the model-specific failure name
+    (``"phase_window_overflow"`` / ``"era_window_overflow"``).
+    """
+    windows = np.unique(windows)
+    if windows.size >= window_mod - 1:
+        return True
+    if windows.size == 2:
+        a, b = int(windows[0]), int(windows[1])
+        if (b - a) % window_mod not in (1, window_mod - 1):
+            return True
+    return False
 
 
 def identity_tables(num_states: int) -> Tuple[np.ndarray, np.ndarray]:

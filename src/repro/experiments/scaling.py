@@ -119,9 +119,12 @@ def e2_simple_time_vs_k(
 def e4_unordered_time(
     scale: str, backend: Optional[str] = None, sampler: Optional[str] = None
 ) -> ExperimentReport:
-    # The unordered variant exports no count model, so a counts-backend
-    # override surfaces BackendUnsupported here and experiments.run turns
-    # it into a skipped report (the documented path, see tests).
+    # Since the era quotient (repro.core.era_quotient) the unordered
+    # variant exports a count model, so --backend counts runs this sweep
+    # on batched count-space simulation instead of skipping.  Note the
+    # count path is *slower* than agents at these small n (~30 s per
+    # replication: per-batch work scales with occupied state pairs, not
+    # n) — its payoff is the n = 10^5 .. 10^9 regime benchmarked in EB5.
     ns = [128, 256, 512] if scale == "quick" else [128, 256, 512, 1024]
     reps = 4 if scale == "quick" else 8
     k = 3
@@ -514,6 +517,130 @@ def eb4_tournament_counts(
             "level-batched contingency table over the occupied quotient "
             "states, O(|occupied|^2) work independent of n.  The exact-"
             "mode parity evidence lives in tests/test_quotient_counts.py."
+        ),
+    )
+
+
+@register("EB5", "Era-quotient count mode: unordered/improved at n = 10^5 .. 10^9")
+def eb5_era_quotient_counts(
+    scale: str, backend: Optional[str] = None, sampler: Optional[str] = None
+) -> ExperimentReport:
+    """The era-quotiented count models at population scale.
+
+    The paper's headline algorithms (UnorderedAlgorithm, Appendix B, and
+    ImprovedAlgorithm, Section 4; k = 2, bias 0.6/0.4) on count-native
+    :class:`CountConfig` populations through the batched count backend —
+    the regime the era quotient (:mod:`repro.core.era_quotient`) unlocks:
+    leader election, era-tagged selection, tournaments, and termination
+    all in count space, at populations the agent-array path cannot touch.
+    Mirrors EB4's leg structure:
+
+    * *convergence* legs run to plurality consensus and must be correct
+      (both variants at n = 10^5 at quick scale; the unordered variant at
+      n = 10^6 and n = 10^9 — margin draws beyond numpy's multivariate-
+      hypergeometric cap, routed through the splitting sampler by
+      ``"auto"`` — at full scale);
+    * *budget* legs run a fixed parallel-time slice (n = 10^9 for both
+      variants, every draw beyond the numpy cap), recording throughput
+      and the materialized quotient-state count for the perf trajectory.
+
+    ``sampler`` overrides the per-leg policies; ``backend`` must resolve
+    to a count-space backend (anything else raises BackendUnsupported,
+    which ``experiments.run`` reports as a skip).
+    """
+    backend = backend or "counts"
+    if backend != "counts":
+        raise BackendUnsupported(
+            f"EB5 measures the count backend; backend {backend!r} has no "
+            f"count-space tournament path"
+        )
+    # (algorithm, n, sampler, max_parallel_time or None for convergence)
+    legs = [
+        (UnorderedAlgorithm, 10**5, "auto", None),
+        (ImprovedAlgorithm, 10**5, "auto", None),
+        (UnorderedAlgorithm, 10**9, "auto", 15.0),
+        (ImprovedAlgorithm, 10**9, "auto", 15.0),
+    ]
+    if scale == "full":
+        legs.append((UnorderedAlgorithm, 10**6, "auto", None))
+        legs.append((UnorderedAlgorithm, 10**9, "auto", None))
+    rows = []
+    checks = {}
+    report_stats = {}
+    for factory, n, policy_name, budget in legs:
+        policy = sampling.resolve(sampler or policy_name)
+        protocol = factory()
+        short = protocol.name.split("_")[0]
+        label = f"1e{len(str(n)) - 1}"
+        mode = "converge" if budget is None else f"budget({budget:g}pt)"
+        tag = f"{short},n={label},{policy.name},{mode}"
+        config = CountConfig.from_counts(
+            [int(0.6 * n), n - int(0.6 * n)], name=f"eb5_{short}_{label}"
+        )
+        out: list = []
+        started = time.perf_counter()
+        result = simulate(
+            protocol,
+            config,
+            seed=7,
+            scheduler=MatchingScheduler(0.5),
+            backend=backend,
+            sampler=policy,
+            max_parallel_time=budget if budget is not None else 1.0e5,
+            check_every_parallel_time=10.0,
+            state_out=out,
+        )
+        seconds = time.perf_counter() - started
+        batches = result.interactions / max(n // 2, 1)
+        states = result.extras.get("states_materialized", 0.0)
+        rows.append(
+            [
+                short,
+                n,
+                policy.name,
+                mode,
+                seconds,
+                result.parallel_time,
+                int(states),
+                result.output_opinion,
+                "yes" if (result.succeeded or budget is not None) else "no",
+            ]
+        )
+        if budget is None:
+            checks[f"correct[{tag}]"] = result.succeeded
+        else:
+            # A budget leg "passes" when it executes its full slice with
+            # the population conserved and no protocol failure.
+            (state,) = out
+            conserved = int(state.counts.sum()) == n
+            checks[f"ran[{tag}]"] = result.failure == "timeout" and conserved
+        report_stats[f"seconds[{tag}]"] = seconds
+        report_stats[f"batches_per_second[{tag}]"] = batches / max(
+            seconds, 1e-9
+        )
+    return ExperimentReport(
+        experiment="EB5",
+        title="Unordered/Improved on the count backend (era-quotient models)",
+        headers=[
+            "algorithm",
+            "n",
+            "sampler",
+            "mode",
+            "seconds",
+            "parallel time",
+            "|states|",
+            "output",
+            "ok",
+        ],
+        rows=rows,
+        checks=checks,
+        stats=report_stats,
+        notes=(
+            "Batched count-space runs of the paper's headline algorithms "
+            "via the lazily materialized era-quotient tables: pre-"
+            "tournament phases absolute, tournament windows mod 4, era "
+            "tags as holder-relative ages.  The exact-mode parity "
+            "evidence lives in tests/test_era_quotient.py."
         ),
     )
 

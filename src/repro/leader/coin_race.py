@@ -38,6 +38,22 @@ def le_rounds(n: int, factor: float = 3.0, slack: int = 2) -> int:
     return int(np.ceil(factor * np.log2(max(n, 2)))) + slack
 
 
+#: Cumulative distribution of one fair leader-election coin.  Both the
+#: agent path (:func:`flip_coins` below) and the era-quotiented count
+#: model (:mod:`repro.core.era_quotient`) map one uniform variate through
+#: this exact array with ``searchsorted(..., side="right")`` — sharing the
+#: thresholds (and the draw order: one uniform per flipping tracker, in
+#: batch order) is what lets the count backend's exact mode replay the
+#: coin race bit-for-bit, the same contract
+#: :data:`repro.core.common.ROLE_REROLL_CUM` provides for role re-rolls.
+LE_COIN_CUM = np.array([0.5, 1.0])
+
+
+def flip_coins(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Draw ``size`` fair coins (0/1) from the shared uniform stream."""
+    return np.searchsorted(LE_COIN_CUM, rng.random(size), side="right")
+
+
 def le_enter_round(
     agents: np.ndarray,
     new_round: np.ndarray,
@@ -63,7 +79,11 @@ def le_enter_round(
     flipping = new_round < total_rounds
     flippers = agents[flipping]
     if flippers.size:
-        flips = rng.integers(0, 2, size=flippers.size).astype(coin.dtype)
+        # One uniform per flipper through the shared LE_COIN_CUM
+        # thresholds; non-candidates still consume their draw (their coin
+        # is forced to 0) so the rng stream does not depend on who is
+        # still racing — the count backend's exact mode relies on this.
+        flips = flip_coins(rng, flippers.size).astype(coin.dtype)
         coin[flippers] = np.where(cand[flippers], flips, 0)
         seen_max[flippers] = coin[flippers]
     finished = agents[~flipping]

@@ -314,7 +314,7 @@ class TestRandomizedEntries:
         assert times["counts"] == pytest.approx(times["agents"], rel=0.35)
 
 
-def _unordered_config(seed: int) -> PopulationConfig:
+def _agent_only_config(seed: int) -> PopulationConfig:
     """Module-level so process-pool jobs can pickle it."""
     return PopulationConfig.from_counts([40, 30, 30], rng=0)
 
@@ -322,29 +322,47 @@ def _unordered_config(seed: int) -> PopulationConfig:
 class TestUnsupported:
     """Every ``backend="counts"`` entry point must hit the documented
     BackendUnsupported path — not crash — when ``Protocol.count_model``
-    returns None.  (SimpleAlgorithm now exports a quotient model, so the
-    unordered variant is the canonical table-less core protocol.)
+    returns None.  (All three core tournament algorithms now export
+    quotient models, so the canonical table-less protocols are the
+    standalone building blocks — here the coin-race leader election.)
     """
 
     def _config(self):
         return PopulationConfig.from_counts([40, 30, 30], rng=0)
 
-    def test_unordered_variants_have_no_count_model(self):
+    def test_unordered_variants_export_era_quotient_models(self):
+        """PR-3 pinned these to None; the era quotient flips them."""
+        from repro.core.era_quotient import (
+            ImprovedQuotientModel,
+            UnorderedQuotientModel,
+        )
         from repro.core.improved import ImprovedAlgorithm
         from repro.core.unordered import UnorderedAlgorithm
 
         config = self._config()
-        assert UnorderedAlgorithm().count_model(config) is None
-        assert ImprovedAlgorithm().count_model(config) is None
+        assert isinstance(
+            UnorderedAlgorithm().count_model(config), UnorderedQuotientModel
+        )
+        assert isinstance(
+            ImprovedAlgorithm().count_model(config), ImprovedQuotientModel
+        )
+
+    def test_leader_election_protocol_has_no_count_model(self):
+        """The standalone coin race genuinely stays agent-only."""
+        from repro.leader.coin_race import CoinRaceLeaderElection
+
+        config = self._config()
+        assert CoinRaceLeaderElection().count_model(config) is None
         with pytest.raises(BackendUnsupported, match="does not export"):
             simulate(
-                UnorderedAlgorithm(), config, seed=0, backend="counts",
+                CoinRaceLeaderElection(), config, seed=0, backend="counts",
                 max_parallel_time=10,
             )
 
     def test_simple_algorithm_appendix_c_params_have_no_count_model(self):
-        """The quotient covers default params only; Appendix C opts out."""
-        from repro.core.common import SimpleParams
+        """The quotients cover default params only; Appendix C opts out."""
+        from repro.core.common import SimpleParams, UnorderedParams
+        from repro.core.unordered import UnorderedAlgorithm
 
         config = self._config()
         assert (
@@ -358,13 +376,19 @@ class TestUnsupported:
             is None
         )
         assert SimpleAlgorithm().count_model(config) is not None
+        assert (
+            UnorderedAlgorithm(
+                UnorderedParams(counting_agents=True)
+            ).count_model(config)
+            is None
+        )
 
     def test_replicate_surfaces_backend_unsupported(self):
-        from repro.core.unordered import UnorderedAlgorithm
+        from repro.leader.coin_race import CoinRaceLeaderElection
 
         with pytest.raises(BackendUnsupported, match="does not export"):
             replicate(
-                UnorderedAlgorithm,
+                CoinRaceLeaderElection,
                 lambda s: self._config(),
                 replications=2,
                 backend="counts",
@@ -373,12 +397,12 @@ class TestUnsupported:
 
     def test_replicate_parallel_surfaces_backend_unsupported(self):
         from repro.analysis.parallel import replicate_parallel
-        from repro.core.unordered import UnorderedAlgorithm
+        from repro.leader.coin_race import CoinRaceLeaderElection
 
         with pytest.raises(BackendUnsupported, match="does not export"):
             replicate_parallel(
-                UnorderedAlgorithm,
-                _unordered_config,
+                CoinRaceLeaderElection,
+                _agent_only_config,
                 replications=2,
                 backend="counts",
                 max_parallel_time=10,
@@ -389,19 +413,19 @@ class TestUnsupported:
         """experiments.run turns BackendUnsupported into a skipped report."""
         from repro import experiments
 
-        report = experiments.run("E4", scale="quick", backend="counts")
+        report = experiments.run("EB4", scale="quick", backend="agents")
         assert report.skipped
         assert report.passed  # vacuously - skips must not fail sweeps
-        assert "does not export" in report.notes
+        assert "count-space" in report.notes
 
     def test_cli_reports_skip_for_unsupported_backend(self, capsys):
         from repro.cli import main
 
-        code = main(["run", "E4", "--scale", "quick", "--backend", "counts"])
+        code = main(["run", "EB4", "--scale", "quick", "--backend", "agents"])
         out = capsys.readouterr().out
         assert code == 0
         assert "SKIPPED" in out
-        assert "does not export" in out
+        assert "count-space" in out
 
     def test_unknown_scheduler_type(self):
         class WeirdScheduler(SequentialScheduler):

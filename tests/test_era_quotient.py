@@ -1,0 +1,524 @@
+"""Tests for the era-quotiented count models of the unordered variants.
+
+The load-bearing guarantees:
+
+* **cross-backend parity matrix** — a randomized seed sweep over all four
+  count-model core-path protocols (SimpleAlgorithm, UnorderedAlgorithm,
+  ImprovedAlgorithm, and the static-table ThreeStateMajority) asserting
+  that agents-vs-counts *sequential* count trajectories are bit-identical
+  per seed, leader-election coin flips and initialization re-rolls
+  included.  Adding a fifth protocol is one ``MATRIX`` entry.
+* **section/projection consistency** — π∘lift = id on every state a real
+  run materializes, and derived transitions do not depend on the lifted
+  representative (the lumping property, checked by moving the lift base);
+* **statistical equivalence** — batched matching-mode runs of the
+  unordered variant agree with the agent backend on the winner
+  distribution and the convergence-time quantiles;
+* **guards** — out-of-band era configurations (window overflow, stale
+  pre-origin stragglers, mid-race conversions) surface loudly as
+  ``era_window_overflow``, never as a silently lumped trajectory, and
+  the leader/desync/invariant hooks mirror the agent-level ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import era_quotient as era_module
+from repro.core.era_quotient import (
+    G_FLIP_U,
+    G_FLIP_V,
+    G_INIT_RELEASE,
+    PH_PRE,
+    PH_WINDOW,
+)
+from repro.core.improved import ImprovedAlgorithm
+from repro.core.quotient import TAG_NONE
+from repro.core.simple import SimpleAlgorithm
+from repro.core.unordered import UnorderedAlgorithm
+from repro.engine import (
+    MatchingScheduler,
+    PopulationConfig,
+    SequentialScheduler,
+    simulate,
+)
+from repro.engine.backends import CountState
+from repro.engine.errors import InvariantViolation
+from repro.engine.recorder import Recorder
+from repro.majority.three_state import ThreeStateMajority
+
+NO_TAGS = (TAG_NONE, 0, TAG_NONE, TAG_NONE)
+
+
+class LabeledTrajectory(Recorder):
+    """Frames as {state label: count} dicts, on either backend.
+
+    Keying by the state *label* (the quotient tuple, or the static
+    model's string label) makes frames comparable across model
+    instances: a dynamic backend model and the recorder's projection
+    model intern states in different orders.
+    """
+
+    def __init__(self, model, every_parallel_time=2.0):
+        self.model = model
+        self.every_parallel_time = every_parallel_time
+        self.frames = []
+
+    def _frame(self, state):
+        if isinstance(state, CountState):
+            counts = state.refresh().counts
+            labels = state.model.labels
+        else:
+            ids = self.model.project(state)
+            counts = np.bincount(ids, minlength=self.model.num_states)
+            labels = self.model.labels
+        return {labels[s]: int(c) for s, c in enumerate(counts) if c}
+
+    def on_start(self, state, n):
+        self.frames.append((0, self._frame(state)))
+
+    def on_sample(self, interactions, state):
+        self.frames.append((interactions, self._frame(state)))
+
+    def on_end(self, interactions, state):
+        self.frames.append((interactions, self._frame(state)))
+
+
+def run_both_backends(protocol_factory, counts, seed, budget, rng):
+    """One seeded sequential run per backend; returns {backend: (result, frames)}."""
+    config = PopulationConfig.from_counts(list(counts), rng=rng)
+    protocol = protocol_factory()
+    runs = {}
+    for backend in ("agents", "counts"):
+        recorder = LabeledTrajectory(protocol.count_model(config))
+        runs[backend] = (
+            simulate(
+                protocol,
+                config,
+                seed=seed,
+                scheduler=SequentialScheduler(),
+                backend=backend,
+                max_parallel_time=budget,
+                recorder=recorder,
+                check_invariants=True,
+            ),
+            recorder.frames,
+        )
+    return runs
+
+
+def assert_bit_identical(runs):
+    agent_result, agent_frames = runs["agents"]
+    count_result, count_frames = runs["counts"]
+    assert len(agent_frames) == len(count_frames)
+    for (ia, fa), (ic, fc) in zip(agent_frames, count_frames):
+        assert ia == ic
+        assert fa == fc
+    assert agent_result.interactions == count_result.interactions
+    assert agent_result.parallel_time == count_result.parallel_time
+    assert agent_result.converged == count_result.converged
+    assert agent_result.output_opinion == count_result.output_opinion
+    assert agent_result.failure == count_result.failure
+    shared = set(agent_result.extras) & set(count_result.extras)
+    for key in shared:
+        assert agent_result.extras[key] == count_result.extras[key], key
+
+
+#: The parity matrix: every count-model core-path protocol, several k and
+#: opinion distributions each.  A seed sweep cycles through the cases, so
+#: adding a protocol (or a case) is one list entry.  Budgets cover
+#: initialization, the coin race, and the first tournaments; the deep
+#: cases below run selected seeds to convergence.
+MATRIX = [
+    (
+        "simple",
+        SimpleAlgorithm,
+        [([22, 18], 97), ([16, 14, 10], 7), ([12, 28], 21)],
+        500.0,
+    ),
+    (
+        "unordered",
+        UnorderedAlgorithm,
+        [([22, 18], 11), ([16, 14, 10], 5), ([12, 28], 2)],
+        500.0,
+    ),
+    (
+        "improved",
+        ImprovedAlgorithm,
+        [([26, 14], 7), ([18, 12, 10], 1), ([14, 26], 4)],
+        500.0,
+    ),
+    (
+        "three_state",
+        ThreeStateMajority,
+        [([180, 120], 11), ([90, 110], 3), ([140, 60], 5)],
+        400.0,
+    ),
+]
+
+PARITY_SEEDS = range(20)
+
+
+class TestParityMatrix:
+    """≥ 20 seeds × cases × protocols: sequential runs are bit-identical."""
+
+    @pytest.mark.parametrize(
+        "name,factory,cases,budget",
+        MATRIX,
+        ids=[entry[0] for entry in MATRIX],
+    )
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_sequential_trajectories_bit_identical(
+        self, name, factory, cases, budget, seed
+    ):
+        counts, rng = cases[seed % len(cases)]
+        runs = run_both_backends(factory, counts, seed, budget, rng)
+        assert_bit_identical(runs)
+
+    #: Full-convergence parity: every variant reaches a winner on both
+    #: backends with identical trajectories (termination epidemics, the
+    #: crowning rule, and the winner broadcast included).
+    DEEP_CASES = [
+        ("unordered_k3", UnorderedAlgorithm, [20, 16, 12], 2, 3),
+        ("unordered_ch", UnorderedAlgorithm, [18, 30], 4, 3),
+        ("improved_ch", ImprovedAlgorithm, [22, 26], 3, 3),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,factory,counts,seed,rng",
+        DEEP_CASES,
+        ids=[case[0] for case in DEEP_CASES],
+    )
+    def test_full_convergence_parity(self, name, factory, counts, seed, rng):
+        runs = run_both_backends(factory, counts, seed, 8000.0, rng)
+        assert_bit_identical(runs)
+        result, _ = runs["counts"]
+        assert result.succeeded
+        assert result.output_opinion == result.expected_opinion
+
+
+class TestSectionProjection:
+    @pytest.mark.parametrize(
+        "factory", [UnorderedAlgorithm, ImprovedAlgorithm],
+        ids=["unordered", "improved"],
+    )
+    def test_lift_then_project_is_identity(self, factory):
+        """π ∘ lift = id on every state materialized by a real run."""
+        config = PopulationConfig.from_counts([22, 18], rng=2)
+        protocol = factory()
+        model = protocol.count_model(config)
+        # Projecting at every sample materializes the run's reachable
+        # states: pruning (improved), the coin race, selection eras,
+        # tournaments, and the aftermath alike.
+        recorder = LabeledTrajectory(model, every_parallel_time=5.0)
+        simulate(
+            protocol,
+            config,
+            seed=8,
+            scheduler=SequentialScheduler(),
+            backend="agents",
+            max_parallel_time=2500.0,
+            recorder=recorder,
+        )
+        assert model.num_states > 100
+        for i in range(model.num_states):
+            state, u, v = model._lift_pairs([(i, i)])
+            for slot in (int(u[0]), int(v[0])):
+                assert model._tuple_of(state, slot) == model.labels[i], (
+                    model.labels[i]
+                )
+
+    def test_replay_is_independent_of_the_lift_base(self, monkeypatch):
+        """Lumping check: transitions can't depend on the representative."""
+        reference = run_both_backends(
+            UnorderedAlgorithm, [26, 22], 3, 1600.0, 11
+        )
+        monkeypatch.setattr(era_module, "LIFT_BASE", 12)
+        shifted = run_both_backends(
+            UnorderedAlgorithm, [26, 22], 3, 1600.0, 11
+        )
+        assert reference["counts"][1] == shifted["counts"][1]
+        assert (
+            reference["counts"][0].interactions
+            == shifted["counts"][0].interactions
+        )
+
+    def test_projection_is_deterministic_across_instances(self):
+        config = PopulationConfig.from_counts([24, 20], rng=5)
+        protocol = ImprovedAlgorithm()
+        out = []
+        simulate(
+            protocol,
+            config,
+            seed=4,
+            backend="agents",
+            max_parallel_time=400.0,
+            state_out=out,
+        )
+        a = protocol.count_model(config)
+        b = protocol.count_model(config)
+        tuples_a = [a.labels[i] for i in a.project(out[0])]
+        tuples_b = [b.labels[i] for i in b.project(out[0])]
+        assert tuples_a == tuples_b
+
+    def test_encode_counts_agrees_with_per_agent_encoding(self):
+        for factory in (UnorderedAlgorithm, ImprovedAlgorithm):
+            config = PopulationConfig.from_counts([18, 12, 10], rng=7)
+            model = factory().count_model(config)
+            via_ids = np.bincount(
+                model.initial_ids(config), minlength=model.num_states
+            )
+            np.testing.assert_array_equal(
+                model.initial_counts(config), via_ids
+            )
+
+
+class TestRandomizedEntries:
+    """White-box checks of the multi-factor randomized-pair derivation."""
+
+    def _model(self, counts=(24, 16)):
+        config = PopulationConfig.from_counts(list(counts), rng=0)
+        return UnorderedAlgorithm().count_model(config)
+
+    def test_merge_pair_derives_three_reroll_arms(self):
+        model = self._model()
+        i = model.intern(("ic", 1, 1))
+        model._ensure_pairs([(i, i)])
+        entry = model._rand[(i, i)]
+        assert [group for group, _ in entry.factors] == [G_INIT_RELEASE]
+        assert entry.probs.size == 3
+        np.testing.assert_allclose(entry.probs, np.full(3, 1.0 / 3.0))
+        # The three arms release the initiator into clock/tracker/player.
+        outs = {model.labels[o] for o in entry.out_u}
+        assert outs == {("icl", 0), ("itr",), ("ipl",)}
+
+    def test_double_flip_pair_derives_four_coin_arms(self):
+        model = self._model()
+        rounds = model._rounds
+        tr = model.intern(
+            ("tr", (PH_PRE, 2), 1, True, 1, 1, False, False, 0, TAG_NONE,
+             NO_TAGS)
+        )
+        assert 2 < rounds
+        model._ensure_pairs([(tr, tr)])
+        entry = model._rand[(tr, tr)]
+        assert [group for group, _ in entry.factors] == [G_FLIP_U, G_FLIP_V]
+        assert entry.probs.size == 4
+        np.testing.assert_allclose(entry.probs, np.full(4, 0.25))
+
+    def test_post_origin_trackers_are_deterministic(self):
+        """Past the coin race, entering a round finalizes without a flip."""
+        model = self._model()
+        rounds = model._rounds
+        tr = model.intern(
+            ("tr", (PH_WINDOW, 0, 0), rounds - 1, True, 1, 1, False, False,
+             0, TAG_NONE, NO_TAGS)
+        )
+        assert model._random_factors(tr, tr) == []
+        model._ensure_pairs([(tr, tr)])
+        assert (tr, tr) in model._det
+
+    def test_improved_crowning_tick_release_is_randomized(self):
+        """An initiator that crowns into the junta *in this interaction*
+        gets the junta clock bump, can complete its c-th hour, and — with
+        its tokens merged away — re-rolls.  The predicate must replay the
+        FormJunta step, not read the pre-interaction junta bit."""
+        config = PopulationConfig.from_counts([24, 16], rng=0)
+        model = ImprovedAlgorithm().count_model(config)
+        c, m = model._floor_c, model._hour_m
+        assert model._ell_max == 1  # level 0 crowns in one climb here
+        fresh = model.intern(("pr", -c, 1, 1, 0, True, False, 0))
+        donor = model.intern(("pr", -1, 1, 1, 1, False, True, c * m - 1))
+        entry_factors = model._random_factors(fresh, donor)
+        assert [f.group for f in entry_factors] == [G_INIT_RELEASE]
+        # Deriving must run the release arms, not crash on the guard rng.
+        model._ensure_pairs([(fresh, donor)])
+        assert (fresh, donor) in model._rand
+
+    def test_improved_release_and_flip_compose(self):
+        """A pruning release on one side + a coin flip on the other: one
+        entry with two factors, six outcomes, probabilities 1/6."""
+        config = PopulationConfig.from_counts([24, 16], rng=0)
+        model = ImprovedAlgorithm().count_model(config)
+        floor_c = model._floor_c
+        pruned = model.intern(("pr", -floor_c, 1, 1, 0, True, False, 0))
+        flipper = model.intern(
+            ("tr", (PH_PRE, 2), 1, True, 0, 0, False, False, 0, TAG_NONE,
+             NO_TAGS)
+        )
+        model._ensure_pairs([(pruned, flipper)])
+        entry = model._rand[(pruned, flipper)]
+        assert [group for group, _ in entry.factors] == [1, G_FLIP_V]
+        assert entry.probs.size == 6
+        np.testing.assert_allclose(entry.probs, np.full(6, 1.0 / 6.0))
+
+
+class TestGuardsAndHooks:
+    def _model(self, counts=(20, 20)):
+        config = PopulationConfig.from_counts(list(counts), rng=0)
+        return UnorderedAlgorithm().count_model(config), config
+
+    def _counts_on(self, model, pairs):
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        for sid, c in pairs:
+            counts[sid] = c
+        return counts
+
+    def _tracker(self, model, ph, seen=None, leader=False):
+        seen = model._rounds if seen is None else seen
+        return model.intern(
+            ("tr", ph, seen, leader, 0, 0, leader, False, 0, TAG_NONE,
+             NO_TAGS)
+        )
+
+    def test_initial_counts_pass_hooks(self):
+        model, config = self._model()
+        counts = model.initial_counts(config)
+        assert model.failure(counts) is None
+        assert not model.converged(counts)
+        model.check_invariants(counts)
+
+    def _player(self, model, ph):
+        return model.intern(("pl", ph, 0, 0, 0, 0, False, NO_TAGS))
+
+    def test_window_overflow_is_loud(self):
+        """Occupancy across ≥ 3 mod-4 windows must fail, not alias."""
+        model, _ = self._model()
+        players = [self._player(model, (PH_WINDOW, 0, w)) for w in (0, 1, 2)]
+        counts = self._counts_on(model, [(p, 10) for p in players])
+        assert model.failure(counts) == "era_window_overflow"
+        # Two occupied windows with a hole between them ({w, w+2}): the
+        # signed pair offset would alias (−2 ≡ +2 mod 4) — also loud.
+        counts = self._counts_on(model, [(players[0], 10), (players[2], 5)])
+        assert model.failure(counts) == "era_window_overflow"
+        # Adjacent windows (including the 3 → 0 wrap) stay in band.
+        counts = self._counts_on(model, [(players[0], 10), (players[1], 5)])
+        assert model.failure(counts) is None
+        wrap = self._player(model, (PH_WINDOW, 0, 3))
+        counts = self._counts_on(model, [(wrap, 10), (players[0], 5)])
+        assert model.failure(counts) is None
+
+    def test_artificially_stale_era_is_loud(self):
+        """A pre-origin straggler while tournament 1 runs: the era ages of
+        its tags would alias — era_window_overflow, never silent lumping."""
+        model, _ = self._model()
+        stale = self._player(model, (PH_PRE, model._rounds - 1))
+        window0 = self._player(model, (PH_WINDOW, 4, 0))
+        window1 = self._player(model, (PH_WINDOW, 0, 1))
+        # A pre-origin agent next to tournament-0 agents is the normal
+        # crossing regime — in band.
+        counts = self._counts_on(model, [(stale, 1), (window0, 30)])
+        assert model.failure(counts) is None
+        counts = self._counts_on(model, [(stale, 1), (window1, 30)])
+        assert model.failure(counts) == "era_window_overflow"
+
+    def test_mid_race_tracker_with_winners_is_loud(self):
+        model, _ = self._model()
+        racer = self._tracker(model, (PH_PRE, 3), seen=2)
+        winner = model.intern(
+            ("co", (PH_WINDOW, 0, 1), 2, 3, True, False, 0, False, True,
+             True, NO_TAGS, None)
+        )
+        counts = self._counts_on(model, [(racer, 1), (winner, 30)])
+        assert model.failure(counts) == "era_window_overflow"
+
+    def test_leader_guards_mirror_agent_semantics(self):
+        model, _ = self._model()
+        done = self._tracker(model, (PH_PRE, model._rounds))
+        counts = self._counts_on(model, [(done, 5)])
+        assert model.failure(counts) == "no_leader"
+        led = self._tracker(model, (PH_PRE, model._rounds), leader=True)
+        counts = self._counts_on(model, [(done, 4), (led, 1)])
+        assert model.failure(counts) is None
+        counts = self._counts_on(model, [(done, 3), (led, 2)])
+        assert model.failure(counts) == "multiple_leaders"
+        # A tracker still racing suppresses the check, like the agent hook.
+        racing = self._tracker(model, (PH_PRE, 3), seen=2)
+        counts = self._counts_on(model, [(done, 5), (racing, 1)])
+        assert model.failure(counts) is None
+
+    def test_clock_desync_across_the_regime_boundary(self):
+        model, _ = self._model()
+        origin = model._origin
+        pre = model.intern(("cl", (PH_PRE, origin - 1), 0, NO_TAGS))
+        near = model.intern(("cl", (PH_WINDOW, 1, 0), 0, NO_TAGS))
+        far = model.intern(("cl", (PH_WINDOW, 4, 0), 0, NO_TAGS))
+        counts = self._counts_on(model, [(pre, 5), (near, 5)])
+        assert model.failure(counts) is None  # spread 2: within bound
+        counts = self._counts_on(model, [(pre, 5), (far, 5)])
+        assert model.failure(counts) == "clock_desync"
+
+    def test_invariants_catch_token_loss(self):
+        model, config = self._model()
+        counts = model.initial_counts(config)
+        counts[0] -= 1  # one single-token collector vanishes
+        with pytest.raises(InvariantViolation, match="token sum"):
+            model.check_invariants(counts)
+
+    def test_improved_invariants_allow_pruned_tokens(self):
+        """Pruning destroys tokens: the sum may shrink but never grow."""
+        config = PopulationConfig.from_counts([20, 20], rng=0)
+        model = ImprovedAlgorithm().count_model(config)
+        counts = model.initial_counts(config)
+        counts[0] -= 1
+        released = model.intern(("cl", (PH_PRE, 0), 0, NO_TAGS))
+        counts = model.ensure_capacity(counts)
+        counts[released] += 1
+        model.check_invariants(counts)  # sum shrank by one token: fine
+        heavy = model.intern(("pr", -1, 1, model._token_cap, 0, True, False, 4))
+        counts = model.ensure_capacity(counts)
+        counts[heavy] = 3
+        with pytest.raises(InvariantViolation, match="exceeds"):
+            model.check_invariants(counts)
+
+    def test_output_requires_unanimous_winners(self):
+        model, config = self._model()
+        counts = model.initial_counts(config)
+        assert model.output_opinion(counts) is None
+        winner = model.intern(
+            ("co", (PH_WINDOW, 0, 1), 2, 3, True, False, 0, False, True,
+             True, NO_TAGS, None)
+        )
+        final = np.zeros(model.num_states, dtype=np.int64)
+        final[winner] = int(config.n)
+        assert model.converged(final)
+        assert model.output_opinion(final) == 2
+
+    def test_tiny_populations_stay_agent_only(self):
+        """Below the origin − 10 > 0 gate the variants export no model."""
+        config = PopulationConfig.from_counts([8, 8], rng=0)
+        assert UnorderedAlgorithm().count_model(config) is None
+        assert ImprovedAlgorithm().count_model(config) is None
+
+
+class TestBatchedStatistics:
+    """Batched count mode vs agent backend, at the distribution level."""
+
+    REPS = 12
+
+    def _run(self, backend, seed):
+        return simulate(
+            UnorderedAlgorithm(),
+            PopulationConfig.from_counts([82, 68], rng=seed),
+            seed=500 + seed,
+            scheduler=MatchingScheduler(0.25),
+            backend=backend,
+            max_parallel_time=20000.0,
+        )
+
+    def test_winner_distribution_and_time_quantiles_agree(self):
+        outcomes = {}
+        for backend in ("agents", "counts"):
+            results = [self._run(backend, s) for s in range(self.REPS)]
+            converged = [r for r in results if r.converged]
+            assert len(converged) >= int(0.8 * self.REPS), backend
+            outcomes[backend] = (
+                np.mean([r.output_opinion == 1 for r in converged]),
+                np.quantile([r.parallel_time for r in converged], [0.5, 0.9]),
+            )
+        win_a, q_a = outcomes["agents"]
+        win_c, q_c = outcomes["counts"]
+        # Total-variation distance of the (binary) winner distribution.
+        assert abs(win_a - win_c) <= 0.4
+        # Convergence-time quantiles within a generous band.
+        assert q_c[0] == pytest.approx(q_a[0], rel=0.5)
+        assert q_c[1] == pytest.approx(q_a[1], rel=0.6)
