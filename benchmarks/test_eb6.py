@@ -1,0 +1,26 @@
+"""Benchmark EB6: the scheduler × sampler grid on the count backend.
+
+Re-runs the EB4/EB5 count-backend legs under the first-class scheduler
+layer: the birthday scheduler (exact sequential semantics as count-space
+batches of Θ(√n) interactions at O(|occupied states|²) each) and the
+``"rejection"`` sampler policy (O(1)-per-draw ratio-of-uniforms
+univariate hypergeometric for every draw beyond numpy's 10⁹ bound).  The
+full scale adds the headline leg: UnorderedAlgorithm k = 2 at n = 10⁹ to
+full convergence — 6210 s with PR 4's forced-splitting inversion, ≤ 600 s
+required here.  The machine-readable timings land in
+``benchmarks/reports/EB6.json`` so the CI ``perf-trajectory`` job diffs
+the scheduler/sampler grid from this report onward; see
+``src/repro/experiments/scaling.py``.
+"""
+
+
+def test_eb6(run_experiment):
+    report = run_experiment("EB6")
+    # The rejection slice that EB5 ran on the inversion sampler (~5 s
+    # there for 30 batches) must not regress to inversion-like cost.
+    assert (
+        report.stats[
+            "seconds[unordered,n=1e9,matching,rejection,budget(15pt)]"
+        ]
+        < 60.0
+    )

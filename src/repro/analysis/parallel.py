@@ -17,7 +17,7 @@ from ..engine.population import BasePopulation
 from ..engine.protocol import Protocol
 from ..engine.rng import seeds_for
 from ..engine.sampling import SamplerLike
-from ..engine.scheduler import MatchingScheduler, Scheduler
+from ..engine.scheduler import MatchingScheduler, Scheduler, SchedulerLike
 from ..engine.simulation import RunResult, simulate
 from .sweep import _default_budget
 
@@ -28,6 +28,7 @@ def _run_one(args) -> RunResult:
         config_factory,
         index,
         seed,
+        scheduler,
         scheduler_factory,
         backend,
         sampler,
@@ -41,9 +42,10 @@ def _run_one(args) -> RunResult:
         if max_parallel_time is not None
         else _default_budget(protocol, config)
     )
-    scheduler: Scheduler = (
-        scheduler_factory() if scheduler_factory else MatchingScheduler(0.25)
-    )
+    if scheduler is None:
+        scheduler = (
+            scheduler_factory() if scheduler_factory else MatchingScheduler(0.25)
+        )
     return simulate(
         protocol,
         config,
@@ -63,6 +65,7 @@ def replicate_parallel(
     replications: int,
     base_seed: int = 0,
     workers: Optional[int] = None,
+    scheduler: SchedulerLike = None,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
     backend: BackendLike = None,
     sampler: SamplerLike = None,
@@ -73,17 +76,22 @@ def replicate_parallel(
 
     Semantics match :func:`repro.analysis.sweep.replicate`; only the
     execution strategy differs.  ``workers=None`` lets the executor pick.
-    ``backend`` should be a registry name (or None) and ``sampler`` a
-    sampler-policy name (or None) so that jobs stay picklable.
+    ``scheduler`` / ``backend`` should be registry names (or None) and
+    ``sampler`` a sampler-policy name (or None) so that jobs stay
+    picklable; ``scheduler_factory`` remains the per-run-instance
+    alternative (pass at most one of the two).
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
+    if scheduler is not None and scheduler_factory is not None:
+        raise ValueError("pass scheduler or scheduler_factory, not both")
     jobs = [
         (
             protocol_factory,
             config_factory,
             index,
             seed,
+            scheduler,
             scheduler_factory,
             backend,
             sampler,

@@ -15,7 +15,7 @@ from ..engine.population import BasePopulation
 from ..engine.protocol import Protocol
 from ..engine.rng import seeds_for
 from ..engine.sampling import SamplerLike
-from ..engine.scheduler import MatchingScheduler, Scheduler
+from ..engine.scheduler import MatchingScheduler, Scheduler, SchedulerLike
 from ..engine.simulation import RunResult, simulate
 
 ProtocolFactory = Callable[[], Protocol]
@@ -28,6 +28,7 @@ def replicate(
     *,
     replications: int,
     base_seed: int = 0,
+    scheduler: SchedulerLike = None,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
     backend: BackendLike = None,
     sampler: SamplerLike = None,
@@ -39,13 +40,18 @@ def replicate(
     ``config_factory`` receives a seed so that workloads with a random
     component (shuffled assignments) also vary across replications.  The
     time budget defaults to the protocol's own estimate when it provides
-    ``default_max_time`` / ``params.default_max_time``.  ``backend``
-    selects the execution strategy per run (see
-    :mod:`repro.engine.backends`) and ``sampler`` the count-space sampler
-    policy (see :mod:`repro.engine.sampling`).
+    ``default_max_time`` / ``params.default_max_time``.  ``scheduler``
+    selects the interaction law per run (a registry name or instance,
+    see :mod:`repro.engine.scheduler`; ``scheduler_factory`` is the
+    per-run-instance alternative — pass at most one of the two; the
+    default stays ``MatchingScheduler(0.25)``), ``backend`` the execution
+    strategy (see :mod:`repro.engine.backends`) and ``sampler`` the
+    count-space sampler policy (see :mod:`repro.engine.sampling`).
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
+    if scheduler is not None and scheduler_factory is not None:
+        raise ValueError("pass scheduler or scheduler_factory, not both")
     results: List[RunResult] = []
     for i, seed in enumerate(seeds_for(base_seed, replications)):
         protocol = protocol_factory()
@@ -53,15 +59,17 @@ def replicate(
         budget = max_parallel_time
         if budget is None:
             budget = _default_budget(protocol, config)
-        scheduler = (
-            scheduler_factory() if scheduler_factory else MatchingScheduler(0.25)
-        )
+        run_scheduler = scheduler
+        if run_scheduler is None:
+            run_scheduler = (
+                scheduler_factory() if scheduler_factory else MatchingScheduler(0.25)
+            )
         results.append(
             simulate(
                 protocol,
                 config,
                 seed=seed,
-                scheduler=scheduler,
+                scheduler=run_scheduler,
                 backend=backend,
                 sampler=sampler,
                 max_parallel_time=budget,

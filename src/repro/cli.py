@@ -4,10 +4,12 @@ Usage::
 
     repro-experiments list
     repro-experiments samplers
+    repro-experiments schedulers
     repro-experiments run E1 [E2 ...] [--scale quick|full]
     repro-experiments run all --scale full
     repro-experiments run EB2 --backend counts
     repro-experiments run EB3 --backend counts --sampler splitting
+    repro-experiments run EB6 --scheduler matching --sampler rejection
 
 Each experiment prints the table recorded in EXPERIMENTS.md and a PASS /
 FAIL line per shape check (or a SKIPPED line when the requested
@@ -24,6 +26,7 @@ from typing import List, Optional
 
 from . import experiments
 from .engine import backends, sampling
+from .engine import scheduler as schedulers
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,6 +39,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "samplers",
         help="list registered count-space sampler policies and their ranges",
+    )
+    sub.add_parser(
+        "schedulers",
+        help="list registered interaction schedulers and their semantics",
     )
     runner = sub.add_parser("run", help="run one or more experiments")
     runner.add_argument(
@@ -67,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "that support it (e.g. EB2, EB3); see 'samplers' for ranges"
         ),
     )
+    runner.add_argument(
+        "--scheduler",
+        choices=tuple(schedulers.available()),
+        default=None,
+        help=(
+            "interaction-scheduler override, forwarded to experiments "
+            "that support it (e.g. EB6); see 'schedulers' for semantics"
+        ),
+    )
     return parser
 
 
@@ -85,6 +101,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"{name:>10}  {policy.population_range():<10}  "
                 f"{policy.summary}{default}"
+            )
+        return 0
+    if args.command == "schedulers":
+        # One line per scheduler: exactness, count-space semantics, summary.
+        for name in schedulers.available():
+            entry = schedulers.get(name)
+            default = " (default)" if name == schedulers.DEFAULT_SCHEDULER else ""
+            exact = "exact" if entry.exact else "approx"
+            semantics = entry.count_semantics or "agents-only"
+            print(
+                f"{name:>10}  {exact:<6}  counts:{semantics:<9}  "
+                f"{entry.summary}{default}"
             )
         return 0
 
@@ -116,12 +144,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.scheduler is not None:
+        unsupported = [
+            name for name in requested if not experiments.supports_scheduler(name)
+        ]
+        if unsupported:
+            print(
+                f"--scheduler is not supported by: {', '.join(unsupported)}",
+                file=sys.stderr,
+            )
+            return 2
 
     all_passed = True
     for name in requested:
         started = time.time()
         report = experiments.run(
-            name, scale=args.scale, backend=args.backend, sampler=args.sampler
+            name,
+            scale=args.scale,
+            backend=args.backend,
+            sampler=args.sampler,
+            scheduler=args.scheduler,
         )
         elapsed = time.time() - started
         print(report.render())

@@ -218,9 +218,21 @@ class UnorderedQuotientModel(DynamicCountModel):
     tuples; pair transitions are derived on demand by lifting the pair to
     concrete agents and running the production ``interact`` on them, and
     are memoized for the lifetime of the model.
+
+    ``absolute=True`` disables the quotient entirely: *every* phase is
+    kept absolute (the ``(PH_PRE, phase)`` encoding extends past the
+    origin) and era tags keep their raw absolute values, so the
+    projection is injective on the observable per-agent state and the
+    lift is its literal inverse — no lumping argument needed, and none
+    of the out-of-band guards apply.  The state space then grows with
+    the trajectory length instead of staying bounded, which is exactly
+    right for the populations *below the tournament-origin gate*
+    (``tournament_phase_offset(n) ≤ 10``, n ≲ 26 at the default
+    ``le_factor``): their runs are short, and the absolute model serves
+    them where the windowed quotient's lift frame would alias.
     """
 
-    def __init__(self, algorithm, config: BasePopulation):
+    def __init__(self, algorithm, config: BasePopulation, absolute: bool = False):
         super().__init__()
         if config.n < 4:
             raise ConfigurationError("the tournament algorithms need n >= 4")
@@ -231,20 +243,21 @@ class UnorderedQuotientModel(DynamicCountModel):
                 "parameterizations (counting_agents / fractional "
                 "init_decrement)"
             )
+        self._absolute = bool(absolute)
         self._algo = algorithm
         self._n = int(config.n)
         self._k = int(config.k)
         self._rounds = int(params.rounds(self._n))
         self._origin = int(params.tournament_phase_offset(self._n))
-        if self._origin <= PHASES_PER_TOURNAMENT:
-            # The absolute frame separates "one era before tournament 0"
+        if not self._absolute and self._origin <= PHASES_PER_TOURNAMENT:
+            # The windowed frame separates "one era before tournament 0"
             # (origin − 10) from the stale sentinel and the unset tag only
             # when origin − 10 is positive; below that (n ≲ 26 with the
-            # default le_factor) the variants stay agent-only.
+            # default le_factor) the fully-absolute model serves instead.
             raise ConfigurationError(
-                "the era quotient needs tournament_phase_offset(n) > "
-                f"{PHASES_PER_TOURNAMENT} (got {self._origin}); population "
-                "too small"
+                "the windowed era quotient needs tournament_phase_offset(n)"
+                f" > {PHASES_PER_TOURNAMENT} (got {self._origin}); use "
+                "absolute=True for populations below the origin gate"
             )
         self._psi = params.psi(self._n)
         self._init_threshold = params.init_threshold(self._n)
@@ -296,7 +309,13 @@ class UnorderedQuotientModel(DynamicCountModel):
         return self._rounds
 
     def _tag_age(self, tau: int, e_h: int) -> int:
-        """Holder-relative age of the tag era value ``tau`` (π direction)."""
+        """Holder-relative age of the tag era value ``tau`` (π direction).
+
+        The absolute model keeps the raw era value instead of an age —
+        the identity map, inverted verbatim by :meth:`_tag_value`.
+        """
+        if self._absolute:
+            return int(tau)
         if tau < 0:
             return TAG_NONE
         age = e_h - self._era_index(tau)
@@ -309,6 +328,8 @@ class UnorderedQuotientModel(DynamicCountModel):
 
     def _tag_value(self, age: int, e_h: int) -> int:
         """Representative era value of a tag age (lift direction)."""
+        if self._absolute:
+            return int(age)
         if age == TAG_NONE:
             return -1
         if age == TAG_STALE:
@@ -318,6 +339,24 @@ class UnorderedQuotientModel(DynamicCountModel):
             return STALE_SENTINEL
         e_t = e_h - age
         return self._era_key(max(e_t, -1))
+
+    @property
+    def _tag_unset(self) -> int:
+        """The 'no tag' encoding: raw −1 absolute, TAG_NONE quotiented."""
+        return -1 if self._absolute else TAG_NONE
+
+    def _tag_op(self, op: int, age: int) -> int:
+        """Tag payload, erased when the age says it is unobservable.
+
+        In the windowed quotient a payload behind an unset or stale tag
+        can never be read again, so the projection erases it (keeping
+        spurious stale copies invisible).  The absolute model keeps the
+        raw payload — its projection is injective, erasure would discard
+        real state.
+        """
+        if self._absolute:
+            return int(op)
+        return int(op) if age not in (TAG_NONE, TAG_STALE) else 0
 
     # ------------------------------------------------------------------
     # Projection π: concrete UnorderedState → quotient tuples
@@ -342,9 +381,9 @@ class UnorderedQuotientModel(DynamicCountModel):
         if phase < 0:
             return self._init_tuple_of(s, a)
         role = int(s.role[a])
-        if phase < self._origin:
+        if self._absolute or phase < self._origin:
             ph = (PH_PRE, phase)
-            e_h = -1
+            e_h = self._era_of_phase(phase)
         else:
             window, pm = divmod(phase - self._origin, PHASES_PER_TOURNAMENT)
             ph = (PH_WINDOW, pm, window % WINDOW_MOD)
@@ -352,20 +391,14 @@ class UnorderedQuotientModel(DynamicCountModel):
         own_key = self._era_key(e_h)
         bwin = self._tag_age(int(s.bwin_tag[a]), e_h)
         ann_age = self._tag_age(int(s.ann_tag[a]), e_h)
-        ann_op = (
-            int(s.ann_op[a]) if ann_age not in (TAG_NONE, TAG_STALE) else 0
-        )
+        ann_op = self._tag_op(int(s.ann_op[a]), ann_age)
         fin = self._tag_age(int(s.finish_tag[a]), e_h)
         tags = (bwin, ann_op, ann_age, fin)
         if role == COLLECTOR:
             lblock = None
             if bool(s.leader[a]):
                 cand_age = self._tag_age(int(s.cand_tag[a]), e_h)
-                cand_op = (
-                    int(s.cand_op[a])
-                    if cand_age not in (TAG_NONE, TAG_STALE)
-                    else 0
-                )
+                cand_op = self._tag_op(int(s.cand_op[a]), cand_age)
                 lblock = (
                     cand_op,
                     cand_age,
@@ -389,11 +422,7 @@ class UnorderedQuotientModel(DynamicCountModel):
             return (Q_CLOCK, ph, int(s.count[a]), tags)
         if role == TRACKER:
             cand_age = self._tag_age(int(s.cand_tag[a]), e_h)
-            cand_op = (
-                int(s.cand_op[a])
-                if cand_age not in (TAG_NONE, TAG_STALE)
-                else 0
-            )
+            cand_op = self._tag_op(int(s.cand_op[a]), cand_age)
             return (
                 Q_TRACKER,
                 ph,
@@ -776,7 +805,7 @@ class UnorderedQuotientModel(DynamicCountModel):
             fields["pm"][sid] = ph[1]
             fields["w"][sid] = ph[2]
         tags = state[10] if kind == Q_COLLECTOR else state[-1]
-        fields["finish"][sid] = tags[3] != TAG_NONE
+        fields["finish"][sid] = tags[3] != self._tag_unset
         if kind == Q_COLLECTOR:
             fields["opinion"][sid] = state[2]
             fields["tokens"][sid] = state[3]
@@ -859,14 +888,17 @@ class UnorderedQuotientModel(DynamicCountModel):
             # absolute mixed-frame lift (and era ages on the straggler)
             # would alias.
             return "era_window_overflow"
-        trackers = occupied[
-            (meta["role"][occupied] == TRACKER) & meta["started"][occupied]
-        ]
-        mid_race = trackers[meta["seen"][trackers] < self._rounds]
-        if counts[meta["winner"]].any() and mid_race.size:
-            # A tracker still racing when winners exist: a conversion by
-            # the winner epidemic would drop live coin-race state.
-            return "era_window_overflow"
+        if not self._absolute:
+            trackers = occupied[
+                (meta["role"][occupied] == TRACKER) & meta["started"][occupied]
+            ]
+            mid_race = trackers[meta["seen"][trackers] < self._rounds]
+            if counts[meta["winner"]].any() and mid_race.size:
+                # A tracker still racing when winners exist: a conversion
+                # by the winner epidemic would drop live coin-race state.
+                # (The absolute model represents such configurations
+                # exactly, so it never needs this guard.)
+                return "era_window_overflow"
         all_trackers = occupied[meta["role"][occupied] == TRACKER]
         if all_trackers.size and (
             meta["seen"][all_trackers] >= self._rounds
@@ -933,10 +965,10 @@ class ImprovedQuotientModel(UnorderedQuotientModel):
     protocol *is* the unordered algorithm and everything is inherited.
     """
 
-    def __init__(self, algorithm, config: BasePopulation):
+    def __init__(self, algorithm, config: BasePopulation, absolute: bool = False):
         params = algorithm.params
         self._floor_c = int(params.phase_floor_c)
-        super().__init__(algorithm, config)
+        super().__init__(algorithm, config, absolute=absolute)
         from ..clocks.junta import junta_max_level
 
         self._hour_m = int(params.hour_m(self._n))

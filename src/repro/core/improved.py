@@ -62,7 +62,8 @@ class ImprovedAlgorithm(UnorderedAlgorithm):
     def count_model(self, config: PopulationConfig):
         """Export the era-quotiented count model with the pruning stage.
 
-        Same gates as :meth:`UnorderedAlgorithm.count_model`; the
+        Same gates as :meth:`UnorderedAlgorithm.count_model` (including
+        the fully-absolute shape below the tournament-origin gate); the
         :class:`~repro.core.era_quotient.ImprovedQuotientModel` adds the
         exact pruning-stage tuples (junta levels and clock positions are
         O(log n)-bounded while an agent is still pruning).
@@ -71,7 +72,9 @@ class ImprovedAlgorithm(UnorderedAlgorithm):
             return None
         from .era_quotient import ImprovedQuotientModel
 
-        return ImprovedQuotientModel(self, config)
+        return ImprovedQuotientModel(
+            self, config, absolute=self._era_quotient_absolute(config)
+        )
 
     # ------------------------------------------------------------------
     # Initialization

@@ -99,28 +99,40 @@ class UnorderedAlgorithm(SimpleAlgorithm):
         (:mod:`repro.core.era_quotient`) keeps the O(log n) pre-tournament
         phases absolute and maps the era tags to holder-relative ages, so
         the variant runs on ``backend="counts"`` — batched at
-        n = 10⁵ .. 10⁹ (benchmark EB5) and bit-exactly in sequential mode
-        (``tests/test_era_quotient.py``).
+        n = 10⁵ .. 10⁹ (benchmarks EB5, EB6) and bit-exactly in
+        sequential mode (``tests/test_era_quotient.py``).
 
-        Returns None for the Appendix C parameterizations
+        Populations below the tournament-origin gate
+        (``tournament_phase_offset(n) ≤ 10``, n ≲ 26 with the default
+        ``le_factor`` — where the windowed lift frame would alias the tag
+        sentinels) get the *fully-absolute* model instead: every phase
+        and tag kept verbatim, injective projection, no quotient needed
+        at that scale.
+
+        Returns None only for the Appendix C parameterizations
         (``counting_agents`` / fractional ``init_decrement``, not
-        quotiented) and for populations so small that the tournament
-        origin does not clear one full tournament window (n ≲ 26 with the
-        default ``le_factor`` — the absolute lift frame needs
-        ``origin − 10 > 0`` to keep the tag sentinels collision-free).
+        quotiented) and for n < 4 (below the tournament algorithms'
+        minimum population).
         """
         if not self._era_quotient_supported(config):
             return None
         from .era_quotient import UnorderedQuotientModel
 
-        return UnorderedQuotientModel(self, config)
+        return UnorderedQuotientModel(
+            self, config, absolute=self._era_quotient_absolute(config)
+        )
 
     def _era_quotient_supported(self, config: PopulationConfig) -> bool:
-        """Whether the era quotient covers this parameterization."""
+        """Whether an era-quotient shape covers this parameterization."""
         params: UnorderedParams = self.params  # type: ignore[assignment]
         if params.counting_agents or params.init_decrement < 1.0:
             return False
-        return params.tournament_phase_offset(config.n) > PHASES_PER_TOURNAMENT
+        return config.n >= 4
+
+    def _era_quotient_absolute(self, config: PopulationConfig) -> bool:
+        """Whether the population sits below the tournament-origin gate."""
+        params: UnorderedParams = self.params  # type: ignore[assignment]
+        return params.tournament_phase_offset(config.n) <= PHASES_PER_TOURNAMENT
 
     # ------------------------------------------------------------------
     # Initialization

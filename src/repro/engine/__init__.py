@@ -5,8 +5,10 @@ Public surface:
 * :class:`PopulationConfig` / :class:`CountConfig` — initial opinion
   assignments (per-agent vs. count-native O(k) builds).
 * :class:`Protocol` — the vectorized transition-function interface.
-* :class:`SequentialScheduler` / :class:`MatchingScheduler` — interaction
-  schedulers (exact vs. well-mixed approximation).
+* :mod:`repro.engine.scheduler` — the interaction-law registry
+  (``"sequential"`` / ``"birthday"`` / ``"matching"``: exact pairwise,
+  exact count-space birthday batches, well-mixed approximation),
+  selected via ``simulate(..., scheduler=...)``.
 * :func:`simulate` / :class:`RunResult` — the run loop and its outcome.
 * :mod:`repro.engine.backends` — execution strategies: per-agent arrays
   (``"agents"``) vs. count-vector simulation (``"counts"``), selected via
@@ -18,7 +20,7 @@ Public surface:
 * :class:`ProbeRecorder` — time-series sampling.
 """
 
-from . import backends, sampling
+from . import backends, sampling, scheduler
 from .backends import AgentArrayBackend, Backend, CountBackend, CountModel
 from .errors import (
     BackendUnsupported,
@@ -32,7 +34,13 @@ from .population import BasePopulation, CountConfig, PopulationConfig, is_count_
 from .protocol import Protocol, require_disjoint
 from .recorder import ProbeRecorder, Recorder
 from .rng import make_rng, seeds_for, spawn_streams
-from .scheduler import MatchingScheduler, Scheduler, SequentialScheduler
+from .scheduler import (
+    BirthdayScheduler,
+    MatchingScheduler,
+    Scheduler,
+    SchedulerLike,
+    SequentialScheduler,
+)
 from .simulation import RunResult, simulate
 
 __all__ = [
@@ -40,6 +48,7 @@ __all__ = [
     "Backend",
     "BackendUnsupported",
     "BasePopulation",
+    "BirthdayScheduler",
     "ConfigurationError",
     "CountBackend",
     "CountConfig",
@@ -57,7 +66,9 @@ __all__ = [
     "ReproError",
     "RunResult",
     "Scheduler",
+    "SchedulerLike",
     "SequentialScheduler",
+    "scheduler",
     "SimulationError",
     "make_rng",
     "require_disjoint",

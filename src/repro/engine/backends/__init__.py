@@ -7,11 +7,7 @@ strategies behind one :class:`Backend` interface:
 ``"agents"`` — :class:`AgentArrayBackend` (the default)
     Per-agent numpy state arrays, every interaction applied through the
     protocol's vectorized ``interact``.  Works for *every* protocol and
-    scheduler.  Memory O(n), work O(1) per interaction: the right choice
-    up to n ≈ 10^6, for recorder-heavy trajectory studies, and for any
-    protocol without a count model (the standalone clock/leader-election
-    building blocks, and the Appendix C parameterizations of the
-    tournament algorithms).
+    scheduler.  Memory O(n), work O(1) per interaction.
 
 ``"counts"`` — :class:`CountBackend`
     Drives the transition system a protocol exports through
@@ -24,56 +20,84 @@ strategies behind one :class:`Backend` interface:
     SimpleAlgorithm through its phase-quotiented model
     (:mod:`repro.core.quotient`, benchmark EB4), and UnorderedAlgorithm /
     ImprovedAlgorithm through the era-quotiented models
-    (:mod:`repro.core.era_quotient`, benchmark EB5 — leader election,
-    era-tagged selection, and pruning included).  Their state spaces are
-    far too large for dense (S, S) tables while any single run only
-    touches a sparse subset of pairs.  With a
-    :class:`~repro.engine.scheduler.MatchingScheduler` the population is
-    just a state-count vector and one batch of B interactions costs
-    O(|occupied states|²): two multivariate-hypergeometric margin draws
-    plus one level-batched contingency table, every draw routed through a
-    :class:`~repro.engine.sampling.SamplerPolicy` — the default ``"auto"``
-    uses numpy's generator where it applies (populations below 10^9) and
-    the custom color-splitting :class:`~repro.engine.sampling.LargeNHypergeometric`
-    beyond, so there is **no population cap** — n = 10^9 .. 10^10 runs at
-    count-vector cost (benchmarks EB3, EB4).  At that scale pair it with
-    a count-native :class:`~repro.engine.population.CountConfig` so the
-    config build is O(k) too.  With a
-    :class:`~repro.engine.scheduler.SequentialScheduler` it runs an exact
-    per-agent state-id mode that reproduces the agent backend's count
-    trajectory bit-for-bit under the same seed — the fidelity reference
-    the cross-backend tests check (per-agent configs only; for the
-    tournament quotients the replay is bit-exact *through the randomized
-    initialization and the leader-election coin flips*, see
-    ``tests/test_quotient_counts.py`` and ``tests/test_era_quotient.py``).
+    (:mod:`repro.core.era_quotient`, benchmarks EB5/EB6 — leader
+    election, era-tagged selection, and pruning included; populations
+    below the tournament-origin gate get the fully-absolute model).
+
+How a run executes is the product of three registries — backend ×
+scheduler (:mod:`repro.engine.scheduler`) × sampler policy
+(:mod:`repro.engine.sampling`); each axis is selected independently
+anywhere a simulation is launched:
+
+=========  ============  ===========================================
+backend    scheduler     what runs
+=========  ============  ===========================================
+agents     sequential    the reference: exact sequential model on
+                         per-agent arrays, O(1)/interaction, O(n) mem
+agents     birthday      identical to agents × sequential (same
+                         batching, same rng stream, bit-for-bit)
+agents     matching      well-mixed approximation on per-agent arrays
+counts     sequential    bit-exact replay of agents × sequential on
+                         per-agent state *ids* (the parity reference;
+                         per-agent configs only)
+counts     birthday      **exact sequential semantics natively in
+                         count space**: batch sizes from the
+                         disjoint-prefix (birthday) law, the
+                         prefix-terminating pair carried exactly,
+                         O(|occupied states|²) per Θ(√n)-interaction
+                         batch — no O(n) loop or array, count-native
+                         configs welcome (benchmark EB6)
+counts     matching      coarsest batches (B = n·fraction): the
+                         large-n workhorse, O(|occupied states|²) per
+                         B interactions (benchmarks EB2–EB6)
+=========  ============  ===========================================
+
+The sampler axis applies to the count backend's batched cells: every
+margin draw and contingency table goes through a
+:class:`~repro.engine.sampling.SamplerPolicy`.  ``"auto"`` (default)
+uses numpy's generator below its 10⁹ population bound and the
+O(1)-per-draw ``"rejection"`` sampler above it; ``"splitting"`` forces
+the windowed-inversion oracle; so there is **no population cap** —
+n = 10⁹ .. 10¹⁰ runs at count-vector cost.  At that scale pair the
+count backend with a count-native
+:class:`~repro.engine.population.CountConfig` so the config build is
+O(k) too.  Measured at n = 10⁹ (benchmark EB6): UnorderedAlgorithm
+k = 2 runs to *full convergence* in minutes under matching × rejection
+— PR 4 measured the same leg at 6210 s on the inversion sampler.
 
 Count-model support by protocol: static tables — three-state majority,
 USD, cancel/split, epidemic broadcast; dynamic quotients — Simple,
-Unordered, and Improved tournament algorithms (default parameters;
-Appendix C parameterizations and populations below the era-quotient's
-origin gate return None).  Agent-only — the standalone clocks, the
-coin-race leader election, and the junta clock.
+Unordered, and Improved tournament algorithms (default parameters; the
+unordered/improved variants cover every n ≥ 4 — the windowed era
+quotient above the origin gate, the fully-absolute model below it;
+Appendix C parameterizations return None).  Agent-only — the standalone
+clocks, the coin-race leader election, and the junta clock.
 
 Rule of thumb: pick ``"counts"`` when the protocol exports a count model
-and you care about scale; pick ``"agents"`` when you need per-agent
-introspection, a protocol without a model, or exact sequential semantics
-at small n where backend choice is moot.
+and you care about scale — with ``"matching"`` when well-mixed batch
+semantics are acceptable (sweeps, large-n scaling laws) and
+``"birthday"`` when you need the exact sequential law at count-vector
+cost; pick ``"agents"`` when you need per-agent introspection or a
+protocol without a model, and counts × sequential when a bit-exact
+count replay of the agent path is the point (tests, fidelity studies).
 
-Select a backend (and optionally a sampler policy) anywhere a simulation
-is launched::
+Select the three axes anywhere a simulation is launched::
 
     simulate(protocol, config, backend="counts",
-             scheduler=MatchingScheduler(0.25), sampler="auto")
-    replicate(..., backend="counts")
+             scheduler="matching", sampler="auto")
+    simulate(protocol, config, backend="counts", scheduler="birthday")
+    replicate(..., backend="counts", scheduler="matching")
     repro-experiments run EB2 --backend counts
     repro-experiments run EB3 --backend counts --sampler splitting
     repro-experiments run EB4                  # tournaments in count space
     repro-experiments run EB5                  # unordered/improved variants
+    repro-experiments run EB6 --sampler rejection   # scheduler × sampler grid
     repro-experiments run E1 --backend counts  # core E-series on counts
-    repro-experiments run E4 --backend counts  # unordered sweep on counts
+    repro-experiments run E4 --backend counts --scheduler birthday
+    repro-experiments schedulers               # list the scheduler registry
 
 or grab one directly via ``repro.engine.backends.get("counts")`` /
-``CountBackend(sampler="splitting")``.
+``CountBackend(sampler="rejection")``.
 """
 
 from .agent_array import AgentArrayBackend

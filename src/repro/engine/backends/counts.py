@@ -1,38 +1,46 @@
 """The count backend: configuration-space simulation on state-count vectors.
 
 Protocols that export a :class:`~repro.engine.backends.model.CountModel`
-can be simulated without materializing per-agent protocol state.  Two modes
-are selected by the scheduler passed to ``simulate()``:
+can be simulated without materializing per-agent protocol state.  The
+mode is selected by the *scheduler's* declared count semantics
+(:attr:`~repro.engine.scheduler.Scheduler.count_semantics`), so the
+backend never dispatches on concrete scheduler types:
 
-* :class:`~repro.engine.scheduler.SequentialScheduler` — *exact mode*.
-  The model's transition tables are applied to a single per-agent
-  state-id array using the very same scheduler index draws as the
-  agent-array backend.  For deterministic tables and rng-free
-  ``init_state`` this reproduces the agent-array count trajectory
-  bit-for-bit under the same seed (the cross-backend equivalence tests
-  rely on this), which makes it the fidelity reference for the batched
-  mode below.
+* ``"pairwise"`` (:class:`~repro.engine.scheduler.SequentialScheduler`) —
+  *bit-exact mode*.  The model's transition tables are applied to a
+  single per-agent state-id array using the very same scheduler index
+  draws as the agent-array backend.  For deterministic tables and
+  rng-free ``init_state`` this reproduces the agent-array count
+  trajectory bit-for-bit under the same seed (the cross-backend
+  equivalence tests rely on this), which makes it the fidelity reference
+  for the batched modes below.
 
-* :class:`~repro.engine.scheduler.MatchingScheduler` — *batched mode*.
-  The population is only a count vector; one batch of ``B`` disjoint
-  interactions is sampled in count space: initiator states by a
-  multivariate-hypergeometric draw from the counts, responder states by a
-  second draw from the remainder, and the initiator/responder pairing by
-  a sparse contingency table given both margins (exactly the
-  distribution the agent-level ``MatchingScheduler`` induces).
-  Transitions are then applied to whole pair-groups at once:
-  O(|occupied states|²) per batch instead of O(n) — the occupied-pairs
-  sparsity is what keeps lazily materialized models
+* ``"batched"`` (:class:`~repro.engine.scheduler.MatchingScheduler`,
+  :class:`~repro.engine.scheduler.BirthdayScheduler`) — *batched mode*.
+  The population is only a count vector; the scheduler streams
+  :class:`~repro.engine.scheduler.CountBatch` sizes and each batch of
+  ``B`` disjoint interactions is sampled in count space: initiator
+  states by a multivariate-hypergeometric draw from the counts,
+  responder states by a second draw from the remainder, and the
+  initiator/responder pairing by a sparse contingency table given both
+  margins (exactly the distribution the agent-level scheduler induces on
+  a disjoint batch).  The birthday scheduler additionally carries the
+  prefix-terminating pair across batches (``CountBatch.carry_first``):
+  its endpoint states are drawn from the previous batch's
+  post-transition outcome vector, which is what keeps the stream's law
+  *exactly* the sequential model's.  Transitions are applied to whole
+  pair-groups at once: O(|occupied states|²) per batch instead of O(n)
+  — the occupied-pairs sparsity is what keeps lazily materialized models
   (:class:`~repro.engine.backends.model.DynamicCountModel`, e.g. the
   tournament phase quotient) cheap even when their full state space runs
   into the tens of thousands.  Every draw goes through a
   :class:`~repro.engine.sampling.SamplerPolicy` (``sampler=`` on the
   backend, ``simulate()``, or the CLI): the default ``"auto"`` policy
   uses numpy's generator below its 10^9 population limit and the custom
-  :class:`~repro.engine.sampling.LargeNHypergeometric` color-splitting
-  sampler above it (margin draws and level-batched contingency tables
-  alike), so batched runs scale to n = 10^9 .. 10^10 (benchmarks EB3,
-  EB4).  Pair batched mode with a count-native
+  :class:`~repro.engine.sampling.LargeNHypergeometric` above it —
+  rejection univariate draws, color-splitting, and level-batched
+  contingency tables alike — so batched runs scale to n = 10^9 .. 10^10
+  (benchmarks EB3, EB4, EB6).  Pair batched mode with a count-native
   :class:`~repro.engine.population.CountConfig` to keep the *whole* run —
   config build included — free of O(n) allocations.
 """
@@ -40,7 +48,7 @@ are selected by the scheduler passed to ``simulate()``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -49,7 +57,7 @@ from ..errors import BackendUnsupported, SimulationError
 from ..population import PopulationConfig, is_count_native
 from ..protocol import Protocol
 from ..recorder import Recorder
-from ..scheduler import MatchingScheduler, Scheduler, SequentialScheduler
+from ..scheduler import Scheduler
 from ..simulation import RunResult
 from .base import Backend, build_run_result, drive, register, run_intervals
 from .model import BaseCountModel
@@ -128,14 +136,16 @@ class CountBackend(Backend):
             check_invariants=check_invariants,
             state_out=state_out,
         )
-        if isinstance(scheduler, SequentialScheduler):
+        semantics = getattr(scheduler, "count_semantics", None)
+        if semantics == "pairwise":
             return self._run_exact(protocol, config, model, scheduler, **kwargs)
-        if isinstance(scheduler, MatchingScheduler):
+        if semantics == "batched":
             return self._run_batched(protocol, config, model, scheduler, **kwargs)
         raise BackendUnsupported(
-            f"count backend has no count-space sampler for "
-            f"{type(scheduler).__name__}; use SequentialScheduler or "
-            "MatchingScheduler"
+            f"count backend has no count-space law for "
+            f"{type(scheduler).__name__} (count_semantics={semantics!r}); "
+            f"use a scheduler declaring 'pairwise' or 'batched' count "
+            f"semantics (sequential, birthday, matching)"
         )
 
     # ------------------------------------------------------------------
@@ -146,7 +156,7 @@ class CountBackend(Backend):
         protocol: Protocol,
         config: PopulationConfig,
         model: BaseCountModel,
-        scheduler: SequentialScheduler,
+        scheduler: Scheduler,
         *,
         rng: np.random.Generator,
         max_parallel_time: float,
@@ -160,9 +170,10 @@ class CountBackend(Backend):
             raise BackendUnsupported(
                 f"count backend's exact (sequential) mode replays a "
                 f"per-agent state layout, which the count-native config "
-                f"{config.name!r} does not have; use a MatchingScheduler "
-                f"for batched count-space simulation, or materialize() "
-                f"the config"
+                f"{config.name!r} does not have; use the birthday "
+                f"scheduler for exact sequential semantics in count "
+                f"space, a MatchingScheduler for batched well-mixed "
+                f"simulation, or materialize() the config"
             )
         n = config.n
         ids = model.initial_ids(config)
@@ -216,14 +227,14 @@ class CountBackend(Backend):
         )
 
     # ------------------------------------------------------------------
-    # Batched mode (matching scheduler semantics, pure counts)
+    # Batched mode (count-space batch stream from the scheduler)
     # ------------------------------------------------------------------
     def _run_batched(
         self,
         protocol: Protocol,
         config: PopulationConfig,
         model: BaseCountModel,
-        scheduler: MatchingScheduler,
+        scheduler: Scheduler,
         *,
         rng: np.random.Generator,
         max_parallel_time: float,
@@ -238,9 +249,11 @@ class CountBackend(Backend):
             raise BackendUnsupported(f"need at least 2 agents, got {n}")
         counts = model.initial_counts(config).astype(np.int64)
         state = CountState(model=model, counts=counts)
-        # Mirror MatchingScheduler's batch sizing exactly.
-        batch = max(1, int(round(n * scheduler.fraction)))
-        batch = min(batch, n // 2)
+        batches = scheduler.count_batches(n, rng)
+        #: Post-transition states of the previous batch's participants —
+        #: the pool a carried-over (prefix-terminating) pair collides
+        #: with under birthday semantics.  None until a batch ran.
+        last_outputs: Optional[np.ndarray] = None
 
         budget, check_interval, record_interval = run_intervals(
             n,
@@ -254,8 +267,13 @@ class CountBackend(Backend):
             recorder.on_start(state, n)
 
         def step(remaining: int) -> int:
-            size = min(batch, remaining)
-            state.counts = self._step_batch(model, state.counts, size, rng)
+            nonlocal last_outputs
+            spec = next(batches)
+            size = min(spec.size, remaining)
+            carry = last_outputs if spec.carry_first else None
+            state.counts, last_outputs = self._step_batch(
+                model, state.counts, size, rng, carry=carry
+            )
             return size
 
         interactions, converged, failure = drive(
@@ -286,25 +304,115 @@ class CountBackend(Backend):
         counts: np.ndarray,
         size: int,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+        carry: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample and apply one batch of ``size`` disjoint interactions.
 
         Distribution: ``2 * size`` distinct agents drawn without
         replacement, the first ``size`` as initiators matched uniformly to
-        the rest — identical to ``MatchingScheduler`` at the count level.
+        the rest — identical to an agent-level disjoint batch at the count
+        level.  When ``carry`` is given (birthday semantics), the batch's
+        *first* pair is instead the pair that terminated the previous
+        disjoint prefix: an ordered pair of distinct agents conditioned
+        on touching the previous batch's participant set, whose current
+        states ``carry`` holds; the remaining ``size − 1`` pairs are a
+        fresh uniform disjoint sample from the rest of the population.
         All without-replacement draws (including the sparse contingency
         table of initiator/responder pair groups) go through the backend's
         sampler policy, so population size is bounded only by the policy
         (the default ``"auto"`` is unbounded).
+
+        Returns ``(new_counts, outputs)`` where ``outputs[s]`` counts the
+        batch participants whose *post-transition* state is ``s`` — the
+        collision pool of a following carried pair.
         """
         counts = model.ensure_capacity(counts)
-        initiators = self._sampler.draw(counts, size, rng)
-        responders = self._sampler.draw(counts - initiators, size, rng)
+        first_i = first_j = None
+        if carry is not None and size >= 1:
+            first_i, first_j = self._carry_pair(counts, carry, rng)
+            rest = size - 1
+        else:
+            rest = size
+        pool = counts
+        if first_i is not None:
+            pool = counts.copy()
+            pool[first_i] -= 1
+            pool[first_j] -= 1
+        initiators = self._sampler.draw(pool, rest, rng)
+        responders = self._sampler.draw(pool - initiators, rest, rng)
         pair_i, pair_j, sizes = self._sampler.contingency(
             initiators, responders, rng
         )
-        new_counts = counts - initiators - responders
-        return model.apply_groups(pair_i, pair_j, sizes, new_counts, rng)
+        participants = initiators + responders
+        if first_i is not None:
+            participants[first_i] += 1
+            participants[first_j] += 1
+            # Merge the carried pair into the group triplets (apply_groups
+            # requires each state pair at most once).
+            hit = np.flatnonzero((pair_i == first_i) & (pair_j == first_j))
+            if hit.size:
+                sizes = sizes.copy()
+                sizes[hit[0]] += 1
+            else:
+                pair_i = np.append(pair_i, first_i)
+                pair_j = np.append(pair_j, first_j)
+                sizes = np.append(sizes, 1)
+        new_counts = counts - participants
+        # apply_groups scatters outcomes into new_counts in place (and may
+        # grow it for dynamic models): snapshot the non-participant rest
+        # first so the participants' post-transition states fall out as
+        # after − rest — the collision pool of a following carried pair.
+        rest_counts = new_counts.copy()
+        after = model.apply_groups(pair_i, pair_j, sizes, new_counts, rng)
+        if rest_counts.shape[0] < after.shape[0]:
+            rest_counts = np.pad(
+                rest_counts, (0, after.shape[0] - rest_counts.shape[0])
+            )
+        return after, after - rest_counts
+
+    @staticmethod
+    def _carry_pair(
+        counts: np.ndarray, carry: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[int, int]:
+        """State pair of the prefix-terminating ("carried") pair.
+
+        The pair that ends a birthday prefix is an i.i.d. uniform ordered
+        pair of distinct agents conditioned on sharing at least one agent
+        with the just-applied batch's participant set M (``carry`` is the
+        per-state count vector of M, post-transition).  Uniformity makes
+        the conditional law a three-way mixture over which side(s) land
+        in M — weights ``|M|(|M|−1)`` (both), ``|M|·R`` and ``R·|M|``
+        (one side; R = non-members) — with member endpoints drawn from
+        ``carry`` and non-member endpoints from ``counts − carry``,
+        without replacement.
+        """
+        if carry.shape[0] < counts.shape[0]:
+            carry = np.pad(carry, (0, counts.shape[0] - carry.shape[0]))
+        carry = np.minimum(carry, counts)
+        m_total = int(carry.sum())
+        n_total = int(counts.sum())
+        rest = counts - carry
+        r_total = n_total - m_total
+        w_both = m_total * (m_total - 1)
+        w_one = m_total * r_total
+        pick = rng.random() * (w_both + 2 * w_one)
+
+        def draw_state(weights: np.ndarray, total: int) -> int:
+            u = rng.random() * total
+            return int(np.searchsorted(np.cumsum(weights), u, side="right"))
+
+        if pick < w_both:
+            i = draw_state(carry, m_total)
+            reduced = carry.copy()
+            reduced[i] -= 1
+            j = draw_state(reduced, m_total - 1)
+        elif pick < w_both + w_one:
+            i = draw_state(carry, m_total)
+            j = draw_state(rest, r_total)
+        else:
+            i = draw_state(rest, r_total)
+            j = draw_state(carry, m_total)
+        return i, j
 
     # ------------------------------------------------------------------
     # Shared check/epilogue

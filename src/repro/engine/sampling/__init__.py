@@ -8,18 +8,21 @@ makes.  Two layers:
   inverse-CDF univariate draws + recursive binary color-splitting) that
   stays exact-in-distribution at populations numpy rejects (n >= 10^9).
 * :mod:`~repro.engine.sampling.policy` — the :class:`SamplerPolicy`
-  registry (``"numpy"``, ``"splitting"``, ``"auto"``) deciding which
-  sampler executes a given draw, threaded through
+  registry (``"numpy"``, ``"splitting"``, ``"rejection"``, ``"auto"``)
+  deciding which sampler executes a given draw, threaded through
   ``simulate(..., backend="counts", sampler=...)`` and the CLI's
-  ``--sampler`` flag.
+  ``--sampler`` flag.  ``"rejection"`` swaps the windowed inversion for
+  the O(1)-per-draw ratio-of-uniforms univariate sampler; ``"auto"``
+  prefers it above numpy's 10⁹ population bound.
 """
 
-from .hypergeometric import LargeNHypergeometric
+from .hypergeometric import REJECTION_MIN, LargeNHypergeometric
 from .policy import (
     DEFAULT_SAMPLER,
     NUMPY_MAX_POPULATION,
     AutoSampler,
     NumpySampler,
+    RejectionSampler,
     SamplerLike,
     SamplerPolicy,
     SplittingSampler,
@@ -35,6 +38,8 @@ __all__ = [
     "LargeNHypergeometric",
     "NUMPY_MAX_POPULATION",
     "NumpySampler",
+    "REJECTION_MIN",
+    "RejectionSampler",
     "SamplerLike",
     "SamplerPolicy",
     "SplittingSampler",

@@ -8,20 +8,39 @@ experiments (arXiv:2505.02765) call for.  This module implements the
 custom sampler from the ROADMAP open item:
 
 :class:`LargeNHypergeometric`
-    * **Univariate draws** use an exact inverse-CDF over a window of the
-      support centred on the mode.  The window is sized from the normal
-      approximation (``window_sds`` standard deviations on either side —
-      the fast path: at 10 sd the truncated tail mass is below 2e-22,
-      far under the 2^-53 resolution of the uniform variate), the pmf
-      inside the window is computed by exact log-ratio recurrences
+    * **Univariate draws** come in two interchangeable methods, selected
+      by ``univariate_method``:
+
+      ``"inversion"`` (the default) — an exact inverse-CDF over a window
+      of the support centred on the mode.  The window is sized from the
+      normal approximation (``window_sds`` standard deviations on either
+      side — the fast path: at 10 sd the truncated tail mass is below
+      2e-22, far under the 2^-53 resolution of the uniform variate), the
+      pmf inside the window is computed by exact log-ratio recurrences
       anchored at the mode via ``lgamma``, and a draw whose uniform
       variate falls outside the captured mass triggers the tail
       correction: the window is widened (ultimately to the full support
       when feasible) and the inversion re-run.  Work per draw is
-      O(min(support, window_sds · sd)) vectorized numpy — a few
-      milliseconds at n = 10^10 — and the sampled law matches the exact
-      hypergeometric up to floating-point rounding (~1e-11 total
-      variation), the same caveat numpy's own samplers carry.
+      O(min(support, window_sds · sd)) vectorized numpy.
+
+      ``"rejection"`` — an H2PE-style ratio-of-uniforms rejection
+      sampler (Kachitvichyanukul & Schmeiser 1985; Stadlober 1990, the
+      family numpy's own HRUA generator belongs to): candidates are
+      proposed from a table-mountain envelope centred on the mean and
+      accepted against the exact ``lgamma`` log-pmf, so the expected
+      work per draw is **O(1)** — a handful of float ops and ~2.6
+      uniforms — independent of the standard deviation.  At n = 10⁹ a
+      typical forced-splitting draw has sd ≈ 10⁴, i.e. a ~10⁵-point
+      inversion window; rejection replaces that with a constant-size
+      computation, which is the ~10× batch-cost cut benchmark EB6
+      measures.  Small-range draws (reduced sample or reduced color
+      below :data:`REJECTION_MIN`, where the envelope degenerates) fall
+      back to the windowed inversion, which also stays the statistical-
+      equivalence oracle in ``tests/test_sampling.py``.
+
+      Both methods match the exact hypergeometric up to floating-point
+      rounding (~1e-11 total variation), the same caveat numpy's own
+      samplers carry.
 
     * **Multivariate draws** reduce to univariate ones by recursive
       binary color-splitting: split the colors into two halves, draw how
@@ -31,8 +50,10 @@ custom sampler from the ROADMAP open item:
       univariate draws for ``k`` colors, at any population size.
 
 The policy layer in :mod:`repro.engine.sampling.policy` decides when this
-sampler is used instead of numpy's; the statistical equivalence tests live
-in ``tests/test_sampling.py``.
+sampler is used instead of numpy's (``"splitting"`` = inversion,
+``"rejection"`` = rejection, ``"auto"`` = numpy below its 10⁹ bound and
+rejection above); the statistical equivalence tests live in
+``tests/test_sampling.py``.
 """
 
 from __future__ import annotations
@@ -46,6 +67,21 @@ from ..errors import ConfigurationError
 from ..rng import RngLike, make_rng
 
 IntLike = Union[int, np.integer]
+
+#: Ratio-of-uniforms envelope constants (Stadlober's universal table-
+#: mountain hat for unimodal discrete distributions): half-width
+#: ``_D1 · σ̂ + _D2`` with ``σ̂² = variance + 1/2``.
+_D1 = 1.7155277699214135  # 2 * sqrt(2 / e)
+_D2 = 0.8989161620588988  # 3 - 2 * sqrt(3 / e)
+
+#: Below this reduced sample / reduced color count the rejection
+#: envelope degenerates (the distribution is too discrete for the
+#: continuous hat to pay off); such draws use the windowed inversion.
+REJECTION_MIN = 10
+
+#: Rejection rounds before the (astronomically unlikely, p < 2^-100)
+#: fallback to the exact windowed inversion.
+_MAX_REJECT_ROUNDS = 64
 
 
 def _log_comb(n: int, k: int) -> float:
@@ -73,6 +109,13 @@ def _log_comb_many(n: np.ndarray, k: np.ndarray) -> np.ndarray:
     )
 
 
+def _lgamma_many(x: np.ndarray) -> np.ndarray:
+    """Vectorized ``lgamma`` over positive float arrays."""
+    if _gammaln is not None:
+        return _gammaln(x)
+    return np.array([lgamma(float(v)) for v in x], dtype=np.float64)
+
+
 class LargeNHypergeometric:
     """Hypergeometric sampling that stays exact-in-distribution at any n.
 
@@ -85,17 +128,32 @@ class LargeNHypergeometric:
         max_full_support: supports no wider than this are enumerated
             exactly instead of windowed, making small-population draws
             textbook inverse-CDF transforms.
+        univariate_method: ``"inversion"`` (windowed exact inverse-CDF,
+            O(sd) per draw) or ``"rejection"`` (ratio-of-uniforms
+            rejection against the exact log-pmf, O(1) expected per draw;
+            small-range draws below :data:`REJECTION_MIN` still invert).
     """
 
-    def __init__(self, window_sds: float = 10.0, max_full_support: int = 1 << 22):
+    def __init__(
+        self,
+        window_sds: float = 10.0,
+        max_full_support: int = 1 << 22,
+        univariate_method: str = "inversion",
+    ):
         if window_sds <= 0:
             raise ConfigurationError(f"window_sds must be > 0, got {window_sds}")
         if max_full_support < 1:
             raise ConfigurationError(
                 f"max_full_support must be >= 1, got {max_full_support}"
             )
+        if univariate_method not in ("inversion", "rejection"):
+            raise ConfigurationError(
+                f"univariate_method must be 'inversion' or 'rejection', "
+                f"got {univariate_method!r}"
+            )
         self.window_sds = float(window_sds)
         self.max_full_support = int(max_full_support)
+        self.univariate_method = univariate_method
 
     # ------------------------------------------------------------------
     # Univariate: P(X = x) = C(ngood, x) C(nbad, nsample-x) / C(N, nsample)
@@ -117,7 +175,26 @@ class LargeNHypergeometric:
         hi = min(nsample, ngood)
         if lo == hi:
             return lo
+        if self.univariate_method == "rejection" and self._rejection_ok(
+            ngood, nbad, nsample
+        ):
+            out = np.empty(1, dtype=np.int64)
+            self._reject_rows(
+                out,
+                np.zeros(1, dtype=np.int64),
+                np.array([ngood], dtype=np.int64),
+                np.array([nbad], dtype=np.int64),
+                np.array([nsample], dtype=np.int64),
+                make_rng(rng),
+            )
+            return int(out[0])
         return self._invert(ngood, nbad, nsample, lo, hi, make_rng(rng))
+
+    @staticmethod
+    def _rejection_ok(ngood, nbad, nsample) -> bool:
+        """Whether the rejection envelope applies (scalar parameters)."""
+        m = min(int(nsample), int(ngood) + int(nbad) - int(nsample))
+        return min(m, int(ngood), int(nbad)) >= REJECTION_MIN
 
     def _invert(
         self,
@@ -179,7 +256,21 @@ class LargeNHypergeometric:
         out[lo >= hi] = lo[lo >= hi]
         if free.size == 0:
             return out
-        # One uniform per non-degenerate draw, in index order.
+        if self.univariate_method == "rejection":
+            reduced = np.minimum(nsample[free], ngood[free] + nbad[free] - nsample[free])
+            eligible = (
+                np.minimum(reduced, np.minimum(ngood[free], nbad[free]))
+                >= REJECTION_MIN
+            )
+            chosen = free[eligible]
+            if chosen.size:
+                self._reject_rows(
+                    out, chosen, ngood[chosen], nbad[chosen], nsample[chosen], rng
+                )
+            free = free[~eligible]
+            if free.size == 0:
+                return out
+        # One uniform per non-degenerate inversion draw, in index order.
         uniforms = rng.random(free.size)
 
         total = ngood + nbad
@@ -285,6 +376,110 @@ class LargeNHypergeometric:
                 float(u[m]),
                 initial_half=int(b[m] - a[m]) + 1,
             )
+
+    # ------------------------------------------------------------------
+    # Rejection method (H2PE / ratio-of-uniforms family): O(1) per draw
+    # ------------------------------------------------------------------
+    def _reject_rows(
+        self,
+        out: np.ndarray,
+        rows: np.ndarray,
+        ngood: np.ndarray,
+        nbad: np.ndarray,
+        nsample: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Vectorized ratio-of-uniforms rejection for eligible rows.
+
+        Works on the *reduced* parameterization — count the smaller color
+        class among ``m = min(nsample, total − nsample)`` draws — so the
+        envelope is centred on the smaller mode; the two classic
+        back-transforms restore the requested orientation.  Per proposal:
+        two uniforms, one candidate ``k = ⌊a + h(v − ½)/u⌋`` from the
+        table-mountain hat, accepted iff ``u² ≤ pmf(k)/pmf(mode)`` with
+        the exact ``lgamma`` log-pmf — acceptance ≈ 0.7–0.9, so the
+        expected cost per draw is a constant independent of sd (vs the
+        O(window_sds · sd) inversion grid).  Candidates beyond 16 sd of
+        the mean are rejected outright (truncated mass < e⁻¹²⁸, far
+        below float resolution — the same bound numpy's HRUA uses).
+        Rows still pending after :data:`_MAX_REJECT_ROUNDS` rounds fall
+        back to the exact windowed inversion.
+        """
+        total = (ngood + nbad).astype(np.float64)
+        mingb = np.minimum(ngood, nbad)
+        maxgb = np.maximum(ngood, nbad)
+        m = np.minimum(nsample, ngood + nbad - nsample)
+        mf = m.astype(np.float64)
+        gf = mingb.astype(np.float64)
+        bf = maxgb.astype(np.float64)
+        mean = mf * gf / total
+        var = (
+            mean
+            * ((total - gf) / total)
+            * ((total - mf) / np.maximum(total - 1.0, 1.0))
+        )
+        sd = np.sqrt(var + 0.5)
+        half = _D1 * sd + _D2
+        centre = mean + 0.5
+        lo = np.maximum(0, m - maxgb).astype(np.float64)
+        hi = np.minimum(m, mingb).astype(np.float64)
+        mode = np.clip(
+            np.floor((mf + 1.0) * (gf + 1.0) / (total + 2.0)), lo, hi
+        )
+        g_mode = self._log_pmf_weight(mode, gf, mf, bf)
+        cap = np.minimum(hi, np.floor(centre + 16.0 * sd))
+
+        pending = np.arange(rows.size)
+        for _ in range(_MAX_REJECT_ROUNDS):
+            u = np.maximum(rng.random(pending.size), 1e-300)
+            v = rng.random(pending.size)
+            x = centre[pending] + half[pending] * (v - 0.5) / u
+            k = np.floor(x)
+            in_range = (x >= 0.0) & (k >= lo[pending]) & (k <= cap[pending])
+            # Out-of-range candidates get the (valid) mode as a lgamma
+            # placeholder; the mask keeps them rejected.
+            k_safe = np.where(in_range, k, mode[pending])
+            g = self._log_pmf_weight(
+                k_safe, gf[pending], mf[pending], bf[pending]
+            )
+            accept = in_range & (2.0 * np.log(u) <= g_mode[pending] - g)
+            hit = pending[accept]
+            if hit.size:
+                z = k_safe[accept].astype(np.int64)
+                swap = ngood[hit] > nbad[hit]
+                z = np.where(swap, m[hit] - z, z)
+                complement = nsample[hit] > m[hit]
+                z = np.where(complement, ngood[hit] - z, z)
+                out[rows[hit]] = z
+            pending = pending[~accept]
+            if pending.size == 0:
+                return
+        for p in pending:  # pragma: no cover - p < 2^-100 per row
+            out[rows[p]] = self._invert(
+                int(ngood[p]),
+                int(nbad[p]),
+                int(nsample[p]),
+                int(max(0, nsample[p] - nbad[p])),
+                int(min(nsample[p], ngood[p])),
+                rng,
+            )
+
+    @staticmethod
+    def _log_pmf_weight(
+        k: np.ndarray, gf: np.ndarray, mf: np.ndarray, bf: np.ndarray
+    ) -> np.ndarray:
+        """``−log pmf(k)`` up to the k-independent normalization.
+
+        ``pmf(k) = C(g, k) C(b, m−k) / C(g+b, m)`` in the reduced
+        parameterization; the returned weight is the k-dependent
+        ``lgamma`` sum, so ``weight(mode) − weight(k) = log pmf(k)/pmf(mode)``.
+        """
+        return (
+            _lgamma_many(k + 1.0)
+            + _lgamma_many(gf - k + 1.0)
+            + _lgamma_many(mf - k + 1.0)
+            + _lgamma_many(bf - mf + k + 1.0)
+        )
 
     def _invert_scalar_with_u(
         self, ngood, nbad, nsample, lo, hi, u, initial_half

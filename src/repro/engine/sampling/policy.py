@@ -13,19 +13,28 @@ backends are (:mod:`repro.engine.backends.base`):
 
 ``"splitting"``
     :class:`~repro.engine.sampling.hypergeometric.LargeNHypergeometric`
-    via recursive binary color-splitting — any population size, a few
-    milliseconds per draw at n = 10^10.
+    via recursive binary color-splitting over *windowed-inversion*
+    univariate draws — any population size, O(window_sds · sd) work per
+    draw.  Kept as the statistical-equivalence oracle.
+
+``"rejection"``
+    The same color-splitting reduction over the **O(1)-per-draw**
+    ratio-of-uniforms rejection univariate sampler (H2PE family) —
+    any population size, ~10× cheaper per forced-large-n batch than
+    ``"splitting"`` at n = 10⁹ (benchmark EB6); small-range/tail draws
+    fall back to the windowed inversion internally.
 
 ``"auto"`` (the default)
-    Per-draw dispatch: numpy below its population limit, splitting above.
-    This is what lets ``simulate(..., backend="counts")`` run unchanged
-    from n = 10^2 to n = 10^10.
+    Per-draw dispatch: numpy below its population limit, rejection
+    above.  This is what lets ``simulate(..., backend="counts")`` run
+    unchanged from n = 10^2 to n = 10^10.
 
 Select a policy anywhere a count-space simulation is launched::
 
-    simulate(protocol, config, backend="counts", sampler="splitting")
+    simulate(protocol, config, backend="counts", sampler="rejection")
     replicate(..., backend="counts", sampler="auto")
     repro-experiments run EB3 --backend counts --sampler splitting
+    repro-experiments run EB6 --sampler rejection
     repro-experiments samplers          # list policies + ranges
 """
 
@@ -158,9 +167,13 @@ class SplittingSampler(SamplerPolicy):
         "recursive color-splitting with windowed exact inverse-CDF "
         "univariate draws (any n, incl. 10^9..10^10)"
     )
+    #: Univariate method handed to :class:`LargeNHypergeometric`.
+    univariate_method = "inversion"
 
     def __init__(self, window_sds: float = 10.0):
-        self._sampler = LargeNHypergeometric(window_sds=window_sds)
+        self._sampler = LargeNHypergeometric(
+            window_sds=window_sds, univariate_method=self.univariate_method
+        )
 
     def draw(
         self, colors: np.ndarray, nsample: int, rng: np.random.Generator
@@ -193,16 +206,37 @@ class SplittingSampler(SamplerPolicy):
         return rows[hit_r], cols[hit_c], table[hit_r, hit_c]
 
 
+class RejectionSampler(SplittingSampler):
+    """Color-splitting over O(1)-per-draw rejection univariate draws.
+
+    Same reduction tree (and level-batched contingency tables) as
+    ``"splitting"``, but every non-degenerate univariate draw goes
+    through the ratio-of-uniforms rejection sampler instead of the
+    O(window_sds · sd) windowed inversion — the ~10× forced-large-n
+    batch-cost cut benchmark EB6 measures at n = 10⁹.  Small-range/tail
+    draws (below :data:`~repro.engine.sampling.hypergeometric.
+    REJECTION_MIN`) still invert exactly.
+    """
+
+    name = "rejection"
+    max_population = None
+    summary = (
+        "recursive color-splitting with O(1)-per-draw ratio-of-uniforms "
+        "rejection univariate draws (any n; fastest beyond numpy's bound)"
+    )
+    univariate_method = "rejection"
+
+
 class AutoSampler(SamplerPolicy):
-    """Per-draw dispatch: numpy when in range, splitting beyond."""
+    """Per-draw dispatch: numpy when in range, rejection beyond."""
 
     name = "auto"
     max_population = None
-    summary = "per-draw dispatch: numpy below 10^9, splitting above"
+    summary = "per-draw dispatch: numpy below 10^9, rejection above"
 
     def __init__(self):
         self._numpy = NumpySampler()
-        self._splitting = SplittingSampler()
+        self._beyond = RejectionSampler()
 
     def draw(
         self, colors: np.ndarray, nsample: int, rng: np.random.Generator
@@ -210,7 +244,7 @@ class AutoSampler(SamplerPolicy):
         total = int(np.asarray(colors).sum())
         if self._numpy.supports(total):
             return self._numpy.draw(colors, nsample, rng)
-        return self._splitting.draw(colors, nsample, rng)
+        return self._beyond.draw(colors, nsample, rng)
 
     def contingency(
         self,
@@ -222,13 +256,13 @@ class AutoSampler(SamplerPolicy):
 
         The pool of a contingency draw is one batch (≤ n/2 agents), so
         the numpy path covers it for n < 2·10⁹; above that every row
-        draw would exceed numpy's bound and the splitting sampler's
+        draw would exceed numpy's bound and the rejection sampler's
         level-batched whole-table construction takes over.
         """
         total = int(np.asarray(responders).sum())
         if self._numpy.supports(total):
             return self._numpy.contingency(initiators, responders, rng)
-        return self._splitting.contingency(initiators, responders, rng)
+        return self._beyond.contingency(initiators, responders, rng)
 
 
 # ----------------------------------------------------------------------
@@ -254,4 +288,5 @@ resolve = _REGISTRY.resolve
 
 register(NumpySampler.name, NumpySampler)
 register(SplittingSampler.name, SplittingSampler)
+register(RejectionSampler.name, RejectionSampler)
 register(AutoSampler.name, AutoSampler)

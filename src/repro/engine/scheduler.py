@@ -1,50 +1,131 @@
-"""Interaction schedulers.
+"""Interaction schedulers: a first-class, backend-independent layer.
 
-The population-protocol model (paper, Section 2) selects one ordered pair of
-distinct agents independently and uniformly at random per time step.  Both
-schedulers below deliver interactions as *batches of pairwise-disjoint
-pairs*, which :meth:`repro.engine.protocol.Protocol.interact` consumes
-vectorized:
+The population-protocol model (paper, Section 2) selects one ordered pair
+of distinct agents independently and uniformly at random per time step.
+A :class:`Scheduler` describes *which* interaction law drives a run, and
+every execution backend consumes that description in its own
+representation:
 
-* :class:`SequentialScheduler` reproduces the sequential model *exactly*.
-  It samples i.i.d. uniform ordered pairs and flushes maximal prefixes in
-  which no agent repeats ("birthday batching").  Disjoint population-
-  protocol interactions commute, so the batched application is
-  distributionally identical to one-at-a-time application, while
-  vectorizing Θ(√n) interactions per numpy call.
+* the **agent path** (:class:`~repro.engine.backends.AgentArrayBackend`,
+  and the count backend's bit-exact sequential mode) consumes
+  :meth:`Scheduler.batches` — an endless stream of pairwise-disjoint
+  index-pair batches applied through the protocol's vectorized
+  ``interact``;
+* the **count path** (:class:`~repro.engine.backends.CountBackend`'s
+  batched mode) consumes :meth:`Scheduler.count_batches` — the same law
+  expressed as a stream of :class:`CountBatch` sizes, each realized in
+  count space by multivariate-hypergeometric margin draws plus a sparse
+  contingency table (O(|occupied states|²) per batch, independent of n).
 
-* :class:`MatchingScheduler` samples a partial random matching of ``B``
-  disjoint pairs per round and counts ``B`` interactions.  For ``B ≪ n``
-  this is the standard well-mixed approximation used for large-``n``
-  parameter sweeps; its fidelity against the exact scheduler is validated
-  in ``tests/test_scheduler.py``.
+Which count-space mode a scheduler supports is declared by
+``count_semantics`` (``"pairwise"`` / ``"batched"`` / None), so backends
+never dispatch on concrete scheduler types.
+
+Schedulers are registry objects exactly like execution backends and
+sampler policies: select one anywhere a simulation is launched::
+
+    simulate(protocol, config, scheduler="matching", backend="counts")
+    replicate(..., scheduler="birthday")
+    repro-experiments run EB6 --scheduler matching --sampler rejection
+    repro-experiments schedulers        # list the registry
+
+The three registered schedulers:
+
+``"sequential"`` — :class:`SequentialScheduler` (the default)
+    Reproduces the sequential model *exactly*.  It samples i.i.d.
+    uniform ordered pairs and flushes maximal prefixes in which no agent
+    repeats ("birthday batching").  Disjoint population-protocol
+    interactions commute, so the batched application is distributionally
+    identical to one-at-a-time application, while vectorizing Θ(√n)
+    interactions per numpy call.  On the count backend it selects the
+    bit-exact per-agent-id replay mode (``count_semantics =
+    "pairwise"``) — the fidelity reference of the cross-backend parity
+    tests.
+
+``"birthday"`` — :class:`BirthdayScheduler`
+    The *same exact sequential law*, expressed so the count backend can
+    run it natively in count space: batch sizes are drawn from the
+    birthday (disjoint-prefix-length) distribution and each batch is one
+    margin-draw + contingency-table step, with the pair that *ended* the
+    previous prefix carried over exactly (see :class:`CountBatch`).  On
+    the agent path it is indistinguishable from ``"sequential"`` — same
+    batching, same rng stream, bit-identical trajectories per seed.
+    This is what makes exact sequential semantics O(|occupied states|²)
+    per Θ(√n)-interaction batch instead of O(n) per parallel time unit,
+    and it works for count-native configs with no per-agent layout.
+
+``"matching"`` — :class:`MatchingScheduler`
+    Samples a partial random matching of ``B = n · fraction`` disjoint
+    pairs per round and counts ``B`` interactions.  For ``B ≪ n`` this
+    is the standard well-mixed approximation used for large-``n``
+    parameter sweeps; its fidelity against the exact schedulers is
+    validated in ``tests/test_scheduler.py`` and
+    ``tests/test_batch_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, Tuple
+from typing import Iterator, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
 from .errors import ConfigurationError
+from .registry import Registry
 
 PairBatch = Tuple[np.ndarray, np.ndarray]
 
 
-class Scheduler(ABC):
-    """Produces an endless stream of disjoint interaction batches."""
+class CountBatch(NamedTuple):
+    """One count-space batch of a scheduler's interaction law.
 
-    #: Whether the stream is distributionally exact w.r.t. the sequential model.
+    ``size`` disjoint interactions are realized by the count backend as
+    margin draws + a contingency table.  ``carry_first`` marks the batch
+    whose *first* pair is the pair that terminated the previous
+    birthday prefix: that pair was drawn conditioned on colliding with
+    the previous batch's participants, so the backend samples its two
+    endpoint states from the previous batch's post-transition outcome
+    vector (and the remaining ``size − 1`` pairs from the rest of the
+    population) instead of drawing all ``size`` pairs fresh.  Plain
+    batched schedulers (matching semantics) never set it.
+    """
+
+    size: int
+    carry_first: bool = False
+
+
+class Scheduler(ABC):
+    """Backend-independent description of one interaction law."""
+
+    #: Registry name (used in CLI listings and error messages).
+    name: str = "scheduler"
+    #: Whether the law is distributionally exact w.r.t. the sequential model.
     exact: bool = False
+    #: One-line description for ``repro-experiments schedulers``.
+    summary: str = ""
+    #: How the count backend executes this law: ``"pairwise"`` (bit-exact
+    #: per-agent-id replay of :meth:`batches`), ``"batched"`` (the
+    #: :meth:`count_batches` stream realized by count-space sampling), or
+    #: None (no count-space law — agent backend only).
+    count_semantics: Optional[str] = None
 
     @abstractmethod
     def batches(self, n: int, rng: np.random.Generator) -> Iterator[PairBatch]:
-        """Yield ``(u, v)`` index-array batches forever.
+        """Yield ``(u, v)`` index-array batches forever (the agent path).
 
         Within one batch all ``2 * len(u)`` endpoints are distinct, and
         ``u[i] != v[i]``.  Each yielded pair counts as one interaction.
         """
+
+    def count_batches(self, n: int, rng: np.random.Generator) -> Iterator[CountBatch]:
+        """Yield :class:`CountBatch` sizes forever (the count path).
+
+        Only meaningful when ``count_semantics == "batched"``; the base
+        implementation refuses so agent-only schedulers fail loudly.
+        """
+        raise ConfigurationError(
+            f"scheduler {type(self).__name__} has no count-space batch law"
+        )
 
 
 def _longest_disjoint_prefix(u: np.ndarray, v: np.ndarray) -> int:
@@ -66,6 +147,50 @@ def _longest_disjoint_prefix(u: np.ndarray, v: np.ndarray) -> int:
     return first_collision // 2
 
 
+def birthday_prefix_length(n: int, used: int, rng: np.random.Generator) -> int:
+    """Sample a maximal-disjoint-prefix ("birthday") length exactly.
+
+    The length ``L`` of the longest prefix of i.i.d. uniform ordered
+    distinct pairs over ``n`` agents in which no agent repeats, given
+    that ``used`` endpoints of the batch are already occupied (``used =
+    0`` for a fresh batch; ``used = 2`` for the continuation behind a
+    carried-over first pair).  With ``j`` pairs placed, the next pair is
+    disjoint with probability ``q(j) = (n−2j)(n−2j−1) / (n(n−1))``, so
+
+        P(L ≥ l) = ∏_{j=j₀}^{j₀+l−1} q(j),   j₀ = used / 2,
+
+    which is inverted exactly on one uniform (in log space, blockwise
+    vectorized; E[L] = Θ(√n), so one block usually suffices).
+    """
+    if n < 2:
+        raise ConfigurationError(f"need at least 2 agents, got {n}")
+    if used % 2 or used < 0:
+        raise ConfigurationError(f"used endpoints must be even and >= 0, got {used}")
+    j0 = used // 2
+    cap = max((n - used) // 2, 0)
+    if cap == 0:
+        return 0
+    u = float(rng.random())
+    log_u = float(np.log(u)) if u > 0.0 else -np.inf
+    log_denom = float(np.log(n) + np.log(n - 1))
+    log_s = 0.0
+    length = 0
+    block = max(64, int(2.5 * np.sqrt(n)))
+    while length < cap:
+        take = min(block, cap - length)
+        j = j0 + length + np.arange(take, dtype=np.float64)
+        steps = np.log(n - 2 * j) + np.log(n - 2 * j - 1) - log_denom
+        survival = log_s + np.cumsum(steps)
+        failed = np.flatnonzero(survival <= log_u)
+        if failed.size:
+            # survival[i] = log P(L ≥ length + i + 1): the first index at
+            # or below log u is the first prefix length NOT reached.
+            return length + int(failed[0])
+        length += take
+        log_s = float(survival[-1])
+    return cap
+
+
 class SequentialScheduler(Scheduler):
     """Exact sequential semantics with birthday batching.
 
@@ -73,7 +198,13 @@ class SequentialScheduler(Scheduler):
     it only affects speed, never the distribution.
     """
 
+    name = "sequential"
     exact = True
+    summary = (
+        "exact sequential model, birthday-batched index pairs; count "
+        "backend replays it bit-exactly on per-agent state ids"
+    )
+    count_semantics = "pairwise"
 
     def __init__(self, block: int = 0):
         if block < 0:
@@ -100,10 +231,56 @@ class SequentialScheduler(Scheduler):
             pending_v = pending_v[prefix:]
 
 
+class BirthdayScheduler(SequentialScheduler):
+    """Exact sequential semantics, batched natively in count space.
+
+    On the agent path this *is* the sequential scheduler (identical
+    batching, identical rng stream — bit-identical trajectories per
+    seed).  On the count backend it selects the batched mode with the
+    birthday law: batch sizes come from :func:`birthday_prefix_length`,
+    and every batch after the first carries the prefix-terminating pair
+    over (``carry_first``), because that pair was drawn conditioned on
+    colliding with the previous batch's participants.  Given its length,
+    a maximal disjoint prefix of i.i.d. uniform pairs is exactly a
+    uniform partial matching — ``2L`` distinct agents drawn without
+    replacement and paired uniformly — so each batch is one margin-draw
+    + contingency-table step: exact sequential semantics at
+    O(|occupied states|²) per Θ(√n)-interaction batch, with no O(n)
+    state anywhere (count-native configs included).
+    """
+
+    name = "birthday"
+    exact = True
+    summary = (
+        "exact sequential model as count-space birthday batches "
+        "(Θ(√n) interactions per O(|states|²) batch; agent path "
+        "identical to 'sequential')"
+    )
+    count_semantics = "batched"
+
+    def count_batches(self, n: int, rng: np.random.Generator) -> Iterator[CountBatch]:
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 agents, got {n}")
+        # A fresh prefix always holds its first pair (q(0) = 1), so the
+        # first batch has size >= 1; carry batches are 1 + C with C >= 0.
+        yield CountBatch(birthday_prefix_length(n, 0, rng), False)
+        while True:
+            # The pair that ended the previous prefix is the first pair
+            # of this batch; the continuation behind it starts with the
+            # pair's 2 endpoints already used.
+            yield CountBatch(1 + birthday_prefix_length(n, 2, rng), True)
+
+
 class MatchingScheduler(Scheduler):
     """Random partial matchings of ``B = max(1, round(n * fraction))`` pairs."""
 
+    name = "matching"
     exact = False
+    summary = (
+        "partial random matchings of n*fraction disjoint pairs (well-"
+        "mixed approximation; coarsest count-space batches)"
+    )
+    count_semantics = "batched"
 
     def __init__(self, fraction: float = 0.125):
         if not 0 < fraction <= 0.5:
@@ -114,14 +291,49 @@ class MatchingScheduler(Scheduler):
 
     @property
     def fraction(self) -> float:
-        """Batch size as a fraction of n (count backends mirror this sizing)."""
+        """Batch size as a fraction of n (count batches mirror this sizing)."""
         return self._fraction
+
+    def _batch_size(self, n: int) -> int:
+        return min(max(1, int(round(n * self._fraction))), n // 2)
 
     def batches(self, n: int, rng: np.random.Generator) -> Iterator[PairBatch]:
         if n < 2:
             raise ConfigurationError(f"need at least 2 agents, got {n}")
-        batch = max(1, int(round(n * self._fraction)))
-        batch = min(batch, n // 2)
+        batch = self._batch_size(n)
         while True:
             perm = rng.permutation(n)[: 2 * batch]
             yield perm[:batch].astype(np.int64), perm[batch:].astype(np.int64)
+
+    def count_batches(self, n: int, rng: np.random.Generator) -> Iterator[CountBatch]:
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 agents, got {n}")
+        batch = CountBatch(self._batch_size(n), False)
+        while True:
+            yield batch
+
+
+# ----------------------------------------------------------------------
+# Registry (shared implementation: repro.engine.registry)
+# ----------------------------------------------------------------------
+SchedulerLike = Union[str, Scheduler, None]
+
+#: Scheduler resolved when ``simulate(..., scheduler=None)`` is called.
+DEFAULT_SCHEDULER = "sequential"
+
+_REGISTRY: Registry[Scheduler] = Registry(
+    "scheduler", Scheduler, DEFAULT_SCHEDULER
+)
+
+#: Add a scheduler factory under a name.
+register = _REGISTRY.register
+#: Sorted names of all registered schedulers.
+available = _REGISTRY.available
+#: Instantiate the scheduler registered under a name.
+get = _REGISTRY.get
+#: Coerce a name, instance, or None to a Scheduler instance.
+resolve = _REGISTRY.resolve
+
+register(SequentialScheduler.name, SequentialScheduler)
+register(BirthdayScheduler.name, BirthdayScheduler)
+register(MatchingScheduler.name, MatchingScheduler)

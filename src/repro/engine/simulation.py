@@ -10,12 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
+from . import scheduler as scheduler_registry
 from .errors import ConfigurationError
 from .population import BasePopulation
 from .protocol import Protocol
 from .recorder import Recorder
 from .rng import RngLike, make_rng
-from .scheduler import Scheduler, SequentialScheduler
+from .scheduler import SchedulerLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .backends import BackendLike
@@ -65,7 +66,7 @@ def simulate(
     config: BasePopulation,
     *,
     seed: RngLike = None,
-    scheduler: Optional[Scheduler] = None,
+    scheduler: SchedulerLike = None,
     backend: "BackendLike" = None,
     sampler: "SamplerLike" = None,
     max_parallel_time: float = 1e5,
@@ -79,7 +80,11 @@ def simulate(
 
     Args:
         seed: int / Generator / None; all randomness of the run.
-        scheduler: defaults to the exact :class:`SequentialScheduler`.
+        scheduler: interaction law — a registry name (``"sequential"``,
+            ``"birthday"``, ``"matching"``), a
+            :class:`~repro.engine.scheduler.Scheduler` instance, or None
+            for the exact sequential default.  See
+            :mod:`repro.engine.scheduler` for the trade-offs.
         backend: execution strategy — a registry name (``"agents"``,
             ``"counts"``), a :class:`~repro.engine.backends.Backend`
             instance, or None for the default per-agent array path.  See
@@ -114,7 +119,7 @@ def simulate(
     if sampler is not None:
         runner = runner.with_sampler(sampler)
     rng = make_rng(seed)
-    scheduler = scheduler or SequentialScheduler()
+    scheduler = scheduler_registry.resolve(scheduler)
     return runner.run(
         protocol,
         config,

@@ -7,6 +7,7 @@ from .base import (
     run,
     supports_backend,
     supports_sampler,
+    supports_scheduler,
     titles,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "run",
     "supports_backend",
     "supports_sampler",
+    "supports_scheduler",
     "titles",
 ]

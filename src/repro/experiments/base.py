@@ -110,23 +110,29 @@ def supports_sampler(name: str) -> bool:
     return "sampler" in inspect.signature(get(name)).parameters
 
 
+def supports_scheduler(name: str) -> bool:
+    """Whether an experiment accepts a ``scheduler=`` override."""
+    return "scheduler" in inspect.signature(get(name)).parameters
+
+
 def run(
     name: str,
     scale: str = "quick",
     backend: Optional[str] = None,
     sampler: Optional[str] = None,
+    scheduler: Optional[str] = None,
 ) -> ExperimentReport:
     """Run one experiment at the given scale.
 
-    ``backend`` / ``sampler`` forward execution-backend and sampler-policy
-    overrides to experiments whose function accepts the matching keyword
-    (e.g. EB2/EB3); passing one to any other experiment raises ValueError.
-    A run the *chosen* backend/sampler cannot execute (it raised
-    :class:`BackendUnsupported`) comes back as a *skipped* report carrying
-    the reason, not a traceback, so sweeps over experiments keep going.
-    Default runs (no overrides) propagate the error: an experiment that
-    cannot execute its own default configuration is a regression, not a
-    skip.
+    ``backend`` / ``sampler`` / ``scheduler`` forward execution-backend,
+    sampler-policy, and scheduler overrides to experiments whose function
+    accepts the matching keyword (e.g. EB2/EB3/EB6); passing one to any
+    other experiment raises ValueError.  A run the *chosen* combination
+    cannot execute (it raised :class:`BackendUnsupported`) comes back as
+    a *skipped* report carrying the reason, not a traceback, so sweeps
+    over experiments keep going.  Default runs (no overrides) propagate
+    the error: an experiment that cannot execute its own default
+    configuration is a regression, not a skip.
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
@@ -144,6 +150,12 @@ def run(
                 f"experiment {name} does not support a sampler override"
             )
         kwargs["sampler"] = sampler
+    if scheduler is not None:
+        if not supports_scheduler(name):
+            raise ValueError(
+                f"experiment {name} does not support a scheduler override"
+            )
+        kwargs["scheduler"] = scheduler
     try:
         return fn(scale, **kwargs)
     except BackendUnsupported as exc:

@@ -218,8 +218,11 @@ class TestBatchedAgreement:
         with pytest.raises(BackendUnsupported, match="sampler='splitting'"):
             backend._step_batch(model, huge, 10, make_rng(0))
         # The default ('auto') backend handles the same counts fine.
-        stepped = CountBackend()._step_batch(model, huge, 10, make_rng(0))
+        stepped, outputs = CountBackend()._step_batch(model, huge, 10, make_rng(0))
         assert int(stepped.sum()) == int(huge.sum())
+        # The participants' post-transition states (the carry pool of
+        # birthday semantics) cover exactly the 2 * 10 batch members.
+        assert int(outputs.sum()) == 20
 
     def test_cancel_split_invariant_holds_in_count_space(self):
         config = PopulationConfig.from_counts([65, 62], rng=2)

@@ -1,13 +1,20 @@
-"""Batched-transition equivalence: the claim behind DESIGN.md §4.1.
+"""Batched-transition and scheduler-law equivalence.
 
-Applying a batch of pairwise-disjoint interactions in one vectorized call
-must produce *exactly* the same state as applying the same interactions
-one at a time (population-protocol transitions only touch the two
-participants, so disjoint interactions commute).  These tests verify that
-property for every protocol in the package, on random states and random
-disjoint batches — including the deterministic substrate steps and the
-full core algorithms (whose RNG consumption is batch-size dependent, so
-they are tested with transitions that consume no randomness).
+Two layers of the claim behind DESIGN.md §4.1:
+
+* applying a batch of pairwise-disjoint interactions in one vectorized
+  call must produce *exactly* the same state as applying the same
+  interactions one at a time (population-protocol transitions only touch
+  the two participants, so disjoint interactions commute) — verified for
+  every protocol in the package on random states and random disjoint
+  batches;
+* the schedulers' laws must agree across *backends*: the cross-(backend
+  × scheduler) matrix at the bottom pins winner-distribution and
+  time-quantile equivalence over all supported combinations, exact
+  per-seed count-trajectory parity where the rng streams coincide
+  (agents×birthday ≡ agents×sequential; counts×sequential ≡
+  agents×sequential), and the count backend's carried-pair law against
+  its closed form.
 """
 
 import copy
@@ -16,12 +23,15 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from scipy import stats as scipy_stats
 
 from repro.balancing import averaging_step
 from repro.broadcast import one_way_infect, value_broadcast
 from repro.core.simple import SimpleAlgorithm
-from repro.engine import make_rng
+from repro.engine import PopulationConfig, make_rng, simulate
+from repro.engine.backends import CountBackend
 from repro.majority import cancel_split_step, resolve_step, three_state_step
+from repro.majority.three_state import ThreeStateMajority
 from repro.workloads import bias_one
 
 
@@ -150,3 +160,139 @@ def test_simple_algorithm_batch_equivalence_per_phase(phase):
         a = getattr(batch_state, name)
         b = getattr(seq_state, name)
         assert (a == b).all(), f"field {name} diverged in phase {phase}"
+
+
+# ----------------------------------------------------------------------
+# Cross-(backend × scheduler) equivalence matrix
+# ----------------------------------------------------------------------
+#: Every supported (backend, scheduler) combination of the three-state
+#: majority (static count model, so all count-space modes apply).
+CELLS = [
+    ("agents", "sequential"),
+    ("agents", "birthday"),
+    ("agents", "matching"),
+    ("counts", "sequential"),
+    ("counts", "birthday"),
+    ("counts", "matching"),
+]
+
+
+class TestBackendSchedulerMatrix:
+    """Winner distribution and time quantiles agree across all cells."""
+
+    REPS = 24
+    COUNTS = [170, 130]
+
+    def _run(self, backend, scheduler, seed):
+        return simulate(
+            ThreeStateMajority(),
+            PopulationConfig.from_counts(self.COUNTS, rng=seed),
+            seed=900 + seed,
+            scheduler=scheduler,
+            backend=backend,
+            max_parallel_time=3000.0,
+        )
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        outcomes = {}
+        for backend, scheduler in CELLS:
+            results = [
+                self._run(backend, scheduler, s) for s in range(self.REPS)
+            ]
+            assert all(r.converged for r in results), (backend, scheduler)
+            outcomes[(backend, scheduler)] = (
+                np.mean([r.output_opinion == 1 for r in results]),
+                np.quantile([r.parallel_time for r in results], [0.5, 0.9]),
+            )
+        return outcomes
+
+    @pytest.mark.parametrize("cell", CELLS[1:], ids=[f"{b}-{s}" for b, s in CELLS[1:]])
+    def test_cell_agrees_with_sequential_agents(self, matrix, cell):
+        win_ref, q_ref = matrix[("agents", "sequential")]
+        win, q = matrix[cell]
+        # Total-variation distance of the (binary) winner distribution.
+        assert abs(win - win_ref) <= 0.35, cell
+        # Convergence-time quantiles within a generous band.
+        assert q[0] == pytest.approx(q_ref[0], rel=0.5), cell
+        assert q[1] == pytest.approx(q_ref[1], rel=0.6), cell
+
+    def test_exact_cells_per_seed_parity(self):
+        """The bit-parity ladder: cells sharing an rng stream are identical.
+
+        agents×birthday consumes the very same index-pair stream as
+        agents×sequential, and counts×sequential replays the agent path
+        on state ids — all three must produce identical interaction
+        counts and outputs per seed (counts×birthday runs in count space
+        on a different stream; its law is pinned distributionally above
+        and its carried-pair composition below).
+        """
+        for seed in range(6):
+            reference = self._run("agents", "sequential", seed)
+            for backend, scheduler in (("agents", "birthday"), ("counts", "sequential")):
+                other = self._run(backend, scheduler, seed)
+                assert other.interactions == reference.interactions, (backend, scheduler)
+                assert other.output_opinion == reference.output_opinion
+                assert other.converged == reference.converged
+
+
+class TestCarriedPairLaw:
+    """The birthday mode's prefix-terminating pair, against its closed form.
+
+    The pair that ends a disjoint prefix is uniform over ordered distinct
+    pairs touching the previous batch's participant set M: P(both ∈ M) ∝
+    |M|(|M|−1), P(initiator only) = P(responder only) ∝ |M|·(n−|M|), and
+    the endpoint states follow the M / non-M count vectors without
+    replacement.
+    """
+
+    def _frequencies(self, counts, carry, rounds=40_000, seed=2):
+        rng = make_rng(seed)
+        counts = np.asarray(counts, dtype=np.int64)
+        carry = np.asarray(carry, dtype=np.int64)
+        hits = np.zeros((counts.size, counts.size), dtype=np.int64)
+        for _ in range(rounds):
+            i, j = CountBackend._carry_pair(counts, carry, rng)
+            hits[i, j] += 1
+        return hits / rounds
+
+    def test_endpoint_state_distribution(self):
+        counts = np.array([6, 4, 2])
+        carry = np.array([2, 0, 2])  # |M| = 4, non-members: [4, 4, 0]
+        m_total, n_total = 4, 12
+        rest = np.array([4, 4, 0])
+        w_both = m_total * (m_total - 1)
+        w_one = m_total * (n_total - m_total)
+        norm = w_both + 2 * w_one
+        expected = np.zeros((3, 3))
+        m_frac = carry / m_total
+        r_frac = rest / (n_total - m_total)
+        for i in range(3):
+            for j in range(3):
+                # both in M (without replacement within M)
+                if m_total > 1:
+                    reduced = carry.copy()
+                    reduced[i] -= 1
+                    if carry[i] > 0 and reduced[j] > 0:
+                        expected[i, j] += (
+                            w_both / norm
+                        ) * m_frac[i] * reduced[j] / (m_total - 1)
+                expected[i, j] += (w_one / norm) * m_frac[i] * r_frac[j]
+                expected[i, j] += (w_one / norm) * r_frac[i] * m_frac[j]
+        observed = self._frequencies(counts, carry)
+        result = scipy_stats.chisquare(
+            (observed.ravel() * 40_000)[expected.ravel() > 0],
+            (expected.ravel() * 40_000)[expected.ravel() > 0],
+        )
+        assert result.pvalue > 0.01
+
+    def test_all_population_in_carry(self):
+        """R = 0 forces both endpoints into M."""
+        counts = np.array([3, 3])
+        carry = counts.copy()
+        observed = self._frequencies(counts, carry, rounds=2000, seed=5)
+        assert observed.sum() == pytest.approx(1.0)
+        # Off-diagonal and diagonal all allowed, but the marginals must
+        # follow the without-replacement law over M alone.
+        marginal = observed.sum(axis=1)
+        assert marginal[0] == pytest.approx(0.5, abs=0.05)

@@ -153,6 +153,20 @@ MATRIX = [
         [([180, 120], 11), ([90, 110], 3), ([140, 60], 5)],
         400.0,
     ),
+    # Below the tournament-origin gate (n ≲ 26): the fully-absolute
+    # era models — positive coverage of the former count_model=None gap.
+    (
+        "unordered_small",
+        UnorderedAlgorithm,
+        [([9, 7], 3), ([6, 5, 5], 1), ([5, 11], 2)],
+        1000.0,
+    ),
+    (
+        "improved_small",
+        ImprovedAlgorithm,
+        [([10, 6], 5), ([7, 5, 4], 2), ([6, 10], 8)],
+        1000.0,
+    ),
 ]
 
 PARITY_SEEDS = range(20)
@@ -181,6 +195,9 @@ class TestParityMatrix:
         ("unordered_k3", UnorderedAlgorithm, [20, 16, 12], 2, 3),
         ("unordered_ch", UnorderedAlgorithm, [18, 30], 4, 3),
         ("improved_ch", ImprovedAlgorithm, [22, 26], 3, 3),
+        # Below the origin gate: the absolute models to full convergence.
+        ("unordered_tiny", UnorderedAlgorithm, [11, 5], 6, 2),
+        ("improved_tiny", ImprovedAlgorithm, [11, 5], 1, 4),
     ]
 
     @pytest.mark.parametrize(
@@ -483,11 +500,50 @@ class TestGuardsAndHooks:
         assert model.converged(final)
         assert model.output_opinion(final) == 2
 
-    def test_tiny_populations_stay_agent_only(self):
-        """Below the origin − 10 > 0 gate the variants export no model."""
+    def test_tiny_populations_get_the_absolute_model(self):
+        """Below the origin gate the variants export the absolute model."""
         config = PopulationConfig.from_counts([8, 8], rng=0)
-        assert UnorderedAlgorithm().count_model(config) is None
-        assert ImprovedAlgorithm().count_model(config) is None
+        for factory in (UnorderedAlgorithm, ImprovedAlgorithm):
+            protocol = factory()
+            assert protocol.params.tournament_phase_offset(config.n) <= 10
+            model = protocol.count_model(config)
+            assert model is not None
+            assert model._absolute
+        # Populations above the gate keep the windowed quotient.
+        big = PopulationConfig.from_counts([30, 20], rng=0)
+        assert not UnorderedAlgorithm().count_model(big)._absolute
+
+    def test_absolute_model_never_window_overflows(self):
+        """The absolute frame has no windows: era guards are vacuous."""
+        config = PopulationConfig.from_counts([8, 8], rng=0)
+        model = UnorderedAlgorithm().count_model(config)
+        origin = model._origin
+        raw_no_tags = (-1, 0, -1, -1)  # absolute tags are raw era values
+        # A straggler many eras behind the rest — out of band for the
+        # windowed quotient, represented exactly by the absolute model.
+        behind = model.intern(
+            ("pl", (PH_PRE, origin), 0, 0, 0, 0, False, raw_no_tags)
+        )
+        ahead = model.intern(
+            ("pl", (PH_PRE, origin + 40), 0, 0, 0, 0, False, raw_no_tags)
+        )
+        counts = np.zeros(model.num_states, dtype=np.int64)
+        counts[behind] = 1
+        counts[ahead] = 15
+        assert model.failure(counts) is None
+
+    def test_absolute_tags_round_trip_raw(self):
+        """π ∘ lift = id with raw era values in the tags."""
+        config = PopulationConfig.from_counts([8, 8], rng=0)
+        model = UnorderedAlgorithm().count_model(config)
+        origin = model._origin
+        tags = (origin, 2, origin, model._rounds)  # raw bwin/ann/fin values
+        sid = model.intern(
+            ("pl", (PH_PRE, origin + 11), 1, 0, 0, 0, False, tags)
+        )
+        state, u, v = model._lift_pairs([(sid, sid)])
+        for slot in (int(u[0]), int(v[0])):
+            assert model._tuple_of(state, slot) == model.labels[sid]
 
 
 class TestBatchedStatistics:

@@ -24,9 +24,11 @@ from scipy import stats as scipy_stats
 from repro.engine import ConfigurationError, SamplerUnsupported, sampling
 from repro.engine.sampling import (
     NUMPY_MAX_POPULATION,
+    REJECTION_MIN,
     AutoSampler,
     LargeNHypergeometric,
     NumpySampler,
+    RejectionSampler,
     SamplerPolicy,
     SplittingSampler,
 )
@@ -213,13 +215,212 @@ class TestMultivariateSplitting:
             np.testing.assert_array_equal(x, y)
 
 
+class TestRejectionUnivariate:
+    """The O(1)-per-draw ratio-of-uniforms method, against the oracles.
+
+    ``"rejection"`` must be exact in distribution wherever it applies —
+    chi-square against the closed-form pmf, KS against both numpy and
+    the windowed-inversion ("splitting") oracle — across the
+    mode-switch boundary (reduced parameters around
+    :data:`REJECTION_MIN`, where draws route to the inversion) and in
+    the extreme-tail parameterizations (K ≪ n, k near K).
+    """
+
+    def _chi_square_against_closed_form(self, hg, ngood, nbad, nsample, seed, rounds=20_000):
+        rng = np.random.default_rng(seed)
+        draws = hg.univariate_many(
+            np.full(rounds, ngood),
+            np.full(rounds, nbad),
+            np.full(rounds, nsample),
+            rng,
+        )
+        lo, hi = max(0, nsample - nbad), min(nsample, ngood)
+        support = np.arange(lo, hi + 1)
+        pmf = scipy_stats.hypergeom.pmf(support, ngood + nbad, ngood, nsample)
+        observed = np.bincount(draws - lo, minlength=support.size).astype(float)
+        keep = pmf * rounds >= 5
+        observed_cells, expected_cells = observed[keep], pmf[keep] * rounds
+        if (~keep).any():  # lump the thin tails into one cell
+            observed_cells = np.append(observed_cells, observed[~keep].sum())
+            expected_cells = np.append(expected_cells, pmf[~keep].sum() * rounds)
+        expected_cells *= observed_cells.sum() / expected_cells.sum()
+        return scipy_stats.chisquare(observed_cells, expected_cells)
+
+    def test_chi_square_against_closed_form(self):
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        result = self._chi_square_against_closed_form(hg, 120, 200, 60, seed=21)
+        assert result.pvalue > P_THRESHOLD
+
+    def test_mode_switch_boundary(self):
+        """Reduced parameters straddling REJECTION_MIN: both paths exact.
+
+        min(m, mingoodbad) = REJECTION_MIN − 1 routes to the inversion,
+        REJECTION_MIN to the rejection envelope; the sampled law must be
+        the same hypergeometric on both sides of the switch.
+        """
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        for mingb in (REJECTION_MIN - 1, REJECTION_MIN, REJECTION_MIN + 1):
+            result = self._chi_square_against_closed_form(
+                hg, mingb, 300, 150, seed=100 + mingb, rounds=10_000
+            )
+            assert result.pvalue > P_THRESHOLD, mingb
+
+    def test_boundary_routing_is_as_documented(self):
+        """White-box: which side of REJECTION_MIN uses the envelope."""
+        calls = []
+
+        class Spy(LargeNHypergeometric):
+            def _reject_rows(self, out, rows, ngood, nbad, nsample, rng):
+                calls.append(rows.size)
+                return super()._reject_rows(out, rows, ngood, nbad, nsample, rng)
+
+        spy = Spy(univariate_method="rejection")
+        rng = np.random.default_rng(0)
+        below = REJECTION_MIN - 1
+        spy.univariate_many(
+            np.array([below, REJECTION_MIN]),
+            np.array([300, 300]),
+            np.array([150, 150]),
+            rng,
+        )
+        assert calls == [1]  # only the REJECTION_MIN row took the envelope
+        calls.clear()
+        assert spy.univariate(below, 300, 150, rng) >= 0
+        assert calls == []  # scalar small-range draw inverts
+        assert spy.univariate(REJECTION_MIN, 300, 150, rng) >= 0
+        assert calls == [1]
+
+    def test_ks_against_numpy_and_splitting(self):
+        ngood, nbad, nsample = 5000, 7000, 3000
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        draws = hg.univariate_many(
+            np.full(8000, ngood), np.full(8000, nbad), np.full(8000, nsample),
+            np.random.default_rng(31),
+        )
+        via_numpy = np.random.default_rng(32).hypergeometric(
+            ngood, nbad, nsample, size=8000
+        )
+        inv = LargeNHypergeometric()
+        via_inversion = inv.univariate_many(
+            np.full(8000, ngood), np.full(8000, nbad), np.full(8000, nsample),
+            np.random.default_rng(33),
+        )
+        assert scipy_stats.ks_2samp(draws, via_numpy).pvalue > P_THRESHOLD
+        assert scipy_stats.ks_2samp(draws, via_inversion).pvalue > P_THRESHOLD
+
+    def test_extreme_tail_small_color_class(self):
+        """K ≪ n: a dozen good balls in a million, heavy sampling."""
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        draws = hg.univariate_many(
+            np.full(20_000, 12),
+            np.full(20_000, 10**6),
+            np.full(20_000, 10**5),
+            np.random.default_rng(41),
+        )
+        support = np.arange(0, 13)
+        pmf = scipy_stats.hypergeom.pmf(support, 10**6 + 12, 12, 10**5)
+        observed = np.bincount(draws, minlength=13).astype(float)
+        keep = pmf * draws.size >= 5
+        oc = np.append(observed[keep], observed[~keep].sum())
+        ec = np.append(pmf[keep], pmf[~keep].sum()) * draws.size
+        ec *= oc.sum() / ec.sum()
+        assert scipy_stats.chisquare(oc, ec).pvalue > P_THRESHOLD
+
+    def test_extreme_tail_sample_near_population(self):
+        """k near K: drawing almost the whole urn pins the complement."""
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        result = self._chi_square_against_closed_form(
+            hg, 50, 60, 100, seed=51, rounds=20_000
+        )
+        assert result.pvalue > P_THRESHOLD
+
+    def test_moments_beyond_numpy_limit(self):
+        n = 10**10
+        ngood, nsample = 6 * 10**9, 10**9
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        rng = np.random.default_rng(61)
+        draws = np.array(
+            [hg.univariate(ngood, n - ngood, nsample, rng) for _ in range(80)],
+            dtype=np.float64,
+        )
+        mean = nsample * ngood / n
+        sd = np.sqrt(mean * (1 - ngood / n) * (n - nsample) / (n - 1))
+        assert abs(draws.mean() - mean) < 4 * sd / np.sqrt(draws.size)
+        assert 0.6 * sd < draws.std() < 1.4 * sd
+
+    def test_degenerates_and_validation_unchanged(self):
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        assert hg.univariate(5, 0, 3, rng=None) == 3
+        assert hg.univariate(0, 5, 3, rng=None) == 0
+        assert hg.univariate(4, 4, 8, rng=None) == 4
+        with pytest.raises(ConfigurationError, match="univariate_method"):
+            LargeNHypergeometric(univariate_method="quantum")
+
+    def test_multivariate_splitting_rides_on_rejection(self):
+        """The color-splitting tree over rejection draws stays exact."""
+        hg = LargeNHypergeometric(univariate_method="rejection")
+        rng = np.random.default_rng(71)
+        colors = np.array([400, 350, 250])
+        first = [
+            int(hg.multivariate(colors, 300, rng)[0]) for _ in range(4000)
+        ]
+        ref = np.random.default_rng(72).multivariate_hypergeometric(
+            colors, 300, size=4000
+        )[:, 0]
+        assert scipy_stats.ks_2samp(first, ref).pvalue > P_THRESHOLD
+
+
+class TestRejectionPolicy:
+    def test_policy_draw_matches_numpy_distribution(self):
+        policy = sampling.get("rejection")
+        assert isinstance(policy, RejectionSampler)
+        colors = np.array([600, 500, 400])
+        rng = np.random.default_rng(3)
+        ours = [int(policy.draw(colors, 500, rng)[0]) for _ in range(3000)]
+        ref = np.random.default_rng(4).multivariate_hypergeometric(
+            colors, 500, size=3000
+        )[:, 0]
+        assert scipy_stats.ks_2samp(ours, ref).pvalue > P_THRESHOLD
+
+    def test_policy_contingency_margins_exact(self):
+        policy = sampling.get("rejection")
+        rng = np.random.default_rng(5)
+        initiators = np.array([0, 300, 0, 450, 250])
+        responders = np.array([400, 0, 350, 250, 0])
+        pi, pj, sizes = policy.contingency(initiators, responders, rng)
+        table = np.zeros((5, 5), dtype=np.int64)
+        table[pi, pj] = sizes
+        np.testing.assert_array_equal(table.sum(axis=1), initiators)
+        np.testing.assert_array_equal(table.sum(axis=0), responders)
+
+    def test_auto_prefers_rejection_above_numpy_bound(self):
+        """Same seed ⇒ auto and rejection agree beyond 10^9 (and auto
+        still equals numpy strictly below the bound)."""
+        big = np.array([NUMPY_MAX_POPULATION, 7], dtype=np.int64)
+        via_auto = AutoSampler().draw(big, 11, np.random.default_rng(6))
+        via_rejection = RejectionSampler().draw(big, 11, np.random.default_rng(6))
+        np.testing.assert_array_equal(via_auto, via_rejection)
+        small = np.array([NUMPY_MAX_POPULATION - 8, 7], dtype=np.int64)
+        via_auto = AutoSampler().draw(small, 11, np.random.default_rng(7))
+        via_numpy = NumpySampler().draw(small, 11, np.random.default_rng(7))
+        np.testing.assert_array_equal(via_auto, via_numpy)
+
+    def test_summary_and_range(self):
+        policy = sampling.get("rejection")
+        assert policy.population_range() == "any n"
+        assert "rejection" in policy.summary
+
+
 class TestPolicyRegistry:
     def test_available_policies(self):
-        assert {"auto", "numpy", "splitting"} <= set(sampling.available())
+        assert {"auto", "numpy", "rejection", "splitting"} <= set(
+            sampling.available()
+        )
 
     def test_get_and_resolve(self):
         assert isinstance(sampling.get("numpy"), NumpySampler)
         assert isinstance(sampling.get("splitting"), SplittingSampler)
+        assert isinstance(sampling.get("rejection"), RejectionSampler)
         assert isinstance(sampling.resolve(None), AutoSampler)
         instance = SplittingSampler()
         assert sampling.resolve(instance) is instance

@@ -1,17 +1,32 @@
-"""Tests for the interaction schedulers."""
+"""Tests for the interaction schedulers.
+
+Covers the pair-batch laws (disjointness, uniformity), the scheduler
+registry, and the count-space batch streams — in particular the birthday
+scheduler's prefix-length law, pinned against the closed-form survival
+function, and its agent-path bit-equivalence with the sequential
+scheduler.
+"""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from scipy import stats as scipy_stats
 
 from repro.engine import (
+    BirthdayScheduler,
     ConfigurationError,
     MatchingScheduler,
+    Scheduler,
     SequentialScheduler,
     make_rng,
 )
-from repro.engine.scheduler import _longest_disjoint_prefix
+from repro.engine import scheduler as scheduler_registry
+from repro.engine.scheduler import (
+    CountBatch,
+    _longest_disjoint_prefix,
+    birthday_prefix_length,
+)
 
 
 def take_interactions(scheduler, n, rng, count):
@@ -181,3 +196,139 @@ class TestMatchingScheduler:
             if i > 40:
                 break
         assert seen == set(range(n))
+
+    def test_count_batches_mirror_pair_batch_sizing(self):
+        for n, fraction in ((64, 0.25), (7, 0.5), (4, 0.01), (101, 0.5)):
+            scheduler = MatchingScheduler(fraction)
+            pairs = next(scheduler.batches(n, make_rng(0)))[0].size
+            stream = scheduler.count_batches(n, make_rng(0))
+            for _ in range(3):
+                spec = next(stream)
+                assert spec == CountBatch(pairs, False)
+
+
+class TestSchedulerRegistry:
+    def test_available_and_default(self):
+        names = scheduler_registry.available()
+        assert {"birthday", "matching", "sequential"} <= set(names)
+        assert scheduler_registry.DEFAULT_SCHEDULER == "sequential"
+
+    def test_get_and_resolve(self):
+        assert isinstance(scheduler_registry.get("sequential"), SequentialScheduler)
+        assert isinstance(scheduler_registry.get("birthday"), BirthdayScheduler)
+        assert isinstance(scheduler_registry.get("matching"), MatchingScheduler)
+        assert isinstance(scheduler_registry.resolve(None), SequentialScheduler)
+        instance = MatchingScheduler(0.3)
+        assert scheduler_registry.resolve(instance) is instance
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            scheduler_registry.get("quantum")
+        with pytest.raises(ConfigurationError, match="scheduler must be"):
+            scheduler_registry.resolve(3.14)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            scheduler_registry.register("matching", MatchingScheduler)
+
+    def test_count_semantics_declarations(self):
+        assert SequentialScheduler.count_semantics == "pairwise"
+        assert BirthdayScheduler.count_semantics == "batched"
+        assert MatchingScheduler.count_semantics == "batched"
+        assert SequentialScheduler.exact and BirthdayScheduler.exact
+        assert not MatchingScheduler.exact
+
+    def test_agent_only_scheduler_has_no_count_batches(self):
+        class AgentsOnly(Scheduler):
+            def batches(self, n, rng):  # pragma: no cover - never driven
+                yield (np.array([0]), np.array([1]))
+
+        assert AgentsOnly.count_semantics is None
+        with pytest.raises(ConfigurationError, match="count-space"):
+            next(AgentsOnly().count_batches(10, make_rng(0)))
+
+
+def exact_birthday_pmf(n: int, used: int, max_len: int) -> np.ndarray:
+    """Closed-form pmf of the disjoint-prefix length, P(L = 0 .. max_len)."""
+    j0 = used // 2
+    survival = [1.0]
+    for length in range(1, max_len + 1):
+        j = j0 + length - 1
+        q = (n - 2 * j) * (n - 2 * j - 1) / (n * (n - 1))
+        survival.append(survival[-1] * max(q, 0.0))
+    survival = np.array(survival)
+    pmf = survival[:-1] - survival[1:]
+    return np.append(pmf, survival[-1])  # lump the tail into the last cell
+
+
+class TestBirthdayScheduler:
+    def test_prefix_length_matches_closed_form(self):
+        """Chi-square of sampled lengths against the exact survival law."""
+        n = 60
+        rng = make_rng(3)
+        for used in (0, 2):
+            draws = np.array(
+                [birthday_prefix_length(n, used, rng) for _ in range(20_000)]
+            )
+            max_len = int(draws.max())
+            pmf = exact_birthday_pmf(n, used, max_len)
+            observed = np.bincount(draws, minlength=max_len + 1).astype(float)
+            keep = pmf * draws.size >= 5
+            observed_cells = np.append(observed[keep], observed[~keep].sum())
+            expected_cells = np.append(pmf[keep], pmf[~keep].sum()) * draws.size
+            result = scipy_stats.chisquare(observed_cells, expected_cells)
+            assert result.pvalue > 0.01, (used, result)
+
+    def test_prefix_length_matches_agent_path_batches(self):
+        """The sampled law equals the actual SequentialScheduler batch-length
+        law (KS over fresh-prefix lengths, excluding carried-over pairs)."""
+        n = 400
+        # Agent path: the *first* batch of a fresh scheduler is an
+        # unconditioned maximal disjoint prefix.
+        agent_lengths = [
+            next(SequentialScheduler().batches(n, make_rng(1000 + s)))[0].size
+            for s in range(3000)
+        ]
+        rng = make_rng(5)
+        sampled = [birthday_prefix_length(n, 0, rng) for _ in range(3000)]
+        ks = scipy_stats.ks_2samp(agent_lengths, sampled)
+        assert ks.pvalue > 0.01
+
+    def test_degenerate_populations(self):
+        assert birthday_prefix_length(2, 0, make_rng(0)) == 1
+        assert birthday_prefix_length(2, 2, make_rng(0)) == 0
+        assert birthday_prefix_length(3, 2, make_rng(0)) == 0
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            birthday_prefix_length(1, 0, make_rng(0))
+        with pytest.raises(ConfigurationError, match="even"):
+            birthday_prefix_length(10, 3, make_rng(0))
+
+    def test_agent_path_is_bit_identical_to_sequential(self):
+        """Same seed ⇒ the same index-pair stream as SequentialScheduler."""
+        n = 150
+        seq = SequentialScheduler().batches(n, make_rng(7))
+        bday = BirthdayScheduler().batches(n, make_rng(7))
+        for _ in range(50):
+            u_a, v_a = next(seq)
+            u_b, v_b = next(bday)
+            np.testing.assert_array_equal(u_a, u_b)
+            np.testing.assert_array_equal(v_a, v_b)
+
+    def test_count_batches_shape(self):
+        n = 500
+        stream = BirthdayScheduler().count_batches(n, make_rng(9))
+        first = next(stream)
+        assert isinstance(first, CountBatch)
+        assert not first.carry_first
+        assert 1 <= first.size <= n // 2
+        for _ in range(30):
+            spec = next(stream)
+            assert spec.carry_first
+            assert 1 <= spec.size <= n // 2 + 1
+
+    def test_count_batch_sizes_average_like_agent_batches(self):
+        """Mean count-batch size tracks the agent path's Θ(√n) batching."""
+        n = 2500
+        stream = BirthdayScheduler().count_batches(n, make_rng(11))
+        sizes = [next(stream).size for _ in range(2000)]
+        agent = SequentialScheduler().batches(n, make_rng(12))
+        agent_sizes = [next(agent)[0].size for _ in range(2000)]
+        assert np.mean(sizes) == pytest.approx(np.mean(agent_sizes), rel=0.1)
