@@ -7,6 +7,14 @@ artifact next to the current one and calls this script, which compares
 ``elapsed_seconds`` per experiment and emits one GitHub warning
 annotation (``::warning ...``) per regression beyond the threshold.
 
+Campaign rollups (``kind: "campaign"``, written by
+``repro.campaign.rollup`` / ``repro-experiments campaign rollup``) are
+diffed at two granularities: the top-level ``elapsed_seconds`` like any
+other report, plus per-cell ``elapsed_seconds`` keyed by the stable cell
+content hash under ``cells`` — cell hashes only match when the full cell
+parameterization matches, so per-cell comparisons can never pair up two
+different configurations.
+
 Usage::
 
     python benchmarks/perf_diff.py PREVIOUS_DIR CURRENT_DIR [--threshold 1.5]
@@ -62,20 +70,57 @@ def diff_reports(
         before, after = previous[name], current[name]
         if before.get("scale") != after.get("scale"):
             continue
-        baseline = float(before["elapsed_seconds"])
-        measured = float(after["elapsed_seconds"])
-        if baseline < MIN_BASELINE_SECONDS:
+        _compare(name, before["elapsed_seconds"], after["elapsed_seconds"],
+                 threshold, regressions)
+        regressions.extend(
+            _diff_campaign_cells(name, before, after, threshold)
+        )
+    return regressions
+
+
+def _compare(
+    name: str, before, after, threshold: float, regressions: List[dict]
+) -> None:
+    baseline = float(before)
+    measured = float(after)
+    if baseline < MIN_BASELINE_SECONDS:
+        return
+    ratio = measured / baseline
+    if ratio > threshold:
+        regressions.append(
+            {
+                "experiment": name,
+                "before_seconds": baseline,
+                "after_seconds": measured,
+                "ratio": ratio,
+            }
+        )
+
+
+def _diff_campaign_cells(
+    name: str, before: dict, after: dict, threshold: float
+) -> List[dict]:
+    """Per-cell regressions for campaign rollups (keyed by cell hash)."""
+    cells_before = before.get("cells")
+    cells_after = after.get("cells")
+    if not isinstance(cells_before, dict) or not isinstance(cells_after, dict):
+        return []
+    regressions: List[dict] = []
+    for cell in sorted(set(cells_before) & set(cells_after)):
+        b, a = cells_before[cell], cells_after[cell]
+        if not isinstance(b, dict) or not isinstance(a, dict):
             continue
-        ratio = measured / baseline
-        if ratio > threshold:
-            regressions.append(
-                {
-                    "experiment": name,
-                    "before_seconds": baseline,
-                    "after_seconds": measured,
-                    "ratio": ratio,
-                }
-            )
+        if not isinstance(b.get("elapsed_seconds"), (int, float)):
+            continue
+        if not isinstance(a.get("elapsed_seconds"), (int, float)):
+            continue
+        _compare(
+            f"{name}[{cell}]",
+            b["elapsed_seconds"],
+            a["elapsed_seconds"],
+            threshold,
+            regressions,
+        )
     return regressions
 
 

@@ -2,8 +2,9 @@
 
 This is the layer the benchmarks and the CLI drive: run a protocol
 factory over seeded replications (and over sweep points), collect
-:class:`RunResult` lists, and print the aligned tables that EXPERIMENTS.md
-records.
+:class:`RunResult` lists, and print aligned summary tables.  Multi-cell
+grids with checkpointing and resume live one layer up, in
+``repro.campaign`` (see docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations

@@ -55,6 +55,19 @@ def leader_election_time_driver(n: int) -> float:
     return log2n(n) ** 2
 
 
+def usd_time_driver(n: int, k: int) -> float:
+    """USD plurality-consensus driver, Θ̃(k · log n) parallel time.
+
+    El-Hayek & Elsässer (arXiv:2505.02765) prove an almost tight lower
+    bound for plurality consensus with undecided-state dynamics in the
+    population model, matching the known O(k log n)-shaped upper bound
+    up to lower-order factors.  The campaign layer fits measured USD
+    convergence times against this driver across (n, k) grids; constants
+    and the lower-order gap are absorbed by the fit.
+    """
+    return k * log2n(n)
+
+
 # ----------------------------------------------------------------------
 # State-space sizes (Section 1 comparison table and Figure 1)
 # ----------------------------------------------------------------------

@@ -1,0 +1,78 @@
+"""Campaign orchestration: sharded, checkpointed, resumable sweeps.
+
+The campaign layer turns the engine's cheap single runs (n = 10^9 in
+minutes, see ROADMAP) into *grids*: declare a cross product of
+(protocol × workload × n × k × seed × backend × scheduler × sampler)
+cells (:mod:`repro.campaign.grid`), shard it over a process pool with
+one atomic JSON checkpoint per completed cell
+(:mod:`repro.campaign.runner`, :mod:`repro.campaign.checkpoint`), and
+aggregate into a rollup report that rides the benchmarks/perf-trajectory
+pipeline (:mod:`repro.campaign.rollup`).
+
+Campaigns are resumable and incremental: rerunning skips every cell
+whose checkpoint is already on disk, so a crashed (even SIGKILLed)
+campaign continues where it stopped and its final rollup is
+bit-identical (modulo timing) to an uninterrupted run with the same
+seeds.  See docs/CAMPAIGNS.md for the workflow and
+``repro-experiments campaign --help`` for the CLI.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointMismatch,
+    CheckpointStore,
+)
+from .grid import (
+    PROTOCOLS,
+    WORKLOADS,
+    CampaignGrid,
+    CellSpec,
+    campaign_descriptions,
+    campaign_names,
+    cell_hash,
+    get_campaign,
+    register_campaign,
+    sqrt_k,
+)
+from .rollup import (
+    DRIVERS,
+    IncompleteCampaign,
+    build_rollup,
+    deterministic_block,
+    render_rollup,
+    write_rollup,
+)
+from .runner import (
+    CampaignStatus,
+    campaign_status,
+    execute_cell,
+    result_to_dict,
+    run_campaign,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "PROTOCOLS",
+    "WORKLOADS",
+    "CampaignGrid",
+    "CellSpec",
+    "campaign_descriptions",
+    "campaign_names",
+    "cell_hash",
+    "get_campaign",
+    "register_campaign",
+    "sqrt_k",
+    "DRIVERS",
+    "IncompleteCampaign",
+    "build_rollup",
+    "deterministic_block",
+    "render_rollup",
+    "write_rollup",
+    "CampaignStatus",
+    "campaign_status",
+    "execute_cell",
+    "result_to_dict",
+    "run_campaign",
+]

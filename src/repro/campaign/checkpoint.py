@@ -1,0 +1,144 @@
+"""Per-cell JSON checkpoints: atomic, schema-versioned, crash-tolerant.
+
+Layout of a campaign checkpoint directory::
+
+    <dir>/campaign.json          manifest: name, scale, grid fingerprint
+    <dir>/cells/<hash>.json      one file per *completed* cell
+    <dir>/cells/<hash>.json.tmp  in-flight write (ignored; an os.replace
+                                 that never happened)
+
+Writes go through a temp file in the same directory followed by
+``os.replace``, so a cell checkpoint is either absent or complete —
+a SIGKILL mid-write leaves a ``.tmp`` orphan, never a truncated
+``.json``.  Reads treat anything unparseable, schema-mismatched, or
+inconsistent with its filename as *absent*: the runner then simply
+re-runs that cell, which is always safe because cells are pure
+functions of their spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Iterable, Mapping, Optional, Set
+
+from ..engine.errors import ConfigurationError
+from .grid import CampaignGrid
+
+#: Bump when the checkpoint payload layout changes; mismatched files are
+#: treated as absent (re-run), never misinterpreted.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "campaign.json"
+CELLS_DIRNAME = "cells"
+
+
+class CheckpointMismatch(ConfigurationError):
+    """A checkpoint directory belongs to a different campaign grid."""
+
+
+def atomic_write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
+    """Write JSON durably: temp file in the same dir, then ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """The on-disk state of one campaign run."""
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.cells_dir = self.directory / CELLS_DIRNAME
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.directory / MANIFEST_NAME
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def ensure_manifest(self, grid: CampaignGrid) -> Dict[str, Any]:
+        """Create the manifest, or verify an existing one matches ``grid``.
+
+        Resuming into a directory whose manifest pins a different grid
+        fingerprint raises :class:`CheckpointMismatch` — checkpoints are
+        keyed by cell hash, so mixing grids would silently reuse cells
+        that mean something else.
+        """
+        manifest = self.read_manifest()
+        if manifest is None:
+            manifest = {
+                "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                "campaign": grid.name,
+                "scale": grid.scale,
+                "fingerprint": grid.fingerprint(),
+                "total_cells": len(grid.cells),
+            }
+            atomic_write_json(self.manifest_path, manifest)
+            return manifest
+        if manifest.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointMismatch(
+                f"{self.manifest_path} has checkpoint schema "
+                f"{manifest.get('schema_version')!r}, expected "
+                f"{CHECKPOINT_SCHEMA_VERSION}"
+            )
+        if manifest.get("fingerprint") != grid.fingerprint():
+            raise CheckpointMismatch(
+                f"{self.directory} holds checkpoints for campaign "
+                f"{manifest.get('campaign')!r} (fingerprint "
+                f"{manifest.get('fingerprint')!r}), not for "
+                f"{grid.name!r} ({grid.fingerprint()!r}); use a fresh "
+                f"directory per grid"
+            )
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def cell_path(self, cell_hash: str) -> pathlib.Path:
+        return self.cells_dir / f"{cell_hash}.json"
+
+    def write_cell(self, cell_hash: str, payload: Mapping[str, Any]) -> None:
+        """Atomically persist one completed cell."""
+        record = {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "hash": cell_hash,
+            **payload,
+        }
+        atomic_write_json(self.cell_path(cell_hash), record)
+
+    def read_cell(self, cell_hash: str) -> Optional[Dict[str, Any]]:
+        """Load one cell checkpoint, or None when absent/corrupt/stale.
+
+        Every invalid shape maps to None on purpose: the caller's only
+        recovery is to re-run the cell, and cells are re-runnable.
+        """
+        try:
+            payload = json.loads(self.cell_path(cell_hash).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            return None
+        if payload.get("hash") != cell_hash:
+            return None
+        if not isinstance(payload.get("result"), dict):
+            return None
+        if not isinstance(payload.get("elapsed_seconds"), (int, float)):
+            return None
+        return payload
+
+    def completed(self, hashes: Iterable[str]) -> Set[str]:
+        """The subset of ``hashes`` with a valid checkpoint on disk."""
+        return {h for h in hashes if self.read_cell(h) is not None}

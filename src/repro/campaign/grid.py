@@ -1,0 +1,370 @@
+"""Declarative campaign grids: cells, content hashes, and the registry.
+
+A *campaign* is a grid of independent simulation cells — one cell per
+(protocol × workload × n × k × seed × backend × scheduler × sampler)
+point — declared up front so that the runner (:mod:`repro.campaign.runner`)
+can shard them across processes, checkpoint each one as it completes
+(:mod:`repro.campaign.checkpoint`), and aggregate the survivors into one
+report (:mod:`repro.campaign.rollup`).
+
+Every cell is keyed by a *stable content hash* of its full
+parameterization (:func:`cell_hash`): the hash is the checkpoint
+filename, the resume key, and the per-cell identity in rollup reports,
+so two campaigns that share a cell agree on its name and a cell whose
+parameters change gets a fresh identity (stale checkpoints are simply
+never referenced again).
+
+Named campaign definitions live in :mod:`repro.experiments.campaigns`
+and register themselves here via :func:`register_campaign`, mirroring
+how experiments register in :mod:`repro.experiments.base`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .. import workloads
+from ..baselines.usd import UndecidedStateDynamics
+from ..core.improved import ImprovedAlgorithm
+from ..core.simple import SimpleAlgorithm
+from ..core.unordered import UnorderedAlgorithm
+from ..engine import backends as backend_registry
+from ..engine import sampling as sampler_registry
+from ..engine import scheduler as scheduler_registry
+from ..engine.errors import ConfigurationError
+from ..engine.population import BasePopulation
+from ..engine.protocol import Protocol
+from ..majority.three_state import ThreeStateMajority
+
+#: Bump when the meaning of a cell's parameterization changes in a way
+#: that invalidates old checkpoints; the version participates in the
+#: content hash, so old checkpoint files are ignored, not misread.
+CELL_SCHEMA_VERSION = 1
+
+#: Hex digits kept from the sha256 digest — 64 bits of identity, short
+#: enough for filenames and report keys, long enough that grid-sized
+#: collections (thousands of cells) never collide in practice.
+CELL_HASH_LENGTH = 16
+
+
+# ----------------------------------------------------------------------
+# Protocol and workload registries (picklable, name-keyed)
+# ----------------------------------------------------------------------
+#: Campaign cells name their protocol; factories are zero-argument and
+#: module-level so cells stay picklable across the process pool.
+PROTOCOLS: Dict[str, Callable[[], Protocol]] = {
+    "three_state": ThreeStateMajority,
+    "usd": UndecidedStateDynamics,
+    "simple": SimpleAlgorithm,
+    "unordered": UnorderedAlgorithm,
+    "improved": ImprovedAlgorithm,
+}
+
+#: Workload builders accepted in cells.  Each maps
+#: ``(cell, rng_seed) -> BasePopulation``; ``cell.workload_args`` carries
+#: the workload-specific keywords (``bias``, ``plurality_fraction``, ...).
+WORKLOADS: Dict[str, Callable[["CellSpec", int], BasePopulation]] = {
+    "bias_one": lambda cell, rng: workloads.bias_one(
+        cell.n, cell.k, rng=rng, counts_only=cell.counts_only, **cell.workload_args
+    ),
+    "uniform_with_bias": lambda cell, rng: workloads.uniform_with_bias(
+        cell.n, cell.k, rng=rng, counts_only=cell.counts_only, **cell.workload_args
+    ),
+    "one_large_many_small": lambda cell, rng: workloads.one_large_many_small(
+        cell.n, cell.k, rng=rng, counts_only=cell.counts_only, **cell.workload_args
+    ),
+    "two_block": lambda cell, rng: workloads.two_block(
+        cell.n, cell.k, rng=rng, counts_only=cell.counts_only, **cell.workload_args
+    ),
+    "zipf": lambda cell, rng: workloads.zipf(
+        cell.n, cell.k, rng=rng, counts_only=cell.counts_only, **cell.workload_args
+    ),
+    "majority_counts": lambda cell, rng: workloads.majority_counts(
+        cell.n, rng=rng, counts_only=cell.counts_only, **cell.workload_args
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One point of a campaign grid: a fully parameterized replicate run.
+
+    A cell is a *pure function of its fields*: the runner derives the
+    config rng and the simulation rng deterministically from ``seed``,
+    so re-running a cell anywhere (serial, pooled, after a crash)
+    reproduces the same :class:`~repro.engine.simulation.RunResult`
+    bit-for-bit.  ``backend`` / ``scheduler`` / ``sampler`` are registry
+    *names* (or None for the defaults) so cells serialize to JSON and
+    pickle across the pool.
+    """
+
+    protocol: str
+    workload: str
+    n: int
+    k: int
+    seed: int
+    backend: Optional[str] = None
+    scheduler: Optional[str] = None
+    sampler: Optional[str] = None
+    counts_only: bool = False
+    workload_args: Mapping[str, Any] = field(default_factory=dict)
+    max_parallel_time: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (the checkpoint and manifest representation)."""
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "n": int(self.n),
+            "k": int(self.k),
+            "seed": int(self.seed),
+            "backend": self.backend,
+            "scheduler": self.scheduler,
+            "sampler": self.sampler,
+            "counts_only": bool(self.counts_only),
+            "workload_args": dict(self.workload_args),
+            "max_parallel_time": self.max_parallel_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CellSpec":
+        return cls(
+            protocol=payload["protocol"],
+            workload=payload["workload"],
+            n=int(payload["n"]),
+            k=int(payload["k"]),
+            seed=int(payload["seed"]),
+            backend=payload.get("backend"),
+            scheduler=payload.get("scheduler"),
+            sampler=payload.get("sampler"),
+            counts_only=bool(payload.get("counts_only", False)),
+            workload_args=dict(payload.get("workload_args", {})),
+            max_parallel_time=payload.get("max_parallel_time"),
+        )
+
+    def label(self) -> str:
+        """Short human-readable cell description for status lines."""
+        parts = [f"{self.protocol}/{self.workload}", f"n={self.n}", f"k={self.k}"]
+        for key, value in sorted(self.workload_args.items()):
+            parts.append(f"{key}={value}")
+        parts.append(f"seed={self.seed}")
+        if self.backend:
+            parts.append(self.backend)
+        if self.scheduler:
+            parts.append(self.scheduler)
+        if self.sampler:
+            parts.append(self.sampler)
+        return " ".join(parts)
+
+    def validate(self) -> None:
+        """Reject cells that name unknown registries before any run starts."""
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; "
+                f"available: {', '.join(sorted(PROTOCOLS))}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; "
+                f"available: {', '.join(sorted(WORKLOADS))}"
+            )
+        if self.backend is not None and self.backend not in backend_registry.available():
+            raise ConfigurationError(f"unknown backend {self.backend!r}")
+        if (
+            self.scheduler is not None
+            and self.scheduler not in scheduler_registry.available()
+        ):
+            raise ConfigurationError(f"unknown scheduler {self.scheduler!r}")
+        if self.sampler is not None and self.sampler not in sampler_registry.available():
+            raise ConfigurationError(f"unknown sampler {self.sampler!r}")
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+
+
+def cell_hash(cell: CellSpec) -> str:
+    """Stable content hash of a cell's full parameterization.
+
+    Canonical JSON (sorted keys, no whitespace) over the cell fields
+    plus :data:`CELL_SCHEMA_VERSION`, sha256, truncated to
+    :data:`CELL_HASH_LENGTH` hex digits.  Stable across processes,
+    platforms, and sessions — unlike ``hash()``, which is salted.
+    """
+    canonical = json.dumps(
+        {"cell_schema": CELL_SCHEMA_VERSION, **cell.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:CELL_HASH_LENGTH]
+
+
+@dataclass
+class CampaignGrid:
+    """A named, ordered collection of cells plus rollup metadata.
+
+    ``driver`` optionally names a theory driver (see
+    :data:`repro.campaign.rollup.DRIVERS`) that the rollup fits measured
+    parallel times against, per (n, k) group.
+    """
+
+    name: str
+    cells: List[CellSpec]
+    scale: str = "quick"
+    description: str = ""
+    driver: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ConfigurationError(f"campaign {self.name!r} has no cells")
+        hashes = [cell_hash(cell) for cell in self.cells]
+        duplicates = {h for h in hashes if hashes.count(h) > 1}
+        if duplicates:
+            raise ConfigurationError(
+                f"campaign {self.name!r} declares duplicate cells: "
+                f"{', '.join(sorted(duplicates))}"
+            )
+
+    def validate(self) -> None:
+        for cell in self.cells:
+            cell.validate()
+
+    def hashes(self) -> List[str]:
+        """Cell hashes in declaration order."""
+        return [cell_hash(cell) for cell in self.cells]
+
+    def fingerprint(self) -> str:
+        """Identity of the whole grid: hash over the sorted cell hashes.
+
+        The checkpoint manifest pins this so a checkpoint directory can
+        never silently be resumed with a different grid.
+        """
+        canonical = json.dumps(
+            {"name": self.name, "scale": self.scale, "cells": sorted(self.hashes())},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:CELL_HASH_LENGTH]
+
+    @classmethod
+    def from_axes(
+        cls,
+        name: str,
+        *,
+        protocols: Sequence[str],
+        ns: Sequence[int],
+        ks: Sequence[int],
+        seeds: Sequence[int],
+        workload: str = "bias_one",
+        workload_axes: Sequence[Mapping[str, Any]] = ({},),
+        backend: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        sampler: Optional[str] = None,
+        counts_only: bool = False,
+        max_parallel_time: Optional[float] = None,
+        scale: str = "quick",
+        description: str = "",
+        driver: Optional[str] = None,
+        pair_n_k: bool = False,
+    ) -> "CampaignGrid":
+        """Cross-product grid builder.
+
+        ``workload_axes`` is a sequence of workload-kwarg dicts (one axis
+        point each, e.g. ``({"bias": 1}, {"bias": 1000})``).  With
+        ``pair_n_k=True``, ``ns`` and ``ks`` are zipped instead of
+        crossed — the shape of k ≈ √n sweeps where k is a function of n.
+        """
+        if pair_n_k:
+            if len(ns) != len(ks):
+                raise ConfigurationError(
+                    f"pair_n_k needs len(ns) == len(ks), got {len(ns)} != {len(ks)}"
+                )
+            nk_points: Iterable[Tuple[int, int]] = list(zip(ns, ks))
+        else:
+            nk_points = list(itertools.product(ns, ks))
+        cells = [
+            CellSpec(
+                protocol=protocol,
+                workload=workload,
+                n=n,
+                k=k,
+                seed=seed,
+                backend=backend,
+                scheduler=scheduler,
+                sampler=sampler,
+                counts_only=counts_only,
+                workload_args=dict(args),
+                max_parallel_time=max_parallel_time,
+            )
+            for protocol, (n, k), args, seed in itertools.product(
+                protocols, nk_points, workload_axes, seeds
+            )
+        ]
+        return cls(
+            name=name,
+            cells=cells,
+            scale=scale,
+            description=description,
+            driver=driver,
+        )
+
+
+def sqrt_k(n: int) -> int:
+    """k ≈ √n, floored at 2 (the paper's insignificant-opinion regime)."""
+    return max(2, math.isqrt(n))
+
+
+# ----------------------------------------------------------------------
+# Named-campaign registry (definitions in repro.experiments.campaigns)
+# ----------------------------------------------------------------------
+CampaignFactory = Callable[[str], CampaignGrid]
+
+_REGISTRY: Dict[str, CampaignFactory] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_campaign(name: str, description: str):
+    """Decorator: add a ``(scale) -> CampaignGrid`` factory to the registry."""
+
+    def wrap(fn: CampaignFactory) -> CampaignFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate campaign {name}")
+        _REGISTRY[name] = fn
+        _DESCRIPTIONS[name] = description
+        return fn
+
+    return wrap
+
+
+def get_campaign(name: str, scale: str = "quick") -> CampaignGrid:
+    """Build a registered campaign's grid at the given scale."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown campaign {name!r}; available: {', '.join(campaign_names())}"
+        )
+    grid = _REGISTRY[name](scale)
+    grid.validate()
+    return grid
+
+
+def campaign_names() -> List[str]:
+    """All registered campaign names, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def campaign_descriptions() -> Dict[str, str]:
+    _ensure_loaded()
+    return dict(_DESCRIPTIONS)
+
+
+def _ensure_loaded() -> None:
+    # Campaign definitions register themselves on import (same pattern
+    # as the experiment registry in repro.experiments.base).
+    from ..experiments import campaigns  # noqa: F401

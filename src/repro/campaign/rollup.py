@@ -1,0 +1,249 @@
+"""Aggregate a checkpointed campaign into one machine-readable report.
+
+A rollup is a single JSON document with two disjoint parts:
+
+* ``results`` — a *deterministic* digest: per-cell outcomes keyed by
+  cell hash, per-(protocol, n, k, workload) group summaries, theory
+  fits, and shape checks.  It is a pure function of the grid and the
+  seeds, so an interrupted-and-resumed campaign produces a ``results``
+  block bit-identical to an uninterrupted one (the crash tests and the
+  CI smoke job assert exactly this).
+* timing — top-level ``elapsed_seconds`` (summed worker wall time) and
+  per-cell ``elapsed_seconds`` under ``cells``, keyed by the same
+  hashes.  ``benchmarks/perf_diff.py`` diffs both across CI runs.
+
+The top-level ``experiment``/``elapsed_seconds``/``scale`` fields match
+the per-experiment reports written by ``benchmarks/conftest.py``, so a
+rollup dropped into ``benchmarks/reports/`` rides the existing
+perf-trajectory pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis import fitting, theory
+from ..engine.errors import ConfigurationError
+from .checkpoint import CheckpointStore, atomic_write_json
+from .grid import CampaignGrid, CellSpec, cell_hash
+
+ROLLUP_SCHEMA_VERSION = 1
+
+#: Theory drivers a campaign may declare (``CampaignGrid.driver``); the
+#: rollup fits mean converged parallel time against ``driver(n, k)`` per
+#: protocol, over the campaign's (n, k) points.
+DRIVERS: Dict[str, Callable[[int, int], float]] = {
+    "usd_time": theory.usd_time_driver,
+    "simple_time": theory.simple_time_driver,
+    "unordered_time": theory.unordered_time_driver,
+}
+
+
+class IncompleteCampaign(ConfigurationError):
+    """Rollup requested for a campaign with unfinished cells."""
+
+
+def build_rollup(
+    grid: CampaignGrid,
+    directory: os.PathLike,
+    *,
+    allow_partial: bool = False,
+) -> Dict[str, Any]:
+    """Fold every checkpointed cell of ``grid`` into one report dict."""
+    store = CheckpointStore(directory)
+    manifest = store.read_manifest()
+    if manifest is not None:
+        store.ensure_manifest(grid)
+
+    cell_payloads: Dict[str, Dict[str, Any]] = {}
+    missing: List[str] = []
+    for cell in grid.cells:
+        h = cell_hash(cell)
+        payload = store.read_cell(h)
+        if payload is None:
+            missing.append(h)
+        else:
+            cell_payloads[h] = payload
+    if missing and not allow_partial:
+        raise IncompleteCampaign(
+            f"campaign {grid.name!r} has {len(missing)}/{len(grid.cells)} "
+            f"cells without checkpoints (first: {missing[0]}); run it to "
+            f"completion or pass allow_partial=True"
+        )
+
+    results = _deterministic_results(grid, cell_payloads)
+    timing = {
+        h: {
+            "elapsed_seconds": float(payload["elapsed_seconds"]),
+            "attempts": int(payload.get("attempts", 1)),
+        }
+        for h, payload in sorted(cell_payloads.items())
+    }
+    return {
+        "schema_version": ROLLUP_SCHEMA_VERSION,
+        "kind": "campaign",
+        "experiment": f"CAMPAIGN_{grid.name}",
+        "campaign": grid.name,
+        "title": grid.description,
+        "scale": grid.scale,
+        "fingerprint": grid.fingerprint(),
+        "total_cells": len(grid.cells),
+        "completed_cells": len(cell_payloads),
+        "elapsed_seconds": sum(t["elapsed_seconds"] for t in timing.values()),
+        "cells": timing,
+        "results": results,
+        "passed": all(results["checks"].values()),
+    }
+
+
+def _deterministic_results(
+    grid: CampaignGrid, cell_payloads: Dict[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    cells: Dict[str, Dict[str, Any]] = {}
+    for h, payload in sorted(cell_payloads.items()):
+        cell = CellSpec.from_dict(payload["cell"])
+        cells[h] = {"label": cell.label(), **payload["result"]}
+
+    groups = _group_summaries(grid, cell_payloads)
+    fits = _driver_fits(grid, groups)
+    all_complete = len(cell_payloads) == len(grid.cells)
+    converged = [entry["converged"] for entry in cells.values()]
+    checks = {
+        "all_cells_completed": all_complete,
+        "all_converged": all_complete and all(converged),
+    }
+    return {"cells": cells, "groups": groups, "fits": fits, "checks": checks}
+
+
+def _group_summaries(
+    grid: CampaignGrid, cell_payloads: Dict[str, Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Per-(protocol, workload, n, k, workload_args) seed aggregates."""
+    buckets: Dict[Tuple, List[Dict[str, Any]]] = {}
+    specs: Dict[Tuple, CellSpec] = {}
+    for cell in grid.cells:
+        h = cell_hash(cell)
+        if h not in cell_payloads:
+            continue
+        key = (
+            cell.protocol,
+            cell.workload,
+            cell.n,
+            cell.k,
+            tuple(sorted(cell.workload_args.items())),
+        )
+        buckets.setdefault(key, []).append(cell_payloads[h]["result"])
+        specs.setdefault(key, cell)
+    groups: List[Dict[str, Any]] = []
+    for key in sorted(buckets, key=repr):
+        protocol, workload, n, k, args = key
+        results = buckets[key]
+        times = [r["parallel_time"] for r in results if r["converged"]]
+        judged = [r["correct"] for r in results if r["correct"] is not None]
+        groups.append(
+            {
+                "protocol": protocol,
+                "workload": workload,
+                "n": n,
+                "k": k,
+                "workload_args": dict(args),
+                "cells": len(results),
+                "converged": sum(1 for r in results if r["converged"]),
+                "success_rate": (
+                    float(sum(judged) / len(judged)) if judged else None
+                ),
+                "mean_parallel_time": float(np.mean(times)) if times else None,
+                "std_parallel_time": float(np.std(times)) if times else None,
+            }
+        )
+    return groups
+
+
+def _driver_fits(
+    grid: CampaignGrid, groups: List[Dict[str, Any]]
+) -> Dict[str, Dict[str, float]]:
+    """Fit mean converged time against the declared theory driver.
+
+    One fit per protocol over its distinct (n, k) points (seed replicas
+    are already averaged by the group pass); fewer than two points with
+    distinct driver values fit nothing.
+    """
+    if grid.driver is None:
+        return {}
+    driver_fn = DRIVERS.get(grid.driver)
+    if driver_fn is None:
+        raise ConfigurationError(
+            f"campaign {grid.name!r} names unknown driver {grid.driver!r}; "
+            f"available: {', '.join(sorted(DRIVERS))}"
+        )
+    points: Dict[str, Dict[Tuple[int, int], List[float]]] = {}
+    for group in groups:
+        if group["mean_parallel_time"] is None:
+            continue
+        per_nk = points.setdefault(group["protocol"], {})
+        per_nk.setdefault((group["n"], group["k"]), []).append(
+            group["mean_parallel_time"]
+        )
+    fits: Dict[str, Dict[str, float]] = {}
+    for protocol, per_nk in sorted(points.items()):
+        drivers = [driver_fn(n, k) for n, k in sorted(per_nk)]
+        measured = [float(np.mean(per_nk[nk])) for nk in sorted(per_nk)]
+        if len(set(drivers)) < 2:
+            continue
+        fit = fitting.slope_against_driver(drivers, measured)
+        fits[protocol] = {
+            "driver": grid.driver,
+            "slope": fit.slope,
+            "r_squared": fit.r_squared,
+            "points": len(drivers),
+        }
+    return fits
+
+
+def write_rollup(rollup: Dict[str, Any], out_path: os.PathLike) -> pathlib.Path:
+    """Atomically write a rollup report (same discipline as checkpoints)."""
+    path = pathlib.Path(out_path)
+    atomic_write_json(path, rollup)
+    return path
+
+
+def render_rollup(rollup: Dict[str, Any]) -> str:
+    """Human-readable rollup summary for the CLI."""
+    lines = [
+        f"== {rollup['experiment']}: {rollup['title']} ==",
+        (
+            f"cells: {rollup['completed_cells']}/{rollup['total_cells']} "
+            f"complete, {rollup['elapsed_seconds']:.1f}s total work "
+            f"[{rollup['scale']}]"
+        ),
+    ]
+    for group in rollup["results"]["groups"]:
+        mean = group["mean_parallel_time"]
+        args = ", ".join(f"{k}={v}" for k, v in sorted(group["workload_args"].items()))
+        lines.append(
+            f"  {group['protocol']}/{group['workload']}"
+            f"{' (' + args + ')' if args else ''} n={group['n']} k={group['k']}: "
+            f"{group['converged']}/{group['cells']} converged, "
+            f"time={'n/a' if mean is None else f'{mean:.1f}'}"
+        )
+    for protocol, fit in sorted(rollup["results"]["fits"].items()):
+        lines.append(
+            f"  fit[{protocol}] vs {fit['driver']}: slope={fit['slope']:.2f} "
+            f"r2={fit['r_squared']:.3f} ({fit['points']} points)"
+        )
+    checks = ", ".join(
+        f"{name}: {'PASS' if ok else 'FAIL'}"
+        for name, ok in rollup["results"]["checks"].items()
+    )
+    lines.append(f"checks: {checks}")
+    return "\n".join(lines)
+
+
+def deterministic_block(rollup: Dict[str, Any]) -> str:
+    """Canonical JSON of the deterministic part (what crash tests compare)."""
+    return json.dumps(rollup["results"], sort_keys=True, separators=(",", ":"))

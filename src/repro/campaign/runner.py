@@ -1,0 +1,272 @@
+"""Campaign execution: shard cells over processes, checkpoint, resume.
+
+The runner takes a :class:`~repro.campaign.grid.CampaignGrid` and a
+checkpoint directory and drives every cell that does not already have a
+valid checkpoint to completion:
+
+* cells fan out over a ``ProcessPoolExecutor`` (``workers=1`` runs
+  inline, which the crash tests and tiny grids use);
+* each completed cell is written *by the parent* as one atomic JSON
+  file, so a killed run leaves exactly the set of finished cells behind
+  and a restart re-runs only the remainder;
+* transient failures are retried in rounds with capped exponential
+  backoff; cells still failing after the retry budget are reported in
+  the returned status (the campaign keeps going — one bad cell must not
+  waste the other shards' work);
+* per-cell wall time is recorded as ``elapsed_seconds`` inside the
+  worker, so rollups feed the existing ``benchmarks/reports`` +
+  ``perf_diff.py`` trajectory pipeline.
+
+Determinism: a cell's config rng and simulation rng are both derived
+from ``cell.seed`` via ``np.random.SeedSequence``, so any schedule of
+crashes, retries, and pool shapes reproduces identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..analysis.sweep import _default_budget
+from ..engine.simulation import RunResult, simulate
+from .checkpoint import CheckpointStore
+from .grid import PROTOCOLS, WORKLOADS, CampaignGrid, CellSpec, cell_hash
+
+#: Test/CI knob: sleep this many seconds inside every cell before it
+#: runs.  The campaign-smoke CI job and the SIGKILL recovery tests use
+#: it to make "interrupted mid-run" deterministic for grids whose cells
+#: would otherwise finish faster than the kill can land.
+CELL_DELAY_ENV = "REPRO_CAMPAIGN_CELL_DELAY"
+
+#: Retry pacing: round ``r`` sleeps ``min(backoff * 2**r, cap)`` seconds.
+DEFAULT_BACKOFF_SECONDS = 0.1
+DEFAULT_BACKOFF_CAP_SECONDS = 2.0
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """JSON-safe form of a :class:`RunResult` (numpy scalars coerced)."""
+    return {
+        "protocol": result.protocol,
+        "n": int(result.n),
+        "k": int(result.k),
+        "interactions": int(result.interactions),
+        "parallel_time": float(result.parallel_time),
+        "converged": bool(result.converged),
+        "output_opinion": _opt_int(result.output_opinion),
+        "expected_opinion": _opt_int(result.expected_opinion),
+        "correct": None if result.correct is None else bool(result.correct),
+        "failure": result.failure,
+        "extras": {key: float(value) for key, value in result.extras.items()},
+    }
+
+
+def _opt_int(value) -> Optional[int]:
+    return None if value is None else int(value)
+
+
+def execute_cell(cell_payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one cell to completion (module-level: pool workers pickle this).
+
+    Returns the checkpoint payload minus the schema envelope: the cell
+    spec, its hash, the serialized result, and the measured wall time.
+    """
+    delay = float(os.environ.get(CELL_DELAY_ENV, "0") or 0)
+    if delay > 0:
+        time.sleep(delay)
+    cell = CellSpec.from_dict(cell_payload)
+    started = time.perf_counter()
+    result = _simulate_cell(cell)
+    elapsed = time.perf_counter() - started
+    return {
+        "cell": cell.to_dict(),
+        "result": result_to_dict(result),
+        "elapsed_seconds": elapsed,
+    }
+
+
+def _simulate_cell(cell: CellSpec) -> RunResult:
+    # Two independent deterministic streams from the one logged seed:
+    # the workload shuffle and the run itself (mirrors the
+    # config_factory(rng=...)/simulate(seed=...) split in the sweeps).
+    config_seed, run_seed = (
+        int(s) for s in np.random.SeedSequence(cell.seed).generate_state(2)
+    )
+    protocol = PROTOCOLS[cell.protocol]()
+    config = WORKLOADS[cell.workload](cell, config_seed)
+    budget = cell.max_parallel_time
+    if budget is None:
+        budget = _default_budget(protocol, config)
+    return simulate(
+        protocol,
+        config,
+        seed=run_seed,
+        scheduler=cell.scheduler,
+        backend=cell.backend,
+        sampler=cell.sampler,
+        max_parallel_time=budget,
+    )
+
+
+@dataclass
+class CampaignStatus:
+    """Where a campaign stands after a runner or status call."""
+
+    campaign: str
+    scale: str
+    total: int
+    completed: int
+    ran: int = 0
+    failed: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.completed
+
+    @property
+    def done(self) -> bool:
+        return self.completed == self.total
+
+    def describe(self) -> str:
+        line = (
+            f"campaign {self.campaign} [{self.scale}]: "
+            f"{self.completed}/{self.total} cells complete"
+        )
+        if self.ran:
+            line += f" ({self.ran} run now)"
+        if self.failed:
+            line += f", {len(self.failed)} FAILED"
+        return line
+
+
+def campaign_status(grid: CampaignGrid, directory: os.PathLike) -> CampaignStatus:
+    """Inspect a checkpoint directory without running anything."""
+    store = CheckpointStore(directory)
+    manifest = store.read_manifest()
+    if manifest is not None:
+        # Same-grid guard as the runner, raising on a foreign directory.
+        store.ensure_manifest(grid)
+    completed = store.completed(grid.hashes())
+    return CampaignStatus(
+        campaign=grid.name,
+        scale=grid.scale,
+        total=len(grid.cells),
+        completed=len(completed),
+    )
+
+
+def run_campaign(
+    grid: CampaignGrid,
+    directory: os.PathLike,
+    *,
+    workers: Optional[int] = None,
+    max_cells: Optional[int] = None,
+    retries: int = 2,
+    backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    backoff_cap_seconds: float = DEFAULT_BACKOFF_CAP_SECONDS,
+    progress: Optional[Callable[[str], None]] = None,
+    cell_runner: Optional[Callable[[Mapping[str, Any]], Dict[str, Any]]] = None,
+) -> CampaignStatus:
+    """Drive every unfinished cell of ``grid`` to a checkpoint.
+
+    Args:
+        workers: process-pool width; ``None`` lets the executor pick,
+            ``1`` (or a single pending cell) runs inline.
+        max_cells: stop after checkpointing this many cells (an orderly
+            partial run — the deterministic cousin of a crash; tests and
+            the CI smoke job use it to exercise resume).
+        retries: extra attempts per failing cell (so ``retries=2`` means
+            at most 3 attempts).
+        backoff_seconds / backoff_cap_seconds: retry-round pacing.
+        progress: optional line sink (the CLI passes ``print``).
+        cell_runner: test seam; replaces :func:`execute_cell` (must stay
+            picklable for pooled runs).
+
+    Returns:
+        The final :class:`CampaignStatus`; ``status.failed`` maps cell
+        hashes to the last error message for cells that exhausted their
+        retry budget.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    runner = cell_runner or execute_cell
+    store = CheckpointStore(directory)
+    store.ensure_manifest(grid)
+    say = progress or (lambda line: None)
+
+    by_hash = {cell_hash(cell): cell for cell in grid.cells}
+    completed = store.completed(by_hash)
+    pending = [h for h in by_hash if h not in completed]
+    if completed:
+        say(f"resume: {len(completed)} cells already checkpointed, skipping")
+    if max_cells is not None:
+        pending = pending[:max_cells]
+
+    ran = 0
+    failed: Dict[str, str] = {}
+    attempt = 0
+    while pending and attempt <= retries:
+        if attempt > 0:
+            pause = min(backoff_seconds * (2 ** (attempt - 1)), backoff_cap_seconds)
+            say(
+                f"retry round {attempt}/{retries}: {len(pending)} cells, "
+                f"backing off {pause:.2f}s"
+            )
+            time.sleep(pause)
+        failures: Dict[str, str] = {}
+        for h, outcome in _run_round(by_hash, pending, runner, workers):
+            if isinstance(outcome, Exception):
+                failures[h] = f"{type(outcome).__name__}: {outcome}"
+                continue
+            store.write_cell(h, {**outcome, "attempts": attempt + 1})
+            ran += 1
+            say(f"cell {h} done: {by_hash[h].label()}")
+        pending = [h for h in pending if h in failures]
+        failed = failures
+        attempt += 1
+
+    for h, message in failed.items():
+        say(f"cell {h} FAILED after {retries + 1} attempts: {message}")
+    completed = store.completed(by_hash)
+    return CampaignStatus(
+        campaign=grid.name,
+        scale=grid.scale,
+        total=len(grid.cells),
+        completed=len(completed),
+        ran=ran,
+        failed=failed,
+    )
+
+
+def _run_round(
+    by_hash: Mapping[str, CellSpec],
+    pending: List[str],
+    runner: Callable[[Mapping[str, Any]], Dict[str, Any]],
+    workers: Optional[int],
+):
+    """Yield ``(hash, payload-or-exception)`` as cells of one pass finish.
+
+    Results are yielded as they complete so the parent checkpoints each
+    cell immediately — a crash between two completions loses at most the
+    cells still in flight.
+    """
+    if len(pending) == 1 or (workers is not None and workers <= 1):
+        for h in pending:
+            try:
+                yield h, runner(by_hash[h].to_dict())
+            except Exception as exc:  # checked and retried by the caller
+                yield h, exc
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(runner, by_hash[h].to_dict()): h for h in pending}
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                h = futures[future]
+                exc = future.exception()
+                yield h, (exc if exc is not None else future.result())

@@ -10,20 +10,30 @@ Usage::
     repro-experiments run EB2 --backend counts
     repro-experiments run EB3 --backend counts --sampler splitting
     repro-experiments run EB6 --scheduler matching --sampler rejection
+    repro-experiments campaign list
+    repro-experiments campaign run usd_lower_bound --scale full --workers 4
+    repro-experiments campaign status usd_lower_bound --scale full
+    repro-experiments campaign rollup usd_lower_bound --scale full \\
+        --out benchmarks/reports/CAMPAIGN_usd_lower_bound.json
 
 Each experiment prints the table recorded in EXPERIMENTS.md and a PASS /
 FAIL line per shape check (or a SKIPPED line when the requested
 backend/sampler cannot execute it).  The same code paths back the pytest
-benchmarks under ``benchmarks/``.
+benchmarks under ``benchmarks/``.  ``campaign`` drives the sharded,
+checkpointed sweep layer (see docs/CAMPAIGNS.md): ``run`` is resumable
+and incremental — rerun it after a crash and it skips every cell whose
+checkpoint already exists.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 from typing import List, Optional
 
+from . import campaign as campaigns
 from . import experiments
 from .engine import backends, sampling
 from .engine import scheduler as schedulers
@@ -83,11 +93,131 @@ def _build_parser() -> argparse.ArgumentParser:
             "that support it (e.g. EB6); see 'schedulers' for semantics"
         ),
     )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded, checkpointed, resumable sweep campaigns",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_sub.add_parser("list", help="list registered campaigns")
+
+    def _campaign_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("name", help="campaign name (see 'campaign list')")
+        sub_parser.add_argument(
+            "--scale",
+            choices=("quick", "full"),
+            default="quick",
+            help="grid sizing (default: quick)",
+        )
+        sub_parser.add_argument(
+            "--dir",
+            dest="directory",
+            default=None,
+            help=(
+                "checkpoint directory "
+                "(default: campaigns/<name>-<scale> under the cwd)"
+            ),
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign to completion"
+    )
+    _campaign_common(campaign_run)
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (default: executor's choice; 1 = inline)",
+    )
+    campaign_run.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="stop after checkpointing this many cells (partial run)",
+    )
+    campaign_run.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per failing cell (default: 2)",
+    )
+
+    status_parser = campaign_sub.add_parser(
+        "status", help="report checkpoint progress without running"
+    )
+    _campaign_common(status_parser)
+
+    rollup_parser = campaign_sub.add_parser(
+        "rollup", help="aggregate checkpoints into one rollup report"
+    )
+    _campaign_common(rollup_parser)
+    rollup_parser.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "write the rollup JSON here (e.g. benchmarks/reports/"
+            "CAMPAIGN_<name>.json); default prints the summary only"
+        ),
+    )
+    rollup_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="roll up even when some cells have no checkpoint yet",
+    )
     return parser
+
+
+def _campaign_dir(args) -> pathlib.Path:
+    if args.directory is not None:
+        return pathlib.Path(args.directory)
+    return pathlib.Path("campaigns") / f"{args.name}-{args.scale}"
+
+
+def _campaign_main(args) -> int:
+    if args.campaign_command == "list":
+        descriptions = campaigns.campaign_descriptions()
+        for name in campaigns.campaign_names():
+            print(f"{name:>16}  {descriptions[name]}")
+        return 0
+    try:
+        grid = campaigns.get_campaign(args.name, scale=args.scale)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    directory = _campaign_dir(args)
+    if args.campaign_command == "run":
+        status = campaigns.run_campaign(
+            grid,
+            directory,
+            workers=args.workers,
+            max_cells=args.max_cells,
+            retries=args.retries,
+            progress=print,
+        )
+        print(status.describe())
+        return 0 if not status.failed and (status.done or args.max_cells) else 1
+    if args.campaign_command == "status":
+        print(campaigns.campaign_status(grid, directory).describe())
+        return 0
+    # rollup
+    try:
+        rollup = campaigns.build_rollup(
+            grid, directory, allow_partial=args.allow_partial
+        )
+    except campaigns.IncompleteCampaign as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(campaigns.render_rollup(rollup))
+    if args.out is not None:
+        path = campaigns.write_rollup(rollup, args.out)
+        print(f"rollup written to {path}")
+    return 0 if rollup["passed"] else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _campaign_main(args)
     if args.command == "list":
         titles = experiments.titles()
         for name in experiments.names():

@@ -1,0 +1,121 @@
+"""Named campaign definitions (see docs/CAMPAIGNS.md).
+
+Each campaign is a ``(scale) -> CampaignGrid`` factory registered with
+:func:`repro.campaign.register_campaign`, the grid analogue of the
+experiment registry in :mod:`repro.experiments.base`.  Three ship here:
+
+* ``smoke`` — a 2 × 2 × 2 grid of sub-second cells.  CI's
+  ``campaign-smoke`` job SIGKILLs it mid-run and resumes it to prove
+  checkpoint recovery on every PR; the crash tests drive the same grid.
+* ``sqrt_k_sweep`` — the source paper's insignificant-opinion regime:
+  k ≈ √n opinions, one dominant plurality, many tiny opinions
+  (Section 4's motivating workload) across the tournament algorithms.
+* ``usd_lower_bound`` — an empirical test of the USD lower bound
+  (El-Hayek & Elsässer, arXiv:2505.02765): undecided-state dynamics
+  convergence time versus n, k, and initial bias on the count backend,
+  fitted against :func:`repro.analysis.theory.usd_time_driver`.  Full
+  scale reaches n = 10⁹ — the regime none of the papers could run.
+"""
+
+from __future__ import annotations
+
+from ..campaign.grid import CampaignGrid, register_campaign, sqrt_k
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be quick|full, got {scale!r}")
+
+
+@register_campaign(
+    "smoke",
+    "2x2x2 end-to-end pipeline check: three-state + USD at tiny n",
+)
+def smoke(scale: str) -> CampaignGrid:
+    """Protocols × n × seeds, every cell sub-second at either scale."""
+    _check_scale(scale)
+    return CampaignGrid.from_axes(
+        "smoke",
+        protocols=["three_state", "usd"],
+        ns=[64, 128],
+        ks=[2],
+        seeds=[0, 1],
+        workload="majority_counts",
+        workload_axes=({"bias": 2},),
+        scale=scale,
+        description="2x2x2 smoke grid (three_state + usd, n=64/128, 2 seeds)",
+    )
+
+
+@register_campaign(
+    "sqrt_k_sweep",
+    "k ~ sqrt(n) insignificant-opinion sweep (paper Section 4 regime)",
+)
+def sqrt_k_sweep(scale: str) -> CampaignGrid:
+    """One dominant opinion, k ≈ √n tiny ones, tournament algorithms."""
+    _check_scale(scale)
+    if scale == "quick":
+        ns = [256, 512]
+        protocols = ["simple", "unordered"]
+        seeds = [0, 1]
+    else:
+        ns = [1024, 4096]
+        protocols = ["simple", "unordered", "improved"]
+        seeds = [0, 1, 2]
+    return CampaignGrid.from_axes(
+        "sqrt_k_sweep",
+        protocols=protocols,
+        ns=ns,
+        ks=[sqrt_k(n) for n in ns],
+        pair_n_k=True,
+        seeds=seeds,
+        workload="one_large_many_small",
+        workload_axes=({"plurality_fraction": 0.5},),
+        scheduler="matching",
+        scale=scale,
+        description="k ~ sqrt(n) opinion sweep, one_large_many_small workload",
+        driver="simple_time",
+    )
+
+
+@register_campaign(
+    "usd_lower_bound",
+    "USD lower-bound study vs n, k, bias (arXiv:2505.02765), counts backend",
+)
+def usd_lower_bound(scale: str) -> CampaignGrid:
+    """Convergence time of undecided-state dynamics against k · log n.
+
+    The bias axis brackets the approximate-consensus correctness
+    threshold Ω(√(n log n)): bias 1 is the paper's hard exact-consensus
+    case (USD converges fast but picks the wrong opinion ~half the
+    time), the large bias is comfortably above the threshold at every
+    full-scale n, where USD is both fast and correct.  Count-native
+    configs keep cell construction O(k) at n = 10⁹.
+    """
+    _check_scale(scale)
+    if scale == "quick":
+        ns = [4096, 65536]
+        ks = [2, 4]
+        biases = [1, 256]
+        seeds = [0, 1]
+    else:
+        ns = [10**7, 10**8, 10**9]
+        ks = [2, 4, 8]
+        biases = [1, 262144]
+        seeds = [0, 1]
+    return CampaignGrid.from_axes(
+        "usd_lower_bound",
+        protocols=["usd"],
+        ns=ns,
+        ks=ks,
+        seeds=seeds,
+        workload="uniform_with_bias",
+        workload_axes=tuple({"bias": bias} for bias in biases),
+        backend="counts",
+        scheduler="matching",
+        sampler="auto",
+        counts_only=True,
+        scale=scale,
+        description="USD convergence time vs n, k, initial bias at n up to 1e9",
+        driver="usd_time",
+    )

@@ -1,0 +1,477 @@
+"""Tests for the campaign layer: grids, checkpoints, runner, rollups.
+
+The crash/resume tests are the heart of this file: a campaign killed at
+any point (orderly ``max_cells`` stop, simulated worker death, or a real
+SIGKILL of the whole process) must resume by re-running exactly the
+unfinished cells and produce a deterministic rollup bit-identical to an
+uninterrupted run with the same seeds.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignGrid,
+    CellSpec,
+    CheckpointMismatch,
+    CheckpointStore,
+    IncompleteCampaign,
+    build_rollup,
+    campaign_descriptions,
+    campaign_names,
+    campaign_status,
+    cell_hash,
+    deterministic_block,
+    execute_cell,
+    get_campaign,
+    render_rollup,
+    run_campaign,
+    sqrt_k,
+    write_rollup,
+)
+from repro.cli import main as cli_main
+from repro.engine.errors import ConfigurationError
+
+
+def tiny_grid(name="tiny", protocols=("three_state",), ns=(48, 64), seeds=(0, 1)):
+    """Sub-second grid used throughout (three_state/usd at n < 100)."""
+    return CampaignGrid.from_axes(
+        name,
+        protocols=list(protocols),
+        ns=list(ns),
+        ks=[2],
+        seeds=list(seeds),
+        workload="majority_counts",
+        workload_axes=({"bias": 2},),
+        description="test grid",
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid and cell hashing
+# ----------------------------------------------------------------------
+class TestGrid:
+    def test_from_axes_is_the_full_cross_product(self):
+        grid = tiny_grid(protocols=("three_state", "usd"), ns=(48, 64), seeds=(0, 1))
+        assert len(grid.cells) == 8
+        assert len(set(grid.hashes())) == 8
+
+    def test_pair_n_k_zips_instead_of_crossing(self):
+        grid = CampaignGrid.from_axes(
+            "paired",
+            protocols=["simple"],
+            ns=[256, 1024],
+            ks=[16, 32],
+            pair_n_k=True,
+            seeds=[0],
+            workload="one_large_many_small",
+        )
+        assert [(c.n, c.k) for c in grid.cells] == [(256, 16), (1024, 32)]
+
+    def test_pair_n_k_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="pair_n_k"):
+            CampaignGrid.from_axes(
+                "bad", protocols=["usd"], ns=[10], ks=[2, 3],
+                pair_n_k=True, seeds=[0],
+            )
+
+    def test_cell_hash_is_stable_and_parameter_sensitive(self):
+        cell = CellSpec(
+            protocol="usd", workload="bias_one", n=100, k=3, seed=7
+        )
+        # Pinned: the hash is an on-disk identity (checkpoint filenames,
+        # rollup keys); silent drift would orphan every prior checkpoint.
+        assert cell_hash(cell) == cell_hash(CellSpec.from_dict(cell.to_dict()))
+        assert cell_hash(cell) == "927d62266ec425ed"
+        for field, value in [
+            ("n", 101), ("k", 4), ("seed", 8), ("protocol", "three_state"),
+            ("sampler", "numpy"), ("workload_args", {"bias": 1}),
+        ]:
+            changed = CellSpec.from_dict({**cell.to_dict(), field: value})
+            assert cell_hash(changed) != cell_hash(cell)
+
+    def test_duplicate_cells_rejected(self):
+        cell = CellSpec(protocol="usd", workload="bias_one", n=10, k=2, seed=0)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            CampaignGrid(name="dup", cells=[cell, cell])
+
+    def test_validate_rejects_unknown_registry_names(self):
+        base = dict(workload="bias_one", n=10, k=2, seed=0)
+        for bad in [
+            CellSpec(protocol="nope", **base),
+            CellSpec(protocol="usd", **{**base, "workload": "nope"}),
+            CellSpec(protocol="usd", backend="nope", **base),
+            CellSpec(protocol="usd", scheduler="nope", **base),
+            CellSpec(protocol="usd", sampler="nope", **base),
+        ]:
+            with pytest.raises(ConfigurationError):
+                bad.validate()
+        CellSpec(protocol="usd", **base).validate()
+
+    def test_fingerprint_ignores_cell_order(self):
+        a = tiny_grid()
+        b = tiny_grid()
+        b.cells = list(reversed(b.cells))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != tiny_grid(seeds=(0, 2)).fingerprint()
+
+    def test_sqrt_k(self):
+        assert sqrt_k(1024) == 32
+        assert sqrt_k(2) == 2  # floored at 2
+
+    def test_registry_lists_shipped_campaigns(self):
+        names = campaign_names()
+        assert {"smoke", "sqrt_k_sweep", "usd_lower_bound"} <= set(names)
+        assert set(campaign_descriptions()) == set(names)
+        with pytest.raises(KeyError, match="unknown campaign"):
+            get_campaign("nope")
+
+    def test_shipped_campaigns_validate_at_both_scales(self):
+        for name in campaign_names():
+            for scale in ("quick", "full"):
+                grid = get_campaign(name, scale=scale)
+                assert grid.cells
+        smoke = get_campaign("smoke")
+        assert len(smoke.cells) == 8  # the CI 2x2x2 grid
+
+    def test_label_mentions_the_full_selection(self):
+        cell = CellSpec(
+            protocol="usd", workload="uniform_with_bias", n=100, k=3, seed=7,
+            backend="counts", scheduler="matching", sampler="auto",
+            workload_args={"bias": 5},
+        )
+        label = cell.label()
+        for token in ["usd", "n=100", "k=3", "bias=5", "seed=7",
+                      "counts", "matching", "auto"]:
+            assert token in label
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_write_then_read_round_trips(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write_cell("abcd", {"cell": {}, "result": {}, "elapsed_seconds": 1.0})
+        payload = store.read_cell("abcd")
+        assert payload["hash"] == "abcd"
+        assert not list(tmp_path.glob("**/*.tmp"))  # atomic: no temp leftovers
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "{truncated",
+            json.dumps([1, 2]),
+            json.dumps({"schema_version": 999, "hash": "abcd",
+                        "result": {}, "elapsed_seconds": 1.0}),
+            json.dumps({"schema_version": 1, "hash": "other",
+                        "result": {}, "elapsed_seconds": 1.0}),
+            json.dumps({"schema_version": 1, "hash": "abcd",
+                        "result": "nope", "elapsed_seconds": 1.0}),
+            json.dumps({"schema_version": 1, "hash": "abcd",
+                        "result": {}, "elapsed_seconds": "slow"}),
+        ],
+    )
+    def test_invalid_checkpoints_read_as_absent(self, tmp_path, content):
+        store = CheckpointStore(tmp_path)
+        store.cells_dir.mkdir(parents=True)
+        store.cell_path("abcd").write_text(content)
+        assert store.read_cell("abcd") is None
+        assert store.completed(["abcd"]) == set()
+
+    def test_manifest_pins_the_grid_fingerprint(self, tmp_path):
+        grid = tiny_grid()
+        store = CheckpointStore(tmp_path)
+        manifest = store.ensure_manifest(grid)
+        assert manifest["fingerprint"] == grid.fingerprint()
+        # Same grid resumes fine; a different grid is rejected.
+        store.ensure_manifest(grid)
+        with pytest.raises(CheckpointMismatch, match="fingerprint"):
+            store.ensure_manifest(tiny_grid(seeds=(5, 6)))
+
+
+# ----------------------------------------------------------------------
+# Runner: execution, resume, retries
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_serial_run_checkpoints_every_cell(self, tmp_path):
+        grid = tiny_grid()
+        status = run_campaign(grid, tmp_path, workers=1)
+        assert status.done and status.ran == len(grid.cells)
+        store = CheckpointStore(tmp_path)
+        for h in grid.hashes():
+            payload = store.read_cell(h)
+            assert payload["result"]["converged"] is True
+            assert payload["attempts"] == 1
+            assert payload["elapsed_seconds"] >= 0
+
+    def test_execute_cell_is_deterministic(self):
+        cell = tiny_grid().cells[0].to_dict()
+        first = execute_cell(cell)
+        second = execute_cell(cell)
+        assert first["result"] == second["result"]
+        assert first["cell"] == second["cell"]
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        grid = tiny_grid()
+        partial = run_campaign(grid, tmp_path, workers=1, max_cells=3)
+        assert partial.completed == 3 and not partial.done
+        assert campaign_status(grid, tmp_path).pending == len(grid.cells) - 3
+
+        ran = []
+
+        def counting_runner(payload):
+            ran.append(payload["seed"])
+            return execute_cell(payload)
+
+        resumed = run_campaign(
+            grid, tmp_path, workers=1, cell_runner=counting_runner
+        )
+        assert resumed.done
+        assert len(ran) == len(grid.cells) - 3  # only the unfinished cells
+
+    def test_interrupted_resume_matches_uninterrupted_bit_for_bit(self, tmp_path):
+        grid = tiny_grid(protocols=("three_state", "usd"))
+        # Uninterrupted reference run.
+        run_campaign(grid, tmp_path / "straight", workers=1)
+        reference = build_rollup(grid, tmp_path / "straight")
+
+        # Crashed run: a few cells done, one checkpoint corrupted (the
+        # torn state a dead worker leaves), one in-flight .tmp orphan.
+        crashed = tmp_path / "crashed"
+        run_campaign(grid, crashed, workers=1, max_cells=5)
+        store = CheckpointStore(crashed)
+        victim = grid.hashes()[0]
+        store.cell_path(victim).write_text("{torn write")
+        (store.cells_dir / "deadbeef.json.tmp").write_text("in flight")
+
+        resumed = run_campaign(grid, crashed, workers=1)
+        assert resumed.done
+        # The corrupted cell was detected and re-run alongside the three
+        # never-started ones.
+        assert resumed.ran == 4
+        after = build_rollup(grid, crashed)
+        assert deterministic_block(after) == deterministic_block(reference)
+
+    def test_pool_run_matches_serial_bit_for_bit(self, tmp_path):
+        grid = tiny_grid()
+        run_campaign(grid, tmp_path / "serial", workers=1)
+        run_campaign(grid, tmp_path / "pooled", workers=2)
+        assert deterministic_block(
+            build_rollup(grid, tmp_path / "serial")
+        ) == deterministic_block(build_rollup(grid, tmp_path / "pooled"))
+
+    def test_transient_failures_retry_with_recorded_attempts(self, tmp_path):
+        grid = tiny_grid(ns=(48,), seeds=(0,))
+        attempts = {"count": 0}
+
+        def flaky(payload):
+            attempts["count"] += 1
+            if attempts["count"] < 3:
+                raise RuntimeError("transient")
+            return execute_cell(payload)
+
+        status = run_campaign(
+            grid, tmp_path, workers=1, retries=2,
+            backoff_seconds=0.001, cell_runner=flaky,
+        )
+        assert status.done and not status.failed
+        payload = CheckpointStore(tmp_path).read_cell(grid.hashes()[0])
+        assert payload["attempts"] == 3
+
+    def test_exhausted_retries_reported_not_raised(self, tmp_path):
+        grid = tiny_grid(ns=(48,), seeds=(0, 1))
+
+        def poisoned(payload):
+            if payload["seed"] == grid.cells[0].seed:
+                raise RuntimeError("permanently broken")
+            return execute_cell(payload)
+
+        status = run_campaign(
+            grid, tmp_path, workers=1, retries=1,
+            backoff_seconds=0.001, cell_runner=poisoned,
+        )
+        assert not status.done
+        assert list(status.failed) == [grid.hashes()[0]]
+        assert "permanently broken" in status.failed[grid.hashes()[0]]
+        # The healthy cell still landed: one failure must not waste the rest.
+        assert status.completed == 1
+
+    def test_negative_retries_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="retries"):
+            run_campaign(tiny_grid(), tmp_path, retries=-1)
+
+    def test_directory_of_other_grid_is_refused(self, tmp_path):
+        run_campaign(tiny_grid(), tmp_path, workers=1, max_cells=1)
+        with pytest.raises(CheckpointMismatch):
+            run_campaign(tiny_grid(seeds=(7, 8)), tmp_path, workers=1)
+        with pytest.raises(CheckpointMismatch):
+            campaign_status(tiny_grid(seeds=(7, 8)), tmp_path)
+
+
+# ----------------------------------------------------------------------
+# SIGKILL: a real mid-run kill of a pooled campaign process
+# ----------------------------------------------------------------------
+class TestSigkillRecovery:
+    def test_sigkilled_campaign_resumes_to_identical_rollup(self, tmp_path):
+        killed_dir = tmp_path / "killed"
+        env = {
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(
+                [str(p) for p in [os.path.join(os.getcwd(), "src")]]
+                + ([os.environ["PYTHONPATH"]] if "PYTHONPATH" in os.environ else [])
+            ),
+            # Slow every cell down so the kill lands mid-campaign no
+            # matter how fast the machine is.
+            "REPRO_CAMPAIGN_CELL_DELAY": "0.4",
+        }
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "campaign", "run", "smoke",
+                "--dir", str(killed_dir), "--workers", "2",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        time.sleep(1.5)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        grid = get_campaign("smoke")
+        interrupted = campaign_status(grid, killed_dir)
+        assert not interrupted.done  # the kill landed mid-campaign
+
+        resumed = run_campaign(grid, killed_dir, workers=1)
+        assert resumed.done
+        assert resumed.ran == interrupted.pending
+
+        run_campaign(grid, tmp_path / "straight", workers=1)
+        assert deterministic_block(
+            build_rollup(grid, killed_dir)
+        ) == deterministic_block(build_rollup(grid, tmp_path / "straight"))
+
+
+# ----------------------------------------------------------------------
+# Rollup
+# ----------------------------------------------------------------------
+class TestRollup:
+    def test_rollup_shape_and_perf_pipeline_fields(self, tmp_path):
+        grid = tiny_grid(protocols=("three_state", "usd"))
+        run_campaign(grid, tmp_path, workers=1)
+        rollup = build_rollup(grid, tmp_path)
+        # The fields benchmarks/perf_diff.py keys on.
+        assert rollup["experiment"] == "CAMPAIGN_tiny"
+        assert rollup["kind"] == "campaign"
+        assert isinstance(rollup["elapsed_seconds"], float)
+        assert set(rollup["cells"]) == set(grid.hashes())
+        for entry in rollup["cells"].values():
+            assert entry["elapsed_seconds"] >= 0
+        assert rollup["passed"] is True
+        results = rollup["results"]
+        assert set(results["cells"]) == set(grid.hashes())
+        assert results["checks"] == {
+            "all_cells_completed": True,
+            "all_converged": True,
+        }
+        # 2 protocols x 2 ns, seeds folded into groups.
+        assert len(results["groups"]) == 4
+        for group in results["groups"]:
+            assert group["cells"] == 2
+            assert group["converged"] == 2
+            assert group["mean_parallel_time"] > 0
+        rendered = render_rollup(rollup)
+        assert "CAMPAIGN_tiny" in rendered and "PASS" in rendered
+
+    def test_incomplete_rollup_raises_unless_partial_allowed(self, tmp_path):
+        grid = tiny_grid()
+        run_campaign(grid, tmp_path, workers=1, max_cells=2)
+        with pytest.raises(IncompleteCampaign, match="without checkpoints"):
+            build_rollup(grid, tmp_path)
+        partial = build_rollup(grid, tmp_path, allow_partial=True)
+        assert partial["completed_cells"] == 2
+        assert partial["passed"] is False
+        assert partial["results"]["checks"]["all_cells_completed"] is False
+
+    def test_driver_fit_present_for_declared_campaigns(self, tmp_path):
+        grid = get_campaign("usd_lower_bound", scale="quick")
+        # Shrink to the two cheapest (n, k) points to keep the test fast
+        # while leaving two distinct driver values for the fit.
+        grid.cells = [
+            c for c in grid.cells
+            if c.n == 4096 and c.workload_args["bias"] == 1 and c.seed == 0
+        ]
+        assert len(grid.cells) == 2  # k = 2 and k = 4
+        run_campaign(grid, tmp_path, workers=1)
+        rollup = build_rollup(grid, tmp_path)
+        fit = rollup["results"]["fits"]["usd"]
+        assert fit["driver"] == "usd_time"
+        assert fit["points"] == 2
+        assert "slope" in fit and "r_squared" in fit
+
+    def test_unknown_driver_rejected(self, tmp_path):
+        grid = tiny_grid()
+        grid.driver = "nope"
+        run_campaign(grid, tmp_path, workers=1)
+        with pytest.raises(ConfigurationError, match="unknown driver"):
+            build_rollup(grid, tmp_path)
+
+    def test_write_rollup_is_atomic_and_readable(self, tmp_path):
+        grid = tiny_grid()
+        run_campaign(grid, tmp_path, workers=1)
+        out = tmp_path / "reports" / "CAMPAIGN_tiny.json"
+        write_rollup(build_rollup(grid, tmp_path), out)
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "CAMPAIGN_tiny"
+        assert not list(out.parent.glob("*.tmp"))
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+class TestCampaignCli:
+    def test_list_names_every_campaign(self, capsys):
+        assert cli_main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in campaign_names():
+            assert name in out
+
+    def test_run_status_rollup_cycle(self, tmp_path, capsys):
+        directory = str(tmp_path / "smoke")
+        out_path = str(tmp_path / "CAMPAIGN_smoke.json")
+        assert cli_main(
+            ["campaign", "run", "smoke", "--dir", directory, "--workers", "1"]
+        ) == 0
+        assert cli_main(["campaign", "status", "smoke", "--dir", directory]) == 0
+        assert "8/8" in capsys.readouterr().out
+        assert cli_main(
+            ["campaign", "rollup", "smoke", "--dir", directory, "--out", out_path]
+        ) == 0
+        assert json.loads(open(out_path).read())["completed_cells"] == 8
+
+    def test_partial_run_then_rollup_needs_allow_partial(self, tmp_path, capsys):
+        directory = str(tmp_path / "smoke")
+        assert cli_main(
+            [
+                "campaign", "run", "smoke", "--dir", directory,
+                "--workers", "1", "--max-cells", "2",
+            ]
+        ) == 0
+        assert cli_main(["campaign", "rollup", "smoke", "--dir", directory]) == 1
+        capsys.readouterr()
+        # Partial rollups render but exit nonzero (checks fail).
+        assert cli_main(
+            ["campaign", "rollup", "smoke", "--dir", directory, "--allow-partial"]
+        ) == 1
+        assert "all_cells_completed: FAIL" in capsys.readouterr().out
+
+    def test_unknown_campaign_exits_2(self, capsys):
+        assert cli_main(["campaign", "run", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err

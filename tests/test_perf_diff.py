@@ -69,6 +69,110 @@ class TestDiffReports:
             perf_diff.diff_reports({}, {}, threshold=1.0)
 
 
+def campaign_report(cells, total=None, scale="quick"):
+    return {
+        "experiment": "CAMPAIGN_smoke",
+        "kind": "campaign",
+        "scale": scale,
+        "elapsed_seconds": (
+            total if total is not None
+            else sum(c["elapsed_seconds"] for c in cells.values())
+        ),
+        "cells": cells,
+    }
+
+
+class TestCampaignDiff:
+    def test_flags_per_cell_regressions_keyed_by_hash(self):
+        previous = {
+            "CAMPAIGN_smoke": campaign_report(
+                {
+                    "aaaa": {"elapsed_seconds": 2.0},
+                    "bbbb": {"elapsed_seconds": 2.0},
+                },
+                total=100.0,
+            )
+        }
+        current = {
+            "CAMPAIGN_smoke": campaign_report(
+                {
+                    "aaaa": {"elapsed_seconds": 8.0},
+                    "bbbb": {"elapsed_seconds": 2.1},
+                },
+                total=100.0,
+            )
+        }
+        regressions = perf_diff.diff_reports(previous, current, threshold=1.5)
+        assert [r["experiment"] for r in regressions] == ["CAMPAIGN_smoke[aaaa]"]
+        assert regressions[0]["ratio"] == pytest.approx(4.0)
+
+    def test_total_and_cells_both_compared(self):
+        previous = {
+            "CAMPAIGN_smoke": campaign_report(
+                {"aaaa": {"elapsed_seconds": 2.0}}, total=10.0
+            )
+        }
+        current = {
+            "CAMPAIGN_smoke": campaign_report(
+                {"aaaa": {"elapsed_seconds": 8.0}}, total=40.0
+            )
+        }
+        regressions = perf_diff.diff_reports(previous, current, threshold=1.5)
+        assert [r["experiment"] for r in regressions] == [
+            "CAMPAIGN_smoke",
+            "CAMPAIGN_smoke[aaaa]",
+        ]
+
+    def test_cells_unique_to_one_run_are_skipped(self):
+        previous = {
+            "CAMPAIGN_smoke": campaign_report(
+                {"aaaa": {"elapsed_seconds": 2.0}}, total=2.0
+            )
+        }
+        current = {
+            "CAMPAIGN_smoke": campaign_report(
+                {"cccc": {"elapsed_seconds": 9.0}}, total=2.0
+            )
+        }
+        assert perf_diff.diff_reports(previous, current) == []
+
+    def test_sub_noise_cells_and_malformed_entries_are_skipped(self):
+        previous = {
+            "CAMPAIGN_smoke": campaign_report(
+                {
+                    "aaaa": {"elapsed_seconds": 0.01},
+                    "bbbb": "not-a-dict",
+                    "cccc": {"elapsed_seconds": "fast"},
+                },
+                total=1.0,
+            )
+        }
+        current = {
+            "CAMPAIGN_smoke": campaign_report(
+                {
+                    "aaaa": {"elapsed_seconds": 0.09},
+                    "bbbb": {"elapsed_seconds": 9.0},
+                    "cccc": {"elapsed_seconds": 9.0},
+                },
+                total=1.0,
+            )
+        }
+        assert perf_diff.diff_reports(previous, current) == []
+
+    def test_scale_mismatch_skips_cells_too(self):
+        previous = {
+            "CAMPAIGN_smoke": campaign_report(
+                {"aaaa": {"elapsed_seconds": 2.0}}, scale="full"
+            )
+        }
+        current = {
+            "CAMPAIGN_smoke": campaign_report(
+                {"aaaa": {"elapsed_seconds": 9.0}}, scale="quick"
+            )
+        }
+        assert perf_diff.diff_reports(previous, current) == []
+
+
 class TestLoadReports:
     def test_reads_only_valid_reports(self, tmp_path):
         write_report(tmp_path, "E1", 1.5)
