@@ -11,6 +11,9 @@ Run with::
 
 Environment:
     REPRO_BENCH_SCALE: "quick" (default) or "full" — sweep sizing.
+    REPRO_BENCH_TELEMETRY: "1" to run telemetry-enabled; the snapshot
+        lands in the report JSON under "metrics" so perf_diff.py can
+        compare hypergeometric draw mixes across runs.
 
 Rendered tables are written to ``benchmarks/reports/<id>.txt`` so that
 EXPERIMENTS.md can be refreshed from the last run, and a machine-readable
@@ -38,14 +41,23 @@ def bench_scale() -> str:
     return scale
 
 
+@pytest.fixture(scope="session")
+def bench_telemetry() -> bool:
+    return os.environ.get("REPRO_BENCH_TELEMETRY", "") not in ("", "0")
+
+
 @pytest.fixture
-def run_experiment(benchmark, bench_scale):
+def run_experiment(benchmark, bench_scale, bench_telemetry):
     """Run one experiment under the benchmark timer and check its shape."""
 
     def runner(name: str, must_pass: bool = True):
         started = time.perf_counter()
         report = benchmark.pedantic(
-            experiments.run, args=(name, bench_scale), rounds=1, iterations=1
+            experiments.run,
+            args=(name, bench_scale),
+            kwargs={"telemetry": bench_telemetry},
+            rounds=1,
+            iterations=1,
         )
         elapsed = time.perf_counter() - started
         text = report.render()
@@ -62,6 +74,8 @@ def run_experiment(benchmark, bench_scale):
             "stats": {key: float(v) for key, v in report.stats.items()},
             "passed": report.passed,
         }
+        if report.metrics is not None:
+            machine_readable["metrics"] = report.metrics
         (REPORT_DIR / f"{name}.json").write_text(
             json.dumps(machine_readable, indent=2, sort_keys=True) + "\n"
         )

@@ -15,13 +15,21 @@ content hash under ``cells`` — cell hashes only match when the full cell
 parameterization matches, so per-cell comparisons can never pair up two
 different configurations.
 
+Reports carrying a telemetry ``metrics`` block (runs with
+``REPRO_BENCH_TELEMETRY=1`` or campaign rollups from ``--telemetry``
+runs) additionally get their hypergeometric *draw mix* compared: the
+share of ``sampler.draws.numpy`` / ``.splitting`` / ``.rejection`` among
+all draws.  A share shift beyond ``--mix-threshold`` emits a notice
+annotation — a silent change in which sampler serves the draws is
+exactly the kind of routing regression wall-clock alone can hide.
+
 Usage::
 
     python benchmarks/perf_diff.py PREVIOUS_DIR CURRENT_DIR [--threshold 1.5]
 
 Exit status is always 0 unless ``--fail-on-regression`` is passed:
 trajectory drift is advisory, the hard shape checks live in the
-benchmarks themselves.
+benchmarks themselves.  Mix shifts are always advisory.
 """
 
 from __future__ import annotations
@@ -35,6 +43,14 @@ from typing import Dict, List, Optional
 #: Ignore runs faster than this: timer noise dominates sub-100ms
 #: experiments and would make the ratio check fire spuriously.
 MIN_BASELINE_SECONDS = 0.1
+
+#: Counter-name prefix identifying the per-method draw counters inside a
+#: telemetry ``metrics`` block (see ``repro.telemetry.CATALOG``).
+DRAW_PREFIX = "sampler.draws."
+
+#: Ignore draw mixes built from fewer total draws than this: a handful
+#: of draws makes shares jump around without any routing change.
+MIN_MIX_DRAWS = 100
 
 
 def load_reports(directory: pathlib.Path) -> Dict[str, dict]:
@@ -124,6 +140,66 @@ def _diff_campaign_cells(
     return regressions
 
 
+def draw_mix(report: dict) -> Optional[Dict[str, float]]:
+    """Per-method share of hypergeometric draws from a ``metrics`` block.
+
+    Returns None when the report has no telemetry block, no
+    ``sampler.draws.*`` counters, or too few draws to be meaningful.
+    """
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        return None
+    draws = {
+        name[len(DRAW_PREFIX):]: float(value)
+        for name, value in counters.items()
+        if name.startswith(DRAW_PREFIX) and isinstance(value, (int, float))
+    }
+    total = sum(draws.values())
+    if total < MIN_MIX_DRAWS:
+        return None
+    return {method: count / total for method, count in draws.items()}
+
+
+def diff_draw_mix(
+    previous: Dict[str, dict],
+    current: Dict[str, dict],
+    mix_threshold: float = 0.1,
+) -> List[dict]:
+    """Draw-mix shifts: methods whose share moved > ``mix_threshold``.
+
+    Shares are absolute fractions of all ``sampler.draws.*`` counts, so a
+    threshold of 0.1 means "10 percentage points of draws changed which
+    sampler serves them".  Methods present in only one run count from a
+    zero share on the other side.
+    """
+    if not 0.0 < mix_threshold <= 1.0:
+        raise ValueError(f"mix threshold must be in (0, 1], got {mix_threshold}")
+    shifts: List[dict] = []
+    for name in sorted(set(previous) & set(current)):
+        before, after = previous[name], current[name]
+        if before.get("scale") != after.get("scale"):
+            continue
+        mix_before, mix_after = draw_mix(before), draw_mix(after)
+        if mix_before is None or mix_after is None:
+            continue
+        for method in sorted(set(mix_before) | set(mix_after)):
+            share_before = mix_before.get(method, 0.0)
+            share_after = mix_after.get(method, 0.0)
+            if abs(share_after - share_before) > mix_threshold:
+                shifts.append(
+                    {
+                        "experiment": name,
+                        "method": method,
+                        "before_share": share_before,
+                        "after_share": share_after,
+                    }
+                )
+    return shifts
+
+
 def format_annotation(regression: dict, threshold: float) -> str:
     """One GitHub Actions warning annotation per regression."""
     return (
@@ -134,11 +210,31 @@ def format_annotation(regression: dict, threshold: float) -> str:
     )
 
 
+def format_mix_annotation(shift: dict, mix_threshold: float) -> str:
+    """One GitHub Actions notice annotation per draw-mix shift."""
+    return (
+        f"::notice title=Draw-mix shift in {shift['experiment']}::"
+        f"{shift['experiment']} now serves {shift['after_share']:.0%} of "
+        f"hypergeometric draws via {shift['method']}, was "
+        f"{shift['before_share']:.0%} on the previous run "
+        f"(> {mix_threshold:.0%} threshold)"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("previous", type=pathlib.Path)
     parser.add_argument("current", type=pathlib.Path)
     parser.add_argument("--threshold", type=float, default=1.5)
+    parser.add_argument(
+        "--mix-threshold",
+        type=float,
+        default=0.1,
+        help=(
+            "flag sampler methods whose share of hypergeometric draws "
+            "shifted by more than this fraction (default: 0.1)"
+        ),
+    )
     parser.add_argument(
         "--fail-on-regression",
         action="store_true",
@@ -162,6 +258,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_annotation(regression, args.threshold))
     if not regressions:
         print(f"no elapsed_seconds regressions beyond {args.threshold:.2f}x")
+    shifts = diff_draw_mix(previous, current, mix_threshold=args.mix_threshold)
+    for shift in shifts:
+        print(format_mix_annotation(shift, args.mix_threshold))
+    if not shifts:
+        print(f"no draw-mix shifts beyond {args.mix_threshold:.0%}")
     return 1 if (regressions and args.fail_on_regression) else 0
 
 

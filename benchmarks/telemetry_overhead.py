@@ -1,0 +1,147 @@
+"""Measure the cost of the telemetry layer on the engine hot path.
+
+The telemetry design promise (docs/OBSERVABILITY.md) is that the
+*disabled* path is free: hot loops hold pre-resolved no-op handles and
+pay at most one predicate per batch.  This script checks that promise
+the only way that is trustworthy — by timing the same workload in the
+same process under three configurations:
+
+* ``baseline`` — ``telemetry=False`` (the module-level NULL sink, what
+  every un-instrumented caller gets);
+* ``disabled`` — an explicit ``Telemetry(enabled=False)`` instance
+  threaded through ``simulate`` (handles resolve to no-ops);
+* ``enabled`` — ``Telemetry(enabled=True)`` (live counters, gauges,
+  histograms, timers on every batch).
+
+Repeats are *interleaved* (baseline, disabled, enabled, baseline, ...)
+so thermal and allocator drift hits all three configurations equally,
+and each configuration is scored by its **minimum** wall time — under
+additive noise the minimum is the stable estimator, and a 2% bound on
+medians would be flake in shared CI runners.
+
+Usage::
+
+    python benchmarks/telemetry_overhead.py                  # report only
+    python benchmarks/telemetry_overhead.py --check          # assert bounds
+    python benchmarks/telemetry_overhead.py --n 1000000 --repeats 9
+
+``--check`` exits 1 when disabled overhead exceeds ``--disabled-bound``
+(default 2%) or enabled overhead exceeds ``--enabled-bound`` (default
+10%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro import telemetry
+from repro.engine.population import PopulationConfig
+from repro.engine.simulation import simulate
+from repro.majority import ThreeStateMajority
+
+
+def _run(n: int, seed: int, tel) -> None:
+    # The instrumented hot path: counts backend, batched semantics.  The
+    # initial split is biased so the run converges instead of hitting
+    # the budget, keeping a repeat in the sub-second range at n = 10^6.
+    config = PopulationConfig.from_counts(
+        [int(n * 0.6), n - int(n * 0.6)], shuffle=False
+    )
+    simulate(
+        ThreeStateMajority(),
+        config,
+        seed=seed,
+        backend="counts",
+        scheduler="birthday",
+        max_parallel_time=500.0,
+        telemetry=tel,
+    )
+
+
+def measure(n: int, repeats: int) -> Dict[str, List[float]]:
+    """Interleaved wall times per configuration, in repeat order."""
+    configurations: Dict[str, Callable[[], object]] = {
+        "baseline": lambda: False,
+        "disabled": lambda: telemetry.Telemetry(enabled=False),
+        "enabled": lambda: telemetry.Telemetry(enabled=True),
+    }
+    times: Dict[str, List[float]] = {name: [] for name in configurations}
+    # One throwaway pass per configuration warms numpy and the
+    # count-model derivation cache out of the measured window.
+    for name, make in configurations.items():
+        _run(n, seed=0, tel=make())
+    for repeat in range(repeats):
+        for name, make in configurations.items():
+            tel = make()
+            started = time.perf_counter()
+            _run(n, seed=repeat, tel=tel)
+            times[name].append(time.perf_counter() - started)
+    return times
+
+
+def summarize(times: Dict[str, List[float]]) -> Dict[str, Dict[str, float]]:
+    baseline = min(times["baseline"])
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, samples in times.items():
+        best = min(samples)
+        summary[name] = {
+            "min_seconds": best,
+            "median_seconds": sorted(samples)[len(samples) // 2],
+            "overhead": best / baseline - 1.0,
+        }
+    return summary
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=1_000_000)
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--disabled-bound", type=float, default=0.02)
+    parser.add_argument("--enabled-bound", type=float, default=0.10)
+    parser.add_argument(
+        "--out", default=None, help="also write the summary JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    times = measure(args.n, args.repeats)
+    summary = summarize(times)
+    for name in ("baseline", "disabled", "enabled"):
+        stats = summary[name]
+        print(
+            f"{name:>9}: min {stats['min_seconds']:.3f}s  "
+            f"median {stats['median_seconds']:.3f}s  "
+            f"overhead {stats['overhead']:+.2%}"
+        )
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            json.dump({"n": args.n, "repeats": args.repeats, **summary}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if not args.check:
+        return 0
+    failures = []
+    if summary["disabled"]["overhead"] > args.disabled_bound:
+        failures.append(
+            f"disabled overhead {summary['disabled']['overhead']:.2%} "
+            f"exceeds {args.disabled_bound:.0%}"
+        )
+    if summary["enabled"]["overhead"] > args.enabled_bound:
+        failures.append(
+            f"enabled overhead {summary['enabled']['overhead']:.2%} "
+            f"exceeds {args.enabled_bound:.0%}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("overhead bounds hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

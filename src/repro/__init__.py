@@ -14,7 +14,7 @@ Quickstart::
     print(result.describe())
 """
 
-from . import workloads
+from . import telemetry, workloads
 from .core import (
     ImprovedParams,
     SimpleAlgorithm,
@@ -46,5 +46,6 @@ __all__ = [
     "UnorderedParams",
     "__version__",
     "simulate",
+    "telemetry",
     "workloads",
 ]

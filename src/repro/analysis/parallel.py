@@ -10,8 +10,9 @@ produce identical result lists for the same arguments.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
+from .. import telemetry as telemetry_module
 from ..engine.backends import BackendLike
 from ..engine.population import BasePopulation
 from ..engine.protocol import Protocol
@@ -22,7 +23,7 @@ from ..engine.simulation import RunResult, simulate
 from .sweep import _default_budget
 
 
-def _run_one(args) -> RunResult:
+def _run_one(args) -> Tuple[RunResult, Optional[dict]]:
     (
         protocol_factory,
         config_factory,
@@ -34,6 +35,7 @@ def _run_one(args) -> RunResult:
         sampler,
         max_parallel_time,
         check_every_parallel_time,
+        telemetry_spec,
     ) = args
     protocol: Protocol = protocol_factory()
     config: BasePopulation = config_factory(index)
@@ -46,7 +48,20 @@ def _run_one(args) -> RunResult:
         scheduler = (
             scheduler_factory() if scheduler_factory else MatchingScheduler(0.25)
         )
-    return simulate(
+    # ``telemetry_spec`` is (enabled, events_path) or None: a fresh
+    # per-process registry is built here (instrument objects never cross
+    # the pool boundary) and its snapshot rides back with the result for
+    # the parent to merge.  Events append straight to the shared JSONL
+    # file — EventLog writes whole O_APPEND lines, so worker and parent
+    # records interleave without tearing.
+    tel = None
+    if telemetry_spec is not None:
+        enabled, events_path = telemetry_spec
+        events = telemetry_module.EventLog(events_path) if events_path else None
+        tel = telemetry_module.Telemetry(
+            enabled=enabled, events=events, context={"replication": index}
+        )
+    result = simulate(
         protocol,
         config,
         seed=seed,
@@ -55,7 +70,12 @@ def _run_one(args) -> RunResult:
         sampler=sampler,
         max_parallel_time=budget,
         check_every_parallel_time=check_every_parallel_time,
+        telemetry=tel if tel is not None else False,
     )
+    snapshot = tel.metrics_block() if tel is not None and tel.enabled else None
+    if tel is not None and tel.events is not None:
+        tel.events.close()
+    return result, snapshot
 
 
 def replicate_parallel(
@@ -71,6 +91,7 @@ def replicate_parallel(
     sampler: SamplerLike = None,
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
+    telemetry: "telemetry_module.TelemetryLike" = None,
 ) -> List[RunResult]:
     """Run seeded replications across a process pool.
 
@@ -80,11 +101,23 @@ def replicate_parallel(
     ``sampler`` a sampler-policy name (or None) so that jobs stay
     picklable; ``scheduler_factory`` remains the per-run-instance
     alternative (pass at most one of the two).
+
+    ``telemetry`` resolves like everywhere else (instance / True / the
+    ambient registry).  Each worker process collects into a fresh
+    registry and the per-run snapshots are merged back into the caller's
+    one, so the combined counters match a serial :func:`replicate` run;
+    an attached :class:`~repro.telemetry.EventLog` is shared by path —
+    workers append to the same JSONL file.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
     if scheduler is not None and scheduler_factory is not None:
         raise ValueError("pass scheduler or scheduler_factory, not both")
+    tel = telemetry_module.resolve(telemetry)
+    telemetry_spec = None
+    if tel:
+        events_path = str(tel.events.path) if tel.events is not None else None
+        telemetry_spec = (tel.enabled, events_path)
     jobs = [
         (
             protocol_factory,
@@ -97,10 +130,15 @@ def replicate_parallel(
             sampler,
             max_parallel_time,
             check_every_parallel_time,
+            telemetry_spec,
         )
         for index, seed in enumerate(seeds_for(base_seed, replications))
     ]
     if replications == 1 or (workers is not None and workers <= 1):
-        return [_run_one(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_one, jobs))
+        outcomes = [_run_one(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_one, jobs))
+    for _, snapshot in outcomes:
+        tel.merge_block(snapshot)
+    return [result for result, _ in outcomes]

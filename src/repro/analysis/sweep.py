@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from .. import telemetry as telemetry_module
 from ..engine.backends import BackendLike
 from ..engine.population import BasePopulation
 from ..engine.protocol import Protocol
@@ -35,6 +36,7 @@ def replicate(
     sampler: SamplerLike = None,
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
+    telemetry: "telemetry_module.TelemetryLike" = None,
 ) -> List[RunResult]:
     """Run ``replications`` seeded copies of one experimental point.
 
@@ -48,11 +50,15 @@ def replicate(
     default stays ``MatchingScheduler(0.25)``), ``backend`` the execution
     strategy (see :mod:`repro.engine.backends`) and ``sampler`` the
     count-space sampler policy (see :mod:`repro.engine.sampling`).
+    ``telemetry`` threads a metrics/event registry through every run
+    (all replications accumulate into the one registry; see
+    docs/OBSERVABILITY.md).
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
     if scheduler is not None and scheduler_factory is not None:
         raise ValueError("pass scheduler or scheduler_factory, not both")
+    tel = telemetry_module.resolve(telemetry)
     results: List[RunResult] = []
     for i, seed in enumerate(seeds_for(base_seed, replications)):
         protocol = protocol_factory()
@@ -75,6 +81,7 @@ def replicate(
                 sampler=sampler,
                 max_parallel_time=budget,
                 check_every_parallel_time=check_every_parallel_time,
+                telemetry=tel,
             )
         )
     return results

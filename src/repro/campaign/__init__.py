@@ -43,6 +43,7 @@ from .rollup import (
     write_rollup,
 )
 from .runner import (
+    EVENTS_FILENAME,
     CampaignStatus,
     campaign_status,
     execute_cell,
@@ -71,6 +72,7 @@ __all__ = [
     "render_rollup",
     "write_rollup",
     "CampaignStatus",
+    "EVENTS_FILENAME",
     "campaign_status",
     "execute_cell",
     "result_to_dict",

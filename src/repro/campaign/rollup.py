@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
+from .. import telemetry as telemetry_module
 from ..analysis import fitting, theory
 from ..engine.errors import ConfigurationError
 from .checkpoint import CheckpointStore, atomic_write_json
@@ -84,6 +85,13 @@ def build_rollup(
         }
         for h, payload in sorted(cell_payloads.items())
     }
+    # Merged telemetry rides OUTSIDE ``results``: checkpoints written by
+    # telemetry-enabled runs carry a per-cell "metrics" block beside
+    # "result", and folding them here must not perturb the deterministic
+    # digest (``deterministic_block`` compares only ``results``).
+    metrics = telemetry_module.merge_blocks(
+        payload.get("metrics") for _, payload in sorted(cell_payloads.items())
+    )
     return {
         "schema_version": ROLLUP_SCHEMA_VERSION,
         "kind": "campaign",
@@ -96,6 +104,7 @@ def build_rollup(
         "completed_cells": len(cell_payloads),
         "elapsed_seconds": sum(t["elapsed_seconds"] for t in timing.values()),
         "cells": timing,
+        "metrics": metrics,
         "results": results,
         "passed": all(results["checks"].values()),
     }

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from .. import telemetry as telemetry_module
 from ..analysis.sweep import _default_budget
 from ..engine.simulation import RunResult, simulate
 from .checkpoint import CheckpointStore
@@ -42,6 +43,17 @@ from .grid import PROTOCOLS, WORKLOADS, CampaignGrid, CellSpec, cell_hash
 #: it to make "interrupted mid-run" deterministic for grids whose cells
 #: would otherwise finish faster than the kill can land.
 CELL_DELAY_ENV = "REPRO_CAMPAIGN_CELL_DELAY"
+
+#: Telemetry plumbing to pool workers.  Cell specs (and their hashes)
+#: must not change when telemetry is toggled, so the flag and the shared
+#: events path travel via the environment instead of the payload:
+#: ``run_campaign(telemetry=True)`` sets both around its rounds and the
+#: workers pick them up in :func:`execute_cell`.
+TELEMETRY_ENV = "REPRO_CAMPAIGN_TELEMETRY"
+EVENTS_ENV = "REPRO_CAMPAIGN_EVENTS"
+
+#: Events file kept next to the checkpoints (``<directory>/events.jsonl``).
+EVENTS_FILENAME = "events.jsonl"
 
 #: Retry pacing: round ``r`` sleeps ``min(backoff * 2**r, cap)`` seconds.
 DEFAULT_BACKOFF_SECONDS = 0.1
@@ -74,22 +86,58 @@ def execute_cell(cell_payload: Mapping[str, Any]) -> Dict[str, Any]:
 
     Returns the checkpoint payload minus the schema envelope: the cell
     spec, its hash, the serialized result, and the measured wall time.
+    When campaign telemetry is live (:data:`TELEMETRY_ENV` /
+    :data:`EVENTS_ENV`), the run is metered into a fresh per-cell
+    registry whose snapshot rides *beside* ``"result"`` as ``"metrics"``
+    — never inside it, so rollup ``results`` blocks stay bit-identical
+    with telemetry on or off — and cell_start/cell_end plus in-run
+    heartbeats stream to the shared events file.
     """
+    cell = CellSpec.from_dict(cell_payload)
+    tel = _cell_telemetry(cell)
+    # cell_start goes out before the CI slow-down sleep: a worker killed
+    # mid-delay must already be visible as in-flight to `campaign status`.
+    tel.event("cell_start", label=cell.label())
     delay = float(os.environ.get(CELL_DELAY_ENV, "0") or 0)
     if delay > 0:
         time.sleep(delay)
-    cell = CellSpec.from_dict(cell_payload)
     started = time.perf_counter()
-    result = _simulate_cell(cell)
+    result = _simulate_cell(cell, tel)
     elapsed = time.perf_counter() - started
-    return {
+    tel.event(
+        "cell_end",
+        label=cell.label(),
+        converged=result.converged,
+        failure=result.failure,
+        elapsed_seconds=elapsed,
+    )
+    if tel.events is not None:
+        tel.events.close()
+    payload = {
         "cell": cell.to_dict(),
         "result": result_to_dict(result),
         "elapsed_seconds": elapsed,
     }
+    if tel.enabled:
+        payload["metrics"] = tel.metrics_block()
+    return payload
 
 
-def _simulate_cell(cell: CellSpec) -> RunResult:
+def _cell_telemetry(cell: CellSpec) -> telemetry_module.Telemetry:
+    """Per-cell registry from the campaign env vars (NULL when unset)."""
+    enabled = os.environ.get(TELEMETRY_ENV, "") == "1"
+    events_path = os.environ.get(EVENTS_ENV, "")
+    if not enabled and not events_path:
+        return telemetry_module.NULL
+    events = telemetry_module.EventLog(events_path) if events_path else None
+    return telemetry_module.Telemetry(
+        enabled=enabled, events=events, context={"cell": cell_hash(cell)}
+    )
+
+
+def _simulate_cell(
+    cell: CellSpec, telemetry: Optional[telemetry_module.Telemetry] = None
+) -> RunResult:
     # Two independent deterministic streams from the one logged seed:
     # the workload shuffle and the run itself (mirrors the
     # config_factory(rng=...)/simulate(seed=...) split in the sweeps).
@@ -109,6 +157,7 @@ def _simulate_cell(cell: CellSpec) -> RunResult:
         backend=cell.backend,
         sampler=cell.sampler,
         max_parallel_time=budget,
+        telemetry=telemetry if telemetry is not None else False,
     )
 
 
@@ -122,6 +171,10 @@ class CampaignStatus:
     completed: int
     ran: int = 0
     failed: Dict[str, str] = field(default_factory=dict)
+    #: Cell hash -> seconds since that cell's last event record, for
+    #: *unfinished* cells seen in the events stream (the liveness view
+    #: ``campaign status`` prints mid-flight).
+    heartbeats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -140,22 +193,50 @@ class CampaignStatus:
             line += f" ({self.ran} run now)"
         if self.failed:
             line += f", {len(self.failed)} FAILED"
+        for h, age in sorted(self.heartbeats.items(), key=lambda kv: kv[1]):
+            line += f"\n  in flight: {h} last heartbeat {age:.1f}s ago"
         return line
 
 
+def _cell_heartbeats(
+    directory: os.PathLike, unfinished: set, now: Optional[float] = None
+) -> Dict[str, float]:
+    """Age of the last event per unfinished cell, from the events file."""
+    events = telemetry_module.read_events(
+        os.path.join(os.fspath(directory), EVENTS_FILENAME)
+    )
+    last_seen: Dict[str, float] = {}
+    for record in events:
+        cell = record.get("cell")
+        ts = record.get("ts")
+        if cell in unfinished and isinstance(ts, (int, float)):
+            last_seen[cell] = max(last_seen.get(cell, 0.0), float(ts))
+    now = time.time() if now is None else now
+    return {cell: max(now - ts, 0.0) for cell, ts in last_seen.items()}
+
+
 def campaign_status(grid: CampaignGrid, directory: os.PathLike) -> CampaignStatus:
-    """Inspect a checkpoint directory without running anything."""
+    """Inspect a checkpoint directory without running anything.
+
+    When the campaign ran with telemetry, the events stream yields a
+    liveness view of cells that have started but not checkpointed:
+    ``status.heartbeats`` maps each such cell hash to the age of its
+    last event (cell_start, in-run heartbeat, ...), so a watcher can
+    tell a working shard from a hung one mid-flight.
+    """
     store = CheckpointStore(directory)
     manifest = store.read_manifest()
     if manifest is not None:
         # Same-grid guard as the runner, raising on a foreign directory.
         store.ensure_manifest(grid)
-    completed = store.completed(grid.hashes())
+    hashes = grid.hashes()
+    completed = store.completed(hashes)
     return CampaignStatus(
         campaign=grid.name,
         scale=grid.scale,
         total=len(grid.cells),
         completed=len(completed),
+        heartbeats=_cell_heartbeats(directory, set(hashes) - set(completed)),
     )
 
 
@@ -170,6 +251,7 @@ def run_campaign(
     backoff_cap_seconds: float = DEFAULT_BACKOFF_CAP_SECONDS,
     progress: Optional[Callable[[str], None]] = None,
     cell_runner: Optional[Callable[[Mapping[str, Any]], Dict[str, Any]]] = None,
+    telemetry: bool = False,
 ) -> CampaignStatus:
     """Drive every unfinished cell of ``grid`` to a checkpoint.
 
@@ -185,6 +267,13 @@ def run_campaign(
         progress: optional line sink (the CLI passes ``print``).
         cell_runner: test seam; replaces :func:`execute_cell` (must stay
             picklable for pooled runs).
+        telemetry: meter every cell (per-cell ``"metrics"`` beside each
+            checkpoint's ``"result"``, merged into the rollup) and
+            stream lifecycle events plus in-run heartbeats to
+            ``events.jsonl`` in the campaign directory.  Cell hashes and
+            the rollup ``results`` block are unaffected — the flag
+            travels via :data:`TELEMETRY_ENV` / :data:`EVENTS_ENV`, not
+            the cell specs.
 
     Returns:
         The final :class:`CampaignStatus`; ``status.failed`` maps cell
@@ -198,6 +287,21 @@ def run_campaign(
     store.ensure_manifest(grid)
     say = progress or (lambda line: None)
 
+    events = None
+    saved_env: Dict[str, Optional[str]] = {}
+    if telemetry:
+        events_path = os.path.join(os.fspath(directory), EVENTS_FILENAME)
+        events = telemetry_module.EventLog(events_path)
+        saved_env = {
+            TELEMETRY_ENV: os.environ.get(TELEMETRY_ENV),
+            EVENTS_ENV: os.environ.get(EVENTS_ENV),
+        }
+        os.environ[TELEMETRY_ENV] = "1"
+        os.environ[EVENTS_ENV] = events_path
+    parent = telemetry_module.Telemetry(
+        enabled=False, events=events, context={"campaign": grid.name}
+    )
+
     by_hash = {cell_hash(cell): cell for cell in grid.cells}
     completed = store.completed(by_hash)
     pending = [h for h in by_hash if h not in completed]
@@ -209,29 +313,57 @@ def run_campaign(
     ran = 0
     failed: Dict[str, str] = {}
     attempt = 0
-    while pending and attempt <= retries:
-        if attempt > 0:
-            pause = min(backoff_seconds * (2 ** (attempt - 1)), backoff_cap_seconds)
-            say(
-                f"retry round {attempt}/{retries}: {len(pending)} cells, "
-                f"backing off {pause:.2f}s"
-            )
-            time.sleep(pause)
-        failures: Dict[str, str] = {}
-        for h, outcome in _run_round(by_hash, pending, runner, workers):
-            if isinstance(outcome, Exception):
-                failures[h] = f"{type(outcome).__name__}: {outcome}"
-                continue
-            store.write_cell(h, {**outcome, "attempts": attempt + 1})
-            ran += 1
-            say(f"cell {h} done: {by_hash[h].label()}")
-        pending = [h for h in pending if h in failures]
-        failed = failures
-        attempt += 1
+    try:
+        parent.event(
+            "campaign_start",
+            scale=grid.scale,
+            total=len(grid.cells),
+            pending=len(pending),
+        )
+        while pending and attempt <= retries:
+            if attempt > 0:
+                pause = min(
+                    backoff_seconds * (2 ** (attempt - 1)), backoff_cap_seconds
+                )
+                say(
+                    f"retry round {attempt}/{retries}: {len(pending)} cells, "
+                    f"backing off {pause:.2f}s"
+                )
+                parent.event(
+                    "retry_round", round=attempt, cells=len(pending), pause=pause
+                )
+                time.sleep(pause)
+            failures: Dict[str, str] = {}
+            for h, outcome in _run_round(by_hash, pending, runner, workers):
+                if isinstance(outcome, Exception):
+                    failures[h] = f"{type(outcome).__name__}: {outcome}"
+                    parent.event("cell_failed", cell=h, error=failures[h])
+                    continue
+                store.write_cell(h, {**outcome, "attempts": attempt + 1})
+                ran += 1
+                say(f"cell {h} done: {by_hash[h].label()}")
+                parent.event("checkpoint", cell=h, attempts=attempt + 1)
+            pending = [h for h in pending if h in failures]
+            failed = failures
+            attempt += 1
 
-    for h, message in failed.items():
-        say(f"cell {h} FAILED after {retries + 1} attempts: {message}")
-    completed = store.completed(by_hash)
+        for h, message in failed.items():
+            say(f"cell {h} FAILED after {retries + 1} attempts: {message}")
+        completed = store.completed(by_hash)
+        parent.event(
+            "campaign_end",
+            completed=len(completed),
+            ran=ran,
+            failed=len(failed),
+        )
+    finally:
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        if events is not None:
+            events.close()
     return CampaignStatus(
         campaign=grid.name,
         scale=grid.scale,
@@ -239,6 +371,7 @@ def run_campaign(
         completed=len(completed),
         ran=ran,
         failed=failed,
+        heartbeats={},
     )
 
 

@@ -10,6 +10,8 @@ Usage::
     repro-experiments run EB2 --backend counts
     repro-experiments run EB3 --backend counts --sampler splitting
     repro-experiments run EB6 --scheduler matching --sampler rejection
+    repro-experiments run EB6 --telemetry --events-out events.jsonl
+    repro-experiments telemetry
     repro-experiments campaign list
     repro-experiments campaign run usd_lower_bound --scale full --workers 4
     repro-experiments campaign status usd_lower_bound --scale full
@@ -35,6 +37,7 @@ from typing import List, Optional
 
 from . import campaign as campaigns
 from . import experiments
+from . import telemetry as telemetry_module
 from .engine import backends, sampling
 from .engine import scheduler as schedulers
 
@@ -53,6 +56,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "schedulers",
         help="list registered interaction schedulers and their semantics",
+    )
+    sub.add_parser(
+        "telemetry",
+        help="list the metric catalogue and structured event kinds",
     )
     runner = sub.add_parser("run", help="run one or more experiments")
     runner.add_argument(
@@ -91,6 +98,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "interaction-scheduler override, forwarded to experiments "
             "that support it (e.g. EB6); see 'schedulers' for semantics"
+        ),
+    )
+    runner.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "collect engine metrics during the run and print the "
+            "summary block after each experiment (see 'telemetry')"
+        ),
+    )
+    runner.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append structured run events (run start/end, heartbeats, "
+            "guard trips) to this JSONL file"
         ),
     )
 
@@ -140,6 +164,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="extra attempts per failing cell (default: 2)",
+    )
+    campaign_run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "collect per-cell engine metrics into the checkpoints (and "
+            "the rollup) and stream lifecycle events + heartbeats to "
+            "events.jsonl in the campaign directory"
+        ),
     )
 
     status_parser = campaign_sub.add_parser(
@@ -193,6 +226,7 @@ def _campaign_main(args) -> int:
             max_cells=args.max_cells,
             retries=args.retries,
             progress=print,
+            telemetry=args.telemetry,
         )
         print(status.describe())
         return 0 if not status.failed and (status.done or args.max_cells) else 1
@@ -245,6 +279,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{entry.summary}{default}"
             )
         return 0
+    if args.command == "telemetry":
+        # The catalogue and event kinds, straight from repro.telemetry
+        # (the same source docs/OBSERVABILITY.md documents).
+        print("metrics:")
+        for info in telemetry_module.CATALOG:
+            print(f"  {info.name:<28} {info.kind:<9} {info.description}")
+        print("events:")
+        for kind, description in telemetry_module.EVENT_KINDS.items():
+            print(f"  {kind:<28} {description}")
+        return 0
 
     requested = args.names
     if len(requested) == 1 and requested[0].lower() == "all":
@@ -285,20 +329,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
 
+    events = (
+        telemetry_module.EventLog(args.events_out)
+        if args.events_out is not None
+        else None
+    )
     all_passed = True
     for name in requested:
-        started = time.time()
+        telemetry = None
+        if args.telemetry or events is not None:
+            telemetry = telemetry_module.Telemetry(
+                enabled=args.telemetry,
+                events=events,
+                context={"experiment": name},
+            )
+        # perf_counter, not time.time: experiment timings feed the
+        # perf-trajectory diff and must be monotonic.
+        started = time.perf_counter()
         report = experiments.run(
             name,
             scale=args.scale,
             backend=args.backend,
             sampler=args.sampler,
             scheduler=args.scheduler,
+            telemetry=telemetry,
         )
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print(report.render())
+        if report.metrics is not None:
+            print(telemetry_module.render_metrics(report.metrics))
         print(f"({elapsed:.1f}s)\n")
         all_passed &= report.passed
+    if events is not None:
+        events.close()
     return 0 if all_passed else 1
 
 

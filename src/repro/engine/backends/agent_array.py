@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ... import telemetry as telemetry_module
 from ..errors import BackendUnsupported
 from ..population import PopulationConfig, is_count_native
 from ..protocol import Protocol
@@ -40,6 +41,7 @@ class AgentArrayBackend(Backend):
         record_every_parallel_time: Optional[float] = None,
         check_invariants: bool = False,
         state_out: Optional[list] = None,
+        telemetry: Optional[telemetry_module.Telemetry] = None,
     ) -> RunResult:
         if is_count_native(config):
             raise BackendUnsupported(
@@ -87,6 +89,7 @@ class AgentArrayBackend(Backend):
             step=step,
             observe=lambda: state,
             check=check,
+            telemetry=telemetry,
         )
 
         if not converged and failure is None:

@@ -11,11 +11,13 @@ CLI, the sweep harness, or the experiment registry.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ... import telemetry as telemetry_module
 from ..errors import ConfigurationError
 from ..population import PopulationConfig
 from ..protocol import Protocol
@@ -66,8 +68,15 @@ class Backend(ABC):
         record_every_parallel_time: Optional[float] = None,
         check_invariants: bool = False,
         state_out: Optional[list] = None,
+        telemetry: Optional[telemetry_module.Telemetry] = None,
     ) -> RunResult:
-        """Run ``protocol`` on ``config`` until convergence, failure, or timeout."""
+        """Run ``protocol`` on ``config`` until convergence, failure, or timeout.
+
+        ``telemetry`` is always a resolved registry when called through
+        ``simulate()`` (the disabled :data:`repro.telemetry.NULL` by
+        default); backends thread it into :func:`drive` and attach it to
+        their samplers/models so hot loops hold pre-resolved handles.
+        """
 
 
 # ----------------------------------------------------------------------
@@ -128,6 +137,7 @@ def drive(
     step: Callable[[int], int],
     observe: Callable[[], object],
     check: Callable[[], Tuple[Optional[str], bool]],
+    telemetry: Optional[telemetry_module.Telemetry] = None,
 ) -> Tuple[int, bool, Optional[str]]:
     """The interaction loop shared by every backend mode.
 
@@ -139,8 +149,20 @@ def drive(
     cadence bookkeeping in one place is what guarantees trajectories from
     different backends line up sample for sample.
 
+    When ``telemetry`` carries an event sink, the loop emits time-gated
+    ``heartbeat`` events at the check cadence (at most one per
+    ``telemetry.heartbeat_seconds``) — the liveness signal ``campaign
+    status`` reads mid-flight; any failure reported by ``check()`` is a
+    protocol guard and is counted under ``guard.<failure>`` plus a
+    ``guard_trip`` event.
+
     Returns ``(interactions, converged, failure)``.
     """
+    tel = telemetry if telemetry is not None else telemetry_module.NULL
+    events_on = tel.events is not None
+    next_heartbeat = (
+        time.monotonic() + tel.heartbeat_seconds if events_on else 0.0
+    )
     interactions = 0
     next_check = check_interval
     next_record = record_interval if record_interval is not None else None
@@ -158,9 +180,23 @@ def drive(
 
         if interactions >= next_check:
             failure, converged = check()
+            if events_on:
+                now = time.monotonic()
+                if now >= next_heartbeat:
+                    tel.event("heartbeat", interactions=interactions)
+                    next_heartbeat = now + tel.heartbeat_seconds
             if failure is not None or converged:
                 break
             next_check += check_interval
+    if tel.enabled:
+        # One post-loop count keeps the total backend-agnostic (agent
+        # and count runs alike) with zero per-iteration cost.
+        tel.count("engine.interactions", interactions)
+    if failure is not None and tel:
+        # check() only ever reports protocol guard failures (timeouts are
+        # decided by the budget epilogue), so every one is a guard trip.
+        tel.count(f"guard.{failure}")
+        tel.event("guard_trip", failure=failure, interactions=interactions)
     return interactions, converged, failure
 
 

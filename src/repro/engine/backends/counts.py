@@ -52,6 +52,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ... import telemetry as telemetry_module
 from .. import sampling
 from ..errors import BackendUnsupported, SimulationError
 from ..population import PopulationConfig, is_count_native
@@ -95,6 +96,11 @@ class CountBackend(Backend):
 
     name = "counts"
 
+    #: Pre-resolved pairs-per-batch histogram handle; rebound per run.
+    #: Class-level default keeps never-instrumented instances at zero
+    #: setup cost (the no-op singleton's observe() is the only overhead).
+    _t_pairs = telemetry_module.NULL_HISTOGRAM
+
     def __init__(self, sampler: "sampling.SamplerLike" = None):
         self._sampler = sampling.resolve(sampler)
 
@@ -120,6 +126,7 @@ class CountBackend(Backend):
         record_every_parallel_time: Optional[float] = None,
         check_invariants: bool = False,
         state_out: Optional[list] = None,
+        telemetry: Optional[telemetry_module.Telemetry] = None,
     ) -> RunResult:
         model = protocol.count_model(config)
         if model is None:
@@ -127,6 +134,14 @@ class CountBackend(Backend):
                 f"protocol {protocol.name!r} does not export a count model; "
                 "run it on the 'agents' backend instead"
             )
+        tel = telemetry if telemetry is not None else telemetry_module.NULL
+        if tel.enabled:
+            model.attach_telemetry(tel)
+            self._sampler.attach_telemetry(tel)
+            self._t_pairs = tel.histogram("engine.pairs_per_batch")
+        else:
+            # Reset in case an earlier telemetry-enabled run rebound it.
+            self._t_pairs = telemetry_module.NULL_HISTOGRAM
         kwargs = dict(
             rng=rng,
             max_parallel_time=max_parallel_time,
@@ -135,6 +150,7 @@ class CountBackend(Backend):
             record_every_parallel_time=record_every_parallel_time,
             check_invariants=check_invariants,
             state_out=state_out,
+            telemetry=tel,
         )
         semantics = getattr(scheduler, "count_semantics", None)
         if semantics == "pairwise":
@@ -165,6 +181,7 @@ class CountBackend(Backend):
         record_every_parallel_time: Optional[float],
         check_invariants: bool,
         state_out: Optional[list],
+        telemetry: Optional[telemetry_module.Telemetry] = None,
     ) -> RunResult:
         if is_count_native(config):
             raise BackendUnsupported(
@@ -212,6 +229,7 @@ class CountBackend(Backend):
             step=step,
             observe=state.refresh,
             check=check,
+            telemetry=telemetry,
         )
 
         return self._finish(
@@ -243,6 +261,7 @@ class CountBackend(Backend):
         record_every_parallel_time: Optional[float],
         check_invariants: bool,
         state_out: Optional[list],
+        telemetry: Optional[telemetry_module.Telemetry] = None,
     ) -> RunResult:
         n = config.n
         if n < 2:
@@ -266,6 +285,14 @@ class CountBackend(Backend):
         if recorder is not None:
             recorder.on_start(state, n)
 
+        # Pre-resolved instrument handles: one attribute load + no-op call
+        # when telemetry is disabled, never a dict lookup in the hot loop.
+        tel = telemetry if telemetry is not None else telemetry_module.NULL
+        c_batches = tel.counter("engine.batches")
+        h_batch = tel.histogram("engine.batch_size")
+        g_occupied = tel.gauge("engine.occupied_states")
+        instrumented = tel.enabled
+
         def step(remaining: int) -> int:
             nonlocal last_outputs
             spec = next(batches)
@@ -274,7 +301,15 @@ class CountBackend(Backend):
             state.counts, last_outputs = self._step_batch(
                 model, state.counts, size, rng, carry=carry
             )
+            if instrumented:
+                c_batches.inc()
+                h_batch.observe(size)
             return size
+
+        def check():
+            if instrumented:
+                g_occupied.set(int(np.count_nonzero(state.counts)))
+            return self._check(model, state.counts, n, check_invariants)
 
         interactions, converged, failure = drive(
             budget=budget,
@@ -283,7 +318,8 @@ class CountBackend(Backend):
             recorder=recorder,
             step=step,
             observe=lambda: state,
-            check=lambda: self._check(model, state.counts, n, check_invariants),
+            check=check,
+            telemetry=telemetry,
         )
 
         return self._finish(
@@ -343,6 +379,7 @@ class CountBackend(Backend):
         pair_i, pair_j, sizes = self._sampler.contingency(
             initiators, responders, rng
         )
+        self._t_pairs.observe(pair_i.size)
         participants = initiators + responders
         if first_i is not None:
             participants[first_i] += 1

@@ -59,6 +59,7 @@ from typing import (
 
 import numpy as np
 
+from ... import telemetry as telemetry_module
 from ..errors import BackendUnsupported, ConfigurationError
 from ..population import BasePopulation, PopulationConfig, is_count_native
 
@@ -243,6 +244,14 @@ class BaseCountModel(ABC):
 
     def check_invariants(self, counts: np.ndarray) -> None:
         """Raise :class:`InvariantViolation` on a broken hard invariant."""
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Bind pre-resolved metric handles for an instrumented run.
+
+        The base implementation is a no-op (static tables have no
+        derivation work to meter); :class:`DynamicCountModel` overrides
+        it to meter lazy derivation.
+        """
 
 
 class CountModel(BaseCountModel):
@@ -533,6 +542,13 @@ class DynamicCountModel(BaseCountModel):
       other :class:`BaseCountModel` hooks.
     """
 
+    #: Pre-resolved metric handles; class-level no-op defaults keep
+    #: never-instrumented models at zero setup cost, attach_telemetry
+    #: rebinds them per instance.
+    _t_derive_timer = telemetry_module.NULL_TIMER
+    _t_derivations = telemetry_module.NULL_COUNTER
+    _t_states = telemetry_module.NULL_GAUGE
+
     def __init__(self):
         self.labels: List[Any] = []
         self._index: Dict[Any, int] = {}
@@ -540,6 +556,12 @@ class DynamicCountModel(BaseCountModel):
         self._det: Dict[Tuple[int, int], Tuple[int, int]] = {}
         #: (i, j) -> RandomEntry (outcome ids) for randomized pairs.
         self._rand: Dict[Tuple[int, int], RandomEntry] = {}
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Meter lazy derivation: count/seconds of derived pairs, interned states."""
+        self._t_derive_timer = telemetry.timer("count_model.derive_seconds")
+        self._t_derivations = telemetry.counter("count_model.derivations")
+        self._t_states = telemetry.gauge("count_model.interned_states")
 
     # ------------------------------------------------------------------
     # State interning
@@ -586,7 +608,10 @@ class DynamicCountModel(BaseCountModel):
             p for p in pairs if p not in self._det and p not in self._rand
         ]
         if missing:
-            self._derive_pairs(missing)
+            with self._t_derive_timer:
+                self._derive_pairs(missing)
+            self._t_derivations.inc(len(missing))
+            self._t_states.set(len(self.labels))
             still = [
                 p for p in missing if p not in self._det and p not in self._rand
             ]

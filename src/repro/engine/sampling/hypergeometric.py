@@ -63,6 +63,7 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
+from ... import telemetry as telemetry_module
 from ..errors import ConfigurationError
 from ..rng import RngLike, make_rng
 
@@ -134,6 +135,23 @@ class LargeNHypergeometric:
             small-range draws below :data:`REJECTION_MIN` still invert).
     """
 
+    #: Pre-resolved metric handles (draws by method + fallback paths);
+    #: class-level no-op defaults, rebound per instance by
+    #: attach_telemetry so uninstrumented draws pay one no-op call only.
+    _t_inversion = telemetry_module.NULL_COUNTER
+    _t_rejection = telemetry_module.NULL_COUNTER
+    _t_small = telemetry_module.NULL_COUNTER
+    _t_tail = telemetry_module.NULL_COUNTER
+    _t_straggler = telemetry_module.NULL_COUNTER
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Meter univariate draws by method and the rare fallback paths."""
+        self._t_inversion = telemetry.counter("sampler.draws.splitting")
+        self._t_rejection = telemetry.counter("sampler.draws.rejection")
+        self._t_small = telemetry.counter("sampler.fallback.small_range")
+        self._t_tail = telemetry.counter("sampler.fallback.tail")
+        self._t_straggler = telemetry.counter("sampler.fallback.straggler")
+
     def __init__(
         self,
         window_sds: float = 10.0,
@@ -178,6 +196,7 @@ class LargeNHypergeometric:
         if self.univariate_method == "rejection" and self._rejection_ok(
             ngood, nbad, nsample
         ):
+            self._t_rejection.inc()
             out = np.empty(1, dtype=np.int64)
             self._reject_rows(
                 out,
@@ -188,6 +207,9 @@ class LargeNHypergeometric:
                 make_rng(rng),
             )
             return int(out[0])
+        if self.univariate_method == "rejection":
+            self._t_small.inc()
+        self._t_inversion.inc()
         return self._invert(ngood, nbad, nsample, lo, hi, make_rng(rng))
 
     @staticmethod
@@ -264,13 +286,18 @@ class LargeNHypergeometric:
             )
             chosen = free[eligible]
             if chosen.size:
+                self._t_rejection.inc(chosen.size)
                 self._reject_rows(
                     out, chosen, ngood[chosen], nbad[chosen], nsample[chosen], rng
                 )
             free = free[~eligible]
             if free.size == 0:
                 return out
+            # The ineligible remainder is the small-range fallback: too
+            # discrete for the envelope, inverted exactly below.
+            self._t_small.inc(free.size)
         # One uniform per non-degenerate inversion draw, in index order.
+        self._t_inversion.inc(free.size)
         uniforms = rng.random(free.size)
 
         total = ngood + nbad
@@ -364,9 +391,12 @@ class LargeNHypergeometric:
         hit = full | (u < mass)
         picks = (cdf < target[:, None]).sum(axis=1)
         out[rows[hit]] = a[hit] + picks[hit]
+        misses = np.flatnonzero(~hit)
+        if misses.size:
+            self._t_tail.inc(misses.size)
         # Tail correction: re-invert the misses on the scalar path with
         # the same uniform (widening starts from the already-tried width).
-        for m in np.flatnonzero(~hit):
+        for m in misses:
             out[rows[m]] = self._invert_scalar_with_u(
                 int(ngood[m]),
                 int(nbad[m]),
@@ -454,6 +484,7 @@ class LargeNHypergeometric:
             pending = pending[~accept]
             if pending.size == 0:
                 return
+        self._t_straggler.inc(pending.size)  # pragma: no cover - p < 2^-100
         for p in pending:  # pragma: no cover - p < 2^-100 per row
             out[rows[p]] = self._invert(
                 int(ngood[p]),

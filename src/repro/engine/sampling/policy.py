@@ -45,6 +45,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ... import telemetry as telemetry_module
 from ..errors import SamplerUnsupported
 from ..registry import Registry
 from .hypergeometric import LargeNHypergeometric
@@ -67,6 +68,14 @@ class SamplerPolicy(ABC):
     def supports(self, total: int) -> bool:
         """Whether a draw from a population of ``total`` is in range."""
         return self.max_population is None or total < self.max_population
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Bind pre-resolved draw counters for an instrumented run.
+
+        No-op by default; concrete policies rebind their class-level
+        no-op handles so uninstrumented runs never pay for a lookup.
+        The count backend calls this once per telemetry-enabled run.
+        """
 
     def population_range(self) -> str:
         """Human-readable population range for CLI listings."""
@@ -144,9 +153,16 @@ class NumpySampler(SamplerPolicy):
     max_population = NUMPY_MAX_POPULATION
     summary = "numpy's built-in generator (fastest; rejects n >= 10^9)"
 
+    #: Pre-resolved draws-by-method counter; rebound by attach_telemetry.
+    _t_draws = telemetry_module.NULL_COUNTER
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        self._t_draws = telemetry.counter("sampler.draws.numpy")
+
     def draw(
         self, colors: np.ndarray, nsample: int, rng: np.random.Generator
     ) -> np.ndarray:
+        self._t_draws.inc()
         total = int(np.asarray(colors).sum())
         if not self.supports(total):
             raise SamplerUnsupported(
@@ -174,6 +190,10 @@ class SplittingSampler(SamplerPolicy):
         self._sampler = LargeNHypergeometric(
             window_sds=window_sds, univariate_method=self.univariate_method
         )
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Forward to the inner large-n sampler (it holds the counters)."""
+        self._sampler.attach_telemetry(telemetry)
 
     def draw(
         self, colors: np.ndarray, nsample: int, rng: np.random.Generator
@@ -237,6 +257,11 @@ class AutoSampler(SamplerPolicy):
     def __init__(self):
         self._numpy = NumpySampler()
         self._beyond = RejectionSampler()
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Attach both delegates so either dispatch target is metered."""
+        self._numpy.attach_telemetry(telemetry)
+        self._beyond.attach_telemetry(telemetry)
 
     def draw(
         self, colors: np.ndarray, nsample: int, rng: np.random.Generator

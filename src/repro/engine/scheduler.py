@@ -70,6 +70,7 @@ from typing import Iterator, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry as telemetry_module
 from .errors import ConfigurationError
 from .registry import Registry
 
@@ -126,6 +127,15 @@ class Scheduler(ABC):
         raise ConfigurationError(
             f"scheduler {type(self).__name__} has no count-space batch law"
         )
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Bind pre-resolved metric handles for an instrumented run.
+
+        No-op by default; schedulers with interesting internals (the
+        birthday prefix-length draws) override it.  ``simulate()`` calls
+        this whenever telemetry is live, so overrides must tolerate being
+        called more than once.
+        """
 
 
 def _longest_disjoint_prefix(u: np.ndarray, v: np.ndarray) -> int:
@@ -258,17 +268,29 @@ class BirthdayScheduler(SequentialScheduler):
     )
     count_semantics = "batched"
 
+    #: Pre-resolved prefix-length histogram handle; rebound by
+    #: attach_telemetry, no-op for uninstrumented runs.
+    _t_prefix = telemetry_module.NULL_HISTOGRAM
+
+    def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
+        """Meter the birthday (disjoint-prefix-length) draws."""
+        self._t_prefix = telemetry.histogram("scheduler.prefix_length")
+
     def count_batches(self, n: int, rng: np.random.Generator) -> Iterator[CountBatch]:
         if n < 2:
             raise ConfigurationError(f"need at least 2 agents, got {n}")
         # A fresh prefix always holds its first pair (q(0) = 1), so the
         # first batch has size >= 1; carry batches are 1 + C with C >= 0.
-        yield CountBatch(birthday_prefix_length(n, 0, rng), False)
+        prefix = birthday_prefix_length(n, 0, rng)
+        self._t_prefix.observe(prefix)
+        yield CountBatch(prefix, False)
         while True:
             # The pair that ended the previous prefix is the first pair
             # of this batch; the continuation behind it starts with the
             # pair's 2 endpoints already used.
-            yield CountBatch(1 + birthday_prefix_length(n, 2, rng), True)
+            prefix = birthday_prefix_length(n, 2, rng)
+            self._t_prefix.observe(prefix)
+            yield CountBatch(1 + prefix, True)
 
 
 class MatchingScheduler(Scheduler):

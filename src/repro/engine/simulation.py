@@ -7,9 +7,11 @@ paper's convention (Section 1: "in expectation each agent takes part in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
+from .. import telemetry as telemetry_module
 from . import scheduler as scheduler_registry
 from .errors import ConfigurationError
 from .population import BasePopulation
@@ -75,6 +77,7 @@ def simulate(
     record_every_parallel_time: Optional[float] = None,
     check_invariants: bool = False,
     state_out: Optional[list] = None,
+    telemetry: "telemetry_module.TelemetryLike" = None,
 ) -> RunResult:
     """Run ``protocol`` on ``config`` until convergence, failure, or timeout.
 
@@ -104,6 +107,11 @@ def simulate(
             (slow; meant for tests).
         state_out: if a list is passed, the final state object is appended
             to it (for post-mortem inspection in tests and examples).
+        telemetry: a :class:`~repro.telemetry.Telemetry` registry to
+            collect hot-path metrics and lifecycle events into, ``True``
+            for a fresh one, or None for the ambient registry (disabled
+            unless installed via :func:`repro.telemetry.use`).  See
+            docs/OBSERVABILITY.md.
 
     Returns:
         A populated :class:`RunResult`.
@@ -120,7 +128,19 @@ def simulate(
         runner = runner.with_sampler(sampler)
     rng = make_rng(seed)
     scheduler = scheduler_registry.resolve(scheduler)
-    return runner.run(
+    tel = telemetry_module.resolve(telemetry)
+    if tel:
+        scheduler.attach_telemetry(tel)
+        tel.event(
+            "run_start",
+            protocol=protocol.name,
+            n=int(config.n),
+            k=int(config.k),
+            backend=runner.name,
+            scheduler=scheduler.name,
+        )
+    started = time.perf_counter()
+    result = runner.run(
         protocol,
         config,
         rng=rng,
@@ -131,4 +151,16 @@ def simulate(
         record_every_parallel_time=record_every_parallel_time,
         check_invariants=check_invariants,
         state_out=state_out,
+        telemetry=tel,
     )
+    if tel:
+        tel.event(
+            "run_end",
+            protocol=result.protocol,
+            converged=result.converged,
+            failure=result.failure,
+            interactions=result.interactions,
+            parallel_time=result.parallel_time,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+    return result

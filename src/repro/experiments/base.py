@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from .. import telemetry as telemetry_module
 from ..analysis.sweep import format_table
 from ..engine.errors import BackendUnsupported
 
@@ -36,6 +37,9 @@ class ExperimentReport:
     #: True when the experiment could not run on the requested
     #: backend/sampler combination (a skip, not a failure).
     skipped: bool = False
+    #: Schema-versioned telemetry snapshot (``Telemetry.metrics_block``)
+    #: when the run was telemetry-enabled; None otherwise.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def passed(self) -> bool:
@@ -121,6 +125,7 @@ def run(
     backend: Optional[str] = None,
     sampler: Optional[str] = None,
     scheduler: Optional[str] = None,
+    telemetry: "telemetry_module.TelemetryLike" = None,
 ) -> ExperimentReport:
     """Run one experiment at the given scale.
 
@@ -133,6 +138,12 @@ def run(
     over experiments keep going.  Default runs (no overrides) propagate
     the error: an experiment that cannot execute its own default
     configuration is a regression, not a skip.
+
+    ``telemetry`` (instance / True / the ambient registry) is installed
+    as the ambient registry for the duration of the run — experiment
+    functions never mention telemetry, yet every ``simulate`` /
+    ``replicate`` call underneath collects into it — and an enabled
+    run's snapshot lands on ``report.metrics``.
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
@@ -156,8 +167,10 @@ def run(
                 f"experiment {name} does not support a scheduler override"
             )
         kwargs["scheduler"] = scheduler
+    tel = telemetry_module.resolve(telemetry)
     try:
-        return fn(scale, **kwargs)
+        with telemetry_module.use(tel):
+            report = fn(scale, **kwargs)
     except BackendUnsupported as exc:
         if not kwargs:
             raise
@@ -169,6 +182,9 @@ def run(
             notes=str(exc),
             skipped=True,
         )
+    if tel.enabled:
+        report.metrics = tel.metrics_block()
+    return report
 
 
 def _ensure_loaded() -> None:

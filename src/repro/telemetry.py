@@ -1,0 +1,620 @@
+"""Process-local metrics and structured run events for the engine.
+
+Two complementary observability channels share this module:
+
+* **Metrics** — counters, gauges, log2-bucketed histograms, and timer
+  contexts, collected in a :class:`Telemetry` registry and snapshotted
+  into a schema-versioned ``"metrics"`` block (experiment reports,
+  campaign checkpoints/rollups, ``perf_diff.py``).  This is the
+  measurement substrate the adaptive-sampling and transition-table-cache
+  ROADMAP items need: per-method draw counts, batch-size distributions,
+  and lift→interact→project derivation timings.
+* **Events** — an append-only JSONL stream of run lifecycle records
+  (run start/end, heartbeats, guard trips, campaign cell/checkpoint/
+  retry events) written by :class:`EventLog`.  One flushed ``write()``
+  per line keeps concurrent appends from pool workers intact on POSIX
+  (``O_APPEND``), which is what lets ``campaign status`` read per-cell
+  heartbeat ages out of a live (or killed) campaign.
+
+Overhead discipline — the contract the hot paths rely on:
+
+* Telemetry is **off by default**.  A disabled :class:`Telemetry` (and
+  the module-level :data:`NULL` sink) hands out the no-op singleton
+  instruments below, so instrumented code holds *pre-resolved handles*:
+  the per-iteration cost of a disabled counter is one attribute-free
+  method call (or nothing at all where call sites guard on
+  ``tel.enabled``), never a dict lookup.  ``benchmarks/
+  telemetry_overhead.py`` pins the disabled path within 2% of an
+  uninstrumented baseline and the enabled path within 10%.
+* Instrumented classes default their handle attributes to the no-op
+  singletons at *class* level and only rebind them per instance in
+  ``attach_telemetry``, so never-attached objects pay zero setup.
+
+Usage::
+
+    from repro import telemetry
+
+    tel = telemetry.Telemetry(events=telemetry.EventLog("events.jsonl"))
+    result = simulate(protocol, config, seed=0, telemetry=tel)
+    print(tel.metrics_block()["counters"])
+
+    with telemetry.use(tel):        # ambient: experiments.run / replicate
+        experiments.run("EB6")
+
+See docs/OBSERVABILITY.md for the metric catalogue and event schema.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+import os
+import pathlib
+import time
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Union
+
+#: Version of the ``metrics_block()`` layout (counters/gauges/histograms/
+#: timers maps).  Bump on incompatible changes; consumers (rollups,
+#: ``perf_diff.py``) skip blocks with versions they do not know.
+METRICS_SCHEMA_VERSION = 1
+
+#: Default seconds between ``heartbeat`` events inside a run (emitted at
+#: the convergence-check cadence, so the effective period is the larger
+#: of the two).
+HEARTBEAT_SECONDS = 5.0
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class Counter:
+    """A monotonically increasing count (draws, batches, guard trips)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class Gauge:
+    """A last-value instrument (occupied states, interned states)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class Histogram:
+    """A distribution sketch over fixed log-spaced (power-of-two) buckets.
+
+    ``observe(v)`` files ``v`` under bucket ``⌊log2 v⌋`` (values < 1
+    under bucket 0's lower bound 0), tracking count/sum/min/max exactly.
+    Fixed log2 buckets need no configuration, merge trivially across
+    processes, and resolve the quantities the batch loop cares about
+    (does the birthday prefix law hold? how skewed are batch sizes?)
+    without storing samples.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: exponent -> count; bucket e holds values in [2^e, 2^(e+1)).
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exponent = math.frexp(value)[1] - 1 if value >= 1.0 else 0
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class Timer:
+    """Accumulates wall time over ``with`` blocks (derivation seconds)."""
+
+    __slots__ = ("count", "seconds", "_started")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += time.perf_counter() - self._started
+        self.count += 1
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The no-op singletons disabled registries hand out.  Falsy, so call
+#: sites can guard whole blocks with ``if handle:`` where even a no-op
+#: call would be too much.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+NULL_TIMER = _NullTimer()
+
+
+# ----------------------------------------------------------------------
+# Event sink
+# ----------------------------------------------------------------------
+class EventLog:
+    """Append-only JSONL sink for run lifecycle events.
+
+    One ``{"ts": ..., "pid": ..., "event": ..., **fields}`` object per
+    line, written with a single flushed ``write()`` in append mode —
+    POSIX ``O_APPEND`` keeps concurrent lines from pool workers whole,
+    so one file can collect a whole campaign (parent and workers alike).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        record = {"ts": time.time(), "pid": os.getpid(), "event": event}
+        record.update(fields)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    #: EventLog instances cross process boundaries via the campaign env
+    #: vars (path only), never via pickle; the handle is per-process.
+    def __getstate__(self):
+        return {"path": self.path}
+
+    def __setstate__(self, state):
+        self.path = state["path"]
+        self._handle = None
+
+
+def read_events(
+    path: Union[str, os.PathLike], *, kinds: Optional[set] = None
+) -> List[Dict[str, Any]]:
+    """Parse an events JSONL file, skipping torn/foreign lines.
+
+    ``kinds`` optionally filters by the ``event`` field.  Used by
+    ``campaign status`` (heartbeat ages) and the tests; tolerant of
+    partial trailing lines because a SIGKILL can land mid-append.
+    """
+    events: List[Dict[str, Any]] = []
+    try:
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return events
+    for line in text.splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict) or "event" not in record:
+            continue
+        if kinds is not None and record["event"] not in kinds:
+            continue
+        events.append(record)
+    return events
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class Telemetry:
+    """One process-local metrics registry plus an optional event sink.
+
+    Args:
+        enabled: collect metrics (False = hand out no-op instruments;
+            events still flow if a sink is attached).
+        events: optional :class:`EventLog`; every :meth:`event` call
+            appends one record, tagged with this registry's ``context``.
+        context: constant fields stamped onto every event (e.g.
+            ``{"cell": <hash>}`` inside a campaign worker).
+        heartbeat_seconds: minimum period of ``heartbeat`` events inside
+            the interaction loop.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        events: Optional[EventLog] = None,
+        context: Optional[Dict[str, Any]] = None,
+        heartbeat_seconds: float = HEARTBEAT_SECONDS,
+    ) -> None:
+        self.enabled = enabled
+        self.events = events
+        self.context = dict(context or {})
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def __bool__(self) -> bool:
+        """Truthy when *any* channel is live (metrics or events)."""
+        return self.enabled or self.events is not None
+
+    # ------------------------------------------------------------------
+    # Instrument handles (resolve once, outside the hot loop)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Union[Counter, _NullCounter]:
+        if not self.enabled:
+            return NULL_COUNTER
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter()
+        return found
+
+    def gauge(self, name: str) -> Union[Gauge, _NullGauge]:
+        if not self.enabled:
+            return NULL_GAUGE
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge()
+        return found
+
+    def histogram(self, name: str) -> Union[Histogram, _NullHistogram]:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram()
+        return found
+
+    def timer(self, name: str) -> Union[Timer, _NullTimer]:
+        if not self.enabled:
+            return NULL_TIMER
+        found = self._timers.get(name)
+        if found is None:
+            found = self._timers[name] = Timer()
+        return found
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Cold-path convenience: resolve + increment in one call."""
+        self.counter(name).inc(amount)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        """Append one event record (no-op without an attached sink)."""
+        if self.events is not None:
+            self.events.emit(kind, **{**self.context, **fields})
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def metrics_block(self) -> Dict[str, Any]:
+        """The schema-versioned JSON-safe ``"metrics"`` block."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "counters": {
+                name: int(c.value) for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: float(g.value) for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": int(h.count),
+                    "sum": float(h.total),
+                    "min": float(h.min) if h.count else None,
+                    "max": float(h.max) if h.count else None,
+                    "buckets": {
+                        str(e): int(n) for e, n in sorted(h.buckets.items())
+                    },
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+            "timers": {
+                name: {"count": int(t.count), "seconds": float(t.seconds)}
+                for name, t in sorted(self._timers.items())
+            },
+        }
+
+    def merge_block(self, block: Optional[Dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`metrics_block` into this one.
+
+        Counters, histogram buckets, and timers add; gauges keep the
+        incoming value (last writer wins — the merge order is the
+        completion order of child processes).  Unknown schema versions
+        are skipped rather than misread.
+        """
+        if not self.enabled or not isinstance(block, dict):
+            return
+        if block.get("schema_version") != METRICS_SCHEMA_VERSION:
+            return
+        for name, value in block.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in block.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, data in block.get("histograms", {}).items():
+            hist = self.histogram(name)
+            assert isinstance(hist, Histogram)
+            hist.count += int(data.get("count", 0))
+            hist.total += float(data.get("sum", 0.0))
+            if data.get("min") is not None:
+                hist.min = min(hist.min, float(data["min"]))
+            if data.get("max") is not None:
+                hist.max = max(hist.max, float(data["max"]))
+            for exponent, count in data.get("buckets", {}).items():
+                e = int(exponent)
+                hist.buckets[e] = hist.buckets.get(e, 0) + int(count)
+        for name, data in block.get("timers", {}).items():
+            timer = self.timer(name)
+            assert isinstance(timer, Timer)
+            timer.count += int(data.get("count", 0))
+            timer.seconds += float(data.get("seconds", 0.0))
+
+
+def merge_blocks(blocks: List[Optional[Dict[str, Any]]]) -> Optional[Dict[str, Any]]:
+    """Merge metrics blocks (e.g. per-cell) into one; None when empty."""
+    real = [b for b in blocks if isinstance(b, dict)]
+    if not real:
+        return None
+    merged = Telemetry(enabled=True)
+    for block in real:
+        merged.merge_block(block)
+    return merged.metrics_block()
+
+
+#: The module-level disabled sink: no metrics, no events.  This is what
+#: every ``telemetry=None`` resolves to outside a ``use()`` block.
+NULL = Telemetry(enabled=False)
+
+TelemetryLike = Union[Telemetry, bool, None]
+
+_current: Telemetry = NULL
+
+
+def current() -> Telemetry:
+    """The ambient registry (:data:`NULL` unless inside :func:`use`)."""
+    return _current
+
+
+def resolve(value: TelemetryLike) -> Telemetry:
+    """Coerce a ``telemetry=`` argument to a :class:`Telemetry`.
+
+    ``None`` → the ambient registry (so ``experiments.run`` can thread
+    one registry through call stacks that never mention telemetry);
+    ``True`` → a fresh enabled registry; ``False`` → :data:`NULL`.
+    """
+    if value is None:
+        return _current
+    if isinstance(value, Telemetry):
+        return value
+    if value is True:
+        return Telemetry(enabled=True)
+    if value is False:
+        return NULL
+    raise TypeError(
+        f"telemetry must be a Telemetry, bool, or None, got {type(value).__name__}"
+    )
+
+
+@contextlib.contextmanager
+def use(tel: TelemetryLike) -> Iterator[Telemetry]:
+    """Install a registry as the ambient one for the ``with`` block."""
+    global _current
+    previous = _current
+    _current = resolve(tel)
+    try:
+        yield _current
+    finally:
+        _current = previous
+
+
+# ----------------------------------------------------------------------
+# Catalogue (drives `repro-experiments telemetry` and the docs)
+# ----------------------------------------------------------------------
+class MetricInfo(NamedTuple):
+    name: str
+    kind: str  # counter | gauge | histogram | timer
+    description: str
+
+
+CATALOG: List[MetricInfo] = [
+    MetricInfo(
+        "engine.interactions",
+        "counter",
+        "interactions applied by the run loop (any backend)",
+    ),
+    MetricInfo(
+        "engine.batches",
+        "counter",
+        "count-space batches applied (margin draws + contingency table)",
+    ),
+    MetricInfo(
+        "engine.batch_size",
+        "histogram",
+        "interactions per count-space batch (birthday prefix / matching size)",
+    ),
+    MetricInfo(
+        "engine.pairs_per_batch",
+        "histogram",
+        "non-empty (initiator, responder) state-pair groups per batch",
+    ),
+    MetricInfo(
+        "engine.occupied_states",
+        "gauge",
+        "occupied states in the count vector at the last convergence check",
+    ),
+    MetricInfo(
+        "count_model.derivations",
+        "counter",
+        "state pairs derived (lift → interact → project) by DynamicCountModel",
+    ),
+    MetricInfo(
+        "count_model.derive_seconds",
+        "timer",
+        "wall time spent deriving transition entries (cache-hit-rate denominator)",
+    ),
+    MetricInfo(
+        "count_model.interned_states",
+        "gauge",
+        "states interned by the dynamic model so far",
+    ),
+    MetricInfo(
+        "sampler.draws.numpy",
+        "counter",
+        "multivariate-hypergeometric draws served by numpy's generator",
+    ),
+    MetricInfo(
+        "sampler.draws.splitting",
+        "counter",
+        "univariate draws served by the windowed exact inversion",
+    ),
+    MetricInfo(
+        "sampler.draws.rejection",
+        "counter",
+        "univariate draws served by the ratio-of-uniforms rejection sampler",
+    ),
+    MetricInfo(
+        "sampler.fallback.small_range",
+        "counter",
+        "rejection-policy draws below REJECTION_MIN that fell back to inversion",
+    ),
+    MetricInfo(
+        "sampler.fallback.tail",
+        "counter",
+        "inversion draws whose uniform missed the window (tail re-inversion)",
+    ),
+    MetricInfo(
+        "sampler.fallback.straggler",
+        "counter",
+        "rejection rows still pending after _MAX_REJECT_ROUNDS (inversion rescue)",
+    ),
+    MetricInfo(
+        "scheduler.prefix_length",
+        "histogram",
+        "birthday (disjoint-prefix) batch lengths drawn by the count path",
+    ),
+    MetricInfo(
+        "guard.<failure>",
+        "counter",
+        "protocol-reported guard trips by failure name "
+        "(e.g. guard.phase_window_overflow, guard.era_window_overflow)",
+    ),
+]
+
+#: Event kinds written by the engine and the campaign runner.
+EVENT_KINDS: Dict[str, str] = {
+    "run_start": "one simulate() began (protocol, n, k, backend, scheduler)",
+    "run_end": "one simulate() finished (converged, failure, interactions, seconds)",
+    "heartbeat": "periodic liveness inside the interaction loop",
+    "guard_trip": "a protocol failure hook fired (failure name attached)",
+    "campaign_start": "a campaign runner pass began (total/pending cells)",
+    "campaign_end": "a campaign runner pass finished (completed/failed)",
+    "cell_start": "a campaign worker picked up a cell",
+    "cell_end": "a campaign worker finished a cell",
+    "checkpoint": "the campaign parent persisted a cell checkpoint",
+    "cell_failed": "a cell attempt raised (error attached)",
+    "retry_round": "the campaign runner began a backoff/retry round",
+}
+
+
+def render_metrics(block: Dict[str, Any]) -> str:
+    """Compact human-readable rendering of a metrics block (CLI output)."""
+    lines = ["metrics:"]
+    counters = block.get("counters", {})
+    if counters:
+        lines.append(
+            "  counters: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    gauges = block.get("gauges", {})
+    if gauges:
+        lines.append(
+            "  gauges: "
+            + ", ".join(f"{k}={v:g}" for k, v in sorted(gauges.items()))
+        )
+    for name, data in sorted(block.get("histograms", {}).items()):
+        if not data.get("count"):
+            continue
+        mean = data["sum"] / data["count"]
+        lines.append(
+            f"  {name}: count={data['count']} mean={mean:.3g} "
+            f"min={data['min']:.3g} max={data['max']:.3g}"
+        )
+    for name, data in sorted(block.get("timers", {}).items()):
+        lines.append(
+            f"  {name}: count={data['count']} seconds={data['seconds']:.4g}"
+        )
+    return "\n".join(lines)

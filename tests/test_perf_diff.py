@@ -173,6 +173,90 @@ class TestCampaignDiff:
         assert perf_diff.diff_reports(previous, current) == []
 
 
+def metrics_report(name, draws, scale="quick", total_seconds=5.0):
+    return {
+        "experiment": name,
+        "scale": scale,
+        "elapsed_seconds": total_seconds,
+        "metrics": {
+            "schema_version": 1,
+            "counters": {
+                f"sampler.draws.{method}": count
+                for method, count in draws.items()
+            },
+        },
+    }
+
+
+class TestDrawMix:
+    def test_mix_extracted_from_metrics_block(self):
+        report = metrics_report("EB6", {"numpy": 750, "rejection": 250})
+        assert perf_diff.draw_mix(report) == {"numpy": 0.75, "rejection": 0.25}
+
+    def test_mix_none_without_metrics_or_enough_draws(self):
+        assert perf_diff.draw_mix({"experiment": "E1"}) is None
+        assert perf_diff.draw_mix({"metrics": {"counters": {}}}) is None
+        tiny = metrics_report("EB6", {"numpy": 5})
+        assert perf_diff.draw_mix(tiny) is None  # below MIN_MIX_DRAWS
+
+    def test_flags_share_shift_beyond_threshold(self):
+        previous = {"EB6": metrics_report("EB6", {"numpy": 900, "rejection": 100})}
+        current = {"EB6": metrics_report("EB6", {"numpy": 500, "rejection": 500})}
+        shifts = perf_diff.diff_draw_mix(previous, current, mix_threshold=0.1)
+        assert {(s["method"], s["experiment"]) for s in shifts} == {
+            ("numpy", "EB6"),
+            ("rejection", "EB6"),
+        }
+        by_method = {s["method"]: s for s in shifts}
+        assert by_method["numpy"]["before_share"] == pytest.approx(0.9)
+        assert by_method["numpy"]["after_share"] == pytest.approx(0.5)
+
+    def test_method_appearing_from_zero_counts(self):
+        previous = {"EB6": metrics_report("EB6", {"numpy": 1000})}
+        current = {
+            "EB6": metrics_report("EB6", {"numpy": 800, "splitting": 200})
+        }
+        shifts = perf_diff.diff_draw_mix(previous, current, mix_threshold=0.1)
+        assert {s["method"] for s in shifts} == {"numpy", "splitting"}
+
+    def test_small_shift_and_scale_mismatch_ignored(self):
+        previous = {
+            "EB6": metrics_report("EB6", {"numpy": 950, "rejection": 50}),
+            "EB3": metrics_report(
+                "EB3", {"numpy": 1000}, scale="full"
+            ),
+        }
+        current = {
+            "EB6": metrics_report("EB6", {"numpy": 920, "rejection": 80}),
+            "EB3": metrics_report("EB3", {"rejection": 1000}, scale="quick"),
+        }
+        assert perf_diff.diff_draw_mix(previous, current, mix_threshold=0.1) == []
+
+    def test_mix_threshold_validation(self):
+        with pytest.raises(ValueError, match="mix threshold"):
+            perf_diff.diff_draw_mix({}, {}, mix_threshold=0.0)
+
+    def test_main_emits_notice_annotation(self, tmp_path, capsys):
+        for directory, draws in (
+            ("prev", {"numpy": 1000}),
+            ("curr", {"rejection": 1000}),
+        ):
+            (tmp_path / directory).mkdir()
+            (tmp_path / directory / "EB6.json").write_text(
+                json.dumps(metrics_report("EB6", draws))
+            )
+        code = perf_diff.main([str(tmp_path / "prev"), str(tmp_path / "curr")])
+        out = capsys.readouterr().out
+        assert code == 0  # mix shifts are advisory, never failures
+        assert "::notice title=Draw-mix shift in EB6::" in out
+
+    def test_main_reports_clean_mix(self, tmp_path, capsys):
+        write_report(tmp_path / "prev", "EB2", 2.0)
+        write_report(tmp_path / "curr", "EB2", 2.0)
+        perf_diff.main([str(tmp_path / "prev"), str(tmp_path / "curr")])
+        assert "no draw-mix shifts" in capsys.readouterr().out
+
+
 class TestLoadReports:
     def test_reads_only_valid_reports(self, tmp_path):
         write_report(tmp_path, "E1", 1.5)

@@ -1,0 +1,91 @@
+"""Edge-case tests for the probe recorder (repro.engine.recorder).
+
+The happy path is covered indirectly by the trajectory tests; these pin
+the guards and precedence rules a refactor could silently drop: the
+zero-n division guard, probe-over-protocol key precedence, and the
+dtype/shape contract of ``as_arrays``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.recorder import ProbeRecorder, Recorder
+
+
+class _Progress:
+    """Stand-in protocol exposing a progress() dict."""
+
+    def progress(self, state):
+        return {"phase": 2.0, "margin": float(state)}
+
+
+def test_base_recorder_hooks_are_noops():
+    recorder = Recorder()
+    recorder.on_start(object(), 10)
+    recorder.on_sample(5, object())
+    recorder.on_end(9, object())
+
+
+def test_nonpositive_cadence_rejected():
+    with pytest.raises(ValueError, match="every_parallel_time"):
+        ProbeRecorder(every_parallel_time=0.0)
+    with pytest.raises(ValueError, match="every_parallel_time"):
+        ProbeRecorder(every_parallel_time=-1.0)
+
+
+def test_zero_n_guard():
+    # on_sample before on_start (or a pathological n=0 run) must not
+    # divide by zero: times fall back to 0.0.
+    recorder = ProbeRecorder(probes={"x": float})
+    recorder.on_sample(7, 1.0)
+    assert recorder.times == [0.0]
+    recorder.on_start(2.0, 0)
+    assert recorder.times == [0.0, 0.0]
+
+
+def test_times_are_parallel_time():
+    recorder = ProbeRecorder(probes={"x": float})
+    recorder.on_start(0.0, 4)
+    recorder.on_sample(8, 1.0)
+    recorder.on_end(10, 2.0)
+    assert recorder.times == [0.0, 2.0, 2.5]
+    assert recorder.series["x"] == [0.0, 1.0, 2.0]
+
+
+def test_probe_wins_key_collision_with_protocol():
+    # A probe named like a protocol progress key overrides it: probes
+    # are applied after protocol.progress() in _sample.
+    recorder = ProbeRecorder(
+        probes={"margin": lambda state: -1.0}, protocol=_Progress()
+    )
+    recorder.on_start(3.0, 10)
+    assert recorder.series["margin"] == [-1.0]
+    assert recorder.series["phase"] == [2.0]
+
+
+def test_protocol_only_series():
+    recorder = ProbeRecorder(protocol=_Progress())
+    recorder.on_start(1.5, 10)
+    recorder.on_sample(10, 2.5)
+    assert recorder.series["margin"] == [1.5, 2.5]
+
+
+def test_as_arrays_dtype_and_alignment():
+    recorder = ProbeRecorder(probes={"x": lambda s: int(s)})
+    recorder.on_start(1, 2)
+    recorder.on_sample(4, 2)
+    arrays = recorder.as_arrays()
+    assert set(arrays) == {"time", "x"}
+    # Values are coerced to float at sample time, so the arrays come out
+    # float64 even for int-returning probes, and stay index-aligned.
+    assert arrays["time"].dtype == np.float64
+    assert arrays["x"].dtype == np.float64
+    assert arrays["time"].shape == arrays["x"].shape == (2,)
+    np.testing.assert_allclose(arrays["time"], [0.0, 2.0])
+    np.testing.assert_allclose(arrays["x"], [1.0, 2.0])
+
+
+def test_as_arrays_empty_recorder():
+    arrays = ProbeRecorder().as_arrays()
+    assert set(arrays) == {"time"}
+    assert arrays["time"].size == 0

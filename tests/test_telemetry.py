@@ -1,0 +1,562 @@
+"""Tests for the telemetry layer (repro.telemetry) and its threading.
+
+Three levels: the instruments and registry in isolation, the engine
+integration (simulate / replicate / experiments.run), and the campaign
+integration (per-cell metrics beside checkpoints, merged rollup block,
+heartbeat ages in ``campaign status``).  The campaign tests double as
+the guard for PR 6's core promise: telemetry on or off, the rollup
+``results`` block stays bit-identical.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.parallel import replicate_parallel
+from repro.analysis.sweep import replicate
+from repro.campaign import (
+    EVENTS_FILENAME,
+    CheckpointStore,
+    build_rollup,
+    campaign_status,
+    deterministic_block,
+    run_campaign,
+)
+from repro.cli import main as cli_main
+from repro.engine.population import PopulationConfig
+from repro.engine.simulation import simulate
+from repro.experiments import base as experiments_base
+from repro.majority import ThreeStateMajority
+from tests.test_campaign import tiny_grid
+
+
+def run_tiny(telemetry_arg, n=400, seed=3, **kwargs):
+    config = PopulationConfig.from_counts(
+        [int(n * 0.7), n - int(n * 0.7)], shuffle=False
+    )
+    return simulate(
+        ThreeStateMajority(),
+        config,
+        seed=seed,
+        backend=kwargs.pop("backend", "counts"),
+        scheduler=kwargs.pop("scheduler", "birthday"),
+        max_parallel_time=500.0,
+        telemetry=telemetry_arg,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_counter(self):
+        counter = telemetry.Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_keeps_last_value(self):
+        gauge = telemetry.Gauge()
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_log2_buckets(self):
+        hist = telemetry.Histogram()
+        for value in (0.25, 1, 3, 8, 9):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(21.25)
+        assert hist.min == 0.25
+        assert hist.max == 9
+        # <1 → bucket 0; 1 → 0; 3 → 1; 8, 9 → 3.
+        assert hist.buckets == {0: 2, 1: 1, 3: 2}
+
+    def test_timer_accumulates(self):
+        timer = telemetry.Timer()
+        with timer:
+            pass
+        with timer:
+            pass
+        assert timer.count == 2
+        assert timer.seconds >= 0.0
+
+    def test_null_singletons_are_falsy_noops(self):
+        assert not telemetry.NULL_COUNTER
+        assert not telemetry.NULL_GAUGE
+        assert not telemetry.NULL_HISTOGRAM
+        assert not telemetry.NULL_TIMER
+        telemetry.NULL_COUNTER.inc(3)
+        telemetry.NULL_GAUGE.set(1.0)
+        telemetry.NULL_HISTOGRAM.observe(2.0)
+        with telemetry.NULL_TIMER:
+            pass
+        # Real instruments are truthy so `if handle:` guards work.
+        assert telemetry.Counter() and telemetry.Gauge()
+        assert telemetry.Histogram() and telemetry.Timer()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_disabled_hands_out_null_singletons(self):
+        tel = telemetry.Telemetry(enabled=False)
+        assert tel.counter("x") is telemetry.NULL_COUNTER
+        assert tel.gauge("x") is telemetry.NULL_GAUGE
+        assert tel.histogram("x") is telemetry.NULL_HISTOGRAM
+        assert tel.timer("x") is telemetry.NULL_TIMER
+        tel.count("x", 5)
+        assert tel.metrics_block()["counters"] == {}
+
+    def test_enabled_caches_handles(self):
+        tel = telemetry.Telemetry()
+        assert tel.counter("a") is tel.counter("a")
+        assert tel.histogram("h") is tel.histogram("h")
+        tel.count("a", 2)
+        tel.count("a")
+        assert tel.metrics_block()["counters"] == {"a": 3}
+
+    def test_bool_tracks_channels(self):
+        assert not telemetry.Telemetry(enabled=False)
+        assert telemetry.Telemetry(enabled=True)
+        assert not telemetry.NULL
+
+    def test_metrics_block_shape(self, tmp_path):
+        tel = telemetry.Telemetry()
+        tel.count("c", 2)
+        tel.gauge("g").set(4.5)
+        tel.histogram("h").observe(6)
+        with tel.timer("t"):
+            pass
+        block = tel.metrics_block()
+        assert block["schema_version"] == telemetry.METRICS_SCHEMA_VERSION
+        assert block["counters"] == {"c": 2}
+        assert block["gauges"] == {"g": 4.5}
+        hist = block["histograms"]["h"]
+        assert hist["count"] == 1 and hist["min"] == 6.0 and hist["max"] == 6.0
+        assert hist["buckets"] == {"2": 1}
+        assert block["timers"]["t"]["count"] == 1
+        json.dumps(block)  # must be JSON-safe as-is
+
+    def test_empty_histogram_snapshot_has_null_bounds(self):
+        tel = telemetry.Telemetry()
+        tel.histogram("h")
+        hist = tel.metrics_block()["histograms"]["h"]
+        assert hist["count"] == 0
+        assert hist["min"] is None and hist["max"] is None
+
+    def test_merge_block_semantics(self):
+        a = telemetry.Telemetry()
+        a.count("c", 1)
+        a.gauge("g").set(1.0)
+        a.histogram("h").observe(2)
+        b = telemetry.Telemetry()
+        b.count("c", 4)
+        b.gauge("g").set(9.0)
+        b.histogram("h").observe(64)
+        with b.timer("t"):
+            pass
+        a.merge_block(b.metrics_block())
+        block = a.metrics_block()
+        assert block["counters"] == {"c": 5}  # counters add
+        assert block["gauges"] == {"g": 9.0}  # gauges: last writer wins
+        hist = block["histograms"]["h"]
+        assert hist["count"] == 2
+        assert hist["min"] == 2.0 and hist["max"] == 64.0
+        assert hist["buckets"] == {"1": 1, "6": 1}
+        assert block["timers"]["t"]["count"] == 1
+
+    def test_merge_skips_unknown_schema_and_none(self):
+        tel = telemetry.Telemetry()
+        tel.merge_block(None)
+        tel.merge_block({"schema_version": 999, "counters": {"c": 7}})
+        assert tel.metrics_block()["counters"] == {}
+
+    def test_merge_into_disabled_is_noop(self):
+        source = telemetry.Telemetry()
+        source.count("c")
+        disabled = telemetry.Telemetry(enabled=False)
+        disabled.merge_block(source.metrics_block())
+        assert disabled.metrics_block()["counters"] == {}
+
+    def test_merge_blocks_helper(self):
+        tel = telemetry.Telemetry()
+        tel.count("c", 2)
+        merged = telemetry.merge_blocks(
+            [None, tel.metrics_block(), tel.metrics_block()]
+        )
+        assert merged["counters"] == {"c": 4}
+        assert telemetry.merge_blocks([None, "junk"]) is None
+        assert telemetry.merge_blocks([]) is None
+
+    def test_render_metrics(self):
+        tel = telemetry.Telemetry()
+        tel.count("engine.batches", 3)
+        tel.gauge("engine.occupied_states").set(2)
+        tel.histogram("engine.batch_size").observe(10)
+        text = telemetry.render_metrics(tel.metrics_block())
+        assert "engine.batches=3" in text
+        assert "engine.occupied_states=2" in text
+        assert "engine.batch_size: count=1" in text
+
+    def test_catalog_lists_core_metrics(self):
+        names = {info.name for info in telemetry.CATALOG}
+        assert {
+            "engine.interactions",
+            "engine.batch_size",
+            "count_model.derivations",
+            "sampler.draws.numpy",
+            "scheduler.prefix_length",
+        } <= names
+        assert "heartbeat" in telemetry.EVENT_KINDS
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_emit_read_roundtrip(self, tmp_path):
+        log = telemetry.EventLog(tmp_path / "events.jsonl")
+        log.emit("run_start", protocol="p", n=10)
+        log.emit("run_end", converged=True)
+        log.close()
+        events = telemetry.read_events(tmp_path / "events.jsonl")
+        assert [e["event"] for e in events] == ["run_start", "run_end"]
+        assert events[0]["protocol"] == "p" and events[0]["n"] == 10
+        assert all("ts" in e and "pid" in e for e in events)
+
+    def test_kinds_filter_and_torn_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = telemetry.EventLog(path)
+        log.emit("cell_start", cell="abc")
+        log.emit("checkpoint", cell="abc")
+        log.close()
+        with open(path, "a") as fh:
+            fh.write('{"event": "cell_end", "trunc')  # SIGKILL mid-append
+        events = telemetry.read_events(path, kinds={"cell_start"})
+        assert [e["event"] for e in events] == ["cell_start"]
+
+    def test_read_missing_file(self, tmp_path):
+        assert telemetry.read_events(tmp_path / "absent.jsonl") == []
+
+    def test_context_stamped_on_events(self, tmp_path):
+        log = telemetry.EventLog(tmp_path / "events.jsonl")
+        tel = telemetry.Telemetry(
+            enabled=False, events=log, context={"cell": "h123"}
+        )
+        assert tel  # events channel makes a disabled registry truthy
+        tel.event("cell_start", label="x")
+        log.close()
+        (event,) = telemetry.read_events(log.path)
+        assert event["cell"] == "h123" and event["label"] == "x"
+
+    def test_event_without_sink_is_noop(self):
+        telemetry.Telemetry().event("run_start")  # must not raise
+
+    def test_pickle_carries_path_not_handle(self, tmp_path):
+        log = telemetry.EventLog(tmp_path / "events.jsonl")
+        log.emit("run_start")
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.path == log.path
+        clone.emit("run_end")
+        log.close()
+        clone.close()
+        assert len(telemetry.read_events(log.path)) == 2
+
+
+# ----------------------------------------------------------------------
+# resolve / ambient registry
+# ----------------------------------------------------------------------
+class TestResolve:
+    def test_resolve_values(self):
+        tel = telemetry.Telemetry()
+        assert telemetry.resolve(tel) is tel
+        assert telemetry.resolve(False) is telemetry.NULL
+        assert telemetry.resolve(True).enabled
+        assert telemetry.resolve(None) is telemetry.NULL  # ambient default
+        with pytest.raises(TypeError, match="telemetry"):
+            telemetry.resolve("yes")
+
+    def test_use_installs_and_restores(self):
+        tel = telemetry.Telemetry()
+        assert telemetry.current() is telemetry.NULL
+        with telemetry.use(tel) as installed:
+            assert installed is tel
+            assert telemetry.current() is tel
+            assert telemetry.resolve(None) is tel
+        assert telemetry.current() is telemetry.NULL
+
+    def test_use_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.use(telemetry.Telemetry()):
+                raise RuntimeError("boom")
+        assert telemetry.current() is telemetry.NULL
+
+
+# ----------------------------------------------------------------------
+# Engine threading
+# ----------------------------------------------------------------------
+class TestSimulateTelemetry:
+    def test_counts_run_collects_engine_metrics(self):
+        tel = telemetry.Telemetry()
+        result = run_tiny(tel)
+        assert result.converged
+        block = tel.metrics_block()
+        counters = block["counters"]
+        assert counters["engine.interactions"] == result.interactions
+        assert counters["engine.batches"] > 0
+        assert sum(
+            v for k, v in counters.items() if k.startswith("sampler.draws.")
+        ) > 0
+        assert block["histograms"]["engine.batch_size"]["count"] > 0
+        assert block["histograms"]["scheduler.prefix_length"]["count"] > 0
+        assert block["gauges"]["engine.occupied_states"] >= 1
+
+    def test_agent_run_counts_interactions_too(self):
+        tel = telemetry.Telemetry()
+        result = run_tiny(tel, backend="agents", scheduler="sequential")
+        assert tel.metrics_block()["counters"]["engine.interactions"] == (
+            result.interactions
+        )
+
+    def test_results_identical_with_and_without_telemetry(self):
+        plain = run_tiny(False)
+        metered = run_tiny(telemetry.Telemetry())
+        assert plain.interactions == metered.interactions
+        assert plain.parallel_time == metered.parallel_time
+        assert plain.output_opinion == metered.output_opinion
+
+    def test_run_events_and_heartbeats(self, tmp_path):
+        log = telemetry.EventLog(tmp_path / "events.jsonl")
+        # heartbeat_seconds=0 → one heartbeat per convergence check.
+        tel = telemetry.Telemetry(events=log, heartbeat_seconds=0.0)
+        run_tiny(tel)
+        log.close()
+        events = telemetry.read_events(log.path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "heartbeat" in kinds
+        start = events[0]
+        assert start["backend"] == "counts" and start["scheduler"] == "birthday"
+        assert events[-1]["converged"] is True
+
+    def test_disabled_run_emits_no_metrics_and_no_events(self):
+        tel = telemetry.Telemetry(enabled=False)
+        run_tiny(tel)
+        assert tel.metrics_block()["counters"] == {}
+
+
+class TestReplicateTelemetry:
+    def test_replicate_accumulates_across_replications(self):
+        single = telemetry.Telemetry()
+        run_tiny(single, seed=0)
+        triple = telemetry.Telemetry()
+        replicate(
+            ThreeStateMajority,
+            lambda i: PopulationConfig.from_counts([280, 120], shuffle=False),
+            replications=3,
+            backend="counts",
+            scheduler="birthday",
+            max_parallel_time=500.0,
+            telemetry=triple,
+        )
+        assert (
+            triple.metrics_block()["counters"]["engine.batches"]
+            > single.metrics_block()["counters"]["engine.batches"]
+        )
+
+    def test_parallel_snapshots_merge_like_serial(self):
+        kwargs = dict(
+            replications=2,
+            backend="counts",
+            scheduler="birthday",
+            max_parallel_time=500.0,
+        )
+        config_factory = _tiny_config
+        serial_tel = telemetry.Telemetry()
+        serial = replicate(
+            ThreeStateMajority, config_factory, telemetry=serial_tel, **kwargs
+        )
+        parallel_tel = telemetry.Telemetry()
+        parallel = replicate_parallel(
+            ThreeStateMajority,
+            config_factory,
+            workers=1,
+            telemetry=parallel_tel,
+            **kwargs,
+        )
+        assert [r.interactions for r in serial] == [
+            r.interactions for r in parallel
+        ]
+        assert (
+            serial_tel.metrics_block()["counters"]
+            == parallel_tel.metrics_block()["counters"]
+        )
+
+    def test_parallel_without_telemetry_unchanged(self):
+        results = replicate_parallel(
+            ThreeStateMajority,
+            _tiny_config,
+            replications=2,
+            workers=1,
+            backend="counts",
+            scheduler="birthday",
+            max_parallel_time=500.0,
+        )
+        assert all(r.converged for r in results)
+
+
+def _tiny_config(index):
+    return PopulationConfig.from_counts([280, 120], shuffle=False)
+
+
+# ----------------------------------------------------------------------
+# experiments.run
+# ----------------------------------------------------------------------
+def _tiny_experiment(scale):
+    result = run_tiny(None)  # None → the ambient registry from run()
+    return experiments_base.ExperimentReport(
+        experiment="TTEL",
+        title="telemetry test",
+        headers=["interactions"],
+        rows=[[result.interactions]],
+        checks={"converged": result.converged},
+    )
+
+
+@pytest.fixture
+def tiny_experiment(monkeypatch):
+    monkeypatch.setitem(experiments_base._REGISTRY, "TTEL", _tiny_experiment)
+    monkeypatch.setitem(experiments_base._TITLES, "TTEL", "telemetry test")
+    return "TTEL"
+
+
+class TestExperimentTelemetry:
+    def test_run_attaches_metrics_block(self, tiny_experiment):
+        report = experiments_base.run(tiny_experiment, telemetry=True)
+        assert report.passed
+        assert report.metrics is not None
+        assert report.metrics["counters"]["engine.interactions"] > 0
+
+    def test_run_without_telemetry_has_no_block(self, tiny_experiment):
+        report = experiments_base.run(tiny_experiment)
+        assert report.metrics is None
+
+    def test_ambient_registry_restored_after_run(self, tiny_experiment):
+        experiments_base.run(tiny_experiment, telemetry=True)
+        assert telemetry.current() is telemetry.NULL
+
+
+# ----------------------------------------------------------------------
+# Campaign integration
+# ----------------------------------------------------------------------
+class TestCampaignTelemetry:
+    def test_checkpoints_carry_metrics_beside_result(self, tmp_path):
+        grid = tiny_grid(ns=(48,), seeds=(0,))
+        status = run_campaign(grid, tmp_path, workers=1, telemetry=True)
+        assert status.done and not status.failed
+        store = CheckpointStore(tmp_path)
+        for h in grid.hashes():
+            payload = store.read_cell(h)
+            assert payload["metrics"]["counters"]["engine.interactions"] > 0
+            assert "metrics" not in payload["result"]
+
+    def test_telemetry_env_restored(self, tmp_path):
+        import os
+
+        from repro.campaign.runner import EVENTS_ENV, TELEMETRY_ENV
+
+        grid = tiny_grid(ns=(48,), seeds=(0,))
+        run_campaign(grid, tmp_path, workers=1, telemetry=True)
+        assert TELEMETRY_ENV not in os.environ
+        assert EVENTS_ENV not in os.environ
+
+    def test_lifecycle_events_streamed(self, tmp_path):
+        grid = tiny_grid(ns=(48,), seeds=(0, 1))
+        run_campaign(grid, tmp_path, workers=1, telemetry=True)
+        events = telemetry.read_events(tmp_path / EVENTS_FILENAME)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign_start" and kinds[-1] == "campaign_end"
+        assert kinds.count("cell_start") == 2
+        assert kinds.count("cell_end") == 2
+        assert kinds.count("checkpoint") == 2
+
+    def test_rollup_metrics_merged_outside_results(self, tmp_path):
+        grid = tiny_grid(ns=(48,), seeds=(0, 1))
+        run_campaign(grid, tmp_path, workers=1, telemetry=True)
+        rollup = build_rollup(grid, tmp_path)
+        assert rollup["passed"]
+        assert rollup["metrics"]["counters"]["engine.interactions"] > 0
+        assert "metrics" not in rollup["results"]
+
+    def test_results_bit_identical_with_and_without_telemetry(self, tmp_path):
+        grid = tiny_grid()
+        run_campaign(grid, tmp_path / "plain", workers=1)
+        run_campaign(grid, tmp_path / "metered", workers=1, telemetry=True)
+        plain = build_rollup(grid, tmp_path / "plain")
+        metered = build_rollup(grid, tmp_path / "metered")
+        assert deterministic_block(plain) == deterministic_block(metered)
+        assert plain["metrics"] is None
+        assert metered["metrics"] is not None
+
+    def test_status_reports_heartbeats_for_unfinished_cells(self, tmp_path):
+        grid = tiny_grid(ns=(48, 64), seeds=(0,))
+        run_campaign(grid, tmp_path, workers=1, max_cells=1, telemetry=True)
+        status = campaign_status(grid, tmp_path)
+        assert status.completed == 1
+        # Completed cells never show as in-flight, even though their
+        # events are in the stream.
+        assert status.heartbeats == {}
+        # A cell_start without a checkpoint (a worker killed mid-cell)
+        # surfaces with the age of its last event.
+        unfinished = [
+            h for h in grid.hashes()
+            if CheckpointStore(tmp_path).read_cell(h) is None
+        ]
+        log = telemetry.EventLog(tmp_path / EVENTS_FILENAME)
+        log.emit("cell_start", cell=unfinished[0])
+        log.close()
+        status = campaign_status(grid, tmp_path)
+        assert list(status.heartbeats) == [unfinished[0]]
+        assert 0.0 <= status.heartbeats[unfinished[0]] < 60.0
+        assert "in flight" in status.describe()
+
+    def test_status_without_events_file(self, tmp_path):
+        grid = tiny_grid(ns=(48,), seeds=(0,))
+        run_campaign(grid, tmp_path, workers=1)  # no telemetry
+        status = campaign_status(grid, tmp_path)
+        assert status.heartbeats == {}
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_telemetry_listing(self, capsys):
+        assert cli_main(["telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.interactions" in out
+        assert "sampler.draws.rejection" in out
+        assert "heartbeat" in out
+
+    def test_run_with_telemetry_flags(self, tiny_experiment, capsys, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        code = cli_main(
+            ["run", "TTEL", "--telemetry", "--events-out", str(events_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "engine.interactions" in out
+        kinds = {e["event"] for e in telemetry.read_events(events_path)}
+        assert {"run_start", "run_end"} <= kinds
+
+    def test_run_without_telemetry_prints_no_metrics(
+        self, tiny_experiment, capsys
+    ):
+        assert cli_main(["run", "TTEL"]) == 0
+        assert "metrics:" not in capsys.readouterr().out
