@@ -1,0 +1,155 @@
+"""Measure cold derivation vs warm replay through the table cache.
+
+The cache design promise (docs/CACHING.md) is twofold: a warm run is
+**bit-identical** to a cold one, and it skips the lift → interact →
+project derivation entirely — the dominant fixed cost of putting a
+tournament quotient on the count backend.  This script times the same
+improved-era-quotient run both ways in one process:
+
+* ``cold`` — ``table_cache=False``: every repeat derives its full
+  transition table from scratch (each ``simulate`` builds a fresh
+  model, so cold really is cold every time);
+* ``warm`` — ``table_cache=<primed store>``: every repeat replays the
+  persisted artifact and must perform **zero** derivations.
+
+Repeats are interleaved and scored by minimum wall time (the stable
+estimator under additive noise, as in ``telemetry_overhead.py``), and
+the cold/warm results are compared for exact equality.  The summary is
+written to ``benchmarks/reports/TABLE_CACHE.json`` in the shape
+``perf_diff.py`` tracks across CI runs.
+
+Usage::
+
+    python benchmarks/table_cache.py                 # report only
+    python benchmarks/table_cache.py --check         # assert the checks
+    python benchmarks/table_cache.py --scale full    # n = 8192
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.cache import TableStore
+from repro.core.improved import ImprovedAlgorithm
+from repro.engine import PopulationConfig, simulate
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: population size and timed repeats per scale
+SCALES = {"quick": (512, 3), "full": (8192, 3)}
+
+
+def _run(n: int, table_cache, tel) -> object:
+    config = PopulationConfig.from_counts(
+        [int(n * 0.65), n - int(n * 0.65)], shuffle=False
+    )
+    return simulate(
+        ImprovedAlgorithm(),
+        config,
+        seed=0,
+        backend="counts",
+        scheduler="matching",
+        max_parallel_time=400.0,
+        telemetry=tel,
+        table_cache=table_cache,
+    )
+
+
+def measure(
+    n: int, repeats: int, store: TableStore
+) -> Tuple[Dict[str, List[float]], Dict[str, object], Dict[str, Dict[str, float]]]:
+    """Interleaved cold/warm wall times, last results, per-mode metadata."""
+    # Prime the store (and numpy) outside the measured window; this is
+    # the one derivation a warm fleet would ever pay.
+    _run(n, table_cache=store, tel=False)
+    times: Dict[str, List[float]] = {"cold": [], "warm": []}
+    results: Dict[str, object] = {}
+    meta: Dict[str, Dict[str, float]] = {}
+    for _ in range(repeats):
+        for name, cache in (("cold", False), ("warm", store)):
+            tel = telemetry.Telemetry(enabled=True)
+            started = time.perf_counter()
+            results[name] = _run(n, table_cache=cache, tel=tel)
+            times[name].append(time.perf_counter() - started)
+            meta[name] = dict(tel.meta)
+    return times, results, meta
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=os.environ.get("REPRO_BENCH_SCALE", "quick"),
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument(
+        "--out", default=None, help="report path (default reports/TABLE_CACHE.json)"
+    )
+    args = parser.parse_args(argv)
+
+    n, default_repeats = SCALES[args.scale]
+    repeats = args.repeats if args.repeats is not None else default_repeats
+
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="table-cache-bench-") as tmp:
+        times, results, meta = measure(n, repeats, TableStore(tmp))
+    elapsed = time.perf_counter() - started
+
+    cold, warm = min(times["cold"]), min(times["warm"])
+    cold_meta, warm_meta = meta["cold"], meta["warm"]
+    stats = {
+        "n": n,
+        "repeats": repeats,
+        "cold_min_seconds": cold,
+        "warm_min_seconds": warm,
+        "speedup": cold / warm,
+        "cold_derive_seconds": cold_meta.get("count_model.derive_seconds", 0.0),
+        "derived_pairs": cold_meta.get("count_model.derived_pairs", 0.0),
+        "warm_pairs": warm_meta.get("count_model.warm_pairs", 0.0),
+    }
+    checks = {
+        "bit_identical": results["warm"] == results["cold"],
+        "warm_derives_nothing": (
+            warm_meta.get("count_model.cold_derivations", 1.0) == 0.0
+        ),
+        "warm_faster_than_cold": warm < cold,
+    }
+    payload = {
+        "experiment": "TABLE_CACHE",
+        "title": f"improved era quotient at n={n}: cold derivation vs warm replay",
+        "scale": args.scale,
+        "elapsed_seconds": elapsed,
+        "stats": stats,
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+
+    print(
+        f"cold {cold:.3f}s (derive {stats['cold_derive_seconds']:.3f}s, "
+        f"{stats['derived_pairs']:.0f} pairs)  warm {warm:.3f}s  "
+        f"speedup {stats['speedup']:.2f}x"
+    )
+    for name, ok in checks.items():
+        print(f"{'ok' if ok else 'FAIL'}: {name}")
+
+    out = pathlib.Path(args.out) if args.out else REPORTS_DIR / "TABLE_CACHE.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if args.check and not payload["passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ def _run_one(args) -> Tuple[RunResult, Optional[dict]]:
         max_parallel_time,
         check_every_parallel_time,
         telemetry_spec,
+        table_cache,
     ) = args
     protocol: Protocol = protocol_factory()
     config: BasePopulation = config_factory(index)
@@ -71,6 +72,7 @@ def _run_one(args) -> Tuple[RunResult, Optional[dict]]:
         max_parallel_time=budget,
         check_every_parallel_time=check_every_parallel_time,
         telemetry=tel if tel is not None else False,
+        table_cache=table_cache if table_cache is not None else False,
     )
     snapshot = tel.metrics_block() if tel is not None and tel.enabled else None
     if tel is not None and tel.events is not None:
@@ -92,6 +94,7 @@ def replicate_parallel(
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
     telemetry: "telemetry_module.TelemetryLike" = None,
+    table_cache=None,
 ) -> List[RunResult]:
     """Run seeded replications across a process pool.
 
@@ -108,6 +111,13 @@ def replicate_parallel(
     one, so the combined counters match a serial :func:`replicate` run;
     an attached :class:`~repro.telemetry.EventLog` is shared by path —
     workers append to the same JSONL file.
+
+    ``table_cache`` names a shared transition-table store (see
+    docs/CACHING.md).  The store crosses the pool boundary by directory
+    path; when the needed table is absent the first replication runs
+    inline in the parent so it derives (and persists) the table exactly
+    once, and the remaining workers start warm instead of all paying the
+    same derivation.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
@@ -118,6 +128,13 @@ def replicate_parallel(
     if tel:
         events_path = str(tel.events.path) if tel.events is not None else None
         telemetry_spec = (tel.enabled, events_path)
+    from ..cache.store import resolve_store
+
+    store = resolve_store(table_cache)
+    # The store crosses the pool boundary by path, not by handle:
+    # TableStore holds no open files, so each worker rebuilds a cheap
+    # handle on the same directory.
+    store_spec = str(store.directory) if store is not None else None
     jobs = [
         (
             protocol_factory,
@@ -131,11 +148,32 @@ def replicate_parallel(
             max_parallel_time,
             check_every_parallel_time,
             telemetry_spec,
+            store_spec,
         )
         for index, seed in enumerate(seeds_for(base_seed, replications))
     ]
+    prime_first = False
+    if store is not None and replications > 1 and not (
+        workers is not None and workers <= 1
+    ):
+        backend_name = backend if isinstance(backend, str) else getattr(backend, "name", None)
+        if backend_name == "counts":
+            from ..engine.backends.model import DynamicCountModel
+
+            probe = protocol_factory().count_model(config_factory(0))
+            if isinstance(probe, DynamicCountModel):
+                sig = probe.quotient_signature()
+                # Derive once in the parent when the store has no table
+                # yet: replication 0 runs inline and persists its table,
+                # and every pooled worker then starts warm instead of all
+                # racing through the same cold derivation.
+                prime_first = bool(sig) and not store.contains(sig)
     if replications == 1 or (workers is not None and workers <= 1):
         outcomes = [_run_one(job) for job in jobs]
+    elif prime_first:
+        first = _run_one(jobs[0])
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = [first, *pool.map(_run_one, jobs[1:])]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             outcomes = list(pool.map(_run_one, jobs))

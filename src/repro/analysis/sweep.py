@@ -37,6 +37,7 @@ def replicate(
     max_parallel_time: Optional[float] = None,
     check_every_parallel_time: float = 2.0,
     telemetry: "telemetry_module.TelemetryLike" = None,
+    table_cache=None,
 ) -> List[RunResult]:
     """Run ``replications`` seeded copies of one experimental point.
 
@@ -52,13 +53,19 @@ def replicate(
     count-space sampler policy (see :mod:`repro.engine.sampling`).
     ``telemetry`` threads a metrics/event registry through every run
     (all replications accumulate into the one registry; see
-    docs/OBSERVABILITY.md).
+    docs/OBSERVABILITY.md).  ``table_cache`` names a shared
+    transition-table store reused across the replications (see
+    docs/CACHING.md); resolving it once here keeps every run against the
+    same store handle.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
     if scheduler is not None and scheduler_factory is not None:
         raise ValueError("pass scheduler or scheduler_factory, not both")
     tel = telemetry_module.resolve(telemetry)
+    from ..cache.store import resolve_store
+
+    store = resolve_store(table_cache)
     results: List[RunResult] = []
     for i, seed in enumerate(seeds_for(base_seed, replications)):
         protocol = protocol_factory()
@@ -82,6 +89,7 @@ def replicate(
                 max_parallel_time=budget,
                 check_every_parallel_time=check_every_parallel_time,
                 telemetry=tel,
+                table_cache=store if store is not None else False,
             )
         )
     return results

@@ -1,0 +1,54 @@
+"""Shared transition-table cache: content-addressed, persistent artifacts.
+
+Derivation of a :class:`~repro.engine.backends.model.DynamicCountModel`'s
+transition table is a pure function of the protocol/config *quotient
+shape* — not of ``n``, the seed, or the process doing the deriving.  This
+package turns that observation into infrastructure:
+
+* :mod:`repro.cache.signature` — stable sha256 signatures over the
+  quotient parameters (schema-versioned; never ``n`` or seed).
+* :mod:`repro.cache.table` — :class:`TransitionTable`, the label-keyed,
+  pickle-free (npz + JSON header) snapshot models export and warm-start
+  from, bit-identically.
+* :mod:`repro.cache.store` — :class:`TableStore`, the on-disk store
+  (atomic merge-writes under an advisory lock, validation + quarantine
+  on load, LRU size cap) shared across workers, runs, and campaigns via
+  ``table_cache=`` / ``--table-cache`` / ``REPRO_TABLE_CACHE``.
+
+See docs/CACHING.md for the signature scheme, store layout, and
+invalidation rules.
+"""
+
+from .signature import TABLE_SCHEMA_VERSION, canonical_json, signature_of
+from .store import (
+    DEFAULT_MAX_BYTES,
+    MAX_BYTES_ENV,
+    TABLE_CACHE_ENV,
+    TableStore,
+    default_store_dir,
+    resolve_store,
+)
+from .table import (
+    TableCacheError,
+    TableFormatError,
+    TableSchemaError,
+    TableSignatureError,
+    TransitionTable,
+)
+
+__all__ = [
+    "TABLE_SCHEMA_VERSION",
+    "TABLE_CACHE_ENV",
+    "MAX_BYTES_ENV",
+    "DEFAULT_MAX_BYTES",
+    "TableCacheError",
+    "TableFormatError",
+    "TableSchemaError",
+    "TableSignatureError",
+    "TableStore",
+    "TransitionTable",
+    "canonical_json",
+    "default_store_dir",
+    "resolve_store",
+    "signature_of",
+]

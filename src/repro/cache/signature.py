@@ -1,0 +1,58 @@
+"""Content signatures for transition-table cache entries.
+
+A signature identifies a *quotient shape*: everything that determines the
+transition table a :class:`~repro.engine.backends.model.DynamicCountModel`
+would derive, and nothing that does not.  Two models with equal signatures
+derive byte-identical entries for any pair they both touch, so their
+tables may be merged and exchanged freely.
+
+What goes in:
+
+* the table schema version (so a layout change invalidates every entry),
+* a ``kind`` string naming the quotient family (``simple_quotient``,
+  ``era_quotient``, ``improved_era_quotient``, ``static``),
+* the raw algorithm parameter fields (``clock_gamma``, ``token_cap``,
+  ``le_factor``, ...) — n-independent, and a superset of anything the
+  production ``interact`` could consult,
+* the n-*derived* quantities the quotient actually bakes into states and
+  transitions (``psi``, ``init_threshold``, ``max_level``, ``rounds``,
+  ``origin``, ``hour_m``, ``ell_max``) plus ``k``.
+
+What stays out: ``n`` itself and the seed.  Transitions never read ``n``
+directly (only through the derived quantities above — the remaining
+``s.n`` uses in the core algorithms are rng-gated agent paths unreachable
+under derivation guards, and invariant checks), so every run whose
+derived parameters coincide shares one cache entry regardless of
+population size or randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+#: Version of the on-disk table layout *and* the signature document.  A
+#: bump orphans every existing store entry (loads reject the old version)
+#: and changes every signature, so stale artifacts can never be replayed
+#: into a newer model.
+TABLE_SCHEMA_VERSION = 1
+
+
+def _coerce(value: Any):
+    """JSON fallback for numpy scalars inside parameter dicts."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"unhashable signature field of type {type(value).__name__}")
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, numpy coerced."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_coerce)
+
+
+def signature_of(kind: str, params: Dict[str, Any]) -> str:
+    """sha256 hex digest over the canonical signature document."""
+    doc = {"schema": TABLE_SCHEMA_VERSION, "kind": str(kind), "params": params}
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()

@@ -1,0 +1,301 @@
+"""Content-addressed on-disk store for transition-table artifacts.
+
+Layout (everything under one cache directory, ``cache/`` by default —
+a sibling of ``campaigns/``, gitignored)::
+
+    <dir>/tables/<signature>.npz     one artifact per quotient shape
+    <dir>/quarantine/<name>.npz      entries that failed validation
+    <dir>/lock                       advisory flock for merge-writes
+
+Concurrency: ``put`` runs read → merge → atomic ``tmp + os.replace``
+under an exclusive ``fcntl`` flock, so parallel first-run workers
+accumulate the *union* of their derived pairs instead of losing updates
+(the campaign cache-reuse CI leg depends on that union being complete).
+Reads never lock — they see either the old or the new complete artifact.
+
+Robustness: any artifact that fails to load (truncated, foreign schema
+version, signature mismatch) is moved to ``quarantine/`` and reported as
+a miss; the writer then rebuilds it from scratch.  Hits touch the file
+mtime, and when the store grows past its size cap the oldest-touched
+artifacts are evicted (LRU).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from .. import telemetry as telemetry_module
+from .table import TableCacheError, TransitionTable
+
+try:  # advisory locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: Environment variable naming the store directory.  Campaign workers and
+#: CLI runs inherit it the same way ``REPRO_CAMPAIGN_TELEMETRY`` travels.
+TABLE_CACHE_ENV = "REPRO_TABLE_CACHE"
+
+#: Environment override for the store size cap (bytes).
+MAX_BYTES_ENV = "REPRO_TABLE_CACHE_MAX_BYTES"
+
+#: Default size cap: far above any real table footprint (quotient tables
+#: compress to kilobytes), small enough that a runaway store is bounded.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+def default_store_dir() -> pathlib.Path:
+    """The default store location: a ``cache/`` sibling of ``campaigns/``."""
+    return pathlib.Path("cache")
+
+
+class TableStore:
+    """Content-addressed store of :class:`TransitionTable` artifacts."""
+
+    # Pre-resolved no-op handles; attach_telemetry rebinds per instance.
+    _t_hits = telemetry_module.NULL_COUNTER
+    _t_misses = telemetry_module.NULL_COUNTER
+    _t_load_timer = telemetry_module.NULL_TIMER
+    _t_bytes = telemetry_module.NULL_GAUGE
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        *,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        if max_bytes is None:
+            max_bytes = int(os.environ.get(MAX_BYTES_ENV, DEFAULT_MAX_BYTES))
+        self.max_bytes = int(max_bytes)
+
+    def attach_telemetry(self, telemetry: telemetry_module.Telemetry) -> None:
+        self._t_hits = telemetry.counter("cache.hit")
+        self._t_misses = telemetry.counter("cache.miss")
+        self._t_load_timer = telemetry.timer("cache.load_seconds")
+        self._t_bytes = telemetry.gauge("cache.store_bytes")
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def tables_dir(self) -> pathlib.Path:
+        return self.directory / "tables"
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.directory / "quarantine"
+
+    def path_for(self, signature: str) -> pathlib.Path:
+        return self.tables_dir / f"{signature}.npz"
+
+    def contains(self, signature: str) -> bool:
+        """Cheap existence probe (no load, no validation, no metering)."""
+        return bool(signature) and self.path_for(signature).exists()
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, signature: str) -> Optional[TransitionTable]:
+        """Load the artifact for ``signature``; None (and a miss) if absent.
+
+        Invalid artifacts — torn writes, foreign schema versions, content
+        whose signature disagrees with its filename — are quarantined and
+        reported as misses rather than raised: a poisoned cache entry
+        must never take down a run that can simply re-derive.
+        """
+        if not signature:
+            return None
+        path = self.path_for(signature)
+        if not path.exists():
+            self._t_misses.inc()
+            return None
+        try:
+            with self._t_load_timer:
+                table = TransitionTable.load(path, expected_signature=signature)
+        except (TableCacheError, OSError):
+            self._quarantine(path)
+            self._t_misses.inc()
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:  # pragma: no cover - fs without utime permission
+            pass
+        self._t_hits.inc()
+        return table
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, table: TransitionTable, *, merge: bool = True) -> Optional[pathlib.Path]:
+        """Persist ``table``, merging into any existing entry by default.
+
+        The read → merge → replace sequence runs under an exclusive
+        advisory lock so concurrent writers union their entries instead
+        of overwriting each other; the final write is atomic
+        (``tmp + os.replace``), so readers never observe a torn file.
+        """
+        if not table.signature:
+            return None
+        self.tables_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(table.signature)
+        with self._locked():
+            if merge and path.exists():
+                try:
+                    existing = TransitionTable.load(
+                        path, expected_signature=table.signature
+                    )
+                except (TableCacheError, OSError):
+                    self._quarantine(path)
+                else:
+                    before = len(existing)
+                    merged = existing.merge(table)
+                    # Nothing new: keep the artifact byte-stable.
+                    table = None if len(merged) == before else merged
+            if table is not None:
+                tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+                try:
+                    table.save(tmp)
+                    os.replace(tmp, path)
+                finally:
+                    if tmp.exists():  # save/replace failed midway
+                        tmp.unlink()
+            self._t_bytes.set(float(self._total_bytes()))
+            self._evict(keep=path)
+        return path
+
+    def _locked(self):
+        return _StoreLock(self.directory / "lock")
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / f"{int(time.time())}-{path.name}")
+        except OSError:  # pragma: no cover - crossed with another process
+            pass
+
+    def _total_bytes(self) -> int:
+        return sum(
+            entry.stat().st_size for entry in self.tables_dir.glob("*.npz")
+        )
+
+    def _evict(self, *, keep: Optional[pathlib.Path] = None) -> None:
+        """Drop the oldest-touched artifacts until under the size cap."""
+        if self.max_bytes <= 0:
+            return
+        entries = sorted(
+            (
+                entry
+                for entry in self.tables_dir.glob("*.npz")
+                if keep is None or entry != keep
+            ),
+            key=lambda entry: entry.stat().st_mtime,
+        )
+        total = self._total_bytes()
+        for entry in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                size = entry.stat().st_size
+                entry.unlink()
+                total -= size
+            except OSError:  # pragma: no cover - crossed with another process
+                pass
+
+    # ------------------------------------------------------------------
+    # Introspection (CLI `cache list/info/clear`)
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """One summary dict per stored artifact (no loads)."""
+        rows = []
+        if self.tables_dir.is_dir():
+            for entry in sorted(self.tables_dir.glob("*.npz")):
+                stat = entry.stat()
+                rows.append(
+                    {
+                        "signature": entry.stem,
+                        "bytes": int(stat.st_size),
+                        "mtime": float(stat.st_mtime),
+                    }
+                )
+        return rows
+
+    def info(self, signature: str) -> Optional[Dict[str, Any]]:
+        """Full entry stats (loads and validates the artifact)."""
+        path = self.path_for(signature)
+        if not path.exists():
+            return None
+        table = TransitionTable.load(path, expected_signature=signature)
+        return {
+            "signature": signature,
+            "bytes": int(path.stat().st_size),
+            "mtime": float(path.stat().st_mtime),
+            "det_entries": len(table.det),
+            "rand_entries": len(table.rand),
+        }
+
+    def clear(self) -> int:
+        """Remove every artifact (tables and quarantine); return the count."""
+        removed = 0
+        for directory in (self.tables_dir, self.quarantine_dir):
+            if not directory.is_dir():
+                continue
+            for entry in directory.glob("*.npz"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover
+                    pass
+        return removed
+
+
+class _StoreLock:
+    """Exclusive advisory flock on the store; a no-op where unsupported."""
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path
+        self._handle = None
+
+    def __enter__(self) -> "_StoreLock":
+        if fcntl is not None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a+")
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+            except OSError:  # pragma: no cover - fs without flock
+                if self._handle is not None:
+                    self._handle.close()
+                self._handle = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+
+
+StoreLike = Union[TableStore, str, os.PathLike, bool, None]
+
+
+def resolve_store(spec: StoreLike) -> Optional[TableStore]:
+    """Coerce a ``table_cache=`` argument to a :class:`TableStore`.
+
+    ``None`` → the :data:`TABLE_CACHE_ENV` directory when set, else no
+    store (caching stays opt-in); ``False`` → no store even when the env
+    var is set; ``True`` → the default ``cache/`` directory; a string or
+    path → a store rooted there; a :class:`TableStore` → itself.
+    """
+    if isinstance(spec, TableStore):
+        return spec
+    if spec is None:
+        env = os.environ.get(TABLE_CACHE_ENV, "").strip()
+        return TableStore(env) if env else None
+    if spec is False:
+        return None
+    if spec is True:
+        return TableStore(default_store_dir())
+    return TableStore(spec)

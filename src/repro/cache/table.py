@@ -1,0 +1,275 @@
+"""The serializable transition-table artifact.
+
+A :class:`TransitionTable` is the portable form of everything a
+:class:`~repro.engine.backends.model.DynamicCountModel` derives lazily:
+deterministic pair outcomes and randomized-pair entries (outcome
+probabilities, outcome states, and the rng *factor* structure that count
+mode needs for bit-exact agent parity).  Entries are keyed by **state
+labels** (the quotient's hashable state tuples), never by interned ids —
+ids are an artifact of interning order, labels are canonical — so tables
+merge across processes and replay into any model of the same signature.
+
+Serialization is pickle-free by construction: ``save`` writes a
+compressed ``.npz`` whose only non-numeric member is a JSON header
+(schema version, signature, label universe) stored as a ``uint8`` byte
+array, and ``load`` passes ``allow_pickle=False``.  A cache directory can
+therefore be shared between mutually untrusting runs: the worst a
+corrupt or malicious entry can do is fail validation and be quarantined.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .signature import TABLE_SCHEMA_VERSION
+
+#: A hashable quotient state label (nested tuples of JSON scalars).
+Label = Any
+
+#: One randomized entry: (probs, out_u labels, out_v labels, factors),
+#: ``factors`` being ``((group, cum), ...)`` per independent rng factor.
+RandSpec = Tuple[np.ndarray, Tuple[Label, ...], Tuple[Label, ...],
+                 Tuple[Tuple[int, np.ndarray], ...]]
+
+
+class TableCacheError(Exception):
+    """Base class for table-cache artifact problems."""
+
+
+class TableSchemaError(TableCacheError):
+    """The artifact was written under a different table schema version."""
+
+
+class TableSignatureError(TableCacheError):
+    """The artifact's signature does not match the expected one."""
+
+
+class TableFormatError(TableCacheError):
+    """The artifact is truncated, corrupt, or structurally invalid."""
+
+
+def freeze_label(value: Any) -> Label:
+    """Recursively convert JSON lists back into hashable tuples."""
+    if isinstance(value, list):
+        return tuple(freeze_label(item) for item in value)
+    return value
+
+
+def thaw_label(value: Label) -> Any:
+    """Recursively convert label tuples into JSON-serializable lists."""
+    if isinstance(value, tuple):
+        return [thaw_label(item) for item in value]
+    return value
+
+
+class TransitionTable:
+    """In-memory label-keyed transition snapshot for one quotient shape."""
+
+    def __init__(self, signature: str = "") -> None:
+        self.signature = str(signature)
+        #: (label_u, label_v) -> (out_label_u, out_label_v)
+        self.det: Dict[Tuple[Label, Label], Tuple[Label, Label]] = {}
+        #: (label_u, label_v) -> RandSpec
+        self.rand: Dict[Tuple[Label, Label], RandSpec] = {}
+
+    def __len__(self) -> int:
+        return len(self.det) + len(self.rand)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransitionTable(signature={self.signature[:12]!r}..., "
+            f"det={len(self.det)}, rand={len(self.rand)})"
+        )
+
+    def merge(self, other: "TransitionTable") -> "TransitionTable":
+        """Fold ``other``'s entries into this table (same signature only).
+
+        Entries present in both must be identical by construction (both
+        were derived from the same quotient shape), so a plain union is
+        exact; last writer wins on the overlap.
+        """
+        if other.signature != self.signature:
+            raise TableSignatureError(
+                f"cannot merge table {other.signature[:12]!r} "
+                f"into {self.signature[:12]!r}"
+            )
+        self.det.update(other.det)
+        self.rand.update(other.rand)
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization (npz + JSON header, no pickle)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the table as a compressed, pickle-free ``.npz``."""
+        labels: List[Label] = []
+        index: Dict[Label, int] = {}
+
+        def intern(label: Label) -> int:
+            found = index.get(label)
+            if found is None:
+                found = index[label] = len(labels)
+                labels.append(label)
+            return found
+
+        # Deterministic artifact ordering keyed by repr: labels are
+        # heterogeneous tuples (ints, bools, None) that Python refuses to
+        # compare directly.
+        det_items = sorted(self.det.items(), key=lambda kv: repr(kv[0]))
+        rand_items = sorted(self.rand.items(), key=lambda kv: repr(kv[0]))
+        det_pairs = np.array(
+            [[intern(u), intern(v)] for (u, v), _ in det_items], dtype=np.int64
+        ).reshape(len(det_items), 2)
+        det_out = np.array(
+            [[intern(ou), intern(ov)] for _, (ou, ov) in det_items], dtype=np.int64
+        ).reshape(len(det_items), 2)
+
+        rand_pairs = np.array(
+            [[intern(u), intern(v)] for (u, v), _ in rand_items], dtype=np.int64
+        ).reshape(len(rand_items), 2)
+        probs_flat: List[np.ndarray] = []
+        out_u_flat: List[int] = []
+        out_v_flat: List[int] = []
+        offsets = [0]
+        factor_groups: List[int] = []
+        factor_offsets = [0]
+        factor_cum_flat: List[np.ndarray] = []
+        factor_cum_offsets = [0]
+        for _, (probs, out_u, out_v, factors) in rand_items:
+            probs_flat.append(np.asarray(probs, dtype=np.float64))
+            out_u_flat.extend(intern(label) for label in out_u)
+            out_v_flat.extend(intern(label) for label in out_v)
+            offsets.append(offsets[-1] + len(out_u))
+            for group, cum in factors:
+                factor_groups.append(int(group))
+                cum_arr = np.asarray(cum, dtype=np.float64)
+                factor_cum_flat.append(cum_arr)
+                factor_cum_offsets.append(factor_cum_offsets[-1] + cum_arr.size)
+            factor_offsets.append(len(factor_groups))
+
+        header = {
+            "schema_version": TABLE_SCHEMA_VERSION,
+            "signature": self.signature,
+            "labels": [thaw_label(label) for label in labels],
+            "det_entries": len(det_items),
+            "rand_entries": len(rand_items),
+        }
+        header_bytes = np.frombuffer(
+            json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        with open(path, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                header=header_bytes,
+                det_pairs=det_pairs,
+                det_out=det_out,
+                rand_pairs=rand_pairs,
+                rand_probs=(
+                    np.concatenate(probs_flat)
+                    if probs_flat
+                    else np.zeros(0, dtype=np.float64)
+                ),
+                rand_offsets=np.asarray(offsets, dtype=np.int64),
+                rand_out_u=np.asarray(out_u_flat, dtype=np.int64),
+                rand_out_v=np.asarray(out_v_flat, dtype=np.int64),
+                rand_factor_groups=np.asarray(factor_groups, dtype=np.int64),
+                rand_factor_offsets=np.asarray(factor_offsets, dtype=np.int64),
+                rand_factor_cum=(
+                    np.concatenate(factor_cum_flat)
+                    if factor_cum_flat
+                    else np.zeros(0, dtype=np.float64)
+                ),
+                rand_factor_cum_offsets=np.asarray(
+                    factor_cum_offsets, dtype=np.int64
+                ),
+            )
+
+    @classmethod
+    def load(
+        cls, path, *, expected_signature: Optional[str] = None
+    ) -> "TransitionTable":
+        """Read and validate an artifact written by :meth:`save`.
+
+        Raises :class:`TableSchemaError` on a schema-version mismatch,
+        :class:`TableSignatureError` when ``expected_signature`` is given
+        and differs, and :class:`TableFormatError` for anything torn or
+        structurally inconsistent.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                header = json.loads(bytes(data["header"]).decode("utf-8"))
+                det_pairs = np.asarray(data["det_pairs"], dtype=np.int64)
+                det_out = np.asarray(data["det_out"], dtype=np.int64)
+                rand_pairs = np.asarray(data["rand_pairs"], dtype=np.int64)
+                rand_probs = np.asarray(data["rand_probs"], dtype=np.float64)
+                rand_offsets = np.asarray(data["rand_offsets"], dtype=np.int64)
+                rand_out_u = np.asarray(data["rand_out_u"], dtype=np.int64)
+                rand_out_v = np.asarray(data["rand_out_v"], dtype=np.int64)
+                factor_groups = np.asarray(
+                    data["rand_factor_groups"], dtype=np.int64
+                )
+                factor_offsets = np.asarray(
+                    data["rand_factor_offsets"], dtype=np.int64
+                )
+                factor_cum = np.asarray(data["rand_factor_cum"], dtype=np.float64)
+                factor_cum_offsets = np.asarray(
+                    data["rand_factor_cum_offsets"], dtype=np.int64
+                )
+        except (TableCacheError, OSError):
+            raise
+        except Exception as exc:  # zip/json/key errors: a torn artifact
+            raise TableFormatError(f"unreadable table artifact {path}: {exc}")
+
+        if not isinstance(header, dict):
+            raise TableFormatError(f"table header is not an object in {path}")
+        version = header.get("schema_version")
+        if version != TABLE_SCHEMA_VERSION:
+            raise TableSchemaError(
+                f"table schema version {version!r} != {TABLE_SCHEMA_VERSION} "
+                f"in {path}"
+            )
+        signature = str(header.get("signature", ""))
+        if expected_signature is not None and signature != expected_signature:
+            raise TableSignatureError(
+                f"table signature {signature[:12]!r} != expected "
+                f"{expected_signature[:12]!r} in {path}"
+            )
+
+        try:
+            labels = [freeze_label(raw) for raw in header["labels"]]
+            table = cls(signature)
+            for (iu, iv), (ou, ov) in zip(det_pairs, det_out):
+                table.det[(labels[iu], labels[iv])] = (labels[ou], labels[ov])
+            for m, (iu, iv) in enumerate(rand_pairs):
+                lo, hi = int(rand_offsets[m]), int(rand_offsets[m + 1])
+                flo, fhi = int(factor_offsets[m]), int(factor_offsets[m + 1])
+                factors = tuple(
+                    (
+                        int(factor_groups[f]),
+                        factor_cum[
+                            int(factor_cum_offsets[f]):int(factor_cum_offsets[f + 1])
+                        ].copy(),
+                    )
+                    for f in range(flo, fhi)
+                )
+                table.rand[(labels[iu], labels[iv])] = (
+                    rand_probs[lo:hi].copy(),
+                    tuple(labels[i] for i in rand_out_u[lo:hi]),
+                    tuple(labels[i] for i in rand_out_v[lo:hi]),
+                    factors,
+                )
+        except (IndexError, KeyError, ValueError, TypeError) as exc:
+            raise TableFormatError(f"inconsistent table arrays in {path}: {exc}")
+        expected_counts = (header.get("det_entries"), header.get("rand_entries"))
+        if expected_counts != (len(table.det), len(table.rand)):
+            raise TableFormatError(
+                f"entry counts {len(table.det)}/{len(table.rand)} disagree "
+                f"with header {expected_counts} in {path}"
+            )
+        return table
+
+
+TableLike = Union[TransitionTable, None]

@@ -245,12 +245,33 @@ def render_rollup(rollup: Dict[str, Any]) -> str:
             f"  fit[{protocol}] vs {fit['driver']}: slope={fit['slope']:.2f} "
             f"r2={fit['r_squared']:.3f} ({fit['points']} points)"
         )
+    cache_line = _cache_summary(rollup.get("metrics") or {})
+    if cache_line:
+        lines.append(cache_line)
     checks = ", ".join(
         f"{name}: {'PASS' if ok else 'FAIL'}"
         for name, ok in rollup["results"]["checks"].items()
     )
     lines.append(f"checks: {checks}")
     return "\n".join(lines)
+
+
+def _cache_summary(metrics: Dict[str, Any]) -> str:
+    """One table-cache line when the merged metrics carry cache counters."""
+    counters = metrics.get("counters") or {}
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    if not hits and not misses:
+        return ""
+    line = f"table cache: {int(hits)} hits, {int(misses)} misses"
+    derivations = counters.get("count_model.derivations")
+    if derivations is not None:
+        line += f", {int(derivations)} cold pair derivations"
+    timers = metrics.get("timers") or {}
+    derive = timers.get("count_model.derive_seconds")
+    if derive:
+        line += f" ({derive['seconds']:.2f}s deriving)"
+    return line
 
 
 def deterministic_block(rollup: Dict[str, Any]) -> str:

@@ -34,6 +34,7 @@ import numpy as np
 
 from .. import telemetry as telemetry_module
 from ..analysis.sweep import _default_budget
+from ..cache.store import TABLE_CACHE_ENV, resolve_store
 from ..engine.simulation import RunResult, simulate
 from .checkpoint import CheckpointStore
 from .grid import PROTOCOLS, WORKLOADS, CampaignGrid, CellSpec, cell_hash
@@ -252,6 +253,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     cell_runner: Optional[Callable[[Mapping[str, Any]], Dict[str, Any]]] = None,
     telemetry: bool = False,
+    table_cache=None,
 ) -> CampaignStatus:
     """Drive every unfinished cell of ``grid`` to a checkpoint.
 
@@ -274,6 +276,14 @@ def run_campaign(
             the rollup ``results`` block are unaffected — the flag
             travels via :data:`TELEMETRY_ENV` / :data:`EVENTS_ENV`, not
             the cell specs.
+        table_cache: shared transition-table store reused across cells
+            and restarts (see docs/CACHING.md) — a
+            :class:`~repro.cache.TableStore`, a directory, ``True`` for
+            the default ``cache/`` location, ``False`` to disable, or
+            None to follow ``REPRO_TABLE_CACHE``.  Like the telemetry
+            flag it travels to pool workers via the environment
+            (:data:`~repro.cache.TABLE_CACHE_ENV`), so cell hashes are
+            unaffected and results stay bit-identical warm or cold.
 
     Returns:
         The final :class:`CampaignStatus`; ``status.failed`` maps cell
@@ -298,6 +308,17 @@ def run_campaign(
         }
         os.environ[TELEMETRY_ENV] = "1"
         os.environ[EVENTS_ENV] = events_path
+    if table_cache is not None:
+        # Same env-travel pattern as telemetry: cell specs (and hashes)
+        # must not change with caching on or off, so the store directory
+        # rides in REPRO_TABLE_CACHE for pool workers to pick up.
+        # ``table_cache=False`` pins it empty, overriding an inherited
+        # ambient store; ``None`` leaves any inherited value untouched.
+        table_store = resolve_store(table_cache)
+        saved_env[TABLE_CACHE_ENV] = os.environ.get(TABLE_CACHE_ENV)
+        os.environ[TABLE_CACHE_ENV] = (
+            str(table_store.directory) if table_store is not None else ""
+        )
     parent = telemetry_module.Telemetry(
         enabled=False, events=events, context={"campaign": grid.name}
     )

@@ -14,9 +14,14 @@ Usage::
     repro-experiments telemetry
     repro-experiments campaign list
     repro-experiments campaign run usd_lower_bound --scale full --workers 4
+    repro-experiments campaign run table_cache_smoke --table-cache
     repro-experiments campaign status usd_lower_bound --scale full
     repro-experiments campaign rollup usd_lower_bound --scale full \\
         --out benchmarks/reports/CAMPAIGN_usd_lower_bound.json
+    repro-experiments cache list
+    repro-experiments cache warm --n 256 --k 4
+    repro-experiments cache info <signature>
+    repro-experiments cache clear
 
 Each experiment prints the table recorded in EXPERIMENTS.md and a PASS /
 FAIL line per shape check (or a SKIPPED line when the requested
@@ -24,12 +29,14 @@ backend/sampler cannot execute it).  The same code paths back the pytest
 benchmarks under ``benchmarks/``.  ``campaign`` drives the sharded,
 checkpointed sweep layer (see docs/CAMPAIGNS.md): ``run`` is resumable
 and incremental — rerun it after a crash and it skips every cell whose
-checkpoint already exists.
+checkpoint already exists.  ``cache`` manages the shared
+transition-table store those runs read and write (see docs/CACHING.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -38,6 +45,7 @@ from typing import List, Optional
 from . import campaign as campaigns
 from . import experiments
 from . import telemetry as telemetry_module
+from .cache import TABLE_CACHE_ENV, TableCacheError, TableStore, resolve_store
 from .engine import backends, sampling
 from .engine import scheduler as schedulers
 
@@ -117,6 +125,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "guard trips) to this JSONL file"
         ),
     )
+    runner.add_argument(
+        "--table-cache",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help=(
+            "reuse derived transition tables from this shared store "
+            "(no value: the default cache/ directory; see docs/CACHING.md)"
+        ),
+    )
 
     campaign = sub.add_parser(
         "campaign",
@@ -174,6 +193,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "events.jsonl in the campaign directory"
         ),
     )
+    campaign_run.add_argument(
+        "--table-cache",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help=(
+            "share derived transition tables across cells and restarts "
+            "via this store (no value: the default cache/ directory; "
+            "see docs/CACHING.md)"
+        ),
+    )
 
     status_parser = campaign_sub.add_parser(
         "status", help="report checkpoint progress without running"
@@ -196,6 +227,76 @@ def _build_parser() -> argparse.ArgumentParser:
         "--allow-partial",
         action="store_true",
         help="roll up even when some cells have no checkpoint yet",
+    )
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect and manage the shared transition-table store",
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    def _cache_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--dir",
+            dest="directory",
+            default=None,
+            help=(
+                "store directory (default: $REPRO_TABLE_CACHE if set, "
+                "else cache/ under the cwd)"
+            ),
+        )
+
+    _cache_common(cache_sub.add_parser("list", help="list stored table artifacts"))
+    cache_info = cache_sub.add_parser(
+        "info", help="load one artifact and show its entry counts"
+    )
+    cache_info.add_argument("signature", help="artifact signature (see 'cache list')")
+    _cache_common(cache_info)
+    _cache_common(
+        cache_sub.add_parser(
+            "clear", help="remove every artifact (tables and quarantine)"
+        )
+    )
+    cache_warm = cache_sub.add_parser(
+        "warm",
+        help=(
+            "derive and persist tournament transition tables ahead of a "
+            "run (match --n/--k to the runs you plan)"
+        ),
+    )
+    _cache_common(cache_warm)
+    cache_warm.add_argument(
+        "--protocol",
+        dest="protocols",
+        action="append",
+        choices=("simple", "unordered", "improved"),
+        default=None,
+        help="protocol to warm (repeatable; default: all three)",
+    )
+    cache_warm.add_argument(
+        "--n",
+        dest="ns",
+        type=int,
+        action="append",
+        default=None,
+        help="population size to warm for (repeatable; default: 64)",
+    )
+    cache_warm.add_argument(
+        "--k",
+        dest="ks",
+        type=int,
+        action="append",
+        default=None,
+        help="opinion count to warm for (repeatable; default: 2)",
+    )
+    cache_warm.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help=(
+            "parallel-time budget per warm run (default: the protocol's "
+            "own estimate — runs to convergence)"
+        ),
     )
     return parser
 
@@ -227,6 +328,7 @@ def _campaign_main(args) -> int:
             retries=args.retries,
             progress=print,
             telemetry=args.telemetry,
+            table_cache=args.table_cache,
         )
         print(status.describe())
         return 0 if not status.failed and (status.done or args.max_cells) else 1
@@ -248,10 +350,100 @@ def _campaign_main(args) -> int:
     return 0 if rollup["passed"] else 1
 
 
+def _cache_store(args) -> TableStore:
+    if args.directory is not None:
+        return TableStore(args.directory)
+    return resolve_store(None) or resolve_store(True)
+
+
+def _cache_main(args) -> int:
+    store = _cache_store(args)
+    if args.cache_command == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"table cache {store.directory}: empty")
+            return 0
+        now = time.time()
+        total = 0
+        for entry in entries:
+            total += entry["bytes"]
+            age = max(now - entry["mtime"], 0.0)
+            print(
+                f"{entry['signature']}  {entry['bytes'] / 1024:8.1f} KiB  "
+                f"touched {age:8.0f}s ago"
+            )
+        print(
+            f"{len(entries)} artifacts, {total / 1024:.1f} KiB "
+            f"in {store.directory}"
+        )
+        return 0
+    if args.cache_command == "info":
+        try:
+            info = store.info(args.signature)
+        except TableCacheError as exc:
+            print(f"invalid artifact: {exc}", file=sys.stderr)
+            return 1
+        if info is None:
+            print(
+                f"no artifact {args.signature!r} in {store.directory}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"signature:    {info['signature']}")
+        print(f"bytes:        {info['bytes']}")
+        print(f"det entries:  {info['det_entries']}")
+        print(f"rand entries: {info['rand_entries']}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.directory}")
+        return 0
+    # warm: run each requested (protocol, n, k) cell once against the
+    # store so later runs (and campaigns) start from persisted tables.
+    from .campaign.grid import CellSpec
+    from .campaign.runner import _simulate_cell
+
+    protocols = args.protocols or ["simple", "unordered", "improved"]
+    ns = args.ns or [64]
+    ks = args.ks or [2]
+    saved = os.environ.get(TABLE_CACHE_ENV)
+    os.environ[TABLE_CACHE_ENV] = str(store.directory)
+    try:
+        for protocol in protocols:
+            for n in ns:
+                for k in ks:
+                    cell = CellSpec(
+                        protocol=protocol,
+                        workload="majority_counts",
+                        n=n,
+                        k=k,
+                        seed=0,
+                        backend="counts",
+                        scheduler="matching",
+                        workload_args={"bias": max(2, n // 8)},
+                        max_parallel_time=args.budget,
+                    )
+                    started = time.perf_counter()
+                    result = _simulate_cell(cell)
+                    pairs = result.extras.get("count_model.derived_pairs", 0)
+                    print(
+                        f"warmed {protocol} n={n} k={k}: {pairs:.0f} pairs "
+                        f"({time.perf_counter() - started:.1f}s)"
+                    )
+    finally:
+        if saved is None:
+            os.environ.pop(TABLE_CACHE_ENV, None)
+        else:
+            os.environ[TABLE_CACHE_ENV] = saved
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "campaign":
         return _campaign_main(args)
+    if args.command == "cache":
+        return _cache_main(args)
     if args.command == "list":
         titles = experiments.titles()
         for name in experiments.names():
@@ -334,6 +526,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.events_out is not None
         else None
     )
+    saved_cache_env = None
+    if args.table_cache is not None:
+        # Experiment functions never mention caching, so the store
+        # travels to every simulate/replicate underneath by environment
+        # — the same channel campaign workers use.
+        cache_store = resolve_store(args.table_cache)
+        saved_cache_env = os.environ.get(TABLE_CACHE_ENV)
+        os.environ[TABLE_CACHE_ENV] = (
+            str(cache_store.directory) if cache_store is not None else ""
+        )
     all_passed = True
     for name in requested:
         telemetry = None
@@ -362,6 +564,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         all_passed &= report.passed
     if events is not None:
         events.close()
+    if args.table_cache is not None:
+        if saved_cache_env is None:
+            os.environ.pop(TABLE_CACHE_ENV, None)
+        else:
+            os.environ[TABLE_CACHE_ENV] = saved_cache_env
     return 0 if all_passed else 1
 
 

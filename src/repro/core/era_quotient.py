@@ -97,11 +97,13 @@ mode's replay bit-for-bit.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cache.signature import signature_of
 from ..engine.backends.model import (
     DynamicCountModel,
     RandomEntry,
@@ -698,20 +700,30 @@ class UnorderedQuotientModel(DynamicCountModel):
         return factors
 
     def _derive_pairs(self, pairs: Sequence[Tuple[int, int]]) -> None:
-        det: List[Tuple[int, int]] = []
-        rand: List[Tuple[Tuple[int, int], List[_Factor]]] = []
+        # Pairs are processed strictly in the order given (the canonical
+        # sorted order fixed by _ensure_pairs): consecutive deterministic
+        # pairs flush as one batched _simulate_pairs call (batch interning
+        # is per-pair, so id assignment matches pair-by-pair derivation),
+        # and each randomized pair expands its joint arms in place.
+        # Warm-start replay reproduces exactly this per-pair interning
+        # sequence — that equality is the bit-identity contract.
+        det_run: List[Tuple[int, int]] = []
+
+        def flush() -> None:
+            if det_run:
+                for (i, j), (out_i, out_j) in zip(
+                    det_run, self._simulate_pairs(det_run, _GuardRng())
+                ):
+                    self._record_det(i, j, out_i, out_j)
+                det_run.clear()
+
         for pair in pairs:
             factors = self._random_factors(*pair)
-            if factors:
-                rand.append((pair, factors))
-            else:
-                det.append(pair)
-        if det:
-            for (i, j), (out_i, out_j) in zip(
-                det, self._simulate_pairs(det, _GuardRng())
-            ):
-                self._record_det(i, j, out_i, out_j)
-        for (i, j), factors in rand:
+            if not factors:
+                det_run.append(pair)
+                continue
+            flush()
+            i, j = pair
             out_u: List[int] = []
             out_v: List[int] = []
             probs: List[float] = []
@@ -737,6 +749,35 @@ class UnorderedQuotientModel(DynamicCountModel):
                     factors=[(f.group, f.cum) for f in factors],
                 ),
             )
+        flush()
+
+    def quotient_signature(self) -> Optional[str]:
+        """Signature over the era-quotient shape (never ``n`` or seed).
+
+        Transitions depend on ``n`` only through the derived quantities
+        hashed here (Ψ, thresholds, rounds, the tournament origin); the
+        raw algorithm parameters ride along as a conservative superset of
+        anything the production ``interact`` could consult.  The frame
+        (windowed vs fully-absolute) changes the lift and the labels, so
+        it is part of the shape.
+        """
+        return signature_of(self._signature_kind(), self._signature_params())
+
+    def _signature_kind(self) -> str:
+        return "era_quotient"
+
+    def _signature_params(self) -> Dict[str, object]:
+        return {
+            "params": dataclasses.asdict(self._algo.params),
+            "absolute": bool(self._absolute),
+            "k": int(self._k),
+            "rounds": int(self._rounds),
+            "origin": int(self._origin),
+            "psi": int(self._psi),
+            "init_threshold": int(self._init_threshold),
+            "token_cap": int(self._token_cap),
+            "max_level": int(self._max_level),
+        }
 
     # ------------------------------------------------------------------
     # Initial configuration
@@ -980,6 +1021,18 @@ class ImprovedQuotientModel(UnorderedQuotientModel):
         # Fresh agents: phase −c, one token, junta level 0, active, not
         # in the junta, clock position 0.
         return (PRUNING, -self._floor_c, opinion, 1, 0, True, False, 0)
+
+    def _signature_kind(self) -> str:
+        return "improved_era_quotient"
+
+    def _signature_params(self) -> Dict[str, object]:
+        params = super()._signature_params()
+        params.update(
+            floor_c=int(self._floor_c),
+            hour_m=int(self._hour_m),
+            ell_max=int(self._ell_max),
+        )
+        return params
 
     # -- Projection / lift of the pruning stage -------------------------
     def _init_tuple_of(self, s, a: int):

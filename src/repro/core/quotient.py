@@ -110,10 +110,12 @@ quotiented — ``SimpleAlgorithm.count_model`` returns None for them.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cache.signature import signature_of
 from ..engine.backends.model import (
     DynamicCountModel,
     RandomEntry,
@@ -624,31 +626,68 @@ class SimpleQuotientModel(DynamicCountModel):
         )
 
     def _derive_pairs(self, pairs: Sequence[Tuple[int, int]]) -> None:
-        det = [(i, j) for i, j in pairs if not self._is_reroll_pair(i, j)]
-        rand = [(i, j) for i, j in pairs if self._is_reroll_pair(i, j)]
-        if det:
-            for (i, j), (out_i, out_j) in zip(
-                det, self._simulate_pairs(det, _GuardRng())
-            ):
-                self._record_det(i, j, out_i, out_j)
-        if rand:
+        # Pairs are processed strictly in the order given (the canonical
+        # sorted order fixed by _ensure_pairs): consecutive deterministic
+        # pairs are flushed as one batched _simulate_pairs call (batch
+        # interning is per-pair, so the id assignment matches pair-by-pair
+        # derivation), and each randomized pair is expanded in place.
+        # Warm-start replay reproduces exactly this per-pair interning
+        # sequence — that equality is the bit-identity contract.
+        det_run: List[Tuple[int, int]] = []
+
+        def flush() -> None:
+            if det_run:
+                for (i, j), (out_i, out_j) in zip(
+                    det_run, self._simulate_pairs(det_run, _GuardRng())
+                ):
+                    self._record_det(i, j, out_i, out_j)
+                det_run.clear()
+
+        for i, j in pairs:
+            if not self._is_reroll_pair(i, j):
+                det_run.append((i, j))
+                continue
+            flush()
             # One pass per re-roll arm: uniforms below ⅓ make the released
             # collector a clock, the middle third a tracker, the top third
             # a player (the ROLE_REROLL_CUM thresholds).
             arms = [
-                self._simulate_pairs(rand, _ForcedUniformRng(value))
+                self._simulate_pairs([(i, j)], _ForcedUniformRng(value))[0]
                 for value in (1.0 / 6.0, 0.5, 5.0 / 6.0)
             ]
-            for m, (i, j) in enumerate(rand):
-                self._record_random(
-                    i,
-                    j,
-                    RandomEntry(
-                        probs=np.full(3, 1.0 / 3.0),
-                        out_u=[arms[arm][m][0] for arm in range(3)],
-                        out_v=[arms[arm][m][1] for arm in range(3)],
-                    ),
-                )
+            self._record_random(
+                i,
+                j,
+                RandomEntry(
+                    probs=np.full(3, 1.0 / 3.0),
+                    out_u=[arm[0] for arm in arms],
+                    out_v=[arm[1] for arm in arms],
+                ),
+            )
+        flush()
+
+    def quotient_signature(self) -> Optional[str]:
+        """Signature over the phase-quotient shape (never ``n`` or seed).
+
+        Transitions depend on ``n`` only through the derived quantities
+        below (Ψ, the init threshold, the level cap) — the production
+        ``interact`` never reads ``n`` on a derivation-reachable path —
+        so runs at different population sizes share one cache entry
+        whenever those quantities coincide.  The raw algorithm parameters
+        are hashed too, as a conservative superset of anything
+        ``interact`` could consult.
+        """
+        return signature_of("simple_quotient", self._signature_params())
+
+    def _signature_params(self) -> Dict[str, Any]:
+        return {
+            "params": dataclasses.asdict(self._algo.params),
+            "k": int(self._k),
+            "psi": int(self._psi),
+            "init_threshold": int(self._init_threshold),
+            "token_cap": int(self._token_cap),
+            "max_level": int(self._max_level),
+        }
 
     # ------------------------------------------------------------------
     # Initial configuration

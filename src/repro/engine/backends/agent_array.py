@@ -42,7 +42,11 @@ class AgentArrayBackend(Backend):
         check_invariants: bool = False,
         state_out: Optional[list] = None,
         telemetry: Optional[telemetry_module.Telemetry] = None,
+        table_cache=None,
     ) -> RunResult:
+        # table_cache is accepted for signature uniformity; per-agent
+        # execution never derives transition tables, so there is nothing
+        # to warm or persist.
         if is_count_native(config):
             raise BackendUnsupported(
                 f"agent-array backend needs the per-agent opinions the "

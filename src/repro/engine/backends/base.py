@@ -69,6 +69,7 @@ class Backend(ABC):
         check_invariants: bool = False,
         state_out: Optional[list] = None,
         telemetry: Optional[telemetry_module.Telemetry] = None,
+        table_cache=None,
     ) -> RunResult:
         """Run ``protocol`` on ``config`` until convergence, failure, or timeout.
 
@@ -76,6 +77,13 @@ class Backend(ABC):
         ``simulate()`` (the disabled :data:`repro.telemetry.NULL` by
         default); backends thread it into :func:`drive` and attach it to
         their samplers/models so hot loops hold pre-resolved handles.
+
+        ``table_cache`` names a shared transition-table store (a
+        :class:`repro.cache.TableStore`, a directory, True for the
+        default location, None to follow ``REPRO_TABLE_CACHE``).  Only
+        backends that materialize transition tables lazily use it; the
+        agent-array backend accepts and ignores it so callers can thread
+        the argument uniformly.
         """
 
 

@@ -53,6 +53,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ... import telemetry as telemetry_module
+from ...cache.store import StoreLike, resolve_store
 from .. import sampling
 from ..errors import BackendUnsupported, SimulationError
 from ..population import PopulationConfig, is_count_native
@@ -61,7 +62,7 @@ from ..recorder import Recorder
 from ..scheduler import Scheduler
 from ..simulation import RunResult
 from .base import Backend, build_run_result, drive, register, run_intervals
-from .model import BaseCountModel
+from .model import BaseCountModel, DynamicCountModel
 
 
 @dataclass
@@ -127,6 +128,7 @@ class CountBackend(Backend):
         check_invariants: bool = False,
         state_out: Optional[list] = None,
         telemetry: Optional[telemetry_module.Telemetry] = None,
+        table_cache: StoreLike = None,
     ) -> RunResult:
         model = protocol.count_model(config)
         if model is None:
@@ -135,6 +137,18 @@ class CountBackend(Backend):
                 "run it on the 'agents' backend instead"
             )
         tel = telemetry if telemetry is not None else telemetry_module.NULL
+        # Warm-start lazily materialized models from the shared table
+        # store (static models carry their whole tables inline — nothing
+        # to cache).  Warm entries are passive: the run stays bit-
+        # identical to a cold one, it just skips re-deriving.
+        store = resolve_store(table_cache)
+        signature = None
+        if store is not None and isinstance(model, DynamicCountModel):
+            signature = model.quotient_signature()
+        if signature:
+            if tel.enabled:
+                store.attach_telemetry(tel)
+            model.warm_start(store.get(signature))
         if tel.enabled:
             model.attach_telemetry(tel)
             self._sampler.attach_telemetry(tel)
@@ -154,15 +168,21 @@ class CountBackend(Backend):
         )
         semantics = getattr(scheduler, "count_semantics", None)
         if semantics == "pairwise":
-            return self._run_exact(protocol, config, model, scheduler, **kwargs)
-        if semantics == "batched":
-            return self._run_batched(protocol, config, model, scheduler, **kwargs)
-        raise BackendUnsupported(
-            f"count backend has no count-space law for "
-            f"{type(scheduler).__name__} (count_semantics={semantics!r}); "
-            f"use a scheduler declaring 'pairwise' or 'batched' count "
-            f"semantics (sequential, birthday, matching)"
-        )
+            result = self._run_exact(protocol, config, model, scheduler, **kwargs)
+        elif semantics == "batched":
+            result = self._run_batched(protocol, config, model, scheduler, **kwargs)
+        else:
+            raise BackendUnsupported(
+                f"count backend has no count-space law for "
+                f"{type(scheduler).__name__} (count_semantics={semantics!r}); "
+                f"use a scheduler declaring 'pairwise' or 'batched' count "
+                f"semantics (sequential, birthday, matching)"
+            )
+        if signature and model._derive_count:
+            # Merge-put only when this run derived something new; a fully
+            # warm run leaves the store byte-stable.
+            store.put(model.export_table())
+        return result
 
     # ------------------------------------------------------------------
     # Exact mode (sequential scheduler, per-agent state ids)
@@ -242,6 +262,7 @@ class CountBackend(Backend):
             failure=failure,
             recorder=recorder,
             state_out=state_out,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -332,6 +353,7 @@ class CountBackend(Backend):
             failure=failure,
             recorder=recorder,
             state_out=state_out,
+            telemetry=telemetry,
         )
 
     def _step_batch(
@@ -484,6 +506,7 @@ class CountBackend(Backend):
         failure: Optional[str],
         recorder: Optional[Recorder],
         state_out: Optional[list],
+        telemetry: Optional[telemetry_module.Telemetry] = None,
     ) -> RunResult:
         counts = state.counts
         if not converged and failure is None:
@@ -506,6 +529,19 @@ class CountBackend(Backend):
         if state_out is not None:
             state_out.append(state)
 
+        extras = model.progress(counts)
+        if isinstance(model, DynamicCountModel):
+            summary = model.summary()
+            # Only the warm/cold-invariant fields join extras (extras feed
+            # deterministic result digests — the campaign rollup's bit-
+            # identity checks); how this process paid for them (cold vs
+            # warm, wall seconds) goes to the report-metadata channel.
+            extras["count_model.derived_pairs"] = summary["derived_pairs"]
+            extras["count_model.interned_states"] = summary["interned_states"]
+            tel = telemetry if telemetry is not None else telemetry_module.NULL
+            for key, value in summary.items():
+                tel.meta_sum(f"count_model.{key}", value)
+
         return build_run_result(
             protocol,
             config,
@@ -513,7 +549,7 @@ class CountBackend(Backend):
             converged=converged,
             failure=failure,
             output_opinion=output_opinion,
-            extras=model.progress(counts),
+            extras=extras,
         )
 
 

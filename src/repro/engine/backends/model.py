@@ -45,6 +45,7 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import (
     Any,
@@ -60,6 +61,8 @@ from typing import (
 import numpy as np
 
 from ... import telemetry as telemetry_module
+from ...cache.signature import signature_of
+from ...cache.table import TransitionTable
 from ..errors import BackendUnsupported, ConfigurationError
 from ..population import BasePopulation, PopulationConfig, is_count_native
 
@@ -252,6 +255,19 @@ class BaseCountModel(ABC):
         derivation work to meter); :class:`DynamicCountModel` overrides
         it to meter lazy derivation.
         """
+
+    def quotient_signature(self) -> Optional[str]:
+        """Stable content signature of this model's transition shape.
+
+        Two models with equal signatures derive identical transition
+        entries for every pair they both touch, so their tables can be
+        exchanged through the :mod:`repro.cache` store.  ``None`` means
+        "unknown shape — never cache".  The base implementation returns
+        None; :class:`CountModel` hashes its materialized tables, and the
+        quotient models hash their quotient parameters (never ``n`` or
+        the seed).
+        """
+        return None
 
 
 class CountModel(BaseCountModel):
@@ -506,6 +522,43 @@ class CountModel(BaseCountModel):
         if self._check_invariants is not None:
             self._check_invariants(counts)
 
+    def quotient_signature(self) -> Optional[str]:
+        """Content hash over the materialized tables (static models).
+
+        Static models carry their whole transition structure in memory,
+        so the signature is simply a digest of it: labels, both delta
+        tables, the randomized entries (probabilities, outcomes, factor
+        structure), and the output map.  Computed lazily and memoized.
+        """
+        cached = getattr(self, "_signature_cache", None)
+        if cached is None:
+            cached = signature_of(
+                "static",
+                {
+                    "labels": [repr(label) for label in self.labels],
+                    "delta_u": self.delta_u.tolist(),
+                    "delta_v": self.delta_v.tolist(),
+                    "random": {
+                        f"{i},{j}": {
+                            "probs": entry.probs.tolist(),
+                            "out_u": entry.out_u.tolist(),
+                            "out_v": entry.out_v.tolist(),
+                            "factors": [
+                                [group, cum.tolist()]
+                                for group, cum in entry.factors
+                            ],
+                        }
+                        for (i, j), entry in self.random_entries.items()
+                    },
+                    "output_map": (
+                        None if self.output_map is None
+                        else self.output_map.tolist()
+                    ),
+                },
+            )
+            self._signature_cache = cached
+        return cached
+
 
 class DynamicCountModel(BaseCountModel):
     """A count model whose state space is materialized on demand.
@@ -556,6 +609,15 @@ class DynamicCountModel(BaseCountModel):
         self._det: Dict[Tuple[int, int], Tuple[int, int]] = {}
         #: (i, j) -> RandomEntry (outcome ids) for randomized pairs.
         self._rand: Dict[Tuple[int, int], RandomEntry] = {}
+        #: Passive (label_u, label_v) -> replay-spec dict from warm_start
+        #: snapshots; consulted (never required) by _ensure_pairs.
+        self._warm: Optional[Dict[Tuple[Any, Any], tuple]] = None
+        # Always-on derivation accounting feeding summary(); the
+        # telemetry handles above meter *cold* derivations only, which is
+        # what lets CI assert a warmed second run derived nothing.
+        self._derive_count = 0
+        self._warm_count = 0
+        self._derive_seconds = 0.0
 
     def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
         """Meter lazy derivation: count/seconds of derived pairs, interned states."""
@@ -607,24 +669,150 @@ class DynamicCountModel(BaseCountModel):
         missing = [
             p for p in pairs if p not in self._det and p not in self._rand
         ]
-        if missing:
-            with self._t_derive_timer:
-                self._derive_pairs(missing)
-            self._t_derivations.inc(len(missing))
-            self._t_states.set(len(self.labels))
-            still = [
-                p for p in missing if p not in self._det and p not in self._rand
-            ]
-            if still:
-                raise ConfigurationError(
-                    f"_derive_pairs left {len(still)} pairs underived "
-                    f"(first: {still[0]})"
+        if not missing:
+            return
+        # Canonical derivation order: sorted by state-id pair.  A warm
+        # model interns exactly the label sequence its cold twin would
+        # (replay mimics per-pair derivation order), so ids — and hence
+        # this sort — coincide on both sides, which is what makes warm
+        # runs bit-identical even in batched mode, where rng consumption
+        # depends on the count-vector layout.
+        missing.sort()
+        if self._warm is None:
+            self._derive_cold(missing)
+        else:
+            cold_run: List[Tuple[int, int]] = []
+            for pair in missing:
+                spec = self._warm.get(
+                    (self.labels[pair[0]], self.labels[pair[1]])
                 )
+                if spec is None:
+                    cold_run.append(pair)
+                    continue
+                if cold_run:
+                    self._derive_cold(cold_run)
+                    cold_run = []
+                self._replay_pair(pair, spec)
+                self._warm_count += 1
+            if cold_run:
+                self._derive_cold(cold_run)
+        self._t_states.set(len(self.labels))
+        still = [
+            p for p in missing if p not in self._det and p not in self._rand
+        ]
+        if still:
+            raise ConfigurationError(
+                f"_derive_pairs left {len(still)} pairs underived "
+                f"(first: {still[0]})"
+            )
+
+    def _derive_cold(self, run: List[Tuple[int, int]]) -> None:
+        """Run the subclass derivation hook over an ordered run of pairs."""
+        started = time.perf_counter()
+        with self._t_derive_timer:
+            self._derive_pairs(run)
+        self._derive_seconds += time.perf_counter() - started
+        self._derive_count += len(run)
+        self._t_derivations.inc(len(run))
+
+    def _replay_pair(self, pair: Tuple[int, int], spec: tuple) -> None:
+        """Materialize one pair from a warm snapshot spec.
+
+        Interning order matters: outputs are interned label by label in
+        exactly the order cold derivation would produce them — det pairs
+        intern (out_u, out_v); randomized pairs intern (out_u[m],
+        out_v[m]) per outcome — so the id assignment of a warm model
+        never diverges from its cold twin.
+        """
+        if spec[0] == "det":
+            self._record_det(
+                pair[0], pair[1], self.intern(spec[1]), self.intern(spec[2])
+            )
+            return
+        probs, out_u_labels, out_v_labels, factors = spec[1:]
+        out_u = np.empty(len(out_u_labels), dtype=np.int64)
+        out_v = np.empty(len(out_v_labels), dtype=np.int64)
+        for m, (label_u, label_v) in enumerate(zip(out_u_labels, out_v_labels)):
+            out_u[m] = self.intern(label_u)
+            out_v[m] = self.intern(label_v)
+        self._record_random(
+            pair[0],
+            pair[1],
+            RandomEntry(
+                probs, out_u, out_v,
+                factors=[(group, cum) for group, cum in factors],
+            ),
+        )
 
     @property
     def derived_pairs(self) -> int:
         """How many state pairs have been derived so far (for reporting)."""
         return len(self._det) + len(self._rand)
+
+    # ------------------------------------------------------------------
+    # Table snapshots (the repro.cache artifact boundary)
+    # ------------------------------------------------------------------
+    def export_table(self) -> TransitionTable:
+        """Snapshot every materialized pair as a label-keyed table.
+
+        The snapshot is independent of interning order (labels are
+        canonical; ids are not), so tables exported by different
+        processes of the same quotient shape merge exactly.
+        """
+        table = TransitionTable(self.quotient_signature() or "")
+        labels = self.labels
+        for (i, j), (out_i, out_j) in self._det.items():
+            table.det[(labels[i], labels[j])] = (labels[out_i], labels[out_j])
+        for (i, j), entry in self._rand.items():
+            table.rand[(labels[i], labels[j])] = (
+                entry.probs.copy(),
+                tuple(labels[m] for m in entry.out_u),
+                tuple(labels[m] for m in entry.out_v),
+                tuple((group, cum.copy()) for group, cum in entry.factors),
+            )
+        return table
+
+    def warm_start(self, table: Optional[TransitionTable]) -> "DynamicCountModel":
+        """Absorb a snapshot for passive replay; returns ``self``.
+
+        Warm entries are *consulted, never required*: derivation stays
+        lazy for pairs the snapshot missed, nothing is eagerly interned
+        (eager interning would change the id layout and hence batched-
+        mode rng consumption), and a warmed run is bit-identical to a
+        cold one.  Snapshots accumulate across calls.
+        """
+        if table is None:
+            return self
+        signature = self.quotient_signature()
+        if signature and table.signature and table.signature != signature:
+            raise ConfigurationError(
+                f"cannot warm-start from table {table.signature[:12]!r}...: "
+                f"model signature is {signature[:12]!r}..."
+            )
+        warm = dict(self._warm) if self._warm else {}
+        for key, (out_u, out_v) in table.det.items():
+            warm[key] = ("det", out_u, out_v)
+        for key, (probs, out_u, out_v, factors) in table.rand.items():
+            warm[key] = ("rand", probs, out_u, out_v, factors)
+        if warm:
+            self._warm = warm
+        return self
+
+    def summary(self) -> Dict[str, float]:
+        """Derivation/interning stats for run reports and telemetry meta.
+
+        ``derived_pairs`` / ``interned_states`` are deterministic across
+        warm and cold runs of one trajectory; ``cold_derivations`` /
+        ``warm_pairs`` / ``derive_seconds`` describe how this particular
+        process paid for them.
+        """
+        return {
+            "derived_pairs": float(self.derived_pairs),
+            "interned_states": float(len(self.labels)),
+            "cold_derivations": float(self._derive_count),
+            "warm_pairs": float(self._warm_count),
+            "derive_seconds": float(self._derive_seconds),
+        }
 
     # ------------------------------------------------------------------
     # Transition application

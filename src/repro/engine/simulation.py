@@ -78,6 +78,7 @@ def simulate(
     check_invariants: bool = False,
     state_out: Optional[list] = None,
     telemetry: "telemetry_module.TelemetryLike" = None,
+    table_cache=None,
 ) -> RunResult:
     """Run ``protocol`` on ``config`` until convergence, failure, or timeout.
 
@@ -112,6 +113,12 @@ def simulate(
             for a fresh one, or None for the ambient registry (disabled
             unless installed via :func:`repro.telemetry.use`).  See
             docs/OBSERVABILITY.md.
+        table_cache: shared transition-table store for dynamically derived
+            count models — a :class:`~repro.cache.TableStore`, a directory
+            path, ``True`` for the default ``cache/`` location, ``False``
+            to disable, or None to follow the ``REPRO_TABLE_CACHE``
+            environment variable.  Only the counts backend uses it.  See
+            docs/CACHING.md.
 
     Returns:
         A populated :class:`RunResult`.
@@ -152,6 +159,7 @@ def simulate(
         check_invariants=check_invariants,
         state_out=state_out,
         telemetry=tel,
+        table_cache=table_cache,
     )
     if tel:
         tel.event(

@@ -40,6 +40,10 @@ class ExperimentReport:
     #: Schema-versioned telemetry snapshot (``Telemetry.metrics_block``)
     #: when the run was telemetry-enabled; None otherwise.
     metrics: Optional[Dict[str, Any]] = None
+    #: Always-on run metadata (``Telemetry.meta`` sums): count-model
+    #: derivation/warm-start accounting and anything else the run
+    #: reports without full telemetry being enabled.
+    metadata: Dict[str, float] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -63,6 +67,11 @@ class ExperimentReport:
                 for name, ok in self.checks.items()
             )
             lines.append(f"checks: {checks}")
+        if self.metadata:
+            meta = ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(self.metadata.items())
+            )
+            lines.append(f"meta: {meta}")
         if self.notes:
             lines.append(self.notes)
         return "\n".join(lines)
@@ -168,6 +177,13 @@ def run(
             )
         kwargs["scheduler"] = scheduler
     tel = telemetry_module.resolve(telemetry)
+    if tel is telemetry_module.NULL:
+        # The shared NULL singleton must stay write-free, but the
+        # always-on meta channel (count-model derivation accounting)
+        # should land on the report even without --telemetry: swap in a
+        # fresh disabled registry — falsy like NULL, so every
+        # ``if tel:`` guard underneath behaves identically.
+        tel = telemetry_module.Telemetry(enabled=False)
     try:
         with telemetry_module.use(tel):
             report = fn(scale, **kwargs)
@@ -184,6 +200,8 @@ def run(
         )
     if tel.enabled:
         report.metrics = tel.metrics_block()
+    if tel.meta:
+        report.metadata = dict(sorted(tel.meta.items()))
     return report
 
 

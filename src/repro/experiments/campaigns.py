@@ -15,6 +15,10 @@ experiment registry in :mod:`repro.experiments.base`.  Three ship here:
   convergence time versus n, k, and initial bias on the count backend,
   fitted against :func:`repro.analysis.theory.usd_time_driver`.  Full
   scale reaches n = 10⁹ — the regime none of the papers could run.
+* ``table_cache_smoke`` — tournament quotients on the counts backend,
+  sized so every cell derives the same per-(protocol, k) transition
+  table.  CI's cache-reuse leg runs it twice against one shared store
+  and asserts the second pass re-derives nothing (see docs/CACHING.md).
 """
 
 from __future__ import annotations
@@ -75,6 +79,38 @@ def sqrt_k_sweep(scale: str) -> CampaignGrid:
         scale=scale,
         description="k ~ sqrt(n) opinion sweep, one_large_many_small workload",
         driver="simple_time",
+    )
+
+
+@register_campaign(
+    "table_cache_smoke",
+    "tournament quotients on counts: exercises the shared table cache",
+)
+def table_cache_smoke(scale: str) -> CampaignGrid:
+    """Small tournament-quotient grid for the shared transition-table cache.
+
+    Each (protocol, n, k) point has one quotient signature (thresholds
+    derive from n, so signatures differ across n) and two seeds sharing
+    it: a first pass against an empty store derives each table once and
+    its seed sibling starts warm; a second pass into a fresh checkpoint
+    directory must be all cache hits with zero derivations.  This
+    campaign checks cache behaviour, not convergence — tiny tournament
+    runs may time out, and that is fine.
+    """
+    _check_scale(scale)
+    ns = [64, 96] if scale == "quick" else [128, 256]
+    return CampaignGrid.from_axes(
+        "table_cache_smoke",
+        protocols=["simple", "unordered"],
+        ns=ns,
+        ks=[2],
+        seeds=[0, 1],
+        workload="majority_counts",
+        workload_axes=({"bias": 8},),
+        backend="counts",
+        scheduler="matching",
+        scale=scale,
+        description="table-cache smoke: simple + unordered quotients on counts",
     )
 
 

@@ -306,6 +306,12 @@ class Telemetry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._timers: Dict[str, Timer] = {}
+        #: Always-on report metadata (cold-path sums, e.g. the dynamic
+        #: count model's derivation summary).  Collected even when metrics
+        #: are disabled — ``experiments.run`` surfaces it in report
+        #: metadata without requiring ``--telemetry`` — but never on the
+        #: shared :data:`NULL` singleton.
+        self.meta: Dict[str, float] = {}
 
     def __bool__(self) -> bool:
         """Truthy when *any* channel is live (metrics or events)."""
@@ -349,6 +355,18 @@ class Telemetry:
     def count(self, name: str, amount: int = 1) -> None:
         """Cold-path convenience: resolve + increment in one call."""
         self.counter(name).inc(amount)
+
+    def meta_sum(self, name: str, value: float) -> None:
+        """Accumulate a report-metadata value (cold path, always on).
+
+        Unlike metric instruments, metadata flows even on a disabled
+        registry — it feeds run reports, not the metrics block — except
+        on the shared :data:`NULL` sink, which stays write-free so
+        un-instrumented runs never accumulate cross-run state.
+        """
+        if self is NULL:
+            return
+        self.meta[name] = self.meta.get(name, 0.0) + float(value)
 
     # ------------------------------------------------------------------
     # Events
@@ -530,6 +548,26 @@ CATALOG: List[MetricInfo] = [
         "count_model.interned_states",
         "gauge",
         "states interned by the dynamic model so far",
+    ),
+    MetricInfo(
+        "cache.hit",
+        "counter",
+        "transition-table store loads that served a valid artifact",
+    ),
+    MetricInfo(
+        "cache.miss",
+        "counter",
+        "transition-table store lookups with no (valid) artifact",
+    ),
+    MetricInfo(
+        "cache.load_seconds",
+        "timer",
+        "wall time loading transition-table artifacts from the store",
+    ),
+    MetricInfo(
+        "cache.store_bytes",
+        "gauge",
+        "total bytes of table artifacts in the store after the last put",
     ),
     MetricInfo(
         "sampler.draws.numpy",

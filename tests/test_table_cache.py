@@ -1,0 +1,449 @@
+"""Tests for the shared transition-table cache (repro.cache).
+
+The load-bearing guarantees:
+
+* **warm ≡ cold** — a seeded matrix over the three tournament quotients
+  and both count-mode scheduler families asserts that a run replaying a
+  cached table is bit-identical to a cold run (same RunResult, extras
+  included), and that a fully warm run performs zero pair derivations;
+* **artifact robustness** — round-trips are exact, truncated/corrupt
+  entries are quarantined and reported as misses, foreign schema
+  versions and mismatched signatures are rejected, never replayed;
+* **signatures** — stable across model instances, sensitive to every
+  quotient parameter (algorithm params, n-derived thresholds, k);
+* **store semantics** — merge unions entries, ``resolve_store`` honours
+  env/False/True, the size cap evicts oldest-touched artifacts first;
+* **execution layers** — ``replicate_parallel`` reuses a populated
+  store with zero derivations, and ``experiments.run`` reports the
+  count-model summary as report metadata without telemetry.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import telemetry as telemetry_module
+from repro.cache import (
+    TABLE_CACHE_ENV,
+    TableSchemaError,
+    TableSignatureError,
+    TableStore,
+    TransitionTable,
+    resolve_store,
+    signature_of,
+)
+from repro.cache import table as table_module
+from repro.core.common import SimpleParams
+from repro.core.improved import ImprovedAlgorithm
+from repro.core.simple import SimpleAlgorithm
+from repro.core.unordered import UnorderedAlgorithm
+from repro.engine import (
+    MatchingScheduler,
+    PopulationConfig,
+    SequentialScheduler,
+    simulate,
+)
+from repro.engine.errors import ConfigurationError
+
+
+def _make_table(signature="sig-a", pair=("x",)):
+    table = TransitionTable(signature)
+    u = (pair[0], 1, False)
+    v = (pair[0], 2, True)
+    table.det[(u, v)] = (v, u)
+    table.rand[(u, u)] = (
+        np.array([0.25, 0.75]),
+        (u, v),
+        (v, u),
+        ((3, np.array([0.25, 1.0])),),
+    )
+    return table
+
+
+def _quotient_model(factory=SimpleAlgorithm, counts=(22, 18), rng=1):
+    config = PopulationConfig.from_counts(list(counts), rng=rng)
+    return factory().count_model(config)
+
+
+class TestArtifact:
+    def test_round_trip_is_exact(self, tmp_path):
+        table = _make_table()
+        path = tmp_path / "t.npz"
+        table.save(path)
+        loaded = TransitionTable.load(path, expected_signature="sig-a")
+        assert loaded.det == table.det
+        assert set(loaded.rand) == set(table.rand)
+        probs, out_u, out_v, factors = loaded.rand[next(iter(table.rand))]
+        ref = table.rand[next(iter(table.rand))]
+        np.testing.assert_array_equal(probs, ref[0])
+        assert out_u == ref[1]
+        assert out_v == ref[2]
+        assert [g for g, _ in factors] == [g for g, _ in ref[3]]
+        np.testing.assert_array_equal(factors[0][1], ref[3][0][1])
+
+    def test_derived_table_round_trips(self, tmp_path):
+        model = _quotient_model()
+        model._ensure_pairs([(i, j) for i in range(2) for j in range(2)])
+        table = model.export_table()
+        assert len(table) > 0
+        path = tmp_path / "t.npz"
+        table.save(path)
+        loaded = TransitionTable.load(path)
+        assert loaded.signature == table.signature
+        assert loaded.det == table.det
+        assert set(loaded.rand) == set(table.rand)
+
+    def test_schema_version_mismatch_is_rejected(self, tmp_path, monkeypatch):
+        path = tmp_path / "t.npz"
+        monkeypatch.setattr(table_module, "TABLE_SCHEMA_VERSION", 999)
+        _make_table().save(path)
+        monkeypatch.undo()
+        with pytest.raises(TableSchemaError):
+            TransitionTable.load(path)
+
+    def test_signature_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "t.npz"
+        _make_table(signature="sig-a").save(path)
+        with pytest.raises(TableSignatureError):
+            TransitionTable.load(path, expected_signature="sig-b")
+
+    def test_truncated_artifact_is_quarantined_as_a_miss(self, tmp_path):
+        store = TableStore(tmp_path / "store")
+        tel = telemetry_module.Telemetry(enabled=True)
+        store.attach_telemetry(tel)
+        table = _make_table()
+        path = store.put(table)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert store.get("sig-a") is None
+        assert not path.exists()
+        assert list(store.quarantine_dir.glob("*.npz"))
+        counters = tel.metrics_block()["counters"]
+        assert counters["cache.miss"] == 1
+        assert counters.get("cache.hit", 0) == 0
+
+    def test_merge_unions_and_guards_signatures(self):
+        a = _make_table()
+        b = TransitionTable("sig-a")
+        b.det[(("z",), ("z",))] = (("z",), ("z",))
+        before = len(a)
+        a.merge(b)
+        assert len(a) == before + 1
+        with pytest.raises(TableSignatureError):
+            a.merge(_make_table(signature="sig-other"))
+
+
+class TestSignatures:
+    def test_stable_across_instances(self):
+        assert (
+            _quotient_model().quotient_signature()
+            == _quotient_model().quotient_signature()
+        )
+
+    @pytest.mark.parametrize(
+        "factory", [SimpleAlgorithm, UnorderedAlgorithm, ImprovedAlgorithm],
+        ids=["simple", "unordered", "improved"],
+    )
+    def test_sensitive_to_n_and_k(self, factory):
+        base = _quotient_model(factory).quotient_signature()
+        other_n = _quotient_model(factory, counts=(30, 26)).quotient_signature()
+        other_k = _quotient_model(
+            factory, counts=(16, 14, 10)
+        ).quotient_signature()
+        assert base and other_n and other_k
+        assert len({base, other_n, other_k}) == 3
+
+    def test_sensitive_to_algorithm_params(self):
+        base = _quotient_model().quotient_signature()
+        tweaked = PopulationConfig.from_counts([22, 18], rng=1)
+        model = SimpleAlgorithm(
+            SimpleParams(majority_level_slack=7)
+        ).count_model(tweaked)
+        assert model.quotient_signature() != base
+
+    def test_distinct_across_protocol_kinds(self):
+        signatures = {
+            _quotient_model(factory).quotient_signature()
+            for factory in (SimpleAlgorithm, UnorderedAlgorithm, ImprovedAlgorithm)
+        }
+        assert len(signatures) == 3
+
+    def test_signature_of_orders_keys_canonically(self):
+        assert signature_of("kind", {"a": 1, "b": 2}) == signature_of(
+            "kind", {"b": 2, "a": 1}
+        )
+        assert signature_of("kind", {"a": 1}) != signature_of("kind", {"a": 2})
+
+    def test_warm_start_rejects_foreign_table(self):
+        model = _quotient_model()
+        with pytest.raises(ConfigurationError):
+            model.warm_start(_make_table(signature="not-this-model"))
+
+
+class TestStore:
+    def test_resolve_semantics(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TABLE_CACHE_ENV, raising=False)
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+        monkeypatch.setenv(TABLE_CACHE_ENV, str(tmp_path / "env-store"))
+        via_env = resolve_store(None)
+        assert via_env is not None
+        assert via_env.directory == tmp_path / "env-store"
+        assert resolve_store(False) is None  # False beats the env var
+        monkeypatch.setenv(TABLE_CACHE_ENV, "")
+        assert resolve_store(None) is None
+        explicit = resolve_store(str(tmp_path / "here"))
+        assert explicit.directory == tmp_path / "here"
+        assert resolve_store(explicit) is explicit
+        assert resolve_store(True).directory.name == "cache"
+
+    def test_put_get_round_trip_and_touch(self, tmp_path):
+        store = TableStore(tmp_path)
+        table = _make_table()
+        store.put(table)
+        loaded = store.get("sig-a")
+        assert loaded is not None
+        assert loaded.det == table.det
+        assert store.get("missing-signature") is None
+
+    def test_put_merges_concurrent_unions(self, tmp_path):
+        store = TableStore(tmp_path)
+        store.put(_make_table())
+        extra = TransitionTable("sig-a")
+        extra.det[(("q",), ("q",))] = (("q",), ("q",))
+        store.put(extra)
+        merged = store.get("sig-a")
+        assert len(merged) == len(_make_table()) + 1
+
+    def test_fully_redundant_put_leaves_artifact_byte_stable(self, tmp_path):
+        store = TableStore(tmp_path)
+        path = store.put(_make_table())
+        stamp = (path.stat().st_mtime_ns, path.read_bytes())
+        store.put(_make_table())
+        assert (path.stat().st_mtime_ns, path.read_bytes()) == stamp
+
+    def test_eviction_drops_oldest_touched_first(self, tmp_path):
+        store = TableStore(tmp_path, max_bytes=1)
+        first = store.put(_make_table(signature="sig-old"))
+        os.utime(first, (1, 1))  # force a stale mtime
+        second = store.put(_make_table(signature="sig-new"))
+        assert not first.exists()
+        assert second.exists()
+
+    def test_entries_and_info_and_clear(self, tmp_path):
+        store = TableStore(tmp_path)
+        store.put(_make_table())
+        (entry,) = store.entries()
+        assert entry["signature"] == "sig-a"
+        info = store.info("sig-a")
+        assert info["det_entries"] == 1
+        assert info["rand_entries"] == 1
+        assert store.info("absent") is None
+        assert store.clear() == 1
+        assert store.entries() == []
+
+
+#: Warm-vs-cold parity matrix: every dynamically derived quotient family,
+#: both count-mode scheduler families (exact sequential, batched
+#: matching).  The store is shared per (protocol, scheduler) across the
+#: seed sweep, so later seeds genuinely replay persisted tables.
+PARITY_MATRIX = [
+    ("simple", SimpleAlgorithm, [([22, 18], 97), ([16, 14, 10], 7)]),
+    ("unordered", UnorderedAlgorithm, [([22, 18], 11), ([12, 28], 2)]),
+    ("improved", ImprovedAlgorithm, [([26, 14], 7), ([14, 26], 4)]),
+]
+
+PARITY_SEEDS = range(10)
+
+SCHEDULERS = {
+    "sequential": SequentialScheduler,
+    "matching": lambda: MatchingScheduler(0.25),
+}
+
+
+@pytest.fixture(scope="module")
+def shared_store_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("table-store")
+
+
+class TestWarmColdParity:
+    @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+    @pytest.mark.parametrize(
+        "name,factory,cases",
+        PARITY_MATRIX,
+        ids=[entry[0] for entry in PARITY_MATRIX],
+    )
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_warm_run_bit_identical_to_cold(
+        self, shared_store_dir, scheduler_name, name, factory, cases, seed
+    ):
+        counts, rng = cases[seed % len(cases)]
+        store = TableStore(shared_store_dir)
+        results = {}
+        for mode, cache in (("cold", False), ("warm", store)):
+            results[mode] = simulate(
+                factory(),
+                PopulationConfig.from_counts(list(counts), rng=rng),
+                seed=seed,
+                scheduler=SCHEDULERS[scheduler_name](),
+                backend="counts",
+                max_parallel_time=300.0,
+                table_cache=cache,
+            )
+        assert results["warm"] == results["cold"]
+
+    @pytest.mark.parametrize(
+        "name,factory,cases",
+        PARITY_MATRIX,
+        ids=[entry[0] for entry in PARITY_MATRIX],
+    )
+    def test_second_run_derives_nothing(self, tmp_path, name, factory, cases):
+        counts, rng = cases[0]
+        store = TableStore(tmp_path)
+
+        def run(telemetry):
+            return simulate(
+                factory(),
+                PopulationConfig.from_counts(list(counts), rng=rng),
+                seed=0,
+                scheduler=SequentialScheduler(),
+                backend="counts",
+                max_parallel_time=200.0,
+                table_cache=store,
+                telemetry=telemetry,
+            )
+
+        first_tel = telemetry_module.Telemetry(enabled=True)
+        first = run(first_tel)
+        first_counters = first_tel.metrics_block()["counters"]
+        assert first_counters["cache.miss"] == 1
+        assert first_counters["count_model.derivations"] > 0
+
+        second_tel = telemetry_module.Telemetry(enabled=True)
+        second = run(second_tel)
+        counters = second_tel.metrics_block()["counters"]
+        assert counters["cache.hit"] == 1
+        assert counters.get("count_model.derivations", 0) == 0
+        timers = second_tel.metrics_block()["timers"]
+        assert timers.get(
+            "count_model.derive_seconds", {"count": 0}
+        )["count"] == 0
+        assert second == first
+
+    def test_fully_warm_run_leaves_store_byte_stable(self, tmp_path):
+        store = TableStore(tmp_path)
+
+        def run():
+            return simulate(
+                SimpleAlgorithm(),
+                PopulationConfig.from_counts([22, 18], rng=97),
+                seed=0,
+                scheduler=SequentialScheduler(),
+                backend="counts",
+                max_parallel_time=200.0,
+                table_cache=store,
+            )
+
+        run()
+        (path,) = store.tables_dir.glob("*.npz")
+        stamp = path.read_bytes()
+        run()
+        # Content is untouched (hits only bump the mtime for LRU).
+        assert path.read_bytes() == stamp
+        assert [p.name for p in store.tables_dir.glob("*.npz")] == [path.name]
+
+
+# --- replicate_parallel: module-level factories (pool-picklable) -------
+
+
+def _parallel_protocol():
+    return SimpleAlgorithm()
+
+
+def _parallel_config(i):
+    return PopulationConfig.from_counts([22, 18], rng=100 + i)
+
+
+class TestExecutionLayers:
+    def _replicate(self, store_dir, telemetry=None):
+        from repro.analysis.parallel import replicate_parallel
+
+        return replicate_parallel(
+            _parallel_protocol,
+            _parallel_config,
+            replications=3,
+            workers=2,
+            scheduler="matching",
+            backend="counts",
+            max_parallel_time=150.0,
+            telemetry=telemetry,
+            table_cache=str(store_dir),
+        )
+
+    def test_replicate_parallel_populates_then_reuses(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = self._replicate(store_dir)
+        assert list(TableStore(store_dir).tables_dir.glob("*.npz"))
+        tel = telemetry_module.Telemetry(enabled=True)
+        second = self._replicate(store_dir, telemetry=tel)
+        counters = tel.metrics_block()["counters"]
+        assert counters["cache.hit"] >= 3
+        assert counters.get("count_model.derivations", 0) == 0
+        assert second == first
+
+    def test_replicate_serial_honours_store(self, tmp_path):
+        from repro.analysis.sweep import replicate
+
+        store_dir = tmp_path / "store"
+        first = replicate(
+            _parallel_protocol,
+            _parallel_config,
+            replications=2,
+            backend="counts",
+            max_parallel_time=150.0,
+            table_cache=str(store_dir),
+        )
+        tel = telemetry_module.Telemetry(enabled=True)
+        second = replicate(
+            _parallel_protocol,
+            _parallel_config,
+            replications=2,
+            backend="counts",
+            max_parallel_time=150.0,
+            telemetry=tel,
+            table_cache=str(store_dir),
+        )
+        assert second == first
+        counters = tel.metrics_block()["counters"]
+        assert counters["cache.hit"] == 2
+        assert counters.get("count_model.derivations", 0) == 0
+
+    def test_experiment_run_reports_metadata_without_telemetry(self):
+        from repro.experiments import base as experiments_base
+
+        name = "TCACHE_META_PROBE"
+        if name not in experiments_base._REGISTRY:
+
+            @experiments_base.register(name, "table-cache metadata probe")
+            def _probe(scale):
+                simulate(
+                    SimpleAlgorithm(),
+                    PopulationConfig.from_counts([22, 18], rng=1),
+                    seed=3,
+                    scheduler=SequentialScheduler(),
+                    backend="counts",
+                    max_parallel_time=120.0,
+                )
+                return experiments_base.ExperimentReport(
+                    experiment=name,
+                    title="probe",
+                    headers=["col"],
+                    rows=[[1]],
+                )
+
+        report = experiments_base.run(name)
+        assert report.metrics is None  # telemetry stayed off
+        assert report.metadata["count_model.cold_derivations"] > 0
+        assert report.metadata["count_model.derived_pairs"] > 0
+        assert "meta: " in report.render()
