@@ -19,7 +19,10 @@ Reports carrying a telemetry ``metrics`` block (runs with
 ``REPRO_BENCH_TELEMETRY=1`` or campaign rollups from ``--telemetry``
 runs) additionally get their hypergeometric *draw mix* compared: the
 share of ``sampler.draws.numpy`` / ``.splitting`` / ``.rejection`` among
-all draws.  A share shift beyond ``--mix-threshold`` emits a notice
+all draws, and — for runs on the adaptive ``auto`` policy — the
+``sampler.dispatch.numpy`` / ``.batched`` routing mix (how many work
+units inside each draw went to numpy's C generator vs the level-batched
+construction).  A share shift beyond ``--mix-threshold`` emits a notice
 annotation — a silent change in which sampler serves the draws is
 exactly the kind of routing regression wall-clock alone can hide.
 
@@ -47,6 +50,16 @@ MIN_BASELINE_SECONDS = 0.1
 #: Counter-name prefix identifying the per-method draw counters inside a
 #: telemetry ``metrics`` block (see ``repro.telemetry.CATALOG``).
 DRAW_PREFIX = "sampler.draws."
+
+#: Counter-name prefix of the adaptive policy's per-unit dispatch
+#: counters (numpy vs level-batched work units inside one draw/table).
+DISPATCH_PREFIX = "sampler.dispatch."
+
+#: Mix families diffed across runs: annotation label -> counter prefix.
+#: The draw family keeps unprefixed method names (its annotations
+#: predate the dispatch counters); dispatch shares are labelled
+#: ``dispatch:<target>``.
+MIX_FAMILIES = {"": DRAW_PREFIX, "dispatch:": DISPATCH_PREFIX}
 
 #: Ignore draw mixes built from fewer total draws than this: a handful
 #: of draws makes shares jump around without any routing change.
@@ -140,11 +153,15 @@ def _diff_campaign_cells(
     return regressions
 
 
-def draw_mix(report: dict) -> Optional[Dict[str, float]]:
-    """Per-method share of hypergeometric draws from a ``metrics`` block.
+def draw_mix(
+    report: dict, prefix: str = DRAW_PREFIX
+) -> Optional[Dict[str, float]]:
+    """Per-method share of one counter family from a ``metrics`` block.
 
-    Returns None when the report has no telemetry block, no
-    ``sampler.draws.*`` counters, or too few draws to be meaningful.
+    ``prefix`` selects the family (``sampler.draws.`` by default, or
+    ``sampler.dispatch.`` for the adaptive policy's per-unit routing).
+    Returns None when the report has no telemetry block, no counters
+    under the prefix, or too few counts to be meaningful.
     """
     metrics = report.get("metrics")
     if not isinstance(metrics, dict):
@@ -153,9 +170,9 @@ def draw_mix(report: dict) -> Optional[Dict[str, float]]:
     if not isinstance(counters, dict):
         return None
     draws = {
-        name[len(DRAW_PREFIX):]: float(value)
+        name[len(prefix):]: float(value)
         for name, value in counters.items()
-        if name.startswith(DRAW_PREFIX) and isinstance(value, (int, float))
+        if name.startswith(prefix) and isinstance(value, (int, float))
     }
     total = sum(draws.values())
     if total < MIN_MIX_DRAWS:
@@ -168,12 +185,15 @@ def diff_draw_mix(
     current: Dict[str, dict],
     mix_threshold: float = 0.1,
 ) -> List[dict]:
-    """Draw-mix shifts: methods whose share moved > ``mix_threshold``.
+    """Mix shifts: methods whose share moved > ``mix_threshold``.
 
-    Shares are absolute fractions of all ``sampler.draws.*`` counts, so a
-    threshold of 0.1 means "10 percentage points of draws changed which
-    sampler serves them".  Methods present in only one run count from a
-    zero share on the other side.
+    Every family in :data:`MIX_FAMILIES` is diffed independently: the
+    ``sampler.draws.*`` serving mix and the adaptive policy's
+    ``sampler.dispatch.*`` routing mix (methods of the latter are
+    labelled ``dispatch:<target>``).  Shares are absolute fractions
+    within one family, so a threshold of 0.1 means "10 percentage
+    points of that family changed method".  Methods present in only one
+    run count from a zero share on the other side.
     """
     if not 0.0 < mix_threshold <= 1.0:
         raise ValueError(f"mix threshold must be in (0, 1], got {mix_threshold}")
@@ -182,21 +202,23 @@ def diff_draw_mix(
         before, after = previous[name], current[name]
         if before.get("scale") != after.get("scale"):
             continue
-        mix_before, mix_after = draw_mix(before), draw_mix(after)
-        if mix_before is None or mix_after is None:
-            continue
-        for method in sorted(set(mix_before) | set(mix_after)):
-            share_before = mix_before.get(method, 0.0)
-            share_after = mix_after.get(method, 0.0)
-            if abs(share_after - share_before) > mix_threshold:
-                shifts.append(
-                    {
-                        "experiment": name,
-                        "method": method,
-                        "before_share": share_before,
-                        "after_share": share_after,
-                    }
-                )
+        for label, prefix in MIX_FAMILIES.items():
+            mix_before = draw_mix(before, prefix)
+            mix_after = draw_mix(after, prefix)
+            if mix_before is None or mix_after is None:
+                continue
+            for method in sorted(set(mix_before) | set(mix_after)):
+                share_before = mix_before.get(method, 0.0)
+                share_after = mix_after.get(method, 0.0)
+                if abs(share_after - share_before) > mix_threshold:
+                    shifts.append(
+                        {
+                            "experiment": name,
+                            "method": f"{label}{method}",
+                            "before_share": share_before,
+                            "after_share": share_after,
+                        }
+                    )
     return shifts
 
 

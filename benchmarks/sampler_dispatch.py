@@ -1,0 +1,278 @@
+"""Calibrate the adaptive sampler's per-row contingency dispatch.
+
+The ``"auto"`` policy routes each contingency row (and each splitting
+subtree of a single draw) to either numpy's C hypergeometric generator
+or the level-batched rejection construction, following the measured
+plan in :mod:`repro.engine.sampling.dispatch`.  This script re-measures
+that plan's two load-bearing claims on the current machine:
+
+* **in range, numpy wins at every width** — per-row numpy draws beat
+  the level-batched ``table()`` construction across the width grid, so
+  the shipped width crossover is ``None`` (route on pool totals only);
+* **auto dominates** — at every (policy × cell) the adaptive policy is
+  within run noise of the best single-minded policy, including the
+  beyond-10^9 cell where numpy is unsupported outright.
+
+Cells cover narrow/medium/wide square tables at in-range pool totals,
+one beyond-numpy table, and one beyond-numpy multicolor draw.  Repeats
+are scored by minimum wall time (the stable estimator under additive
+noise, as in ``telemetry_overhead.py``) and the summary is written to
+``benchmarks/reports/SAMPLER_DISPATCH.json`` in the shape
+``perf_diff.py`` tracks across CI runs — including the adaptive
+policy's ``sampler.dispatch.*`` routing counters.
+
+Usage::
+
+    python benchmarks/sampler_dispatch.py                 # report only
+    python benchmarks/sampler_dispatch.py --check         # assert checks
+    python benchmarks/sampler_dispatch.py --scale full    # wider grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.engine import sampling
+from repro.engine.errors import SamplerUnsupported
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: A cell's adaptive time must stay within this factor of the best
+#: single-minded policy — same noise allowance as EB6's dominance check.
+NOISE_FACTOR = 1.5
+
+#: Contingency cells per scale: (label, width, pool_total, rounds).
+#: Square width × width tables; the ``beyond`` cell exceeds numpy's
+#: 10^9 population bound, so the numpy policy is unsupported there.
+CELLS = {
+    "quick": [
+        ("narrow", 8, 10**6, 4),
+        ("medium", 64, 10**8, 2),
+        ("wide", 256, 8 * 10**8, 1),
+        ("beyond", 64, 4 * 10**9, 1),
+    ],
+    "full": [
+        ("narrow", 8, 10**6, 8),
+        ("medium", 64, 10**8, 4),
+        ("wide", 512, 8 * 10**8, 2),
+        ("xwide", 1024, 8 * 10**8, 1),
+        ("beyond", 256, 4 * 10**9, 1),
+    ],
+}
+
+#: Timed repeats per scale (minimum taken).
+REPEATS = {"quick": 3, "full": 5}
+
+#: The beyond-numpy draw cell: colors width, pool total, sample size.
+DRAW_CELL = (64, 4 * 10**9, 10**9)
+
+
+def _margins(width: int, total: int) -> np.ndarray:
+    """A deterministic skewed composition of ``total`` into ``width``."""
+    weights = np.arange(1, width + 1, dtype=np.float64)
+    margins = np.floor(total * weights / weights.sum()).astype(np.int64)
+    margins[-1] += total - int(margins.sum())
+    return margins
+
+
+def _time_contingency(
+    policy, margins: np.ndarray, total: int, repeats: int, rounds: int
+) -> Optional[float]:
+    """Min wall seconds for ``rounds`` tables, or None if unsupported."""
+    best = math.inf
+    for repeat in range(repeats):
+        rng = np.random.default_rng(1234 + repeat)
+        started = time.perf_counter()
+        try:
+            for _ in range(rounds):
+                policy.contingency(margins, margins, rng, total=total)
+        except SamplerUnsupported:
+            return None
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _time_draw(
+    policy, colors: np.ndarray, nsample: int, total: int, repeats: int
+) -> Optional[float]:
+    """Min wall seconds for one multicolor draw, or None if unsupported."""
+    best = math.inf
+    for repeat in range(repeats):
+        rng = np.random.default_rng(4321 + repeat)
+        started = time.perf_counter()
+        try:
+            policy.draw(colors, nsample, rng, total=total)
+        except SamplerUnsupported:
+            return None
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+#: Policies timed per cell.  ``splitting`` is excluded on purpose: the
+#: windowed-inversion oracle is strictly slower than ``rejection`` at
+#: every cell here (EB6 measures it), and timing it would multiply the
+#: CI cost of this step by ~3× without informing the crossover.
+POLICIES = ("auto", "numpy", "rejection")
+
+
+def measure(scale: str, repeats: int) -> dict:
+    """Time every (cell × policy), plus the beyond-numpy draw cell."""
+    tel = telemetry.Telemetry(enabled=True)
+    policies = {name: sampling.resolve(name) for name in POLICIES}
+    policies["auto"].attach_telemetry(tel)
+
+    cells: Dict[str, Dict[str, Optional[float]]] = {}
+    widths: Dict[str, int] = {}
+    for label, width, total, rounds in CELLS[scale]:
+        margins = _margins(width, total)
+        widths[label] = width
+        cells[label] = {
+            name: _time_contingency(policy, margins, total, repeats, rounds)
+            for name, policy in policies.items()
+        }
+
+    draw_width, draw_total, draw_nsample = DRAW_CELL
+    colors = _margins(draw_width, draw_total)
+    cells["draw_beyond"] = {
+        name: _time_draw(policy, colors, draw_nsample, draw_total, repeats)
+        for name, policy in policies.items()
+    }
+    counters = tel.metrics_block()["counters"]
+    return {"cells": cells, "widths": widths, "counters": counters}
+
+
+def _measured_width_crossover(measured: dict) -> Optional[int]:
+    """Smallest in-range width where batched construction beats numpy.
+
+    "Beats" means beyond the noise factor — a cell where the two are
+    within noise of each other is not evidence for a crossover.  The
+    level-batched construction is timed through the ``rejection``
+    policy, whose contingency path *is* ``LargeNHypergeometric.table``.
+    Returns None when numpy wins everywhere (the shipped default).
+    """
+    crossover = None
+    for label, width in sorted(
+        measured["widths"].items(), key=lambda item: item[1]
+    ):
+        cell = measured["cells"][label]
+        numpy_s, batched_s = cell.get("numpy"), cell.get("rejection")
+        if numpy_s is None or batched_s is None:
+            continue
+        if batched_s * NOISE_FACTOR < numpy_s:
+            crossover = width if crossover is None else min(crossover, width)
+    return crossover
+
+
+def build_payload(scale: str, measured: dict, elapsed: float) -> dict:
+    cells = measured["cells"]
+    counters = measured["counters"]
+    checks: Dict[str, bool] = {}
+    for label, timings in cells.items():
+        auto_s = timings.get("auto")
+        rivals = [
+            seconds
+            for name, seconds in timings.items()
+            if name != "auto" and seconds is not None
+        ]
+        checks[f"auto_within_noise[{label}]"] = (
+            auto_s is not None
+            and bool(rivals)
+            and auto_s <= NOISE_FACTOR * min(rivals)
+        )
+    beyond = [label for label in cells if label.startswith("beyond")]
+    checks["auto_covers_beyond_numpy"] = all(
+        cells[label]["numpy"] is None and cells[label]["auto"] is not None
+        for label in beyond + ["draw_beyond"]
+    )
+    checks["dispatch_mix_observed"] = (
+        counters.get("sampler.dispatch.numpy", 0) > 0
+        and counters.get("sampler.dispatch.batched", 0) > 0
+    )
+    measured_crossover = _measured_width_crossover(measured)
+    shipped = sampling.CONTINGENCY_WIDTH_CROSSOVER
+    checks["crossover_consistent"] = (measured_crossover is None) == (
+        shipped is None
+    )
+    stats = {
+        "cells": cells,
+        "widths": measured["widths"],
+        "measured_width_crossover": measured_crossover,
+        "shipped_width_crossover": shipped,
+        "dispatch_numpy_units": counters.get("sampler.dispatch.numpy", 0),
+        "dispatch_batched_units": counters.get("sampler.dispatch.batched", 0),
+        "noise_factor": NOISE_FACTOR,
+    }
+    return {
+        "experiment": "SAMPLER_DISPATCH",
+        "title": "adaptive contingency dispatch: per-cell policy times "
+        "and the measured width crossover",
+        "scale": scale,
+        "elapsed_seconds": elapsed,
+        "stats": stats,
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(CELLS),
+        default=os.environ.get("REPRO_BENCH_SCALE", "quick"),
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="report path (default reports/SAMPLER_DISPATCH.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else REPEATS[args.scale]
+
+    started = time.perf_counter()
+    measured = measure(args.scale, repeats)
+    payload = build_payload(
+        args.scale, measured, time.perf_counter() - started
+    )
+
+    for label, timings in payload["stats"]["cells"].items():
+        parts = ", ".join(
+            f"{name} {'n/a' if s is None else f'{s * 1e3:.2f}ms'}"
+            for name, s in sorted(timings.items())
+        )
+        print(f"{label}: {parts}")
+    print(
+        f"measured width crossover: "
+        f"{payload['stats']['measured_width_crossover']} "
+        f"(shipped {payload['stats']['shipped_width_crossover']})"
+    )
+    for name, ok in payload["checks"].items():
+        print(f"{'ok' if ok else 'FAIL'}: {name}")
+
+    out = (
+        pathlib.Path(args.out)
+        if args.out
+        else REPORTS_DIR / "SAMPLER_DISPATCH.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if args.check and not payload["passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,16 +54,36 @@ counts     matching      coarsest batches (B = n·fraction): the
 
 The sampler axis applies to the count backend's batched cells: every
 margin draw and contingency table goes through a
-:class:`~repro.engine.sampling.SamplerPolicy`.  ``"auto"`` (default)
-uses numpy's generator below its 10⁹ population bound and the
-O(1)-per-draw ``"rejection"`` sampler above it; ``"splitting"`` forces
-the windowed-inversion oracle; so there is **no population cap** —
-n = 10⁹ .. 10¹⁰ runs at count-vector cost.  At that scale pair the
-count backend with a count-native
-:class:`~repro.engine.population.CountConfig` so the config build is
-O(k) too.  Measured at n = 10⁹ (benchmark EB6): UnorderedAlgorithm
-k = 2 runs to *full convergence* in minutes under matching × rejection
-— PR 4 measured the same leg at 6210 s on the inversion sampler.
+:class:`~repro.engine.sampling.SamplerPolicy`:
+
+==========  =========================================================
+sampler     what serves a draw
+==========  =========================================================
+auto        (default) adaptive dispatch *inside* each draw: every
+            contingency row / splitting subtree whose pool is below
+            numpy's 10⁹ bound goes to numpy's C generator, the
+            out-of-range remainder to the level-batched rejection
+            construction, per the measured plan in
+            :mod:`repro.engine.sampling.dispatch` — within run noise
+            of the best single-minded policy in every EB6 cell
+            (``sampler.dispatch.*`` counters show the routing mix)
+numpy       numpy's C generator only; raises ``SamplerUnsupported``
+            at populations ≥ 10⁹
+rejection   O(1)-per-draw ratio-of-uniforms univariate draws under
+            level-batched binary splitting; any population
+splitting   the windowed-inversion oracle under lockstep binary
+            splitting; any population, slowest — the parity and
+            distribution reference
+==========  =========================================================
+
+So there is **no population cap** — n = 10⁹ .. 10¹⁰ runs at
+count-vector cost.  At that scale pair the count backend with a
+count-native :class:`~repro.engine.population.CountConfig` so the
+config build is O(k) too.  Measured at n = 10⁹ (benchmark EB6):
+UnorderedAlgorithm k = 2 runs to *full convergence* in minutes under
+matching × auto — PR 4 measured the same leg at 6210 s on the
+inversion sampler, and the adaptive policy beats plain rejection ~4×
+on the budget slice.
 
 Count-model support by protocol: static tables — three-state majority,
 USD, cancel/split, epidemic broadcast; dynamic quotients — Simple,
@@ -91,7 +111,7 @@ Select the three axes anywhere a simulation is launched::
     repro-experiments run EB3 --backend counts --sampler splitting
     repro-experiments run EB4                  # tournaments in count space
     repro-experiments run EB5                  # unordered/improved variants
-    repro-experiments run EB6 --sampler rejection   # scheduler × sampler grid
+    repro-experiments run EB6                  # scheduler × sampler grid
     repro-experiments run E1 --backend counts  # core E-series on counts
     repro-experiments run E4 --backend counts --scheduler birthday
     repro-experiments schedulers               # list the scheduler registry

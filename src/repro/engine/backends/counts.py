@@ -320,7 +320,7 @@ class CountBackend(Backend):
             size = min(spec.size, remaining)
             carry = last_outputs if spec.carry_first else None
             state.counts, last_outputs = self._step_batch(
-                model, state.counts, size, rng, carry=carry
+                model, state.counts, size, rng, carry=carry, population=n
             )
             if instrumented:
                 c_batches.inc()
@@ -363,6 +363,7 @@ class CountBackend(Backend):
         size: int,
         rng: np.random.Generator,
         carry: Optional[np.ndarray] = None,
+        population: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample and apply one batch of ``size`` disjoint interactions.
 
@@ -378,13 +379,19 @@ class CountBackend(Backend):
         All without-replacement draws (including the sparse contingency
         table of initiator/responder pair groups) go through the backend's
         sampler policy, so population size is bounded only by the policy
-        (the default ``"auto"`` is unbounded).
+        (the default ``"auto"`` is unbounded).  ``population`` is the
+        conserved agent total (``counts.sum()``, which the batch loop
+        knows without reducing): every pool total below follows from it
+        arithmetically and is threaded to the sampler as ``total=`` so
+        the hot loop never re-reduces a margin vector.
 
         Returns ``(new_counts, outputs)`` where ``outputs[s]`` counts the
         batch participants whose *post-transition* state is ``s`` — the
         collision pool of a following carried pair.
         """
         counts = model.ensure_capacity(counts)
+        if population is None:
+            population = int(counts.sum())
         first_i = first_j = None
         if carry is not None and size >= 1:
             first_i, first_j = self._carry_pair(counts, carry, rng)
@@ -392,14 +399,18 @@ class CountBackend(Backend):
         else:
             rest = size
         pool = counts
+        pool_total = population
         if first_i is not None:
             pool = counts.copy()
             pool[first_i] -= 1
             pool[first_j] -= 1
-        initiators = self._sampler.draw(pool, rest, rng)
-        responders = self._sampler.draw(pool - initiators, rest, rng)
+            pool_total -= 2
+        initiators = self._sampler.draw(pool, rest, rng, total=pool_total)
+        responders = self._sampler.draw(
+            pool - initiators, rest, rng, total=pool_total - rest
+        )
         pair_i, pair_j, sizes = self._sampler.contingency(
-            initiators, responders, rng
+            initiators, responders, rng, total=rest
         )
         self._t_pairs.observe(pair_i.size)
         participants = initiators + responders

@@ -1,21 +1,26 @@
 """Count-space random draws: large-population hypergeometric sampling.
 
 This subsystem owns every without-replacement draw the count backend
-makes.  Two layers:
+makes.  Three layers:
 
 * :mod:`~repro.engine.sampling.hypergeometric` —
   :class:`LargeNHypergeometric`, the custom sampler (windowed exact
   inverse-CDF univariate draws + recursive binary color-splitting) that
   stays exact-in-distribution at populations numpy rejects (n >= 10^9).
+* :mod:`~repro.engine.sampling.dispatch` — the measured crossover plan
+  (:func:`plan_rows`, :data:`CONTINGENCY_WIDTH_CROSSOVER`) deciding,
+  per contingency row or splitting subtree, whether numpy's C
+  generator or the level-batched construction is cheaper.
 * :mod:`~repro.engine.sampling.policy` — the :class:`SamplerPolicy`
   registry (``"numpy"``, ``"splitting"``, ``"rejection"``, ``"auto"``)
   deciding which sampler executes a given draw, threaded through
   ``simulate(..., backend="counts", sampler=...)`` and the CLI's
   ``--sampler`` flag.  ``"rejection"`` swaps the windowed inversion for
   the O(1)-per-draw ratio-of-uniforms univariate sampler; ``"auto"``
-  prefers it above numpy's 10⁹ population bound.
+  dispatches adaptively *inside* each draw via the crossover plan.
 """
 
+from .dispatch import CONTINGENCY_WIDTH_CROSSOVER, plan_rows
 from .hypergeometric import REJECTION_MIN, LargeNHypergeometric
 from .policy import (
     DEFAULT_SAMPLER,
@@ -34,6 +39,7 @@ from .policy import (
 
 __all__ = [
     "AutoSampler",
+    "CONTINGENCY_WIDTH_CROSSOVER",
     "DEFAULT_SAMPLER",
     "LargeNHypergeometric",
     "NUMPY_MAX_POPULATION",
@@ -45,6 +51,7 @@ __all__ = [
     "SplittingSampler",
     "available",
     "get",
+    "plan_rows",
     "register",
     "resolve",
 ]

@@ -1,0 +1,82 @@
+"""Measured dispatch plans for the adaptive (``"auto"``) sampler policy.
+
+The adaptive policy routes every unit of work — one contingency row, or
+one subtree of a multivariate splitting reduction — to whichever
+generator is cheaper for *that unit*:
+
+* **numpy's C generator** (``Generator.multivariate_hypergeometric``)
+  whenever the unit's pool total is inside numpy's range, and
+* the **level-batched rejection construction**
+  (:meth:`~repro.engine.sampling.hypergeometric.LargeNHypergeometric.table`
+  / :meth:`~repro.engine.sampling.hypergeometric.LargeNHypergeometric.
+  univariate`) for out-of-range totals or tables wider than the
+  measured crossover.
+
+Calibration (``benchmarks/sampler_dispatch.py``, numpy 2.4, reference
+CI hardware, 2026-08): per-row numpy beat the level-batched table at
+**every** in-range configuration measured — square tables from
+4×4 to 1024×1024 and skewed/sparse shapes up to 1024×16384, thin and
+heavy pools alike, by 5×–49×.  The batched construction only wins when
+a row's pool total is outside numpy's range.  The shipped
+:data:`CONTINGENCY_WIDTH_CROSSOVER` is therefore ``None`` (no in-range
+width routes to the batched path); the constant stays a constructor
+knob on :class:`~repro.engine.sampling.policy.AutoSampler` so the
+benchmark harness can re-measure it per machine and tests can force
+mixed dispatch at small scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Occupied-column count above which a whole in-range contingency table
+#: is routed to the level-batched construction instead of per-row numpy
+#: draws.  ``None`` disables the width route: on the reference hardware
+#: numpy's C generator won at every width measured (see module
+#: docstring), so only out-of-range pool totals route to the batched
+#: path by default.
+CONTINGENCY_WIDTH_CROSSOVER: Optional[int] = None
+
+
+def plan_rows(
+    margins: np.ndarray,
+    pool_total: int,
+    width: int,
+    *,
+    numpy_max: int,
+    width_crossover: Optional[int] = CONTINGENCY_WIDTH_CROSSOVER,
+) -> Tuple[np.ndarray, int]:
+    """Partition a contingency table's rows between the two generators.
+
+    ``margins`` are the occupied row margins, ``pool_total`` their sum
+    (the batch size), ``width`` the occupied column count.  Returns
+    ``(order, split)``: rows ``order[:split]`` must be drawn jointly by
+    the level-batched construction (the pool still ahead of them is at
+    or above ``numpy_max``, or the table is wider than the crossover);
+    rows ``order[split:]`` can go to numpy's C generator one row at a
+    time, in their natural order.
+
+    The batched prefix takes the *largest* margins first: each drawn row
+    leaves the pool, so spending the big rows while the pool is
+    out-of-range anyway shrinks it below ``numpy_max`` in the fewest
+    rows and hands the most rows to the cheaper generator.  When the
+    pool starts in range the plan is the identity with ``split == 0`` —
+    per-row numpy in natural order, bit-identical to the plain numpy
+    policy's contingency stream.
+    """
+    margins = np.asarray(margins, dtype=np.int64)
+    if margins.size == 0:
+        return np.arange(0), 0
+    if width_crossover is not None and width > width_crossover:
+        return np.arange(margins.size), margins.size
+    if pool_total < numpy_max:
+        return np.arange(margins.size), 0
+    order = np.argsort(-margins, kind="stable")
+    # Pool total still ahead of each planned row, in plan order.
+    ahead = pool_total - np.concatenate(
+        ([0], np.cumsum(margins[order][:-1]))
+    )
+    split = int((ahead >= numpy_max).sum())
+    return order, split

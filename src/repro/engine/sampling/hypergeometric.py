@@ -323,16 +323,16 @@ class LargeNHypergeometric:
         b = np.minimum(hi, mode + half)
         widths = b - a + 1
         buckets: dict = {}
-        if free.size <= 16:
-            buckets[0] = [(int(m), float(u)) for m, u in zip(free, uniforms)]
-        else:
-            # 4× width classes: few enough passes to amortize the per-call
-            # overhead, tight enough that narrow draws never pay for the
-            # widest window in the batch.
-            for pos, m in enumerate(free):
-                buckets.setdefault(
-                    (int(widths[m]).bit_length() + 1) // 2, []
-                ).append((int(m), float(uniforms[pos])))
+        # 4× width classes: few enough passes to amortize the per-call
+        # overhead, tight enough that narrow draws never pay for the
+        # widest window in the batch.  Small batches bucket too — the
+        # shared (M, width) grid is sized by the widest member, so even
+        # a 2-draw batch pairing one n ≈ 10⁹ draw with one tail draw
+        # would otherwise inflate the narrow draw's row by ~10⁵×.
+        for pos, m in enumerate(free):
+            buckets.setdefault(
+                (int(widths[m]).bit_length() + 1) // 2, []
+            ).append((int(m), float(uniforms[pos])))
         for bucket in buckets.values():
             rows = np.array([m for m, _ in bucket], dtype=np.int64)
             u = np.array([value for _, value in bucket], dtype=np.float64)

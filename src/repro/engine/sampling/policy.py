@@ -25,9 +25,21 @@ backends are (:mod:`repro.engine.backends.base`):
     fall back to the windowed inversion internally.
 
 ``"auto"`` (the default)
-    Per-draw dispatch: numpy below its population limit, rejection
-    above.  This is what lets ``simulate(..., backend="counts")`` run
-    unchanged from n = 10^2 to n = 10^10.
+    *Adaptive* dispatch inside every draw: numpy's C generator serves
+    each unit of work — one contingency row, one subtree of a
+    splitting reduction — whose pool total is in range, and the
+    level-batched rejection construction serves the rest
+    (:mod:`~repro.engine.sampling.dispatch` holds the measured
+    crossover plan).  An out-of-range draw is no longer all-or-nothing:
+    a few rejection splits spend the pool down below numpy's bound and
+    the cheap generator finishes the draw.  This is what lets
+    ``simulate(..., backend="counts")`` run unchanged from n = 10^2 to
+    n = 10^10 while matching the best forced policy in every cell
+    (benchmark EB6).
+
+Hot-path contract: every ``draw``/``contingency`` accepts a ``total=``
+keyword carrying the caller's precomputed pool total, so the per-batch
+loop never re-reduces a margin vector it already knows the sum of.
 
 Select a policy anywhere a count-space simulation is launched::
 
@@ -48,6 +60,7 @@ import numpy as np
 from ... import telemetry as telemetry_module
 from ..errors import SamplerUnsupported
 from ..registry import Registry
+from .dispatch import CONTINGENCY_WIDTH_CROSSOVER, plan_rows
 from .hypergeometric import LargeNHypergeometric
 
 #: Population bound of numpy's multivariate-hypergeometric generator
@@ -81,26 +94,44 @@ class SamplerPolicy(ABC):
         """Human-readable population range for CLI listings."""
         if self.max_population is None:
             return "any n"
-        return f"n < {self.max_population:.0e}".replace("e+0", "e")
+        text = f"{float(self.max_population):g}"
+        if "e" in text:
+            mantissa, _, exponent = text.partition("e")
+            text = f"{mantissa}e{int(exponent)}"
+        return f"n < {text}"
 
     @abstractmethod
     def draw(
-        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+        self,
+        colors: np.ndarray,
+        nsample: int,
+        rng: np.random.Generator,
+        *,
+        total: Optional[int] = None,
     ) -> np.ndarray:
-        """Sample ``nsample`` balls without replacement; per-color counts."""
+        """Sample ``nsample`` balls without replacement; per-color counts.
+
+        ``total`` is the caller's precomputed ``colors.sum()``; when
+        given, implementations must not re-reduce the vector — the count
+        backend's batch loop knows every pool total arithmetically and
+        this call sits on the hottest path it has.
+        """
 
     def contingency(
         self,
         initiators: np.ndarray,
         responders: np.ndarray,
         rng: np.random.Generator,
+        *,
+        total: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Sample the initiator × responder contingency table, sparsely.
 
         Given per-state margins (``initiators`` and ``responders`` sum to
-        the same batch size), draws how many interaction pairs fall on
-        each (initiator state, responder state) combination under a
-        uniform random pairing — the table is the r×c multivariate
+        the same batch size — pass it as ``total`` to skip the
+        reduction), draws how many interaction pairs fall on each
+        (initiator state, responder state) combination under a uniform
+        random pairing — the table is the r×c multivariate
         hypergeometric given its margins, built by iterated MVH draws.
         Returns ``(pair_i, pair_j, sizes)`` triplets for the non-empty
         cells only, never materializing the dense ``(S, S)`` table — with
@@ -124,14 +155,16 @@ class SamplerPolicy(ABC):
         else:
             outer, inner = initiators, responders
         pool = inner[cols].copy()
+        remaining = int(total) if total is not None else int(pool.sum())
         pair_a, pair_b, sizes = [], [], []
         for m, a in enumerate(rows):
             want = int(outer[a])
             if m == len(rows) - 1:
                 row = pool  # the leftover pool is exactly this row
             else:
-                row = self.draw(pool, want, rng)
+                row = self.draw(pool, want, rng, total=remaining)
                 pool = pool - row
+                remaining -= want
             hit = np.flatnonzero(row)
             pair_a.append(np.full(hit.size, a, dtype=np.int64))
             pair_b.append(cols[hit])
@@ -160,17 +193,26 @@ class NumpySampler(SamplerPolicy):
         self._t_draws = telemetry.counter("sampler.draws.numpy")
 
     def draw(
-        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+        self,
+        colors: np.ndarray,
+        nsample: int,
+        rng: np.random.Generator,
+        *,
+        total: Optional[int] = None,
     ) -> np.ndarray:
-        self._t_draws.inc()
-        total = int(np.asarray(colors).sum())
+        if total is None:
+            total = int(np.asarray(colors).sum())
         if not self.supports(total):
+            # Raising draws are not served draws: the counter must stay
+            # untouched or perf_diff's draw-mix shares drift on every
+            # probe that falls through to another policy.
             raise SamplerUnsupported(
                 f"sampler policy 'numpy' is limited to populations below "
                 f"{self.max_population} by numpy's multivariate-"
                 f"hypergeometric generator (got population {total}); use "
                 f"sampler='splitting' or sampler='auto' instead"
             )
+        self._t_draws.inc()
         return rng.multivariate_hypergeometric(colors, nsample)
 
 
@@ -191,12 +233,22 @@ class SplittingSampler(SamplerPolicy):
             window_sds=window_sds, univariate_method=self.univariate_method
         )
 
+    @property
+    def hypergeometric(self) -> LargeNHypergeometric:
+        """The inner large-n sampler (shared by the adaptive policy)."""
+        return self._sampler
+
     def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
         """Forward to the inner large-n sampler (it holds the counters)."""
         self._sampler.attach_telemetry(telemetry)
 
     def draw(
-        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+        self,
+        colors: np.ndarray,
+        nsample: int,
+        rng: np.random.Generator,
+        *,
+        total: Optional[int] = None,
     ) -> np.ndarray:
         return self._sampler.multivariate(colors, nsample, rng)
 
@@ -205,6 +257,8 @@ class SplittingSampler(SamplerPolicy):
         initiators: np.ndarray,
         responders: np.ndarray,
         rng: np.random.Generator,
+        *,
+        total: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Whole-table sampling, all tree levels batched.
 
@@ -214,7 +268,8 @@ class SplittingSampler(SamplerPolicy):
         one multivariate draw per occupied initiator state — the
         difference between milliseconds and minutes per batch for the
         tournament quotient models, whose occupied state count runs into
-        the hundreds.
+        the hundreds.  (``total`` is accepted for interface parity; the
+        level construction needs only the margins.)
         """
         rows = np.flatnonzero(initiators)
         cols = np.flatnonzero(responders)
@@ -248,46 +303,210 @@ class RejectionSampler(SplittingSampler):
 
 
 class AutoSampler(SamplerPolicy):
-    """Per-draw dispatch: numpy when in range, rejection beyond."""
+    """Adaptive dispatch: numpy per in-range unit, rejection beyond.
+
+    Unlike the all-or-nothing dispatch this policy replaced, the choice
+    is made per *unit of work* inside a single draw:
+
+    * ``draw`` splits an out-of-range pool binarily (one O(1) rejection
+      univariate per split) only until each sub-pool total is inside
+      numpy's range, then serves every sub-pool with one call to
+      numpy's C generator — a handful of splits instead of ``k − 1``.
+    * ``contingency`` partitions the table's rows by
+      :func:`~repro.engine.sampling.dispatch.plan_rows`: the largest
+      margins are drawn jointly by the level-batched construction while
+      the leftover pool is out of range, and every remaining row is one
+      cheap numpy draw.  An in-range table takes the per-row numpy path
+      in natural order, bit-identical to the plain ``"numpy"`` policy.
+
+    ``numpy_max`` and ``width_crossover`` are calibration knobs
+    (defaults: numpy's real bound and the measured crossover from
+    :mod:`~repro.engine.sampling.dispatch`); tests lower them to force
+    mixed dispatch at chi-square-testable scale, and
+    ``benchmarks/sampler_dispatch.py`` re-measures the crossover.
+    """
 
     name = "auto"
     max_population = None
-    summary = "per-draw dispatch: numpy below 10^9, rejection above"
+    summary = (
+        "adaptive dispatch inside each draw: numpy's C generator for "
+        "in-range rows/sub-pools, level-batched rejection beyond"
+    )
 
-    def __init__(self):
+    #: Pre-resolved dispatch counters; rebound by attach_telemetry.
+    _t_numpy = telemetry_module.NULL_COUNTER
+    _t_batched = telemetry_module.NULL_COUNTER
+
+    def __init__(
+        self,
+        numpy_max: int = NUMPY_MAX_POPULATION,
+        width_crossover: Optional[int] = CONTINGENCY_WIDTH_CROSSOVER,
+    ):
         self._numpy = NumpySampler()
         self._beyond = RejectionSampler()
+        self._numpy_max = int(numpy_max)
+        self._width_crossover = width_crossover
 
     def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
         """Attach both delegates so either dispatch target is metered."""
         self._numpy.attach_telemetry(telemetry)
         self._beyond.attach_telemetry(telemetry)
+        self._t_numpy = telemetry.counter("sampler.dispatch.numpy")
+        self._t_batched = telemetry.counter("sampler.dispatch.batched")
 
     def draw(
-        self, colors: np.ndarray, nsample: int, rng: np.random.Generator
+        self,
+        colors: np.ndarray,
+        nsample: int,
+        rng: np.random.Generator,
+        *,
+        total: Optional[int] = None,
     ) -> np.ndarray:
-        total = int(np.asarray(colors).sum())
-        if self._numpy.supports(total):
-            return self._numpy.draw(colors, nsample, rng)
-        return self._beyond.draw(colors, nsample, rng)
+        colors = np.asarray(colors)
+        if total is None:
+            total = int(colors.sum())
+        if total < self._numpy_max:
+            self._t_numpy.inc()
+            return self._numpy.draw(colors, nsample, rng, total=total)
+        return self._split_draw(colors, int(nsample), int(total), rng)
+
+    def _split_draw(
+        self,
+        colors: np.ndarray,
+        nsample: int,
+        total: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Split only while out of range; numpy serves in-range subtrees.
+
+        The exact marginal of each half is one univariate
+        hypergeometric, so conditioning left-to-right reproduces the
+        joint MVH law — the same reduction
+        :meth:`LargeNHypergeometric.multivariate` runs to the leaves,
+        stopped early: a node whose pool total drops below numpy's
+        bound hands its whole color range to the C generator in one
+        call.  Halving totals means only O(total / numpy_max + log)
+        splits ever pay the rejection path.
+        """
+        out = np.zeros(colors.size, dtype=np.int64)
+        prefix = np.concatenate(([0], np.cumsum(colors, dtype=np.int64)))
+        hypergeometric = self._beyond.hypergeometric
+        # node: (start, stop, want, pool total); LIFO, left child first.
+        stack = [(0, colors.size, nsample, total)]
+        while stack:
+            start, stop, want, node_total = stack.pop()
+            if want == 0:
+                continue
+            if stop - start == 1:
+                out[start] = want
+                continue
+            if node_total < self._numpy_max:
+                self._t_numpy.inc()
+                out[start:stop] = self._numpy.draw(
+                    colors[start:stop], want, rng, total=node_total
+                )
+                continue
+            self._t_batched.inc()
+            mid = (start + stop) // 2
+            left_total = int(prefix[mid] - prefix[start])
+            left = int(
+                hypergeometric.univariate(
+                    left_total, node_total - left_total, want, rng
+                )
+            )
+            stack.append((mid, stop, want - left, node_total - left_total))
+            stack.append((start, mid, left, left_total))
+        return out
 
     def contingency(
         self,
         initiators: np.ndarray,
         responders: np.ndarray,
         rng: np.random.Generator,
+        *,
+        total: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Numpy's generator row by row in range, batched table beyond.
+        """Adaptive per-row dispatch inside one contingency table.
 
-        The pool of a contingency draw is one batch (≤ n/2 agents), so
-        the numpy path covers it for n < 2·10⁹; above that every row
-        draw would exceed numpy's bound and the rejection sampler's
-        level-batched whole-table construction takes over.
+        :func:`~repro.engine.sampling.dispatch.plan_rows` partitions the
+        occupied rows: the largest margins form a batched prefix drawn
+        *jointly* (one :meth:`LargeNHypergeometric.table` call with a
+        virtual row holding the leftover pool — row exchangeability
+        makes that conditioning exact), and the leftover pool, now below
+        numpy's bound, feeds per-row numpy draws in natural order.  The
+        previous all-or-nothing dispatch paid the level-batched
+        construction for the *whole* table whenever the batch exceeded
+        numpy's range; now at most the few largest rows do.
         """
-        total = int(np.asarray(responders).sum())
-        if self._numpy.supports(total):
-            return self._numpy.contingency(initiators, responders, rng)
-        return self._beyond.contingency(initiators, responders, rng)
+        rows = np.flatnonzero(initiators)
+        cols = np.flatnonzero(responders)
+        if rows.size == 0 or cols.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        transpose = cols.size < rows.size
+        if transpose:
+            rows, cols = cols, rows
+            outer, inner = responders, initiators
+        else:
+            outer, inner = initiators, responders
+        margins = outer[rows].astype(np.int64)
+        pool = inner[cols].astype(np.int64)
+        pool_total = int(total) if total is not None else int(pool.sum())
+        order, split = plan_rows(
+            margins,
+            pool_total,
+            cols.size,
+            numpy_max=self._numpy_max,
+            width_crossover=self._width_crossover,
+        )
+        if split == rows.size:
+            # Every row's pool is out of range (or the table is beyond
+            # the width crossover): one level-batched construction.
+            self._t_batched.inc(rows.size)
+            table = self._beyond.hypergeometric.table(margins, pool, rng)
+            hit_r, hit_c = np.nonzero(table)
+            pair_a, pair_b = rows[hit_r], cols[hit_c]
+            values = table[hit_r, hit_c]
+            if transpose:
+                pair_a, pair_b = pair_b, pair_a
+            return pair_a, pair_b, values
+        pair_a, pair_b, sizes = [], [], []
+        remaining = pool_total
+        if split:
+            self._t_batched.inc(split)
+            prefix_rows = order[:split]
+            prefix_margins = margins[prefix_rows]
+            remaining = pool_total - int(prefix_margins.sum())
+            table = self._beyond.hypergeometric.table(
+                np.append(prefix_margins, remaining), pool, rng
+            )
+            for m, a in enumerate(rows[prefix_rows]):
+                row = table[m]
+                hit = np.flatnonzero(row)
+                pair_a.append(np.full(hit.size, a, dtype=np.int64))
+                pair_b.append(cols[hit])
+                sizes.append(row[hit])
+            pool = table[split]  # the virtual row is the leftover pool
+        suffix = np.sort(order[split:])
+        for m, idx in enumerate(suffix):
+            want = int(margins[idx])
+            if m == suffix.size - 1:
+                row = pool  # the leftover pool is exactly this row
+            else:
+                self._t_numpy.inc()
+                row = self._numpy.draw(pool, want, rng, total=remaining)
+                pool = pool - row
+                remaining -= want
+            hit = np.flatnonzero(row)
+            pair_a.append(np.full(hit.size, rows[idx], dtype=np.int64))
+            pair_b.append(cols[hit])
+            sizes.append(row[hit])
+        pair_a = np.concatenate(pair_a)
+        pair_b = np.concatenate(pair_b)
+        values = np.concatenate(sizes)
+        if transpose:
+            pair_a, pair_b = pair_b, pair_a
+        return pair_a, pair_b, values
 
 
 # ----------------------------------------------------------------------

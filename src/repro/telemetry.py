@@ -585,6 +585,18 @@ CATALOG: List[MetricInfo] = [
         "univariate draws served by the ratio-of-uniforms rejection sampler",
     ),
     MetricInfo(
+        "sampler.dispatch.numpy",
+        "counter",
+        "adaptive-policy work units (contingency rows / splitting sub-pools) "
+        "routed to numpy's C generator",
+    ),
+    MetricInfo(
+        "sampler.dispatch.batched",
+        "counter",
+        "adaptive-policy work units routed to the level-batched rejection "
+        "construction (out-of-range pool totals / beyond-crossover tables)",
+    ),
+    MetricInfo(
         "sampler.fallback.small_range",
         "counter",
         "rejection-policy draws below REJECTION_MIN that fell back to inversion",

@@ -257,6 +257,61 @@ class TestDrawMix:
         assert "no draw-mix shifts" in capsys.readouterr().out
 
 
+def dispatch_report(name, draws, dispatch, scale="quick"):
+    report = metrics_report(name, draws, scale=scale)
+    report["metrics"]["counters"].update(
+        {
+            f"sampler.dispatch.{target}": count
+            for target, count in dispatch.items()
+        }
+    )
+    return report
+
+
+class TestDispatchMix:
+    def test_mix_extracted_with_dispatch_prefix(self):
+        report = dispatch_report(
+            "EB6", {"numpy": 1000}, {"numpy": 600, "batched": 400}
+        )
+        mix = perf_diff.draw_mix(report, prefix=perf_diff.DISPATCH_PREFIX)
+        assert mix == {"numpy": 0.6, "batched": 0.4}
+        # the default draw family ignores the dispatch counters
+        assert perf_diff.draw_mix(report) == {"numpy": 1.0}
+
+    def test_dispatch_shift_flagged_with_label(self):
+        previous = {
+            "EB6": dispatch_report(
+                "EB6", {"numpy": 1000}, {"numpy": 900, "batched": 100}
+            )
+        }
+        current = {
+            "EB6": dispatch_report(
+                "EB6", {"numpy": 1000}, {"numpy": 500, "batched": 500}
+            )
+        }
+        shifts = perf_diff.diff_draw_mix(previous, current, mix_threshold=0.1)
+        assert {s["method"] for s in shifts} == {
+            "dispatch:numpy",
+            "dispatch:batched",
+        }
+
+    def test_families_diffed_independently(self):
+        # The dispatch family only exists on one side: its shift is
+        # skipped, while the draw family still flags its own shift.
+        previous = {
+            "EB6": metrics_report("EB6", {"numpy": 900, "rejection": 100})
+        }
+        current = {
+            "EB6": dispatch_report(
+                "EB6",
+                {"numpy": 500, "rejection": 500},
+                {"numpy": 600, "batched": 400},
+            )
+        }
+        shifts = perf_diff.diff_draw_mix(previous, current, mix_threshold=0.1)
+        assert {s["method"] for s in shifts} == {"numpy", "rejection"}
+
+
 class TestLoadReports:
     def test_reads_only_valid_reports(self, tmp_path):
         write_report(tmp_path, "E1", 1.5)

@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 from scipy import stats as scipy_stats
 
+from repro import telemetry as telemetry_module
 from repro.engine import ConfigurationError, SamplerUnsupported, sampling
 from repro.engine.sampling import (
     NUMPY_MAX_POPULATION,
@@ -31,6 +32,7 @@ from repro.engine.sampling import (
     RejectionSampler,
     SamplerPolicy,
     SplittingSampler,
+    plan_rows,
 )
 
 #: Seeded draws make every p-value below deterministic; 0.01 keeps the
@@ -609,6 +611,43 @@ class TestContingencyPrimitives:
         expected = 10**9 // 2
         assert abs(int(draws[1]) - expected) < 10**6
 
+    def test_univariate_many_small_batches_bucket_by_width(self):
+        """A 3-draw batch must not drop narrow draws onto the wide grid.
+
+        The shared ``(M, width)`` inversion grid is sized by its widest
+        member, so before PR 9's fix the ``free.size <= 16`` fast path
+        put a 10^10-population draw (window width ~10^5) and two
+        few-hundred-population draws on one grid — inflating the narrow
+        rows' cost by ~10^3×.  Spy on ``_invert_rows`` to prove the
+        draws now arrive in separate width buckets.
+        """
+        calls = []
+
+        class Spy(LargeNHypergeometric):
+            def _invert_rows(
+                self, out, rows, u, ngood, nbad, nsample, lo, hi, a, b, mode
+            ):
+                calls.append(
+                    ({int(r) for r in rows}, int((b - a).max()) + 1)
+                )
+                super()._invert_rows(
+                    out, rows, u, ngood, nbad, nsample, lo, hi, a, b, mode
+                )
+
+        draws = Spy().univariate_many(
+            np.array([10**10, 300, 250]),
+            np.array([10**10, 200, 300]),
+            np.array([10**9, 250, 100]),
+            np.random.default_rng(8),
+        )
+        assert len(calls) >= 2  # bucketed, not one shared grid
+        wide = [width for rows, width in calls if 0 in rows]
+        narrow = [width for rows, width in calls if 0 not in rows]
+        assert len(wide) == 1 and wide[0] > 10_000
+        assert narrow and all(width < 1_000 for width in narrow)
+        assert abs(int(draws[0]) - 10**9 // 2) < 10**6
+        assert 0 <= draws[1] <= 250 and 0 <= draws[2] <= 100
+
     def test_multivariate_many_matches_numpy(self):
         hg = LargeNHypergeometric()
         rng = np.random.default_rng(7)
@@ -622,3 +661,292 @@ class TestContingencyPrimitives:
         )[:, 0]
         ks = scipy_stats.ks_2samp(first, ref)
         assert ks.pvalue > P_THRESHOLD
+
+
+def _attach_counters(policy):
+    """Enabled telemetry bound to ``policy``; read via metrics_block()."""
+    tel = telemetry_module.Telemetry(enabled=True)
+    policy.attach_telemetry(tel)
+    return tel
+
+
+class TestSamplerMetering:
+    """Draw-counter and ``total=`` fast-path regressions (PR 9 satellites)."""
+
+    def test_raising_numpy_draw_is_not_metered(self):
+        """A draw that raises SamplerUnsupported was never served, so the
+        draw-mix shares perf_diff.py tracks must not count it."""
+        policy = NumpySampler()
+        tel = _attach_counters(policy)
+        big = np.array([NUMPY_MAX_POPULATION, 5], dtype=np.int64)
+        with pytest.raises(SamplerUnsupported):
+            policy.draw(big, 10, np.random.default_rng(0))
+        assert tel.metrics_block()["counters"].get("sampler.draws.numpy", 0) == 0
+        policy.draw(np.array([600, 400]), 10, np.random.default_rng(0))
+        assert tel.metrics_block()["counters"]["sampler.draws.numpy"] == 1
+
+    def test_total_keyword_skips_the_reduction(self):
+        """The passed total is trusted, not re-derived: a wrong total
+        flips the dispatch, proving the O(k) reduction really is gone."""
+        policy = NumpySampler()
+        small = np.array([10, 5], dtype=np.int64)
+        with pytest.raises(SamplerUnsupported):
+            policy.draw(
+                small, 3, np.random.default_rng(0), total=NUMPY_MAX_POPULATION
+            )
+
+    def test_total_keyword_parity(self):
+        """Same seed ⇒ identical draw with and without the precomputed
+        total, for every registered policy."""
+        colors = np.array([600, 400, 200], dtype=np.int64)
+        for name in sampling.available():
+            policy = sampling.get(name)
+            with_total = policy.draw(
+                colors, 100, np.random.default_rng(9), total=1200
+            )
+            without = policy.draw(colors, 100, np.random.default_rng(9))
+            np.testing.assert_array_equal(with_total, without)
+
+    def test_contingency_total_keyword_parity(self):
+        initiators = np.array([0, 300, 0, 450, 250])
+        responders = np.array([400, 0, 350, 250, 0])
+        for name in sampling.available():
+            policy = sampling.get(name)
+            with_total = policy.contingency(
+                initiators, responders, np.random.default_rng(4), total=1000
+            )
+            without = policy.contingency(
+                initiators, responders, np.random.default_rng(4)
+            )
+            for a, b in zip(with_total, without):
+                np.testing.assert_array_equal(a, b)
+
+    def test_population_range_formats_any_bound(self):
+        assert NumpySampler().population_range() == "n < 1e9"
+        assert AutoSampler().population_range() == "any n"
+
+        class TenBillion(NumpySampler):
+            max_population = 10**10
+
+        class NonPower(NumpySampler):
+            max_population = 2_500_000_000
+
+        class Small(NumpySampler):
+            max_population = 4096
+
+        assert TenBillion().population_range() == "n < 1e10"
+        assert NonPower().population_range() == "n < 2.5e9"
+        assert Small().population_range() == "n < 4096"
+
+
+class TestContingencyDispatchBoundary:
+    """Pin the contingency dispatch at 10^9 − 1 / 10^9 / 10^9 + 1.
+
+    The ``draw`` boundary has long been pinned
+    (:class:`TestAutoDispatchBoundary`); this matrix pins the same three
+    totals for ``contingency``, asserting the dispatch target through
+    the served-draw and adaptive-dispatch counters rather than timing.
+    """
+
+    BOUNDARY = NUMPY_MAX_POPULATION
+
+    @staticmethod
+    def _margins(total):
+        initiators = np.array([total - 60, 40, 20], dtype=np.int64)
+        responders = np.array([total - 50, 30, 20], dtype=np.int64)
+        return initiators, responders
+
+    def _run(self, policy, total, seed=0):
+        tel = _attach_counters(policy)
+        initiators, responders = self._margins(total)
+        pi, pj, sizes = policy.contingency(
+            initiators, responders, np.random.default_rng(seed), total=total
+        )
+        table = np.zeros((3, 3), dtype=np.int64)
+        table[pi, pj] = sizes
+        np.testing.assert_array_equal(table.sum(axis=1), initiators)
+        np.testing.assert_array_equal(table.sum(axis=0), responders)
+        return tel.metrics_block()["counters"]
+
+    def test_numpy_contingency_boundary(self):
+        counters = self._run(NumpySampler(), self.BOUNDARY - 1)
+        assert counters["sampler.draws.numpy"] == 2  # last row is leftover
+        for total in (self.BOUNDARY, self.BOUNDARY + 1):
+            policy = NumpySampler()
+            tel = _attach_counters(policy)
+            initiators, responders = self._margins(total)
+            with pytest.raises(SamplerUnsupported):
+                policy.contingency(
+                    initiators, responders, np.random.default_rng(0), total=total
+                )
+            counters = tel.metrics_block()["counters"]
+            assert counters.get("sampler.draws.numpy", 0) == 0
+
+    def test_rejection_contingency_covers_all_three_totals(self):
+        for total in (self.BOUNDARY - 1, self.BOUNDARY, self.BOUNDARY + 1):
+            counters = self._run(RejectionSampler(), total)
+            assert counters.get("sampler.draws.numpy", 0) == 0
+
+    def test_auto_contingency_is_all_numpy_below_the_boundary(self):
+        counters = self._run(AutoSampler(), self.BOUNDARY - 1)
+        assert counters["sampler.dispatch.numpy"] == 2
+        assert counters.get("sampler.dispatch.batched", 0) == 0
+        assert counters["sampler.draws.numpy"] == 2
+
+    def test_auto_contingency_mixes_at_and_above_the_boundary(self):
+        """The one margin that keeps the pool out of range is drawn
+        level-batched; the leftover pool feeds per-row numpy draws."""
+        for total in (self.BOUNDARY, self.BOUNDARY + 1):
+            counters = self._run(AutoSampler(), total)
+            assert counters["sampler.dispatch.batched"] == 1
+            assert counters["sampler.dispatch.numpy"] == 1
+            assert counters["sampler.draws.numpy"] == 1
+
+    def test_auto_contingency_below_boundary_matches_numpy_stream(self):
+        """In range the adaptive plan is the identity: same rng stream,
+        same table as the plain numpy policy."""
+        initiators, responders = self._margins(self.BOUNDARY - 1)
+        ours = AutoSampler().contingency(
+            initiators, responders, np.random.default_rng(3)
+        )
+        ref = NumpySampler().contingency(
+            initiators, responders, np.random.default_rng(3)
+        )
+        for a, b in zip(ours, ref):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestAdaptiveDispatch:
+    """The adaptive auto policy: plan correctness and mixed-path law.
+
+    ``numpy_max`` / ``width_crossover`` are lowered so every mixed
+    dispatch path runs at a scale where chi-square/TV/KS have power —
+    the same batteries the other policies pass.
+    """
+
+    def test_plan_rows_in_range_is_identity(self):
+        order, split = plan_rows(
+            np.array([30, 45, 25]), 100, 3, numpy_max=1000
+        )
+        np.testing.assert_array_equal(order, [0, 1, 2])
+        assert split == 0
+
+    def test_plan_rows_spends_largest_margins_first(self):
+        order, split = plan_rows(np.array([30, 45, 25]), 100, 3, numpy_max=40)
+        np.testing.assert_array_equal(order, [1, 0, 2])
+        assert split == 2  # pool ahead of each planned row: 100, 55, 25
+
+    def test_plan_rows_width_crossover_batches_everything(self):
+        order, split = plan_rows(
+            np.array([30, 45]), 75, 5000, numpy_max=10**9, width_crossover=4096
+        )
+        assert split == 2
+
+    def test_plan_rows_empty_margins(self):
+        order, split = plan_rows(
+            np.array([], dtype=np.int64), 0, 0, numpy_max=10
+        )
+        assert order.size == 0 and split == 0
+
+    def test_forced_mixed_contingency_really_mixes(self):
+        policy = AutoSampler(numpy_max=60)
+        tel = _attach_counters(policy)
+        initiators, responders = TestContingencyPrimitives.MARGINS
+        policy.contingency(initiators, responders, np.random.default_rng(0))
+        counters = tel.metrics_block()["counters"]
+        assert counters["sampler.dispatch.batched"] == 1
+        assert counters["sampler.dispatch.numpy"] == 1
+
+    def test_forced_mixed_contingency_matches_numpy_distribution(self):
+        """KS on two cells: joint batched prefix + virtual leftover row +
+        numpy suffix must reproduce the plain per-row law."""
+        base = TestContingencyPrimitives()
+        ref = base._margin_samples(sampling.get("numpy"))
+        for numpy_max in (40, 60):
+            mixed = base._margin_samples(AutoSampler(numpy_max=numpy_max))
+            for a, b in zip(ref, mixed):
+                ks = scipy_stats.ks_2samp(a, b)
+                assert ks.pvalue > P_THRESHOLD, (numpy_max, ks)
+
+    def test_forced_width_crossover_matches_rejection_stream(self):
+        """Beyond the width crossover the whole table goes level-batched —
+        the same construction (and rng stream) as the rejection policy."""
+        policy = AutoSampler(width_crossover=2)
+        tel = _attach_counters(policy)
+        initiators, responders = TestContingencyPrimitives.MARGINS
+        ours = policy.contingency(
+            initiators, responders, np.random.default_rng(5)
+        )
+        ref = RejectionSampler().contingency(
+            initiators, responders, np.random.default_rng(5)
+        )
+        for a, b in zip(ours, ref):
+            np.testing.assert_array_equal(a, b)
+        counters = tel.metrics_block()["counters"]
+        assert counters["sampler.dispatch.batched"] == 3
+        assert counters.get("sampler.dispatch.numpy", 0) == 0
+
+    def test_forced_split_draw_counters(self):
+        """One out-of-range draw: a single splitting step, then numpy
+        serves both in-range halves."""
+        policy = AutoSampler(numpy_max=70)
+        tel = _attach_counters(policy)
+        draw = policy.draw(
+            np.array([30, 30, 30, 30]), 50, np.random.default_rng(0)
+        )
+        assert int(draw.sum()) == 50
+        counters = tel.metrics_block()["counters"]
+        assert counters["sampler.dispatch.batched"] == 1
+        assert counters["sampler.dispatch.numpy"] == 2
+        assert counters["sampler.draws.numpy"] == 2
+
+    def test_split_draw_chi_square_against_closed_form(self):
+        colors, nsample = (8, 6, 5, 5), 12
+        policy = AutoSampler(numpy_max=15)  # total 24: root splits, halves numpy
+        rng = np.random.default_rng(21)
+        pmf = exact_mvh_pmf(colors, nsample)
+        rounds = 20_000
+        draws = Counter(
+            tuple(policy.draw(np.array(colors), nsample, rng))
+            for _ in range(rounds)
+        )
+        outcomes = sorted(pmf)
+        observed = np.array([draws.get(o, 0) for o in outcomes], dtype=float)
+        expected = np.array([pmf[o] for o in outcomes]) * rounds
+        keep = expected >= 1.0  # chi-square needs non-vanishing bins
+        result = scipy_stats.chisquare(
+            observed[keep], expected[keep] * observed[keep].sum()
+            / expected[keep].sum()
+        )
+        assert result.pvalue > P_THRESHOLD
+
+    def test_split_draw_total_variation_against_numpy(self):
+        colors = np.array([6, 5, 4, 2])
+        nsample = 7
+        policy = AutoSampler(numpy_max=10)  # forces two splitting levels
+        rng = np.random.default_rng(23)
+        rounds = 20_000
+        ours = Counter(
+            tuple(policy.draw(colors, nsample, rng)) for _ in range(rounds)
+        )
+        theirs = Counter(
+            map(
+                tuple,
+                rng.multivariate_hypergeometric(colors, nsample, size=rounds),
+            )
+        )
+        tv = 0.5 * sum(
+            abs(ours.get(key, 0) - theirs.get(key, 0))
+            for key in set(ours) | set(theirs)
+        ) / rounds
+        assert tv < 0.05
+
+    def test_split_draw_ks_against_numpy(self):
+        colors = np.array([600, 500, 400])
+        policy = AutoSampler(numpy_max=1000)
+        rng = np.random.default_rng(31)
+        ours = [int(policy.draw(colors, 500, rng)[0]) for _ in range(3000)]
+        ref = np.random.default_rng(32).multivariate_hypergeometric(
+            colors, 500, size=3000
+        )[:, 0]
+        assert scipy_stats.ks_2samp(ours, ref).pvalue > P_THRESHOLD
