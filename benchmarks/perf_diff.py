@@ -26,13 +26,22 @@ construction).  A share shift beyond ``--mix-threshold`` emits a notice
 annotation — a silent change in which sampler serves the draws is
 exactly the kind of routing regression wall-clock alone can hide.
 
+Reports whose ``stats`` carry a ``replicas_per_second[...]`` family
+(the EB7 ensemble-throughput benchmark) are additionally diffed on
+*throughput*: a leg whose replicas/sec dropped below ``1 / threshold``
+of the previous run gets a notice annotation.  Wall-clock
+``elapsed_seconds`` on EB7 mixes all three legs into one number, so a
+serial speedup can mask an ensemble regression — the per-leg throughput
+family is the number the tentpole acceptance criterion is stated in.
+
 Usage::
 
     python benchmarks/perf_diff.py PREVIOUS_DIR CURRENT_DIR [--threshold 1.5]
 
 Exit status is always 0 unless ``--fail-on-regression`` is passed:
 trajectory drift is advisory, the hard shape checks live in the
-benchmarks themselves.  Mix shifts are always advisory.
+benchmarks themselves.  Mix shifts and throughput drops are always
+advisory.
 """
 
 from __future__ import annotations
@@ -64,6 +73,14 @@ MIX_FAMILIES = {"": DRAW_PREFIX, "dispatch:": DISPATCH_PREFIX}
 #: Ignore draw mixes built from fewer total draws than this: a handful
 #: of draws makes shares jump around without any routing change.
 MIN_MIX_DRAWS = 100
+
+#: Stats-key prefix of the per-leg ensemble throughput family written
+#: by EB7 (``replicas_per_second[serial]`` etc.).
+THROUGHPUT_PREFIX = "replicas_per_second["
+
+#: Ignore throughput legs slower than this: sub-replica/sec legs are
+#: dominated by per-run constants and make ratios meaningless.
+MIN_THROUGHPUT = 1.0
 
 
 def load_reports(directory: pathlib.Path) -> Dict[str, dict]:
@@ -222,6 +239,58 @@ def diff_draw_mix(
     return shifts
 
 
+def diff_throughput(
+    previous: Dict[str, dict],
+    current: Dict[str, dict],
+    threshold: float = 1.5,
+) -> List[dict]:
+    """Throughput drops: ``replicas_per_second[...]`` legs now slower.
+
+    A leg regresses when its throughput fell below ``1 / threshold`` of
+    the previous run's — the replicas/sec mirror of the elapsed-seconds
+    ratio check, per leg instead of per whole benchmark.  Legs present
+    in only one run, on mismatched scales, or below
+    :data:`MIN_THROUGHPUT` on the baseline are skipped.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1, got {threshold}")
+    drops: List[dict] = []
+    for name in sorted(set(previous) & set(current)):
+        before, after = previous[name], current[name]
+        if before.get("scale") != after.get("scale"):
+            continue
+        stats_before = before.get("stats")
+        stats_after = after.get("stats")
+        if not isinstance(stats_before, dict) or not isinstance(stats_after, dict):
+            continue
+        legs = sorted(
+            key
+            for key in set(stats_before) & set(stats_after)
+            if key.startswith(THROUGHPUT_PREFIX)
+        )
+        for key in legs:
+            baseline = stats_before[key]
+            measured = stats_after[key]
+            if not isinstance(baseline, (int, float)):
+                continue
+            if not isinstance(measured, (int, float)):
+                continue
+            if float(baseline) < MIN_THROUGHPUT:
+                continue
+            ratio = float(baseline) / max(float(measured), 1e-12)
+            if ratio > threshold:
+                drops.append(
+                    {
+                        "experiment": name,
+                        "leg": key,
+                        "before_rps": float(baseline),
+                        "after_rps": float(measured),
+                        "ratio": ratio,
+                    }
+                )
+    return drops
+
+
 def format_annotation(regression: dict, threshold: float) -> str:
     """One GitHub Actions warning annotation per regression."""
     return (
@@ -229,6 +298,17 @@ def format_annotation(regression: dict, threshold: float) -> str:
         f"{regression['experiment']} took {regression['after_seconds']:.2f}s, "
         f"was {regression['before_seconds']:.2f}s on the previous run "
         f"({regression['ratio']:.2f}x > {threshold:.2f}x threshold)"
+    )
+
+
+def format_throughput_annotation(drop: dict, threshold: float) -> str:
+    """One GitHub Actions notice annotation per throughput drop."""
+    return (
+        f"::notice title=Throughput drop in {drop['experiment']}::"
+        f"{drop['experiment']} {drop['leg']} now runs "
+        f"{drop['after_rps']:.1f} replicas/s, was {drop['before_rps']:.1f} "
+        f"on the previous run ({drop['ratio']:.2f}x slower > "
+        f"{threshold:.2f}x threshold)"
     )
 
 
@@ -285,6 +365,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_mix_annotation(shift, args.mix_threshold))
     if not shifts:
         print(f"no draw-mix shifts beyond {args.mix_threshold:.0%}")
+    drops = diff_throughput(previous, current, threshold=args.threshold)
+    for drop in drops:
+        print(format_throughput_annotation(drop, args.threshold))
+    if not drops:
+        print(f"no replica-throughput drops beyond {args.threshold:.2f}x")
     return 1 if (regressions and args.fail_on_regression) else 0
 
 

@@ -1,0 +1,30 @@
+"""Benchmark EB7: ensemble replica throughput vs serial ``replicate()``.
+
+Times three ways to run the same R-replica fleet of one experimental
+point on the count backend: serial ``replicate()`` (one ``drive()`` loop
+per replica), the PR 10 ensemble engine (``replicate(mode="ensemble")``
+— all replicas advanced in lockstep through one vectorized ``(R,
+num_states)`` loop), and the two-level ``replicate_parallel(
+ensemble_size=...)`` (process pool × stack; stats-only on the
+single-core CI runner).  The headline claim is the tentpole acceptance
+criterion: at full scale (n = 10⁶, R = 64) the ensemble leg must hold
+``ensemble_speedup_ge_3`` — at least 3× the serial replica throughput on
+one core, from amortizing scheduler, dispatch, convergence-check, and
+telemetry layers across the stack.  All three legs run the same seeds;
+law-level equivalence (convergence-time KS, winner chi-square — the
+contract is explicitly not bit-level) is asserted separately in
+``tests/test_ensemble.py``.  The machine-readable timings land in
+``benchmarks/reports/EB7.json`` so the CI ``perf-trajectory`` job diffs
+the ``replicas_per_second[...]`` family from this report onward; see
+``src/repro/experiments/scaling.py`` and ``docs/ENSEMBLE.md``.
+"""
+
+
+def test_eb7(run_experiment):
+    report = run_experiment("EB7")
+    # The ensemble leg must beat serial even at quick scale; the
+    # conftest must_pass assertion already covers the scale-appropriate
+    # ensemble_speedup check — this pins the throughput family's
+    # presence for perf_diff.py.
+    assert report.stats["replicas_per_second[ensemble]"] > 0
+    assert report.stats["ensemble_speedup"] > 1.0

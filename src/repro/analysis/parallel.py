@@ -80,6 +80,48 @@ def _run_one(args) -> Tuple[RunResult, Optional[dict]]:
     return result, snapshot
 
 
+def _run_ensemble_chunk(args) -> Tuple[List[RunResult], Optional[dict]]:
+    (
+        protocol_factory,
+        config_factory,
+        indices,
+        seeds,
+        scheduler,
+        scheduler_factory,
+        sampler,
+        max_parallel_time,
+        check_every_parallel_time,
+        telemetry_spec,
+        table_cache,
+    ) = args
+    tel = None
+    if telemetry_spec is not None:
+        enabled, events_path = telemetry_spec
+        events = telemetry_module.EventLog(events_path) if events_path else None
+        tel = telemetry_module.Telemetry(
+            enabled=enabled, events=events, context={"replication": indices[0]}
+        )
+    from ..engine.ensemble import run_ensemble
+
+    results = run_ensemble(
+        protocol_factory,
+        config_factory,
+        seeds=seeds,
+        indices=indices,
+        scheduler=scheduler,
+        scheduler_factory=scheduler_factory,
+        sampler=sampler,
+        max_parallel_time=max_parallel_time,
+        check_every_parallel_time=check_every_parallel_time,
+        telemetry=tel if tel is not None else False,
+        table_cache=table_cache if table_cache is not None else False,
+    )
+    snapshot = tel.metrics_block() if tel is not None and tel.enabled else None
+    if tel is not None and tel.events is not None:
+        tel.events.close()
+    return results, snapshot
+
+
 def replicate_parallel(
     protocol_factory: Callable[[], Protocol],
     config_factory: Callable[[int], BasePopulation],
@@ -95,6 +137,7 @@ def replicate_parallel(
     check_every_parallel_time: float = 2.0,
     telemetry: "telemetry_module.TelemetryLike" = None,
     table_cache=None,
+    ensemble_size: Optional[int] = None,
 ) -> List[RunResult]:
     """Run seeded replications across a process pool.
 
@@ -118,11 +161,24 @@ def replicate_parallel(
     inline in the parent so it derives (and persists) the table exactly
     once, and the remaining workers start warm instead of all paying the
     same derivation.
+
+    ``ensemble_size`` turns on two-level parallelism: the seed list is
+    split into contiguous chunks of up to that many replicas and each
+    pool job advances a whole chunk through the stacked count engine
+    (:func:`repro.engine.ensemble.run_ensemble`) — processes multiply
+    the ensemble's single-core throughput.  Per-replica seeds and the
+    config-factory indices are identical to the flat layout, so results
+    still come back in replication order and stay a pure function of
+    ``(base_seed, index)``; equivalence to per-replica runs is at the
+    law level (docs/ENSEMBLE.md).  ``backend`` must be unset or
+    ``"counts"`` when chunking.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
     if scheduler is not None and scheduler_factory is not None:
         raise ValueError("pass scheduler or scheduler_factory, not both")
+    if ensemble_size is not None and ensemble_size < 1:
+        raise ValueError("ensemble_size must be >= 1")
     tel = telemetry_module.resolve(telemetry)
     telemetry_spec = None
     if tel:
@@ -135,6 +191,57 @@ def replicate_parallel(
     # TableStore holds no open files, so each worker rebuilds a cheap
     # handle on the same directory.
     store_spec = str(store.directory) if store is not None else None
+    if ensemble_size is not None:
+        backend_name = (
+            backend if isinstance(backend, str) else getattr(backend, "name", None)
+        )
+        if backend_name not in (None, "counts"):
+            raise ValueError(
+                f"ensemble_size runs the count backend only, "
+                f"got backend={backend_name!r}"
+            )
+        seeds = seeds_for(base_seed, replications)
+        chunks = [
+            (
+                protocol_factory,
+                config_factory,
+                list(range(start, min(start + ensemble_size, replications))),
+                seeds[start : start + ensemble_size],
+                scheduler,
+                scheduler_factory,
+                sampler,
+                max_parallel_time,
+                check_every_parallel_time,
+                telemetry_spec,
+                store_spec,
+            )
+            for start in range(0, replications, ensemble_size)
+        ]
+        prime_chunk = False
+        if store is not None and len(chunks) > 1 and not (
+            workers is not None and workers <= 1
+        ):
+            from ..engine.backends.model import DynamicCountModel
+
+            probe = protocol_factory().count_model(config_factory(0))
+            if isinstance(probe, DynamicCountModel):
+                sig = probe.quotient_signature()
+                prime_chunk = bool(sig) and not store.contains(sig)
+        if len(chunks) == 1 or (workers is not None and workers <= 1):
+            chunk_outcomes = [_run_ensemble_chunk(chunk) for chunk in chunks]
+        elif prime_chunk:
+            head = _run_ensemble_chunk(chunks[0])
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_outcomes = [
+                    head,
+                    *pool.map(_run_ensemble_chunk, chunks[1:]),
+                ]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_outcomes = list(pool.map(_run_ensemble_chunk, chunks))
+        for _, snapshot in chunk_outcomes:
+            tel.merge_block(snapshot)
+        return [result for results, _ in chunk_outcomes for result in results]
     jobs = [
         (
             protocol_factory,

@@ -38,6 +38,7 @@ def replicate(
     check_every_parallel_time: float = 2.0,
     telemetry: "telemetry_module.TelemetryLike" = None,
     table_cache=None,
+    mode: str = "serial",
 ) -> List[RunResult]:
     """Run ``replications`` seeded copies of one experimental point.
 
@@ -57,15 +58,47 @@ def replicate(
     transition-table store reused across the replications (see
     docs/CACHING.md); resolving it once here keeps every run against the
     same store handle.
+
+    ``mode="ensemble"`` advances all replications in lockstep through
+    the stacked count engine (:func:`repro.engine.ensemble.run_ensemble`)
+    instead of one serial run per seed.  Same seed spawn, same
+    defaulting; equivalence to serial runs is guaranteed at the law
+    level (see docs/ENSEMBLE.md).  The count path is mandatory there, so
+    ``backend`` must be unset or ``"counts"`` and the scheduler must
+    carry a batched count law (matching/birthday).
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
     if scheduler is not None and scheduler_factory is not None:
         raise ValueError("pass scheduler or scheduler_factory, not both")
+    if mode not in ("serial", "ensemble"):
+        raise ValueError(f"unknown replicate mode {mode!r}")
     tel = telemetry_module.resolve(telemetry)
     from ..cache.store import resolve_store
 
     store = resolve_store(table_cache)
+    if mode == "ensemble":
+        backend_name = getattr(backend, "name", backend)
+        if backend_name not in (None, "counts"):
+            raise ValueError(
+                f"mode='ensemble' runs the count backend only, "
+                f"got backend={backend_name!r}"
+            )
+        from ..engine.ensemble import run_ensemble
+
+        return run_ensemble(
+            protocol_factory,
+            config_factory,
+            replications=replications,
+            base_seed=base_seed,
+            scheduler=scheduler,
+            scheduler_factory=scheduler_factory,
+            sampler=sampler,
+            max_parallel_time=max_parallel_time,
+            check_every_parallel_time=check_every_parallel_time,
+            telemetry=tel,
+            table_cache=store if store is not None else False,
+        )
     results: List[RunResult] = []
     for i, seed in enumerate(seeds_for(base_seed, replications)):
         protocol = protocol_factory()
@@ -99,7 +132,9 @@ def _default_budget(protocol: Protocol, config: BasePopulation) -> float:
     params = getattr(protocol, "params", None)
     if params is not None and hasattr(params, "default_max_time"):
         return float(params.default_max_time(config.n, config.k))
-    return 500.0 * (config.k + 1) * max(1.0, float(config.n)) ** 0.0 + 5000.0
+    # Flat in n by design: the convergence times this budget brackets are
+    # already expressed in parallel time (interactions / n).
+    return 500.0 * (config.k + 1) + 5000.0
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:

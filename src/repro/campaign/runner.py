@@ -24,11 +24,12 @@ crashes, retries, and pool shapes reproduces identical results.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -122,6 +123,78 @@ def execute_cell(cell_payload: Mapping[str, Any]) -> Dict[str, Any]:
     if tel.enabled:
         payload["metrics"] = tel.metrics_block()
     return payload
+
+
+def execute_cell_group(
+    cell_payloads: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Run same-point cells as one ensemble stack (module-level: picklable).
+
+    The payloads must agree on everything but ``seed`` (the grouping in
+    :func:`run_campaign` guarantees this); each cell's config/run seed
+    pair is derived exactly as :func:`_simulate_cell` derives it, so the
+    per-cell results match per-cell execution at the law level
+    (docs/ENSEMBLE.md).  ``elapsed_seconds`` is the group wall time
+    split evenly across the cells — the rollup's per-cell timings stay
+    comparable, and their sum still measures the campaign.  When
+    campaign telemetry is live the stack-wide metrics snapshot rides on
+    the *first* cell's payload only (ensemble counters are shared, not
+    per cell); lifecycle events carry each cell's own hash.
+    """
+    from ..engine.ensemble import run_ensemble
+
+    cells = [CellSpec.from_dict(payload) for payload in cell_payloads]
+    tel = _cell_telemetry(cells[0])
+    for cell in cells:
+        tel.event(
+            "cell_start",
+            cell=cell_hash(cell),
+            label=cell.label(),
+            group=len(cells),
+        )
+    delay = float(os.environ.get(CELL_DELAY_ENV, "0") or 0)
+    if delay > 0:
+        time.sleep(delay)
+    started = time.perf_counter()
+    run_seeds: List[int] = []
+    configs = []
+    for cell in cells:
+        config_seed, run_seed = (
+            int(s) for s in np.random.SeedSequence(cell.seed).generate_state(2)
+        )
+        run_seeds.append(run_seed)
+        configs.append(WORKLOADS[cell.workload](cell, config_seed))
+    results = run_ensemble(
+        PROTOCOLS[cells[0].protocol],
+        lambda index: configs[index],
+        seeds=run_seeds,
+        scheduler=cells[0].scheduler,
+        sampler=cells[0].sampler,
+        max_parallel_time=cells[0].max_parallel_time,
+        telemetry=tel if tel is not telemetry_module.NULL else False,
+    )
+    per_cell = (time.perf_counter() - started) / len(cells)
+    payloads: List[Dict[str, Any]] = []
+    for position, (cell, result) in enumerate(zip(cells, results)):
+        tel.event(
+            "cell_end",
+            cell=cell_hash(cell),
+            label=cell.label(),
+            converged=result.converged,
+            failure=result.failure,
+            elapsed_seconds=per_cell,
+        )
+        payload = {
+            "cell": cell.to_dict(),
+            "result": result_to_dict(result),
+            "elapsed_seconds": per_cell,
+        }
+        if tel.enabled and position == 0:
+            payload["metrics"] = tel.metrics_block()
+        payloads.append(payload)
+    if tel.events is not None:
+        tel.events.close()
+    return payloads
 
 
 def _cell_telemetry(cell: CellSpec) -> telemetry_module.Telemetry:
@@ -254,6 +327,7 @@ def run_campaign(
     cell_runner: Optional[Callable[[Mapping[str, Any]], Dict[str, Any]]] = None,
     telemetry: bool = False,
     table_cache=None,
+    ensemble_size: Optional[int] = None,
 ) -> CampaignStatus:
     """Drive every unfinished cell of ``grid`` to a checkpoint.
 
@@ -284,6 +358,15 @@ def run_campaign(
             flag it travels to pool workers via the environment
             (:data:`~repro.cache.TABLE_CACHE_ENV`), so cell hashes are
             unaffected and results stay bit-identical warm or cold.
+        ensemble_size: stack up to this many pending cells that differ
+            only in ``seed`` into one pool job through the vectorized
+            ensemble engine (counts-backend cells whose scheduler has a
+            batched count law; everything else keeps the per-cell path).
+            First pass only — retry rounds always fall back to per-cell
+            execution so one bad replica cannot re-fail its whole group.
+            Checkpoint payloads, hashes, and resume semantics are
+            unchanged; per-cell results are law-equivalent (but not
+            bit-identical) to an ungrouped run, see docs/ENSEMBLE.md.
 
     Returns:
         The final :class:`CampaignStatus`; ``status.failed`` maps cell
@@ -355,7 +438,26 @@ def run_campaign(
                 )
                 time.sleep(pause)
             failures: Dict[str, str] = {}
-            for h, outcome in _run_round(by_hash, pending, runner, workers):
+            groups: List[List[str]] = []
+            round_pending = pending
+            if (
+                ensemble_size is not None
+                and ensemble_size > 1
+                and cell_runner is None
+                and attempt == 0
+            ):
+                groups, round_pending = _ensemble_groups(
+                    by_hash, pending, ensemble_size
+                )
+                if groups:
+                    stacked = sum(len(group) for group in groups)
+                    say(
+                        f"ensemble: {stacked} cells stacked into "
+                        f"{len(groups)} groups, {len(round_pending)} solo"
+                    )
+            for h, outcome in _run_round(
+                by_hash, round_pending, runner, workers, groups=groups
+            ):
                 if isinstance(outcome, Exception):
                     failures[h] = f"{type(outcome).__name__}: {outcome}"
                     parent.event("cell_failed", cell=h, error=failures[h])
@@ -396,19 +498,78 @@ def run_campaign(
     )
 
 
+def _ensemble_groups(
+    by_hash: Mapping[str, CellSpec],
+    pending: List[str],
+    ensemble_size: int,
+) -> Tuple[List[List[str]], List[str]]:
+    """Partition pending hashes into stacked groups and per-cell leftovers.
+
+    Cells are groupable when they run the count backend under a
+    scheduler with a batched count law and agree on every spec field but
+    ``seed`` — i.e. they are seeded replicas of one experimental point.
+    Chunks are capped at ``ensemble_size``; chunks of one go back to the
+    ordinary per-cell path (a one-replica stack buys nothing).
+    """
+    from ..engine import scheduler as scheduler_module
+
+    keyed: Dict[str, List[str]] = {}
+    singles: List[str] = []
+    for h in pending:
+        cell = by_hash[h]
+        try:
+            batched = (
+                cell.backend == "counts"
+                and cell.scheduler is not None
+                and scheduler_module.get(cell.scheduler).count_semantics
+                == "batched"
+            )
+        except Exception:
+            batched = False
+        if not batched:
+            singles.append(h)
+            continue
+        payload = cell.to_dict()
+        payload.pop("seed", None)
+        keyed.setdefault(json.dumps(payload, sort_keys=True), []).append(h)
+    groups: List[List[str]] = []
+    for hashes in keyed.values():
+        for start in range(0, len(hashes), ensemble_size):
+            chunk = hashes[start : start + ensemble_size]
+            if len(chunk) == 1:
+                singles.append(chunk[0])
+            else:
+                groups.append(chunk)
+    return groups, singles
+
+
 def _run_round(
     by_hash: Mapping[str, CellSpec],
     pending: List[str],
     runner: Callable[[Mapping[str, Any]], Dict[str, Any]],
     workers: Optional[int],
+    groups: Sequence[List[str]] = (),
 ):
     """Yield ``(hash, payload-or-exception)`` as cells of one pass finish.
 
     Results are yielded as they complete so the parent checkpoints each
     cell immediately — a crash between two completions loses at most the
-    cells still in flight.
+    cells still in flight.  ``groups`` are stacked ensemble jobs (lists
+    of same-point cell hashes, see :func:`_ensemble_groups`); a group
+    that fails reports the same exception for every member, and the
+    caller's retry round re-runs those cells individually.
     """
-    if len(pending) == 1 or (workers is not None and workers <= 1):
+    if len(pending) + len(groups) == 1 or (workers is not None and workers <= 1):
+        for hashes in groups:
+            payloads = [by_hash[h].to_dict() for h in hashes]
+            try:
+                outcomes = execute_cell_group(payloads)
+            except Exception as exc:  # checked and retried by the caller
+                for h in hashes:
+                    yield h, exc
+            else:
+                for h, outcome in zip(hashes, outcomes):
+                    yield h, outcome
         for h in pending:
             try:
                 yield h, runner(by_hash[h].to_dict())
@@ -416,11 +577,26 @@ def _run_round(
                 yield h, exc
         return
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(runner, by_hash[h].to_dict()): h for h in pending}
+        futures: Dict[Any, Any] = {}
+        for hashes in groups:
+            future = pool.submit(
+                execute_cell_group, [by_hash[h].to_dict() for h in hashes]
+            )
+            futures[future] = list(hashes)
+        for h in pending:
+            futures[pool.submit(runner, by_hash[h].to_dict())] = h
         remaining = set(futures)
         while remaining:
             done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
             for future in done:
-                h = futures[future]
+                target = futures[future]
                 exc = future.exception()
-                yield h, (exc if exc is not None else future.result())
+                if isinstance(target, list):
+                    if exc is not None:
+                        for h in target:
+                            yield h, exc
+                    else:
+                        for h, outcome in zip(target, future.result()):
+                            yield h, outcome
+                else:
+                    yield target, (exc if exc is not None else future.result())

@@ -11,6 +11,7 @@ Usage::
     repro-experiments run EB3 --backend counts --sampler splitting
     repro-experiments run EB6 --scheduler matching --sampler rejection
     repro-experiments run EB6 --telemetry --events-out events.jsonl
+    repro-experiments run EB7 --ensemble-size 64
     repro-experiments telemetry
     repro-experiments campaign list
     repro-experiments campaign run usd_lower_bound --scale full --workers 4
@@ -109,6 +110,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     runner.add_argument(
+        "--ensemble-size",
+        type=int,
+        default=None,
+        metavar="R",
+        help=(
+            "stacked-ensemble size override, forwarded to experiments "
+            "that support it (e.g. EB7): advance R replicas per point in "
+            "lockstep through the vectorized count engine "
+            "(see docs/ENSEMBLE.md)"
+        ),
+    )
+    runner.add_argument(
         "--telemetry",
         action="store_true",
         help=(
@@ -183,6 +196,18 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="extra attempts per failing cell (default: 2)",
+    )
+    campaign_run.add_argument(
+        "--ensemble-size",
+        type=int,
+        default=None,
+        metavar="R",
+        help=(
+            "advance up to R same-point cells per pool job through the "
+            "stacked count engine (counts-backend cells with a batched "
+            "scheduler; others run per-cell as before; see "
+            "docs/ENSEMBLE.md)"
+        ),
     )
     campaign_run.add_argument(
         "--telemetry",
@@ -329,6 +354,7 @@ def _campaign_main(args) -> int:
             progress=print,
             telemetry=args.telemetry,
             table_cache=args.table_cache,
+            ensemble_size=args.ensemble_size,
         )
         print(status.describe())
         return 0 if not status.failed and (status.done or args.max_cells) else 1
@@ -520,6 +546,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.ensemble_size is not None:
+        unsupported = [
+            name for name in requested if not experiments.supports_ensemble(name)
+        ]
+        if unsupported:
+            print(
+                f"--ensemble-size is not supported by: {', '.join(unsupported)}",
+                file=sys.stderr,
+            )
+            return 2
 
     events = (
         telemetry_module.EventLog(args.events_out)
@@ -554,6 +590,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             sampler=args.sampler,
             scheduler=args.scheduler,
+            ensemble=args.ensemble_size,
             telemetry=telemetry,
         )
         elapsed = time.perf_counter() - started

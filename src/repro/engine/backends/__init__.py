@@ -101,6 +101,17 @@ cost; pick ``"agents"`` when you need per-agent introspection or a
 protocol without a model, and counts × sequential when a bit-exact
 count replay of the agent path is the point (tests, fidelity studies).
 
+**Replicate fleets** add a fourth choice on top of backend × scheduler ×
+sampler: *how many replicas share one loop*.  When you run many seeded
+replicas of the same experimental point (sweeps, failure-probability
+studies), ``replicate(..., mode="ensemble")`` advances all of them in
+lockstep through one vectorized ``(R, num_states)`` loop in
+:mod:`repro.engine.ensemble` — same count backend, batched schedulers
+(matching/birthday) only, ≈3–4× the serial replica throughput on one
+core (benchmark EB7).  Each replica's result stays a pure function of
+``(base_seed, index)``; serial and ensemble runs agree in law, not bit
+for bit — see ``docs/ENSEMBLE.md``.
+
 Select the three axes anywhere a simulation is launched::
 
     simulate(protocol, config, backend="counts",
@@ -114,6 +125,7 @@ Select the three axes anywhere a simulation is launched::
     repro-experiments run EB6                  # scheduler × sampler grid
     repro-experiments run E1 --backend counts  # core E-series on counts
     repro-experiments run E4 --backend counts --scheduler birthday
+    repro-experiments run EB7 --ensemble-size 64   # stacked replicate fleet
     repro-experiments schedulers               # list the scheduler registry
 
 or grab one directly via ``repro.engine.backends.get("counts")`` /

@@ -500,9 +500,14 @@ class CountBackend(Backend):
 
     @staticmethod
     def _check_counts(counts: np.ndarray, n: int) -> None:
-        if (counts < 0).any() or int(counts.sum()) != n:
+        # One reduction over the vector; ``n`` is the population the batch
+        # loop already carries, and the failure message reuses the same
+        # total instead of re-reducing.
+        total = int(counts.sum())
+        if total != n or (counts < 0).any():
             raise SimulationError(
-                f"count vector corrupted: sum {int(counts.sum())} != n {n}"
+                f"count vector corrupted: sum {total} != n {n} "
+                f"(min entry {int(counts.min())})"
             )
 
     def _finish(

@@ -229,6 +229,49 @@ class BaseCountModel(ABC):
         contingency table's non-empty cells).
         """
 
+    def apply_groups_stack(
+        self,
+        rep: np.ndarray,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        sizes: np.ndarray,
+        counts_stack: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Apply flat replica-tagged pair-group triplets to an ``(R, S)`` stack.
+
+        The ensemble mode's transition application: entry ``m`` applies
+        ``sizes[m]`` interactions of state pair ``(pair_i[m], pair_j[m])``
+        to replica ``rep[m]``'s row.  Replica ``r``'s randomized outcomes
+        must come from ``rngs[r]`` in the same per-replica order as
+        :meth:`apply_groups` would consume them, so each replica's stream
+        stays a pure function of its own seed.  The base implementation
+        loops :meth:`apply_groups` per replica (safe for lazily
+        materialized models — derivation may grow the state space
+        mid-stack, in which case the stack is re-padded to the new
+        width); :class:`CountModel` overrides it with a fully vectorized
+        scatter.
+        """
+        order = np.argsort(rep, kind="stable")
+        rep_s = rep[order]
+        bounds = np.searchsorted(rep_s, np.arange(counts_stack.shape[0] + 1))
+        rows = []
+        for r in range(counts_stack.shape[0]):
+            sel = order[bounds[r]:bounds[r + 1]]
+            rows.append(
+                self.apply_groups(
+                    pair_i[sel], pair_j[sel], sizes[sel], counts_stack[r], rngs[r]
+                )
+            )
+        width = max(row.shape[0] for row in rows)
+        if width == counts_stack.shape[1]:
+            # Every apply_groups call mutated its stack row in place.
+            return counts_stack
+        out = np.zeros((counts_stack.shape[0], width), dtype=counts_stack.dtype)
+        for r, row in enumerate(rows):
+            out[r, : row.shape[0]] = row
+        return out
+
     # ------------------------------------------------------------------
     # Count-level protocol hooks
     # ------------------------------------------------------------------
@@ -484,6 +527,49 @@ class CountModel(BaseCountModel):
             np.add.at(counts, self.delta_u[pair_i[live], pair_j[live]], sizes[live])
             np.add.at(counts, self.delta_v[pair_i[live], pair_j[live]], sizes[live])
         return counts
+
+    def apply_groups_stack(
+        self,
+        rep: np.ndarray,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        sizes: np.ndarray,
+        counts_stack: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Whole-ensemble scatter: one ``np.add.at`` pass per delta table.
+
+        The deterministic remainder of every replica lands in two
+        unbuffered scatters on the raveled ``(R·S)`` view — the ensemble
+        engine's single hottest win over per-replica loops.  Randomized
+        pairs keep per-replica multinomials (entry order outer, matching
+        :meth:`apply_groups`'s sorted-entry iteration, so each replica's
+        rng consumption is unchanged).
+        """
+        num_states = counts_stack.shape[1]
+        flat = counts_stack.reshape(-1)
+        if self.random_entries:
+            sizes = sizes.copy()
+            for (i, j), entry in self.random_entries.items():
+                hits = np.flatnonzero((pair_i == i) & (pair_j == j))
+                for m in hits:
+                    group = int(sizes[m])
+                    if group:
+                        base = int(rep[m]) * num_states
+                        split = rngs[int(rep[m])].multinomial(group, entry.probs)
+                        np.add.at(flat, base + entry.out_u, split)
+                        np.add.at(flat, base + entry.out_v, split)
+                    sizes[m] = 0
+        live = np.flatnonzero(sizes)
+        if live.size:
+            base = rep[live] * num_states
+            np.add.at(
+                flat, base + self.delta_u[pair_i[live], pair_j[live]], sizes[live]
+            )
+            np.add.at(
+                flat, base + self.delta_v[pair_i[live], pair_j[live]], sizes[live]
+            )
+        return counts_stack
 
     # ------------------------------------------------------------------
     # Count-level protocol hooks

@@ -1,0 +1,435 @@
+"""Ensemble count engine: whole replicate fleets through one numpy hot loop.
+
+:func:`run_ensemble` advances ``R`` independent replicas of one
+experimental point in lockstep: the population state is a stacked
+``(R, num_states)`` count matrix, the scheduler streams per-replica
+batch sizes as arrays (:meth:`~repro.engine.scheduler.Scheduler.
+count_batch_sizes`), the sampler serves all still-active replicas
+through its replica-axis entry points (``draw_stack`` /
+``contingency_stack``), and transitions land stack-wide via
+``apply_groups_stack``.  Finished replicas are dropped from the active
+set (compaction), so a converged replica stops costing anything.
+
+Why this is fast: a serial ``replicate()`` loop pays the full per-batch
+Python/numpy dispatch overhead *per replica* — at n = 10^5..10^7 the
+count backend's hot loop spends most of its wall time in call overhead,
+not arithmetic.  The ensemble loop keeps only the per-replica work that
+is irreducibly per-replica (a handful of C-generator calls per batch:
+two margin draws, the occupied contingency rows, the randomized-entry
+multinomials) and shares *everything* else — batch-size inversion,
+dispatch classification, participant arithmetic, the transition
+scatters — across the whole stack (benchmark EB7).
+
+Determinism contract: replica ``r`` consumes randomness exclusively
+from its own generator, seeded by the same
+:func:`~repro.engine.rng.seeds_for` spawn a serial ``replicate()`` run
+uses, in the same per-replica call order.  Results are therefore a pure
+function of ``(base_seed, replica index)`` — independent of the
+ensemble size, of how the active set compacts, and of which other
+replicas share the stack.  The *guaranteed* equivalence to per-replica
+runs is at the law level (convergence-time and winner distributions;
+see docs/ENSEMBLE.md and the KS/chi-square battery in
+``tests/test_ensemble.py``), explicitly **not** bit-level: the stacked
+entry points are free to reorder or re-batch draws within a replica's
+law, and future vectorization must not be constrained by incidental
+bit-identity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import telemetry as telemetry_module
+from ..cache.store import StoreLike, resolve_store
+from . import sampling
+from . import scheduler as scheduler_module
+from .backends.base import build_run_result, run_intervals
+from .backends.counts import CountBackend
+from .backends.model import BaseCountModel, DynamicCountModel
+from .errors import BackendUnsupported, ConfigurationError
+from .population import BasePopulation
+from .protocol import Protocol
+from .rng import make_rng, seeds_for
+from .simulation import RunResult
+
+ProtocolFactory = Callable[[], Protocol]
+ConfigFactory = Callable[[int], BasePopulation]
+
+
+def run_ensemble(
+    protocol_factory: ProtocolFactory,
+    config_factory: ConfigFactory,
+    *,
+    replications: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    base_seed: int = 0,
+    indices: Optional[Sequence[int]] = None,
+    scheduler: "scheduler_module.SchedulerLike" = None,
+    scheduler_factory: Optional[Callable[[], scheduler_module.Scheduler]] = None,
+    sampler: "sampling.SamplerLike" = None,
+    max_parallel_time: Optional[float] = None,
+    check_every_parallel_time: float = 2.0,
+    check_invariants: bool = False,
+    telemetry: "telemetry_module.TelemetryLike" = None,
+    table_cache: StoreLike = None,
+) -> List[RunResult]:
+    """Run seeded replicas of one experimental point as a lockstep stack.
+
+    Mirrors :func:`repro.analysis.sweep.replicate` — same seed spawn
+    (``seeds_for(base_seed, replications)``), same per-replica config
+    factory, same defaulting (``MatchingScheduler(0.25)``, the
+    protocol's own time budget) — but executes every replica through
+    the single vectorized loop described in the module docstring and
+    always on the count path (the protocol must export a count model).
+
+    ``seeds`` overrides the spawn with explicit per-replica seeds (the
+    campaign group runner threads per-cell run seeds through here);
+    ``indices`` overrides the per-replica config-factory arguments
+    (``replicate_parallel`` chunks pass global replica indices so
+    workload randomization matches the serial layout).  All replicas
+    must share one population size ``n`` and one count-model shape —
+    they are replicas of *one* experimental point.
+
+    Returns one :class:`RunResult` per replica, in replica order,
+    assembled by the same epilogue rules as the count backend
+    (timeout/late-convergence resolution, output-opinion agreement,
+    ``correct`` vs the config's plurality).
+    """
+    if seeds is None:
+        if replications is None or replications < 1:
+            raise ConfigurationError(
+                "run_ensemble needs replications >= 1 (or explicit seeds)"
+            )
+        seeds = seeds_for(base_seed, replications)
+    elif replications is not None and replications != len(seeds):
+        raise ConfigurationError(
+            f"replications={replications} disagrees with {len(seeds)} seeds"
+        )
+    num_replicas = len(seeds)
+    if num_replicas < 1:
+        raise ConfigurationError("run_ensemble needs at least one replica")
+    if indices is None:
+        indices = range(num_replicas)
+    elif len(indices) != num_replicas:
+        raise ConfigurationError(
+            f"{len(indices)} config indices for {num_replicas} replicas"
+        )
+    if scheduler is not None and scheduler_factory is not None:
+        raise ValueError("pass scheduler or scheduler_factory, not both")
+    if scheduler is None:
+        sched = (
+            scheduler_factory()
+            if scheduler_factory
+            else scheduler_module.MatchingScheduler(0.25)
+        )
+    else:
+        sched = scheduler_module.resolve(scheduler)
+    if getattr(sched, "count_semantics", None) != "batched":
+        raise BackendUnsupported(
+            f"ensemble mode runs the count backend's batched law only; "
+            f"scheduler {type(sched).__name__} declares "
+            f"count_semantics={getattr(sched, 'count_semantics', None)!r} "
+            f"(use 'matching' or 'birthday')"
+        )
+    samp = sampling.resolve(sampler)
+    tel = telemetry_module.resolve(telemetry)
+
+    protocol = protocol_factory()
+    configs = [config_factory(int(i)) for i in indices]
+    population_sizes = {config.n for config in configs}
+    if len(population_sizes) != 1:
+        raise ConfigurationError(
+            f"ensemble replicas must share one population size, "
+            f"got {sorted(population_sizes)}"
+        )
+    n = population_sizes.pop()
+    if n < 2:
+        raise BackendUnsupported(f"need at least 2 agents, got {n}")
+    model = protocol.count_model(configs[0])
+    if model is None:
+        raise BackendUnsupported(
+            f"protocol {protocol.name!r} does not export a count model; "
+            f"ensemble mode has no per-agent path — use replicate() on "
+            f"the 'agents' backend instead"
+        )
+
+    # Table cache: warm-start exactly like CountBackend.run — entries are
+    # consulted, never required, and the run is bit-identical warm or cold.
+    store = resolve_store(table_cache)
+    signature = None
+    if store is not None and isinstance(model, DynamicCountModel):
+        signature = model.quotient_signature()
+    if signature:
+        if tel.enabled:
+            store.attach_telemetry(tel)
+        model.warm_start(store.get(signature))
+    if tel.enabled:
+        model.attach_telemetry(tel)
+        samp.attach_telemetry(tel)
+        sched.attach_telemetry(tel)
+    c_batches = tel.counter("ensemble.batches")
+    c_replicas = tel.counter("ensemble.replicas")
+    h_active = tel.histogram("ensemble.active_per_batch")
+    c_compact = tel.counter("ensemble.compactions")
+    events_on = tel.events is not None
+    if events_on:
+        tel.event(
+            "run_start",
+            protocol=protocol.name,
+            n=int(n),
+            backend="counts",
+            scheduler=sched.name,
+            ensemble=num_replicas,
+        )
+
+    budgets = np.empty(num_replicas, dtype=np.int64)
+    check_interval = 0
+    for r, config in enumerate(configs):
+        budget = max_parallel_time
+        if budget is None:
+            # The analysis layer owns the protocol-default budget rule;
+            # imported lazily so the engine package stays import-acyclic.
+            from ..analysis.sweep import _default_budget
+
+            budget = _default_budget(protocol, config)
+        budgets[r], check_interval, _ = run_intervals(
+            n,
+            max_parallel_time=budget,
+            check_every_parallel_time=check_every_parallel_time,
+            recorder=None,
+            record_every_parallel_time=None,
+        )
+
+    rngs = [make_rng(int(seed)) for seed in seeds]
+    vectors = [model.initial_counts(config).astype(np.int64) for config in configs]
+    counts = np.zeros((num_replicas, model.num_states), dtype=np.int64)
+    for r, vector in enumerate(vectors):
+        counts[r, : vector.shape[0]] = vector
+
+    interactions = np.zeros(num_replicas, dtype=np.int64)
+    next_check = np.full(num_replicas, check_interval, dtype=np.int64)
+    converged = np.zeros(num_replicas, dtype=bool)
+    failures: List[Optional[str]] = [None] * num_replicas
+    last_outputs = np.zeros_like(counts)
+    active = np.arange(num_replicas)
+    first = True
+    c_replicas.inc(num_replicas)
+    next_heartbeat = time.monotonic() + tel.heartbeat_seconds if events_on else 0.0
+
+    while active.size:
+        # Retire replicas whose budget is spent (the epilogue below
+        # decides timeout vs late convergence) *before* drawing batch
+        # sizes, so a retired replica's rng sees exactly the draws its
+        # serial twin would.
+        remaining = budgets[active] - interactions[active]
+        alive = remaining > 0
+        if not alive.all():
+            active = active[alive]
+            remaining = remaining[alive]
+            c_compact.inc()
+            if active.size == 0:
+                break
+        active_rngs = [rngs[r] for r in active]
+        sizes, carry_first = sched.count_batch_sizes(n, active_rngs, first)
+        first = False
+        sizes = np.minimum(sizes, remaining)
+        carry = last_outputs[active] if carry_first else None
+        stepped, outputs = _step_stack(
+            model, samp, counts[active], sizes, active_rngs, carry, n
+        )
+        if stepped.shape[1] != counts.shape[1]:
+            grow = stepped.shape[1] - counts.shape[1]
+            counts = np.pad(counts, ((0, 0), (0, grow)))
+            last_outputs = np.pad(last_outputs, ((0, 0), (0, grow)))
+        counts[active] = stepped
+        last_outputs[active] = outputs
+        interactions[active] += sizes
+        c_batches.inc()
+        h_active.observe(active.size)
+
+        due = np.flatnonzero(interactions[active] >= next_check[active])
+        if due.size:
+            keep = np.ones(active.size, dtype=bool)
+            for idx in due:
+                r = int(active[idx])
+                failure, is_converged = CountBackend._check(
+                    model, counts[r], n, check_invariants
+                )
+                if failure is not None:
+                    failures[r] = failure
+                    keep[idx] = False
+                    if tel:
+                        tel.count(f"guard.{failure}")
+                        tel.event(
+                            "guard_trip",
+                            failure=failure,
+                            interactions=int(interactions[r]),
+                            replica=r,
+                        )
+                elif is_converged:
+                    converged[r] = True
+                    keep[idx] = False
+                else:
+                    next_check[r] += check_interval
+            if not keep.all():
+                active = active[keep]
+                c_compact.inc()
+            if events_on:
+                now = time.monotonic()
+                if now >= next_heartbeat:
+                    tel.event(
+                        "heartbeat",
+                        interactions=int(interactions.sum()),
+                        active=int(active.size),
+                    )
+                    next_heartbeat = now + tel.heartbeat_seconds
+
+    if tel.enabled:
+        tel.count("engine.interactions", int(interactions.sum()))
+    if signature and model._derive_count:
+        store.put(model.export_table())
+
+    dynamic_summary = None
+    if isinstance(model, DynamicCountModel):
+        dynamic_summary = model.summary()
+        for key, value in dynamic_summary.items():
+            tel.meta_sum(f"count_model.{key}", value)
+
+    results: List[RunResult] = []
+    for r in range(num_replicas):
+        counts_r = counts[r]
+        replica_converged = bool(converged[r])
+        failure = failures[r]
+        if not replica_converged and failure is None:
+            failure = model.failure(counts_r) or (
+                "converged" if model.converged(counts_r) else "timeout"
+            )
+            if failure == "converged":
+                replica_converged = True
+                failure = None
+        output_opinion: Optional[int] = None
+        if replica_converged:
+            output_opinion = model.output_opinion(counts_r)
+            if output_opinion is None:
+                replica_converged = False
+                failure = "divergent_output"
+        extras = model.progress(counts_r)
+        if dynamic_summary is not None:
+            # Shared-model totals (the ensemble derives each pair once
+            # for the whole stack), unlike serial runs where every
+            # replica re-derives — part of the documented law-level-only
+            # equivalence (docs/ENSEMBLE.md).
+            extras["count_model.derived_pairs"] = dynamic_summary["derived_pairs"]
+            extras["count_model.interned_states"] = dynamic_summary[
+                "interned_states"
+            ]
+        results.append(
+            build_run_result(
+                protocol,
+                configs[r],
+                interactions=int(interactions[r]),
+                converged=replica_converged,
+                failure=failure,
+                output_opinion=output_opinion,
+                extras=extras,
+            )
+        )
+    if events_on:
+        tel.event(
+            "run_end",
+            converged=int(sum(result.converged for result in results)),
+            interactions=int(interactions.sum()),
+            ensemble=num_replicas,
+        )
+    return results
+
+
+def _step_stack(
+    model: BaseCountModel,
+    sampler: "sampling.SamplerPolicy",
+    counts: np.ndarray,
+    sizes: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+    carry: Optional[np.ndarray],
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample and apply one lockstep batch across the active stack.
+
+    The stacked twin of :meth:`CountBackend._step_batch`: per active
+    replica ``a``, ``sizes[a]`` disjoint interactions are realized by
+    two margin draws and a sparse contingency table, with the birthday
+    carry pair (``carry`` is the previous batch's post-transition
+    outcome stack) drawn per replica through the same
+    :meth:`CountBackend._carry_pair` mixture.  ``counts`` is a private
+    ``(A, S)`` slice (fancy-indexed copy) and may be mutated freely.
+
+    Returns ``(after, outputs)``: the post-batch stack and the per-
+    replica post-transition participant counts (the collision pool of a
+    following carried pair).
+    """
+    num_active = counts.shape[0]
+    pool = counts
+    pool_totals = np.full(num_active, n, dtype=np.int64)
+    rest = sizes.astype(np.int64, copy=True)
+    firsts: Optional[np.ndarray] = None
+    if carry is not None:
+        firsts = np.full((num_active, 2), -1, dtype=np.int64)
+        pool = counts.copy()
+        for a in range(num_active):
+            if sizes[a] < 1:
+                continue
+            first_i, first_j = CountBackend._carry_pair(
+                counts[a], carry[a], rngs[a]
+            )
+            firsts[a, 0] = first_i
+            firsts[a, 1] = first_j
+            pool[a, first_i] -= 1
+            pool[a, first_j] -= 1
+            rest[a] -= 1
+            pool_totals[a] -= 2
+    initiators = sampler.draw_stack(pool, rest, rngs, totals=pool_totals)
+    responders = sampler.draw_stack(
+        pool - initiators, rest, rngs, totals=pool_totals - rest
+    )
+    rep, pair_i, pair_j, group_sizes = sampler.contingency_stack(
+        initiators, responders, rngs, totals=rest
+    )
+    participants = initiators + responders
+    if firsts is not None:
+        group_sizes = group_sizes.copy()
+        extra_rep, extra_i, extra_j = [], [], []
+        for a in range(num_active):
+            first_i, first_j = int(firsts[a, 0]), int(firsts[a, 1])
+            if first_i < 0:
+                continue
+            participants[a, first_i] += 1
+            participants[a, first_j] += 1
+            hit = np.flatnonzero(
+                (rep == a) & (pair_i == first_i) & (pair_j == first_j)
+            )
+            if hit.size:
+                group_sizes[hit[0]] += 1
+            else:
+                extra_rep.append(a)
+                extra_i.append(first_i)
+                extra_j.append(first_j)
+        if extra_rep:
+            rep = np.concatenate([rep, np.asarray(extra_rep, dtype=np.int64)])
+            pair_i = np.concatenate([pair_i, np.asarray(extra_i, dtype=np.int64)])
+            pair_j = np.concatenate([pair_j, np.asarray(extra_j, dtype=np.int64)])
+            group_sizes = np.concatenate(
+                [group_sizes, np.ones(len(extra_rep), dtype=np.int64)]
+            )
+    new_counts = counts - participants
+    rest_counts = new_counts.copy()
+    after = model.apply_groups_stack(
+        rep, pair_i, pair_j, group_sizes, new_counts, rngs
+    )
+    if rest_counts.shape[1] < after.shape[1]:
+        rest_counts = np.pad(
+            rest_counts, ((0, 0), (0, after.shape[1] - rest_counts.shape[1]))
+        )
+    return after, after - rest_counts

@@ -66,7 +66,7 @@ The three registered schedulers:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, NamedTuple, Optional, Tuple, Union
+from typing import Iterator, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -126,6 +126,30 @@ class Scheduler(ABC):
         """
         raise ConfigurationError(
             f"scheduler {type(self).__name__} has no count-space batch law"
+        )
+
+    def count_batch_sizes(
+        self,
+        n: int,
+        rngs: Sequence[np.random.Generator],
+        first: bool,
+    ) -> Tuple[np.ndarray, bool]:
+        """One count-space batch size per replica rng (the ensemble path).
+
+        The stacked twin of :meth:`count_batches`: given one rng per
+        still-active replica of an ensemble run, return ``(sizes,
+        carry_first)`` where ``sizes[r]`` is the next batch size of
+        replica ``r`` under this scheduler's law and ``carry_first``
+        applies to the whole stack (all replicas are on the same batch
+        index — ``first`` is True exactly for the ensemble's first loop
+        iteration).  Implementations must consume randomness from
+        ``rngs[r]`` only for replica ``r``'s size, in the same per-replica
+        call order as :meth:`count_batches`, so each replica's stream
+        stays a pure function of its own seed.
+        """
+        raise ConfigurationError(
+            f"scheduler {type(self).__name__} has no stacked count-space "
+            f"batch law (ensemble mode needs count_semantics='batched')"
         )
 
     def attach_telemetry(self, telemetry: "telemetry_module.Telemetry") -> None:
@@ -199,6 +223,56 @@ def birthday_prefix_length(n: int, used: int, rng: np.random.Generator) -> int:
         length += take
         log_s = float(survival[-1])
     return cap
+
+
+def birthday_prefix_lengths(
+    n: int, used: int, uniforms: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`birthday_prefix_length`: one length per uniform.
+
+    The survival curve depends only on ``(n, used)``, so an ensemble of
+    replicas inverts the *same* blockwise log-survival table on a vector
+    of uniforms at once.  The blockwise arithmetic (block size, cumsum
+    restart carrying ``log_s``) is kept identical to the scalar
+    function, so for the same uniform the returned length agrees with
+    :func:`birthday_prefix_length` exactly — replica streams stay a pure
+    function of their own seed regardless of which entry point drew them.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need at least 2 agents, got {n}")
+    if used % 2 or used < 0:
+        raise ConfigurationError(f"used endpoints must be even and >= 0, got {used}")
+    u = np.asarray(uniforms, dtype=np.float64)
+    out = np.full(u.size, -1, dtype=np.int64)
+    j0 = used // 2
+    cap = max((n - used) // 2, 0)
+    if cap == 0:
+        out[:] = 0
+        return out
+    log_u = np.full(u.size, -np.inf)
+    positive = u > 0.0
+    log_u[positive] = np.log(u[positive])
+    log_denom = float(np.log(n) + np.log(n - 1))
+    log_s = 0.0
+    length = 0
+    block = max(64, int(2.5 * np.sqrt(n)))
+    pending = np.arange(u.size)
+    while length < cap and pending.size:
+        take = min(block, cap - length)
+        j = j0 + length + np.arange(take, dtype=np.float64)
+        steps = np.log(n - 2 * j) + np.log(n - 2 * j - 1) - log_denom
+        survival = log_s + np.cumsum(steps)
+        # First index with survival <= log_u (survival is decreasing, so
+        # search the negated, ascending curve); index == take means the
+        # prefix survives this whole block.
+        idx = np.searchsorted(-survival, -log_u[pending], side="left")
+        hit = idx < take
+        out[pending[hit]] = length + idx[hit]
+        pending = pending[~hit]
+        length += take
+        log_s = float(survival[-1])
+    out[pending] = cap
+    return out
 
 
 class SequentialScheduler(Scheduler):
@@ -292,6 +366,33 @@ class BirthdayScheduler(SequentialScheduler):
             self._t_prefix.observe(prefix)
             yield CountBatch(1 + prefix, True)
 
+    def count_batch_sizes(
+        self,
+        n: int,
+        rngs: Sequence[np.random.Generator],
+        first: bool,
+    ) -> Tuple[np.ndarray, bool]:
+        """Per-replica birthday lengths: one uniform per rng, one inversion.
+
+        Each replica consumes exactly the one uniform its serial
+        :meth:`count_batches` stream would (the inversion itself is
+        shared — :func:`birthday_prefix_lengths` agrees with the scalar
+        draw bit-for-bit on the same uniform), so replica streams stay
+        pure functions of their seeds.
+        """
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 agents, got {n}")
+        uniforms = np.fromiter(
+            (rng.random() for rng in rngs), dtype=np.float64, count=len(rngs)
+        )
+        prefixes = birthday_prefix_lengths(n, 0 if first else 2, uniforms)
+        if self._t_prefix is not telemetry_module.NULL_HISTOGRAM:
+            for prefix in prefixes:
+                self._t_prefix.observe(int(prefix))
+        if first:
+            return prefixes, False
+        return 1 + prefixes, True
+
 
 class MatchingScheduler(Scheduler):
     """Random partial matchings of ``B = max(1, round(n * fraction))`` pairs."""
@@ -333,6 +434,17 @@ class MatchingScheduler(Scheduler):
         batch = CountBatch(self._batch_size(n), False)
         while True:
             yield batch
+
+    def count_batch_sizes(
+        self,
+        n: int,
+        rngs: Sequence[np.random.Generator],
+        first: bool,
+    ) -> Tuple[np.ndarray, bool]:
+        """The constant matching batch size broadcast over the stack."""
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 agents, got {n}")
+        return np.full(len(rngs), self._batch_size(n), dtype=np.int64), False
 
 
 # ----------------------------------------------------------------------

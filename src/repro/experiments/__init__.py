@@ -6,6 +6,7 @@ from .base import (
     names,
     run,
     supports_backend,
+    supports_ensemble,
     supports_sampler,
     supports_scheduler,
     titles,
@@ -17,6 +18,7 @@ __all__ = [
     "names",
     "run",
     "supports_backend",
+    "supports_ensemble",
     "supports_sampler",
     "supports_scheduler",
     "titles",

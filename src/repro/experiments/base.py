@@ -128,19 +128,26 @@ def supports_scheduler(name: str) -> bool:
     return "scheduler" in inspect.signature(get(name)).parameters
 
 
+def supports_ensemble(name: str) -> bool:
+    """Whether an experiment accepts an ``ensemble=`` size override."""
+    return "ensemble" in inspect.signature(get(name)).parameters
+
+
 def run(
     name: str,
     scale: str = "quick",
     backend: Optional[str] = None,
     sampler: Optional[str] = None,
     scheduler: Optional[str] = None,
+    ensemble: Optional[int] = None,
     telemetry: "telemetry_module.TelemetryLike" = None,
 ) -> ExperimentReport:
     """Run one experiment at the given scale.
 
-    ``backend`` / ``sampler`` / ``scheduler`` forward execution-backend,
-    sampler-policy, and scheduler overrides to experiments whose function
-    accepts the matching keyword (e.g. EB2/EB3/EB6); passing one to any
+    ``backend`` / ``sampler`` / ``scheduler`` / ``ensemble`` forward
+    execution-backend, sampler-policy, scheduler, and ensemble-size
+    overrides to experiments whose function accepts the matching keyword
+    (e.g. EB2/EB3/EB6/EB7); passing one to any
     other experiment raises ValueError.  A run the *chosen* combination
     cannot execute (it raised :class:`BackendUnsupported`) comes back as
     a *skipped* report carrying the reason, not a traceback, so sweeps
@@ -176,6 +183,12 @@ def run(
                 f"experiment {name} does not support a scheduler override"
             )
         kwargs["scheduler"] = scheduler
+    if ensemble is not None:
+        if not supports_ensemble(name):
+            raise ValueError(
+                f"experiment {name} does not support an ensemble override"
+            )
+        kwargs["ensemble"] = ensemble
     tel = telemetry_module.resolve(telemetry)
     if tel is telemetry_module.NULL:
         # The shared NULL singleton must stay write-free, but the

@@ -115,6 +115,71 @@ def table_cache_smoke(scale: str) -> CampaignGrid:
 
 
 @register_campaign(
+    "failure_probability",
+    "w.h.p. failure rates vs n and initial bias: three-state + unordered",
+)
+def failure_probability(scale: str) -> CampaignGrid:
+    """Empirical failure probability against population size and bias.
+
+    The paper's guarantees are with-high-probability statements: the
+    failure modes (wrong-consensus for three-state majority,
+    plurality pruning for the unordered tournament) must decay as n
+    grows and as the initial bias widens.  This campaign measures both
+    rates directly: many seeds per (protocol, n, bias) point, rolled up
+    into per-group ``success_rate`` entries (failure rate = 1 −
+    success_rate).  Cells are replicas of one experimental point per
+    group, so ``campaign run --ensemble-size R`` stacks each group
+    through the ensemble engine (see docs/ENSEMBLE.md).
+
+    Small biases sit deliberately close to the coin-flip regime —
+    wrong-consensus outcomes still *converge*, so the rollup's
+    ``all_converged`` check stays meaningful while ``success_rate``
+    carries the measurement.
+    """
+    _check_scale(scale)
+    if scale == "quick":
+        three_ns, three_biases, three_seeds = [256, 1024], [2, 16], range(8)
+        unordered_ns, unordered_biases, unordered_seeds = [64, 96], [2, 8], range(4)
+    else:
+        three_ns, three_biases, three_seeds = [4096, 16384], [2, 64], range(16)
+        unordered_ns, unordered_biases, unordered_seeds = [128, 256], [2, 16], range(8)
+    common = dict(
+        ks=[2],
+        workload="majority_counts",
+        backend="counts",
+        scheduler="matching",
+        sampler="auto",
+        counts_only=True,
+        scale=scale,
+    )
+    three = CampaignGrid.from_axes(
+        "failure_probability",
+        protocols=["three_state"],
+        ns=three_ns,
+        seeds=list(three_seeds),
+        workload_axes=tuple({"bias": bias} for bias in three_biases),
+        **common,
+    )
+    unordered = CampaignGrid.from_axes(
+        "failure_probability",
+        protocols=["unordered"],
+        ns=unordered_ns,
+        seeds=list(unordered_seeds),
+        workload_axes=tuple({"bias": bias} for bias in unordered_biases),
+        **common,
+    )
+    return CampaignGrid(
+        "failure_probability",
+        three.cells + unordered.cells,
+        scale=scale,
+        description=(
+            "failure rates vs n and initial bias (three_state wrong-"
+            "consensus, unordered plurality pruning)"
+        ),
+    )
+
+
+@register_campaign(
     "usd_lower_bound",
     "USD lower-bound study vs n, k, bias (arXiv:2505.02765), counts backend",
 )

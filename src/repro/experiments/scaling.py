@@ -1,8 +1,9 @@
-"""Scaling experiments E1, E2, E4, E5, EB2–EB6 — runtime shapes and backends."""
+"""Scaling experiments E1, E2, E4, E5, EB2–EB7 — runtime shapes and backends."""
 
 from __future__ import annotations
 
 import time
+from functools import partial
 from typing import Optional
 
 from .. import workloads
@@ -857,6 +858,133 @@ def eb6_scheduler_sampler_grid(
             "auto_dominates[...] asserts the adaptive policy matches the "
             "best rival per cell within run noise "
             f"(x{EB6_DOMINANCE_NOISE:g})."
+        ),
+    )
+
+
+def _eb7_config(index: int, *, n: int) -> CountConfig:
+    """EB7's fixed experimental point (module-level: pool jobs pickle it)."""
+    return CountConfig.from_counts(
+        [int(0.6 * n), n - int(0.6 * n)], name=f"eb7_{n}"
+    )
+
+
+@register("EB7", "Ensemble throughput: stacked replicate fleets vs serial runs")
+def eb7_ensemble_throughput(
+    scale: str,
+    backend: Optional[str] = None,
+    sampler: Optional[str] = None,
+    ensemble: Optional[int] = None,
+) -> ExperimentReport:
+    """Replicas/second of the stacked ensemble engine vs its serial twin.
+
+    One experimental point (three-state majority, 60/40 split, matching
+    batches, the adaptive sampler), three execution strategies over the
+    same seeds:
+
+    * **serial** — :func:`replicate`: one full count-backend run per
+      replica, the baseline every fleet sweep pays today;
+    * **ensemble** — ``replicate(mode="ensemble")``: every replica in
+      one lockstep ``(R, states)`` stack, per-batch dispatch overhead
+      shared across the whole fleet;
+    * **parallel** — :func:`replicate_parallel` with ``ensemble_size``:
+      the two-level form (process pool × ensemble stack).  Recorded for
+      the stats trail only — no shape check, since CI machines with one
+      core cannot demonstrate pool speedups.
+
+    The headline check at full scale (n = 10⁶, R = 64) is
+    ``ensemble_speedup_ge_3``: stacked throughput at least 3× the serial
+    replica throughput on a single core.  Convergence-law equivalence of
+    the two modes is asserted distributionally in
+    ``tests/test_ensemble.py`` (law-level, not bit-level — see
+    docs/ENSEMBLE.md); here each leg just has to converge correctly.
+
+    ``ensemble`` overrides the fleet size R; ``sampler`` forces a
+    policy; ``backend`` must resolve to the count backend.
+    """
+    from ..analysis.parallel import replicate_parallel
+
+    backend = backend or "counts"
+    if backend != "counts":
+        raise BackendUnsupported(
+            f"EB7 measures the count backend's ensemble mode; backend "
+            f"{backend!r} has no stacked execution path"
+        )
+    n, replicas = (10**6, 64) if scale == "full" else (20_000, 16)
+    if ensemble is not None:
+        replicas = int(ensemble)
+    policy = sampler or "auto"
+    kwargs = dict(
+        replications=replicas,
+        base_seed=11,
+        scheduler="matching",
+        sampler=policy,
+        max_parallel_time=200.0,
+        check_every_parallel_time=1.0,
+    )
+    config_factory = partial(_eb7_config, n=n)
+
+    legs = []
+    started = time.perf_counter()
+    results = replicate(
+        ThreeStateMajority, config_factory, backend=backend, **kwargs
+    )
+    legs.append(("serial", time.perf_counter() - started, results))
+    started = time.perf_counter()
+    results = replicate(
+        ThreeStateMajority, config_factory, backend=backend,
+        mode="ensemble", **kwargs
+    )
+    legs.append(("ensemble", time.perf_counter() - started, results))
+    started = time.perf_counter()
+    results = replicate_parallel(
+        ThreeStateMajority, config_factory, backend=backend, workers=2,
+        ensemble_size=max(replicas // 2, 1), **kwargs
+    )
+    legs.append(("parallel", time.perf_counter() - started, results))
+
+    rows = []
+    checks = {}
+    report_stats = {}
+    throughput = {}
+    for leg, seconds, leg_results in legs:
+        rate = len(leg_results) / max(seconds, 1e-9)
+        throughput[leg] = rate
+        ok = sum(1 for r in leg_results if r.succeeded)
+        rows.append(
+            [leg, n, len(leg_results), seconds, rate,
+             sum(r.converged for r in leg_results), ok]
+        )
+        report_stats[f"replicas_per_second[{leg}]"] = rate
+        report_stats[f"seconds[{leg}]"] = seconds
+        if leg != "parallel":
+            checks[f"all_correct[{leg}]"] = ok == len(leg_results)
+    speedup = throughput["ensemble"] / max(throughput["serial"], 1e-9)
+    report_stats["ensemble_speedup"] = speedup
+    if scale == "full":
+        checks["ensemble_speedup_ge_3"] = speedup >= 3.0
+    else:
+        # Quick sizing keeps CI honest without demanding the full-scale
+        # margin: at n = 2·10⁴ the stacked loop's savings are smaller
+        # because per-replica rng calls are a larger share of each batch.
+        checks["ensemble_speedup_ge"] = speedup >= 1.3
+    return ExperimentReport(
+        experiment="EB7",
+        title=f"ensemble vs serial replicate at n={n}, R={replicas}",
+        headers=[
+            "mode", "n", "replicas", "seconds", "replicas/s",
+            "converged", "correct",
+        ],
+        rows=rows,
+        checks=checks,
+        stats=report_stats,
+        notes=(
+            "serial = replicate(); ensemble = replicate(mode='ensemble') "
+            "(one vectorized (R, states) stack); parallel = "
+            "replicate_parallel(ensemble_size=R/2) (process pool × "
+            "stack, stats-only on single-core CI).  Same seeds per leg; "
+            "equivalence of the laws is asserted in "
+            "tests/test_ensemble.py."
         ),
     )
 

@@ -617,6 +617,26 @@ CATALOG: List[MetricInfo] = [
         "birthday (disjoint-prefix) batch lengths drawn by the count path",
     ),
     MetricInfo(
+        "ensemble.replicas",
+        "counter",
+        "replicas executed by the stacked ensemble engine",
+    ),
+    MetricInfo(
+        "ensemble.batches",
+        "counter",
+        "stacked batches applied (one advances every still-active replica)",
+    ),
+    MetricInfo(
+        "ensemble.active_per_batch",
+        "histogram",
+        "still-active replicas per stacked batch (the vectorization width)",
+    ),
+    MetricInfo(
+        "ensemble.compactions",
+        "counter",
+        "active-set compactions (finished replicas dropped from the stack)",
+    ),
+    MetricInfo(
         "guard.<failure>",
         "counter",
         "protocol-reported guard trips by failure name "

@@ -1,0 +1,553 @@
+"""Tests for the ensemble count engine (PR 10).
+
+The load-bearing guarantees:
+
+* **Law-level equivalence, explicitly not bit-level**: serial
+  ``replicate()`` and ``replicate(mode="ensemble")`` sample the same
+  convergence-time and winner distributions (KS / chi-square over >= 20
+  seeds per mode).  The ensemble engine draws its randomness through
+  different entry points (stacked schedulers, the sequential-marginal
+  sampler decomposition), so bitwise agreement with serial runs is *not*
+  part of the contract — see docs/ENSEMBLE.md.
+* **Per-replica purity**: each replica's result is a pure function of
+  ``(base_seed, index)`` — independent of ensemble size and stack
+  composition.  This is bit-level, and it is what makes chunked
+  ``replicate_parallel(ensemble_size=...)`` reproducible.
+* The stacked scheduler / sampler / model entry points preserve their
+  scalar twins' margins and laws, and refuse where the scalar paths
+  refuse.
+"""
+
+from collections import Counter
+from math import comb
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro import telemetry as telemetry_module
+from repro.analysis.parallel import replicate_parallel
+from repro.analysis.sweep import _default_budget, replicate
+from repro.campaign import (
+    CampaignGrid,
+    CheckpointStore,
+    build_rollup,
+    campaign_status,
+    cell_hash,
+    run_campaign,
+)
+from repro.engine import ConfigurationError, sampling
+from repro.engine.backends.counts import CountBackend
+from repro.engine.ensemble import run_ensemble
+from repro.engine.errors import BackendUnsupported, SimulationError
+from repro.engine.population import CountConfig
+from repro.engine.rng import make_rng, seeds_for
+from repro.engine.scheduler import (
+    BirthdayScheduler,
+    MatchingScheduler,
+    Scheduler,
+    birthday_prefix_length,
+    birthday_prefix_lengths,
+)
+from repro.majority import ThreeStateMajority
+
+#: Seeded draws make every p-value below deterministic; 0.01 keeps the
+#: suite immune to re-rolls while still catching real distribution bugs.
+P_THRESHOLD = 0.01
+
+
+def three_state_config(n=2000, bias=40):
+    a = (n + bias) // 2
+    return CountConfig.from_counts([a, n - a], name=f"maj_{n}_{bias}")
+
+
+def config_factory(index):
+    return three_state_config()
+
+
+ENSEMBLE_KWARGS = dict(
+    scheduler="matching",
+    sampler="auto",
+    max_parallel_time=500.0,
+    check_every_parallel_time=2.0,
+)
+
+
+# ----------------------------------------------------------------------
+# Stacked scheduler API
+# ----------------------------------------------------------------------
+class TestStackedSchedulers:
+    def test_base_scheduler_refuses_stacked_batches(self):
+        class AgentOnly(Scheduler):
+            name = "agent_only"
+            exact = True
+            summary = "test"
+
+            def batches(self, n, rng):  # pragma: no cover - never drawn
+                return iter(())
+
+        with pytest.raises(ConfigurationError, match="stacked count-space"):
+            AgentOnly().count_batch_sizes(100, [make_rng(0)], True)
+
+    def test_matching_broadcasts_constant_batch(self):
+        sched = MatchingScheduler(0.25)
+        rngs = [make_rng(i) for i in range(5)]
+        sizes, carry = sched.count_batch_sizes(1000, rngs, True)
+        assert carry is False
+        assert sizes.shape == (5,)
+        assert (sizes == sched._batch_size(1000)).all()
+
+    def test_birthday_first_batch_has_no_carry(self):
+        sched = BirthdayScheduler()
+        sizes, carry = sched.count_batch_sizes(400, [make_rng(i) for i in range(8)], True)
+        assert carry is False
+        assert (sizes >= 0).all()
+
+    def test_birthday_continuation_counts_the_carried_pair(self):
+        sched = BirthdayScheduler()
+        sizes, carry = sched.count_batch_sizes(400, [make_rng(i) for i in range(8)], False)
+        assert carry is True
+        assert (sizes >= 1).all()
+
+    def test_vectorized_prefix_lengths_agree_with_scalar(self):
+        # Same uniform => bit-identical length, for fresh and continued
+        # batches: this is what keeps birthday replica streams pure
+        # functions of their seeds regardless of entry point.
+        for used in (0, 2):
+            for n in (50, 400, 10_000):
+                seeds = range(30)
+                scalar = [
+                    birthday_prefix_length(n, used, make_rng(s)) for s in seeds
+                ]
+                uniforms = np.array([make_rng(s).random() for s in seeds])
+                stacked = birthday_prefix_lengths(n, used, uniforms)
+                assert stacked.tolist() == scalar
+
+
+# ----------------------------------------------------------------------
+# Stacked sampling entry points
+# ----------------------------------------------------------------------
+def exact_mvh_pmf(colors, nsample):
+    colors = list(colors)
+    total = sum(colors)
+    denom = comb(total, nsample)
+    pmf = {}
+
+    def rec(prefix, remaining):
+        index = len(prefix)
+        if index == len(colors) - 1:
+            if 0 <= remaining <= colors[-1]:
+                outcome = prefix + (remaining,)
+                weight = 1
+                for c, x in zip(colors, outcome):
+                    weight *= comb(c, x)
+                pmf[outcome] = weight / denom
+            return
+        for x in range(min(colors[index], remaining) + 1):
+            rec(prefix + (x,), remaining - x)
+
+    rec((), nsample)
+    return pmf
+
+
+class TestStackedSampling:
+    def test_draw_stack_preserves_margins(self):
+        auto = sampling.resolve("auto")
+        rngs = [make_rng(100 + i) for i in range(6)]
+        grid_rng = np.random.default_rng(7)
+        for _ in range(100):
+            stack = grid_rng.integers(0, 50, size=(6, 4)).astype(np.int64)
+            totals = stack.sum(axis=1)
+            ns = np.minimum(grid_rng.integers(0, 40, size=6), totals)
+            out = auto.draw_stack(stack, ns.astype(np.int64), rngs, totals=totals)
+            assert (out.sum(axis=1) == ns).all()
+            assert (out >= 0).all() and (out <= stack).all()
+
+    def test_draw_stack_matches_the_multivariate_law(self):
+        # The sequential-marginal decomposition must be distributed
+        # exactly as multivariate_hypergeometric: chi-square of stacked
+        # outcomes against the closed-form pmf.
+        colors = (5, 7, 4)
+        nsample = 8
+        pmf = exact_mvh_pmf(colors, nsample)
+        auto = sampling.resolve("auto")
+        rngs = [make_rng(i) for i in range(40)]
+        stack = np.tile(np.array(colors, dtype=np.int64), (40, 1))
+        ns = np.full(40, nsample, dtype=np.int64)
+        observed = Counter()
+        for _ in range(100):
+            out = auto.draw_stack(stack, ns, rngs, totals=stack.sum(axis=1))
+            for row in out:
+                observed[tuple(int(x) for x in row)] += 1
+        total = sum(observed.values())
+        outcomes = sorted(pmf)
+        oc = np.array([observed.get(o, 0) for o in outcomes], dtype=float)
+        ec = np.array([pmf[o] * total for o in outcomes])
+        keep = ec >= 5
+        result = scipy_stats.chisquare(
+            np.append(oc[keep], oc[~keep].sum()),
+            np.append(ec[keep], ec[~keep].sum()),
+        )
+        assert result.pvalue > P_THRESHOLD
+
+    def test_contingency_stack_reproduces_both_margins(self):
+        auto = sampling.resolve("auto")
+        rngs = [make_rng(200 + i) for i in range(6)]
+        grid_rng = np.random.default_rng(11)
+        for _ in range(100):
+            ini = grid_rng.integers(0, 30, size=(6, 4)).astype(np.int64)
+            totals = ini.sum(axis=1)
+            res = np.zeros_like(ini)
+            for r in range(6):
+                res[r] = grid_rng.multinomial(totals[r], np.ones(4) / 4)
+            rep, pa, pb, sz = auto.contingency_stack(ini, res, rngs, totals=totals)
+            assert (sz > 0).all()
+            for r in range(6):
+                mask = rep == r
+                got_i = np.zeros(4, dtype=np.int64)
+                got_j = np.zeros(4, dtype=np.int64)
+                np.add.at(got_i, pa[mask], sz[mask])
+                np.add.at(got_j, pb[mask], sz[mask])
+                assert (got_i == ini[r]).all()
+                assert (got_j == res[r]).all()
+
+    def test_out_of_range_stack_falls_back_to_adaptive_route(self):
+        # An AutoSampler whose numpy ceiling is tiny must still produce
+        # valid stacked margins through the per-replica fallback.
+        auto = sampling.AutoSampler(numpy_max=10)
+        rngs = [make_rng(300 + i) for i in range(4)]
+        stack = np.array([[40, 60, 0], [30, 30, 40], [100, 0, 0], [10, 20, 70]])
+        ns = np.array([20, 35, 50, 5], dtype=np.int64)
+        out = auto.draw_stack(stack, ns, rngs, totals=stack.sum(axis=1))
+        assert (out.sum(axis=1) == ns).all()
+        assert (out <= stack).all()
+        rep, pa, pb, sz = auto.contingency_stack(
+            out, out[:, ::-1].copy(), rngs, totals=ns
+        )
+        for r in range(4):
+            mask = rep == r
+            assert int(sz[mask].sum()) == int(ns[r])
+
+
+# ----------------------------------------------------------------------
+# Stacked model application
+# ----------------------------------------------------------------------
+class TestApplyGroupsStack:
+    def test_vectorized_scatter_matches_per_replica_apply(self):
+        model = ThreeStateMajority().count_model(three_state_config(200, 10))
+        num_states = model.num_states
+        grid_rng = np.random.default_rng(3)
+        for trial in range(20):
+            R = 5
+            counts = grid_rng.integers(5, 40, size=(R, num_states)).astype(np.int64)
+            entries = []
+            for r in range(R):
+                pairs = {
+                    (int(i), int(j))
+                    for i, j in grid_rng.integers(0, num_states, size=(6, 2))
+                }
+                for i, j in sorted(pairs):
+                    entries.append((r, i, j, int(grid_rng.integers(1, 5))))
+            rep = np.array([e[0] for e in entries], dtype=np.int64)
+            pi = np.array([e[1] for e in entries], dtype=np.int64)
+            pj = np.array([e[2] for e in entries], dtype=np.int64)
+            sz = np.array([e[3] for e in entries], dtype=np.int64)
+            stacked = model.apply_groups_stack(
+                rep, pi, pj, sz, counts.copy(), [make_rng(trial * 10 + r) for r in range(R)]
+            )
+            serial = counts.copy()
+            for r in range(R):
+                sel = rep == r
+                serial[r] = model.apply_groups(
+                    pi[sel], pj[sel], sz[sel], serial[r], make_rng(trial * 10 + r)
+                )
+            assert (stacked == serial).all()
+
+
+# ----------------------------------------------------------------------
+# run_ensemble end to end
+# ----------------------------------------------------------------------
+class TestRunEnsemble:
+    def test_converges_and_reports_correctness(self):
+        results = run_ensemble(
+            ThreeStateMajority, lambda i: three_state_config(2000, 600),
+            replications=8, base_seed=4, **ENSEMBLE_KWARGS,
+        )
+        assert len(results) == 8
+        for r in results:
+            assert r.converged and r.correct
+            assert r.interactions > 0
+            assert r.parallel_time == pytest.approx(r.interactions / 2000)
+
+    def test_timeout_exhausts_the_budget(self):
+        results = run_ensemble(
+            ThreeStateMajority, config_factory, replications=3, base_seed=4,
+            scheduler="matching", sampler="auto", max_parallel_time=0.5,
+        )
+        for r in results:
+            assert not r.converged
+            assert r.failure == "timeout"
+
+    def test_replica_results_are_independent_of_stack_composition(self):
+        # Purity: replica index 2 run inside an 8-wide stack equals the
+        # same (base_seed, index) run inside a 2-wide stack, bit for bit.
+        seeds = list(seeds_for(9, 8))
+        wide = run_ensemble(
+            ThreeStateMajority, config_factory, replications=8, base_seed=9,
+            **ENSEMBLE_KWARGS,
+        )
+        narrow = run_ensemble(
+            ThreeStateMajority, config_factory, seeds=seeds[2:4], indices=[2, 3],
+            **ENSEMBLE_KWARGS,
+        )
+        for got, want in zip(narrow, wide[2:4]):
+            assert got.interactions == want.interactions
+            assert got.output_opinion == want.output_opinion
+            assert got.converged == want.converged
+
+    def test_birthday_scheduler_runs_stacked(self):
+        results = run_ensemble(
+            ThreeStateMajority, lambda i: three_state_config(400, 20),
+            replications=4, base_seed=2, scheduler="birthday", sampler="auto",
+            max_parallel_time=500.0,
+        )
+        assert all(r.converged for r in results)
+
+    def test_sequential_scheduler_is_refused(self):
+        with pytest.raises(BackendUnsupported, match="batched"):
+            run_ensemble(
+                ThreeStateMajority, config_factory, replications=2, base_seed=0,
+                scheduler="sequential",
+            )
+
+    def test_telemetry_counts_replicas_and_batches(self):
+        tel = telemetry_module.Telemetry(enabled=True)
+        run_ensemble(
+            ThreeStateMajority, config_factory, replications=5, base_seed=4,
+            telemetry=tel, **ENSEMBLE_KWARGS,
+        )
+        block = tel.metrics_block()
+        counters = block["counters"]
+        assert counters["ensemble.replicas"] == 5
+        assert counters["ensemble.batches"] > 0
+        assert counters["engine.interactions"] > 0
+        assert block["histograms"]["ensemble.active_per_batch"]["count"] == (
+            counters["ensemble.batches"]
+        )
+
+
+class TestLawLevelEquivalence:
+    """The headline battery: serial and ensemble sample the same laws.
+
+    Explicitly *not* bit-level — the two modes draw randomness through
+    different entry points (see docs/ENSEMBLE.md).  48 seeds per mode,
+    disjoint between modes, so the test is a genuine two-sample problem.
+    """
+
+    REPLICATIONS = 48
+
+    @pytest.fixture(scope="class")
+    def serial_and_ensemble(self):
+        def cfg(index):
+            return three_state_config(2000, 20)
+
+        serial = replicate(
+            ThreeStateMajority, cfg, replications=self.REPLICATIONS,
+            base_seed=5, backend="counts", **ENSEMBLE_KWARGS,
+        )
+        ensemble = replicate(
+            ThreeStateMajority, cfg, replications=self.REPLICATIONS,
+            base_seed=91, mode="ensemble", **ENSEMBLE_KWARGS,
+        )
+        return serial, ensemble
+
+    def test_convergence_times_pass_ks(self, serial_and_ensemble):
+        serial, ensemble = serial_and_ensemble
+        result = scipy_stats.ks_2samp(
+            [r.parallel_time for r in serial],
+            [r.parallel_time for r in ensemble],
+        )
+        assert result.pvalue > P_THRESHOLD
+
+    def test_winner_distributions_pass_chi_square(self, serial_and_ensemble):
+        serial, ensemble = serial_and_ensemble
+        table = np.array([
+            [sum(1 for r in serial if r.succeeded),
+             sum(1 for r in serial if not r.succeeded)],
+            [sum(1 for r in ensemble if r.succeeded),
+             sum(1 for r in ensemble if not r.succeeded)],
+        ])
+        if (table[:, 1] == 0).all():
+            # Every replica in both modes found the plurality winner:
+            # identical degenerate winner laws, nothing to test.
+            return
+        result = scipy_stats.chi2_contingency(table + 1)
+        assert result.pvalue > P_THRESHOLD
+
+
+# ----------------------------------------------------------------------
+# Threading through replicate / replicate_parallel / experiments
+# ----------------------------------------------------------------------
+class TestThreading:
+    def test_replicate_mode_ensemble_equals_run_ensemble(self):
+        via_sweep = replicate(
+            ThreeStateMajority, config_factory, replications=4, base_seed=6,
+            mode="ensemble", **ENSEMBLE_KWARGS,
+        )
+        direct = run_ensemble(
+            ThreeStateMajority, config_factory, replications=4, base_seed=6,
+            **ENSEMBLE_KWARGS,
+        )
+        for got, want in zip(via_sweep, direct):
+            assert got.interactions == want.interactions
+            assert got.output_opinion == want.output_opinion
+
+    def test_replicate_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            replicate(
+                ThreeStateMajority, config_factory, replications=2,
+                mode="warp",
+            )
+
+    def test_replicate_mode_ensemble_rejects_agent_backend(self):
+        with pytest.raises(ValueError, match="count backend"):
+            replicate(
+                ThreeStateMajority, config_factory, replications=2,
+                mode="ensemble", backend="agents",
+            )
+
+    def test_replicate_parallel_chunks_reproduce_the_full_stack(self):
+        # Purity again, now across the process boundary: chunked
+        # two-level execution must be bit-equal to one wide stack.
+        full = replicate(
+            ThreeStateMajority, config_factory, replications=6, base_seed=8,
+            mode="ensemble", **ENSEMBLE_KWARGS,
+        )
+        chunked = replicate_parallel(
+            ThreeStateMajority, config_factory, replications=6, base_seed=8,
+            workers=2, ensemble_size=2, **ENSEMBLE_KWARGS,
+        )
+        assert len(chunked) == 6
+        for got, want in zip(chunked, full):
+            assert got.interactions == want.interactions
+            assert got.output_opinion == want.output_opinion
+
+    def test_experiments_declare_ensemble_support(self):
+        from repro import experiments
+
+        assert experiments.supports_ensemble("EB7")
+        assert not experiments.supports_ensemble("E1")
+        with pytest.raises(ValueError, match="ensemble"):
+            experiments.run("E1", "quick", ensemble=4)
+
+
+# ----------------------------------------------------------------------
+# Campaign integration
+# ----------------------------------------------------------------------
+def ensemble_grid(name="ens", seeds=range(6)):
+    return CampaignGrid.from_axes(
+        name,
+        protocols=["three_state"],
+        ns=[256],
+        ks=[2],
+        seeds=list(seeds),
+        workload="majority_counts",
+        workload_axes=({"bias": 4},),
+        backend="counts",
+        scheduler="matching",
+        sampler="auto",
+        counts_only=True,
+        description="ensemble test grid",
+    )
+
+
+class TestCampaignEnsemble:
+    def test_grouped_run_checkpoints_every_cell(self, tmp_path):
+        grid = ensemble_grid()
+        status = run_campaign(grid, tmp_path, workers=1, ensemble_size=4)
+        assert status.done
+        store = CheckpointStore(tmp_path)
+        for cell in grid.cells:
+            payload = store.read_cell(cell_hash(cell))
+            assert payload is not None
+            assert payload["result"]["converged"] in (True, False)
+        build_rollup(grid, tmp_path)
+
+    def test_resume_after_partial_run_with_grouping(self, tmp_path):
+        grid = ensemble_grid()
+        run_campaign(grid, tmp_path, workers=1, max_cells=2)
+        assert campaign_status(grid, tmp_path).pending == len(grid.cells) - 2
+        status = run_campaign(grid, tmp_path, workers=1, ensemble_size=4)
+        assert status.done
+
+
+# ----------------------------------------------------------------------
+# Satellites: budget pin, single-reduction check, carry-pair law
+# ----------------------------------------------------------------------
+class _SumCountingArray(np.ndarray):
+    sum_calls = 0
+
+    def sum(self, *args, **kwargs):  # noqa: A003 - mirrors ndarray API
+        type(self).sum_calls += 1
+        return super().sum(*args, **kwargs)
+
+
+class TestSatellites:
+    def test_default_budget_is_flat_in_n(self):
+        class Bare:
+            pass
+
+        for k, n in ((2, 100), (2, 10**9), (5, 1000)):
+            config = CountConfig.from_counts([n // k] * k, name="b")
+            assert _default_budget(Bare(), config) == 500.0 * (config.k + 1) + 5000.0
+
+    def test_check_counts_reduces_exactly_once(self):
+        counts = np.array([3, 4, 5], dtype=np.int64).view(_SumCountingArray)
+        _SumCountingArray.sum_calls = 0
+        CountBackend._check_counts(counts, 12)
+        assert _SumCountingArray.sum_calls == 1
+
+    def test_check_counts_rejects_corruption(self):
+        with pytest.raises(SimulationError, match="corrupted"):
+            CountBackend._check_counts(np.array([3, 4], dtype=np.int64), 12)
+        with pytest.raises(SimulationError, match="corrupted"):
+            CountBackend._check_counts(np.array([13, -1], dtype=np.int64), 12)
+
+    def test_carry_pair_three_way_mixture_weights(self):
+        # counts=[2,2], carry=[2,0]: |M|=2 members (state 0), R=2
+        # non-members (state 1).  Weights: both=2, each one-sided=4 of
+        # 10 => P[(0,0)]=0.2, P[(0,1)]=P[(1,0)]=0.4.
+        counts = np.array([2, 2], dtype=np.int64)
+        carry = np.array([2, 0], dtype=np.int64)
+        observed = Counter(
+            CountBackend._carry_pair(counts, carry, make_rng(s))
+            for s in range(3000)
+        )
+        assert set(observed) == {(0, 0), (0, 1), (1, 0)}
+        oc = [observed[(0, 0)], observed[(0, 1)], observed[(1, 0)]]
+        result = scipy_stats.chisquare(oc, [600, 1200, 1200])
+        assert result.pvalue > P_THRESHOLD
+
+    def test_carry_pair_pads_shorter_carry(self):
+        # The carry vector predates a state-space growth: it must be
+        # zero-padded, so states beyond its length are pure non-members.
+        counts = np.array([1, 3, 4], dtype=np.int64)
+        carry = np.array([1], dtype=np.int64)
+        observed = Counter(
+            CountBackend._carry_pair(counts, carry, make_rng(s))
+            for s in range(500)
+        )
+        # |M|=1 => the "both in M" branch is impossible; every pair has
+        # exactly one endpoint in state 0.
+        assert all((0 in pair) and pair != (0, 0) for pair in observed)
+        assert {(0, 1), (0, 2), (1, 0), (2, 0)} <= set(observed)
+
+    def test_carry_pair_clips_carry_to_counts(self):
+        # A carry claiming more members than the state holds is clipped.
+        counts = np.array([1, 3], dtype=np.int64)
+        carry = np.array([5, 0], dtype=np.int64)
+        observed = Counter(
+            CountBackend._carry_pair(counts, carry, make_rng(s))
+            for s in range(200)
+        )
+        assert set(observed) == {(0, 1), (1, 0)}

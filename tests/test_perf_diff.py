@@ -359,3 +359,52 @@ class TestMain:
         code = perf_diff.main([str(tmp_path / "prev"), str(tmp_path / "curr")])
         assert code == 0
         assert "no elapsed_seconds regressions" in capsys.readouterr().out
+
+
+def throughput_report(name="EB7", scale="quick", elapsed=5.0, **legs):
+    return {
+        "experiment": name,
+        "scale": scale,
+        "elapsed_seconds": elapsed,
+        "checks": {},
+        "stats": {f"replicas_per_second[{leg}]": v for leg, v in legs.items()},
+        "passed": True,
+    }
+
+
+class TestDiffThroughput:
+    def test_flags_drops_beyond_threshold(self):
+        previous = {"EB7": throughput_report(ensemble=300.0, serial=60.0)}
+        current = {"EB7": throughput_report(ensemble=150.0, serial=58.0)}
+        drops = perf_diff.diff_throughput(previous, current, threshold=1.5)
+        assert len(drops) == 1
+        assert drops[0]["leg"] == "replicas_per_second[ensemble]"
+        assert drops[0]["ratio"] == pytest.approx(2.0)
+
+    def test_ignores_gains_scale_mismatch_and_tiny_baselines(self):
+        previous = {
+            "EB7": throughput_report(ensemble=150.0, crawl=0.5),
+            "EB8": throughput_report(name="EB8", scale="quick", ensemble=300.0),
+        }
+        current = {
+            "EB7": throughput_report(ensemble=300.0, crawl=0.1),
+            "EB8": throughput_report(name="EB8", scale="full", ensemble=10.0),
+        }
+        assert perf_diff.diff_throughput(previous, current) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            perf_diff.diff_throughput({}, {}, threshold=1.0)
+
+    def test_annotation_mentions_the_leg_and_rates(self):
+        drop = {
+            "experiment": "EB7",
+            "leg": "replicas_per_second[ensemble]",
+            "before_rps": 300.0,
+            "after_rps": 150.0,
+            "ratio": 2.0,
+        }
+        text = perf_diff.format_throughput_annotation(drop, 1.5)
+        assert "replicas_per_second[ensemble]" in text
+        assert "150.0 replicas/s" in text
+        assert text.startswith("::notice")
